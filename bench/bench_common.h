@@ -1,0 +1,61 @@
+// Shared helpers for the reproduction benches: environment-tunable budgets
+// and aligned table printing.
+#ifndef SANDTABLE_BENCH_BENCH_COMMON_H_
+#define SANDTABLE_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace sandtable {
+namespace bench {
+
+// Benches scale the paper's one-machine-day budgets down to seconds so the
+// full suite completes on a laptop; override per run via the environment,
+// e.g. SANDTABLE_BENCH_SECONDS=3600 for a paper-scale run.
+inline double BudgetSeconds(double def) {
+  if (const char* env = std::getenv("SANDTABLE_BENCH_SECONDS")) {
+    return std::atof(env);
+  }
+  return def;
+}
+
+inline std::string HumanCount(unsigned long long n) {
+  char buf[32];
+  if (n >= 1000000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2fG", static_cast<double>(n) / 1e9);
+  } else if (n >= 1000000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", static_cast<double>(n) / 1e6);
+  } else if (n >= 10000ULL) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", static_cast<double>(n) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu", n);
+  }
+  return buf;
+}
+
+inline std::string HumanTime(double seconds) {
+  char buf[32];
+  if (seconds >= 3600) {
+    std::snprintf(buf, sizeof(buf), "%.1fh", seconds / 3600);
+  } else if (seconds >= 60) {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", seconds / 60);
+  } else if (seconds >= 1) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", seconds);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fms", seconds * 1000);
+  }
+  return buf;
+}
+
+inline void Rule(int width = 100) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+}  // namespace bench
+}  // namespace sandtable
+
+#endif  // SANDTABLE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,112 @@
+// Figure 6 reproduction: PySyncObj#4 — the timing diagram of the
+// non-monotonic match index.
+//
+// Model check the seeded bug, replay the counterexample deterministically at
+// the implementation level, and print the space-time narrative of Figure 6:
+// the leader's optimistic next-index advance, the delayed rejection, the
+// follower's wrong Inext hint on an entry-carrying AppendEntries, and the
+// match-index regression.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/conformance/bug_catalog.h"
+#include "src/conformance/raft_harness.h"
+#include "src/mc/bfs.h"
+#include "src/raftspec/raft_common.h"
+
+using namespace sandtable;               // NOLINT(build/namespaces): bench brevity
+using namespace sandtable::conformance;  // NOLINT(build/namespaces)
+
+namespace rs = sandtable::raftspec;
+
+namespace {
+
+// Render one delivery step in Figure 6's vocabulary.
+void PrintEvent(size_t i, const TraceStep& step) {
+  const std::string& a = step.label.action;
+  const Json& p = step.label.params;
+  auto node = [](const Json& j) { return "n" + std::to_string(j.as_int() + 1); };
+  if (a == "HandleAppendEntriesRequest") {
+    const Json& m = p["msg"];
+    std::printf("  %2zu: %s receives AE from %s   (prev=%lld, entries=%zu, commit=%lld)\n",
+                i, node(p["dst"]).c_str(), node(p["src"]).c_str(),
+                static_cast<long long>(m["prevLogIndex"].as_int()), m["entries"].size(),
+                static_cast<long long>(m["commit"].as_int()));
+  } else if (a == "HandleAppendEntriesResponse") {
+    const Json& m = p["msg"];
+    std::printf("  %2zu: %s receives AER from %s  (flag=%s, Inext=%lld)\n", i,
+                node(p["dst"]).c_str(), node(p["src"]).c_str(),
+                m["success"].as_bool() ? "T" : "F",
+                static_cast<long long>(m["hint"].as_int()));
+  } else if (a == "Timeout" || a == "HeartbeatTimeout") {
+    std::printf("  %2zu: %s at %s\n", i, a.c_str(), node(p["node"]).c_str());
+  } else if (a == "ClientRequest") {
+    std::printf("  %2zu: client request at %s (val=%lld)\n", i, node(p["node"]).c_str(),
+                static_cast<long long>(p["val"].as_int()));
+  } else {
+    std::printf("  %2zu: %s\n", i, step.label.ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Figure 6 — PySyncObj#4: non-monotonic match index\n\n");
+
+  const BugInfo& bug = FindBug("PySyncObj#4");
+  RaftHarness h = MakeRaftHarness("pysyncobj", /*with_bugs=*/false);
+  h.profile = MakeBugProfile(bug);
+  h.impl_bugs = systems::RaftImplBugs{};
+
+  const Spec spec = MakeHarnessSpec(h);
+  BfsOptions opts;
+  opts.time_budget_s = bench::BudgetSeconds(300);
+  const BfsResult r = BfsCheck(spec, opts);
+  if (!r.violation.has_value()) {
+    std::printf("bug not found within the budget\n");
+    return 1;
+  }
+  std::printf("model checking: violated %s at depth %llu (%llu states, %s)\n\n",
+              r.violation->invariant.c_str(),
+              static_cast<unsigned long long>(r.violation->depth),
+              static_cast<unsigned long long>(r.violation->states_explored),
+              bench::HumanTime(r.violation->seconds).c_str());
+
+  std::printf("event timeline (cf. Figure 6):\n");
+  const auto& trace = r.violation->trace;
+  for (size_t i = 1; i < trace.size(); ++i) {
+    PrintEvent(i, trace[i]);
+  }
+
+  // Show the match-index regression across the final edge.
+  const State& prev = trace[trace.size() - 2].state;
+  const State& last = trace.back().state;
+  std::printf("\nmatch-index regression on the final event:\n");
+  for (int l = 0; l < 3; ++l) {
+    const Value leader = rs::NodeV(l);
+    if (rs::Role(last, leader).str_v() != rs::kRoleLeader) {
+      continue;
+    }
+    const Value& before = prev.field(rs::kVarMatchIndex).Apply(leader);
+    const Value& after = last.field(rs::kVarMatchIndex).Apply(leader);
+    for (const auto& [peer, m] : before.fun_pairs()) {
+      if (after.FunHas(peer) && after.Apply(peer).int_v() < m.int_v()) {
+        std::printf("  leader n%d: matchIndex[n%d] %lld -> %lld  (NOT monotonic)\n", l + 1,
+                    peer.model_index() + 1, static_cast<long long>(m.int_v()),
+                    static_cast<long long>(after.Apply(peer).int_v()));
+      }
+    }
+  }
+
+  std::printf("\nconfirming at the implementation level by deterministic replay...\n");
+  const ConfirmationResult confirm =
+      ConfirmBug(MakeRaftEngineFactory(h), MakeRaftObserver(h), r.violation->trace);
+  std::printf("replay: %s (%zu events)\n",
+              confirm.confirmed ? "CONFIRMED — implementation state matched the "
+                                  "specification after every event"
+                                : "diverged",
+              confirm.replay.steps_executed);
+  std::printf("\npaper: found in 35s at depth 25 after 1512679 states, consequence\n");
+  std::printf("\"match index is not monotonic\" -> risk of data inconsistency/loss\n");
+  return confirm.confirmed ? 0 : 1;
+}

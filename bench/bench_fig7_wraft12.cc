@@ -1,0 +1,75 @@
+// Figure 7 reproduction: WRaft#1 + WRaft#2 — data inconsistency from log
+// compaction.
+//
+// The leader should ship a snapshot for a compacted range but sends an empty
+// AppendEntries instead (WRaft#2); the follower skips the first-entry
+// consistency check and commits its stale conflicting entry (WRaft#1). The
+// result is inconsistent committed logs across the cluster.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "src/conformance/bug_catalog.h"
+#include "src/conformance/raft_harness.h"
+#include "src/mc/bfs.h"
+#include "src/raftspec/raft_common.h"
+
+using namespace sandtable;               // NOLINT(build/namespaces): bench brevity
+using namespace sandtable::conformance;  // NOLINT(build/namespaces)
+
+namespace rs = sandtable::raftspec;
+
+int main() {
+  std::printf("Figure 7 — WRaft#1+#2: data inconsistency via compaction\n\n");
+
+  const BugInfo& bug = FindBug("WRaft#1");
+  RaftHarness h = MakeRaftHarness("wraft", /*with_bugs=*/false);
+  h.profile = MakeBugProfile(bug);
+  h.impl_bugs = systems::RaftImplBugs{};
+
+  const Spec spec = MakeHarnessSpec(h);
+  BfsOptions opts;
+  opts.time_budget_s = bench::BudgetSeconds(600);
+  const BfsResult r = BfsCheck(spec, opts);
+  if (!r.violation.has_value()) {
+    std::printf("bug not found within the budget\n");
+    return 1;
+  }
+  std::printf("model checking: violated %s at depth %llu (%llu states, %s)\n\n",
+              r.violation->invariant.c_str(),
+              static_cast<unsigned long long>(r.violation->depth),
+              static_cast<unsigned long long>(r.violation->states_explored),
+              bench::HumanTime(r.violation->seconds).c_str());
+
+  std::printf("event timeline (cf. Figure 7):\n");
+  const auto& trace = r.violation->trace;
+  for (size_t i = 1; i < trace.size(); ++i) {
+    const std::string& a = trace[i].label.action;
+    if (a == "TakeSnapshot") {
+      std::printf("  %2zu: n%lld compacts its committed log into a snapshot\n", i,
+                  trace[i].label.params["node"].as_int() + 1);
+    } else {
+      std::printf("  %2zu: %s\n", i, trace[i].label.ToString().c_str());
+    }
+  }
+
+  // Show the committed-log divergence in the final state.
+  const State& last = trace.back().state;
+  std::printf("\ncommitted logs in the violating state:\n");
+  for (int i = 0; i < 3; ++i) {
+    const Value node = rs::NodeV(i);
+    std::printf("  n%d: commit=%lld snapshot=(%lld,t%lld) log=%s\n", i + 1,
+                static_cast<long long>(rs::CommitIndex(last, node)),
+                static_cast<long long>(rs::SnapshotIndex(last, node)),
+                static_cast<long long>(rs::SnapshotTerm(last, node)),
+                rs::Log(last, node).ToString().c_str());
+  }
+
+  std::printf("\nconfirming at the implementation level by deterministic replay...\n");
+  const ConfirmationResult confirm =
+      ConfirmBug(MakeRaftEngineFactory(h), MakeRaftObserver(h), r.violation->trace);
+  std::printf("replay: %s (%zu events)\n",
+              confirm.confirmed ? "CONFIRMED" : "diverged", confirm.replay.steps_executed);
+  std::printf("\npaper: WRaft#1 found in 9min at depth 22 (6.0M states); WRaft#2 in 22min\n");
+  std::printf("at depth 20 (21.0M states); consequence: inconsistent committed logs\n");
+  return confirm.confirmed ? 0 : 1;
+}

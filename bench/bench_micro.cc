@@ -1,0 +1,219 @@
+// Micro-benchmarks (google-benchmark) for the building blocks whose cost
+// determines the exploration rates of Tables 2-4: value operations,
+// fingerprinting (with and without symmetry), successor enumeration, BFS
+// steps, stateless-replay redundancy (§2.1 ablation), proxy throughput and
+// trace-command conversion.
+#include <benchmark/benchmark.h>
+
+#include "src/conformance/raft_harness.h"
+#include "src/mc/bfs.h"
+#include "src/mc/expand.h"
+#include "src/mc/random_walk.h"
+#include "src/mc/stateless.h"
+#include "src/raftspec/raft_common.h"
+#include "src/trace/replay.h"
+
+using namespace sandtable;  // NOLINT(build/namespaces): bench brevity
+
+namespace {
+
+const Spec& PysyncSpec() {
+  static const Spec spec = [] {
+    RaftProfile p = GetRaftProfile("pysyncobj", false);
+    p.budget.max_timeouts = 3;
+    p.budget.max_client_requests = 2;
+    p.budget.max_crashes = 0;
+    p.budget.max_restarts = 0;
+    p.budget.max_partitions = 0;
+    p.budget.max_term = 2;
+    return MakeRaftSpec(p);
+  }();
+  return spec;
+}
+
+// A mid-exploration state with traffic in flight.
+const State& MidState() {
+  static const State state = [] {
+    Rng rng(5);
+    WalkOptions opts;
+    opts.max_depth = 12;
+    opts.collect_trace = true;
+    const WalkResult w = RandomWalk(PysyncSpec(), opts, rng);
+    return w.trace.back().state;
+  }();
+  return state;
+}
+
+void BM_ValueRecordUpdate(benchmark::State& state) {
+  const State& s = MidState();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        s.WithField(raftspec::kVarCounters,
+                    s.field(raftspec::kVarCounters)
+                        .WithField("timeouts", Value::Int(9))));
+  }
+}
+BENCHMARK(BM_ValueRecordUpdate);
+
+void BM_ValueHashMemoized(benchmark::State& state) {
+  const State& s = MidState();
+  s.hash();  // warm the memo
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.hash());
+  }
+}
+BENCHMARK(BM_ValueHashMemoized);
+
+void BM_ValueHashCold(benchmark::State& state) {
+  const State& s = MidState();
+  for (auto _ : state) {
+    // A fresh root defeats the memo at the top level only; the children stay
+    // cached, which is the common case during exploration.
+    State copy = s.WithField("probe", Value::Int(state.iterations() & 1));
+    benchmark::DoNotOptimize(copy.hash());
+  }
+}
+BENCHMARK(BM_ValueHashCold);
+
+void BM_FingerprintAsymmetric(benchmark::State& state) {
+  const Spec& spec = PysyncSpec();
+  const State& s = MidState();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fingerprint(spec, s, false));
+  }
+}
+BENCHMARK(BM_FingerprintAsymmetric);
+
+void BM_FingerprintSymmetric(benchmark::State& state) {
+  const Spec& spec = PysyncSpec();
+  const State& s = MidState();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Fingerprint(spec, s, true));
+  }
+}
+BENCHMARK(BM_FingerprintSymmetric);
+
+void BM_ExpandAllSuccessors(benchmark::State& state) {
+  const Spec& spec = PysyncSpec();
+  const State& s = MidState();
+  uint64_t succs = 0;
+  for (auto _ : state) {
+    auto v = ExpandAll(spec, s, nullptr);
+    succs += v.size();
+    benchmark::DoNotOptimize(v);
+  }
+  state.counters["successors"] =
+      benchmark::Counter(static_cast<double>(succs), benchmark::Counter::kAvgIterations);
+}
+BENCHMARK(BM_ExpandAllSuccessors);
+
+void BM_CheckInvariants(benchmark::State& state) {
+  const Spec& spec = PysyncSpec();
+  const State& s = MidState();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CheckInvariants(spec, s));
+  }
+}
+BENCHMARK(BM_CheckInvariants);
+
+void BM_BfsThroughput(benchmark::State& state) {
+  const Spec& spec = PysyncSpec();
+  uint64_t states_total = 0;
+  for (auto _ : state) {
+    BfsOptions opts;
+    opts.max_distinct_states = 20000;
+    const BfsResult r = BfsCheck(spec, opts);
+    states_total += r.distinct_states;
+    benchmark::DoNotOptimize(r.distinct_states);
+  }
+  state.counters["states/s"] = benchmark::Counter(static_cast<double>(states_total),
+                                                  benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BfsThroughput)->Unit(benchmark::kMillisecond);
+
+void BM_RandomWalkTrace(benchmark::State& state) {
+  const Spec& spec = PysyncSpec();
+  Rng rng(7);
+  WalkOptions opts;
+  opts.max_depth = 40;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RandomWalk(spec, opts, rng).depth);
+  }
+}
+BENCHMARK(BM_RandomWalkTrace)->Unit(benchmark::kMicrosecond);
+
+// §2.1 ablation: stateless depth-bounded replay re-executes shared prefixes;
+// the counter reports the redundancy factor vs distinct states.
+void BM_StatelessRedundancy(benchmark::State& state) {
+  const Spec& spec = PysyncSpec();
+  double redundancy = 0;
+  for (auto _ : state) {
+    StatelessOptions opts;
+    opts.max_depth = 6;
+    opts.max_transitions = 200000;
+    const StatelessResult r = StatelessEnumerate(spec, opts);
+    redundancy = r.RedundancyFactor();
+    benchmark::DoNotOptimize(r.transitions_executed);
+  }
+  state.counters["redundancy_x"] = redundancy;
+}
+BENCHMARK(BM_StatelessRedundancy)->Unit(benchmark::kMillisecond);
+
+void BM_ProxySendDeliver(benchmark::State& state) {
+  engine::Proxy proxy(3, /*udp=*/false);
+  const std::string bytes = R"({"mtype":"AE","src":0,"dst":1,"term":3})";
+  for (auto _ : state) {
+    proxy.Send(0, 1, bytes);
+    benchmark::DoNotOptimize(proxy.Deliver(0, 1, ""));
+  }
+}
+BENCHMARK(BM_ProxySendDeliver);
+
+void BM_TraceCommandConversion(benchmark::State& state) {
+  Rng rng(11);
+  WalkOptions opts;
+  opts.max_depth = 30;
+  opts.collect_trace = true;
+  const WalkResult w = RandomWalk(PysyncSpec(), opts, rng);
+  size_t i = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(trace::CommandFromStep(w.trace[i]));
+    i = i + 1 < w.trace.size() ? i + 1 : 1;
+  }
+}
+BENCHMARK(BM_TraceCommandConversion);
+
+// Implementation-level event execution rate: a full replayed trace per
+// iteration (cluster construction included), the denominator of Table 4's raw
+// column.
+void BM_ImplReplayTrace(benchmark::State& state) {
+  using namespace sandtable::conformance;  // NOLINT(build/namespaces)
+  RaftHarness h = MakeRaftHarness("pysyncobj", false);
+  h.impl_bugs = systems::RaftImplBugs{};
+  const EngineFactory factory = MakeRaftEngineFactory(h);
+  Rng rng(13);
+  WalkOptions opts;
+  opts.max_depth = 30;
+  opts.collect_trace = true;
+  const WalkResult w = RandomWalk(PysyncSpec(), opts, rng);
+  for (auto _ : state) {
+    auto eng = factory();
+    (void)eng->StartAll();
+    for (size_t s = 1; s < w.trace.size(); ++s) {
+      auto cmd = trace::CommandFromStep(w.trace[s]);
+      if (!cmd.ok()) {
+        break;
+      }
+      Json resp;
+      if (!trace::ExecuteCommand(*eng, cmd.value(), &resp)) {
+        break;
+      }
+    }
+    benchmark::DoNotOptimize(eng->stats().commands_executed);
+  }
+}
+BENCHMARK(BM_ImplReplayTrace)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

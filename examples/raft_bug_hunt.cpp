@@ -1,0 +1,102 @@
+// The full SandTable workflow (Figure 1) on the PySyncObj profile:
+//
+//   1. conformance-check the specification against the implementation (§3.2)
+//   2. model check the specification and hit a safety violation (§3.3)
+//   3. confirm the bug at the implementation level by deterministic replay (§3.4)
+//   4. fix the bug on both sides and validate the fix
+#include <cstdio>
+
+#include "src/conformance/raft_harness.h"
+#include "src/mc/bfs.h"
+
+using namespace sandtable;               // NOLINT(build/namespaces): example brevity
+using namespace sandtable::conformance;  // NOLINT(build/namespaces)
+
+namespace {
+
+RaftHarness HuntHarness(bool with_bug) {
+  RaftHarness h = MakeRaftHarness("pysyncobj", /*with_bugs=*/false);
+  h.impl_bugs = systems::RaftImplBugs{};  // focus on the semantic bug
+  // Seed PySyncObj#2 on both sides: the spec describes the *actual* (buggy)
+  // implementation, which is what makes replay confirmation possible.
+  h.profile.bugs.pso2_commit_regress = with_bug;
+  // A bounded hunt budget (§3.3): ranked constraints would pick these.
+  h.profile.budget.max_timeouts = 4;
+  h.profile.budget.max_client_requests = 2;
+  h.profile.budget.max_crashes = 0;
+  h.profile.budget.max_restarts = 0;
+  h.profile.budget.max_partitions = 0;
+  h.profile.budget.max_term = 2;
+  h.profile.budget.max_log_len = 2;
+  return h;
+}
+
+}  // namespace
+
+int main() {
+  const RaftHarness buggy = HuntHarness(/*with_bug=*/true);
+  const Spec spec = MakeHarnessSpec(buggy);
+  const RaftObserver observer = MakeRaftObserver(buggy);
+  const EngineFactory factory = MakeRaftEngineFactory(buggy);
+
+  // ---- Step 1: conformance checking -------------------------------------------
+  std::printf("[1/4] conformance checking spec vs implementation...\n");
+  ConformanceOptions copts;
+  copts.max_traces = 50;
+  copts.max_trace_depth = 25;
+  const ConformanceReport conf = CheckConformance(spec, factory, observer, copts);
+  if (!conf.conforms) {
+    std::printf("      discrepancy found — fix the spec first:\n%s\n",
+                conf.discrepancy->ToString().c_str());
+    return 1;
+  }
+  std::printf("      %d random traces (%llu events) replayed, no discrepancy\n",
+              conf.traces_replayed, static_cast<unsigned long long>(conf.events_replayed));
+
+  // ---- Step 2: model checking -------------------------------------------------------
+  std::printf("[2/4] model checking the bounded state space (BFS)...\n");
+  BfsOptions bopts;
+  bopts.max_distinct_states = 5000000;
+  bopts.time_budget_s = 300;
+  const BfsResult mc = BfsCheck(spec, bopts);
+  if (!mc.violation.has_value()) {
+    std::printf("      no violation in %llu states\n",
+                static_cast<unsigned long long>(mc.distinct_states));
+    return 1;
+  }
+  std::printf("      violated %s at depth %llu after %llu distinct states (%.1fs)\n",
+              mc.violation->invariant.c_str(),
+              static_cast<unsigned long long>(mc.violation->depth),
+              static_cast<unsigned long long>(mc.violation->states_explored),
+              mc.violation->seconds);
+  std::printf("      counterexample events:\n");
+  for (size_t i = 1; i < mc.violation->trace.size(); ++i) {
+    std::printf("        %2zu: %s\n", i, mc.violation->trace[i].label.ToString().c_str());
+  }
+
+  // ---- Step 3: implementation-level confirmation -----------------------------------
+  std::printf("[3/4] replaying the counterexample on the implementation...\n");
+  const ConfirmationResult confirm = ConfirmBug(factory, observer, mc.violation->trace);
+  if (!confirm.confirmed) {
+    std::printf("      replay diverged — false alarm:\n%s\n",
+                confirm.replay.discrepancy->ToString().c_str());
+    return 1;
+  }
+  std::printf("      bug CONFIRMED: the implementation followed all %zu events and its\n"
+              "      commit index regressed exactly as the specification predicted\n",
+              confirm.replay.steps_executed);
+
+  // ---- Step 4: fix validation --------------------------------------------------------
+  std::printf("[4/4] applying the fix on both sides and re-verifying...\n");
+  const RaftHarness fixed = HuntHarness(/*with_bug=*/false);
+  const Spec fixed_spec = MakeHarnessSpec(fixed);
+  const RaftObserver fixed_observer = MakeRaftObserver(fixed);
+  const ConformanceReport reconf =
+      CheckConformance(fixed_spec, MakeRaftEngineFactory(fixed), fixed_observer, copts);
+  const BfsResult recheck = BfsCheck(fixed_spec, bopts);
+  std::printf("      conformance: %s; model checking: %s (%llu states)\n",
+              reconf.conforms ? "clean" : "DISCREPANCY",
+              recheck.violation.has_value() ? "VIOLATION" : "clean",
+              static_cast<unsigned long long>(recheck.distinct_states));
+  return reconf.conforms && !recheck.violation.has_value() ? 0 : 1;
+}

@@ -1,0 +1,316 @@
+// The SandTable command-line driver: the reproduction's equivalent of the
+// paper artifact's run scripts. Drives the full workflow from the shell:
+//
+//   sandtable_cli list-systems
+//   sandtable_cli list-bugs
+//   sandtable_cli check --system pysyncobj --bug PySyncObj#2 [--budget 60]
+//                       [--trace-out /tmp/bug.jsonl]
+//   sandtable_cli conformance --system wraft [--traces 100] [--channel log]
+//   sandtable_cli simulate --system raftos --traces 1000
+//   sandtable_cli replay --system pysyncobj --bug PySyncObj#2 --trace /tmp/bug.jsonl
+//   sandtable_cli rank --system pysyncobj
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/conformance/bug_catalog.h"
+#include "src/conformance/raft_harness.h"
+#include "src/conformance/zab_harness.h"
+#include "src/mc/bfs.h"
+#include "src/mc/random_walk.h"
+#include "src/mc/ranking.h"
+
+using namespace sandtable;               // NOLINT(build/namespaces): CLI brevity
+using namespace sandtable::conformance;  // NOLINT(build/namespaces)
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string system = "pysyncobj";
+  std::string bug;
+  std::string trace_path;
+  std::string trace_out;
+  std::string channel = "api";
+  double budget_s = 60;
+  int traces = 100;
+  bool with_bugs = false;
+};
+
+bool ParseArgs(int argc, char** argv, Args* out) {
+  if (argc < 2) {
+    return false;
+  }
+  out->command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](std::string* dst) {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      *dst = argv[++i];
+      return true;
+    };
+    std::string v;
+    if (flag == "--system" && next(&v)) {
+      out->system = v;
+    } else if (flag == "--bug" && next(&v)) {
+      out->bug = v;
+    } else if (flag == "--trace" && next(&v)) {
+      out->trace_path = v;
+    } else if (flag == "--trace-out" && next(&v)) {
+      out->trace_out = v;
+    } else if (flag == "--budget" && next(&v)) {
+      out->budget_s = std::atof(v.c_str());
+    } else if (flag == "--traces" && next(&v)) {
+      out->traces = std::atoi(v.c_str());
+    } else if (flag == "--channel" && next(&v)) {
+      out->channel = v;
+    } else if (flag == "--with-bugs") {
+      out->with_bugs = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+// Everything the subcommands need for one target system.
+struct Target {
+  Spec spec;
+  EngineFactory factory;
+  std::unique_ptr<ClusterObserver> observer;
+};
+
+Target MakeTarget(const Args& args) {
+  Target t;
+  if (args.system == "zookeeper") {
+    ZabHarness h = MakeZabHarness(args.with_bugs || !args.bug.empty());
+    if (!args.bug.empty()) {
+      h.profile.budget.max_timeouts = 5;
+      h.profile.budget.max_client_requests = 1;
+      h.profile.budget.max_crashes = 1;
+      h.profile.budget.max_restarts = 1;
+      h.profile.budget.max_history = 1;
+      h.profile.budget.max_msg_buffer = 3;
+    }
+    h.channel = args.channel == "log" ? ObservationChannel::kLogParser
+                                      : ObservationChannel::kApi;
+    t.spec = MakeHarnessSpec(h);
+    t.factory = MakeZabEngineFactory(h);
+    t.observer = std::make_unique<ZabObserver>(MakeZabObserver(h));
+    return t;
+  }
+  RaftHarness h = MakeRaftHarness(args.system, args.with_bugs);
+  if (!args.bug.empty()) {
+    h.profile = MakeBugProfile(FindBug(args.bug));
+    h.impl_bugs = systems::RaftImplBugs{};
+    const BugInfo& bug = FindBug(args.bug);
+    if (bug.enable_impl != nullptr) {
+      bug.enable_impl(h.impl_bugs);
+    }
+  }
+  h.channel = args.channel == "log" ? ObservationChannel::kLogParser
+                                    : ObservationChannel::kApi;
+  t.spec = MakeHarnessSpec(h);
+  t.factory = MakeRaftEngineFactory(h);
+  t.observer = std::make_unique<RaftObserver>(MakeRaftObserver(h));
+  return t;
+}
+
+int CmdListSystems() {
+  for (const std::string& s : RaftSystemNames()) {
+    std::printf("%s\n", s.c_str());
+  }
+  std::printf("zookeeper\n");
+  return 0;
+}
+
+int CmdListBugs() {
+  std::printf("%-13s %-11s %-13s %-4s %s\n", "ID", "System", "Stage", "New", "Consequence");
+  for (const BugInfo& bug : BugCatalog()) {
+    std::printf("%-13s %-11s %-13s %-4s %s\n", bug.id.c_str(), bug.system.c_str(),
+                BugStageName(bug.stage), bug.is_new ? "yes" : "no",
+                bug.consequence.c_str());
+  }
+  return 0;
+}
+
+int CmdCheck(const Args& args) {
+  Target t = MakeTarget(args);
+  std::printf("model checking %s (budget %.0fs)...\n", t.spec.name.c_str(), args.budget_s);
+  BfsOptions opts;
+  opts.time_budget_s = args.budget_s;
+  const BfsResult r = BfsCheck(t.spec, opts);
+  std::printf("distinct states: %llu (depth %llu, %.1fs, %s)\n",
+              static_cast<unsigned long long>(r.distinct_states),
+              static_cast<unsigned long long>(r.depth_reached), r.seconds,
+              r.exhausted ? "exhausted" : "bounded");
+  if (!r.violation.has_value()) {
+    std::printf("no safety violation found\n");
+    return 0;
+  }
+  std::printf("VIOLATED %s at depth %llu after %llu states\n",
+              r.violation->invariant.c_str(),
+              static_cast<unsigned long long>(r.violation->depth),
+              static_cast<unsigned long long>(r.violation->states_explored));
+  for (size_t i = 1; i < r.violation->trace.size(); ++i) {
+    std::printf("  %2zu: %s\n", i, r.violation->trace[i].label.ToString().c_str());
+  }
+  if (!args.trace_out.empty()) {
+    std::ofstream f(args.trace_out);
+    f << TraceToJsonl(r.violation->trace);
+    std::printf("counterexample written to %s\n", args.trace_out.c_str());
+  }
+  // Confirm immediately (§3.4).
+  const ConfirmationResult confirm = ConfirmBug(t.factory, *t.observer, r.violation->trace);
+  std::printf("implementation-level replay: %s\n",
+              confirm.confirmed ? "CONFIRMED" : "diverged (false alarm?)");
+  return 2;
+}
+
+int CmdConformance(const Args& args) {
+  Target t = MakeTarget(args);
+  ConformanceOptions opts;
+  opts.max_traces = args.traces;
+  opts.time_budget_s = args.budget_s;
+  std::printf("conformance checking %s over %d random traces (channel: %s)...\n",
+              t.spec.name.c_str(), args.traces, args.channel.c_str());
+  const ConformanceReport report =
+      CheckConformance(t.spec, t.factory, *t.observer, opts);
+  if (report.conforms) {
+    std::printf("no discrepancy: %d traces, %llu events, %.1fs\n", report.traces_replayed,
+                static_cast<unsigned long long>(report.events_replayed), report.seconds);
+    return 0;
+  }
+  std::printf("DISCREPANCY after %d traces:\n%s\n", report.traces_replayed,
+              report.discrepancy->ToString().c_str());
+  std::printf("failing event sequence:\n");
+  for (size_t i = 1; i < report.failing_trace.size() && i <= report.discrepancy->step; ++i) {
+    std::printf("  %2zu: %s\n", i, report.failing_trace[i].label.ToString().c_str());
+  }
+  return 2;
+}
+
+int CmdSimulate(const Args& args) {
+  Target t = MakeTarget(args);
+  Rng rng(1);
+  WalkOptions opts;
+  opts.max_depth = 60;
+  CoverageStats coverage;
+  uint64_t total_depth = 0;
+  uint64_t max_depth = 0;
+  for (int i = 0; i < args.traces; ++i) {
+    const WalkResult w = RandomWalk(t.spec, opts, rng);
+    coverage.Merge(w.coverage);
+    total_depth += w.depth;
+    max_depth = std::max(max_depth, w.depth);
+  }
+  std::printf("%d random walks over %s:\n", args.traces, t.spec.name.c_str());
+  std::printf("  avg depth %.1f, max depth %llu\n",
+              static_cast<double>(total_depth) / args.traces,
+              static_cast<unsigned long long>(max_depth));
+  std::printf("  distinct branches: %zu, event kinds: %d, transitions: %llu\n",
+              coverage.branches.size(), coverage.DistinctEventKinds(),
+              static_cast<unsigned long long>(coverage.transitions));
+  return 0;
+}
+
+int CmdReplay(const Args& args) {
+  if (args.trace_path.empty()) {
+    std::fprintf(stderr, "replay needs --trace <file.jsonl>\n");
+    return 1;
+  }
+  std::ifstream f(args.trace_path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  auto trace = TraceFromJsonl(ss.str());
+  if (!trace.ok()) {
+    std::fprintf(stderr, "cannot parse trace: %s\n", trace.error().c_str());
+    return 1;
+  }
+  Target t = MakeTarget(args);
+  std::printf("replaying %zu events on %s...\n", trace.value().size() - 1,
+              args.system.c_str());
+  const ReplayResult r = ReplayTrace(t.factory, *t.observer, trace.value());
+  if (r.conforms) {
+    std::printf("replay completed: implementation matched the specification at every "
+                "step (%zu events)\n",
+                r.steps_executed);
+    return 0;
+  }
+  std::printf("replay diverged:\n%s\n", r.discrepancy->ToString().c_str());
+  return 2;
+}
+
+int CmdRank(const Args& args) {
+  // Rank a small grid of budget constraints for the chosen system.
+  SpecFactory factory = [&args](const NamedParams& config, const NamedParams& constraint) {
+    RaftProfile p = GetRaftProfile(args.system, /*with_bugs=*/false);
+    p.config.num_servers = static_cast<int>(config.Get("nodes", 3));
+    p.budget.max_timeouts = static_cast<int>(constraint.Get("timeouts", 3));
+    p.budget.max_client_requests = static_cast<int>(constraint.Get("requests", 2));
+    p.budget.max_crashes = static_cast<int>(constraint.Get("crashes", 0));
+    p.budget.max_msg_buffer = static_cast<int>(constraint.Get("buffer", 4));
+    p.budget.max_term = p.budget.max_timeouts;
+    return MakeRaftSpec(p);
+  };
+  const std::vector<NamedParams> configs = {{"3 nodes", {{"nodes", 3}}}};
+  const std::vector<NamedParams> constraints = {
+      {"t3 r2 b4", {{"timeouts", 3}, {"requests", 2}, {"buffer", 4}}},
+      {"t4 r3 b6", {{"timeouts", 4}, {"requests", 3}, {"buffer", 6}}},
+      {"t3 r2 c1 b4", {{"timeouts", 3}, {"requests", 2}, {"crashes", 1}, {"buffer", 4}}},
+      {"t2 r1 b3", {{"timeouts", 2}, {"requests", 1}, {"buffer", 3}}},
+  };
+  RankingOptions opts;
+  opts.walks_per_pair = 32;
+  for (const ConfigRanking& ranking :
+       RankConstraints(factory, configs, constraints, opts)) {
+    std::printf("%s — ranked constraints (best first):\n", ranking.config_name.c_str());
+    for (const ConstraintScore& s : ranking.ranked) {
+      std::printf("  %-14s branches=%.1f kinds=%.1f depth=%.1f\n",
+                  s.constraint_name.c_str(), s.avg_branches, s.avg_event_kinds,
+                  s.avg_depth);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: %s <list-systems|list-bugs|check|conformance|simulate|replay|rank>"
+                 " [--system S] [--bug ID] [--budget SECONDS] [--traces N]"
+                 " [--trace FILE] [--trace-out FILE] [--channel api|log] [--with-bugs]\n",
+                 argv[0]);
+    return 1;
+  }
+  if (args.command == "list-systems") {
+    return CmdListSystems();
+  }
+  if (args.command == "list-bugs") {
+    return CmdListBugs();
+  }
+  if (args.command == "check") {
+    return CmdCheck(args);
+  }
+  if (args.command == "conformance") {
+    return CmdConformance(args);
+  }
+  if (args.command == "simulate") {
+    return CmdSimulate(args);
+  }
+  if (args.command == "replay") {
+    return CmdReplay(args);
+  }
+  if (args.command == "rank") {
+    return CmdRank(args);
+  }
+  std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
+  return 1;
+}

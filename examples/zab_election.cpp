@@ -1,0 +1,89 @@
+// ZooKeeper / Zab walkthrough: drive one full reign on the implementation
+// (election → discovery → synchronization → broadcast), then reproduce
+// ZooKeeper#1 (the vote total-order bug, ZOOKEEPER-1419) at the spec level
+// and confirm it on the implementation by deterministic replay.
+#include <cstdio>
+
+#include "src/conformance/zab_harness.h"
+#include "src/mc/bfs.h"
+
+using namespace sandtable;               // NOLINT(build/namespaces): example brevity
+using namespace sandtable::conformance;  // NOLINT(build/namespaces)
+
+int main() {
+  // ---- Part 1: one reign, step by step -------------------------------------------
+  std::printf("part 1: driving one Zab reign on the implementation\n");
+  ZabHarness fixed = MakeZabHarness(/*with_bugs=*/false);
+  auto eng = MakeZabEngineFactory(fixed)();
+  if (!eng->StartAll()) {
+    return 1;
+  }
+  // All servers start LOOKING; fire n1's election timer, deliver the election
+  // messages until someone establishes.
+  (void)eng->FireTimeout(0, "election");
+  for (int round = 0; round < 40; ++round) {
+    bool delivered = false;
+    for (const auto& m : eng->proxy().Pending()) {
+      if (!m.deliverable) {
+        continue;
+      }
+      if (eng->DeliverMessage(m.src, m.dst, m.bytes)) {
+        delivered = true;
+        break;
+      }
+    }
+    if (!delivered) {
+      break;
+    }
+  }
+  for (int node = 0; node < eng->num_nodes(); ++node) {
+    auto s = eng->QueryNodeState(node);
+    if (s.ok()) {
+      std::printf("  n%d: role=%-9s epoch=%lld established=%s\n", node + 1,
+                  s.value()["role"].as_string().c_str(),
+                  static_cast<long long>(s.value()["acceptedEpoch"].as_int()),
+                  s.value()["established"].as_bool() ? "yes" : "no");
+    }
+  }
+
+  // ---- Part 2: ZooKeeper#1 --------------------------------------------------------
+  std::printf("\npart 2: hunting ZooKeeper#1 (votes not totally ordered, v3.4.3)\n");
+  ZabHarness buggy = MakeZabHarness(/*with_bugs=*/true);
+  buggy.profile.budget.max_timeouts = 5;
+  buggy.profile.budget.max_client_requests = 1;
+  buggy.profile.budget.max_crashes = 1;
+  buggy.profile.budget.max_restarts = 1;
+  buggy.profile.budget.max_rounds = 2;
+  buggy.profile.budget.max_epoch = 2;
+  buggy.profile.budget.max_history = 1;
+  buggy.profile.budget.max_msg_buffer = 3;
+  const Spec spec = MakeHarnessSpec(buggy);
+  BfsOptions opts;
+  opts.max_distinct_states = 60000000;
+  opts.time_budget_s = 900;
+  const BfsResult r = BfsCheck(spec, opts);
+  if (!r.violation.has_value()) {
+    std::printf("  not found within the budget\n");
+    return 1;
+  }
+  std::printf("  violated %s at depth %llu after %llu distinct states (%.1fs)\n",
+              r.violation->invariant.c_str(),
+              static_cast<unsigned long long>(r.violation->depth),
+              static_cast<unsigned long long>(r.violation->states_explored),
+              r.violation->seconds);
+  std::printf("  the optimal trace exercises election, discovery, synchronization and\n"
+              "  broadcast — the same observation the paper makes for this bug:\n");
+  for (size_t i = 1; i < r.violation->trace.size(); ++i) {
+    std::printf("    %2zu: %s\n", i, r.violation->trace[i].label.action.c_str());
+  }
+
+  std::printf("\npart 3: confirming on the implementation by deterministic replay\n");
+  const ConfirmationResult confirm =
+      ConfirmBug(MakeZabEngineFactory(buggy), MakeZabObserver(buggy), r.violation->trace);
+  std::printf("  %s\n", confirm.confirmed
+                            ? "bug CONFIRMED: the implementation followed every event"
+                            : ("replay diverged: " +
+                               confirm.replay.discrepancy->ToString())
+                                  .c_str());
+  return confirm.confirmed ? 0 : 1;
+}

@@ -1,0 +1,359 @@
+#include "src/conformance/bug_catalog.h"
+
+#include "src/util/check.h"
+
+namespace sandtable {
+namespace conformance {
+
+const char* BugStageName(BugStage stage) {
+  switch (stage) {
+    case BugStage::kVerification:
+      return "Verification";
+    case BugStage::kConformance:
+      return "Conformance";
+    case BugStage::kModeling:
+      return "Modeling";
+  }
+  return "?";
+}
+
+namespace {
+
+// Default hunting budget shared by the verification-stage Raft bugs; per-bug
+// tuners adjust it (the paper's Algorithm 1 would rank these constraints).
+void BaseBudget(RaftBudget& b) {
+  b.max_timeouts = 4;
+  b.max_client_requests = 2;
+  b.max_crashes = 0;
+  b.max_restarts = 0;
+  b.max_partitions = 0;
+  b.max_drops = 0;
+  b.max_dups = 0;
+  b.max_term = 3;
+  b.max_msg_buffer = 4;
+  b.max_log_len = 3;
+  b.max_snapshots = 1;
+}
+
+std::vector<BugInfo> BuildCatalog() {
+  std::vector<BugInfo> bugs;
+
+  auto add = [&bugs](BugInfo info) { bugs.push_back(std::move(info)); };
+
+  add({.id = "PySyncObj#1",
+       .system = "pysyncobj",
+       .stage = BugStage::kConformance,
+       .is_new = true,
+       .consequence = "Unhandled exception during disconnection",
+       .enable_impl = [](systems::RaftImplBugs& b) { b.pso1_crash_on_disconnect = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_partitions = 1; }});
+  add({.id = "PySyncObj#2",
+       .system = "pysyncobj",
+       .stage = BugStage::kVerification,
+       .is_new = true,
+       .consequence = "Commit index is not monotonic",
+       .invariant = "CommitIndexMonotonic",
+       .enable_spec = [](RaftBugs& b) { b.pso2_commit_regress = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_client_requests = 1;
+                                          b.max_log_len = 1; b.max_msg_buffer = 3; },
+       .paper_time_s = 6,
+       .paper_depth = 13,
+       .paper_states = 93713});
+  add({.id = "PySyncObj#3",
+       .system = "pysyncobj",
+       .stage = BugStage::kVerification,
+       .is_new = true,
+       .consequence = "Next index <= match index",
+       .invariant = "NextIndexSound",
+       .enable_spec = [](RaftBugs& b) { b.pso3_next_le_match = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_partitions = 1;
+                                          b.max_client_requests = 2; b.max_log_len = 2;
+                                          b.max_term = 2; b.max_msg_buffer = 3; },
+       .num_values = 1,
+       .min_hunt_s = 200,
+       .paper_time_s = 7,
+       .paper_depth = 18,
+       .paper_states = 189725});
+  add({.id = "PySyncObj#4",
+       .system = "pysyncobj",
+       .stage = BugStage::kVerification,
+       .is_new = true,
+       .consequence = "Match index is not monotonic",
+       .invariant = "MatchIndexMonotonic",
+       .enable_spec = [](RaftBugs& b) { b.pso4_match_regress = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_partitions = 1;
+                                          b.max_client_requests = 2; b.max_log_len = 2;
+                                          b.max_term = 2; b.max_msg_buffer = 3; },
+       .num_values = 1,
+       .min_hunt_s = 400,
+       .paper_time_s = 35,
+       .paper_depth = 25,
+       .paper_states = 1512679});
+  add({.id = "PySyncObj#5",
+       .system = "pysyncobj",
+       .stage = BugStage::kVerification,
+       .is_new = true,
+       .consequence = "Leader commits log entries of older terms",
+       .invariant = "LeaderCommitsCurrentTerm",
+       .enable_spec = [](RaftBugs& b) { b.pso5_commit_old_term = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_timeouts = 3;
+                                          b.max_client_requests = 1; b.max_log_len = 1;
+                                          b.max_term = 2; b.max_msg_buffer = 3; },
+       .paper_time_s = 120,
+       .paper_depth = 14,
+       .paper_states = 2364779});
+  add({.id = "WRaft#1",
+       .system = "wraft",
+       .stage = BugStage::kVerification,
+       .is_new = true,
+       .consequence = "Incorrectly appending log entries",
+       .invariant = "CommittedLogsConsistent",
+       .enable_spec =
+           [](RaftBugs& b) {
+             // Triggering #1 requires #2's wrong message (Figure 7).
+             b.wr1_commit_own_last = true;
+             b.wr2_ae_instead_of_snapshot = true;
+           },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_timeouts = 4;
+                                          b.max_client_requests = 2; b.max_log_len = 1;
+                                          b.max_term = 2; b.max_msg_buffer = 3; },
+       .num_values = 1,
+       .min_hunt_s = 600,
+       .paper_time_s = 540,
+       .paper_depth = 22,
+       .paper_states = 5954049});
+  add({.id = "WRaft#2",
+       .system = "wraft",
+       .stage = BugStage::kVerification,
+       .is_new = false,
+       .consequence = "Inconsistent committed log",
+       .invariant = "CommittedLogsConsistent",
+       .enable_spec =
+           [](RaftBugs& b) {
+             b.wr1_commit_own_last = true;
+             b.wr2_ae_instead_of_snapshot = true;
+           },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_timeouts = 4;
+                                          b.max_client_requests = 2; b.max_log_len = 1;
+                                          b.max_term = 2; b.max_msg_buffer = 3; },
+       .num_values = 1,
+       .min_hunt_s = 600,
+       .paper_time_s = 1320,
+       .paper_depth = 20,
+       .paper_states = 20955790});
+  add({.id = "WRaft#3",
+       .system = "wraft",
+       .stage = BugStage::kConformance,
+       .is_new = true,
+       .consequence = "Follower lagging behind until next snapshot",
+       .enable_impl = [](systems::RaftImplBugs& b) { b.wr3_reject_snapshot = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_timeouts = 5;
+                                          b.max_snapshots = 1; }});
+  add({.id = "WRaft#4",
+       .system = "wraft",
+       .stage = BugStage::kVerification,
+       .is_new = false,
+       .consequence = "Current term is not monotonic",
+       .invariant = "CurrentTermMonotonic",
+       .enable_spec = [](RaftBugs& b) { b.wr4_term_regress = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_timeouts = 2;
+                                          b.max_client_requests = 0; b.max_term = 2;
+                                          b.max_msg_buffer = 3; },
+       .paper_time_s = 2340,
+       .paper_depth = 23,
+       .paper_states = 48338241});
+  add({.id = "WRaft#5",
+       .system = "wraft",
+       .stage = BugStage::kVerification,
+       .is_new = true,
+       .consequence = "Retry messages include empty logs",
+       .invariant = "NonEmptyRetry",
+       .enable_spec = [](RaftBugs& b) { b.wr5_empty_retry = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_timeouts = 3;
+                                          b.max_client_requests = 2; b.max_log_len = 2;
+                                          b.max_term = 2; b.max_msg_buffer = 3; },
+       .num_values = 1,
+       .paper_time_s = 660,
+       .paper_depth = 24,
+       .paper_states = 10576917});
+  add({.id = "WRaft#6",
+       .system = "wraft",
+       .stage = BugStage::kConformance,
+       .is_new = false,
+       .consequence = "Memory leak",
+       .enable_impl = [](systems::RaftImplBugs& b) { b.wr6_leak = true; },
+       .tune_budget = BaseBudget});
+  add({.id = "WRaft#7",
+       .system = "wraft",
+       .stage = BugStage::kVerification,
+       .is_new = true,
+       .consequence = "Next index <= match index",
+       .invariant = "NextIndexSound",
+       .enable_spec = [](RaftBugs& b) { b.wr7_next_eq_match = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_timeouts = 2;
+                                          b.max_client_requests = 1; b.max_log_len = 1;
+                                          b.max_term = 1; b.max_msg_buffer = 3; },
+       .paper_time_s = 480,
+       .paper_depth = 23,
+       .paper_states = 7401586});
+  add({.id = "WRaft#8",
+       .system = "wraft",
+       .stage = BugStage::kConformance,
+       .is_new = true,
+       .consequence = "Prematurely stopping sending heartbeats",
+       .enable_impl = [](systems::RaftImplBugs& b) { b.wr8_stop_heartbeats = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_crashes = 1; }});
+  add({.id = "WRaft#9",
+       .system = "wraft",
+       .stage = BugStage::kModeling,
+       .is_new = false,
+       .consequence = "Cannot elect leaders due to incorrectly getting term",
+       .tune_budget = BaseBudget});
+  add({.id = "DaosRaft#1",
+       .system = "daosraft",
+       .stage = BugStage::kVerification,
+       .is_new = true,
+       .consequence = "Leader votes for others",
+       .invariant = "LeaderVotedSelf",
+       .enable_spec = [](RaftBugs& b) { b.daos1_leader_votes = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_timeouts = 2;
+                                          b.max_client_requests = 0; b.max_term = 2;
+                                          b.max_msg_buffer = 3; },
+       .paper_time_s = 5,
+       .paper_depth = 8,
+       .paper_states = 476});
+  add({.id = "RaftOS#1",
+       .system = "raftos",
+       .stage = BugStage::kVerification,
+       .is_new = true,
+       .consequence = "Match index is not monotonic",
+       .invariant = "MatchIndexMonotonic",
+       .enable_spec = [](RaftBugs& b) { b.ros1_match_regress = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_timeouts = 2;
+                                          b.max_client_requests = 1; b.max_log_len = 1;
+                                          b.max_dups = 1; b.max_term = 1;
+                                          b.max_msg_buffer = 3; },
+       .paper_time_s = 5,
+       .paper_depth = 10,
+       .paper_states = 60101});
+  add({.id = "RaftOS#2",
+       .system = "raftos",
+       .stage = BugStage::kVerification,
+       .is_new = true,
+       .consequence = "Incorrectly erasing log entries",
+       .invariant = "LogDurability",
+       .enable_spec = [](RaftBugs& b) { b.ros2_erase_matched = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_dups = 1;
+                                          b.max_log_len = 2; b.max_term = 1;
+                                          b.max_msg_buffer = 3; },
+       .num_values = 1,
+       .paper_time_s = 4,
+       .paper_depth = 9,
+       .paper_states = 19455});
+  add({.id = "RaftOS#3",
+       .system = "raftos",
+       .stage = BugStage::kConformance,
+       .is_new = true,
+       .consequence = "Unhandled exception during receiving messages",
+       .enable_impl = [](systems::RaftImplBugs& b) { b.ros3_crash_unknown_peer = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_dups = 1; }});
+  add({.id = "RaftOS#4",
+       .system = "raftos",
+       .stage = BugStage::kVerification,
+       .is_new = true,
+       .consequence = "Prematurely stopping checking commitment",
+       .invariant = "CommitAdvanceComplete",
+       .enable_spec = [](RaftBugs& b) { b.ros4_commit_break = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_log_len = 2;
+                                          b.max_term = 2; b.max_msg_buffer = 3; },
+       .min_hunt_s = 400,
+       .paper_time_s = 240,
+       .paper_depth = 14,
+       .paper_states = 16938773});
+  add({.id = "Xraft#1",
+       .system = "xraft",
+       .stage = BugStage::kVerification,
+       .is_new = true,
+       .consequence = "More than one valid leader in the same term",
+       .invariant = "AtMostOneLeaderPerTerm",
+       .enable_spec = [](RaftBugs& b) { b.xr1_stale_vote = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_timeouts = 3;
+                                          b.max_client_requests = 0; b.max_term = 2;
+                                          b.max_msg_buffer = 3; },
+       .paper_time_s = 3,
+       .paper_depth = 8,
+       .paper_states = 3534});
+  add({.id = "Xraft#2",
+       .system = "xraft",
+       .stage = BugStage::kConformance,
+       .is_new = true,
+       .consequence = "Unhandled concurrent modification exception",
+       .enable_impl = [](systems::RaftImplBugs& b) { b.xr2_concurrent_modification = true; },
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_timeouts = 5; }});
+  add({.id = "Xraft-KV#1",
+       .system = "xraftkv",
+       .stage = BugStage::kVerification,
+       .is_new = true,
+       .consequence = "Read operations do not satisfy linearizability",
+       .invariant = "ReadLinearizability",
+       .enable_spec = [](RaftBugs& b) { b.xkv1_stale_read = true; },
+       // The minimal trigger needs no write on the deposed side at all: the
+       // stale leader answers 0 while the majority side has committed one put.
+       .tune_budget = [](RaftBudget& b) { BaseBudget(b); b.max_timeouts = 3;
+                                          b.max_client_requests = 1; b.max_partitions = 1;
+                                          b.max_log_len = 1; b.max_term = 2;
+                                          b.max_msg_buffer = 3; },
+       .num_values = 1,
+       .paper_time_s = 15,
+       .paper_depth = 10,
+       .paper_states = 124409});
+  add({.id = "ZooKeeper#1",
+       .system = "zookeeper",
+       .stage = BugStage::kVerification,
+       .is_new = false,
+       .consequence = "Votes are not total ordered",
+       .invariant = "VotesTotallyOrdered",
+       .zab_bug = true,
+       .min_hunt_s = 600,
+       .paper_time_s = 240,
+       .paper_depth = 41,
+       .paper_states = 7625160});
+
+  return bugs;
+}
+
+}  // namespace
+
+const std::vector<BugInfo>& BugCatalog() {
+  static const std::vector<BugInfo> kCatalog = BuildCatalog();
+  return kCatalog;
+}
+
+const BugInfo& FindBug(const std::string& id) {
+  for (const BugInfo& bug : BugCatalog()) {
+    if (bug.id == id) {
+      return bug;
+    }
+  }
+  CHECK(false) << "unknown bug id: " << id;
+  __builtin_unreachable();
+}
+
+RaftProfile MakeBugProfile(const BugInfo& bug) {
+  CHECK(!bug.zab_bug) << bug.id << " uses the Zab profile";
+  RaftProfile p = GetRaftProfile(bug.system, /*with_bugs=*/false);
+  p.bugs = RaftBugs{};
+  if (bug.enable_spec != nullptr) {
+    bug.enable_spec(p.bugs);
+  }
+  if (bug.tune_budget != nullptr) {
+    bug.tune_budget(p.budget);
+  }
+  if (bug.num_values > 0) {
+    p.config.num_values = bug.num_values;
+  }
+  return p;
+}
+
+}  // namespace conformance
+}  // namespace sandtable

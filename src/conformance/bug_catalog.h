@@ -1,0 +1,67 @@
+// The Table 2 bug catalog: every bug SandTable found in the paper, with the
+// profile switches that seed it in this reproduction, the tuned hunting
+// budget, the safety property expected to fire, and the paper's reported
+// metrics (for EXPERIMENTS.md side-by-side comparison).
+#ifndef SANDTABLE_SRC_CONFORMANCE_BUG_CATALOG_H_
+#define SANDTABLE_SRC_CONFORMANCE_BUG_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/raftspec/raft_params.h"
+#include "src/systems/raft_node.h"
+
+namespace sandtable {
+namespace conformance {
+
+enum class BugStage {
+  kVerification,  // found by model checking (has Time/#Depth/#States metrics)
+  kConformance,   // found by conformance checking
+  kModeling,      // found while writing the specification
+};
+
+const char* BugStageName(BugStage stage);
+
+struct BugInfo {
+  std::string id;          // e.g. "PySyncObj#4"
+  std::string system;      // profile name ("pysyncobj", ..., "zookeeper")
+  BugStage stage = BugStage::kVerification;
+  bool is_new = false;     // "New" vs "Old" in Table 2
+  std::string consequence; // Table 2's "Bug Consequence" column
+  std::string invariant;   // property expected to fire (verification bugs)
+
+  // Switch the bug on in the spec/impl-shared profile and/or the impl-only set.
+  void (*enable_spec)(RaftBugs&) = nullptr;
+  void (*enable_impl)(systems::RaftImplBugs&) = nullptr;
+  bool zab_bug = false;    // ZooKeeper#1 uses the Zab profile instead
+
+  // Tuned §3.3-style budget for the hunt (applied over the base profile).
+  void (*tune_budget)(RaftBudget&) = nullptr;
+  // Workload values for the hunt configuration (0 = profile default). Bugs
+  // whose trigger does not depend on the written values hunt faster with 1.
+  int num_values = 0;
+  // Minimum model-checking wall-clock this bug needs on a laptop core; bench
+  // budgets take the max of this and the global budget.
+  double min_hunt_s = 0;
+
+  // Paper-reported metrics (0 / empty when not applicable).
+  double paper_time_s = 0;
+  int paper_depth = 0;
+  long long paper_states = 0;
+};
+
+// All 23 bugs of Table 2, in paper order.
+const std::vector<BugInfo>& BugCatalog();
+
+// The catalog entry for `id`; CHECK-fails when unknown.
+const BugInfo& FindBug(const std::string& id);
+
+// Build the buggy Raft profile for a catalog entry (verification-stage Raft
+// bugs): base system profile with only this bug's switches and the tuned
+// hunting budget.
+RaftProfile MakeBugProfile(const BugInfo& bug);
+
+}  // namespace conformance
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_CONFORMANCE_BUG_CATALOG_H_

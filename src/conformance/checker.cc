@@ -1,0 +1,164 @@
+#include "src/conformance/checker.h"
+
+#include <chrono>
+
+#include "src/mc/random_walk.h"
+#include "src/trace/replay.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace sandtable {
+namespace conformance {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+std::string Discrepancy::ToString() const {
+  std::string out = StrFormat("discrepancy at step %zu (%s -> %s): %s", step, action.c_str(),
+                              command.c_str(), kind.c_str());
+  if (!detail.empty()) {
+    out += "\n  " + detail;
+  }
+  for (const ValueDiffEntry& d : diffs) {
+    out += StrFormat("\n  %s: spec=%s impl=%s", d.path.c_str(), d.lhs.c_str(), d.rhs.c_str());
+  }
+  return out;
+}
+
+ReplayResult ReplayTrace(const EngineFactory& factory, const ClusterObserver& observer,
+                         const std::vector<TraceStep>& trace, const ReplayOptions& options) {
+  ReplayResult result;
+  std::unique_ptr<engine::Engine> eng = factory();
+  Status started = eng->StartAll();
+  if (!started) {
+    Discrepancy d;
+    d.kind = "command";
+    d.detail = "cluster start failed: " + started.error();
+    result.discrepancy = std::move(d);
+    return result;
+  }
+
+  for (size_t i = 1; i < trace.size(); ++i) {
+    const TraceStep& step = trace[i];
+    auto cmd = trace::CommandFromStep(step);
+    if (!cmd.ok()) {
+      Discrepancy d;
+      d.step = i;
+      d.action = step.label.ToString();
+      d.kind = "command";
+      d.detail = cmd.error();
+      result.discrepancy = std::move(d);
+      return result;
+    }
+    result.commands.push_back(cmd.value().ToString());
+
+    Json response;
+    Status status = trace::ExecuteCommand(*eng, cmd.value(), &response);
+    if (!status) {
+      Discrepancy d;
+      d.step = i;
+      d.action = step.label.ToString();
+      d.command = cmd.value().ToString();
+      // Distinguish an unexpected node crash (an implementation bug surfaced)
+      // from a command that could not be applied (replay divergence).
+      bool crashed = false;
+      for (int node = 0; node < eng->num_nodes(); ++node) {
+        crashed = crashed || !eng->NodeFault(node).empty();
+      }
+      d.kind = crashed ? "crash" : "command";
+      d.detail = status.error();
+      result.discrepancy = std::move(d);
+      return result;
+    }
+    result.steps_executed = i;
+
+    // Reads carry an expected result chosen by the specification.
+    if (cmd.value().type == trace::CommandType::kClientRead) {
+      const Json& expected = cmd.value().expected_response;
+      if (!(response["val"] == expected["val"])) {
+        Discrepancy d;
+        d.step = i;
+        d.action = step.label.ToString();
+        d.command = cmd.value().ToString();
+        d.kind = "response";
+        d.detail = StrFormat("read returned %s, specification expected %s",
+                             response.Dump().c_str(), expected["val"].Dump().c_str());
+        result.discrepancy = std::move(d);
+        return result;
+      }
+    }
+
+    if (options.compare_states) {
+      auto observed = observer.ObserveCluster(*eng);
+      if (!observed.ok()) {
+        Discrepancy d;
+        d.step = i;
+        d.action = step.label.ToString();
+        d.command = cmd.value().ToString();
+        d.kind = "state";
+        d.detail = "observation failed: " + observed.error();
+        result.discrepancy = std::move(d);
+        return result;
+      }
+      const State expected = observer.ProjectSpecState(step.state);
+      std::vector<ValueDiffEntry> diffs = ValueDiff(expected, observed.value());
+      if (!diffs.empty()) {
+        Discrepancy d;
+        d.step = i;
+        d.action = step.label.ToString();
+        d.command = cmd.value().ToString();
+        d.kind = "state";
+        d.diffs = std::move(diffs);
+        result.discrepancy = std::move(d);
+        return result;
+      }
+    }
+  }
+  result.conforms = true;
+  return result;
+}
+
+ConformanceReport CheckConformance(const Spec& spec, const EngineFactory& factory,
+                                   const ClusterObserver& observer,
+                                   const ConformanceOptions& options) {
+  const auto start = Clock::now();
+  ConformanceReport report;
+  Rng rng(options.seed);
+  WalkOptions walk_opts;
+  walk_opts.max_depth = options.max_trace_depth;
+  walk_opts.collect_trace = true;
+
+  for (int t = 0; t < options.max_traces; ++t) {
+    const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
+    if (elapsed > options.time_budget_s) {
+      break;
+    }
+    WalkResult walk = RandomWalk(spec, walk_opts, rng);
+    ReplayResult replay = ReplayTrace(factory, observer, walk.trace, options.replay);
+    ++report.traces_replayed;
+    report.events_replayed += replay.steps_executed;
+    if (!replay.conforms) {
+      report.discrepancy = replay.discrepancy;
+      report.failing_trace = std::move(walk.trace);
+      report.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+      return report;
+    }
+  }
+  report.conforms = true;
+  report.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return report;
+}
+
+ConfirmationResult ConfirmBug(const EngineFactory& factory, const ClusterObserver& observer,
+                              const std::vector<TraceStep>& counterexample) {
+  ConfirmationResult result;
+  ReplayOptions opts;
+  opts.compare_states = true;
+  result.replay = ReplayTrace(factory, observer, counterexample, opts);
+  result.confirmed = result.replay.conforms;
+  return result;
+}
+
+}  // namespace conformance
+}  // namespace sandtable

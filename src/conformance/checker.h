@@ -1,0 +1,96 @@
+// Conformance checking (§3.2) and implementation-level bug confirmation (§3.4).
+//
+// Conformance checking randomly explores the specification state space to
+// generate traces, replays each trace on the implementation by enforcing the
+// same event interleaving, and compares the specification state with the
+// observed implementation state after every event. A mismatch — a variable
+// diff, a failed replay command, or an unexpected node crash — is reported as
+// a discrepancy with the event sequence that leads to it.
+//
+// Bug confirmation replays a model-checking counterexample the same way; if
+// the implementation follows the trace without discrepancies, the bug is
+// confirmed at the implementation level (no false alarm).
+#ifndef SANDTABLE_SRC_CONFORMANCE_CHECKER_H_
+#define SANDTABLE_SRC_CONFORMANCE_CHECKER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/conformance/observer.h"
+#include "src/engine/engine.h"
+#include "src/spec/spec.h"
+
+namespace sandtable {
+namespace conformance {
+
+using EngineFactory = std::function<std::unique_ptr<engine::Engine>()>;
+
+struct Discrepancy {
+  size_t step = 0;            // 1-based index into the trace
+  std::string action;         // the spec event executed at this step
+  std::string command;        // the engine command it converted to
+  std::string kind;           // "state" | "command" | "crash" | "response"
+  std::string detail;         // command error / crash fault / response diff
+  std::vector<ValueDiffEntry> diffs;  // variable-level differences (state kind)
+
+  std::string ToString() const;
+};
+
+struct ReplayResult {
+  bool conforms = false;
+  size_t steps_executed = 0;
+  std::optional<Discrepancy> discrepancy;
+  // The replayed event sequence in engine-command form (the bug report).
+  std::vector<std::string> commands;
+};
+
+struct ReplayOptions {
+  // Compare spec and impl state after every step (conformance mode). When
+  // false only command failures and crashes are detected (fast replay).
+  bool compare_states = true;
+};
+
+// Replay `trace` (step 0 = initial state) on a fresh engine.
+ReplayResult ReplayTrace(const EngineFactory& factory, const ClusterObserver& observer,
+                         const std::vector<TraceStep>& trace, const ReplayOptions& options = {});
+
+struct ConformanceOptions {
+  int max_traces = 200;
+  uint64_t max_trace_depth = 40;
+  uint64_t seed = 1;
+  double time_budget_s = 60;
+  ReplayOptions replay;
+};
+
+struct ConformanceReport {
+  bool conforms = false;
+  int traces_replayed = 0;
+  uint64_t events_replayed = 0;
+  double seconds = 0;
+  std::optional<Discrepancy> discrepancy;
+  std::vector<TraceStep> failing_trace;  // empty when conforming
+};
+
+// Iterative conformance checking: random walks over `spec`, each replayed on
+// a fresh engine. Stops at the first discrepancy or when the budget is spent
+// (the paper's stopping condition: no discrepancy for a chosen period).
+ConformanceReport CheckConformance(const Spec& spec, const EngineFactory& factory,
+                                   const ClusterObserver& observer,
+                                   const ConformanceOptions& options = {});
+
+struct ConfirmationResult {
+  bool confirmed = false;  // the implementation followed the buggy trace
+  ReplayResult replay;
+};
+
+// §3.4: confirm a model-checking counterexample at the implementation level.
+ConfirmationResult ConfirmBug(const EngineFactory& factory, const ClusterObserver& observer,
+                              const std::vector<TraceStep>& counterexample);
+
+}  // namespace conformance
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_CONFORMANCE_CHECKER_H_

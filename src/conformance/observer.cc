@@ -1,0 +1,364 @@
+#include "src/conformance/observer.h"
+
+#include <regex>
+
+#include "src/raftspec/raft_common.h"
+#include "src/zabspec/zab_common.h"
+#include "src/trace/replay.h"
+#include "src/util/strings.h"
+
+namespace sandtable {
+namespace conformance {
+
+namespace rs = raftspec;
+
+RaftObserver::RaftObserver(int num_servers, bool kv_feature, bool compaction_feature,
+                           ObservationChannel channel)
+    : n_(num_servers), kv_(kv_feature), compaction_(compaction_feature), channel_(channel) {
+  if (channel_ == ObservationChannel::kApi) {
+    compared_vars_ = {rs::kVarRole,        rs::kVarCurrentTerm, rs::kVarVotedFor,
+                      rs::kVarLog,         rs::kVarCommitIndex, rs::kVarNet};
+    if (compaction_) {
+      compared_vars_.push_back(rs::kVarSnapshotIndex);
+      compared_vars_.push_back(rs::kVarSnapshotTerm);
+    }
+  } else {
+    // The log parser extracts only the critical scalar variables ("it is often
+    // sufficient for critical variables of interest", Appendix A.1).
+    compared_vars_ = {rs::kVarRole, rs::kVarCurrentTerm, rs::kVarVotedFor,
+                      rs::kVarCommitIndex, rs::kVarNet};
+  }
+}
+
+Result<Json> RaftObserver::NodeStateFromApi(engine::Engine& eng, int node) const {
+  return eng.QueryNodeState(node);
+}
+
+Result<Json> RaftObserver::NodeStateFromLogs(engine::Engine& eng, int node) const {
+  // Scan backwards for the most recent STATE line emitted by the node.
+  static const std::regex kStateRe(
+      R"(STATE event=\S+ role=(\w+) term=(-?\d+) votedFor=(-?\d+) commit=(-?\d+))");
+  const std::vector<std::string>& lines = eng.NodeLogLines(node);
+  for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
+    std::smatch m;
+    if (std::regex_search(*it, m, kStateRe)) {
+      JsonObject o;
+      o["role"] = Json(m[1].str());
+      o["currentTerm"] = Json(static_cast<int64_t>(std::stoll(m[2].str())));
+      o["votedFor"] = Json(static_cast<int64_t>(std::stoll(m[3].str())));
+      o["commitIndex"] = Json(static_cast<int64_t>(std::stoll(m[4].str())));
+      return Json(std::move(o));
+    }
+  }
+  return Result<Json>::Error(StrFormat("node %d: no STATE log line found", node));
+}
+
+Result<Json> RaftObserver::NodeStateFromDisk(engine::Engine& eng, int node) const {
+  // A crashed node is observed through its persistent storage: durable
+  // variables survive, volatile ones are gone (the spec's crash model).
+  const sim::Storage& disk = eng.Disk(node);
+  JsonObject o;
+  o["role"] = Json(std::string(rs::kRoleCrashed));
+  if (disk.Has("hard")) {
+    const Json& hard = disk.Get("hard");
+    o["currentTerm"] = hard["currentTerm"];
+    o["votedFor"] = hard["votedFor"];
+    o["log"] = hard["log"];
+    o["snapshotIndex"] = hard["snapshotIndex"];
+    o["snapshotTerm"] = hard["snapshotTerm"];
+    o["commitIndex"] = hard["snapshotIndex"];
+  } else {
+    o["currentTerm"] = Json(0);
+    o["votedFor"] = Json(-1);
+    o["log"] = Json(JsonArray{});
+    o["snapshotIndex"] = Json(0);
+    o["snapshotTerm"] = Json(0);
+    o["commitIndex"] = Json(0);
+  }
+  return Json(std::move(o));
+}
+
+namespace {
+
+Value EntryToValue(const Json& e, bool kv) {
+  std::vector<Value::Field> fields = {{"term", Value::Int(e["term"].as_int())},
+                                      {"val", Value::Int(e["val"].as_int())}};
+  if (kv) {
+    fields.emplace_back("key", Value::Str(e.contains("key") ? e["key"].as_string() : ""));
+  }
+  return Value::Record(std::move(fields));
+}
+
+}  // namespace
+
+Result<State> RaftObserver::ObserveCluster(engine::Engine& eng) const {
+  std::vector<Value::Field> state_fields;
+  // Per-node variables.
+  std::vector<std::pair<std::string, std::vector<Value::Pair>>> funs;
+  for (const std::string& var : compared_vars_) {
+    if (var != rs::kVarNet) {
+      funs.emplace_back(var, std::vector<Value::Pair>());
+    }
+  }
+
+  for (int node = 0; node < n_; ++node) {
+    Result<Json> state = eng.NodeAlive(node)
+                             ? (channel_ == ObservationChannel::kApi
+                                    ? NodeStateFromApi(eng, node)
+                                    : NodeStateFromLogs(eng, node))
+                             : NodeStateFromDisk(eng, node);
+    if (!state.ok()) {
+      return Result<State>::Error(state.error());
+    }
+    const Json& j = state.value();
+    const Value node_v = rs::NodeV(node);
+    for (auto& [var, pairs] : funs) {
+      Value v;
+      if (var == rs::kVarRole) {
+        v = Value::Str(j["role"].as_string());
+      } else if (var == rs::kVarCurrentTerm) {
+        v = Value::Int(j["currentTerm"].as_int());
+      } else if (var == rs::kVarVotedFor) {
+        const int64_t voted = j["votedFor"].as_int();
+        v = voted < 0 ? rs::NoneValue() : rs::NodeV(static_cast<int>(voted));
+      } else if (var == rs::kVarLog) {
+        std::vector<Value> entries;
+        for (const Json& e : j["log"].as_array()) {
+          entries.push_back(EntryToValue(e, kv_));
+        }
+        v = Value::Seq(std::move(entries));
+      } else if (var == rs::kVarCommitIndex) {
+        v = Value::Int(j["commitIndex"].as_int());
+      } else if (var == rs::kVarSnapshotIndex) {
+        v = Value::Int(j["snapshotIndex"].as_int());
+      } else if (var == rs::kVarSnapshotTerm) {
+        v = Value::Int(j["snapshotTerm"].as_int());
+      } else {
+        return Result<State>::Error("observer: unsupported variable " + var);
+      }
+      pairs.emplace_back(node_v, std::move(v));
+    }
+  }
+
+  for (auto& [var, pairs] : funs) {
+    state_fields.emplace_back(var, Value::Fun(std::move(pairs)));
+  }
+
+  auto net = ProxyToNetValue(eng.proxy());
+  if (!net.ok()) {
+    return Result<State>::Error(net.error());
+  }
+  state_fields.emplace_back(rs::kVarNet, std::move(net).value());
+  return Value::Record(std::move(state_fields));
+}
+
+State RaftObserver::ProjectSpecState(const State& spec_state) const {
+  std::vector<Value::Field> fields;
+  for (const std::string& var : compared_vars_) {
+    fields.emplace_back(var, spec_state.field(var));
+  }
+  return Value::Record(std::move(fields));
+}
+
+Result<Value> ProxyToNetValue(const engine::Proxy& proxy) {
+  const bool udp = proxy.udp();
+  // chan: Fun([src,dst] -> Seq | Fun(msg -> count)); delayed: the TCP
+  // old-connection buffers (always empty under UDP).
+  std::map<std::pair<int, int>, std::vector<std::pair<Value, int>>> grouped;
+  std::map<std::pair<int, int>, std::vector<Value>> grouped_delayed;
+  for (const engine::Proxy::PendingMessage& m : proxy.Pending()) {
+    auto msg = trace::WireToSpecMsg(m.bytes, rs::kServerClass);
+    if (!msg.ok()) {
+      return Result<Value>::Error("proxy holds undecodable message: " + msg.error());
+    }
+    if (m.delayed) {
+      grouped_delayed[{m.src, m.dst}].push_back(std::move(msg).value());
+    } else {
+      grouped[{m.src, m.dst}].emplace_back(std::move(msg).value(), m.copies);
+    }
+  }
+  auto key_value = [](const std::pair<int, int>& key) {
+    return Value::Record({{"src", rs::NodeV(key.first)}, {"dst", rs::NodeV(key.second)}});
+  };
+  std::vector<Value::Pair> chan;
+  for (auto& [key, msgs] : grouped) {
+    if (udp) {
+      std::vector<Value::Pair> bag;
+      for (auto& [msg, copies] : msgs) {
+        bag.emplace_back(std::move(msg), Value::Int(copies));
+      }
+      chan.emplace_back(key_value(key), Value::Fun(std::move(bag)));
+    } else {
+      std::vector<Value> fifo;
+      for (auto& [msg, copies] : msgs) {
+        fifo.push_back(std::move(msg));
+      }
+      chan.emplace_back(key_value(key), Value::Seq(std::move(fifo)));
+    }
+  }
+  std::vector<Value::Pair> delayed;
+  for (auto& [key, msgs] : grouped_delayed) {
+    delayed.emplace_back(key_value(key), Value::Seq(std::move(msgs)));
+  }
+  std::vector<Value> cut;
+  for (int node : proxy.CutSide()) {
+    cut.push_back(rs::NodeV(node));
+  }
+  return Value::Record({{"kind", Value::Str(udp ? "udp" : "tcp")},
+                        {"chan", Value::Fun(std::move(chan))},
+                        {"delayed", Value::Fun(std::move(delayed))},
+                        {"cut", Value::Set(std::move(cut))}});
+}
+
+namespace {
+
+namespace zb = zabspec;
+
+Value ZxidJsonToValue(const Json& j) {
+  return Value::Record({{"epoch", Value::Int(j["epoch"].as_int())},
+                        {"counter", Value::Int(j["counter"].as_int())}});
+}
+
+Value ZabHistoryToValue(const Json& history) {
+  std::vector<Value> txns;
+  for (const Json& t : history.as_array()) {
+    txns.push_back(Value::Record(
+        {{"zxid", ZxidJsonToValue(t["zxid"])}, {"val", Value::Int(t["val"].as_int())}}));
+  }
+  return Value::Seq(std::move(txns));
+}
+
+}  // namespace
+
+ZabObserver::ZabObserver(int num_servers, ObservationChannel channel)
+    : n_(num_servers), channel_(channel) {
+  if (channel_ == ObservationChannel::kApi) {
+    compared_vars_ = {zb::kVarRole,          zb::kVarRound,        zb::kVarVote,
+                      zb::kVarAcceptedEpoch, zb::kVarHistory,      zb::kVarLastCommitted,
+                      zb::kVarNet};
+  } else {
+    compared_vars_ = {zb::kVarRole, zb::kVarRound, zb::kVarAcceptedEpoch,
+                      zb::kVarLastCommitted, zb::kVarNet};
+  }
+}
+
+Result<Json> ZabObserver::NodeStateFromDisk(engine::Engine& eng, int node) const {
+  const sim::Storage& disk = eng.Disk(node);
+  JsonObject o;
+  o["role"] = Json(std::string(zb::kRoleCrashed));
+  o["round"] = Json(0);
+  if (disk.Has("hard")) {
+    const Json& hard = disk.Get("hard");
+    o["acceptedEpoch"] = hard["acceptedEpoch"];
+    o["history"] = hard["history"];
+    o["lastCommitted"] = hard["lastCommitted"];
+  } else {
+    o["acceptedEpoch"] = Json(0);
+    o["history"] = Json(JsonArray{});
+    o["lastCommitted"] = Json(0);
+  }
+  // The crash model resets the vote to (self, lastZxid).
+  const Json& history = o["history"];
+  JsonObject vote;
+  vote["leader"] = Json(static_cast<int64_t>(node));
+  if (history.size() > 0) {
+    vote["zxid"] = history[history.size() - 1]["zxid"];
+  } else {
+    JsonObject zero;
+    zero["epoch"] = Json(0);
+    zero["counter"] = Json(0);
+    vote["zxid"] = Json(std::move(zero));
+  }
+  o["vote"] = Json(std::move(vote));
+  return Json(std::move(o));
+}
+
+Result<State> ZabObserver::ObserveCluster(engine::Engine& eng) const {
+  static const std::regex kStateRe(
+      R"(STATE event=\S+ role=(\w+) round=(-?\d+) epoch=(-?\d+) committed=(-?\d+))");
+  std::vector<std::pair<std::string, std::vector<Value::Pair>>> funs;
+  for (const std::string& var : compared_vars_) {
+    if (var != zb::kVarNet) {
+      funs.emplace_back(var, std::vector<Value::Pair>());
+    }
+  }
+  for (int node = 0; node < n_; ++node) {
+    Json j;
+    if (!eng.NodeAlive(node)) {
+      auto disk = NodeStateFromDisk(eng, node);
+      if (!disk.ok()) {
+        return Result<State>::Error(disk.error());
+      }
+      j = std::move(disk).value();
+    } else if (channel_ == ObservationChannel::kApi) {
+      auto api = eng.QueryNodeState(node);
+      if (!api.ok()) {
+        return Result<State>::Error(api.error());
+      }
+      j = std::move(api).value();
+    } else {
+      // Parse the latest STATE log line.
+      const auto& lines = eng.NodeLogLines(node);
+      bool found = false;
+      for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
+        std::smatch m;
+        if (std::regex_search(*it, m, kStateRe)) {
+          JsonObject o;
+          o["role"] = Json(m[1].str());
+          o["round"] = Json(static_cast<int64_t>(std::stoll(m[2].str())));
+          o["acceptedEpoch"] = Json(static_cast<int64_t>(std::stoll(m[3].str())));
+          o["lastCommitted"] = Json(static_cast<int64_t>(std::stoll(m[4].str())));
+          j = Json(std::move(o));
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Result<State>::Error(StrFormat("node %d: no STATE log line found", node));
+      }
+    }
+    const Value node_v = zb::NodeV(node);
+    for (auto& [var, pairs] : funs) {
+      Value v;
+      if (var == zb::kVarRole) {
+        v = Value::Str(j["role"].as_string());
+      } else if (var == zb::kVarRound) {
+        v = Value::Int(j["round"].as_int());
+      } else if (var == zb::kVarVote) {
+        v = Value::Record({{"leader", zb::NodeV(static_cast<int>(
+                                          j["vote"]["leader"].as_int()))},
+                           {"zxid", ZxidJsonToValue(j["vote"]["zxid"])}});
+      } else if (var == zb::kVarAcceptedEpoch) {
+        v = Value::Int(j["acceptedEpoch"].as_int());
+      } else if (var == zb::kVarHistory) {
+        v = ZabHistoryToValue(j["history"]);
+      } else if (var == zb::kVarLastCommitted) {
+        v = Value::Int(j["lastCommitted"].as_int());
+      } else {
+        return Result<State>::Error("zab observer: unsupported variable " + var);
+      }
+      pairs.emplace_back(node_v, std::move(v));
+    }
+  }
+  std::vector<Value::Field> state_fields;
+  for (auto& [var, pairs] : funs) {
+    state_fields.emplace_back(var, Value::Fun(std::move(pairs)));
+  }
+  auto net = ProxyToNetValue(eng.proxy());
+  if (!net.ok()) {
+    return Result<State>::Error(net.error());
+  }
+  state_fields.emplace_back(zb::kVarNet, std::move(net).value());
+  return Value::Record(std::move(state_fields));
+}
+
+State ZabObserver::ProjectSpecState(const State& spec_state) const {
+  std::vector<Value::Field> fields;
+  for (const std::string& var : compared_vars_) {
+    fields.emplace_back(var, spec_state.field(var));
+  }
+  return Value::Record(std::move(fields));
+}
+
+}  // namespace conformance
+}  // namespace sandtable

@@ -1,0 +1,95 @@
+// State observation (Appendix A.4): converting implementation execution state
+// into specification-shaped values for comparison.
+//
+// Two channels are implemented, as in the paper: (1) the target system's
+// debug API, and (2) regex parsing of captured debug-level log lines. The
+// network and node environment (message buffers, node status) are managed by
+// the engine and observed directly from the proxy.
+#ifndef SANDTABLE_SRC_CONFORMANCE_OBSERVER_H_
+#define SANDTABLE_SRC_CONFORMANCE_OBSERVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/engine/engine.h"
+#include "src/spec/spec.h"
+#include "src/value/value.h"
+
+namespace sandtable {
+namespace conformance {
+
+enum class ObservationChannel {
+  kApi,        // Process::QueryState() (debug API)
+  kLogParser,  // regex over captured log lines (critical scalar variables only)
+};
+
+// Converts a running cluster into a spec-shaped state record so the
+// conformance checker can diff implementation state against specification
+// state variable by variable.
+class ClusterObserver {
+ public:
+  virtual ~ClusterObserver() = default;
+
+  // Build the comparable state record: one Fun over nodes per node-local
+  // variable, plus the `net` variable rebuilt from the proxy buffers.
+  virtual Result<State> ObserveCluster(engine::Engine& eng) const = 0;
+
+  // Project a specification state onto the same variable set, so the two
+  // sides diff cleanly.
+  virtual State ProjectSpecState(const State& spec_state) const = 0;
+
+  // The variables this observer compares (depends on the channel: the log
+  // parser only extracts the critical scalar variables).
+  virtual const std::vector<std::string>& compared_vars() const = 0;
+};
+
+// Observer for the Raft-family systems. Crashed nodes are observed from their
+// persistent storage (role Crashed, volatile variables reset), matching the
+// spec's crash model.
+class RaftObserver : public ClusterObserver {
+ public:
+  RaftObserver(int num_servers, bool kv_feature, bool compaction_feature,
+               ObservationChannel channel);
+
+  Result<State> ObserveCluster(engine::Engine& eng) const override;
+  State ProjectSpecState(const State& spec_state) const override;
+  const std::vector<std::string>& compared_vars() const override { return compared_vars_; }
+
+ private:
+  Result<Value> ObserveNode(engine::Engine& eng, int node, const char* var) const;
+  Result<Json> NodeStateFromApi(engine::Engine& eng, int node) const;
+  Result<Json> NodeStateFromLogs(engine::Engine& eng, int node) const;
+  Result<Json> NodeStateFromDisk(engine::Engine& eng, int node) const;
+
+  int n_;
+  bool kv_;
+  bool compaction_;
+  ObservationChannel channel_;
+  std::vector<std::string> compared_vars_;
+};
+
+// Rebuild the spec `net` variable from the proxy buffers (wire bytes are
+// parsed back into spec message values).
+Result<Value> ProxyToNetValue(const engine::Proxy& proxy);
+
+// Observer for the Zab / ZooKeeper system.
+class ZabObserver : public ClusterObserver {
+ public:
+  ZabObserver(int num_servers, ObservationChannel channel);
+
+  Result<State> ObserveCluster(engine::Engine& eng) const override;
+  State ProjectSpecState(const State& spec_state) const override;
+  const std::vector<std::string>& compared_vars() const override { return compared_vars_; }
+
+ private:
+  Result<Json> NodeStateFromDisk(engine::Engine& eng, int node) const;
+
+  int n_;
+  ObservationChannel channel_;
+  std::vector<std::string> compared_vars_;
+};
+
+}  // namespace conformance
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_CONFORMANCE_OBSERVER_H_

@@ -1,0 +1,35 @@
+#include "src/conformance/raft_harness.h"
+
+namespace sandtable {
+namespace conformance {
+
+RaftHarness MakeRaftHarness(const std::string& system_name, bool with_bugs) {
+  RaftHarness h;
+  h.profile = GetRaftProfile(system_name, with_bugs);
+  h.impl_bugs = systems::GetRaftImplBugs(system_name, with_bugs);
+  return h;
+}
+
+EngineFactory MakeRaftEngineFactory(const RaftHarness& harness) {
+  return [harness]() {
+    engine::EngineOptions opts;
+    opts.num_nodes = harness.profile.config.num_servers;
+    opts.udp = harness.profile.features.udp;
+    opts.delay = harness.delay;
+    systems::RaftNodeConfig node_cfg;
+    node_cfg.profile = harness.profile;
+    node_cfg.impl_bugs = harness.impl_bugs;
+    opts.factory = systems::MakeRaftFactory(node_cfg);
+    return std::make_unique<engine::Engine>(std::move(opts));
+  };
+}
+
+RaftObserver MakeRaftObserver(const RaftHarness& harness) {
+  return RaftObserver(harness.profile.config.num_servers, harness.profile.features.kv,
+                      harness.profile.features.compaction, harness.channel);
+}
+
+Spec MakeHarnessSpec(const RaftHarness& harness) { return MakeRaftSpec(harness.profile); }
+
+}  // namespace conformance
+}  // namespace sandtable

@@ -1,0 +1,42 @@
+// Integration glue for the Raft family (§4.2): builds the matched triple of
+// specification, engine factory and observer for one system profile, so the
+// full SandTable workflow — conformance checking, model checking, bug replay,
+// fix validation — can run end to end.
+#ifndef SANDTABLE_SRC_CONFORMANCE_RAFT_HARNESS_H_
+#define SANDTABLE_SRC_CONFORMANCE_RAFT_HARNESS_H_
+
+#include <string>
+
+#include "src/conformance/checker.h"
+#include "src/conformance/observer.h"
+#include "src/engine/engine.h"
+#include "src/raftspec/raft_params.h"
+#include "src/raftspec/raft_spec.h"
+#include "src/systems/raft_node.h"
+
+namespace sandtable {
+namespace conformance {
+
+struct RaftHarness {
+  RaftProfile profile;                 // features + spec/impl-shared bug switches
+  systems::RaftImplBugs impl_bugs;     // implementation-only defects
+  engine::DelayModel delay;            // Table 4 execution-cost model
+  ObservationChannel channel = ObservationChannel::kApi;
+};
+
+// The harness for a named system: spec-level and impl-level bug switches both
+// on (with_bugs) or both off (fixed).
+RaftHarness MakeRaftHarness(const std::string& system_name, bool with_bugs);
+
+// Engine factory running the RaftNode implementation for the harness profile.
+EngineFactory MakeRaftEngineFactory(const RaftHarness& harness);
+
+RaftObserver MakeRaftObserver(const RaftHarness& harness);
+
+// The specification side (delegates to MakeRaftSpec).
+Spec MakeHarnessSpec(const RaftHarness& harness);
+
+}  // namespace conformance
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_CONFORMANCE_RAFT_HARNESS_H_

@@ -1,0 +1,32 @@
+#include "src/conformance/zab_harness.h"
+
+namespace sandtable {
+namespace conformance {
+
+ZabHarness MakeZabHarness(bool with_bugs) {
+  ZabHarness h;
+  h.profile = GetZabProfile(with_bugs);
+  return h;
+}
+
+EngineFactory MakeZabEngineFactory(const ZabHarness& harness) {
+  return [harness]() {
+    engine::EngineOptions opts;
+    opts.num_nodes = harness.profile.num_servers;
+    opts.udp = false;  // ZooKeeper uses TCP semantics
+    opts.delay = harness.delay;
+    systems::ZabNodeConfig node_cfg;
+    node_cfg.profile = harness.profile;
+    opts.factory = systems::MakeZabFactory(node_cfg);
+    return std::make_unique<engine::Engine>(std::move(opts));
+  };
+}
+
+ZabObserver MakeZabObserver(const ZabHarness& harness) {
+  return ZabObserver(harness.profile.num_servers, harness.channel);
+}
+
+Spec MakeHarnessSpec(const ZabHarness& harness) { return MakeZabSpec(harness.profile); }
+
+}  // namespace conformance
+}  // namespace sandtable

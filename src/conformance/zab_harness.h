@@ -1,0 +1,32 @@
+// Integration glue for ZooKeeper/Zab (§4.2): the matched triple of
+// specification, engine factory and observer, like raft_harness.h for the
+// Raft family.
+#ifndef SANDTABLE_SRC_CONFORMANCE_ZAB_HARNESS_H_
+#define SANDTABLE_SRC_CONFORMANCE_ZAB_HARNESS_H_
+
+#include "src/conformance/checker.h"
+#include "src/conformance/observer.h"
+#include "src/systems/zab_node.h"
+#include "src/zabspec/zab_spec.h"
+
+namespace sandtable {
+namespace conformance {
+
+struct ZabHarness {
+  ZabProfile profile;
+  engine::DelayModel delay;
+  ObservationChannel channel = ObservationChannel::kApi;
+};
+
+ZabHarness MakeZabHarness(bool with_bugs);
+
+EngineFactory MakeZabEngineFactory(const ZabHarness& harness);
+
+ZabObserver MakeZabObserver(const ZabHarness& harness);
+
+Spec MakeHarnessSpec(const ZabHarness& harness);
+
+}  // namespace conformance
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_CONFORMANCE_ZAB_HARNESS_H_

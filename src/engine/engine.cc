@@ -1,0 +1,257 @@
+#include "src/engine/engine.h"
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace sandtable {
+namespace engine {
+
+// The per-node environment adapter: what the interceptor exposes to the
+// target process (virtual clock, proxied sockets, captured log fd, disk).
+class Engine::NodeEnv : public sim::Env {
+ public:
+  NodeEnv(Engine* engine, int node_id)
+      : engine_(engine), node_id_(node_id), clock_(/*start_ns=*/0, /*auto_increment_ns=*/1) {}
+
+  int node_id() const override { return node_id_; }
+  int cluster_size() const override { return engine_->options_.num_nodes; }
+  int64_t NowNs() override { return clock_.NowNs(); }
+
+  bool SendTo(int dst, const std::string& bytes) override {
+    return engine_->proxy_->Send(node_id_, dst, bytes);
+  }
+
+  void WriteLog(const std::string& line) override {
+    if (engine_->options_.capture_logs) {
+      engine_->logs_[static_cast<size_t>(node_id_)].push_back(line);
+    }
+  }
+
+  sim::Storage& Disk() override { return disk_; }
+
+  sim::VirtualClock& clock() { return clock_; }
+
+ private:
+  Engine* engine_;
+  int node_id_;
+  sim::VirtualClock clock_;
+  sim::Storage disk_;
+};
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  CHECK_GT(options_.num_nodes, 0);
+  CHECK(options_.factory) << "engine needs a process factory";
+  proxy_ = std::make_unique<Proxy>(options_.num_nodes, options_.udp);
+  for (int i = 0; i < options_.num_nodes; ++i) {
+    envs_.push_back(std::make_unique<NodeEnv>(this, i));
+    processes_.push_back(nullptr);
+    faults_.emplace_back();
+    logs_.emplace_back();
+  }
+}
+
+Engine::~Engine() = default;
+
+Status Engine::CheckNode(int node, bool must_be_alive) const {
+  if (node < 0 || node >= options_.num_nodes) {
+    return Status::Error(StrFormat("node %d out of range", node));
+  }
+  if (must_be_alive && processes_[static_cast<size_t>(node)] == nullptr) {
+    return Status::Error(StrFormat("node %d is down%s%s", node,
+                                   faults_[static_cast<size_t>(node)].empty() ? "" : ": ",
+                                   faults_[static_cast<size_t>(node)].c_str()));
+  }
+  return Status();
+}
+
+void Engine::RecordFault(int node, const std::string& what) {
+  faults_[static_cast<size_t>(node)] = what;
+  processes_[static_cast<size_t>(node)].reset();
+  proxy_->OnCrash(node);
+}
+
+void Engine::AccountEvent() {
+  ++stats_.commands_executed;
+  stats_.simulated_delay_us += options_.delay.per_event_us;
+}
+
+Status Engine::StartAll() {
+  stats_.simulated_delay_us += options_.delay.init_us;
+  for (int i = 0; i < options_.num_nodes; ++i) {
+    auto& slot = processes_[static_cast<size_t>(i)];
+    if (slot != nullptr) {
+      continue;
+    }
+    slot = options_.factory(*envs_[static_cast<size_t>(i)]);
+    slot->OnStart();
+  }
+  return Status();
+}
+
+bool Engine::NodeAlive(int node) const {
+  return node >= 0 && node < options_.num_nodes &&
+         processes_[static_cast<size_t>(node)] != nullptr;
+}
+
+const std::string& Engine::NodeFault(int node) const {
+  return faults_[static_cast<size_t>(node)];
+}
+
+Status Engine::Crash(int node) {
+  Status ok = CheckNode(node, /*must_be_alive=*/true);
+  if (!ok) {
+    return ok;
+  }
+  AccountEvent();
+  // SIGQUIT aborts without cleanup: the process object (volatile state) is
+  // destroyed; the Storage inside the NodeEnv (the disk) survives.
+  processes_[static_cast<size_t>(node)].reset();
+  faults_[static_cast<size_t>(node)].clear();
+  proxy_->OnCrash(node);
+  return Status();
+}
+
+Status Engine::Restart(int node) {
+  Status ok = CheckNode(node, /*must_be_alive=*/false);
+  if (!ok) {
+    return ok;
+  }
+  if (processes_[static_cast<size_t>(node)] != nullptr) {
+    return Status::Error(StrFormat("restart: node %d is already running", node));
+  }
+  AccountEvent();
+  stats_.simulated_delay_us += options_.delay.init_us;
+  faults_[static_cast<size_t>(node)].clear();
+  proxy_->OnRestart(node);
+  auto& slot = processes_[static_cast<size_t>(node)];
+  slot = options_.factory(*envs_[static_cast<size_t>(node)]);
+  slot->OnStart();
+  return Status();
+}
+
+Status Engine::DeliverMessage(int src, int dst, const std::string& wire,
+                              bool from_delayed) {
+  Status ok = CheckNode(dst, /*must_be_alive=*/true);
+  if (!ok) {
+    return ok;
+  }
+  Result<std::string> bytes = proxy_->Deliver(src, dst, wire, from_delayed);
+  if (!bytes.ok()) {
+    return Status::Error(bytes.error());
+  }
+  AccountEvent();
+  ++stats_.messages_delivered;
+  if (!processes_[static_cast<size_t>(dst)]->OnMessage(src, bytes.value())) {
+    RecordFault(dst, StrFormat("unhandled fault in message handler (from %d)", src));
+    return Status::Error(StrFormat("node %d crashed handling message from %d", dst, src));
+  }
+  return Status();
+}
+
+Status Engine::PartitionStart(const std::set<int>& side) {
+  if (proxy_->HasPartition()) {
+    return Status::Error("partition already active");
+  }
+  AccountEvent();
+  proxy_->Partition(side);
+  if (!options_.udp) {
+    // Broken connections surface as disconnect events at both endpoints.
+    for (int a = 0; a < options_.num_nodes; ++a) {
+      for (int b = 0; b < options_.num_nodes; ++b) {
+        if (a == b || proxy_->Connected(a, b)) {
+          continue;
+        }
+        if (processes_[static_cast<size_t>(a)] != nullptr &&
+            !processes_[static_cast<size_t>(a)]->OnDisconnect(b)) {
+          RecordFault(a, StrFormat("unhandled fault in disconnect handler (peer %d)", b));
+          return Status::Error(StrFormat("node %d crashed handling disconnection", a));
+        }
+      }
+    }
+  }
+  return Status();
+}
+
+Status Engine::PartitionHeal() {
+  if (!proxy_->HasPartition()) {
+    return Status::Error("no partition to heal");
+  }
+  AccountEvent();
+  proxy_->Heal();
+  return Status();
+}
+
+Status Engine::DropMessage(int src, int dst, const std::string& wire) {
+  AccountEvent();
+  return proxy_->Drop(src, dst, wire);
+}
+
+Status Engine::DuplicateMessage(int src, int dst, const std::string& wire) {
+  AccountEvent();
+  return proxy_->Duplicate(src, dst, wire);
+}
+
+Status Engine::FireTimeout(int node, const std::string& timer_kind) {
+  Status ok = CheckNode(node, /*must_be_alive=*/true);
+  if (!ok) {
+    return ok;
+  }
+  sim::Process& p = *processes_[static_cast<size_t>(node)];
+  const int64_t deadline = p.NextDeadlineNs(timer_kind);
+  if (deadline < 0) {
+    return Status::Error(
+        StrFormat("node %d has no pending %s timer", node, timer_kind.c_str()));
+  }
+  AccountEvent();
+  ++stats_.timeouts_fired;
+  envs_[static_cast<size_t>(node)]->clock().AdvanceToNs(deadline + 1);
+  if (!p.OnTick()) {
+    RecordFault(node, "unhandled fault in timer handler");
+    return Status::Error(StrFormat("node %d crashed in timer handler", node));
+  }
+  return Status();
+}
+
+Status Engine::ClientRequest(int node, const Json& request, Json* response) {
+  Status ok = CheckNode(node, /*must_be_alive=*/true);
+  if (!ok) {
+    return ok;
+  }
+  AccountEvent();
+  Json ignored;
+  if (!processes_[static_cast<size_t>(node)]->OnClientRequest(
+          request, response != nullptr ? response : &ignored)) {
+    RecordFault(node, "unhandled fault in client request handler");
+    return Status::Error(StrFormat("node %d crashed handling client request", node));
+  }
+  return Status();
+}
+
+Result<Json> Engine::QueryNodeState(int node) {
+  Status ok = CheckNode(node, /*must_be_alive=*/true);
+  if (!ok) {
+    return Result<Json>::Error(ok.error());
+  }
+  return processes_[static_cast<size_t>(node)]->QueryState();
+}
+
+const std::vector<std::string>& Engine::NodeLogLines(int node) const {
+  CHECK_GE(node, 0);
+  CHECK_LT(node, options_.num_nodes);
+  return logs_[static_cast<size_t>(node)];
+}
+
+sim::Storage& Engine::Disk(int node) {
+  CHECK_GE(node, 0);
+  CHECK_LT(node, options_.num_nodes);
+  return envs_[static_cast<size_t>(node)]->Disk();
+}
+
+sim::VirtualClock& Engine::Clock(int node) {
+  CHECK_GE(node, 0);
+  CHECK_LT(node, options_.num_nodes);
+  return envs_[static_cast<size_t>(node)]->clock();
+}
+
+}  // namespace engine
+}  // namespace sandtable

@@ -1,0 +1,252 @@
+#include "src/engine/proxy.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace sandtable {
+namespace engine {
+
+Proxy::Proxy(int num_nodes, bool udp) : num_nodes_(num_nodes), udp_(udp) {
+  CHECK_GT(num_nodes, 0);
+}
+
+int64_t Proxy::Channel::load() const {
+  int64_t n = static_cast<int64_t>(fifo.size() + delayed.size());
+  for (const auto& [bytes, copies] : bag) {
+    n += copies;
+  }
+  return n;
+}
+
+Proxy::Channel* Proxy::Find(int src, int dst) {
+  auto it = channels_.find({src, dst});
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+const Proxy::Channel* Proxy::Find(int src, int dst) const {
+  auto it = channels_.find({src, dst});
+  return it == channels_.end() ? nullptr : &it->second;
+}
+
+Proxy::Channel& Proxy::GetOrCreate(int src, int dst) { return channels_[{src, dst}]; }
+
+void Proxy::EraseIfEmpty(int src, int dst) {
+  auto it = channels_.find({src, dst});
+  if (it != channels_.end() && it->second.empty()) {
+    channels_.erase(it);
+  }
+}
+
+bool Proxy::Connected(int a, int b) const {
+  if (cut_.empty()) {
+    return true;
+  }
+  return (cut_.count(a) > 0) == (cut_.count(b) > 0);
+}
+
+bool Proxy::Send(int src, int dst, std::string bytes) {
+  CHECK_GE(src, 0);
+  CHECK_LT(src, num_nodes_);
+  CHECK_GE(dst, 0);
+  CHECK_LT(dst, num_nodes_);
+  if (crashed_.count(dst) > 0) {
+    return false;  // no listener
+  }
+  if (!udp_ && !Connected(src, dst)) {
+    return false;  // connection broken by a partition
+  }
+  bytes_proxied_ += bytes.size();
+  Channel& ch = GetOrCreate(src, dst);
+  if (udp_) {
+    ++ch.bag[bytes];
+  } else {
+    ch.fifo.push_back(std::move(bytes));
+  }
+  return true;
+}
+
+std::vector<Proxy::PendingMessage> Proxy::Pending() const {
+  std::vector<PendingMessage> out;
+  for (const auto& [key, ch] : channels_) {
+    const bool link_up = crashed_.count(key.second) == 0 &&
+                         (udp_ || Connected(key.first, key.second));
+    if (udp_) {
+      for (const auto& [bytes, copies] : ch.bag) {
+        PendingMessage m;
+        m.src = key.first;
+        m.dst = key.second;
+        m.bytes = bytes;
+        m.copies = copies;
+        m.deliverable = link_up;
+        out.push_back(std::move(m));
+      }
+    } else {
+      bool head = true;
+      for (const std::string& bytes : ch.delayed) {
+        PendingMessage m;
+        m.src = key.first;
+        m.dst = key.second;
+        m.bytes = bytes;
+        m.deliverable = link_up && head;
+        m.delayed = true;
+        head = false;
+        out.push_back(std::move(m));
+      }
+      head = true;
+      for (const std::string& bytes : ch.fifo) {
+        PendingMessage m;
+        m.src = key.first;
+        m.dst = key.second;
+        m.bytes = bytes;
+        m.deliverable = link_up && head;
+        head = false;
+        out.push_back(std::move(m));
+      }
+    }
+  }
+  return out;
+}
+
+Result<std::string> Proxy::Deliver(int src, int dst, const std::string& expect_bytes,
+                                   bool from_delayed) {
+  Channel* ch = Find(src, dst);
+  if (ch == nullptr || ch->empty()) {
+    return Result<std::string>::Error(
+        StrFormat("deliver %d->%d: channel empty", src, dst));
+  }
+  if (crashed_.count(dst) > 0) {
+    return Result<std::string>::Error(StrFormat("deliver %d->%d: receiver crashed", src, dst));
+  }
+  if (!udp_ && !Connected(src, dst)) {
+    return Result<std::string>::Error(StrFormat("deliver %d->%d: partitioned", src, dst));
+  }
+  std::string bytes;
+  if (udp_) {
+    auto it = expect_bytes.empty() ? ch->bag.begin() : ch->bag.find(expect_bytes);
+    if (it == ch->bag.end()) {
+      return Result<std::string>::Error(
+          StrFormat("deliver %d->%d: no matching datagram (divergence?)", src, dst));
+    }
+    bytes = it->first;
+    if (--it->second == 0) {
+      ch->bag.erase(it);
+    }
+  } else {
+    // Two independently FIFO streams may have deliverable heads: the delayed
+    // (old-connection) buffer and the live one. The replayed trace records
+    // which buffer the specification drained; honour it (identical bytes can
+    // head both streams).
+    if (from_delayed) {
+      if (ch->delayed.empty() ||
+          (!expect_bytes.empty() && ch->delayed.front() != expect_bytes)) {
+        return Result<std::string>::Error(StrFormat(
+            "deliver %d->%d: delayed head mismatch (divergence?)", src, dst));
+      }
+      bytes = ch->delayed.front();
+      ch->delayed.pop_front();
+    } else if (!ch->fifo.empty() &&
+               (expect_bytes.empty() || ch->fifo.front() == expect_bytes)) {
+      bytes = ch->fifo.front();
+      ch->fifo.pop_front();
+    } else if (expect_bytes.empty() && !ch->delayed.empty()) {
+      // Untracked interactive delivery: fall back to the delayed stream.
+      bytes = ch->delayed.front();
+      ch->delayed.pop_front();
+    } else {
+      return Result<std::string>::Error(
+          StrFormat("deliver %d->%d: no stream head matches (divergence?): want %s", src,
+                    dst, expect_bytes.c_str()));
+    }
+  }
+  EraseIfEmpty(src, dst);
+  return bytes;
+}
+
+Status Proxy::Drop(int src, int dst, const std::string& bytes) {
+  if (!udp_) {
+    return Status::Error("drop: only supported under UDP semantics");
+  }
+  Channel* ch = Find(src, dst);
+  if (ch == nullptr) {
+    return Status::Error(StrFormat("drop %d->%d: channel empty", src, dst));
+  }
+  auto it = bytes.empty() ? ch->bag.begin() : ch->bag.find(bytes);
+  if (it == ch->bag.end()) {
+    return Status::Error(StrFormat("drop %d->%d: no matching datagram", src, dst));
+  }
+  if (--it->second == 0) {
+    ch->bag.erase(it);
+  }
+  EraseIfEmpty(src, dst);
+  return Status();
+}
+
+Status Proxy::Duplicate(int src, int dst, const std::string& bytes) {
+  if (!udp_) {
+    return Status::Error("duplicate: only supported under UDP semantics");
+  }
+  Channel* ch = Find(src, dst);
+  if (ch == nullptr) {
+    return Status::Error(StrFormat("duplicate %d->%d: channel empty", src, dst));
+  }
+  auto it = bytes.empty() ? ch->bag.begin() : ch->bag.find(bytes);
+  if (it == ch->bag.end()) {
+    return Status::Error(StrFormat("duplicate %d->%d: no matching datagram", src, dst));
+  }
+  ++it->second;
+  return Status();
+}
+
+void Proxy::Partition(const std::set<int>& side) {
+  cut_ = side;
+  if (udp_) {
+    return;  // the UDP failure model uses drop/dup instead
+  }
+  // Crossing connections break: their in-flight traffic moves to the
+  // old-connection buffer and surfaces after healing.
+  for (auto& [key, ch] : channels_) {
+    if (Connected(key.first, key.second)) {
+      continue;
+    }
+    while (!ch.fifo.empty()) {
+      ch.delayed.push_back(std::move(ch.fifo.front()));
+      ch.fifo.pop_front();
+    }
+  }
+}
+
+void Proxy::Heal() { cut_.clear(); }
+
+void Proxy::OnCrash(int node) {
+  crashed_.insert(node);
+  for (auto it = channels_.begin(); it != channels_.end();) {
+    if (it->first.first == node || it->first.second == node) {
+      it = channels_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Proxy::OnRestart(int node) { crashed_.erase(node); }
+
+int64_t Proxy::TotalInFlight() const {
+  int64_t total = 0;
+  for (const auto& [key, ch] : channels_) {
+    total += ch.load();
+  }
+  return total;
+}
+
+int64_t Proxy::MaxChannelLoad() const {
+  int64_t max_load = 0;
+  for (const auto& [key, ch] : channels_) {
+    max_load = std::max(max_load, ch.load());
+  }
+  return max_load;
+}
+
+}  // namespace engine
+}  // namespace sandtable

@@ -1,0 +1,109 @@
+// The engine-side transparent network proxy (Appendix A.2).
+//
+// All target-system traffic flows through this proxy: sends are buffered, and
+// messages move only when the engine executes a delivery command. TCP
+// semantics keep a FIFO queue per (src, dst) connection whose only failure is
+// a network partition; UDP semantics keep a message bag supporting selective
+// drop, duplication and out-of-order delivery (Appendix A.3). This mirrors
+// the spec-level network modules in src/net byte-for-byte, which is what lets
+// the conformance checker compare the proxy state against the spec `net`
+// variable directly.
+#ifndef SANDTABLE_SRC_ENGINE_PROXY_H_
+#define SANDTABLE_SRC_ENGINE_PROXY_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace sandtable {
+namespace engine {
+
+class Proxy {
+ public:
+  Proxy(int num_nodes, bool udp);
+
+  bool udp() const { return udp_; }
+
+  // Interceptor path: node `src` writes `bytes` towards `dst`. Returns false
+  // when the proxy refuses the message (partition cut or crashed receiver) —
+  // visible to the sender like a failed send() call.
+  bool Send(int src, int dst, std::string bytes);
+
+  // One buffered message.
+  struct PendingMessage {
+    int src = 0;
+    int dst = 0;
+    std::string bytes;
+    int copies = 1;            // > 1 only under UDP duplication
+    bool deliverable = false;  // TCP: head of its queue and link up; UDP: link up
+    // TCP only: the message sits in the old-connection buffer of a broken
+    // link (it was in flight when a partition started) and will surface after
+    // healing — the reconnect semantics behind Figure 6's delayed AER.
+    bool delayed = false;
+  };
+
+  // Snapshot of everything in flight (deterministic order).
+  std::vector<PendingMessage> Pending() const;
+
+  // Deliver one message on (src, dst). If `expect_bytes` is non-empty the
+  // message content must match (TCP: must equal a stream head; UDP: any
+  // buffered copy) — a mismatch is a replay divergence, reported as an error.
+  // `from_delayed` pins the TCP old-connection buffer (needed when both
+  // stream heads hold identical bytes).
+  Result<std::string> Deliver(int src, int dst, const std::string& expect_bytes,
+                              bool from_delayed = false);
+
+  // UDP failure injection.
+  Status Drop(int src, int dst, const std::string& bytes);
+  Status Duplicate(int src, int dst, const std::string& bytes);
+
+  // TCP partition management: `side` vs the rest. Crossing connections break
+  // (sends fail); their in-flight traffic moves to per-channel delayed
+  // buffers that drain after Heal(), interleaving with new-connection traffic
+  // (each stream stays FIFO internally).
+  void Partition(const std::set<int>& side);
+  void Heal();
+  bool HasPartition() const { return !cut_.empty(); }
+  const std::set<int>& CutSide() const { return cut_; }
+  bool Connected(int a, int b) const;
+
+  // Node lifecycle: a crash clears all channels touching the node.
+  void OnCrash(int node);
+  void OnRestart(int node);
+  bool IsCrashed(int node) const { return crashed_.count(node) > 0; }
+
+  int64_t TotalInFlight() const;
+  int64_t MaxChannelLoad() const;
+  uint64_t bytes_proxied() const { return bytes_proxied_; }
+
+ private:
+  struct Channel {
+    std::deque<std::string> fifo;     // TCP (current connection)
+    std::deque<std::string> delayed;  // TCP (broken connections' in-flight data)
+    std::map<std::string, int> bag;   // UDP: bytes -> copies
+    bool empty() const { return fifo.empty() && delayed.empty() && bag.empty(); }
+    int64_t load() const;
+  };
+
+  Channel* Find(int src, int dst);
+  const Channel* Find(int src, int dst) const;
+  Channel& GetOrCreate(int src, int dst);
+  void EraseIfEmpty(int src, int dst);
+
+  int num_nodes_;
+  bool udp_;
+  std::map<std::pair<int, int>, Channel> channels_;
+  std::set<int> cut_;
+  std::set<int> crashed_;
+  uint64_t bytes_proxied_ = 0;
+};
+
+}  // namespace engine
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_ENGINE_PROXY_H_

@@ -1,0 +1,183 @@
+// The LD_PRELOAD interceptor (Appendix A.1).
+//
+// Built as a shared library and injected into an *unmodified* target process
+// via LD_PRELOAD, it overrides the libc time functions — the primary source
+// of timeout nondeterminism. Programs typically read the current time, add a
+// timeout, and poll against the deadline; controlling the clock therefore
+// controls when timeouts fire, without waiting for the wall clock.
+//
+// The virtual clock is controlled through the environment:
+//   SANDTABLE_VCLOCK=1            enable interception (otherwise passthrough)
+//   SANDTABLE_VCLOCK_START=<ns>   initial virtual time (default 0)
+//   SANDTABLE_VCLOCK_STEP=<ns>    per-query increment for monotonicity (default 1)
+//   SANDTABLE_VCLOCK_FILE=<path>  engine command channel: the file holds the
+//                                 target virtual time in ns; each query reads
+//                                 it and the clock jumps forward to it (the
+//                                 paper's "advance time" engine command)
+//
+// Sleeps (nanosleep/usleep/sleep) advance the virtual clock by the requested
+// duration and return immediately: the engine never waits on real time.
+//
+// The original functions are resolved with dlsym(RTLD_NEXT) (dlfcn(3)), as
+// described in the paper.
+#include <dlfcn.h>
+#include <stdio.h>
+#include <stdlib.h>
+#include <string.h>
+#include <sys/time.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <mutex>
+
+namespace {
+
+using ClockGettimeFn = int (*)(clockid_t, struct timespec*);
+using GettimeofdayFn = int (*)(struct timeval*, void*);
+using TimeFn = time_t (*)(time_t*);
+using NanosleepFn = int (*)(const struct timespec*, struct timespec*);
+
+struct InterceptState {
+  bool enabled = false;
+  std::atomic<long long> now_ns{0};
+  long long step_ns = 1;
+  const char* clock_file = nullptr;
+
+  ClockGettimeFn real_clock_gettime = nullptr;
+  GettimeofdayFn real_gettimeofday = nullptr;
+  TimeFn real_time = nullptr;
+  NanosleepFn real_nanosleep = nullptr;
+};
+
+InterceptState& GetState() {
+  static InterceptState state;
+  static std::once_flag once;
+  std::call_once(once, [] {
+    InterceptState& s = state;
+    s.real_clock_gettime =
+        reinterpret_cast<ClockGettimeFn>(dlsym(RTLD_NEXT, "clock_gettime"));
+    s.real_gettimeofday = reinterpret_cast<GettimeofdayFn>(dlsym(RTLD_NEXT, "gettimeofday"));
+    s.real_time = reinterpret_cast<TimeFn>(dlsym(RTLD_NEXT, "time"));
+    s.real_nanosleep = reinterpret_cast<NanosleepFn>(dlsym(RTLD_NEXT, "nanosleep"));
+    const char* enabled = getenv("SANDTABLE_VCLOCK");
+    s.enabled = enabled != nullptr && strcmp(enabled, "0") != 0;
+    if (const char* start = getenv("SANDTABLE_VCLOCK_START")) {
+      s.now_ns.store(atoll(start));
+    }
+    if (const char* step = getenv("SANDTABLE_VCLOCK_STEP")) {
+      s.step_ns = atoll(step);
+    }
+    s.clock_file = getenv("SANDTABLE_VCLOCK_FILE");
+  });
+  return state;
+}
+
+// Engine command channel: jump the clock forward to the value in the control
+// file (time never moves backwards).
+void SyncFromControlFile(InterceptState& s) {
+  if (s.clock_file == nullptr) {
+    return;
+  }
+  FILE* f = fopen(s.clock_file, "re");
+  if (f == nullptr) {
+    return;
+  }
+  long long target = 0;
+  if (fscanf(f, "%lld", &target) == 1) {
+    long long cur = s.now_ns.load();
+    while (target > cur && !s.now_ns.compare_exchange_weak(cur, target)) {
+    }
+  }
+  fclose(f);
+}
+
+// The virtual now: monotonic, advancing by step_ns per query so repeated
+// reads observe strictly increasing time (Appendix A.1).
+long long VirtualNowNs() {
+  InterceptState& s = GetState();
+  SyncFromControlFile(s);
+  return s.now_ns.fetch_add(s.step_ns) ;
+}
+
+}  // namespace
+
+extern "C" {
+
+int clock_gettime(clockid_t clockid, struct timespec* tp) {
+  InterceptState& s = GetState();
+  if (!s.enabled) {
+    return s.real_clock_gettime != nullptr ? s.real_clock_gettime(clockid, tp) : -1;
+  }
+  const long long now = VirtualNowNs();
+  tp->tv_sec = static_cast<time_t>(now / 1000000000LL);
+  tp->tv_nsec = static_cast<long>(now % 1000000000LL);
+  return 0;
+}
+
+int gettimeofday(struct timeval* tv, void* tz) {
+  InterceptState& s = GetState();
+  if (!s.enabled) {
+    return s.real_gettimeofday != nullptr ? s.real_gettimeofday(tv, tz) : -1;
+  }
+  const long long now = VirtualNowNs();
+  tv->tv_sec = static_cast<time_t>(now / 1000000000LL);
+  tv->tv_usec = static_cast<suseconds_t>((now % 1000000000LL) / 1000);
+  return 0;
+}
+
+time_t time(time_t* tloc) {
+  InterceptState& s = GetState();
+  if (!s.enabled) {
+    return s.real_time != nullptr ? s.real_time(tloc) : static_cast<time_t>(-1);
+  }
+  const time_t now = static_cast<time_t>(VirtualNowNs() / 1000000000LL);
+  if (tloc != nullptr) {
+    *tloc = now;
+  }
+  return now;
+}
+
+int nanosleep(const struct timespec* req, struct timespec* rem) {
+  InterceptState& s = GetState();
+  if (!s.enabled) {
+    return s.real_nanosleep != nullptr ? s.real_nanosleep(req, rem) : -1;
+  }
+  // Advance virtual time by the requested duration and return immediately.
+  const long long delta = req->tv_sec * 1000000000LL + req->tv_nsec;
+  s.now_ns.fetch_add(delta);
+  if (rem != nullptr) {
+    rem->tv_sec = 0;
+    rem->tv_nsec = 0;
+  }
+  return 0;
+}
+
+int usleep(useconds_t usec) {
+  InterceptState& s = GetState();
+  if (!s.enabled) {
+    struct timespec req;
+    req.tv_sec = usec / 1000000;
+    req.tv_nsec = static_cast<long>(usec % 1000000) * 1000;
+    return s.real_nanosleep != nullptr ? s.real_nanosleep(&req, nullptr) : -1;
+  }
+  s.now_ns.fetch_add(static_cast<long long>(usec) * 1000);
+  return 0;
+}
+
+unsigned int sleep(unsigned int seconds) {
+  InterceptState& s = GetState();
+  if (!s.enabled) {
+    struct timespec req;
+    req.tv_sec = seconds;
+    req.tv_nsec = 0;
+    if (s.real_nanosleep != nullptr) {
+      s.real_nanosleep(&req, nullptr);
+    }
+    return 0;
+  }
+  s.now_ns.fetch_add(static_cast<long long>(seconds) * 1000000000LL);
+  return 0;
+}
+
+}  // extern "C"

@@ -1,0 +1,96 @@
+#include "src/lin/linearizability.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/check.h"
+#include "src/util/hash.h"
+
+namespace sandtable {
+namespace lin {
+
+namespace {
+
+// DFS over (set of linearized operations, register value) configurations.
+class Checker {
+ public:
+  Checker(const std::vector<Operation>& history, int64_t initial_value)
+      : history_(history), initial_(initial_value) {
+    CHECK_LE(history.size(), 63u) << "history too long for bitmask search";
+  }
+
+  LinearizationResult Run() {
+    LinearizationResult result;
+    std::vector<size_t> witness;
+    if (Search(0, initial_, witness)) {
+      result.linearizable = true;
+      result.witness = std::move(witness);
+    }
+    result.states_explored = explored_;
+    return result;
+  }
+
+ private:
+  bool Search(uint64_t done_mask, int64_t value, std::vector<size_t>& witness) {
+    ++explored_;
+    if (done_mask == (uint64_t{1} << history_.size()) - 1) {
+      return true;
+    }
+    const uint64_t key = HashCombine(done_mask, HashInt(static_cast<uint64_t>(value)));
+    if (failed_.count(key) > 0) {
+      return false;
+    }
+
+    // An operation may be linearized next only if no *other* pending
+    // operation responded before it was invoked (real-time order).
+    int64_t min_response = INT64_MAX;
+    for (size_t i = 0; i < history_.size(); ++i) {
+      if ((done_mask >> i) & 1) {
+        continue;
+      }
+      min_response = std::min(min_response, history_[i].response);
+    }
+    for (size_t i = 0; i < history_.size(); ++i) {
+      if ((done_mask >> i) & 1) {
+        continue;
+      }
+      const Operation& op = history_[i];
+      if (op.invoke > min_response) {
+        continue;  // some pending operation strictly precedes this one
+      }
+      int64_t next_value = value;
+      if (op.type == Operation::Type::kPut) {
+        next_value = op.value;
+      } else if (op.value != value) {
+        continue;  // the read result does not match the register
+      }
+      witness.push_back(i);
+      if (Search(done_mask | (uint64_t{1} << i), next_value, witness)) {
+        return true;
+      }
+      witness.pop_back();
+    }
+    failed_.insert(key);
+    return false;
+  }
+
+  const std::vector<Operation>& history_;
+  int64_t initial_;
+  uint64_t explored_ = 0;
+  std::unordered_set<uint64_t> failed_;
+};
+
+}  // namespace
+
+LinearizationResult CheckLinearizable(const std::vector<Operation>& history,
+                                      int64_t initial_value) {
+  if (history.empty()) {
+    LinearizationResult r;
+    r.linearizable = true;
+    return r;
+  }
+  return Checker(history, initial_value).Run();
+}
+
+}  // namespace lin
+}  // namespace sandtable

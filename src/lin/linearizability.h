@@ -1,0 +1,46 @@
+// Linearizability checking for key-value histories (used by the Xraft-KV
+// integration, §4.2: "linearizability for Xraft-KV").
+//
+// Implements the Wing & Gong algorithm with memoization: search for a total
+// order of operations that (a) respects real-time precedence (an operation
+// invoked after another's response must be linearized after it) and (b) is a
+// legal single-copy register history.
+#ifndef SANDTABLE_SRC_LIN_LINEARIZABILITY_H_
+#define SANDTABLE_SRC_LIN_LINEARIZABILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sandtable {
+namespace lin {
+
+struct Operation {
+  enum class Type { kPut, kGet };
+
+  Type type = Type::kGet;
+  std::string key = "x";
+  int64_t value = 0;  // put: the value written; get: the value returned
+  // Real-time interval: invocation and response instants.
+  int64_t invoke = 0;
+  int64_t response = 0;
+  int client = 0;  // informational, for reports
+};
+
+struct LinearizationResult {
+  bool linearizable = false;
+  // A witness order (indices into the history) when linearizable.
+  std::vector<size_t> witness;
+  uint64_t states_explored = 0;
+};
+
+// Check a single-key register history. Values are integers; the register
+// starts at `initial_value`. Histories must be complete (every operation has
+// a response). Practical for histories of up to ~25 operations.
+LinearizationResult CheckLinearizable(const std::vector<Operation>& history,
+                                      int64_t initial_value = 0);
+
+}  // namespace lin
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_LIN_LINEARIZABILITY_H_

@@ -1,0 +1,214 @@
+#include "src/mc/bfs.h"
+
+#include <chrono>
+#include <unordered_map>
+
+#include "src/mc/expand.h"
+#include "src/util/check.h"
+
+namespace sandtable {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Visited map: fingerprint -> parent fingerprint. An entry whose parent equals
+// its own fingerprint marks an initial state. This is the TLC-style compact
+// representation that lets us reconstruct minimal-depth traces by forward
+// replay without storing full states for the whole graph.
+using VisitedMap = std::unordered_map<uint64_t, uint64_t>;
+
+// Rebuild the state trace leading to fingerprint `target` by walking parent
+// pointers back to an initial state and then replaying forward, at each level
+// picking the successor whose (canonical) fingerprint matches the chain.
+std::vector<TraceStep> ReconstructTrace(const Spec& spec, const VisitedMap& visited,
+                                        uint64_t target, bool use_symmetry) {
+  std::vector<uint64_t> chain;
+  uint64_t cur = target;
+  for (;;) {
+    chain.push_back(cur);
+    auto it = visited.find(cur);
+    CHECK(it != visited.end()) << "trace reconstruction: fingerprint not in visited set";
+    if (it->second == cur) {
+      break;  // initial state
+    }
+    cur = it->second;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  // Locate the initial state.
+  State state;
+  bool found_init = false;
+  for (const State& init : spec.init_states) {
+    if (Fingerprint(spec, init, use_symmetry) == chain[0]) {
+      state = init;
+      found_init = true;
+      break;
+    }
+  }
+  CHECK(found_init) << "trace reconstruction: no initial state matches chain head";
+
+  std::vector<TraceStep> trace;
+  trace.push_back(TraceStep{ActionLabel{}, state});
+  for (size_t i = 1; i < chain.size(); ++i) {
+    std::vector<Successor> succs = ExpandAll(spec, state, nullptr);
+    bool matched = false;
+    for (Successor& s : succs) {
+      if (Fingerprint(spec, s.state, use_symmetry) == chain[i]) {
+        state = s.state;
+        trace.push_back(TraceStep{std::move(s.label), std::move(s.state)});
+        matched = true;
+        break;
+      }
+    }
+    CHECK(matched) << "trace reconstruction: no successor matches chain fingerprint at step "
+                   << i;
+  }
+  return trace;
+}
+
+}  // namespace
+
+BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
+  const auto start = Clock::now();
+  BfsResult result;
+  const bool use_symmetry = options.use_symmetry && spec.symmetry.has_value();
+
+  VisitedMap visited;
+  visited.reserve(1 << 16);
+  std::vector<State> frontier;
+  std::vector<State> next_frontier;
+
+  auto record_violation = [&](const std::string& invariant, bool is_transition,
+                              std::vector<TraceStep> trace) {
+    if (result.violation.has_value()) {
+      return;  // keep the first (minimal-depth) violation
+    }
+    Violation v;
+    v.invariant = invariant;
+    v.is_transition_invariant = is_transition;
+    v.depth = trace.empty() ? 0 : trace.size() - 1;
+    v.trace = std::move(trace);
+    v.states_explored = result.distinct_states;
+    v.seconds = SecondsSince(start);
+    result.violation = std::move(v);
+  };
+
+  // Seed with initial states.
+  for (const State& init : spec.init_states) {
+    const uint64_t fp = Fingerprint(spec, init, use_symmetry);
+    if (visited.count(fp) > 0) {
+      continue;
+    }
+    visited.emplace(fp, fp);
+    ++result.distinct_states;
+    const std::string bad = CheckInvariants(spec, init);
+    if (!bad.empty()) {
+      record_violation(bad, false, {TraceStep{ActionLabel{}, init}});
+      if (options.stop_at_first_violation) {
+        result.seconds = SecondsSince(start);
+        return result;
+      }
+    }
+    if (spec.WithinConstraint(init)) {
+      frontier.push_back(init);
+    }
+  }
+
+  uint64_t depth = 0;
+  uint64_t expansions_since_time_check = 0;
+  uint64_t next_progress = options.progress_every;
+
+  while (!frontier.empty()) {
+    if (depth >= options.max_depth) {
+      break;
+    }
+    next_frontier.clear();
+    for (const State& state : frontier) {
+      // Periodic limit checks.
+      if (++expansions_since_time_check >= 256) {
+        expansions_since_time_check = 0;
+        if (SecondsSince(start) > options.time_budget_s) {
+          result.hit_time_limit = true;
+          result.seconds = SecondsSince(start);
+          result.depth_reached = depth;
+          return result;
+        }
+      }
+
+      std::vector<Successor> succs = ExpandAll(spec, state, &result.coverage);
+      if (succs.empty()) {
+        ++result.deadlock_states;
+        continue;
+      }
+      const uint64_t state_fp = Fingerprint(spec, state, use_symmetry);
+      for (Successor& s : succs) {
+        result.coverage.RecordEvent(s.label.kind);
+
+        // Transition invariants hold on every edge, including edges back to
+        // already-visited states.
+        const std::string bad_edge = CheckTransitionInvariants(spec, state, s.label, s.state);
+        if (!bad_edge.empty()) {
+          std::vector<TraceStep> trace =
+              ReconstructTrace(spec, visited, state_fp, use_symmetry);
+          trace.push_back(TraceStep{s.label, s.state});
+          record_violation(bad_edge, true, std::move(trace));
+          if (options.stop_at_first_violation) {
+            result.seconds = SecondsSince(start);
+            result.depth_reached = depth;
+            return result;
+          }
+        }
+
+        const uint64_t fp = Fingerprint(spec, s.state, use_symmetry);
+        if (visited.count(fp) > 0) {
+          continue;
+        }
+        visited.emplace(fp, state_fp);
+        ++result.distinct_states;
+
+        const std::string bad = CheckInvariants(spec, s.state);
+        if (!bad.empty()) {
+          record_violation(bad, false, ReconstructTrace(spec, visited, fp, use_symmetry));
+          if (options.stop_at_first_violation) {
+            result.seconds = SecondsSince(start);
+            result.depth_reached = depth;
+            return result;
+          }
+        }
+
+        if (options.progress && result.distinct_states >= next_progress &&
+            options.progress_every > 0) {
+          next_progress += options.progress_every;
+          options.progress(result.distinct_states, depth + 1, SecondsSince(start));
+        }
+
+        if (result.distinct_states >= options.max_distinct_states) {
+          result.hit_state_limit = true;
+          result.seconds = SecondsSince(start);
+          result.depth_reached = depth;
+          return result;
+        }
+
+        if (spec.WithinConstraint(s.state)) {
+          next_frontier.push_back(std::move(s.state));
+        }
+      }
+    }
+    frontier.swap(next_frontier);
+    if (!frontier.empty()) {
+      ++depth;
+    }
+  }
+
+  result.depth_reached = depth;
+  result.exhausted = depth < options.max_depth;
+  result.seconds = SecondsSince(start);
+  return result;
+}
+
+}  // namespace sandtable

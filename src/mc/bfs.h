@@ -1,0 +1,63 @@
+// Stateful breadth-first model checking (the paper's §3.3 exploration mode).
+//
+// BFS keeps a fingerprint set of visited states (so each distinct state is
+// explored once — "stateful exploration"), checks invariants on every state
+// and transition invariants on every edge, and reconstructs minimal-depth
+// counterexample traces from parent fingerprints by forward replay.
+//
+// Symmetry reduction (§3.3) canonicalizes states under permutations of a
+// declared model-value class before fingerprinting.
+#ifndef SANDTABLE_SRC_MC_BFS_H_
+#define SANDTABLE_SRC_MC_BFS_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/mc/coverage.h"
+#include "src/spec/spec.h"
+
+namespace sandtable {
+
+struct Violation {
+  std::string invariant;
+  bool is_transition_invariant = false;
+  // Full counterexample: step 0 is the initial state.
+  std::vector<TraceStep> trace;
+  uint64_t depth = 0;              // events to hit the bug (= trace.size() - 1)
+  uint64_t states_explored = 0;    // distinct states at detection time
+  double seconds = 0;              // wall-clock time to hit
+};
+
+struct BfsOptions {
+  uint64_t max_distinct_states = std::numeric_limits<uint64_t>::max();
+  uint64_t max_depth = std::numeric_limits<uint64_t>::max();
+  double time_budget_s = std::numeric_limits<double>::infinity();
+  // Apply the spec's symmetry declaration when fingerprinting.
+  bool use_symmetry = true;
+  bool stop_at_first_violation = true;
+  // Invoked every `progress_every` newly discovered states (0 = never).
+  uint64_t progress_every = 0;
+  std::function<void(uint64_t distinct_states, uint64_t depth, double seconds)> progress;
+};
+
+struct BfsResult {
+  uint64_t distinct_states = 0;
+  uint64_t depth_reached = 0;  // deepest BFS level from which states were expanded
+  bool exhausted = false;      // the bounded state space was fully explored
+  bool hit_state_limit = false;
+  bool hit_time_limit = false;
+  double seconds = 0;
+  uint64_t deadlock_states = 0;  // in-constraint states with no successors
+  std::optional<Violation> violation;
+  CoverageStats coverage;
+};
+
+BfsResult BfsCheck(const Spec& spec, const BfsOptions& options = {});
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_MC_BFS_H_

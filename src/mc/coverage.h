@@ -1,0 +1,46 @@
+// Coverage statistics collected during exploration, feeding Algorithm 1's
+// constraint-ranking heuristics (branch coverage, event diversity, depth).
+#ifndef SANDTABLE_SRC_MC_COVERAGE_H_
+#define SANDTABLE_SRC_MC_COVERAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "src/spec/spec.h"
+
+namespace sandtable {
+
+struct CoverageStats {
+  // Distinct spec branches exercised, keyed "Action/branch".
+  std::set<std::string> branches;
+  // Transitions taken, per event kind.
+  std::array<uint64_t, kNumEventKinds> event_counts{};
+  uint64_t transitions = 0;
+
+  int DistinctEventKinds() const {
+    int n = 0;
+    for (uint64_t c : event_counts) {
+      n += (c > 0) ? 1 : 0;
+    }
+    return n;
+  }
+
+  void RecordEvent(EventKind kind) {
+    ++event_counts[static_cast<size_t>(kind)];
+    ++transitions;
+  }
+
+  void Merge(const CoverageStats& other) {
+    branches.insert(other.branches.begin(), other.branches.end());
+    for (size_t i = 0; i < event_counts.size(); ++i) {
+      event_counts[i] += other.event_counts[i];
+    }
+    transitions += other.transitions;
+  }
+};
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_MC_COVERAGE_H_

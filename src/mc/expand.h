@@ -1,0 +1,39 @@
+// Shared successor-enumeration helpers used by BFS, DFS and random walk.
+#ifndef SANDTABLE_SRC_MC_EXPAND_H_
+#define SANDTABLE_SRC_MC_EXPAND_H_
+
+#include <string>
+#include <vector>
+
+#include "src/mc/coverage.h"
+#include "src/spec/spec.h"
+
+namespace sandtable {
+
+struct Successor {
+  State state;
+  ActionLabel label;
+};
+
+// Enumerate all successors of `state` under every action of `spec`.
+// Branch hits are recorded into `coverage` (if non-null).
+std::vector<Successor> ExpandAll(const Spec& spec, const State& state, CoverageStats* coverage);
+
+// Canonicalize `state` under the spec's symmetry declaration (identity if
+// none): the minimum state under the value order across all permutations of
+// the symmetry class.
+State Canonicalize(const Spec& spec, const State& state);
+
+// Fingerprint of the (optionally canonicalized) state.
+uint64_t Fingerprint(const Spec& spec, const State& state, bool use_symmetry);
+
+// Find the first violated state invariant; empty string if none.
+std::string CheckInvariants(const Spec& spec, const State& state);
+
+// Find the first violated transition invariant on edge (prev -> next).
+std::string CheckTransitionInvariants(const Spec& spec, const State& prev,
+                                      const ActionLabel& label, const State& next);
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_MC_EXPAND_H_

@@ -1,0 +1,81 @@
+#include "src/mc/random_walk.h"
+
+#include "src/mc/expand.h"
+#include "src/util/check.h"
+
+namespace sandtable {
+
+WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
+  WalkResult result;
+  CHECK(!spec.init_states.empty()) << "spec has no initial states";
+
+  State state = spec.init_states[rng.Below(spec.init_states.size())];
+  if (options.collect_trace) {
+    result.trace.push_back(TraceStep{ActionLabel{}, state});
+  }
+  if (options.check_invariants) {
+    const std::string bad = CheckInvariants(spec, state);
+    if (!bad.empty()) {
+      Violation v;
+      v.invariant = bad;
+      v.depth = 0;
+      if (options.collect_trace) {
+        v.trace = result.trace;
+      }
+      result.violation = std::move(v);
+      return result;
+    }
+  }
+
+  while (result.depth < options.max_depth) {
+    std::vector<Successor> succs = ExpandAll(spec, state, &result.coverage);
+    // Honour the state constraint: successors outside the budget are not taken.
+    std::erase_if(succs, [&](const Successor& s) { return !spec.WithinConstraint(s.state); });
+    if (succs.empty()) {
+      result.deadlocked = true;
+      break;
+    }
+    Successor& chosen = succs[rng.Below(succs.size())];
+    result.coverage.RecordEvent(chosen.label.kind);
+
+    if (options.check_transition_invariants) {
+      const std::string bad =
+          CheckTransitionInvariants(spec, state, chosen.label, chosen.state);
+      if (!bad.empty()) {
+        Violation v;
+        v.invariant = bad;
+        v.is_transition_invariant = true;
+        v.depth = result.depth + 1;
+        if (options.collect_trace) {
+          v.trace = result.trace;
+          v.trace.push_back(TraceStep{chosen.label, chosen.state});
+        }
+        result.violation = std::move(v);
+        return result;
+      }
+    }
+
+    state = std::move(chosen.state);
+    ++result.depth;
+    if (options.collect_trace) {
+      result.trace.push_back(TraceStep{std::move(chosen.label), state});
+    }
+
+    if (options.check_invariants) {
+      const std::string bad = CheckInvariants(spec, state);
+      if (!bad.empty()) {
+        Violation v;
+        v.invariant = bad;
+        v.depth = result.depth;
+        if (options.collect_trace) {
+          v.trace = result.trace;
+        }
+        result.violation = std::move(v);
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace sandtable

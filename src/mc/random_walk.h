@@ -1,0 +1,43 @@
+// Random-walk simulation mode (TLC "simulate"), used for conformance checking
+// trace generation (§3.2), Algorithm 1 data collection (§3.3), and the
+// spec-vs-impl speed comparison (§5.3).
+#ifndef SANDTABLE_SRC_MC_RANDOM_WALK_H_
+#define SANDTABLE_SRC_MC_RANDOM_WALK_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "src/mc/bfs.h"
+#include "src/mc/coverage.h"
+#include "src/spec/spec.h"
+#include "src/util/rng.h"
+
+namespace sandtable {
+
+struct WalkOptions {
+  uint64_t max_depth = std::numeric_limits<uint64_t>::max();
+  // Keep the full state trace (needed for conformance replay); otherwise only
+  // statistics are retained.
+  bool collect_trace = false;
+  bool check_invariants = false;
+  bool check_transition_invariants = false;
+};
+
+struct WalkResult {
+  uint64_t depth = 0;       // events taken
+  bool deadlocked = false;  // stopped because no in-constraint successor existed
+  std::optional<Violation> violation;
+  CoverageStats coverage;
+  std::vector<TraceStep> trace;  // populated iff collect_trace
+};
+
+// One random walk from a random initial state: at each step enumerate all
+// enabled successors, drop those outside the state constraint, and pick one
+// uniformly at random.
+WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng);
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_MC_RANDOM_WALK_H_

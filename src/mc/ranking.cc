@@ -1,0 +1,62 @@
+#include "src/mc/ranking.h"
+
+#include <algorithm>
+
+#include "src/mc/random_walk.h"
+
+namespace sandtable {
+
+bool DefaultConstraintOrder(const ConstraintScore& a, const ConstraintScore& b) {
+  if (a.avg_branches != b.avg_branches) {
+    return a.avg_branches > b.avg_branches;  // more branch coverage first
+  }
+  if (a.avg_event_kinds != b.avg_event_kinds) {
+    return a.avg_event_kinds > b.avg_event_kinds;  // more diverse events first
+  }
+  if (a.avg_depth != b.avg_depth) {
+    return a.avg_depth < b.avg_depth;  // smaller estimated space first
+  }
+  return a.constraint_name < b.constraint_name;
+}
+
+std::vector<ConfigRanking> RankConstraints(const SpecFactory& factory,
+                                           const std::vector<NamedParams>& configs,
+                                           const std::vector<NamedParams>& constraints,
+                                           const RankingOptions& options) {
+  std::vector<ConfigRanking> out;
+  Rng rng(options.seed);
+  auto sorter = options.sorter ? options.sorter : DefaultConstraintOrder;
+
+  for (const NamedParams& config : configs) {
+    ConfigRanking ranking;
+    ranking.config_name = config.name;
+    for (const NamedParams& constraint : constraints) {
+      Spec spec = factory(config, constraint);
+      ConstraintScore score;
+      score.constraint_name = constraint.name;
+      double sum_branches = 0;
+      double sum_kinds = 0;
+      double sum_depth = 0;
+      WalkOptions wopts;
+      wopts.max_depth = options.max_walk_depth;
+      for (int w = 0; w < options.walks_per_pair; ++w) {
+        WalkResult walk = RandomWalk(spec, wopts, rng);
+        sum_branches += static_cast<double>(walk.coverage.branches.size());
+        sum_kinds += walk.coverage.DistinctEventKinds();
+        sum_depth += static_cast<double>(walk.depth);
+        ++score.walks;
+      }
+      if (score.walks > 0) {
+        score.avg_branches = sum_branches / static_cast<double>(score.walks);
+        score.avg_event_kinds = sum_kinds / static_cast<double>(score.walks);
+        score.avg_depth = sum_depth / static_cast<double>(score.walks);
+      }
+      ranking.ranked.push_back(std::move(score));
+    }
+    std::stable_sort(ranking.ranked.begin(), ranking.ranked.end(), sorter);
+    out.push_back(std::move(ranking));
+  }
+  return out;
+}
+
+}  // namespace sandtable

@@ -1,0 +1,69 @@
+// Algorithm 1: ranking budget constraints for each configuration.
+//
+// For every (configuration, constraint) pair SandTable performs random walks,
+// collects branch coverage, event diversity and exploration depth, and ranks
+// the constraints: branch coverage descending, event diversity descending,
+// then depth ascending (a smaller estimated state space lets bounded BFS
+// explore it exhaustively). Callers can install a custom sorting function.
+#ifndef SANDTABLE_SRC_MC_RANKING_H_
+#define SANDTABLE_SRC_MC_RANKING_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/spec/spec.h"
+#include "src/util/rng.h"
+
+namespace sandtable {
+
+// A named bag of integer parameters. Configurations carry the number of nodes
+// and workload values; constraints carry event budgets (timeouts, crashes,
+// client requests, message-buffer sizes, ...).
+struct NamedParams {
+  std::string name;
+  std::map<std::string, int64_t> values;
+
+  int64_t Get(const std::string& key, int64_t def = 0) const {
+    auto it = values.find(key);
+    return it == values.end() ? def : it->second;
+  }
+};
+
+// Instantiates a bounded spec from a configuration and a budget constraint.
+using SpecFactory = std::function<Spec(const NamedParams& config, const NamedParams& constraint)>;
+
+struct ConstraintScore {
+  std::string constraint_name;
+  double avg_branches = 0;     // mean distinct branches per walk
+  double avg_event_kinds = 0;  // mean distinct event kinds per walk
+  double avg_depth = 0;        // mean walk depth
+  uint64_t walks = 0;
+};
+
+struct RankingOptions {
+  int walks_per_pair = 64;
+  uint64_t max_walk_depth = 256;
+  uint64_t seed = 1;
+  // Default: branch coverage desc, event diversity desc, depth asc (§3.3).
+  std::function<bool(const ConstraintScore&, const ConstraintScore&)> sorter;
+};
+
+// Default Algorithm-1 ordering.
+bool DefaultConstraintOrder(const ConstraintScore& a, const ConstraintScore& b);
+
+struct ConfigRanking {
+  std::string config_name;
+  std::vector<ConstraintScore> ranked;  // best first
+};
+
+std::vector<ConfigRanking> RankConstraints(const SpecFactory& factory,
+                                           const std::vector<NamedParams>& configs,
+                                           const std::vector<NamedParams>& constraints,
+                                           const RankingOptions& options = {});
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_MC_RANKING_H_

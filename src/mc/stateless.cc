@@ -1,0 +1,78 @@
+#include "src/mc/stateless.h"
+
+#include <chrono>
+#include <unordered_set>
+#include <vector>
+
+#include "src/mc/expand.h"
+
+namespace sandtable {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+StatelessResult StatelessEnumerate(const Spec& spec, const StatelessOptions& options) {
+  const auto start = Clock::now();
+  StatelessResult result;
+  std::unordered_set<uint64_t> seen;  // only for the redundancy metric
+
+  struct Frame {
+    State state;
+    std::vector<Successor> succs;
+    size_t next = 0;
+  };
+
+  bool out_of_budget = false;
+  auto over_budget = [&] {
+    if (result.transitions_executed >= options.max_transitions) {
+      return true;
+    }
+    if ((result.transitions_executed & 0xFF) == 0) {
+      const double secs = std::chrono::duration<double>(Clock::now() - start).count();
+      if (secs > options.time_budget_s) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (const State& init : spec.init_states) {
+    if (out_of_budget) {
+      break;
+    }
+    std::vector<Frame> stack;
+    seen.insert(init.hash());
+    stack.push_back(Frame{init, ExpandAll(spec, init, nullptr), 0});
+    while (!stack.empty()) {
+      if (over_budget()) {
+        out_of_budget = true;
+        break;
+      }
+      Frame& top = stack.back();
+      const bool bounded = stack.size() > options.max_depth ||
+                           !spec.WithinConstraint(top.state);
+      if (bounded || top.next >= top.succs.size()) {
+        if (top.next == 0 || bounded) {
+          ++result.traces_completed;
+        }
+        stack.pop_back();
+        continue;
+      }
+      Successor s = top.succs[top.next++];
+      ++result.transitions_executed;
+      seen.insert(s.state.hash());
+      Frame child;
+      child.state = std::move(s.state);
+      child.succs = ExpandAll(spec, child.state, nullptr);
+      stack.push_back(std::move(child));
+    }
+  }
+
+  result.distinct_states = seen.size();
+  result.exhausted = !out_of_budget;
+  result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+}  // namespace sandtable

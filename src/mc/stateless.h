@@ -1,0 +1,41 @@
+// Stateless depth-bounded enumeration — the implementation-level DMCK
+// exploration style SandTable argues against (§2.1). Provided as an ablation
+// baseline: it re-executes shared prefixes and revisits states, quantifying
+// the redundancy stateful BFS avoids.
+#ifndef SANDTABLE_SRC_MC_STATELESS_H_
+#define SANDTABLE_SRC_MC_STATELESS_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "src/spec/spec.h"
+
+namespace sandtable {
+
+struct StatelessOptions {
+  uint64_t max_depth = 8;
+  // Stop after this many executed transitions (trace steps), counting repeats.
+  uint64_t max_transitions = std::numeric_limits<uint64_t>::max();
+  double time_budget_s = std::numeric_limits<double>::infinity();
+};
+
+struct StatelessResult {
+  uint64_t transitions_executed = 0;  // total edges walked, with repetition
+  uint64_t distinct_states = 0;       // measured separately, for the redundancy ratio
+  uint64_t traces_completed = 0;      // maximal paths enumerated
+  bool exhausted = false;
+  double seconds = 0;
+
+  double RedundancyFactor() const {
+    return distinct_states == 0
+               ? 0
+               : static_cast<double>(transitions_executed) / static_cast<double>(distinct_states);
+  }
+};
+
+// Depth-first enumeration of all bounded executions without a visited set.
+StatelessResult StatelessEnumerate(const Spec& spec, const StatelessOptions& options);
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_MC_STATELESS_H_

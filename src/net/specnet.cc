@@ -1,0 +1,279 @@
+#include "src/net/specnet.h"
+
+#include "src/util/check.h"
+
+namespace sandtable {
+namespace specnet {
+
+namespace {
+
+const char* kKindField = "kind";
+const char* kChanField = "chan";
+const char* kDelayedField = "delayed";
+const char* kCutField = "cut";
+
+Value MakeNet(const char* kind) {
+  return Value::Record({{kKindField, Value::Str(kind)},
+                        {kChanField, Value::EmptyFun()},
+                        {kDelayedField, Value::EmptyFun()},
+                        {kCutField, Value::EmptySet()}});
+}
+
+bool CrossesCut(const Value& cut, const Value& a, const Value& b) {
+  if (cut.empty()) {
+    return false;
+  }
+  return cut.Contains(a) != cut.Contains(b);
+}
+
+// Remove a channel entry entirely when it becomes empty, keeping the value
+// canonical so fingerprints do not depend on historic traffic.
+Value SetChannelIn(const Value& net, const char* field, const Value& key,
+                   const Value& contents) {
+  const Value& chan = net.field(field);
+  if (contents.empty()) {
+    return net.WithField(field, chan.FunRemove(key));
+  }
+  return net.WithField(field, chan.FunSet(key, contents));
+}
+
+Value SetChannel(const Value& net, const Value& key, const Value& contents) {
+  return SetChannelIn(net, kChanField, key, contents);
+}
+
+}  // namespace
+
+Value InitTcp() { return MakeNet("tcp"); }
+Value InitUdp() { return MakeNet("udp"); }
+
+bool IsTcp(const Value& net) { return net.field(kKindField).str_v() == "tcp"; }
+bool IsUdp(const Value& net) { return net.field(kKindField).str_v() == "udp"; }
+
+bool ConnectedPair(const Value& net, const Value& a, const Value& b) {
+  return !CrossesCut(net.field(kCutField), a, b);
+}
+
+bool HasPartition(const Value& net) { return !net.field(kCutField).empty(); }
+
+Value ChannelKey(const Value& src, const Value& dst) {
+  return Value::Record({{"src", src}, {"dst", dst}});
+}
+
+Value Send(const Value& net, const Value& msg, const Value& crashed_set) {
+  const Value& src = msg.field("src");
+  const Value& dst = msg.field("dst");
+  if (crashed_set.Contains(dst)) {
+    return net;  // no listener: TCP write fails, UDP packet lost
+  }
+  if (IsTcp(net) && !ConnectedPair(net, src, dst)) {
+    return net;  // connection broken by a partition
+  }
+  const Value key = ChannelKey(src, dst);
+  const Value& chan = net.field(kChanField);
+  if (IsTcp(net)) {
+    Value queue = chan.FunHas(key) ? chan.Apply(key) : Value::EmptySeq();
+    return SetChannel(net, key, queue.Append(msg));
+  }
+  Value bag = chan.FunHas(key) ? chan.Apply(key) : Value::EmptyFun();
+  const int64_t count = bag.FunHas(msg) ? bag.Apply(msg).int_v() : 0;
+  return SetChannel(net, key, bag.FunSet(msg, Value::Int(count + 1)));
+}
+
+std::vector<Delivery> Deliveries(const Value& net, const Value& crashed_set) {
+  std::vector<Delivery> out;
+  const Value& chan = net.field(kChanField);
+  const bool tcp = IsTcp(net);
+  if (tcp) {
+    // Heads of delayed (old-connection) queues, deliverable once connectivity
+    // is back. Delayed and live streams interleave arbitrarily; each stays
+    // FIFO internally.
+    for (const auto& [key, contents] : net.field(kDelayedField).fun_pairs()) {
+      const Value& dst = key.field("dst");
+      if (crashed_set.Contains(dst) || !ConnectedPair(net, key.field("src"), dst)) {
+        continue;
+      }
+      Delivery d;
+      d.msg = contents.Head();
+      d.net_after = SetChannelIn(net, kDelayedField, key, contents.Tail());
+      d.from_delayed = true;
+      out.push_back(std::move(d));
+    }
+  }
+  for (const auto& [key, contents] : chan.fun_pairs()) {
+    const Value& dst = key.field("dst");
+    if (crashed_set.Contains(dst)) {
+      continue;  // receiver down; TCP queues are cleared on crash anyway
+    }
+    if (tcp) {
+      if (!ConnectedPair(net, key.field("src"), dst)) {
+        continue;
+      }
+      // FIFO: only the head is deliverable.
+      Delivery d;
+      d.msg = contents.Head();
+      d.net_after = SetChannel(net, key, contents.Tail());
+      out.push_back(std::move(d));
+    } else {
+      // UDP: any distinct message may be delivered next (reordering).
+      for (const auto& [msg, count] : contents.fun_pairs()) {
+        Delivery d;
+        d.msg = msg;
+        const int64_t c = count.int_v();
+        Value bag = c <= 1 ? contents.FunRemove(msg) : contents.FunSet(msg, Value::Int(c - 1));
+        d.net_after = SetChannel(net, key, bag);
+        out.push_back(std::move(d));
+      }
+    }
+  }
+  return out;
+}
+
+Value Partition(const Value& net, const Value& side) {
+  CHECK(IsTcp(net)) << "partition applies to the TCP failure model";
+  Value out = net.WithField(kCutField, side);
+  // Connections crossing the cut break: their in-flight data moves to the
+  // old-connection (delayed) buffers and surfaces only after healing.
+  const Value& chan = net.field(kChanField);
+  std::vector<Value::Pair> kept;
+  for (const auto& [key, queue] : chan.fun_pairs()) {
+    if (!CrossesCut(side, key.field("src"), key.field("dst"))) {
+      kept.emplace_back(key, queue);
+      continue;
+    }
+    const Value& delayed = out.field(kDelayedField);
+    Value merged = delayed.FunHas(key) ? delayed.Apply(key) : Value::EmptySeq();
+    for (const Value& msg : queue.elems()) {
+      merged = merged.Append(msg);
+    }
+    out = SetChannelIn(out, kDelayedField, key, merged);
+  }
+  return out.WithField(kChanField, Value::Fun(std::move(kept)));
+}
+
+Value Heal(const Value& net) { return net.WithField(kCutField, Value::EmptySet()); }
+
+std::vector<FaultOption> DropOptions(const Value& net) {
+  std::vector<FaultOption> out;
+  if (!IsUdp(net)) {
+    return out;
+  }
+  const Value& chan = net.field(kChanField);
+  for (const auto& [key, bag] : chan.fun_pairs()) {
+    for (const auto& [msg, count] : bag.fun_pairs()) {
+      FaultOption f;
+      f.msg = msg;
+      const int64_t c = count.int_v();
+      Value nbag = c <= 1 ? bag.FunRemove(msg) : bag.FunSet(msg, Value::Int(c - 1));
+      f.net_after = SetChannel(net, key, nbag);
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+std::vector<FaultOption> DupOptions(const Value& net, int64_t max_copies) {
+  std::vector<FaultOption> out;
+  if (!IsUdp(net)) {
+    return out;
+  }
+  const Value& chan = net.field(kChanField);
+  for (const auto& [key, bag] : chan.fun_pairs()) {
+    for (const auto& [msg, count] : bag.fun_pairs()) {
+      const int64_t c = count.int_v();
+      if (c >= max_copies) {
+        continue;
+      }
+      FaultOption f;
+      f.msg = msg;
+      f.net_after = SetChannel(net, key, bag.FunSet(msg, Value::Int(c + 1)));
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+Value OnCrash(const Value& net, const Value& node) {
+  Value out = net;
+  for (const char* field : {kChanField, kDelayedField}) {
+    std::vector<Value::Pair> kept;
+    for (const auto& [key, contents] : out.field(field).fun_pairs()) {
+      if (key.field("src") == node || key.field("dst") == node) {
+        continue;
+      }
+      kept.emplace_back(key, contents);
+    }
+    out = out.WithField(field, Value::Fun(std::move(kept)));
+  }
+  return out;
+}
+
+Value OnRestart(const Value& net, const Value& node) { return net; }
+
+std::vector<Value> AllMessages(const Value& net) {
+  std::vector<Value> out;
+  const bool tcp = IsTcp(net);
+  for (const auto& [key, contents] : net.field(kChanField).fun_pairs()) {
+    if (tcp) {
+      for (const Value& msg : contents.elems()) {
+        out.push_back(msg);
+      }
+    } else {
+      for (const auto& [msg, count] : contents.fun_pairs()) {
+        out.push_back(msg);
+      }
+    }
+  }
+  if (tcp) {
+    for (const auto& [key, contents] : net.field(kDelayedField).fun_pairs()) {
+      for (const Value& msg : contents.elems()) {
+        out.push_back(msg);
+      }
+    }
+  }
+  return out;
+}
+
+int64_t MaxChannelLoad(const Value& net) {
+  int64_t max_load = 0;
+  const bool tcp = IsTcp(net);
+  for (const auto& [key, contents] : net.field(kChanField).fun_pairs()) {
+    int64_t load = 0;
+    if (tcp) {
+      load = static_cast<int64_t>(contents.size());
+    } else {
+      for (const auto& [msg, count] : contents.fun_pairs()) {
+        load += count.int_v();
+      }
+    }
+    max_load = std::max(max_load, load);
+  }
+  if (tcp) {
+    for (const auto& [key, contents] : net.field(kDelayedField).fun_pairs()) {
+      max_load = std::max(max_load, static_cast<int64_t>(contents.size()));
+    }
+  }
+  return max_load;
+}
+
+int64_t TotalInFlight(const Value& net) {
+  int64_t total = 0;
+  const bool tcp = IsTcp(net);
+  for (const auto& [key, contents] : net.field(kChanField).fun_pairs()) {
+    if (tcp) {
+      total += static_cast<int64_t>(contents.size());
+    } else {
+      for (const auto& [msg, count] : contents.fun_pairs()) {
+        total += count.int_v();
+      }
+    }
+  }
+  if (tcp) {
+    for (const auto& [key, contents] : net.field(kDelayedField).fun_pairs()) {
+      total += static_cast<int64_t>(contents.size());
+    }
+  }
+  return total;
+}
+
+}  // namespace specnet
+}  // namespace sandtable

@@ -1,0 +1,102 @@
+// Reusable specification-level network modules (§4.2: "We have formally
+// specified reusable network modules for both TCP and UDP semantics").
+//
+// The network is a Value record stored in the spec state:
+//
+//   TCP:  [kind |-> "tcp", chan |-> (key :> <<m1, ...>>),
+//          delayed |-> (key :> <<m0, ...>>), cut |-> {..}]
+//   UDP:  [kind |-> "udp", chan |-> (key :> (m1 :> count1 @@ ...)),
+//          delayed |-> <<>>, cut |-> {}]
+//
+// where key = [src |-> nA, dst |-> nB]. TCP channels are FIFO queues with no
+// loss, duplication or reordering; the only failure is a network partition
+// (`cut` holds one side). A partition breaks crossing connections: writes
+// fail until the cut heals. Traffic already in flight on a broken connection
+// is not lost, though — it sits in the kernel of the old connection and can
+// surface after the peers reconnect, interleaved with traffic of the new
+// connection (each stream stays FIFO internally). The `delayed` map models
+// exactly that: crossing queues move there when a partition starts and their
+// heads become deliverable again once connectivity returns. This is the
+// semantics behind PySyncObj#4's "delayed AER1" (Figure 6). UDP channels are
+// multisets supporting out-of-order delivery, drop and duplication.
+//
+// Messages are records that must carry `src` and `dst` fields (model values).
+#ifndef SANDTABLE_SRC_NET_SPECNET_H_
+#define SANDTABLE_SRC_NET_SPECNET_H_
+
+#include <vector>
+
+#include "src/value/value.h"
+
+namespace sandtable {
+namespace specnet {
+
+// Fresh empty networks.
+Value InitTcp();
+Value InitUdp();
+
+bool IsTcp(const Value& net);
+bool IsUdp(const Value& net);
+
+// True when a and b can currently communicate (no cut crossing them).
+bool ConnectedPair(const Value& net, const Value& a, const Value& b);
+bool HasPartition(const Value& net);
+
+// Send `msg` (a record with src/dst fields). TCP: enqueued iff the connection
+// is up and the destination is not crashed, silently dropped otherwise (a
+// broken connection loses writes). UDP: added to the channel bag unless the
+// destination is crashed (no listener).
+Value Send(const Value& net, const Value& msg, const Value& crashed_set);
+
+// One deliverable message together with the network state after removing it.
+struct Delivery {
+  Value msg;
+  Value net_after;
+  // TCP: the message came from the old-connection (delayed) buffer. Recorded
+  // in trace parameters so replay drains the same buffer when both stream
+  // heads carry identical bytes.
+  bool from_delayed = false;
+};
+
+// Enumerate every message delivery currently allowed by the semantics:
+// TCP — the head of each live queue; UDP — any distinct message in any bag
+// (out-of-order delivery is expressed by this choice).
+std::vector<Delivery> Deliveries(const Value& net, const Value& crashed_set);
+
+// TCP partition: install cut `side` (a set of nodes); queues crossing the cut
+// move to the delayed map (the broken connection's in-flight data). Heal
+// removes the cut; delayed traffic becomes deliverable alongside new traffic.
+Value Partition(const Value& net, const Value& side);
+Value Heal(const Value& net);
+
+// UDP fault options: dropping one copy of a message, or duplicating one
+// message (bounded by `max_copies` per channel entry).
+struct FaultOption {
+  Value msg;
+  Value net_after;
+};
+std::vector<FaultOption> DropOptions(const Value& net);
+std::vector<FaultOption> DupOptions(const Value& net, int64_t max_copies);
+
+// Node lifecycle hooks: a crash clears all channels to and from the node (TCP
+// connections break; UDP packets to a dead socket are lost). Restart is a
+// no-op on the network (connections re-establish lazily).
+Value OnCrash(const Value& net, const Value& node);
+Value OnRestart(const Value& net, const Value& node);
+
+// Metrics for budget constraints: the largest single channel load and the
+// total number of in-flight messages (counting duplicates).
+int64_t MaxChannelLoad(const Value& net);
+int64_t TotalInFlight(const Value& net);
+
+// The channel key record for (src, dst).
+Value ChannelKey(const Value& src, const Value& dst);
+
+// Every in-flight message (ignoring duplicate counts), for invariants that
+// inspect the wire, e.g. WRaft's non-empty-retry property.
+std::vector<Value> AllMessages(const Value& net);
+
+}  // namespace specnet
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_NET_SPECNET_H_

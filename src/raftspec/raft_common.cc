@@ -1,0 +1,178 @@
+#include "src/raftspec/raft_common.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace sandtable {
+namespace raftspec {
+
+Value NoneValue() { return Value::Str("None"); }
+
+Value NodeV(int i) { return Value::Model(kServerClass, i); }
+
+int NodeIndex(const Value& node_model) { return node_model.model_index(); }
+
+std::vector<Value> AllNodes(int n) {
+  std::vector<Value> nodes;
+  nodes.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    nodes.push_back(NodeV(i));
+  }
+  return nodes;
+}
+
+const Value& Role(const State& s, const Value& node) {
+  return s.field(kVarRole).Apply(node);
+}
+
+int64_t CurrentTerm(const State& s, const Value& node) {
+  return s.field(kVarCurrentTerm).Apply(node).int_v();
+}
+
+const Value& VotedFor(const State& s, const Value& node) {
+  return s.field(kVarVotedFor).Apply(node);
+}
+
+const Value& Log(const State& s, const Value& node) { return s.field(kVarLog).Apply(node); }
+
+int64_t CommitIndex(const State& s, const Value& node) {
+  return s.field(kVarCommitIndex).Apply(node).int_v();
+}
+
+int64_t SnapshotIndex(const State& s, const Value& node) {
+  if (!s.has_field(kVarSnapshotIndex)) {
+    return 0;
+  }
+  return s.field(kVarSnapshotIndex).Apply(node).int_v();
+}
+
+int64_t SnapshotTerm(const State& s, const Value& node) {
+  if (!s.has_field(kVarSnapshotTerm)) {
+    return 0;
+  }
+  return s.field(kVarSnapshotTerm).Apply(node).int_v();
+}
+
+bool IsCrashed(const State& s, const Value& node) {
+  return Role(s, node).str_v() == kRoleCrashed;
+}
+
+Value CrashedSet(const State& s, int num_servers) {
+  std::vector<Value> crashed;
+  for (int i = 0; i < num_servers; ++i) {
+    Value node = NodeV(i);
+    if (IsCrashed(s, node)) {
+      crashed.push_back(std::move(node));
+    }
+  }
+  return Value::Set(std::move(crashed));
+}
+
+int64_t LastIndex(const State& s, const Value& node) {
+  return SnapshotIndex(s, node) + static_cast<int64_t>(Log(s, node).size());
+}
+
+int64_t TermAt(const State& s, const Value& node, int64_t idx) {
+  if (idx == 0) {
+    return 0;
+  }
+  const int64_t snap = SnapshotIndex(s, node);
+  if (idx == snap) {
+    return SnapshotTerm(s, node);
+  }
+  CHECK_GT(idx, snap) << "TermAt below snapshot index";
+  const Value& log = Log(s, node);
+  const auto pos = static_cast<size_t>(idx - snap - 1);
+  CHECK_LT(pos, log.size());
+  return log.at(pos).field("term").int_v();
+}
+
+const Value& EntryAt(const State& s, const Value& node, int64_t idx) {
+  const int64_t snap = SnapshotIndex(s, node);
+  CHECK_GT(idx, snap);
+  const Value& log = Log(s, node);
+  const auto pos = static_cast<size_t>(idx - snap - 1);
+  CHECK_LT(pos, log.size());
+  return log.at(pos);
+}
+
+Value EntriesFrom(const State& s, const Value& node, int64_t from) {
+  const int64_t snap = SnapshotIndex(s, node);
+  CHECK_GT(from, snap) << "EntriesFrom inside snapshot";
+  const Value& log = Log(s, node);
+  return log.SubSeq(static_cast<size_t>(from - snap), log.size());
+}
+
+int QuorumSize(int num_servers) { return num_servers / 2 + 1; }
+
+int64_t MaxCommittable(const State& s, const Value& leader, int num_servers) {
+  const int64_t term = CurrentTerm(s, leader);
+  const int64_t last = LastIndex(s, leader);
+  const Value& match = s.field(kVarMatchIndex).Apply(leader);
+  int64_t best = CommitIndex(s, leader);
+  for (int64_t idx = CommitIndex(s, leader) + 1; idx <= last; ++idx) {
+    int acks = 1;  // the leader itself
+    for (const auto& [follower, m] : match.fun_pairs()) {
+      if (m.int_v() >= idx) {
+        ++acks;
+      }
+    }
+    if (acks < QuorumSize(num_servers)) {
+      break;  // acks can only shrink for larger indices
+    }
+    if (TermAt(s, leader, idx) == term) {
+      best = idx;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+// Apply the puts of `node`'s log up to `upto` for `key`; 0 if never written.
+int64_t ApplyKey(const State& s, const Value& node, int64_t upto, const std::string& key) {
+  int64_t value = 0;
+  const int64_t snap = SnapshotIndex(s, node);
+  const Value& log = Log(s, node);
+  const int64_t last = std::min<int64_t>(upto, snap + static_cast<int64_t>(log.size()));
+  for (int64_t idx = snap + 1; idx <= last; ++idx) {
+    const Value& entry = log.at(static_cast<size_t>(idx - snap - 1));
+    if (entry.has_field("key") && entry.field("key").str_v() == key) {
+      value = entry.field("val").int_v();
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+int64_t GlobalCommittedValue(const State& s, const std::string& key, int num_servers) {
+  int best_node = 0;
+  int64_t best_commit = -1;
+  for (int i = 0; i < num_servers; ++i) {
+    const int64_t c = CommitIndex(s, NodeV(i));
+    if (c > best_commit) {
+      best_commit = c;
+      best_node = i;
+    }
+  }
+  return ApplyKey(s, NodeV(best_node), best_commit, key);
+}
+
+int64_t LocalValue(const State& s, const Value& node, const std::string& key) {
+  return ApplyKey(s, node, CommitIndex(s, node), key);
+}
+
+int64_t Counter(const State& s, const char* name) {
+  return s.field(kVarCounters).field(name).int_v();
+}
+
+State BumpCounter(const State& s, const char* name) {
+  const Value& counters = s.field(kVarCounters);
+  return s.WithField(kVarCounters,
+                     counters.WithField(name, Value::Int(counters.field(name).int_v() + 1)));
+}
+
+}  // namespace raftspec
+}  // namespace sandtable

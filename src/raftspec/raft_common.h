@@ -1,0 +1,105 @@
+// Shared accessors over Raft specification states: variable names, log
+// arithmetic under compaction, quorum/commit computations. Used by the spec
+// actions, the invariants, the trace converter and the conformance observers.
+#ifndef SANDTABLE_SRC_RAFTSPEC_RAFT_COMMON_H_
+#define SANDTABLE_SRC_RAFTSPEC_RAFT_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "src/spec/spec.h"
+#include "src/value/value.h"
+
+namespace sandtable {
+namespace raftspec {
+
+// Spec variable (state record field) names.
+inline constexpr const char* kVarRole = "role";
+inline constexpr const char* kVarCurrentTerm = "currentTerm";
+inline constexpr const char* kVarVotedFor = "votedFor";
+inline constexpr const char* kVarLog = "log";
+inline constexpr const char* kVarCommitIndex = "commitIndex";
+inline constexpr const char* kVarNextIndex = "nextIndex";
+inline constexpr const char* kVarMatchIndex = "matchIndex";
+inline constexpr const char* kVarVotesGranted = "votesGranted";
+inline constexpr const char* kVarPreVotesGranted = "preVotesGranted";
+inline constexpr const char* kVarSnapshotIndex = "snapshotIndex";
+inline constexpr const char* kVarSnapshotTerm = "snapshotTerm";
+inline constexpr const char* kVarNet = "net";
+inline constexpr const char* kVarCounters = "counters";
+
+// Roles.
+inline constexpr const char* kRoleFollower = "Follower";
+inline constexpr const char* kRolePreCandidate = "PreCandidate";
+inline constexpr const char* kRoleCandidate = "Candidate";
+inline constexpr const char* kRoleLeader = "Leader";
+inline constexpr const char* kRoleCrashed = "Crashed";
+
+// Message types.
+inline constexpr const char* kMsgRequestVote = "RV";
+inline constexpr const char* kMsgRequestVoteResp = "RVR";
+inline constexpr const char* kMsgPreVote = "PV";
+inline constexpr const char* kMsgPreVoteResp = "PVR";
+inline constexpr const char* kMsgAppendEntries = "AE";
+inline constexpr const char* kMsgAppendEntriesResp = "AER";
+inline constexpr const char* kMsgInstallSnapshot = "IS";
+inline constexpr const char* kMsgInstallSnapshotResp = "ISR";
+
+// The symmetry class of server identities.
+inline constexpr const char* kServerClass = "n";
+
+// The sentinel for "has not voted".
+Value NoneValue();
+
+// The model value for server i (0-based).
+Value NodeV(int i);
+int NodeIndex(const Value& node_model);
+std::vector<Value> AllNodes(int n);
+
+// Per-node accessors (s is the spec state record).
+const Value& Role(const State& s, const Value& node);
+int64_t CurrentTerm(const State& s, const Value& node);
+const Value& VotedFor(const State& s, const Value& node);
+const Value& Log(const State& s, const Value& node);
+int64_t CommitIndex(const State& s, const Value& node);
+int64_t SnapshotIndex(const State& s, const Value& node);  // 0 without compaction
+int64_t SnapshotTerm(const State& s, const Value& node);
+
+bool IsCrashed(const State& s, const Value& node);
+// The set of crashed nodes (role == Crashed), as a Value set.
+Value CrashedSet(const State& s, int num_servers);
+
+// Log arithmetic (logical indices are 1-based; entries below the snapshot
+// index have been compacted away).
+int64_t LastIndex(const State& s, const Value& node);
+// Term of the entry at logical index idx: 0 at index 0, snapshotTerm at the
+// snapshot index, entry term above it. CHECKs that idx is not compacted away.
+int64_t TermAt(const State& s, const Value& node, int64_t idx);
+// The entry at logical index idx (CHECKs bounds and compaction).
+const Value& EntryAt(const State& s, const Value& node, int64_t idx);
+// Entries from logical index `from` through lastIndex, as a Seq.
+Value EntriesFrom(const State& s, const Value& node, int64_t from);
+
+// Quorum size for n servers.
+int QuorumSize(int num_servers);
+
+// The maximum committable index for `leader` under the *correct* Raft rule
+// (quorum of matchIndex, entry term equals currentTerm), used both by the
+// fixed commit-advance logic and by the CommitAdvanceComplete oracle.
+int64_t MaxCommittable(const State& s, const Value& leader, int num_servers);
+
+// KV oracle: the value of `key` in the globally committed prefix (0 when the
+// key was never written). The globally committed prefix is the log of the
+// node with the largest commitIndex, up to that index.
+int64_t GlobalCommittedValue(const State& s, const std::string& key, int num_servers);
+// The value of `key` applying node-local log up to the node's commitIndex.
+int64_t LocalValue(const State& s, const Value& node, const std::string& key);
+
+// Counter helpers.
+int64_t Counter(const State& s, const char* name);
+State BumpCounter(const State& s, const char* name);
+
+}  // namespace raftspec
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_RAFTSPEC_RAFT_COMMON_H_

@@ -1,0 +1,363 @@
+// Safety properties of the Raft family specifications (§3.1 "Specifying
+// correctness properties", §4.2). Sources: the Raft protocol design (election
+// safety, log matching, leader completeness, state machine safety), and
+// system-specific guarantees/regressions (WRaft's non-empty retries, Xraft-KV
+// linearizability, monotonicity of protocol variables).
+#include <algorithm>
+
+#include "src/net/specnet.h"
+#include "src/raftspec/raft_common.h"
+#include "src/raftspec/raft_params.h"
+#include "src/spec/spec.h"
+
+namespace sandtable {
+
+using namespace raftspec;  // NOLINT(build/namespaces): spec vocabulary
+
+namespace {
+
+bool RolesValid(const State& s, int n) {
+  for (int i = 0; i < n; ++i) {
+    const std::string& r = Role(s, NodeV(i)).str_v();
+    if (r != kRoleFollower && r != kRolePreCandidate && r != kRoleCandidate &&
+        r != kRoleLeader && r != kRoleCrashed) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool AtMostOneLeaderPerTerm(const State& s, int n) {
+  for (int a = 0; a < n; ++a) {
+    if (Role(s, NodeV(a)).str_v() != kRoleLeader) {
+      continue;
+    }
+    for (int bn = a + 1; bn < n; ++bn) {
+      if (Role(s, NodeV(bn)).str_v() == kRoleLeader &&
+          CurrentTerm(s, NodeV(a)) == CurrentTerm(s, NodeV(bn))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool LogMatching(const State& s, int n) {
+  for (int a = 0; a < n; ++a) {
+    for (int bn = a + 1; bn < n; ++bn) {
+      const Value na = NodeV(a);
+      const Value nb = NodeV(bn);
+      const int64_t lo = std::max(SnapshotIndex(s, na), SnapshotIndex(s, nb)) + 1;
+      const int64_t hi = std::min(LastIndex(s, na), LastIndex(s, nb));
+      for (int64_t idx = lo; idx <= hi; ++idx) {
+        if (TermAt(s, na, idx) == TermAt(s, nb, idx) &&
+            !(EntryAt(s, na, idx) == EntryAt(s, nb, idx))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// The committed prefixes of any two nodes agree: the terms (and, where both
+// logs still hold the entry, the entries) at every jointly committed index
+// match. Catches the WRaft#1+#2 data inconsistency of Figure 7.
+bool CommittedLogsConsistent(const State& s, int n) {
+  for (int a = 0; a < n; ++a) {
+    for (int bn = a + 1; bn < n; ++bn) {
+      const Value na = NodeV(a);
+      const Value nb = NodeV(bn);
+      const int64_t hi = std::min(CommitIndex(s, na), CommitIndex(s, nb));
+      int64_t lo = std::max(SnapshotIndex(s, na), SnapshotIndex(s, nb));
+      lo = std::max<int64_t>(lo, 1);
+      for (int64_t idx = lo; idx <= hi; ++idx) {
+        if (TermAt(s, na, idx) != TermAt(s, nb, idx)) {
+          return false;
+        }
+        if (idx > SnapshotIndex(s, na) && idx > SnapshotIndex(s, nb) &&
+            !(EntryAt(s, na, idx) == EntryAt(s, nb, idx))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// Every entry committed anywhere is present in the current leader's log
+// (Raft's Leader Completeness property). Only leaders at the globally maximal
+// term are constrained: a deposed leader that has not yet observed the newer
+// term legitimately misses entries committed after its reign, whereas any
+// commit happened at a term no larger than the global maximum, so a maximal-
+// term leader must hold the whole committed prefix.
+bool LeaderCompleteness(const State& s, int n) {
+  int64_t max_term = 0;
+  for (int i = 0; i < n; ++i) {
+    max_term = std::max(max_term, CurrentTerm(s, NodeV(i)));
+  }
+  for (int l = 0; l < n; ++l) {
+    const Value leader = NodeV(l);
+    if (Role(s, leader).str_v() != kRoleLeader || CurrentTerm(s, leader) != max_term) {
+      continue;
+    }
+    for (int f = 0; f < n; ++f) {
+      const Value node = NodeV(f);
+      const int64_t committed = CommitIndex(s, node);
+      if (committed > LastIndex(s, leader)) {
+        return false;
+      }
+      const int64_t lo = std::max({SnapshotIndex(s, leader), SnapshotIndex(s, node),
+                                   static_cast<int64_t>(0)}) +
+                         1;
+      for (int64_t idx = lo; idx <= committed; ++idx) {
+        if (!(EntryAt(s, leader, idx) == EntryAt(s, node, idx))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+// nextIndex must stay strictly above matchIndex (PySyncObj#3, WRaft#7).
+bool NextIndexSound(const State& s, int n) {
+  for (int l = 0; l < n; ++l) {
+    const Value leader = NodeV(l);
+    if (Role(s, leader).str_v() != kRoleLeader) {
+      continue;
+    }
+    const Value& next = s.field(kVarNextIndex).Apply(leader);
+    const Value& match = s.field(kVarMatchIndex).Apply(leader);
+    for (const auto& [peer, ni] : next.fun_pairs()) {
+      if (match.FunHas(peer) && ni.int_v() <= match.Apply(peer).int_v()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// WRaft#5: a retry AppendEntries must carry the entries being resent.
+bool NonEmptyRetry(const State& s) {
+  for (const Value& msg : specnet::AllMessages(s.field(kVarNet))) {
+    if (msg.field("mtype").str_v() == kMsgAppendEntries &&
+        msg.field("isRetry").bool_v() && msg.field("entries").empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// DaosRaft#1: a node leading term T has voted for itself in term T.
+bool LeaderVotedSelf(const State& s, int n) {
+  for (int i = 0; i < n; ++i) {
+    const Value node = NodeV(i);
+    if (Role(s, node).str_v() == kRoleLeader && !(VotedFor(s, node) == node)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CommitWithinLog(const State& s, int n) {
+  for (int i = 0; i < n; ++i) {
+    const Value node = NodeV(i);
+    const int64_t commit = CommitIndex(s, node);
+    if (commit < SnapshotIndex(s, node) || commit > LastIndex(s, node)) {
+      return false;
+    }
+    if (CurrentTerm(s, node) < 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool SnapshotWithinCommit(const State& s, int n) {
+  for (int i = 0; i < n; ++i) {
+    const Value node = NodeV(i);
+    if (SnapshotIndex(s, node) > CommitIndex(s, node)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int ParamNode(const ActionLabel& label, const char* field) {
+  if (label.params.is_object() && label.params.contains(field) &&
+      label.params[field].is_int()) {
+    return static_cast<int>(label.params[field].as_int());
+  }
+  return -1;
+}
+
+}  // namespace
+
+void AddRaftInvariants(Spec& spec, const RaftProfile& profile, int num_servers) {
+  const int n = num_servers;
+
+  spec.invariants.push_back({"TypeOK", [n](const State& s) { return RolesValid(s, n); }});
+  spec.invariants.push_back(
+      {"AtMostOneLeaderPerTerm", [n](const State& s) { return AtMostOneLeaderPerTerm(s, n); }});
+  spec.invariants.push_back({"LogMatching", [n](const State& s) { return LogMatching(s, n); }});
+  spec.invariants.push_back({"CommittedLogsConsistent",
+                             [n](const State& s) { return CommittedLogsConsistent(s, n); }});
+  spec.invariants.push_back(
+      {"LeaderCompleteness", [n](const State& s) { return LeaderCompleteness(s, n); }});
+  spec.invariants.push_back(
+      {"NextIndexSound", [n](const State& s) { return NextIndexSound(s, n); }});
+  spec.invariants.push_back(
+      {"LeaderVotedSelf", [n](const State& s) { return LeaderVotedSelf(s, n); }});
+  spec.invariants.push_back(
+      {"CommitWithinLog", [n](const State& s) { return CommitWithinLog(s, n); }});
+  spec.invariants.push_back({"NonEmptyRetry", [](const State& s) { return NonEmptyRetry(s); }});
+  if (profile.features.compaction) {
+    spec.invariants.push_back(
+        {"SnapshotWithinCommit", [n](const State& s) { return SnapshotWithinCommit(s, n); }});
+  }
+
+  // ---- Transition invariants -------------------------------------------------
+
+  // WRaft#4: currentTerm never decreases (terms are persistent).
+  spec.transition_invariants.push_back(
+      {"CurrentTermMonotonic",
+       [n](const State& prev, const ActionLabel& label, const State& next) {
+         for (int i = 0; i < n; ++i) {
+           if (CurrentTerm(next, NodeV(i)) < CurrentTerm(prev, NodeV(i))) {
+             return false;
+           }
+         }
+         return true;
+       }});
+
+  // PySyncObj#2: commitIndex never decreases, except across a crash (it is
+  // volatile and is rebuilt from the snapshot on restart).
+  spec.transition_invariants.push_back(
+      {"CommitIndexMonotonic",
+       [n](const State& prev, const ActionLabel& label, const State& next) {
+         if (label.kind == EventKind::kCrash || label.kind == EventKind::kRestart) {
+           return true;
+         }
+         for (int i = 0; i < n; ++i) {
+           if (CommitIndex(next, NodeV(i)) < CommitIndex(prev, NodeV(i))) {
+             return false;
+           }
+         }
+         return true;
+       }});
+
+  // PySyncObj#4 / RaftOS#1: matchIndex never decreases while the same node
+  // keeps leading the same term.
+  spec.transition_invariants.push_back(
+      {"MatchIndexMonotonic",
+       [n](const State& prev, const ActionLabel& label, const State& next) {
+         for (int i = 0; i < n; ++i) {
+           const Value node = NodeV(i);
+           if (Role(prev, node).str_v() != kRoleLeader ||
+               Role(next, node).str_v() != kRoleLeader ||
+               CurrentTerm(prev, node) != CurrentTerm(next, node)) {
+             continue;
+           }
+           const Value& before = prev.field(kVarMatchIndex).Apply(node);
+           const Value& after = next.field(kVarMatchIndex).Apply(node);
+           for (const auto& [peer, m] : before.fun_pairs()) {
+             if (after.FunHas(peer) && after.Apply(peer).int_v() < m.int_v()) {
+               return false;
+             }
+           }
+         }
+         return true;
+       }});
+
+  // PySyncObj#5: when the leader advances its commit index, the newly
+  // committed entry must belong to the current term (Raft §5.4.2).
+  spec.transition_invariants.push_back(
+      {"LeaderCommitsCurrentTerm",
+       [](const State& prev, const ActionLabel& label, const State& next) {
+         if (label.action != "HandleAppendEntriesResponse" &&
+             label.action != "HandleInstallSnapshotResponse") {
+           return true;
+         }
+         const int node_id = ParamNode(label, "dst");
+         if (node_id < 0) {
+           return true;
+         }
+         const Value node = NodeV(node_id);
+         if (Role(next, node).str_v() != kRoleLeader) {
+           return true;
+         }
+         const int64_t before = CommitIndex(prev, node);
+         const int64_t after = CommitIndex(next, node);
+         if (after <= before) {
+           return true;
+         }
+         return TermAt(next, node, after) == CurrentTerm(next, node);
+       }});
+
+  // RaftOS#4 oracle: after handling a replication response, a leader's commit
+  // index equals the maximum committable index — commit advancement must not
+  // stop early (approximates the paper's liveness consequence as safety).
+  spec.transition_invariants.push_back(
+      {"CommitAdvanceComplete",
+       [n](const State& prev, const ActionLabel& label, const State& next) {
+         if (label.action != "HandleAppendEntriesResponse" &&
+             label.action != "HandleInstallSnapshotResponse") {
+           return true;
+         }
+         const int node_id = ParamNode(label, "dst");
+         if (node_id < 0) {
+           return true;
+         }
+         const Value node = NodeV(node_id);
+         if (Role(next, node).str_v() != kRoleLeader ||
+             CurrentTerm(prev, node) != CurrentTerm(next, node)) {
+           return true;
+         }
+         return CommitIndex(next, node) == MaxCommittable(next, node, n);
+       }});
+
+  // RaftOS#2: committed entries are durable — they never vanish or change
+  // (compaction moves them into the snapshot, which still counts as present).
+  spec.transition_invariants.push_back(
+      {"LogDurability",
+       [n](const State& prev, const ActionLabel& label, const State& next) {
+         if (label.kind == EventKind::kCrash || label.kind == EventKind::kRestart) {
+           return true;
+         }
+         for (int i = 0; i < n; ++i) {
+           const Value node = NodeV(i);
+           const int64_t committed =
+               std::min(CommitIndex(prev, node), CommitIndex(next, node));
+           if (LastIndex(next, node) < committed) {
+             return false;
+           }
+           const int64_t lo =
+               std::max(SnapshotIndex(prev, node), SnapshotIndex(next, node)) + 1;
+           for (int64_t idx = lo; idx <= committed; ++idx) {
+             if (!(EntryAt(prev, node, idx) == EntryAt(next, node, idx))) {
+               return false;
+             }
+           }
+         }
+         return true;
+       }});
+
+  if (profile.features.kv) {
+    // Xraft-KV#1: a read must return the value of the globally committed
+    // prefix at the instant it is served (single-copy linearizability).
+    spec.transition_invariants.push_back(
+        {"ReadLinearizability",
+         [n](const State& prev, const ActionLabel& label, const State& next) {
+           if (label.action != "ClientRead") {
+             return true;
+           }
+           const std::string key = label.params["key"].is_string()
+                                       ? label.params["key"].as_string()
+                                       : "x";
+           return label.params["val"].as_int() == GlobalCommittedValue(prev, key, n);
+         }});
+  }
+}
+
+}  // namespace sandtable

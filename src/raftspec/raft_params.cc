@@ -1,0 +1,92 @@
+#include "src/raftspec/raft_params.h"
+
+#include "src/util/check.h"
+
+namespace sandtable {
+
+const std::vector<std::string>& RaftSystemNames() {
+  static const std::vector<std::string> kNames = {
+      "pysyncobj", "wraft", "redisraft", "daosraft", "raftos", "xraft", "xraftkv",
+  };
+  return kNames;
+}
+
+RaftProfile GetRaftProfile(const std::string& system_name, bool with_bugs) {
+  RaftProfile p;
+  p.name = system_name;
+
+  if (system_name == "pysyncobj") {
+    // Full-featured TCP Raft library with optimistic nextIndex pipelining.
+    p.features.optimistic_next = true;
+    if (with_bugs) {
+      p.bugs.pso2_commit_regress = true;
+      p.bugs.pso3_next_le_match = true;
+      p.bugs.pso4_match_regress = true;
+      p.bugs.pso5_commit_old_term = true;
+    }
+  } else if (system_name == "wraft") {
+    // C Raft library; no network assumptions => UDP failure model; has log
+    // compaction.
+    p.features.udp = true;
+    p.features.compaction = true;
+    p.budget.max_drops = 1;
+    p.budget.max_dups = 1;
+    if (with_bugs) {
+      p.bugs.wr1_commit_own_last = true;
+      p.bugs.wr2_ae_instead_of_snapshot = true;
+      p.bugs.wr4_term_regress = true;
+      p.bugs.wr5_empty_retry = true;
+      p.bugs.wr7_next_eq_match = true;
+    }
+  } else if (system_name == "redisraft") {
+    // WRaft downstream with the old bugs fixed; adds PreVote; TCP transport.
+    p.features.compaction = true;
+    p.features.prevote = true;
+    // No new specification-level bugs were found in RedisRaft (§5.1.2).
+  } else if (system_name == "daosraft") {
+    // WRaft downstream with PreVote; TCP transport.
+    p.features.compaction = true;
+    p.features.prevote = true;
+    if (with_bugs) {
+      p.bugs.daos1_leader_votes = true;
+    }
+  } else if (system_name == "raftos") {
+    // Python asyncio Raft over UDP.
+    p.features.udp = true;
+    p.budget.max_drops = 1;
+    p.budget.max_dups = 1;
+    if (with_bugs) {
+      p.bugs.ros1_match_regress = true;
+      p.bugs.ros2_erase_matched = true;
+      p.bugs.ros4_commit_break = true;
+    }
+  } else if (system_name == "xraft") {
+    // Java Raft with PreVote; TCP transport.
+    p.features.prevote = true;
+    if (with_bugs) {
+      p.bugs.xr1_stale_vote = true;
+    }
+  } else if (system_name == "xraftkv") {
+    // KV store on Xraft-core; the store build does not include PreVote (§4.2).
+    p.features.kv = true;
+    if (with_bugs) {
+      p.bugs.xkv1_stale_read = true;
+    }
+  } else {
+    CHECK(false) << "unknown Raft system profile: " << system_name;
+  }
+
+  // Bug-detection defaults of §5.1: 3 nodes, two workload values, and budget
+  // constraints within the ranges the paper reports (3-6 timeouts, 3-4 client
+  // requests, 1-4 failures, 4-10 message buffers). Scaled to laptop budgets.
+  p.config.num_servers = 3;
+  p.config.num_values = 2;
+  p.budget.max_timeouts = 3;
+  p.budget.max_client_requests = 2;
+  p.budget.max_partitions = p.features.udp ? 0 : 1;
+  p.budget.max_crashes = 1;
+  p.budget.max_restarts = 1;
+  return p;
+}
+
+}  // namespace sandtable

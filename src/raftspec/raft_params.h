@@ -1,0 +1,123 @@
+// Raft family parameterization: features, seeded bugs, configurations and
+// budget constraints.
+//
+// The paper integrates seven Raft-family systems (PySyncObj, WRaft, RedisRaft,
+// DaosRaft, RaftOS, Xraft, Xraft-KV). This reproduction models them as
+// profiles of one parameterized Raft spec/implementation pair: each profile
+// fixes the feature set (PreVote, log compaction, KV layer), the network
+// semantics (TCP vs UDP failure models) and the system's seeded bug switches
+// from Table 2. Both the specification (st_raftspec) and the implementation
+// (st_systems) consume the same RaftBugs switches, which is what makes
+// conformance checking meaningful: with equal switches the two levels agree
+// step for step; flipping a switch on one side only reproduces the paper's
+// spec-vs-impl discrepancy workflow (§3.2, Figure 4).
+#ifndef SANDTABLE_SRC_RAFTSPEC_RAFT_PARAMS_H_
+#define SANDTABLE_SRC_RAFTSPEC_RAFT_PARAMS_H_
+
+#include <string>
+#include <vector>
+
+namespace sandtable {
+
+struct RaftFeatures {
+  bool prevote = false;     // PreVote extension (RedisRaft, DaosRaft, Xraft)
+  bool compaction = false;  // log compaction / InstallSnapshot (WRaft family)
+  bool kv = false;          // KV client operations + linearizability oracle (Xraft-KV)
+  bool udp = false;         // UDP network failure model (WRaft, RaftOS); TCP otherwise
+  // PySyncObj-style optimistic pipelining: the leader advances nextIndex to
+  // lastIndex+1 right after sending entries instead of waiting for the ack.
+  bool optimistic_next = false;
+};
+
+// One switch per Table 2 bug that is visible at the specification level.
+// Conformance-stage bugs (PySyncObj#1, WRaft#3/#6/#8, RaftOS#3, Xraft#2) are
+// implementation-only defects and live in st_systems (RaftImplBugs).
+struct RaftBugs {
+  // PySyncObj#2: follower adopts leaderCommit without the monotonicity guard,
+  // letting the commit index regress. Consequence: commit index not monotonic.
+  bool pso2_commit_regress = false;
+  // PySyncObj#3: on a rejected AppendEntries the leader resets nextIndex from
+  // the response hint without clamping to matchIndex+1.
+  bool pso3_next_le_match = false;
+  // PySyncObj#4 (Figure 6): follower's success response carries a wrong next
+  // hint (prev+len instead of prev+len+1) when entries are present, and the
+  // leader assigns matchIndex from the hint without the max() guard.
+  bool pso4_match_regress = false;
+  // PySyncObj#5: leader advances commitIndex to entries of older terms.
+  bool pso5_commit_old_term = false;
+  // WRaft#1 (Figure 7): follower computes the commit bound from its own last
+  // index instead of prev+len(entries), committing stale conflicting entries.
+  bool wr1_commit_own_last = false;
+  // WRaft#2 (Figure 7): when nextIndex is already compacted the leader sends a
+  // (necessarily empty) AppendEntries instead of InstallSnapshot.
+  bool wr2_ae_instead_of_snapshot = false;
+  // WRaft#4: terms adopted from any message, even stale ones (term regress).
+  bool wr4_term_regress = false;
+  // WRaft#5: retry AppendEntries after a rejection carries no entries.
+  bool wr5_empty_retry = false;
+  // WRaft#7: on a successful response the leader sets nextIndex = matchIndex.
+  bool wr7_next_eq_match = false;
+  // DaosRaft#1: a leader grants RequestVote without stepping down first.
+  bool daos1_leader_votes = false;
+  // RaftOS#1: matchIndex assigned from the response without the max() guard.
+  bool ros1_match_regress = false;
+  // RaftOS#2: follower truncates at prevLogIndex unconditionally, erasing
+  // already-matched (possibly committed) entries on duplicated messages.
+  bool ros2_erase_matched = false;
+  // RaftOS#4: the commit-advance loop breaks at the first entry of an older
+  // term instead of skipping it, so newer committable entries never commit.
+  bool ros4_commit_break = false;
+  // Xraft#1: candidate counts vote responses without checking their term.
+  bool xr1_stale_vote = false;
+  // Xraft-KV#1: leader serves reads from local state without confirming
+  // leadership, violating linearizability after a partition.
+  bool xkv1_stale_read = false;
+
+  bool AnySet() const {
+    return pso2_commit_regress || pso3_next_le_match || pso4_match_regress ||
+           pso5_commit_old_term || wr1_commit_own_last || wr2_ae_instead_of_snapshot ||
+           wr4_term_regress || wr5_empty_retry || wr7_next_eq_match || daos1_leader_votes ||
+           ros1_match_regress || ros2_erase_matched || ros4_commit_break || xr1_stale_vote ||
+           xkv1_stale_read;
+  }
+};
+
+// System configuration (§3.3): cluster size and workload values.
+struct RaftConfig {
+  int num_servers = 3;
+  int num_values = 2;
+};
+
+// Budget constraint (§3.3): caps on event counts that bound the state space.
+struct RaftBudget {
+  int max_timeouts = 3;        // election + heartbeat timeouts
+  int max_client_requests = 2;
+  int max_crashes = 0;
+  int max_restarts = 0;
+  int max_partitions = 1;  // TCP failure model
+  int max_drops = 0;       // UDP failure model
+  int max_dups = 0;
+  int max_msg_buffer = 4;  // largest per-channel load
+  int max_term = 3;
+  int max_log_len = 4;
+  int max_snapshots = 1;  // compaction feature only
+};
+
+struct RaftProfile {
+  std::string name;  // "pysyncobj", "wraft", ...
+  RaftFeatures features;
+  RaftBugs bugs;
+  RaftConfig config;
+  RaftBudget budget;
+};
+
+// The per-system profiles of Table 1/Table 2 with that system's seeded bugs
+// enabled. `with_bugs = false` yields the bug-fixed profile (used by Table 3).
+RaftProfile GetRaftProfile(const std::string& system_name, bool with_bugs);
+
+// All seven Raft-family system names, in Table 1 order.
+const std::vector<std::string>& RaftSystemNames();
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_RAFTSPEC_RAFT_PARAMS_H_

@@ -1,0 +1,1184 @@
+#include "src/raftspec/raft_spec.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/net/specnet.h"
+#include "src/raftspec/raft_common.h"
+#include "src/util/check.h"
+
+namespace sandtable {
+
+using namespace raftspec;  // NOLINT(build/namespaces): spec vocabulary
+
+namespace {
+
+// All helper state shared by the action closures. Wrapped in a shared_ptr so
+// the returned Spec owns it.
+struct Builder {
+  RaftProfile p;
+  int n = 0;       // servers
+  int quorum = 0;  // majority size
+  std::vector<Value> nodes;
+
+  explicit Builder(const RaftProfile& profile)
+      : p(profile),
+        n(profile.config.num_servers),
+        quorum(QuorumSize(profile.config.num_servers)),
+        nodes(AllNodes(profile.config.num_servers)) {}
+
+  // ---- Generic state update helpers ---------------------------------------
+
+  static State Upd(const State& s, const char* var, const Value& node, Value v) {
+    return s.WithField(var, s.field(var).FunSet(node, std::move(v)));
+  }
+
+  State SetRole(const State& s, const Value& node, const char* role) const {
+    return Upd(s, kVarRole, node, Value::Str(role));
+  }
+
+  // Adopt a (higher) term: reset vote, clear election and leader bookkeeping,
+  // fall back to follower.
+  State AdoptTerm(const State& s, const Value& node, int64_t term) const {
+    State t = Upd(s, kVarCurrentTerm, node, Value::Int(term));
+    t = Upd(t, kVarVotedFor, node, NoneValue());
+    t = Upd(t, kVarVotesGranted, node, Value::EmptySet());
+    if (p.features.prevote) {
+      t = Upd(t, kVarPreVotesGranted, node, Value::EmptySet());
+    }
+    t = Upd(t, kVarNextIndex, node, Value::EmptyFun());
+    t = Upd(t, kVarMatchIndex, node, Value::EmptyFun());
+    return SetRole(t, node, kRoleFollower);
+  }
+
+  State WithNet(const State& s, Value net) const {
+    return s.WithField(kVarNet, std::move(net));
+  }
+
+  State SendMsg(const State& s, const Value& msg) const {
+    return WithNet(s, specnet::Send(s.field(kVarNet), msg, CrashedSet(s, n)));
+  }
+
+  // ---- Message constructors -------------------------------------------------
+
+  static Value MsgBase(const char* type, const Value& src, const Value& dst, int64_t term) {
+    return Value::Record({{"mtype", Value::Str(type)},
+                          {"src", src},
+                          {"dst", dst},
+                          {"term", Value::Int(term)}});
+  }
+
+  static Value MsgRequestVote(const Value& src, const Value& dst, int64_t term,
+                              int64_t last_index, int64_t last_term) {
+    return MsgBase(kMsgRequestVote, src, dst, term)
+        .WithField("lastLogIndex", Value::Int(last_index))
+        .WithField("lastLogTerm", Value::Int(last_term));
+  }
+
+  static Value MsgRequestVoteResp(const Value& src, const Value& dst, int64_t term,
+                                  bool granted) {
+    return MsgBase(kMsgRequestVoteResp, src, dst, term)
+        .WithField("granted", Value::Bool(granted));
+  }
+
+  static Value MsgPreVote(const Value& src, const Value& dst, int64_t next_term,
+                          int64_t last_index, int64_t last_term) {
+    return MsgBase(kMsgPreVote, src, dst, next_term)
+        .WithField("lastLogIndex", Value::Int(last_index))
+        .WithField("lastLogTerm", Value::Int(last_term));
+  }
+
+  static Value MsgPreVoteResp(const Value& src, const Value& dst, int64_t next_term,
+                              bool granted) {
+    return MsgBase(kMsgPreVoteResp, src, dst, next_term)
+        .WithField("granted", Value::Bool(granted));
+  }
+
+  static Value MsgAppendEntries(const Value& src, const Value& dst, int64_t term,
+                                int64_t prev_index, int64_t prev_term, Value entries,
+                                int64_t commit, bool is_retry) {
+    return MsgBase(kMsgAppendEntries, src, dst, term)
+        .WithField("prevLogIndex", Value::Int(prev_index))
+        .WithField("prevLogTerm", Value::Int(prev_term))
+        .WithField("entries", std::move(entries))
+        .WithField("commit", Value::Int(commit))
+        .WithField("isRetry", Value::Bool(is_retry));
+  }
+
+  static Value MsgAppendEntriesResp(const Value& src, const Value& dst, int64_t term,
+                                    bool success, int64_t hint) {
+    return MsgBase(kMsgAppendEntriesResp, src, dst, term)
+        .WithField("success", Value::Bool(success))
+        .WithField("hint", Value::Int(hint));
+  }
+
+  static Value MsgInstallSnapshot(const Value& src, const Value& dst, int64_t term,
+                                  int64_t last_index, int64_t last_term) {
+    return MsgBase(kMsgInstallSnapshot, src, dst, term)
+        .WithField("lastIndex", Value::Int(last_index))
+        .WithField("lastTerm", Value::Int(last_term));
+  }
+
+  static Value MsgInstallSnapshotResp(const Value& src, const Value& dst, int64_t term,
+                                      bool success, int64_t hint) {
+    return MsgBase(kMsgInstallSnapshotResp, src, dst, term)
+        .WithField("success", Value::Bool(success))
+        .WithField("hint", Value::Int(hint));
+  }
+
+  // ---- Initial state ---------------------------------------------------------
+
+  State InitState() const {
+    std::vector<Value::Pair> role, term, voted, log, commit, next, match, votes, prevotes,
+        snap_idx, snap_term;
+    for (const Value& node : nodes) {
+      role.emplace_back(node, Value::Str(kRoleFollower));
+      term.emplace_back(node, Value::Int(0));
+      voted.emplace_back(node, NoneValue());
+      log.emplace_back(node, Value::EmptySeq());
+      commit.emplace_back(node, Value::Int(0));
+      next.emplace_back(node, Value::EmptyFun());
+      match.emplace_back(node, Value::EmptyFun());
+      votes.emplace_back(node, Value::EmptySet());
+      prevotes.emplace_back(node, Value::EmptySet());
+      snap_idx.emplace_back(node, Value::Int(0));
+      snap_term.emplace_back(node, Value::Int(0));
+    }
+    std::vector<Value::Field> fields = {
+        {kVarRole, Value::Fun(std::move(role))},
+        {kVarCurrentTerm, Value::Fun(std::move(term))},
+        {kVarVotedFor, Value::Fun(std::move(voted))},
+        {kVarLog, Value::Fun(std::move(log))},
+        {kVarCommitIndex, Value::Fun(std::move(commit))},
+        {kVarNextIndex, Value::Fun(std::move(next))},
+        {kVarMatchIndex, Value::Fun(std::move(match))},
+        {kVarVotesGranted, Value::Fun(std::move(votes))},
+        {kVarNet, p.features.udp ? specnet::InitUdp() : specnet::InitTcp()},
+        {kVarCounters,
+         Value::Record({{"timeouts", Value::Int(0)},
+                        {"requests", Value::Int(0)},
+                        {"crashes", Value::Int(0)},
+                        {"restarts", Value::Int(0)},
+                        {"partitions", Value::Int(0)},
+                        {"drops", Value::Int(0)},
+                        {"dups", Value::Int(0)},
+                        {"snapshots", Value::Int(0)}})},
+    };
+    if (p.features.prevote) {
+      fields.emplace_back(kVarPreVotesGranted, Value::Fun(std::move(prevotes)));
+    }
+    if (p.features.compaction) {
+      fields.emplace_back(kVarSnapshotIndex, Value::Fun(std::move(snap_idx)));
+      fields.emplace_back(kVarSnapshotTerm, Value::Fun(std::move(snap_term)));
+    }
+    return Value::Record(std::move(fields));
+  }
+
+  // ---- Log replication helpers ------------------------------------------------
+
+  // The AppendEntries (or InstallSnapshot) message the leader sends to `peer`
+  // given its current nextIndex. `is_retry` marks messages sent in response to
+  // a rejection; the flag is only set when the leader actually has entries to
+  // ship, so the NonEmptyRetry invariant can check in-flight messages.
+  Value MakeAppendMsg(const State& s, const Value& leader, const Value& peer,
+                      bool is_retry, ActionContext& ctx) const {
+    const int64_t term = CurrentTerm(s, leader);
+    const Value& next_fun = s.field(kVarNextIndex).Apply(leader);
+    const int64_t ni = next_fun.FunHas(peer) ? next_fun.Apply(peer).int_v() : 1;
+    const int64_t snap = SnapshotIndex(s, leader);
+    if (p.features.compaction && ni <= snap) {
+      if (p.bugs.wr2_ae_instead_of_snapshot) {
+        // WRaft#2: the compacted range cannot be shipped as entries, but the
+        // buggy leader sends an AppendEntries anyway — empty, yet carrying
+        // prev=snapshot and the leader's commit index (Figure 7, AE1).
+        ctx.Branch("send_ae_for_compacted[bug:wr2]");
+        return MsgAppendEntries(leader, peer, term, snap, SnapshotTerm(s, leader),
+                                Value::EmptySeq(), CommitIndex(s, leader), false);
+      }
+      ctx.Branch("send_snapshot");
+      return MsgInstallSnapshot(leader, peer, term, snap, SnapshotTerm(s, leader));
+    }
+    const int64_t last = LastIndex(s, leader);
+    Value entries = ni <= last ? EntriesFrom(s, leader, ni) : Value::EmptySeq();
+    const bool retry_flag = is_retry && ni <= last;
+    if (p.bugs.wr5_empty_retry && is_retry) {
+      // WRaft#5: the retry after a rejection forgets to attach the entries.
+      ctx.Branch("empty_retry[bug:wr5]");
+      entries = Value::EmptySeq();
+    }
+    ctx.Branch(entries.empty() ? "send_heartbeat" : "send_entries");
+    return MsgAppendEntries(leader, peer, term, ni - 1, TermAt(s, leader, ni - 1),
+                            std::move(entries), CommitIndex(s, leader), retry_flag);
+  }
+
+  // After sending entries, a pipelining leader (PySyncObj) optimistically
+  // advances nextIndex past what it just shipped.
+  State MaybeOptimisticNext(const State& s, const Value& leader, const Value& peer,
+                            const Value& sent_msg) const {
+    if (!p.features.optimistic_next ||
+        sent_msg.field("mtype").str_v() != kMsgAppendEntries ||
+        sent_msg.field("entries").empty()) {
+      return s;
+    }
+    const Value& next_fun = s.field(kVarNextIndex).Apply(leader);
+    const int64_t advanced =
+        sent_msg.field("prevLogIndex").int_v() +
+        static_cast<int64_t>(sent_msg.field("entries").size()) + 1;
+    return Upd(s, kVarNextIndex, leader, next_fun.FunSet(peer, Value::Int(advanced)));
+  }
+
+  // Is candidate's log at least as up-to-date as the voter's (RequestVote §5.4.1)?
+  bool CandidateUpToDate(const State& s, const Value& voter, int64_t cand_last_term,
+                         int64_t cand_last_index) const {
+    const int64_t my_last = LastIndex(s, voter);
+    const int64_t my_term = TermAt(s, voter, my_last);
+    return cand_last_term > my_term ||
+           (cand_last_term == my_term && cand_last_index >= my_last);
+  }
+
+  // Start an election at `node`: bump term, vote for self, solicit votes.
+  State StartElection(const State& s, const Value& node, ActionContext& ctx) const {
+    const int64_t new_term = CurrentTerm(s, node) + 1;
+    State t = Upd(s, kVarCurrentTerm, node, Value::Int(new_term));
+    t = SetRole(t, node, kRoleCandidate);
+    t = Upd(t, kVarVotedFor, node, node);
+    t = Upd(t, kVarVotesGranted, node, Value::Set({node}));
+    if (p.features.prevote) {
+      t = Upd(t, kVarPreVotesGranted, node, Value::EmptySet());
+    }
+    const int64_t last = LastIndex(t, node);
+    const int64_t last_term = TermAt(t, node, last);
+    for (const Value& peer : nodes) {
+      if (peer == node) {
+        continue;
+      }
+      t = SendMsg(t, MsgRequestVote(node, peer, new_term, last, last_term));
+    }
+    ctx.Branch("start_election");
+    return t;
+  }
+
+  // Candidate won: initialize leader bookkeeping and send an initial round of
+  // (empty) AppendEntries.
+  State BecomeLeader(const State& s, const Value& node, ActionContext& ctx) const {
+    State t = SetRole(s, node, kRoleLeader);
+    const int64_t last = LastIndex(t, node);
+    std::vector<Value::Pair> next;
+    std::vector<Value::Pair> match;
+    for (const Value& peer : nodes) {
+      if (peer == node) {
+        continue;
+      }
+      next.emplace_back(peer, Value::Int(last + 1));
+      match.emplace_back(peer, Value::Int(0));
+    }
+    t = Upd(t, kVarNextIndex, node, Value::Fun(std::move(next)));
+    t = Upd(t, kVarMatchIndex, node, Value::Fun(std::move(match)));
+    for (const Value& peer : nodes) {
+      if (peer == node) {
+        continue;
+      }
+      const Value msg = MakeAppendMsg(t, node, peer, /*is_retry=*/false, ctx);
+      t = SendMsg(t, msg);
+      t = MaybeOptimisticNext(t, node, peer, msg);
+    }
+    ctx.Branch("become_leader");
+    return t;
+  }
+
+  // Leader commit advancement after match indices changed (flags: PySyncObj#5
+  // drops the current-term check; RaftOS#4 breaks out of the scan instead of
+  // skipping older-term entries).
+  State AdvanceCommit(const State& s, const Value& leader, ActionContext& ctx) const {
+    const int64_t term = CurrentTerm(s, leader);
+    const int64_t last = LastIndex(s, leader);
+    const Value& match = s.field(kVarMatchIndex).Apply(leader);
+    int64_t best = CommitIndex(s, leader);
+    for (int64_t idx = best + 1; idx <= last; ++idx) {
+      int acks = 1;
+      for (const auto& [peer, m] : match.fun_pairs()) {
+        if (m.int_v() >= idx) {
+          ++acks;
+        }
+      }
+      if (acks < quorum) {
+        break;
+      }
+      if (TermAt(s, leader, idx) == term) {
+        best = idx;
+      } else if (p.bugs.pso5_commit_old_term) {
+        // PySyncObj#5: no current-term check on the committed entry.
+        ctx.Branch("commit_old_term[bug:pso5]");
+        best = idx;
+      } else if (p.bugs.ros4_commit_break) {
+        // RaftOS#4: the scan stops at the first older-term entry, so newer
+        // committable entries of the current term are never reached.
+        ctx.Branch("commit_scan_break[bug:ros4]");
+        break;
+      }
+    }
+    if (best == CommitIndex(s, leader)) {
+      return s;
+    }
+    ctx.Branch("advance_commit");
+    return Upd(s, kVarCommitIndex, leader, Value::Int(best));
+  }
+
+  // ---- JSON param helpers -----------------------------------------------------
+
+  static Json NodeParam(const Value& node) { return Json(static_cast<int64_t>(NodeIndex(node))); }
+
+  static Json MsgParams(const Value& msg) {
+    JsonObject o;
+    o["src"] = NodeParam(msg.field("src"));
+    o["dst"] = NodeParam(msg.field("dst"));
+    o["msg"] = msg.ToJson();
+    return Json(std::move(o));
+  }
+};
+
+using BP = std::shared_ptr<const Builder>;
+
+// ---- Actions ------------------------------------------------------------------
+
+// Election timeout at a non-leader node.
+Action ElectionTimeoutAction(const BP& b) {
+  Action a;
+  a.name = "Timeout";
+  a.kind = EventKind::kTimeout;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    if (Counter(s, "timeouts") >= b->p.budget.max_timeouts) {
+      return;
+    }
+    for (const Value& node : b->nodes) {
+      const std::string& role = Role(s, node).str_v();
+      if (role == kRoleLeader || role == kRoleCrashed) {
+        continue;
+      }
+      if (CurrentTerm(s, node) + 1 > b->p.budget.max_term) {
+        continue;
+      }
+      State t = BumpCounter(s, "timeouts");
+      JsonObject params;
+      params["node"] = Builder::NodeParam(node);
+      if (b->p.features.prevote) {
+        // PreVote: solicit non-binding votes for term+1 before campaigning.
+        ctx.Branch("prevote_round");
+        t = b->SetRole(t, node, kRolePreCandidate);
+        t = Builder::Upd(t, kVarPreVotesGranted, node, Value::Set({node}));
+        const int64_t last = LastIndex(t, node);
+        const int64_t last_term = TermAt(t, node, last);
+        for (const Value& peer : b->nodes) {
+          if (peer == node) {
+            continue;
+          }
+          t = b->SendMsg(t, Builder::MsgPreVote(node, peer, CurrentTerm(t, node) + 1, last,
+                                                last_term));
+        }
+      } else {
+        t = b->StartElection(t, node, ctx);
+      }
+      ctx.Emit(std::move(t), Json(std::move(params)));
+    }
+  };
+  return a;
+}
+
+// Heartbeat timeout at a leader: replicate to every peer.
+Action HeartbeatAction(const BP& b) {
+  Action a;
+  a.name = "HeartbeatTimeout";
+  a.kind = EventKind::kTimeout;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    if (Counter(s, "timeouts") >= b->p.budget.max_timeouts) {
+      return;
+    }
+    for (const Value& node : b->nodes) {
+      if (Role(s, node).str_v() != kRoleLeader) {
+        continue;
+      }
+      State t = BumpCounter(s, "timeouts");
+      for (const Value& peer : b->nodes) {
+        if (peer == node) {
+          continue;
+        }
+        const Value msg = b->MakeAppendMsg(t, node, peer, /*is_retry=*/false, ctx);
+        t = b->SendMsg(t, msg);
+        t = b->MaybeOptimisticNext(t, node, peer, msg);
+      }
+      JsonObject params;
+      params["node"] = Builder::NodeParam(node);
+      ctx.Emit(std::move(t), Json(std::move(params)));
+    }
+  };
+  return a;
+}
+
+// Generic frame for message-delivery actions: enumerate deliverable messages
+// of one type and apply the handler.
+Action DeliveryAction(const BP& b, const char* name, const char* mtype,
+                      std::function<State(const Builder&, State, const Value& msg,
+                                          ActionContext&)>
+                          handler) {
+  Action a;
+  a.name = name;
+  a.kind = EventKind::kMessage;
+  a.expand = [b, mtype, handler = std::move(handler)](const State& s, ActionContext& ctx) {
+    const Value crashed = CrashedSet(s, b->n);
+    for (specnet::Delivery& d : specnet::Deliveries(s.field(kVarNet), crashed)) {
+      if (d.msg.field("mtype").str_v() != mtype) {
+        continue;
+      }
+      State t = b->WithNet(s, std::move(d.net_after));
+      t = handler(*b, std::move(t), d.msg, ctx);
+      Json params = Builder::MsgParams(d.msg);
+      if (d.from_delayed) {
+        params["delayed"] = Json(true);
+      }
+      ctx.Emit(std::move(t), std::move(params));
+    }
+  };
+  return a;
+}
+
+State HandleRequestVote(const Builder& b, State s, const Value& m, ActionContext& ctx) {
+  const Value& dst = m.field("dst");
+  const Value& src = m.field("src");
+  const int64_t mterm = m.field("term").int_v();
+  const bool was_leader = Role(s, dst).str_v() == kRoleLeader;
+
+  if (mterm > CurrentTerm(s, dst)) {
+    if (b.p.bugs.daos1_leader_votes && was_leader) {
+      // DaosRaft#1: the leader adopts the new term and may grant the vote —
+      // but never steps down.
+      ctx.Branch("leader_keeps_leading[bug:daos1]");
+      s = Builder::Upd(s, kVarCurrentTerm, dst, Value::Int(mterm));
+      s = Builder::Upd(s, kVarVotedFor, dst, NoneValue());
+    } else {
+      ctx.Branch("step_down_on_higher_term");
+      s = b.AdoptTerm(s, dst, mterm);
+    }
+  } else if (b.p.bugs.wr4_term_regress && mterm < CurrentTerm(s, dst)) {
+    // WRaft#4: terms are adopted from any message, even stale ones.
+    ctx.Branch("term_regress[bug:wr4]");
+    s = b.AdoptTerm(s, dst, mterm);
+  }
+
+  const Value& voted = VotedFor(s, dst);
+  bool grant = mterm == CurrentTerm(s, dst) &&
+               (voted == NoneValue() || voted == src) &&
+               b.CandidateUpToDate(s, dst, m.field("lastLogTerm").int_v(),
+                                   m.field("lastLogIndex").int_v());
+  if (!b.p.bugs.daos1_leader_votes && Role(s, dst).str_v() == kRoleLeader) {
+    // The DaosRaft fix: a leader rejects RequestVote outright.
+    grant = false;
+  }
+  ctx.Branch(grant ? "grant_vote" : "reject_vote");
+  if (grant) {
+    s = Builder::Upd(s, kVarVotedFor, dst, src);
+  }
+  return b.SendMsg(s, Builder::MsgRequestVoteResp(dst, src, CurrentTerm(s, dst), grant));
+}
+
+State HandleRequestVoteResp(const Builder& b, State s, const Value& m, ActionContext& ctx) {
+  const Value& dst = m.field("dst");
+  const Value& src = m.field("src");
+  const int64_t mterm = m.field("term").int_v();
+  if (mterm > CurrentTerm(s, dst)) {
+    ctx.Branch("step_down_on_higher_term");
+    return b.AdoptTerm(s, dst, mterm);
+  }
+  if (Role(s, dst).str_v() != kRoleCandidate) {
+    ctx.Branch("not_candidate");
+    return s;
+  }
+  const bool term_matches = mterm == CurrentTerm(s, dst);
+  bool counted = m.field("granted").bool_v();
+  if (!b.p.bugs.xr1_stale_vote) {
+    counted = counted && term_matches;
+  } else if (counted && !term_matches) {
+    // Xraft#1: stale grants from an earlier election are counted.
+    ctx.Branch("stale_vote_counted[bug:xr1]");
+  }
+  if (!counted) {
+    ctx.Branch("vote_not_counted");
+    return s;
+  }
+  const Value votes = s.field(kVarVotesGranted).Apply(dst).SetAdd(src);
+  s = Builder::Upd(s, kVarVotesGranted, dst, votes);
+  if (static_cast<int>(votes.size()) >= b.quorum) {
+    return b.BecomeLeader(s, dst, ctx);
+  }
+  ctx.Branch("vote_counted");
+  return s;
+}
+
+State HandlePreVote(const Builder& b, State s, const Value& m, ActionContext& ctx) {
+  const Value& dst = m.field("dst");
+  const Value& src = m.field("src");
+  const int64_t next_term = m.field("term").int_v();
+  // PreVote is non-binding: no state change at the voter.
+  const bool grant = next_term > CurrentTerm(s, dst) &&
+                     b.CandidateUpToDate(s, dst, m.field("lastLogTerm").int_v(),
+                                         m.field("lastLogIndex").int_v());
+  ctx.Branch(grant ? "grant_prevote" : "reject_prevote");
+  return b.SendMsg(s, Builder::MsgPreVoteResp(dst, src, next_term, grant));
+}
+
+State HandlePreVoteResp(const Builder& b, State s, const Value& m, ActionContext& ctx) {
+  const Value& dst = m.field("dst");
+  const Value& src = m.field("src");
+  if (Role(s, dst).str_v() != kRolePreCandidate ||
+      m.field("term").int_v() != CurrentTerm(s, dst) + 1 || !m.field("granted").bool_v()) {
+    ctx.Branch("prevote_ignored");
+    return s;
+  }
+  const Value votes = s.field(kVarPreVotesGranted).Apply(dst).SetAdd(src);
+  s = Builder::Upd(s, kVarPreVotesGranted, dst, votes);
+  if (static_cast<int>(votes.size()) >= b.quorum) {
+    ctx.Branch("prevote_quorum");
+    return b.StartElection(s, dst, ctx);
+  }
+  ctx.Branch("prevote_counted");
+  return s;
+}
+
+State HandleAppendEntries(const Builder& b, State s, const Value& m, ActionContext& ctx) {
+  const Value& dst = m.field("dst");
+  const Value& src = m.field("src");
+  const int64_t mterm = m.field("term").int_v();
+
+  if (mterm > CurrentTerm(s, dst)) {
+    ctx.Branch("adopt_leader_term");
+    s = b.AdoptTerm(s, dst, mterm);
+  } else if (b.p.bugs.wr4_term_regress && mterm < CurrentTerm(s, dst)) {
+    ctx.Branch("term_regress[bug:wr4]");
+    s = b.AdoptTerm(s, dst, mterm);
+  }
+  if (mterm < CurrentTerm(s, dst)) {
+    ctx.Branch("reject_stale_leader");
+    return b.SendMsg(s, Builder::MsgAppendEntriesResp(dst, src, CurrentTerm(s, dst), false,
+                                                      LastIndex(s, dst) + 1));
+  }
+  if (Role(s, dst).str_v() == kRoleLeader) {
+    // Same-term AppendEntries at a leader cannot happen in correct Raft; the
+    // message is consumed without effect.
+    ctx.Branch("ignored_at_leader");
+    return s;
+  }
+  s = b.SetRole(s, dst, kRoleFollower);
+
+  const int64_t prev_index = m.field("prevLogIndex").int_v();
+  const int64_t prev_term = m.field("prevLogTerm").int_v();
+  const Value& entries = m.field("entries");
+  const int64_t snap = SnapshotIndex(s, dst);
+  const int64_t last = LastIndex(s, dst);
+
+  // Consistency check on the entry preceding the batch.
+  bool prev_ok;
+  if (prev_index < snap) {
+    // The prefix is already inside our snapshot; treat as matching (covered
+    // entries are skipped below).
+    prev_ok = true;
+  } else {
+    prev_ok = prev_index <= last && TermAt(s, dst, prev_index) == prev_term;
+    if (!prev_ok && b.p.bugs.wr1_commit_own_last && prev_index <= 1 && prev_index <= last) {
+      // WRaft#1: the consistency check is skipped for the first-entry special
+      // case, so a conflicting entry 1 survives (Figure 7).
+      ctx.Branch("skip_first_entry_check[bug:wr1]");
+      prev_ok = true;
+    }
+  }
+  if (!prev_ok) {
+    ctx.Branch("reject_log_mismatch");
+    const int64_t hint = std::min<int64_t>(last + 1, std::max<int64_t>(prev_index, snap + 1));
+    return b.SendMsg(s, Builder::MsgAppendEntriesResp(dst, src, CurrentTerm(s, dst), false,
+                                                      hint));
+  }
+
+  // Append / reconcile the entries.
+  if (b.p.bugs.ros2_erase_matched && !entries.empty() && prev_index >= snap) {
+    // RaftOS#2: truncate at prevLogIndex unconditionally before appending,
+    // erasing already-matched (possibly committed) entries when a duplicate
+    // or reordered message arrives.
+    ctx.Branch("truncate_unconditionally[bug:ros2]");
+    Value log = Log(s, dst).SubSeq(1, static_cast<size_t>(std::max<int64_t>(
+                                          prev_index - snap, 0)));
+    for (const Value& e : entries.elems()) {
+      log = log.Append(e);
+    }
+    s = Builder::Upd(s, kVarLog, dst, log);
+  } else {
+    for (size_t k = 0; k < entries.size(); ++k) {
+      const int64_t idx = prev_index + 1 + static_cast<int64_t>(k);
+      if (idx <= snap) {
+        continue;  // covered by our snapshot
+      }
+      const Value& e = entries.at(k);
+      if (idx <= LastIndex(s, dst)) {
+        if (TermAt(s, dst, idx) == e.field("term").int_v()) {
+          continue;  // already matched
+        }
+        ctx.Branch("truncate_conflict");
+        const int64_t keep = idx - SnapshotIndex(s, dst) - 1;
+        s = Builder::Upd(s, kVarLog, dst,
+                         Log(s, dst).SubSeq(1, static_cast<size_t>(std::max<int64_t>(keep, 0))));
+      }
+      ctx.Branch("append_entry");
+      s = Builder::Upd(s, kVarLog, dst, Log(s, dst).Append(e));
+    }
+  }
+
+  // Commit index update.
+  const int64_t base = b.p.bugs.wr1_commit_own_last
+                           ? LastIndex(s, dst)  // WRaft#1: bound by own last index
+                           : prev_index + static_cast<int64_t>(entries.size());
+  int64_t new_commit = std::min(m.field("commit").int_v(), base);
+  new_commit = std::max(new_commit, SnapshotIndex(s, dst));
+  if (b.p.bugs.pso2_commit_regress) {
+    // PySyncObj#2: leaderCommit adopted without the monotonicity guard.
+    if (new_commit < CommitIndex(s, dst)) {
+      ctx.Branch("commit_regress[bug:pso2]");
+    }
+  } else {
+    new_commit = std::max(new_commit, CommitIndex(s, dst));
+  }
+  s = Builder::Upd(s, kVarCommitIndex, dst, Value::Int(new_commit));
+
+  // Success response with the next-index hint. PySyncObj#4: when the message
+  // carried entries the hint is off by one (prev+len instead of prev+len+1,
+  // Figure 6 AER3).
+  int64_t hint = prev_index + static_cast<int64_t>(entries.size()) + 1;
+  if (b.p.bugs.pso4_match_regress && !entries.empty()) {
+    ctx.Branch("wrong_success_hint[bug:pso4]");
+    hint = prev_index + static_cast<int64_t>(entries.size());
+  }
+  ctx.Branch("accept_entries");
+  return b.SendMsg(s, Builder::MsgAppendEntriesResp(dst, src, CurrentTerm(s, dst), true, hint));
+}
+
+State HandleAppendEntriesResp(const Builder& b, State s, const Value& m, ActionContext& ctx) {
+  const Value& dst = m.field("dst");  // the leader
+  const Value& src = m.field("src");  // the follower
+  const int64_t mterm = m.field("term").int_v();
+  if (mterm > CurrentTerm(s, dst)) {
+    ctx.Branch("step_down_on_higher_term");
+    return b.AdoptTerm(s, dst, mterm);
+  }
+  if (Role(s, dst).str_v() != kRoleLeader || mterm != CurrentTerm(s, dst)) {
+    ctx.Branch("stale_response_ignored");
+    return s;
+  }
+  const Value& next_fun = s.field(kVarNextIndex).Apply(dst);
+  const Value& match_fun = s.field(kVarMatchIndex).Apply(dst);
+  if (!next_fun.FunHas(src)) {
+    ctx.Branch("unknown_peer");
+    return s;
+  }
+  const int64_t hint = m.field("hint").int_v();
+  const int64_t old_next = next_fun.Apply(src).int_v();
+  const int64_t old_match = match_fun.Apply(src).int_v();
+
+  if (m.field("success").bool_v()) {
+    const int64_t acked = hint - 1;
+    int64_t new_match;
+    if (b.p.bugs.pso4_match_regress || b.p.bugs.ros1_match_regress) {
+      // PySyncObj#4 / RaftOS#1: assignment without the max() guard.
+      if (acked < old_match) {
+        ctx.Branch("match_regress[bug]");
+      }
+      new_match = acked;
+    } else {
+      new_match = std::max(old_match, acked);
+    }
+    int64_t new_next;
+    if (b.p.bugs.wr7_next_eq_match) {
+      // WRaft#7: nextIndex set to the match index itself.
+      ctx.Branch("next_eq_match[bug:wr7]");
+      new_next = std::max<int64_t>(new_match, 1);
+    } else if (b.p.bugs.pso3_next_le_match) {
+      // PySyncObj#3: nextIndex taken from the hint without clamping.
+      new_next = std::max<int64_t>(hint, 1);
+    } else {
+      new_next = std::max({old_next, hint, new_match + 1});
+    }
+    new_next = std::min(new_next, LastIndex(s, dst) + 1);
+    s = Builder::Upd(s, kVarMatchIndex, dst, match_fun.FunSet(src, Value::Int(new_match)));
+    s = Builder::Upd(s, kVarNextIndex, dst,
+                     s.field(kVarNextIndex).Apply(dst).FunSet(src, Value::Int(new_next)));
+    ctx.Branch("replication_acked");
+    return b.AdvanceCommit(s, dst, ctx);
+  }
+
+  // Rejected: back off nextIndex and retry immediately. The follower's hint
+  // is its own log end, which can exceed ours when an uncommitted longer log
+  // lost an election — clamp to our last index + 1.
+  int64_t new_next;
+  if (b.p.bugs.pso3_next_le_match || b.p.bugs.pso4_match_regress) {
+    // PySyncObj#3/#4 share a root cause: the reset from the response hint is
+    // not clamped to matchIndex+1, so a delayed rejection (old-connection
+    // traffic surfacing after a partition heals, Figure 6's AER1) rewinds
+    // nextIndex below — and later, via the wrong success hint, matchIndex
+    // regresses too.
+    new_next = std::max<int64_t>(hint, 1);
+  } else {
+    new_next = std::max<int64_t>(std::max(hint, old_match + 1), 1);
+  }
+  new_next = std::min(new_next, LastIndex(s, dst) + 1);
+  s = Builder::Upd(s, kVarNextIndex, dst, next_fun.FunSet(src, Value::Int(new_next)));
+  ctx.Branch("replication_rejected");
+  const Value retry = b.MakeAppendMsg(s, dst, src, /*is_retry=*/true, ctx);
+  s = b.SendMsg(s, retry);
+  return b.MaybeOptimisticNext(s, dst, src, retry);
+}
+
+State HandleInstallSnapshot(const Builder& b, State s, const Value& m, ActionContext& ctx) {
+  const Value& dst = m.field("dst");
+  const Value& src = m.field("src");
+  const int64_t mterm = m.field("term").int_v();
+  if (mterm > CurrentTerm(s, dst)) {
+    ctx.Branch("adopt_leader_term");
+    s = b.AdoptTerm(s, dst, mterm);
+  }
+  if (mterm < CurrentTerm(s, dst)) {
+    ctx.Branch("reject_stale_snapshot");
+    return b.SendMsg(s, Builder::MsgInstallSnapshotResp(dst, src, CurrentTerm(s, dst), false,
+                                                        LastIndex(s, dst) + 1));
+  }
+  if (Role(s, dst).str_v() == kRoleLeader) {
+    ctx.Branch("ignored_at_leader");
+    return s;
+  }
+  s = b.SetRole(s, dst, kRoleFollower);
+  const int64_t snap_index = m.field("lastIndex").int_v();
+  const int64_t snap_term = m.field("lastTerm").int_v();
+  if (snap_index <= SnapshotIndex(s, dst)) {
+    ctx.Branch("stale_snapshot_content");
+    return b.SendMsg(s, Builder::MsgInstallSnapshotResp(dst, src, CurrentTerm(s, dst), true,
+                                                        LastIndex(s, dst) + 1));
+  }
+  // Retain any suffix that extends past the snapshot and matches its term.
+  Value new_log = Value::EmptySeq();
+  if (snap_index <= LastIndex(s, dst) && snap_index > SnapshotIndex(s, dst) &&
+      TermAt(s, dst, snap_index) == snap_term) {
+    ctx.Branch("retain_suffix");
+    new_log = EntriesFrom(s, dst, snap_index + 1);
+  } else {
+    ctx.Branch("discard_log");
+  }
+  s = Builder::Upd(s, kVarLog, dst, new_log);
+  s = Builder::Upd(s, kVarSnapshotIndex, dst, Value::Int(snap_index));
+  s = Builder::Upd(s, kVarSnapshotTerm, dst, Value::Int(snap_term));
+  s = Builder::Upd(s, kVarCommitIndex, dst,
+                   Value::Int(std::max(CommitIndex(s, dst), snap_index)));
+  return b.SendMsg(s, Builder::MsgInstallSnapshotResp(dst, src, CurrentTerm(s, dst), true,
+                                                      snap_index + 1));
+}
+
+State HandleInstallSnapshotResp(const Builder& b, State s, const Value& m, ActionContext& ctx) {
+  const Value& dst = m.field("dst");
+  const Value& src = m.field("src");
+  const int64_t mterm = m.field("term").int_v();
+  if (mterm > CurrentTerm(s, dst)) {
+    ctx.Branch("step_down_on_higher_term");
+    return b.AdoptTerm(s, dst, mterm);
+  }
+  if (Role(s, dst).str_v() != kRoleLeader || mterm != CurrentTerm(s, dst) ||
+      !m.field("success").bool_v()) {
+    ctx.Branch("snapshot_resp_ignored");
+    return s;
+  }
+  const Value& next_fun = s.field(kVarNextIndex).Apply(dst);
+  const Value& match_fun = s.field(kVarMatchIndex).Apply(dst);
+  if (!next_fun.FunHas(src)) {
+    ctx.Branch("unknown_peer");
+    return s;
+  }
+  const int64_t hint = m.field("hint").int_v();
+  const int64_t new_match = std::max(match_fun.Apply(src).int_v(), hint - 1);
+  const int64_t new_next = std::max(next_fun.Apply(src).int_v(), hint);
+  s = Builder::Upd(s, kVarMatchIndex, dst, match_fun.FunSet(src, Value::Int(new_match)));
+  s = Builder::Upd(s, kVarNextIndex, dst,
+                   s.field(kVarNextIndex).Apply(dst).FunSet(src, Value::Int(new_next)));
+  ctx.Branch("snapshot_acked");
+  return b.AdvanceCommit(s, dst, ctx);
+}
+
+Action ClientRequestAction(const BP& b) {
+  Action a;
+  a.name = "ClientRequest";
+  a.kind = EventKind::kClientRequest;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    if (Counter(s, "requests") >= b->p.budget.max_client_requests) {
+      return;
+    }
+    for (const Value& node : b->nodes) {
+      if (Role(s, node).str_v() != kRoleLeader) {
+        continue;
+      }
+      if (LastIndex(s, node) >= b->p.budget.max_log_len) {
+        continue;
+      }
+      for (int v = 1; v <= b->p.config.num_values; ++v) {
+        std::vector<Value::Field> fields = {{"term", Value::Int(CurrentTerm(s, node))},
+                                            {"val", Value::Int(v)}};
+        if (b->p.features.kv) {
+          fields.emplace_back("key", Value::Str("x"));
+        }
+        State t = Builder::Upd(s, kVarLog, node, Log(s, node).Append(Value::Record(fields)));
+        t = BumpCounter(t, "requests");
+        ctx.Branch("append_request");
+        JsonObject params;
+        params["node"] = Builder::NodeParam(node);
+        params["val"] = Json(static_cast<int64_t>(v));
+        if (b->p.features.kv) {
+          params["key"] = Json(std::string("x"));
+        }
+        ctx.Emit(std::move(t), Json(std::move(params)));
+      }
+    }
+  };
+  return a;
+}
+
+// A leader whose leadership would survive a ReadIndex quorum round: a quorum
+// of nodes (including itself) is reachable and has not moved past its term.
+// Used by the fixed ClientRead semantics.
+bool IsCurrentLeader(const Builder& b, const State& s, const Value& node) {
+  const int64_t my_term = CurrentTerm(s, node);
+  int reachable = 1;
+  for (const Value& peer : b.nodes) {
+    if (peer == node || IsCrashed(s, peer)) {
+      continue;
+    }
+    if (CurrentTerm(s, peer) > my_term) {
+      continue;  // this peer would reject the heartbeat
+    }
+    if (!specnet::ConnectedPair(s.field(kVarNet), node, peer)) {
+      continue;
+    }
+    ++reachable;
+  }
+  return reachable >= b.quorum;
+}
+
+// Xraft-KV reads: the leader answers from local state. The stale-read bug
+// serves reads without confirming leadership; the fixed variant models the
+// ReadIndex protocol's outcome (the returned value reflects the globally
+// committed prefix). Reads do not change the state; the linearizability
+// oracle checks the returned value on the transition label.
+Action ClientReadAction(const BP& b) {
+  Action a;
+  a.name = "ClientRead";
+  a.kind = EventKind::kClientRequest;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    for (const Value& node : b->nodes) {
+      if (Role(s, node).str_v() != kRoleLeader) {
+        continue;
+      }
+      if (!b->p.bugs.xkv1_stale_read) {
+        // ReadIndex semantics: the read is served only by a leader whose
+        // leadership would survive a quorum round and whose applied state has
+        // caught up with everything committed (Raft requires the latter via
+        // the new-leader no-op commit). A deposed leader cannot serve reads.
+        ctx.Branch("readindex_read");
+        if (!IsCurrentLeader(*b, s, node)) {
+          continue;
+        }
+        int64_t max_commit = 0;
+        for (const Value& peer : b->nodes) {
+          max_commit = std::max(max_commit, CommitIndex(s, peer));
+        }
+        if (CommitIndex(s, node) != max_commit) {
+          continue;
+        }
+      } else {
+        // Xraft-KV#1: any node that believes it is the leader serves the read
+        // from local state, without confirming leadership.
+        ctx.Branch("local_read[bug:xkv1]");
+      }
+      const int64_t val = LocalValue(s, node, "x");
+      JsonObject params;
+      params["node"] = Builder::NodeParam(node);
+      params["key"] = Json(std::string("x"));
+      params["val"] = Json(val);
+      ctx.Emit(s, Json(std::move(params)));
+    }
+  };
+  return a;
+}
+
+Action CrashAction(const BP& b) {
+  Action a;
+  a.name = "NodeCrash";
+  a.kind = EventKind::kCrash;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    if (Counter(s, "crashes") >= b->p.budget.max_crashes) {
+      return;
+    }
+    // At most a minority may be down at once, or the cluster trivially stalls.
+    int down = 0;
+    for (const Value& node : b->nodes) {
+      down += IsCrashed(s, node) ? 1 : 0;
+    }
+    if (down + 1 >= b->quorum) {
+      return;
+    }
+    for (const Value& node : b->nodes) {
+      if (IsCrashed(s, node)) {
+        continue;
+      }
+      // Crash: volatile state is lost (role, votes, leader bookkeeping, commit
+      // index); persistent state (term, votedFor, log, snapshot) survives.
+      State t = b->SetRole(s, node, kRoleCrashed);
+      t = Builder::Upd(t, kVarVotesGranted, node, Value::EmptySet());
+      if (b->p.features.prevote) {
+        t = Builder::Upd(t, kVarPreVotesGranted, node, Value::EmptySet());
+      }
+      t = Builder::Upd(t, kVarNextIndex, node, Value::EmptyFun());
+      t = Builder::Upd(t, kVarMatchIndex, node, Value::EmptyFun());
+      t = Builder::Upd(t, kVarCommitIndex, node, Value::Int(SnapshotIndex(s, node)));
+      t = b->WithNet(t, specnet::OnCrash(t.field(kVarNet), node));
+      t = BumpCounter(t, "crashes");
+      ctx.Branch("crash");
+      JsonObject params;
+      params["node"] = Builder::NodeParam(node);
+      ctx.Emit(std::move(t), Json(std::move(params)));
+    }
+  };
+  return a;
+}
+
+Action RestartAction(const BP& b) {
+  Action a;
+  a.name = "NodeRestart";
+  a.kind = EventKind::kRestart;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    if (Counter(s, "restarts") >= b->p.budget.max_restarts) {
+      return;
+    }
+    for (const Value& node : b->nodes) {
+      if (!IsCrashed(s, node)) {
+        continue;
+      }
+      State t = b->SetRole(s, node, kRoleFollower);
+      t = b->WithNet(t, specnet::OnRestart(t.field(kVarNet), node));
+      t = BumpCounter(t, "restarts");
+      ctx.Branch("restart");
+      JsonObject params;
+      params["node"] = Builder::NodeParam(node);
+      ctx.Emit(std::move(t), Json(std::move(params)));
+    }
+  };
+  return a;
+}
+
+Action PartitionAction(const BP& b) {
+  Action a;
+  a.name = "PartitionStart";
+  a.kind = EventKind::kPartition;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    if (Counter(s, "partitions") >= b->p.budget.max_partitions) {
+      return;
+    }
+    const Value& net = s.field(kVarNet);
+    if (specnet::HasPartition(net)) {
+      return;
+    }
+    // Enumerate cuts as subsets; a cut and its complement are the same
+    // partition, so only the lexicographically smaller side is used.
+    const int total = 1 << b->n;
+    for (int mask = 1; mask < total - 1; ++mask) {
+      std::vector<Value> side;
+      std::vector<Value> other;
+      for (int i = 0; i < b->n; ++i) {
+        ((mask >> i) & 1 ? side : other).push_back(b->nodes[static_cast<size_t>(i)]);
+      }
+      Value side_set = Value::Set(std::move(side));
+      Value other_set = Value::Set(std::move(other));
+      if (Compare(other_set, side_set) < 0) {
+        continue;  // complement will be enumerated as its own mask
+      }
+      State t = b->WithNet(s, specnet::Partition(net, side_set));
+      t = BumpCounter(t, "partitions");
+      ctx.Branch("partition");
+      JsonArray ids;
+      for (const Value& v : side_set.elems()) {
+        ids.push_back(Json(static_cast<int64_t>(NodeIndex(v))));
+      }
+      JsonObject params;
+      params["side"] = Json(std::move(ids));
+      ctx.Emit(std::move(t), Json(std::move(params)));
+    }
+  };
+  return a;
+}
+
+Action HealAction(const BP& b) {
+  Action a;
+  a.name = "PartitionHeal";
+  a.kind = EventKind::kRecover;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    const Value& net = s.field(kVarNet);
+    if (!specnet::HasPartition(net)) {
+      return;
+    }
+    ctx.Branch("heal");
+    ctx.Emit(b->WithNet(s, specnet::Heal(net)), Json(JsonObject{}));
+  };
+  return a;
+}
+
+Action DropAction(const BP& b) {
+  Action a;
+  a.name = "DropMessage";
+  a.kind = EventKind::kNetworkFault;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    if (Counter(s, "drops") >= b->p.budget.max_drops) {
+      return;
+    }
+    for (specnet::FaultOption& f : specnet::DropOptions(s.field(kVarNet))) {
+      State t = b->WithNet(s, std::move(f.net_after));
+      t = BumpCounter(t, "drops");
+      ctx.Branch("drop");
+      ctx.Emit(std::move(t), Builder::MsgParams(f.msg));
+    }
+  };
+  return a;
+}
+
+Action DupAction(const BP& b) {
+  Action a;
+  a.name = "DuplicateMessage";
+  a.kind = EventKind::kNetworkFault;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    if (Counter(s, "dups") >= b->p.budget.max_dups) {
+      return;
+    }
+    for (specnet::FaultOption& f : specnet::DupOptions(s.field(kVarNet), 2)) {
+      State t = b->WithNet(s, std::move(f.net_after));
+      t = BumpCounter(t, "dups");
+      ctx.Branch("duplicate");
+      ctx.Emit(std::move(t), Builder::MsgParams(f.msg));
+    }
+  };
+  return a;
+}
+
+Action SnapshotAction(const BP& b) {
+  Action a;
+  a.name = "TakeSnapshot";
+  a.kind = EventKind::kInternal;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    if (Counter(s, "snapshots") >= b->p.budget.max_snapshots) {
+      return;
+    }
+    for (const Value& node : b->nodes) {
+      if (IsCrashed(s, node)) {
+        continue;
+      }
+      const int64_t commit = CommitIndex(s, node);
+      if (commit <= SnapshotIndex(s, node)) {
+        continue;
+      }
+      State t = Builder::Upd(s, kVarSnapshotTerm, node, Value::Int(TermAt(s, node, commit)));
+      t = Builder::Upd(t, kVarLog, node, EntriesFrom(t, node, commit + 1));
+      t = Builder::Upd(t, kVarSnapshotIndex, node, Value::Int(commit));
+      t = BumpCounter(t, "snapshots");
+      ctx.Branch("compact");
+      JsonObject params;
+      params["node"] = Builder::NodeParam(node);
+      ctx.Emit(std::move(t), Json(std::move(params)));
+    }
+  };
+  return a;
+}
+
+}  // namespace
+
+// Declared in raft_invariants.cc.
+void AddRaftInvariants(Spec& spec, const RaftProfile& profile, int num_servers);
+
+Spec MakeRaftSpec(const RaftProfile& profile) {
+  auto b = std::make_shared<const Builder>(profile);
+
+  Spec spec;
+  spec.name = "raft/" + profile.name;
+  spec.init_states.push_back(b->InitState());
+  spec.symmetry = Symmetry{kServerClass, b->n};
+
+  spec.actions.push_back(ElectionTimeoutAction(b));
+  spec.actions.push_back(HeartbeatAction(b));
+  spec.actions.push_back(DeliveryAction(b, "HandleRequestVoteRequest", kMsgRequestVote,
+                                        HandleRequestVote));
+  spec.actions.push_back(DeliveryAction(b, "HandleRequestVoteResponse", kMsgRequestVoteResp,
+                                        HandleRequestVoteResp));
+  spec.actions.push_back(DeliveryAction(b, "HandleAppendEntriesRequest", kMsgAppendEntries,
+                                        HandleAppendEntries));
+  spec.actions.push_back(DeliveryAction(b, "HandleAppendEntriesResponse",
+                                        kMsgAppendEntriesResp, HandleAppendEntriesResp));
+  if (profile.features.prevote) {
+    spec.actions.push_back(DeliveryAction(b, "HandlePreVoteRequest", kMsgPreVote,
+                                          HandlePreVote));
+    spec.actions.push_back(DeliveryAction(b, "HandlePreVoteResponse", kMsgPreVoteResp,
+                                          HandlePreVoteResp));
+  }
+  if (profile.features.compaction) {
+    spec.actions.push_back(DeliveryAction(b, "HandleInstallSnapshotRequest",
+                                          kMsgInstallSnapshot, HandleInstallSnapshot));
+    spec.actions.push_back(DeliveryAction(b, "HandleInstallSnapshotResponse",
+                                          kMsgInstallSnapshotResp, HandleInstallSnapshotResp));
+    spec.actions.push_back(SnapshotAction(b));
+  }
+  spec.actions.push_back(ClientRequestAction(b));
+  if (profile.features.kv) {
+    spec.actions.push_back(ClientReadAction(b));
+  }
+  spec.actions.push_back(CrashAction(b));
+  spec.actions.push_back(RestartAction(b));
+  if (profile.features.udp) {
+    spec.actions.push_back(DropAction(b));
+    spec.actions.push_back(DupAction(b));
+  } else {
+    spec.actions.push_back(PartitionAction(b));
+    spec.actions.push_back(HealAction(b));
+  }
+
+  // Budget constraint (§3.3): counters and structural bounds.
+  const RaftBudget budget = profile.budget;
+  const int n = b->n;
+  spec.constraint = [budget, n](const State& s) {
+    if (Counter(s, "timeouts") > budget.max_timeouts ||
+        Counter(s, "requests") > budget.max_client_requests ||
+        Counter(s, "crashes") > budget.max_crashes ||
+        Counter(s, "restarts") > budget.max_restarts ||
+        Counter(s, "partitions") > budget.max_partitions ||
+        Counter(s, "drops") > budget.max_drops ||
+        Counter(s, "dups") > budget.max_dups ||
+        Counter(s, "snapshots") > budget.max_snapshots) {
+      return false;
+    }
+    if (specnet::MaxChannelLoad(s.field(kVarNet)) > budget.max_msg_buffer) {
+      return false;
+    }
+    for (int i = 0; i < n; ++i) {
+      const Value node = NodeV(i);
+      if (CurrentTerm(s, node) > budget.max_term || LastIndex(s, node) > budget.max_log_len) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  spec.compared_vars = {kVarRole,        kVarCurrentTerm, kVarVotedFor, kVarLog,
+                        kVarCommitIndex, kVarNet};
+  if (profile.features.compaction) {
+    spec.compared_vars.push_back(kVarSnapshotIndex);
+    spec.compared_vars.push_back(kVarSnapshotTerm);
+  }
+
+  AddRaftInvariants(spec, profile, b->n);
+  return spec;
+}
+
+}  // namespace sandtable

@@ -1,0 +1,25 @@
+// Builds the parameterized Raft specification for a system profile (§3.1).
+//
+// The spec models node-level events only — message handling, timeouts, client
+// requests, node crashes/restarts and network failures — exactly the paper's
+// "global exploration" granularity; thread interleavings and serialization are
+// abstracted away. Per-profile bug switches make the spec describe the actual
+// (potentially buggy) implementation rather than ideal Raft.
+#ifndef SANDTABLE_SRC_RAFTSPEC_RAFT_SPEC_H_
+#define SANDTABLE_SRC_RAFTSPEC_RAFT_SPEC_H_
+
+#include "src/raftspec/raft_params.h"
+#include "src/spec/spec.h"
+
+namespace sandtable {
+
+// Constructs the bounded specification for `profile`: initial state, actions,
+// the safety properties of §4.2 (single leader, log consistency, durability,
+// commitment requirements, variable monotonicity, system-specific properties
+// such as WRaft's non-empty retries and Xraft-KV's linearizability), and the
+// budget-constraint predicate.
+Spec MakeRaftSpec(const RaftProfile& profile);
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_RAFTSPEC_RAFT_SPEC_H_

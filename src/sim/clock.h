@@ -1,0 +1,53 @@
+// Per-node virtual clock (Appendix A.1).
+//
+// The paper's interceptor overrides clock_gettime()/gettimeofday() so the
+// engine can advance time arbitrarily and trigger timeout events without
+// waiting for the wall clock. Each query bumps the clock by a small increment
+// to preserve monotonicity, exactly as described in the paper; the engine
+// advances it in larger steps to fire a specific node's pending timer.
+#ifndef SANDTABLE_SRC_SIM_CLOCK_H_
+#define SANDTABLE_SRC_SIM_CLOCK_H_
+
+#include <cstdint>
+
+namespace sandtable {
+namespace sim {
+
+class VirtualClock {
+ public:
+  explicit VirtualClock(int64_t start_ns = 0, int64_t auto_increment_ns = 1)
+      : now_ns_(start_ns), auto_increment_ns_(auto_increment_ns) {}
+
+  // The intercepted clock_gettime(): returns the current virtual time and
+  // bumps it by the predefined increment to keep time strictly monotonic.
+  int64_t NowNs() {
+    const int64_t t = now_ns_;
+    now_ns_ += auto_increment_ns_;
+    return t;
+  }
+
+  // Read without advancing (engine-side inspection).
+  int64_t PeekNs() const { return now_ns_; }
+
+  // Engine command: advance time (e.g. to one tick past a timer deadline).
+  void AdvanceNs(int64_t delta_ns) {
+    if (delta_ns > 0) {
+      now_ns_ += delta_ns;
+    }
+  }
+
+  void AdvanceToNs(int64_t target_ns) {
+    if (target_ns > now_ns_) {
+      now_ns_ = target_ns;
+    }
+  }
+
+ private:
+  int64_t now_ns_;
+  int64_t auto_increment_ns_;
+};
+
+}  // namespace sim
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_SIM_CLOCK_H_

@@ -1,0 +1,100 @@
+// The implementation-level process model.
+//
+// Target-system nodes are written as event-driven processes against this
+// POSIX-like facade: they read a (virtual) clock, send bytes over sockets,
+// persist state to storage, and emit log lines — the same control points the
+// paper's interceptor captures with LD_PRELOAD on a real system (Appendix A).
+// The deterministic execution engine (src/engine) owns the environment and
+// steps processes one event at a time.
+#ifndef SANDTABLE_SRC_SIM_PROCESS_H_
+#define SANDTABLE_SRC_SIM_PROCESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "src/util/json.h"
+
+namespace sandtable {
+namespace sim {
+
+// Persistent per-node storage that survives crashes (the node's "disk").
+// Nodes keep durable protocol state (currentTerm, votedFor, log, snapshot)
+// here; the engine hands the same Storage back on restart.
+class Storage {
+ public:
+  bool Has(const std::string& key) const { return data_.contains(key); }
+  const Json& Get(const std::string& key) const { return data_[key]; }
+  void Put(const std::string& key, Json value) { data_[key] = std::move(value); }
+  void Clear() { data_ = Json(JsonObject{}); }
+  const Json& raw() const { return data_; }
+
+ private:
+  Json data_ = Json(JsonObject{});
+};
+
+// The environment a process runs in; implemented by the engine.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  virtual int node_id() const = 0;
+  virtual int cluster_size() const = 0;
+
+  // Intercepted clock_gettime(): virtual, per node, monotonic.
+  virtual int64_t NowNs() = 0;
+
+  // Intercepted send()/sendto(): hand bytes to the transparent proxy. May
+  // silently fail (partition, crashed peer) exactly like the real network.
+  // Returns false when the proxy refuses the message (connection down) —
+  // systems that check send results (WRaft#8) can observe this.
+  virtual bool SendTo(int dst, const std::string& bytes) = 0;
+
+  // Intercepted write() on the log file descriptor: captured for log-parsing
+  // state observation (Appendix A.4).
+  virtual void WriteLog(const std::string& line) = 0;
+
+  // Durable storage (the node's disk).
+  virtual Storage& Disk() = 0;
+};
+
+// An event-driven node. All nondeterminism is externalized: the engine decides
+// which message is delivered, when timers fire, and when crashes happen; the
+// handlers themselves must be deterministic functions of (state, event).
+//
+// A handler signalling failure (returning false) models an unhandled exception
+// crashing the process — how the paper's conformance checking surfaces bugs
+// like PySyncObj#1 / RaftOS#3 / Xraft#2.
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  virtual void OnStart() = 0;
+
+  // A message from `src` was delivered by the proxy.
+  [[nodiscard]] virtual bool OnMessage(int src, const std::string& bytes) = 0;
+
+  // The virtual clock advanced; the process checks its deadlines.
+  [[nodiscard]] virtual bool OnTick() = 0;
+
+  // A client request (workload command from the trace).
+  [[nodiscard]] virtual bool OnClientRequest(const Json& request, Json* response) = 0;
+
+  // A peer connection dropped (partition or peer crash). TCP semantics only.
+  [[nodiscard]] virtual bool OnDisconnect(int peer) = 0;
+
+  // Debug API exposing internal state (conformance observation channel 1).
+  virtual Json QueryState() = 0;
+
+  // Earliest pending timer deadline in ns, or a negative value if none. The
+  // engine advances the virtual clock past it to fire the timeout.
+  virtual int64_t NextDeadlineNs(const std::string& timer_kind) = 0;
+};
+
+using ProcessFactory = std::function<std::unique_ptr<Process>(Env& env)>;
+
+}  // namespace sim
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_SIM_PROCESS_H_

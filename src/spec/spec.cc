@@ -1,0 +1,101 @@
+#include "src/spec/spec.h"
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace sandtable {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kMessage:
+      return "Message";
+    case EventKind::kTimeout:
+      return "Timeout";
+    case EventKind::kClientRequest:
+      return "ClientRequest";
+    case EventKind::kCrash:
+      return "Crash";
+    case EventKind::kRestart:
+      return "Restart";
+    case EventKind::kPartition:
+      return "Partition";
+    case EventKind::kRecover:
+      return "Recover";
+    case EventKind::kNetworkFault:
+      return "NetworkFault";
+    case EventKind::kInternal:
+      return "Internal";
+  }
+  return "?";
+}
+
+std::string ActionLabel::ToString() const {
+  if (params.is_object() && !params.as_object().empty()) {
+    return action + " " + params.Dump();
+  }
+  return action;
+}
+
+std::string TraceToString(const std::vector<TraceStep>& trace) {
+  std::string out;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (i == 0) {
+      out += StrFormat("  0: <init>\n     %s\n", trace[i].state.ToString().c_str());
+    } else {
+      out += StrFormat("  %zu: %s\n     %s\n", i, trace[i].label.ToString().c_str(),
+                       trace[i].state.ToString().c_str());
+    }
+  }
+  return out;
+}
+
+std::string TraceToJsonl(const std::vector<TraceStep>& trace) {
+  std::string out;
+  for (const TraceStep& step : trace) {
+    JsonObject o;
+    o["action"] = Json(step.label.action);
+    o["kind"] = Json(std::string(EventKindName(step.label.kind)));
+    o["params"] = step.label.params;
+    o["state"] = step.state.ToJson();
+    out += Json(std::move(o)).Dump();
+    out += '\n';
+  }
+  return out;
+}
+
+Result<std::vector<TraceStep>> TraceFromJsonl(const std::string& text) {
+  std::vector<TraceStep> trace;
+  for (const std::string& line : StrSplit(text, '\n')) {
+    if (StripWhitespace(line).empty()) {
+      continue;
+    }
+    auto parsed = Json::Parse(line);
+    if (!parsed.ok()) {
+      return Result<std::vector<TraceStep>>::Error(parsed.error());
+    }
+    const Json& j = parsed.value();
+    if (!j.is_object()) {
+      return Result<std::vector<TraceStep>>::Error("trace line is not an object");
+    }
+    TraceStep step;
+    step.label.action = j["action"].is_string() ? j["action"].as_string() : "";
+    const std::string kind_name = j["kind"].is_string() ? j["kind"].as_string() : "Internal";
+    step.label.kind = EventKind::kInternal;
+    for (int k = 0; k < kNumEventKinds; ++k) {
+      if (kind_name == EventKindName(static_cast<EventKind>(k))) {
+        step.label.kind = static_cast<EventKind>(k);
+        break;
+      }
+    }
+    step.label.params = j["params"];
+    auto state = Value::FromJson(j["state"]);
+    if (!state.ok()) {
+      return Result<std::vector<TraceStep>>::Error(state.error());
+    }
+    step.state = std::move(state).value();
+    trace.push_back(std::move(step));
+  }
+  return trace;
+}
+
+}  // namespace sandtable

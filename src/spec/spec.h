@@ -1,0 +1,132 @@
+// Specification framework: TLA+-style guarded-action state machines.
+//
+// A Spec is a state machine over Value states (a record mapping variable
+// names to values): a set of initial states, a set of actions that enumerate
+// nondeterministic successors, state invariants, transition invariants, and a
+// state constraint bounding exploration (the paper's budget constraints, §3.3).
+//
+// Actions report which code branches they exercised via ActionContext::Branch;
+// the random-walk simulator aggregates this into the branch-coverage metric
+// used by Algorithm 1 to rank budget constraints.
+#ifndef SANDTABLE_SRC_SPEC_SPEC_H_
+#define SANDTABLE_SRC_SPEC_SPEC_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+#include "src/value/value.h"
+
+namespace sandtable {
+
+// A specification state: a Record value, one field per spec variable.
+using State = Value;
+
+// Node-level event classes, used for the event-diversity metric of Algorithm 1
+// and for converting spec events into engine replay commands.
+enum class EventKind : uint8_t {
+  kMessage = 0,       // message delivery / handling
+  kTimeout = 1,       // election or heartbeat timeout firing
+  kClientRequest = 2, // workload operation
+  kCrash = 3,         // node crash
+  kRestart = 4,       // node restart/rejoin
+  kPartition = 5,     // network partition start (TCP failure model)
+  kRecover = 6,       // network partition heal
+  kNetworkFault = 7,  // UDP drop/duplicate (reordering is implicit in delivery choice)
+  kInternal = 8,      // bookkeeping transitions not replayed at the impl level
+};
+
+const char* EventKindName(EventKind kind);
+constexpr int kNumEventKinds = 9;
+
+// Identifies one concrete transition: the action that fired plus its
+// parameters (serializable, for trace files and replay conversion).
+struct ActionLabel {
+  std::string action;
+  EventKind kind = EventKind::kInternal;
+  Json params;  // object, e.g. {"src": "n1", "dst": "n2", "msg": {...}}
+
+  std::string ToString() const;
+};
+
+// Passed to an action's expand function; collects successors and branch hits.
+class ActionContext {
+ public:
+  virtual ~ActionContext() = default;
+
+  // Emit a successor state produced with the given parameters.
+  virtual void Emit(State next, Json params) = 0;
+  void Emit(State next) { Emit(std::move(next), Json(JsonObject{})); }
+
+  // Record that the spec branch `id` (scoped by action name) was exercised.
+  virtual void Branch(std::string_view id) = 0;
+};
+
+struct Action {
+  std::string name;
+  EventKind kind = EventKind::kInternal;
+  // Enumerate all successors of `state` for this action. An action that is
+  // not enabled simply emits nothing.
+  std::function<void(const State& state, ActionContext& ctx)> expand;
+};
+
+// A state invariant; `check` returns true when the state is safe.
+struct Invariant {
+  std::string name;
+  std::function<bool(const State& state)> check;
+};
+
+// A transition invariant, checked on every explored edge. Used for the
+// monotonicity-style properties of Table 2 (e.g. "commit index is monotonic")
+// and for computed oracles ("AdvanceCommitIndex must reach the maximum
+// committable index").
+struct TransitionInvariant {
+  std::string name;
+  std::function<bool(const State& prev, const ActionLabel& label, const State& next)> check;
+};
+
+// Symmetry declaration: states are considered equal up to permutations of the
+// model values Model(cls, 0..count-1) (§3.3, symmetry reduction).
+struct Symmetry {
+  std::string cls;
+  int count = 0;
+};
+
+struct Spec {
+  std::string name;
+
+  std::vector<State> init_states;
+  std::vector<Action> actions;
+  std::vector<Invariant> invariants;
+  std::vector<TransitionInvariant> transition_invariants;
+
+  // States violating the constraint are still checked against invariants but
+  // not expanded (TLC CONSTRAINT semantics).
+  std::function<bool(const State&)> constraint;  // may be null (no bound)
+
+  std::optional<Symmetry> symmetry;
+
+  // Variables compared during conformance checking (a subset of state fields).
+  std::vector<std::string> compared_vars;
+
+  bool WithinConstraint(const State& s) const { return !constraint || constraint(s); }
+};
+
+// A step of a counterexample or random-walk trace. Step 0 holds the initial
+// state with an empty label.
+struct TraceStep {
+  ActionLabel label;
+  State state;
+};
+
+std::string TraceToString(const std::vector<TraceStep>& trace);
+
+// Serialize/deserialize traces as JSONL (one step per line).
+std::string TraceToJsonl(const std::vector<TraceStep>& trace);
+Result<std::vector<TraceStep>> TraceFromJsonl(const std::string& text);
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_SPEC_SPEC_H_

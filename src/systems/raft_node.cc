@@ -1,0 +1,874 @@
+#include "src/systems/raft_node.h"
+
+#include <algorithm>
+
+#include "src/raftspec/raft_common.h"
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace sandtable {
+namespace systems {
+
+namespace rs = raftspec;
+
+RaftImplBugs GetRaftImplBugs(const std::string& system_name, bool with_bugs) {
+  RaftImplBugs bugs;
+  if (!with_bugs) {
+    return bugs;
+  }
+  if (system_name == "pysyncobj") {
+    bugs.pso1_crash_on_disconnect = true;
+  } else if (system_name == "wraft") {
+    bugs.wr3_reject_snapshot = true;
+    bugs.wr6_leak = true;
+    bugs.wr8_stop_heartbeats = true;
+  } else if (system_name == "raftos") {
+    bugs.ros3_crash_unknown_peer = true;
+  } else if (system_name == "xraft") {
+    bugs.xr2_concurrent_modification = true;
+  }
+  return bugs;
+}
+
+const char* RaftNode::RoleName(Role role) {
+  switch (role) {
+    case Role::kFollower:
+      return rs::kRoleFollower;
+    case Role::kPreCandidate:
+      return rs::kRolePreCandidate;
+    case Role::kCandidate:
+      return rs::kRoleCandidate;
+    case Role::kLeader:
+      return rs::kRoleLeader;
+  }
+  return "?";
+}
+
+Json RaftNode::LogEntry::ToJson(bool kv) const {
+  JsonObject o;
+  o["term"] = Json(term);
+  o["val"] = Json(val);
+  if (kv) {
+    o["key"] = Json(key);
+  }
+  return Json(std::move(o));
+}
+
+RaftNode::RaftNode(sim::Env& env, RaftNodeConfig config)
+    : env_(env),
+      cfg_(std::move(config)),
+      id_(env.node_id()),
+      n_(env.cluster_size()),
+      quorum_(rs::QuorumSize(env.cluster_size())) {}
+
+// ---- Log arithmetic ----------------------------------------------------------
+
+int64_t RaftNode::LastIndex() const {
+  return snapshot_index_ + static_cast<int64_t>(log_.size());
+}
+
+int64_t RaftNode::TermAt(int64_t idx) const {
+  if (idx == 0) {
+    return 0;
+  }
+  if (idx == snapshot_index_) {
+    return snapshot_term_;
+  }
+  CHECK_GT(idx, snapshot_index_);
+  const auto pos = static_cast<size_t>(idx - snapshot_index_ - 1);
+  CHECK_LT(pos, log_.size());
+  return log_[pos].term;
+}
+
+const RaftNode::LogEntry& RaftNode::EntryAt(int64_t idx) const {
+  CHECK_GT(idx, snapshot_index_);
+  const auto pos = static_cast<size_t>(idx - snapshot_index_ - 1);
+  CHECK_LT(pos, log_.size());
+  return log_[pos];
+}
+
+std::vector<RaftNode::LogEntry> RaftNode::EntriesFrom(int64_t from) const {
+  std::vector<LogEntry> out;
+  for (int64_t idx = std::max(from, snapshot_index_ + 1); idx <= LastIndex(); ++idx) {
+    out.push_back(EntryAt(idx));
+  }
+  return out;
+}
+
+int64_t RaftNode::LocalKvValue(const std::string& key) const {
+  int64_t value = 0;
+  const int64_t upto = std::min(commit_index_, LastIndex());
+  for (int64_t idx = snapshot_index_ + 1; idx <= upto; ++idx) {
+    const LogEntry& e = EntryAt(idx);
+    if (e.key == key) {
+      value = e.val;
+    }
+  }
+  return value;
+}
+
+// ---- Wire and disk ---------------------------------------------------------------
+
+bool RaftNode::SendJson(int dst, JsonObject msg) {
+  msg["src"] = Json(static_cast<int64_t>(id_));
+  msg["dst"] = Json(static_cast<int64_t>(dst));
+  const std::string bytes = Json(std::move(msg)).Dump();
+  return env_.SendTo(dst, bytes);
+}
+
+void RaftNode::PersistHardState() {
+  JsonObject hard;
+  hard["currentTerm"] = Json(current_term_);
+  hard["votedFor"] = Json(static_cast<int64_t>(voted_for_));
+  JsonArray log;
+  for (const LogEntry& e : log_) {
+    log.push_back(e.ToJson(cfg_.profile.features.kv));
+  }
+  hard["log"] = Json(std::move(log));
+  hard["snapshotIndex"] = Json(snapshot_index_);
+  hard["snapshotTerm"] = Json(snapshot_term_);
+  env_.Disk().Put("hard", Json(std::move(hard)));
+}
+
+void RaftNode::LoadHardState() {
+  if (!env_.Disk().Has("hard")) {
+    return;
+  }
+  const Json& hard = env_.Disk().Get("hard");
+  current_term_ = hard["currentTerm"].as_int();
+  voted_for_ = static_cast<int>(hard["votedFor"].as_int());
+  snapshot_index_ = hard["snapshotIndex"].as_int();
+  snapshot_term_ = hard["snapshotTerm"].as_int();
+  log_.clear();
+  for (const Json& e : hard["log"].as_array()) {
+    LogEntry entry;
+    entry.term = e["term"].as_int();
+    entry.val = e["val"].as_int();
+    if (e.contains("key")) {
+      entry.key = e["key"].as_string();
+    }
+    log_.push_back(std::move(entry));
+  }
+}
+
+void RaftNode::LogStateLine(const char* event) {
+  // Debug-level state line parsed by the log-based conformance observer
+  // (Appendix A.4). Industrial systems log exactly this kind of detail.
+  env_.WriteLog(StrFormat(
+      "STATE event=%s role=%s term=%lld votedFor=%d commit=%lld lastIndex=%lld snap=%lld",
+      event, RoleName(role_), static_cast<long long>(current_term_), voted_for_,
+      static_cast<long long>(commit_index_), static_cast<long long>(LastIndex()),
+      static_cast<long long>(snapshot_index_)));
+}
+
+void RaftNode::ArmElectionTimer() {
+  election_deadline_ns_ = env_.NowNs() + cfg_.election_timeout_ns;
+  heartbeat_deadline_ns_ = -1;
+}
+
+void RaftNode::ArmHeartbeatTimer() {
+  heartbeat_deadline_ns_ = env_.NowNs() + cfg_.heartbeat_interval_ns;
+  election_deadline_ns_ = -1;
+}
+
+// ---- Lifecycle ---------------------------------------------------------------------
+
+void RaftNode::OnStart() {
+  LoadHardState();
+  role_ = Role::kFollower;
+  commit_index_ = snapshot_index_;  // the commit index is volatile
+  votes_granted_.clear();
+  prevotes_granted_.clear();
+  next_index_.clear();
+  match_index_.clear();
+  ArmElectionTimer();
+  LogStateLine("Start");
+}
+
+int64_t RaftNode::NextDeadlineNs(const std::string& timer_kind) {
+  if (timer_kind == "election") {
+    return role_ == Role::kLeader ? -1 : election_deadline_ns_;
+  }
+  if (timer_kind == "heartbeat") {
+    return role_ == Role::kLeader ? heartbeat_deadline_ns_ : -1;
+  }
+  return -1;
+}
+
+bool RaftNode::OnTick() {
+  const int64_t now = env_.NowNs();
+  if (role_ == Role::kLeader) {
+    if (heartbeat_deadline_ns_ >= 0 && now >= heartbeat_deadline_ns_) {
+      SendHeartbeats(cfg_.impl_bugs.wr8_stop_heartbeats);
+      ArmHeartbeatTimer();
+      LogStateLine("HeartbeatTimeout");
+    }
+    return true;
+  }
+  if (election_deadline_ns_ >= 0 && now >= election_deadline_ns_) {
+    if (cfg_.profile.features.prevote) {
+      StartPreVote();
+    } else {
+      StartElection();
+    }
+    if (role_ != Role::kLeader) {
+      ArmElectionTimer();
+    }
+    LogStateLine("Timeout");
+  }
+  return true;
+}
+
+bool RaftNode::OnDisconnect(int peer) {
+  if (cfg_.impl_bugs.pso1_crash_on_disconnect) {
+    // PySyncObj#1: the disconnection callback dereferences connection state
+    // that was already torn down — an unhandled exception kills the node.
+    env_.WriteLog(StrFormat("EXCEPTION in onDisconnected(peer=%d)", peer));
+    return false;
+  }
+  LogStateLine("Disconnect");
+  return true;
+}
+
+bool RaftNode::OnClientRequest(const Json& request, Json* response) {
+  const std::string op = request["op"].is_string() ? request["op"].as_string() : "";
+  JsonObject resp;
+  if (op == "propose") {
+    if (role_ != Role::kLeader) {
+      resp["ok"] = Json(false);
+      resp["error"] = Json(std::string("not leader"));
+    } else {
+      LogEntry e;
+      e.term = current_term_;
+      e.val = request["val"].as_int();
+      if (cfg_.profile.features.kv && request.contains("key")) {
+        e.key = request["key"].as_string();
+      }
+      log_.push_back(std::move(e));
+      PersistHardState();
+      resp["ok"] = Json(true);
+      resp["index"] = Json(LastIndex());
+      LogStateLine("ClientRequest");
+    }
+  } else if (op == "get") {
+    // Xraft-KV style read served from leader-local state. Whether this is
+    // linearizable depends on the protocol around it (Xraft-KV#1).
+    if (role_ != Role::kLeader) {
+      resp["ok"] = Json(false);
+      resp["error"] = Json(std::string("not leader"));
+    } else {
+      resp["ok"] = Json(true);
+      resp["val"] = Json(LocalKvValue(request["key"].is_string() ? request["key"].as_string()
+                                                                 : "x"));
+      LogStateLine("ClientRead");
+    }
+  } else if (op == "compact") {
+    if (!HandleCompact()) {
+      return false;
+    }
+    resp["ok"] = Json(true);
+  } else {
+    resp["ok"] = Json(false);
+    resp["error"] = Json(std::string("unknown op"));
+  }
+  *response = Json(std::move(resp));
+  return true;
+}
+
+bool RaftNode::HandleCompact() {
+  if (commit_index_ > snapshot_index_) {
+    snapshot_term_ = TermAt(commit_index_);
+    log_ = EntriesFrom(commit_index_ + 1);
+    snapshot_index_ = commit_index_;
+    PersistHardState();
+    LogStateLine("TakeSnapshot");
+  }
+  return true;
+}
+
+// ---- Elections ----------------------------------------------------------------------
+
+void RaftNode::StartPreVote() {
+  role_ = Role::kPreCandidate;
+  prevotes_granted_ = {id_};
+  const int64_t last = LastIndex();
+  for (int peer = 0; peer < n_; ++peer) {
+    if (peer == id_) {
+      continue;
+    }
+    JsonObject m;
+    m["mtype"] = Json(std::string(rs::kMsgPreVote));
+    m["term"] = Json(current_term_ + 1);
+    m["lastLogIndex"] = Json(last);
+    m["lastLogTerm"] = Json(TermAt(last));
+    SendJson(peer, std::move(m));
+  }
+}
+
+void RaftNode::StartElection() {
+  ++current_term_;
+  role_ = Role::kCandidate;
+  voted_for_ = id_;
+  votes_granted_ = {id_};
+  prevotes_granted_.clear();
+  PersistHardState();
+  const int64_t last = LastIndex();
+  for (int peer = 0; peer < n_; ++peer) {
+    if (peer == id_) {
+      continue;
+    }
+    JsonObject m;
+    m["mtype"] = Json(std::string(rs::kMsgRequestVote));
+    m["term"] = Json(current_term_);
+    m["lastLogIndex"] = Json(last);
+    m["lastLogTerm"] = Json(TermAt(last));
+    SendJson(peer, std::move(m));
+  }
+}
+
+void RaftNode::BecomeLeader() {
+  role_ = Role::kLeader;
+  next_index_.clear();
+  match_index_.clear();
+  const int64_t last = LastIndex();
+  for (int peer = 0; peer < n_; ++peer) {
+    if (peer == id_) {
+      continue;
+    }
+    next_index_[peer] = last + 1;
+    match_index_[peer] = 0;
+  }
+  for (int peer = 0; peer < n_; ++peer) {
+    if (peer == id_) {
+      continue;
+    }
+    SendAppend(peer, /*is_retry=*/false);
+  }
+  ArmHeartbeatTimer();
+  LogStateLine("BecomeLeader");
+}
+
+void RaftNode::AdoptTerm(int64_t term) {
+  current_term_ = term;
+  voted_for_ = -1;
+  votes_granted_.clear();
+  prevotes_granted_.clear();
+  next_index_.clear();
+  match_index_.clear();
+  role_ = Role::kFollower;
+  PersistHardState();
+  ArmElectionTimer();
+}
+
+// ---- Replication ----------------------------------------------------------------------
+
+bool RaftNode::SendAppend(int peer, bool is_retry) {
+  const RaftBugs& bugs = cfg_.profile.bugs;
+  auto it = next_index_.find(peer);
+  const int64_t ni = it == next_index_.end() ? 1 : it->second;
+  if (cfg_.profile.features.compaction && ni <= snapshot_index_) {
+    if (bugs.wr2_ae_instead_of_snapshot) {
+      // WRaft#2: ships an (empty) AppendEntries for a compacted range.
+      JsonObject m;
+      m["mtype"] = Json(std::string(rs::kMsgAppendEntries));
+      m["term"] = Json(current_term_);
+      m["prevLogIndex"] = Json(snapshot_index_);
+      m["prevLogTerm"] = Json(snapshot_term_);
+      m["entries"] = Json(JsonArray{});
+      m["commit"] = Json(commit_index_);
+      m["isRetry"] = Json(false);
+      return SendJson(peer, std::move(m));
+    }
+    JsonObject m;
+    m["mtype"] = Json(std::string(rs::kMsgInstallSnapshot));
+    m["term"] = Json(current_term_);
+    m["lastIndex"] = Json(snapshot_index_);
+    m["lastTerm"] = Json(snapshot_term_);
+    return SendJson(peer, std::move(m));
+  }
+  const int64_t last = LastIndex();
+  std::vector<LogEntry> entries = ni <= last ? EntriesFrom(ni) : std::vector<LogEntry>();
+  const bool retry_flag = is_retry && ni <= last;
+  if (bugs.wr5_empty_retry && is_retry) {
+    entries.clear();  // WRaft#5: the retry forgets its payload
+  }
+  JsonObject m;
+  m["mtype"] = Json(std::string(rs::kMsgAppendEntries));
+  m["term"] = Json(current_term_);
+  m["prevLogIndex"] = Json(ni - 1);
+  m["prevLogTerm"] = Json(TermAt(ni - 1));
+  JsonArray earr;
+  for (const LogEntry& e : entries) {
+    earr.push_back(e.ToJson(cfg_.profile.features.kv));
+  }
+  const size_t sent = earr.size();
+  m["entries"] = Json(std::move(earr));
+  m["commit"] = Json(commit_index_);
+  m["isRetry"] = Json(retry_flag);
+  const int64_t prev = ni - 1;
+  const bool sent_ok = SendJson(peer, std::move(m));
+  if (cfg_.profile.features.optimistic_next && sent > 0) {
+    // PySyncObj-style pipelining: advance nextIndex past what was shipped
+    // (whether or not the write reached the wire — the sender cannot know).
+    next_index_[peer] = prev + static_cast<int64_t>(sent) + 1;
+  }
+  return sent_ok;
+}
+
+void RaftNode::SendHeartbeats(bool stop_on_failure) {
+  for (int peer = 0; peer < n_; ++peer) {
+    if (peer == id_) {
+      continue;
+    }
+    const bool sent_ok = SendAppend(peer, /*is_retry=*/false);
+    if (stop_on_failure && !sent_ok) {
+      // WRaft#8: the broadcast loop aborts when one send fails, so peers
+      // later in the iteration order silently miss their heartbeats.
+      env_.WriteLog(StrFormat("heartbeat: send to %d failed, stopping round", peer));
+      break;
+    }
+  }
+}
+
+// ---- Message handling -----------------------------------------------------------------------
+
+bool RaftNode::OnMessage(int src, const std::string& bytes) {
+  if (cfg_.impl_bugs.wr6_leak) {
+    ++leaked_buffers_;  // WRaft#6: the receive buffer is never freed
+  }
+  auto parsed = Json::Parse(bytes);
+  if (!parsed.ok()) {
+    env_.WriteLog(StrFormat("EXCEPTION decoding message from %d: %s", src,
+                            parsed.error().c_str()));
+    return false;
+  }
+  const Json m = std::move(parsed).value();
+  const std::string mtype = m["mtype"].is_string() ? m["mtype"].as_string() : "";
+  bool ok;
+  if (mtype == rs::kMsgRequestVote) {
+    ok = HandleRequestVote(src, m);
+  } else if (mtype == rs::kMsgRequestVoteResp) {
+    ok = HandleRequestVoteResp(src, m);
+  } else if (mtype == rs::kMsgPreVote) {
+    ok = HandlePreVote(src, m);
+  } else if (mtype == rs::kMsgPreVoteResp) {
+    ok = HandlePreVoteResp(src, m);
+  } else if (mtype == rs::kMsgAppendEntries) {
+    ok = HandleAppendEntries(src, m);
+  } else if (mtype == rs::kMsgAppendEntriesResp) {
+    ok = HandleAppendEntriesResp(src, m);
+  } else if (mtype == rs::kMsgInstallSnapshot) {
+    ok = HandleInstallSnapshot(src, m);
+  } else if (mtype == rs::kMsgInstallSnapshotResp) {
+    ok = HandleInstallSnapshotResp(src, m);
+  } else {
+    env_.WriteLog(StrFormat("EXCEPTION: unknown message type '%s'", mtype.c_str()));
+    return false;
+  }
+  if (ok) {
+    LogStateLine(("Handle" + mtype).c_str());
+  }
+  return ok;
+}
+
+bool RaftNode::HandleRequestVote(int src, const Json& m) {
+  const RaftBugs& bugs = cfg_.profile.bugs;
+  const int64_t mterm = m["term"].as_int();
+  const bool was_leader = role_ == Role::kLeader;
+  if (mterm > current_term_) {
+    if (bugs.daos1_leader_votes && was_leader) {
+      // DaosRaft#1: term adopted, but the node keeps leading.
+      current_term_ = mterm;
+      voted_for_ = -1;
+      PersistHardState();
+    } else {
+      AdoptTerm(mterm);
+    }
+  } else if (bugs.wr4_term_regress && mterm < current_term_) {
+    AdoptTerm(mterm);  // WRaft#4
+  }
+  const int64_t my_last = LastIndex();
+  const int64_t my_last_term = TermAt(my_last);
+  const int64_t cand_last_term = m["lastLogTerm"].as_int();
+  const int64_t cand_last = m["lastLogIndex"].as_int();
+  const bool up_to_date = cand_last_term > my_last_term ||
+                          (cand_last_term == my_last_term && cand_last >= my_last);
+  bool grant = mterm == current_term_ && (voted_for_ == -1 || voted_for_ == src) &&
+               up_to_date;
+  if (!bugs.daos1_leader_votes && role_ == Role::kLeader) {
+    grant = false;  // the DaosRaft fix: leaders reject RequestVote
+  }
+  if (grant) {
+    voted_for_ = src;
+    PersistHardState();
+  }
+  JsonObject r;
+  r["mtype"] = Json(std::string(rs::kMsgRequestVoteResp));
+  r["term"] = Json(current_term_);
+  r["granted"] = Json(grant);
+  SendJson(src, std::move(r));
+  return true;
+}
+
+bool RaftNode::HandleRequestVoteResp(int src, const Json& m) {
+  const RaftBugs& bugs = cfg_.profile.bugs;
+  const int64_t mterm = m["term"].as_int();
+  if (mterm > current_term_) {
+    AdoptTerm(mterm);
+    return true;
+  }
+  if (cfg_.impl_bugs.xr2_concurrent_modification && role_ == Role::kLeader &&
+      m["granted"].as_bool() && mterm == current_term_) {
+    // Xraft#2: a straggler vote mutates the vote set while the election
+    // result is being consumed — ConcurrentModificationException.
+    env_.WriteLog("EXCEPTION ConcurrentModificationException in vote handling");
+    return false;
+  }
+  if (role_ != Role::kCandidate) {
+    return true;
+  }
+  bool counted = m["granted"].as_bool();
+  if (!bugs.xr1_stale_vote) {
+    counted = counted && mterm == current_term_;
+  }
+  if (!counted) {
+    return true;
+  }
+  votes_granted_.insert(src);
+  if (static_cast<int>(votes_granted_.size()) >= quorum_) {
+    BecomeLeader();
+  }
+  return true;
+}
+
+bool RaftNode::HandlePreVote(int src, const Json& m) {
+  const int64_t next_term = m["term"].as_int();
+  const int64_t my_last = LastIndex();
+  const int64_t my_last_term = TermAt(my_last);
+  const int64_t cand_last_term = m["lastLogTerm"].as_int();
+  const int64_t cand_last = m["lastLogIndex"].as_int();
+  const bool grant = next_term > current_term_ &&
+                     (cand_last_term > my_last_term ||
+                      (cand_last_term == my_last_term && cand_last >= my_last));
+  JsonObject r;
+  r["mtype"] = Json(std::string(rs::kMsgPreVoteResp));
+  r["term"] = Json(next_term);
+  r["granted"] = Json(grant);
+  SendJson(src, std::move(r));
+  return true;
+}
+
+bool RaftNode::HandlePreVoteResp(int src, const Json& m) {
+  if (role_ != Role::kPreCandidate || m["term"].as_int() != current_term_ + 1 ||
+      !m["granted"].as_bool()) {
+    return true;
+  }
+  prevotes_granted_.insert(src);
+  if (static_cast<int>(prevotes_granted_.size()) >= quorum_) {
+    StartElection();
+  }
+  return true;
+}
+
+bool RaftNode::HandleAppendEntries(int src, const Json& m) {
+  const RaftBugs& bugs = cfg_.profile.bugs;
+  const int64_t mterm = m["term"].as_int();
+  if (mterm > current_term_) {
+    AdoptTerm(mterm);
+  } else if (bugs.wr4_term_regress && mterm < current_term_) {
+    AdoptTerm(mterm);  // WRaft#4
+  }
+  auto reply = [&](bool success, int64_t hint) {
+    JsonObject r;
+    r["mtype"] = Json(std::string(rs::kMsgAppendEntriesResp));
+    r["term"] = Json(current_term_);
+    r["success"] = Json(success);
+    r["hint"] = Json(hint);
+    SendJson(src, std::move(r));
+  };
+  if (mterm < current_term_) {
+    reply(false, LastIndex() + 1);
+    return true;
+  }
+  if (role_ == Role::kLeader) {
+    return true;  // same-term AppendEntries at a leader: consumed silently
+  }
+  role_ = Role::kFollower;
+  ArmElectionTimer();
+
+  const int64_t prev_index = m["prevLogIndex"].as_int();
+  const int64_t prev_term = m["prevLogTerm"].as_int();
+  const Json& entries = m["entries"];
+  const int64_t last = LastIndex();
+
+  bool prev_ok;
+  if (prev_index < snapshot_index_) {
+    prev_ok = true;  // covered by our snapshot; covered entries are skipped
+  } else {
+    prev_ok = prev_index <= last && TermAt(prev_index) == prev_term;
+    if (!prev_ok && bugs.wr1_commit_own_last && prev_index <= 1 && prev_index <= last) {
+      prev_ok = true;  // WRaft#1: first-entry consistency check skipped
+    }
+  }
+  if (!prev_ok) {
+    reply(false, std::min<int64_t>(last + 1, std::max<int64_t>(prev_index,
+                                                               snapshot_index_ + 1)));
+    return true;
+  }
+
+  auto entry_from_json = [&](const Json& e) {
+    LogEntry out;
+    out.term = e["term"].as_int();
+    out.val = e["val"].as_int();
+    if (e.contains("key")) {
+      out.key = e["key"].as_string();
+    }
+    return out;
+  };
+
+  bool log_changed = false;
+  if (bugs.ros2_erase_matched && entries.size() > 0 && prev_index >= snapshot_index_) {
+    // RaftOS#2: truncate unconditionally before appending.
+    log_.resize(static_cast<size_t>(std::max<int64_t>(prev_index - snapshot_index_, 0)));
+    for (size_t k = 0; k < entries.size(); ++k) {
+      log_.push_back(entry_from_json(entries[k]));
+    }
+    log_changed = true;
+  } else {
+    for (size_t k = 0; k < entries.size(); ++k) {
+      const int64_t idx = prev_index + 1 + static_cast<int64_t>(k);
+      if (idx <= snapshot_index_) {
+        continue;
+      }
+      const LogEntry e = entry_from_json(entries[k]);
+      if (idx <= LastIndex()) {
+        if (TermAt(idx) == e.term) {
+          continue;  // already matched
+        }
+        log_.resize(static_cast<size_t>(std::max<int64_t>(idx - snapshot_index_ - 1, 0)));
+        log_changed = true;
+      }
+      log_.push_back(e);
+      log_changed = true;
+    }
+  }
+  if (log_changed) {
+    PersistHardState();
+  }
+
+  const int64_t base = bugs.wr1_commit_own_last
+                           ? LastIndex()
+                           : prev_index + static_cast<int64_t>(entries.size());
+  int64_t new_commit = std::min(m["commit"].as_int(), base);
+  new_commit = std::max(new_commit, snapshot_index_);
+  if (!bugs.pso2_commit_regress) {
+    new_commit = std::max(new_commit, commit_index_);
+  }
+  commit_index_ = new_commit;
+
+  int64_t hint = prev_index + static_cast<int64_t>(entries.size()) + 1;
+  if (bugs.pso4_match_regress && entries.size() > 0) {
+    hint = prev_index + static_cast<int64_t>(entries.size());  // PySyncObj#4
+  }
+  reply(true, hint);
+  return true;
+}
+
+bool RaftNode::HandleAppendEntriesResp(int src, const Json& m) {
+  const RaftBugs& bugs = cfg_.profile.bugs;
+  const int64_t mterm = m["term"].as_int();
+  if (mterm > current_term_) {
+    AdoptTerm(mterm);
+    return true;
+  }
+  if (cfg_.impl_bugs.ros3_crash_unknown_peer && role_ != Role::kLeader) {
+    // RaftOS#3: the peer bookkeeping dictionary is read before the role
+    // check; a response reaching a non-leader raises KeyError.
+    env_.WriteLog(StrFormat("EXCEPTION KeyError: %d in match_index", src));
+    return false;
+  }
+  if (role_ != Role::kLeader || mterm != current_term_) {
+    return true;
+  }
+  auto ni_it = next_index_.find(src);
+  if (ni_it == next_index_.end()) {
+    return true;
+  }
+  const int64_t hint = m["hint"].as_int();
+  const int64_t old_next = ni_it->second;
+  const int64_t old_match = match_index_[src];
+
+  if (m["success"].as_bool()) {
+    const int64_t acked = hint - 1;
+    int64_t new_match;
+    if (bugs.pso4_match_regress || bugs.ros1_match_regress) {
+      new_match = acked;  // missing max() guard
+    } else {
+      new_match = std::max(old_match, acked);
+    }
+    int64_t new_next;
+    if (bugs.wr7_next_eq_match) {
+      new_next = std::max<int64_t>(new_match, 1);  // WRaft#7
+    } else if (bugs.pso3_next_le_match) {
+      new_next = std::max<int64_t>(hint, 1);  // PySyncObj#3
+    } else {
+      new_next = std::max({old_next, hint, new_match + 1});
+    }
+    new_next = std::min(new_next, LastIndex() + 1);
+    match_index_[src] = new_match;
+    next_index_[src] = new_next;
+    AdvanceCommit();
+    return true;
+  }
+
+  int64_t new_next;
+  if (bugs.pso3_next_le_match || bugs.pso4_match_regress) {
+    // PySyncObj#3/#4: the reset from the hint is not clamped to matchIndex+1.
+    new_next = std::max<int64_t>(hint, 1);
+  } else {
+    new_next = std::max<int64_t>(std::max(hint, old_match + 1), 1);
+  }
+  // The follower's hint is its own log end, which can exceed ours when an
+  // uncommitted longer log lost an election — clamp to our last index + 1.
+  new_next = std::min(new_next, LastIndex() + 1);
+  next_index_[src] = new_next;
+  SendAppend(src, /*is_retry=*/true);
+  return true;
+}
+
+void RaftNode::AdvanceCommit() {
+  const RaftBugs& bugs = cfg_.profile.bugs;
+  const int64_t last = LastIndex();
+  int64_t best = commit_index_;
+  for (int64_t idx = best + 1; idx <= last; ++idx) {
+    int acks = 1;
+    for (const auto& [peer, match] : match_index_) {
+      if (match >= idx) {
+        ++acks;
+      }
+    }
+    if (acks < quorum_) {
+      break;
+    }
+    if (TermAt(idx) == current_term_) {
+      best = idx;
+    } else if (bugs.pso5_commit_old_term) {
+      best = idx;  // PySyncObj#5: no current-term check
+    } else if (bugs.ros4_commit_break) {
+      break;  // RaftOS#4: stops at the first older-term entry
+    }
+  }
+  commit_index_ = best;
+}
+
+bool RaftNode::HandleInstallSnapshot(int src, const Json& m) {
+  const int64_t mterm = m["term"].as_int();
+  if (mterm > current_term_) {
+    AdoptTerm(mterm);
+  }
+  auto reply = [&](bool success, int64_t hint) {
+    JsonObject r;
+    r["mtype"] = Json(std::string(rs::kMsgInstallSnapshotResp));
+    r["term"] = Json(current_term_);
+    r["success"] = Json(success);
+    r["hint"] = Json(hint);
+    SendJson(src, std::move(r));
+  };
+  if (mterm < current_term_) {
+    reply(false, LastIndex() + 1);
+    return true;
+  }
+  if (role_ == Role::kLeader) {
+    return true;
+  }
+  role_ = Role::kFollower;
+  ArmElectionTimer();
+  const int64_t snap_index = m["lastIndex"].as_int();
+  const int64_t snap_term = m["lastTerm"].as_int();
+  if (snap_index <= snapshot_index_) {
+    reply(true, LastIndex() + 1);
+    return true;
+  }
+  if (cfg_.impl_bugs.wr3_reject_snapshot && snap_index <= LastIndex() &&
+      snap_index > snapshot_index_ && TermAt(snap_index) != snap_term) {
+    // WRaft#3: the snapshot is rejected because the local log conflicts —
+    // but the snapshot is precisely how the conflict should be resolved.
+    env_.WriteLog(StrFormat("snapshot rejected: conflicting entry at %lld",
+                            static_cast<long long>(snap_index)));
+    reply(false, LastIndex() + 1);
+    return true;
+  }
+  if (snap_index <= LastIndex() && snap_index > snapshot_index_ &&
+      TermAt(snap_index) == snap_term) {
+    log_ = EntriesFrom(snap_index + 1);  // retain the matching suffix
+  } else {
+    log_.clear();
+  }
+  snapshot_index_ = snap_index;
+  snapshot_term_ = snap_term;
+  commit_index_ = std::max(commit_index_, snap_index);
+  PersistHardState();
+  reply(true, snap_index + 1);
+  return true;
+}
+
+bool RaftNode::HandleInstallSnapshotResp(int src, const Json& m) {
+  const int64_t mterm = m["term"].as_int();
+  if (mterm > current_term_) {
+    AdoptTerm(mterm);
+    return true;
+  }
+  if (role_ != Role::kLeader || mterm != current_term_ || !m["success"].as_bool()) {
+    return true;
+  }
+  auto ni_it = next_index_.find(src);
+  if (ni_it == next_index_.end()) {
+    return true;
+  }
+  const int64_t hint = m["hint"].as_int();
+  match_index_[src] = std::max(match_index_[src], hint - 1);
+  ni_it->second = std::max(ni_it->second, hint);
+  AdvanceCommit();
+  return true;
+}
+
+Json RaftNode::QueryState() {
+  JsonObject s;
+  s["role"] = Json(std::string(RoleName(role_)));
+  s["currentTerm"] = Json(current_term_);
+  s["votedFor"] = Json(static_cast<int64_t>(voted_for_));
+  JsonArray log;
+  for (const LogEntry& e : log_) {
+    log.push_back(e.ToJson(cfg_.profile.features.kv));
+  }
+  s["log"] = Json(std::move(log));
+  s["commitIndex"] = Json(commit_index_);
+  s["snapshotIndex"] = Json(snapshot_index_);
+  s["snapshotTerm"] = Json(snapshot_term_);
+  JsonObject next;
+  JsonObject match;
+  for (const auto& [peer, v] : next_index_) {
+    next[std::to_string(peer)] = Json(v);
+  }
+  for (const auto& [peer, v] : match_index_) {
+    match[std::to_string(peer)] = Json(v);
+  }
+  s["nextIndex"] = Json(std::move(next));
+  s["matchIndex"] = Json(std::move(match));
+  JsonArray votes;
+  for (int v : votes_granted_) {
+    votes.push_back(Json(static_cast<int64_t>(v)));
+  }
+  s["votesGranted"] = Json(std::move(votes));
+  s["leakedBuffers"] = Json(leaked_buffers_);
+  return Json(std::move(s));
+}
+
+sim::ProcessFactory MakeRaftFactory(RaftNodeConfig config) {
+  return [config](sim::Env& env) -> std::unique_ptr<sim::Process> {
+    return std::make_unique<RaftNode>(env, config);
+  };
+}
+
+}  // namespace systems
+}  // namespace sandtable

@@ -1,0 +1,156 @@
+// An event-driven Raft implementation running on the deterministic engine.
+//
+// This is the "target system" side of the reproduction: a real imperative
+// implementation (structs, maps, deadlines, serialized wire messages) of the
+// same per-system profiles the specification models. It consumes the same
+// RaftBugs switches as the spec — when both sides agree on the switches the
+// implementation conforms to the specification step for step, and the seeded
+// Table 2 bugs are reproducible at this level by deterministic replay.
+//
+// RaftImplBugs adds the conformance-stage defects of Table 2 that exist only
+// in the implementation (unhandled exceptions, resource leaks, liveness
+// defects); the conformance checker surfaces them as node crashes or
+// spec/impl divergences.
+#ifndef SANDTABLE_SRC_SYSTEMS_RAFT_NODE_H_
+#define SANDTABLE_SRC_SYSTEMS_RAFT_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/raftspec/raft_params.h"
+#include "src/sim/process.h"
+
+namespace sandtable {
+namespace systems {
+
+// Implementation-only defects (the paper's conformance/modeling-stage bugs).
+struct RaftImplBugs {
+  // PySyncObj#1: unhandled exception while processing a disconnection.
+  bool pso1_crash_on_disconnect = false;
+  // WRaft#3: follower rejects the leader's snapshot when its log conflicts,
+  // lagging behind until the next snapshot.
+  bool wr3_reject_snapshot = false;
+  // WRaft#6: received message buffers are never freed (memory leak).
+  bool wr6_leak = false;
+  // WRaft#8: the heartbeat broadcast stops at the first failed send.
+  bool wr8_stop_heartbeats = false;
+  // RaftOS#3: KeyError — peer bookkeeping accessed before the role check when
+  // a replication response reaches a non-leader.
+  bool ros3_crash_unknown_peer = false;
+  // Xraft#2: concurrent-modification exception when a late vote arrives at a
+  // node that already won the election.
+  bool xr2_concurrent_modification = false;
+
+  bool AnySet() const {
+    return pso1_crash_on_disconnect || wr3_reject_snapshot || wr6_leak ||
+           wr8_stop_heartbeats || ros3_crash_unknown_peer || xr2_concurrent_modification;
+  }
+};
+
+struct RaftNodeConfig {
+  RaftProfile profile;
+  RaftImplBugs impl_bugs;
+  int64_t election_timeout_ns = 150'000'000;   // 150ms
+  int64_t heartbeat_interval_ns = 50'000'000;  // 50ms
+};
+
+// Returns the implementation-only bug set a system profile ships with.
+RaftImplBugs GetRaftImplBugs(const std::string& system_name, bool with_bugs);
+
+class RaftNode : public sim::Process {
+ public:
+  RaftNode(sim::Env& env, RaftNodeConfig config);
+
+  void OnStart() override;
+  [[nodiscard]] bool OnMessage(int src, const std::string& bytes) override;
+  [[nodiscard]] bool OnTick() override;
+  [[nodiscard]] bool OnClientRequest(const Json& request, Json* response) override;
+  [[nodiscard]] bool OnDisconnect(int peer) override;
+  Json QueryState() override;
+  int64_t NextDeadlineNs(const std::string& timer_kind) override;
+
+ private:
+  enum class Role { kFollower, kPreCandidate, kCandidate, kLeader };
+  static const char* RoleName(Role role);
+
+  struct LogEntry {
+    int64_t term = 0;
+    int64_t val = 0;
+    std::string key;  // empty unless the KV feature is on
+
+    Json ToJson(bool kv) const;
+  };
+
+  // ---- Log arithmetic (1-based logical indices over the compacted log) ----
+  int64_t LastIndex() const;
+  int64_t TermAt(int64_t idx) const;
+  const LogEntry& EntryAt(int64_t idx) const;
+  std::vector<LogEntry> EntriesFrom(int64_t from) const;
+
+  // ---- Protocol steps, mirroring the specification actions ----
+  void StartPreVote();
+  void StartElection();
+  void BecomeLeader();
+  void AdoptTerm(int64_t term);
+  void AdvanceCommit();
+  // Build and send the AppendEntries / InstallSnapshot for `peer`; returns
+  // whether the send reached the proxy (false across a partition cut).
+  bool SendAppend(int peer, bool is_retry);
+  void SendHeartbeats(bool stop_on_failure);
+
+  bool HandleRequestVote(int src, const Json& m);
+  bool HandleRequestVoteResp(int src, const Json& m);
+  bool HandlePreVote(int src, const Json& m);
+  bool HandlePreVoteResp(int src, const Json& m);
+  bool HandleAppendEntries(int src, const Json& m);
+  bool HandleAppendEntriesResp(int src, const Json& m);
+  bool HandleInstallSnapshot(int src, const Json& m);
+  bool HandleInstallSnapshotResp(int src, const Json& m);
+  bool HandleCompact();
+
+  int64_t LocalKvValue(const std::string& key) const;
+
+  // ---- Wire and disk ----
+  bool SendJson(int dst, JsonObject msg);
+  void PersistHardState();
+  void LoadHardState();
+  void LogStateLine(const char* event);
+  void ArmElectionTimer();
+  void ArmHeartbeatTimer();
+
+  sim::Env& env_;
+  RaftNodeConfig cfg_;
+  int id_;
+  int n_;
+  int quorum_;
+
+  // Volatile state.
+  Role role_ = Role::kFollower;
+  int64_t commit_index_ = 0;
+  std::set<int> votes_granted_;
+  std::set<int> prevotes_granted_;
+  std::map<int, int64_t> next_index_;
+  std::map<int, int64_t> match_index_;
+  int64_t election_deadline_ns_ = -1;
+  int64_t heartbeat_deadline_ns_ = -1;
+  int64_t leaked_buffers_ = 0;  // WRaft#6 observable
+
+  // Persistent state (mirrored to env_.Disk()).
+  int64_t current_term_ = 0;
+  int voted_for_ = -1;  // -1 = None
+  std::vector<LogEntry> log_;
+  int64_t snapshot_index_ = 0;
+  int64_t snapshot_term_ = 0;
+};
+
+// Factory for the engine.
+sim::ProcessFactory MakeRaftFactory(RaftNodeConfig config);
+
+}  // namespace systems
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_SYSTEMS_RAFT_NODE_H_

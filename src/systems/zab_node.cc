@@ -1,0 +1,536 @@
+#include "src/systems/zab_node.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+#include "src/zabspec/zab_common.h"
+
+namespace sandtable {
+namespace systems {
+
+namespace zs = zabspec;
+
+const char* ZabNode::RoleName(Role role) {
+  switch (role) {
+    case Role::kLooking:
+      return zs::kRoleLooking;
+    case Role::kFollowing:
+      return zs::kRoleFollowing;
+    case Role::kLeading:
+      return zs::kRoleLeading;
+  }
+  return "?";
+}
+
+Json ZabNode::Zxid::ToJson() const {
+  JsonObject o;
+  o["epoch"] = Json(epoch);
+  o["counter"] = Json(counter);
+  return Json(std::move(o));
+}
+
+ZabNode::Zxid ZabNode::Zxid::FromJson(const Json& j) {
+  Zxid z;
+  z.epoch = j["epoch"].as_int();
+  z.counter = j["counter"].as_int();
+  return z;
+}
+
+ZabNode::ZabNode(sim::Env& env, ZabNodeConfig config)
+    : env_(env),
+      cfg_(std::move(config)),
+      id_(env.node_id()),
+      n_(env.cluster_size()),
+      quorum_(zs::QuorumSize(env.cluster_size())) {
+  vote_.leader = id_;
+}
+
+ZabNode::Zxid ZabNode::LastZxid() const {
+  return history_.empty() ? Zxid{} : history_.back().zxid;
+}
+
+bool ZabNode::Better(const VoteInfo& new_vote, int64_t new_round, const VoteInfo& cur_vote,
+                     int64_t cur_round) const {
+  const int zxid_cmp = new_vote.zxid == cur_vote.zxid ? 0
+                       : cur_vote.zxid < new_vote.zxid ? 1
+                                                       : -1;
+  if (cfg_.profile.bugs.zk1_vote_order) {
+    // ZooKeeper#1: the round-equality guard is missing from the zxid clause.
+    return new_round > cur_round || zxid_cmp > 0 ||
+           (new_round == cur_round && zxid_cmp == 0 && new_vote.leader > cur_vote.leader);
+  }
+  if (new_round != cur_round) {
+    return new_round > cur_round;
+  }
+  if (zxid_cmp != 0) {
+    return zxid_cmp > 0;
+  }
+  return new_vote.leader > cur_vote.leader;
+}
+
+// ---- Wire / disk ---------------------------------------------------------------
+
+bool ZabNode::SendJson(int dst, JsonObject msg) {
+  msg["src"] = Json(static_cast<int64_t>(id_));
+  msg["dst"] = Json(static_cast<int64_t>(dst));
+  return env_.SendTo(dst, Json(std::move(msg)).Dump());
+}
+
+void ZabNode::PersistHardState() {
+  JsonObject hard;
+  hard["acceptedEpoch"] = Json(accepted_epoch_);
+  JsonArray txns;
+  for (const Txn& t : history_) {
+    JsonObject o;
+    o["zxid"] = t.zxid.ToJson();
+    o["val"] = Json(t.val);
+    txns.push_back(Json(std::move(o)));
+  }
+  hard["history"] = Json(std::move(txns));
+  hard["lastCommitted"] = Json(last_committed_);
+  env_.Disk().Put("hard", Json(std::move(hard)));
+}
+
+void ZabNode::LoadHardState() {
+  if (!env_.Disk().Has("hard")) {
+    return;
+  }
+  const Json& hard = env_.Disk().Get("hard");
+  accepted_epoch_ = hard["acceptedEpoch"].as_int();
+  last_committed_ = hard["lastCommitted"].as_int();
+  history_.clear();
+  for (const Json& t : hard["history"].as_array()) {
+    history_.push_back(Txn{Zxid::FromJson(t["zxid"]), t["val"].as_int()});
+  }
+}
+
+void ZabNode::LogStateLine(const char* event) {
+  env_.WriteLog(StrFormat(
+      "STATE event=%s role=%s round=%lld epoch=%lld committed=%lld histLen=%zu leader=%d",
+      event, RoleName(role_), static_cast<long long>(round_),
+      static_cast<long long>(accepted_epoch_), static_cast<long long>(last_committed_),
+      history_.size(), vote_.leader));
+}
+
+// ---- Lifecycle --------------------------------------------------------------------
+
+void ZabNode::OnStart() {
+  LoadHardState();
+  role_ = Role::kLooking;
+  round_ = 0;
+  vote_ = VoteInfo{id_, LastZxid()};
+  recv_votes_.clear();
+  followers_.clear();
+  acks_.clear();
+  established_ = false;
+  election_deadline_ns_ = env_.NowNs() + cfg_.election_timeout_ns;
+  LogStateLine("Start");
+}
+
+int64_t ZabNode::NextDeadlineNs(const std::string& timer_kind) {
+  if (timer_kind == "election") {
+    return election_deadline_ns_;
+  }
+  return -1;
+}
+
+bool ZabNode::OnTick() {
+  const int64_t now = env_.NowNs();
+  if (election_deadline_ns_ >= 0 && now >= election_deadline_ns_) {
+    EnterLooking();
+    election_deadline_ns_ = env_.NowNs() + cfg_.election_timeout_ns;
+    LogStateLine("Timeout");
+  }
+  return true;
+}
+
+bool ZabNode::OnDisconnect(int peer) {
+  LogStateLine("Disconnect");
+  return true;
+}
+
+// ---- Election -----------------------------------------------------------------------
+
+void ZabNode::EnterLooking() {
+  role_ = Role::kLooking;
+  ++round_;
+  vote_ = VoteInfo{id_, LastZxid()};
+  recv_votes_.clear();
+  followers_.clear();
+  acks_.clear();
+  established_ = false;
+  recv_votes_[id_] = RecvEntry{vote_, round_};
+  BroadcastNotification();
+}
+
+void ZabNode::SendNotificationTo(int dst) {
+  JsonObject m;
+  m["mtype"] = Json(std::string(zs::kMsgNotification));
+  JsonObject vote;
+  vote["leader"] = Json(static_cast<int64_t>(vote_.leader));
+  vote["zxid"] = vote_.zxid.ToJson();
+  m["vote"] = Json(std::move(vote));
+  m["round"] = Json(round_);
+  m["state"] = Json(std::string(RoleName(role_)));
+  SendJson(dst, std::move(m));
+}
+
+void ZabNode::BroadcastNotification() {
+  for (int peer = 0; peer < n_; ++peer) {
+    if (peer != id_) {
+      SendNotificationTo(peer);
+    }
+  }
+}
+
+void ZabNode::BecomeLeading() {
+  role_ = Role::kLeading;
+  followers_.clear();
+  acks_.clear();
+  established_ = false;
+  ++accepted_epoch_;  // propose the next epoch
+  PersistHardState();
+  LogStateLine("BecomeLeading");
+}
+
+void ZabNode::BecomeFollowing(int leader) {
+  role_ = Role::kFollowing;
+  vote_ = VoteInfo{leader, LastZxid()};
+  followers_.clear();
+  acks_.clear();
+  established_ = false;
+  JsonObject m;
+  m["mtype"] = Json(std::string(zs::kMsgFollowerInfo));
+  m["acceptedEpoch"] = Json(accepted_epoch_);
+  m["lastZxid"] = LastZxid().ToJson();
+  SendJson(leader, std::move(m));
+  LogStateLine("BecomeFollowing");
+}
+
+void ZabNode::CheckElectionQuorum() {
+  int support = 0;
+  for (const auto& [voter, entry] : recv_votes_) {
+    if (entry.round == round_ && entry.vote.leader == vote_.leader) {
+      ++support;
+    }
+  }
+  if (support < quorum_) {
+    return;
+  }
+  if (vote_.leader == id_) {
+    BecomeLeading();
+  } else {
+    BecomeFollowing(vote_.leader);
+  }
+}
+
+bool ZabNode::HandleNotification(int src, const Json& m) {
+  VoteInfo n_vote;
+  n_vote.leader = static_cast<int>(m["vote"]["leader"].as_int());
+  n_vote.zxid = Zxid::FromJson(m["vote"]["zxid"]);
+  const int64_t n_round = m["round"].as_int();
+  const std::string n_state = m["state"].as_string();
+
+  if (role_ != Role::kLooking) {
+    // An out-of-election server answers a LOOKING sender with its current
+    // vote (Figure 3, lines 18-21).
+    if (n_state == zs::kRoleLooking) {
+      SendNotificationTo(src);
+    }
+    return true;
+  }
+
+  if (n_state != zs::kRoleLooking) {
+    if (n_state == zs::kRoleLeading && n_vote.leader == src) {
+      BecomeFollowing(src);
+    }
+    return true;
+  }
+
+  if (n_round > round_) {
+    round_ = n_round;
+    recv_votes_.clear();
+    const VoteInfo self_vote{id_, LastZxid()};
+    vote_ = Better(n_vote, n_round, self_vote, n_round) ? n_vote : self_vote;
+    recv_votes_[id_] = RecvEntry{vote_, round_};
+    BroadcastNotification();
+  } else if (n_round < round_) {
+    if (cfg_.profile.bugs.zk1_vote_order && Better(n_vote, n_round, vote_, round_)) {
+      // ZooKeeper#1: the round guard is missing, so a stale-round vote with a
+      // larger zxid wins and gets adopted.
+      vote_ = n_vote;
+      recv_votes_[id_] = RecvEntry{vote_, round_};
+      BroadcastNotification();
+    } else {
+      SendNotificationTo(src);
+      return true;
+    }
+  } else if (n_round == round_ && Better(n_vote, n_round, vote_, round_)) {
+    vote_ = n_vote;
+    recv_votes_[id_] = RecvEntry{vote_, round_};
+    BroadcastNotification();
+  }
+
+  recv_votes_[src] = RecvEntry{n_vote, n_round};
+  CheckElectionQuorum();
+  return true;
+}
+
+// ---- Discovery + synchronization -----------------------------------------------------
+
+int64_t ZabNode::ZxidPosition(const Zxid& zxid) const {
+  for (size_t i = 0; i < history_.size(); ++i) {
+    if (history_[i].zxid == zxid) {
+      return static_cast<int64_t>(i) + 1;
+    }
+  }
+  return 0;
+}
+
+bool ZabNode::HandleFollowerInfo(int src, const Json& m) {
+  if (role_ != Role::kLeading) {
+    return true;
+  }
+  const int64_t proposed = std::max(accepted_epoch_, m["acceptedEpoch"].as_int() + 1);
+  if (proposed > accepted_epoch_) {
+    accepted_epoch_ = proposed;
+    PersistHardState();
+  }
+  const Zxid f_zxid = Zxid::FromJson(m["lastZxid"]);
+  const int64_t pos = f_zxid == Zxid{} ? 0 : ZxidPosition(f_zxid);
+  JsonObject sync;
+  sync["mtype"] = Json(std::string(zs::kMsgSync));
+  sync["epoch"] = Json(accepted_epoch_);
+  JsonArray entries;
+  if (f_zxid == Zxid{} || pos > 0) {
+    sync["mode"] = Json(std::string("DIFF"));
+    for (size_t i = static_cast<size_t>(pos); i < history_.size(); ++i) {
+      JsonObject t;
+      t["zxid"] = history_[i].zxid.ToJson();
+      t["val"] = Json(history_[i].val);
+      entries.push_back(Json(std::move(t)));
+    }
+  } else {
+    sync["mode"] = Json(std::string("SNAP"));
+    for (const Txn& t : history_) {
+      JsonObject o;
+      o["zxid"] = t.zxid.ToJson();
+      o["val"] = Json(t.val);
+      entries.push_back(Json(std::move(o)));
+    }
+  }
+  sync["entries"] = Json(std::move(entries));
+  sync["lastCommitted"] = Json(last_committed_);
+  SendJson(src, std::move(sync));
+  return true;
+}
+
+bool ZabNode::HandleSync(int src, const Json& m) {
+  const int64_t epoch = m["epoch"].as_int();
+  if (role_ != Role::kFollowing || vote_.leader != src || epoch <= accepted_epoch_) {
+    return true;
+  }
+  accepted_epoch_ = epoch;
+  if (m["mode"].as_string() != "DIFF") {
+    history_.clear();
+  }
+  for (const Json& t : m["entries"].as_array()) {
+    const Zxid zxid = Zxid::FromJson(t["zxid"]);
+    // DIFF may overlap proposals already received since our FOLLOWERINFO.
+    if (LastZxid() < zxid) {
+      history_.push_back(Txn{zxid, t["val"].as_int()});
+    }
+  }
+  last_committed_ =
+      std::max(last_committed_,
+               std::min(m["lastCommitted"].as_int(), static_cast<int64_t>(history_.size())));
+  PersistHardState();
+  JsonObject ack;
+  ack["mtype"] = Json(std::string(zs::kMsgAckLeader));
+  ack["epoch"] = Json(epoch);
+  SendJson(src, std::move(ack));
+  return true;
+}
+
+bool ZabNode::HandleAckLeader(int src, const Json& m) {
+  if (role_ != Role::kLeading || m["epoch"].as_int() != accepted_epoch_) {
+    return true;
+  }
+  followers_.insert(src);
+  const bool was_established = established_;
+  if (static_cast<int>(followers_.size()) + 1 >= quorum_ && !was_established) {
+    established_ = true;
+    for (int f : followers_) {
+      JsonObject utd;
+      utd["mtype"] = Json(std::string(zs::kMsgUpToDate));
+      SendJson(f, std::move(utd));
+    }
+    LogStateLine("Established");
+  } else if (was_established) {
+    JsonObject utd;
+    utd["mtype"] = Json(std::string(zs::kMsgUpToDate));
+    SendJson(src, std::move(utd));
+  }
+  return true;
+}
+
+bool ZabNode::HandleUpToDate(int src, const Json& m) {
+  if (role_ != Role::kFollowing || vote_.leader != src) {
+    return true;
+  }
+  established_ = true;
+  return true;
+}
+
+// ---- Broadcast --------------------------------------------------------------------------
+
+bool ZabNode::OnClientRequest(const Json& request, Json* response) {
+  const std::string op = request["op"].is_string() ? request["op"].as_string() : "";
+  JsonObject resp;
+  if (op == "propose") {
+    if (role_ != Role::kLeading || !established_) {
+      resp["ok"] = Json(false);
+      resp["error"] = Json(std::string("not an established leader"));
+    } else {
+      const Zxid last = LastZxid();
+      Zxid zxid;
+      zxid.epoch = accepted_epoch_;
+      zxid.counter = last.epoch == accepted_epoch_ ? last.counter + 1 : 1;
+      history_.push_back(Txn{zxid, request["val"].as_int()});
+      acks_[{zxid.epoch, zxid.counter}] = {};
+      PersistHardState();
+      for (int f : followers_) {
+        JsonObject prop;
+        prop["mtype"] = Json(std::string(zs::kMsgProposal));
+        prop["zxid"] = zxid.ToJson();
+        prop["val"] = request["val"];
+        SendJson(f, std::move(prop));
+      }
+      resp["ok"] = Json(true);
+      LogStateLine("ClientRequest");
+    }
+  } else {
+    resp["ok"] = Json(false);
+    resp["error"] = Json(std::string("unknown op"));
+  }
+  *response = Json(std::move(resp));
+  return true;
+}
+
+bool ZabNode::HandleProposal(int src, const Json& m) {
+  if (role_ != Role::kFollowing || vote_.leader != src) {
+    return true;
+  }
+  const Zxid zxid = Zxid::FromJson(m["zxid"]);
+  if (!(LastZxid() < zxid)) {
+    return true;
+  }
+  history_.push_back(Txn{zxid, m["val"].as_int()});
+  PersistHardState();
+  JsonObject ack;
+  ack["mtype"] = Json(std::string(zs::kMsgAck));
+  ack["zxid"] = zxid.ToJson();
+  SendJson(src, std::move(ack));
+  return true;
+}
+
+bool ZabNode::HandleAck(int src, const Json& m) {
+  const Zxid zxid = Zxid::FromJson(m["zxid"]);
+  auto it = acks_.find({zxid.epoch, zxid.counter});
+  if (role_ != Role::kLeading || it == acks_.end()) {
+    return true;
+  }
+  it->second.insert(src);
+  if (static_cast<int>(it->second.size()) + 1 >= quorum_) {
+    last_committed_ = std::max(last_committed_, ZxidPosition(zxid));
+    acks_.erase(it);
+    PersistHardState();
+    for (int f : followers_) {
+      JsonObject commit;
+      commit["mtype"] = Json(std::string(zs::kMsgCommit));
+      commit["zxid"] = zxid.ToJson();
+      SendJson(f, std::move(commit));
+    }
+    LogStateLine("Commit");
+  }
+  return true;
+}
+
+bool ZabNode::HandleCommit(int src, const Json& m) {
+  const int64_t pos = ZxidPosition(Zxid::FromJson(m["zxid"]));
+  if (pos == 0) {
+    return true;
+  }
+  last_committed_ = std::max(last_committed_, pos);
+  PersistHardState();
+  return true;
+}
+
+// ---- Dispatch / observation ----------------------------------------------------------------
+
+bool ZabNode::OnMessage(int src, const std::string& bytes) {
+  auto parsed = Json::Parse(bytes);
+  if (!parsed.ok()) {
+    env_.WriteLog("EXCEPTION decoding message: " + parsed.error());
+    return false;
+  }
+  const Json m = std::move(parsed).value();
+  const std::string mtype = m["mtype"].is_string() ? m["mtype"].as_string() : "";
+  bool ok;
+  if (mtype == zs::kMsgNotification) {
+    ok = HandleNotification(src, m);
+  } else if (mtype == zs::kMsgFollowerInfo) {
+    ok = HandleFollowerInfo(src, m);
+  } else if (mtype == zs::kMsgSync) {
+    ok = HandleSync(src, m);
+  } else if (mtype == zs::kMsgAckLeader) {
+    ok = HandleAckLeader(src, m);
+  } else if (mtype == zs::kMsgUpToDate) {
+    ok = HandleUpToDate(src, m);
+  } else if (mtype == zs::kMsgProposal) {
+    ok = HandleProposal(src, m);
+  } else if (mtype == zs::kMsgAck) {
+    ok = HandleAck(src, m);
+  } else if (mtype == zs::kMsgCommit) {
+    ok = HandleCommit(src, m);
+  } else {
+    env_.WriteLog(StrFormat("EXCEPTION: unknown message type '%s'", mtype.c_str()));
+    return false;
+  }
+  if (ok) {
+    LogStateLine(("Handle" + mtype).c_str());
+  }
+  return ok;
+}
+
+Json ZabNode::QueryState() {
+  JsonObject s;
+  s["role"] = Json(std::string(RoleName(role_)));
+  s["round"] = Json(round_);
+  JsonObject vote;
+  vote["leader"] = Json(static_cast<int64_t>(vote_.leader));
+  vote["zxid"] = vote_.zxid.ToJson();
+  s["vote"] = Json(std::move(vote));
+  s["acceptedEpoch"] = Json(accepted_epoch_);
+  JsonArray txns;
+  for (const Txn& t : history_) {
+    JsonObject o;
+    o["zxid"] = t.zxid.ToJson();
+    o["val"] = Json(t.val);
+    txns.push_back(Json(std::move(o)));
+  }
+  s["history"] = Json(std::move(txns));
+  s["lastCommitted"] = Json(last_committed_);
+  s["established"] = Json(established_);
+  return Json(std::move(s));
+}
+
+sim::ProcessFactory MakeZabFactory(ZabNodeConfig config) {
+  return [config](sim::Env& env) -> std::unique_ptr<sim::Process> {
+    return std::make_unique<ZabNode>(env, config);
+  };
+}
+
+}  // namespace systems
+}  // namespace sandtable

@@ -1,0 +1,124 @@
+// An event-driven ZooKeeper/Zab implementation running on the deterministic
+// engine: fast leader election (the implementation twin of Figure 3's
+// FastLeaderElection handler), discovery + synchronization, and broadcast.
+// Shares the ZabBugs switches with the specification so conformance checking
+// and replay-based confirmation work exactly as for the Raft family.
+#ifndef SANDTABLE_SRC_SYSTEMS_ZAB_NODE_H_
+#define SANDTABLE_SRC_SYSTEMS_ZAB_NODE_H_
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/sim/process.h"
+#include "src/zabspec/zab_spec.h"
+
+namespace sandtable {
+namespace systems {
+
+struct ZabNodeConfig {
+  ZabProfile profile;
+  int64_t election_timeout_ns = 200'000'000;  // 200ms
+};
+
+class ZabNode : public sim::Process {
+ public:
+  ZabNode(sim::Env& env, ZabNodeConfig config);
+
+  void OnStart() override;
+  [[nodiscard]] bool OnMessage(int src, const std::string& bytes) override;
+  [[nodiscard]] bool OnTick() override;
+  [[nodiscard]] bool OnClientRequest(const Json& request, Json* response) override;
+  [[nodiscard]] bool OnDisconnect(int peer) override;
+  Json QueryState() override;
+  int64_t NextDeadlineNs(const std::string& timer_kind) override;
+
+ private:
+  enum class Role { kLooking, kFollowing, kLeading };
+  static const char* RoleName(Role role);
+
+  struct Zxid {
+    int64_t epoch = 0;
+    int64_t counter = 0;
+
+    bool operator<(const Zxid& other) const {
+      return epoch != other.epoch ? epoch < other.epoch : counter < other.counter;
+    }
+    bool operator==(const Zxid& other) const {
+      return epoch == other.epoch && counter == other.counter;
+    }
+    Json ToJson() const;
+    static Zxid FromJson(const Json& j);
+  };
+
+  struct Txn {
+    Zxid zxid;
+    int64_t val = 0;
+  };
+
+  struct VoteInfo {
+    int leader = 0;
+    Zxid zxid;
+  };
+
+  Zxid LastZxid() const;
+  // The fast-leader-election comparison, including the ZooKeeper#1 switch.
+  bool Better(const VoteInfo& new_vote, int64_t new_round, const VoteInfo& cur_vote,
+              int64_t cur_round) const;
+
+  void EnterLooking();
+  void BroadcastNotification();
+  void SendNotificationTo(int dst);
+  void BecomeLeading();
+  void BecomeFollowing(int leader);
+  void CheckElectionQuorum();
+  int64_t ZxidPosition(const Zxid& zxid) const;
+
+  bool HandleNotification(int src, const Json& m);
+  bool HandleFollowerInfo(int src, const Json& m);
+  bool HandleSync(int src, const Json& m);
+  bool HandleAckLeader(int src, const Json& m);
+  bool HandleUpToDate(int src, const Json& m);
+  bool HandleProposal(int src, const Json& m);
+  bool HandleAck(int src, const Json& m);
+  bool HandleCommit(int src, const Json& m);
+
+  bool SendJson(int dst, JsonObject msg);
+  void PersistHardState();
+  void LoadHardState();
+  void LogStateLine(const char* event);
+
+  sim::Env& env_;
+  ZabNodeConfig cfg_;
+  int id_;
+  int n_;
+  int quorum_;
+
+  // Volatile.
+  Role role_ = Role::kLooking;
+  int64_t round_ = 0;
+  VoteInfo vote_;
+  struct RecvEntry {
+    VoteInfo vote;
+    int64_t round = 0;
+  };
+  std::map<int, RecvEntry> recv_votes_;
+  std::set<int> followers_;
+  std::map<std::pair<int64_t, int64_t>, std::set<int>> acks_;  // zxid -> ackers
+  bool established_ = false;
+  int64_t election_deadline_ns_ = -1;
+
+  // Persistent.
+  int64_t accepted_epoch_ = 0;
+  std::vector<Txn> history_;
+  int64_t last_committed_ = 0;
+};
+
+sim::ProcessFactory MakeZabFactory(ZabNodeConfig config);
+
+}  // namespace systems
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_SYSTEMS_ZAB_NODE_H_

@@ -1,0 +1,259 @@
+#include "src/trace/replay.h"
+
+#include "src/util/strings.h"
+
+namespace sandtable {
+namespace trace {
+
+namespace {
+
+// Replace every {"$model": cls, "i": k} object with the plain integer k.
+Json StripModels(const Json& j) {
+  switch (j.type()) {
+    case Json::Type::kObject: {
+      if (j.contains("$model")) {
+        return Json(j["i"].as_int());
+      }
+      JsonObject out;
+      for (const auto& [k, v] : j.as_object()) {
+        out[k] = StripModels(v);
+      }
+      return Json(std::move(out));
+    }
+    case Json::Type::kArray: {
+      JsonArray out;
+      for (const Json& v : j.as_array()) {
+        out.push_back(StripModels(v));
+      }
+      return Json(std::move(out));
+    }
+    default:
+      return j;
+  }
+}
+
+}  // namespace
+
+Json SpecMsgJsonToWire(const Json& spec_msg_json) { return StripModels(spec_msg_json); }
+
+std::string SpecMsgToWireBytes(const Value& spec_msg) {
+  return SpecMsgJsonToWire(spec_msg.ToJson()).Dump();
+}
+
+Result<Value> WireToSpecMsg(const std::string& wire_bytes, const std::string& node_class) {
+  auto parsed = Json::Parse(wire_bytes);
+  if (!parsed.ok()) {
+    return Result<Value>::Error("wire message is not JSON: " + parsed.error());
+  }
+  Json j = std::move(parsed).value();
+  if (!j.is_object()) {
+    return Result<Value>::Error("wire message is not an object");
+  }
+  // Node identities travel as integers on the wire; lift them back into
+  // model values so the result compares equal to spec messages. Identities
+  // appear as top-level src/dst fields and, in Zab election notifications, as
+  // the proposed leader inside the vote.
+  auto lift = [&node_class](Json& obj, const char* field) {
+    if (obj.contains(field) && obj[field].is_int()) {
+      JsonObject model;
+      model["$model"] = Json(node_class);
+      model["i"] = Json(obj[field].as_int());
+      obj[field] = Json(std::move(model));
+    }
+  };
+  lift(j, "src");
+  lift(j, "dst");
+  if (j.contains("vote") && j["vote"].is_object()) {
+    lift(j["vote"], "leader");
+  }
+  return Value::FromJson(j);
+}
+
+const char* CommandTypeName(CommandType type) {
+  switch (type) {
+    case CommandType::kDeliver:
+      return "deliver";
+    case CommandType::kTimeout:
+      return "timeout";
+    case CommandType::kClientRequest:
+      return "client_request";
+    case CommandType::kClientRead:
+      return "client_read";
+    case CommandType::kCrash:
+      return "crash";
+    case CommandType::kRestart:
+      return "restart";
+    case CommandType::kPartition:
+      return "partition";
+    case CommandType::kHeal:
+      return "heal";
+    case CommandType::kDrop:
+      return "drop";
+    case CommandType::kDuplicate:
+      return "duplicate";
+    case CommandType::kCompact:
+      return "compact";
+  }
+  return "?";
+}
+
+std::string ReplayCommand::ToString() const {
+  switch (type) {
+    case CommandType::kDeliver:
+    case CommandType::kDrop:
+    case CommandType::kDuplicate:
+      return StrFormat("%s %d->%d %s", CommandTypeName(type), src, dst, wire.c_str());
+    case CommandType::kTimeout:
+      return StrFormat("timeout node=%d kind=%s", node, timer_kind.c_str());
+    case CommandType::kClientRequest:
+    case CommandType::kClientRead:
+      return StrFormat("%s node=%d %s", CommandTypeName(type), node, request.Dump().c_str());
+    case CommandType::kCrash:
+    case CommandType::kRestart:
+    case CommandType::kCompact:
+      return StrFormat("%s node=%d", CommandTypeName(type), node);
+    case CommandType::kPartition: {
+      std::string ids;
+      for (int s : side) {
+        ids += (ids.empty() ? "" : ",") + std::to_string(s);
+      }
+      return "partition {" + ids + "}";
+    }
+    case CommandType::kHeal:
+      return "heal";
+  }
+  return "?";
+}
+
+Result<ReplayCommand> CommandFromStep(const TraceStep& step) {
+  const std::string& action = step.label.action;
+  const Json& params = step.label.params;
+  ReplayCommand cmd;
+
+  auto node_param = [&](const char* field) {
+    return params.contains(field) && params[field].is_int()
+               ? static_cast<int>(params[field].as_int())
+               : -1;
+  };
+
+  if (StartsWith(action, "Handle")) {
+    cmd.type = CommandType::kDeliver;
+    cmd.src = node_param("src");
+    cmd.dst = node_param("dst");
+    if (cmd.src < 0 || cmd.dst < 0 || !params.contains("msg")) {
+      return Result<ReplayCommand>::Error("delivery step lacks src/dst/msg: " +
+                                          step.label.ToString());
+    }
+    cmd.wire = SpecMsgJsonToWire(params["msg"]).Dump();
+    cmd.from_delayed = params.contains("delayed") && params["delayed"].as_bool();
+    return cmd;
+  }
+  if (action == "Timeout") {
+    cmd.type = CommandType::kTimeout;
+    cmd.node = node_param("node");
+    cmd.timer_kind = "election";
+    return cmd;
+  }
+  if (action == "HeartbeatTimeout") {
+    cmd.type = CommandType::kTimeout;
+    cmd.node = node_param("node");
+    cmd.timer_kind = "heartbeat";
+    return cmd;
+  }
+  if (action == "ClientRequest") {
+    cmd.type = CommandType::kClientRequest;
+    cmd.node = node_param("node");
+    JsonObject req;
+    req["op"] = Json(std::string("propose"));
+    req["val"] = params["val"];
+    if (params.contains("key")) {
+      req["key"] = params["key"];
+    }
+    cmd.request = Json(std::move(req));
+    return cmd;
+  }
+  if (action == "ClientRead") {
+    cmd.type = CommandType::kClientRead;
+    cmd.node = node_param("node");
+    JsonObject req;
+    req["op"] = Json(std::string("get"));
+    req["key"] = params["key"];
+    cmd.request = Json(std::move(req));
+    JsonObject expected;
+    expected["val"] = params["val"];
+    cmd.expected_response = Json(std::move(expected));
+    return cmd;
+  }
+  if (action == "NodeCrash") {
+    cmd.type = CommandType::kCrash;
+    cmd.node = node_param("node");
+    return cmd;
+  }
+  if (action == "NodeRestart") {
+    cmd.type = CommandType::kRestart;
+    cmd.node = node_param("node");
+    return cmd;
+  }
+  if (action == "PartitionStart") {
+    cmd.type = CommandType::kPartition;
+    if (!params.contains("side") || !params["side"].is_array()) {
+      return Result<ReplayCommand>::Error("partition step lacks side");
+    }
+    for (const Json& id : params["side"].as_array()) {
+      cmd.side.insert(static_cast<int>(id.as_int()));
+    }
+    return cmd;
+  }
+  if (action == "PartitionHeal") {
+    cmd.type = CommandType::kHeal;
+    return cmd;
+  }
+  if (action == "DropMessage" || action == "DuplicateMessage") {
+    cmd.type = action[0] == 'D' && action[1] == 'r' ? CommandType::kDrop
+                                                    : CommandType::kDuplicate;
+    cmd.src = node_param("src");
+    cmd.dst = node_param("dst");
+    cmd.wire = SpecMsgJsonToWire(params["msg"]).Dump();
+    return cmd;
+  }
+  if (action == "TakeSnapshot") {
+    cmd.type = CommandType::kCompact;
+    cmd.node = node_param("node");
+    JsonObject req;
+    req["op"] = Json(std::string("compact"));
+    cmd.request = Json(std::move(req));
+    return cmd;
+  }
+  return Result<ReplayCommand>::Error("no conversion for spec action '" + action +
+                                      "' (extend CommandFromStep for system-specific events)");
+}
+
+Status ExecuteCommand(engine::Engine& eng, const ReplayCommand& cmd, Json* response) {
+  switch (cmd.type) {
+    case CommandType::kDeliver:
+      return eng.DeliverMessage(cmd.src, cmd.dst, cmd.wire, cmd.from_delayed);
+    case CommandType::kTimeout:
+      return eng.FireTimeout(cmd.node, cmd.timer_kind);
+    case CommandType::kClientRequest:
+    case CommandType::kClientRead:
+      return eng.ClientRequest(cmd.node, cmd.request, response);
+    case CommandType::kCrash:
+      return eng.Crash(cmd.node);
+    case CommandType::kRestart:
+      return eng.Restart(cmd.node);
+    case CommandType::kPartition:
+      return eng.PartitionStart(cmd.side);
+    case CommandType::kHeal:
+      return eng.PartitionHeal();
+    case CommandType::kDrop:
+      return eng.DropMessage(cmd.src, cmd.dst, cmd.wire);
+    case CommandType::kDuplicate:
+      return eng.DuplicateMessage(cmd.src, cmd.dst, cmd.wire);
+    case CommandType::kCompact:
+      return eng.ClientRequest(cmd.node, cmd.request, response);
+  }
+  return Status::Error("unhandled command type");
+}
+
+}  // namespace trace
+}  // namespace sandtable

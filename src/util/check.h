@@ -1,0 +1,68 @@
+// Assertion macros for invariants that must hold in all build modes.
+//
+// CHECK(cond) aborts with a source location and message when `cond` is false.
+// Following the no-exceptions policy of this codebase, programmer errors are
+// fatal rather than recoverable; recoverable errors use util::Result.
+#ifndef SANDTABLE_SRC_UTIL_CHECK_H_
+#define SANDTABLE_SRC_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace sandtable {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line, const char* expr,
+                                     const std::string& msg) {
+  std::fprintf(stderr, "CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               msg.empty() ? "" : " — ", msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+// Stream sink that builds the optional message attached to a CHECK.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessage() { CheckFailed(file_, line_, expr_, stream_.str()); }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sandtable
+
+#define SANDTABLE_CHECK_IMPL(cond, expr)                                        \
+  if (cond) {                                                                   \
+  } else /* NOLINT */                                                           \
+    ::sandtable::internal::CheckMessage(__FILE__, __LINE__, expr)
+
+#define CHECK(cond) SANDTABLE_CHECK_IMPL((cond), #cond)
+#define CHECK_EQ(a, b) SANDTABLE_CHECK_IMPL((a) == (b), #a " == " #b)
+#define CHECK_NE(a, b) SANDTABLE_CHECK_IMPL((a) != (b), #a " != " #b)
+#define CHECK_LT(a, b) SANDTABLE_CHECK_IMPL((a) < (b), #a " < " #b)
+#define CHECK_LE(a, b) SANDTABLE_CHECK_IMPL((a) <= (b), #a " <= " #b)
+#define CHECK_GT(a, b) SANDTABLE_CHECK_IMPL((a) > (b), #a " > " #b)
+#define CHECK_GE(a, b) SANDTABLE_CHECK_IMPL((a) >= (b), #a " >= " #b)
+
+#ifdef NDEBUG
+#define DCHECK(cond) SANDTABLE_CHECK_IMPL(true, #cond)
+#else
+#define DCHECK(cond) CHECK(cond)
+#endif
+
+#endif  // SANDTABLE_SRC_UTIL_CHECK_H_

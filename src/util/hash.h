@@ -1,0 +1,50 @@
+// Hashing primitives used for state fingerprinting.
+//
+// Model checking correctness depends on fingerprint stability across runs, so
+// we avoid std::hash (implementation-defined) and use FNV-1a plus a strong
+// 64-bit finalizer for combining.
+#ifndef SANDTABLE_SRC_UTIL_HASH_H_
+#define SANDTABLE_SRC_UTIL_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace sandtable {
+
+inline constexpr uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+// 64-bit FNV-1a over a byte range.
+inline uint64_t FnvHash(const void* data, size_t len, uint64_t seed = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t FnvHash(std::string_view s, uint64_t seed = kFnvOffsetBasis) {
+  return FnvHash(s.data(), s.size(), seed);
+}
+
+// SplitMix64 finalizer: a strong bijective mixer.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Order-dependent combination of two 64-bit hashes.
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+inline uint64_t HashInt(uint64_t v) { return Mix64(v); }
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_UTIL_HASH_H_

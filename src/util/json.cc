@@ -1,0 +1,467 @@
+#include "src/util/json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/strings.h"
+
+namespace sandtable {
+
+namespace {
+const Json kNullJson;
+}  // namespace
+
+int64_t Json::as_int() const {
+  if (is_double()) {
+    return static_cast<int64_t>(std::get<double>(v_));
+  }
+  return std::get<int64_t>(v_);
+}
+
+double Json::as_double() const {
+  if (is_int()) {
+    return static_cast<double>(std::get<int64_t>(v_));
+  }
+  return std::get<double>(v_);
+}
+
+const Json& Json::operator[](const std::string& key) const {
+  const auto& obj = std::get<JsonObject>(v_);
+  auto it = obj.find(key);
+  return it == obj.end() ? kNullJson : it->second;
+}
+
+bool Json::contains(const std::string& key) const {
+  return is_object() && as_object().count(key) > 0;
+}
+
+size_t Json::size() const {
+  if (is_array()) {
+    return as_array().size();
+  }
+  if (is_object()) {
+    return as_object().size();
+  }
+  return 0;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Json::DumpTo(std::string& out, int indent, int depth) const {
+  const bool pretty = indent > 0;
+  const std::string pad = pretty ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ')
+                                 : std::string();
+  const std::string close_pad =
+      pretty ? std::string(static_cast<size_t>(indent * depth), ' ') : std::string();
+  switch (type()) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += as_bool() ? "true" : "false";
+      break;
+    case Type::kInt:
+      out += std::to_string(std::get<int64_t>(v_));
+      break;
+    case Type::kDouble: {
+      const double d = std::get<double>(v_);
+      if (std::isfinite(d)) {
+        out += StrFormat("%.17g", d);
+      } else {
+        out += "null";  // JSON has no representation for NaN/Inf.
+      }
+      break;
+    }
+    case Type::kString:
+      out += '"';
+      out += JsonEscape(as_string());
+      out += '"';
+      break;
+    case Type::kArray: {
+      const auto& a = as_array();
+      if (a.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (size_t i = 0; i < a.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        if (pretty) {
+          out += '\n';
+          out += pad;
+        }
+        a[i].DumpTo(out, indent, depth + 1);
+      }
+      if (pretty) {
+        out += '\n';
+        out += close_pad;
+      }
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      const auto& o = as_object();
+      if (o.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [k, v] : o) {
+        if (!first) {
+          out += ',';
+        }
+        first = false;
+        if (pretty) {
+          out += '\n';
+          out += pad;
+        }
+        out += '"';
+        out += JsonEscape(k);
+        out += "\":";
+        if (pretty) {
+          out += ' ';
+        }
+        v.DumpTo(out, indent, depth + 1);
+      }
+      if (pretty) {
+        out += '\n';
+        out += close_pad;
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::Dump() const {
+  std::string out;
+  DumpTo(out, 0, 0);
+  return out;
+}
+
+std::string Json::DumpPretty() const {
+  std::string out;
+  DumpTo(out, 2, 0);
+  return out;
+}
+
+namespace {
+
+// Recursive-descent JSON parser.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> Parse() {
+    SkipWs();
+    auto v = ParseValue();
+    if (!v.ok()) {
+      return v;
+    }
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Fail("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  Result<Json> Fail(const std::string& msg) {
+    return Result<Json>::Error(StrFormat("JSON parse error at offset %zu: %s", pos_, msg.c_str()));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool EatLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> ParseValue() {
+    if (pos_ >= text_.size()) {
+      return Fail("unexpected end of input");
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        auto s = ParseString();
+        if (!s.ok()) {
+          return Result<Json>::Error(s.error());
+        }
+        return Json(std::move(s).value());
+      }
+      case 't':
+        if (EatLiteral("true")) {
+          return Json(true);
+        }
+        return Fail("invalid literal");
+      case 'f':
+        if (EatLiteral("false")) {
+          return Json(false);
+        }
+        return Fail("invalid literal");
+      case 'n':
+        if (EatLiteral("null")) {
+          return Json(nullptr);
+        }
+        return Fail("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<Json> ParseObject() {
+    ++pos_;  // consume '{'
+    JsonObject obj;
+    SkipWs();
+    if (Eat('}')) {
+      return Json(std::move(obj));
+    }
+    for (;;) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Fail("expected string key");
+      }
+      auto key = ParseString();
+      if (!key.ok()) {
+        return Result<Json>::Error(key.error());
+      }
+      SkipWs();
+      if (!Eat(':')) {
+        return Fail("expected ':' after key");
+      }
+      SkipWs();
+      auto val = ParseValue();
+      if (!val.ok()) {
+        return val;
+      }
+      obj[std::move(key).value()] = std::move(val).value();
+      SkipWs();
+      if (Eat(',')) {
+        continue;
+      }
+      if (Eat('}')) {
+        return Json(std::move(obj));
+      }
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  Result<Json> ParseArray() {
+    ++pos_;  // consume '['
+    JsonArray arr;
+    SkipWs();
+    if (Eat(']')) {
+      return Json(std::move(arr));
+    }
+    for (;;) {
+      SkipWs();
+      auto val = ParseValue();
+      if (!val.ok()) {
+        return val;
+      }
+      arr.push_back(std::move(val).value());
+      SkipWs();
+      if (Eat(',')) {
+        continue;
+      }
+      if (Eat(']')) {
+        return Json(std::move(arr));
+      }
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // consume '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') {
+        return out;
+      }
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) {
+        break;
+      }
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            return Result<std::string>::Error("truncated \\u escape");
+          }
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Result<std::string>::Error("bad \\u escape");
+            }
+          }
+          // Encode as UTF-8 (no surrogate-pair handling; traces are ASCII).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Result<std::string>::Error("bad escape character");
+      }
+    }
+    return Result<std::string>::Error("unterminated string");
+  }
+
+  Result<Json> ParseNumber() {
+    const size_t start = pos_;
+    if (Eat('-')) {
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      is_double = true;
+      ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      is_double = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    const std::string_view tok = text_.substr(start, pos_ - start);
+    if (tok.empty() || tok == "-") {
+      return Fail("invalid number");
+    }
+    if (!is_double) {
+      int64_t v = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec == std::errc() && p == tok.data() + tok.size()) {
+        return Json(v);
+      }
+    }
+    double d = 0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), d);
+    if (ec != std::errc() || p != tok.data() + tok.size()) {
+      return Fail("invalid number");
+    }
+    return Json(d);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::Parse(std::string_view text) { return Parser(text).Parse(); }
+
+}  // namespace sandtable

@@ -1,0 +1,90 @@
+// A small self-contained JSON document model with parser and serializer.
+//
+// Used for trace files (JSONL), engine command wire format, and experiment
+// output. Supports the full JSON grammar except that numbers are restricted
+// to 64-bit integers and doubles.
+#ifndef SANDTABLE_SRC_UTIL_JSON_H_
+#define SANDTABLE_SRC_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "src/util/result.h"
+
+namespace sandtable {
+
+class Json;
+using JsonArray = std::vector<Json>;
+// std::map keeps keys ordered, giving deterministic serialization.
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() : v_(nullptr) {}
+  Json(std::nullptr_t) : v_(nullptr) {}  // NOLINT(google-explicit-constructor)
+  Json(bool b) : v_(b) {}                // NOLINT(google-explicit-constructor)
+  Json(int i) : v_(static_cast<int64_t>(i)) {}       // NOLINT
+  Json(int64_t i) : v_(i) {}                         // NOLINT
+  Json(uint64_t i) : v_(static_cast<int64_t>(i)) {}  // NOLINT
+  Json(double d) : v_(d) {}                          // NOLINT
+  Json(const char* s) : v_(std::string(s)) {}        // NOLINT
+  Json(std::string s) : v_(std::move(s)) {}          // NOLINT
+  Json(JsonArray a) : v_(std::move(a)) {}            // NOLINT
+  Json(JsonObject o) : v_(std::move(o)) {}           // NOLINT
+
+  Type type() const { return static_cast<Type>(v_.index()); }
+  bool is_null() const { return type() == Type::kNull; }
+  bool is_bool() const { return type() == Type::kBool; }
+  bool is_int() const { return type() == Type::kInt; }
+  bool is_double() const { return type() == Type::kDouble; }
+  bool is_number() const { return is_int() || is_double(); }
+  bool is_string() const { return type() == Type::kString; }
+  bool is_array() const { return type() == Type::kArray; }
+  bool is_object() const { return type() == Type::kObject; }
+
+  bool as_bool() const { return std::get<bool>(v_); }
+  int64_t as_int() const;
+  double as_double() const;
+  const std::string& as_string() const { return std::get<std::string>(v_); }
+  const JsonArray& as_array() const { return std::get<JsonArray>(v_); }
+  JsonArray& as_array() { return std::get<JsonArray>(v_); }
+  const JsonObject& as_object() const { return std::get<JsonObject>(v_); }
+  JsonObject& as_object() { return std::get<JsonObject>(v_); }
+
+  // Object field access; returns a shared null for missing keys.
+  const Json& operator[](const std::string& key) const;
+  Json& operator[](const std::string& key) { return std::get<JsonObject>(v_)[key]; }
+  bool contains(const std::string& key) const;
+
+  // Array element access.
+  const Json& operator[](size_t i) const { return std::get<JsonArray>(v_)[i]; }
+  size_t size() const;
+
+  bool operator==(const Json& other) const { return v_ == other.v_; }
+
+  // Compact single-line serialization.
+  std::string Dump() const;
+  // Pretty serialization with 2-space indentation.
+  std::string DumpPretty() const;
+
+  static Result<Json> Parse(std::string_view text);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, int64_t, double, std::string, JsonArray, JsonObject> v_;
+};
+
+// Escape a string for embedding in JSON (adds no quotes).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_UTIL_JSON_H_

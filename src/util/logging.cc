@@ -1,0 +1,56 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace sandtable {
+
+namespace {
+std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
+}  // namespace
+
+const char* LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+void SetGlobalLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+
+LogLevel GlobalLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& line) {
+  if (static_cast<int>(level) < g_min_level.load()) {
+    return;
+  }
+  std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), line.c_str());
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line, LogSink* sink)
+    : level_(level), sink_(sink) {
+  (void)file;
+  (void)line;
+}
+
+LogMessage::~LogMessage() {
+  if (sink_ != nullptr && *sink_) {
+    (*sink_)(level_, stream_.str());
+  } else {
+    EmitLog(level_, stream_.str());
+  }
+}
+
+}  // namespace internal
+}  // namespace sandtable

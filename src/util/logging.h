@@ -1,0 +1,63 @@
+// Minimal leveled logging.
+//
+// The engine additionally captures per-node log lines for the log-parsing
+// state-observation channel (see src/conformance); that path uses LogSink so
+// the target "implementation" code logs exactly like a real system would.
+#ifndef SANDTABLE_SRC_UTIL_LOGGING_H_
+#define SANDTABLE_SRC_UTIL_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace sandtable {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+};
+
+const char* LogLevelName(LogLevel level);
+
+// Global minimum level for the default stderr sink.
+void SetGlobalLogLevel(LogLevel level);
+LogLevel GlobalLogLevel();
+
+// A sink receives fully formatted lines. Nodes in the deterministic engine get
+// their own sink so the conformance checker can parse their output.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+namespace internal {
+
+void EmitLog(LogLevel level, const std::string& line);
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, LogSink* sink = nullptr);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  LogSink* sink_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sandtable
+
+#define ST_LOG(level)                                                              \
+  ::sandtable::internal::LogMessage(::sandtable::LogLevel::level, __FILE__, __LINE__)
+
+#define ST_LOG_TO(level, sink)                                                     \
+  ::sandtable::internal::LogMessage(::sandtable::LogLevel::level, __FILE__, __LINE__, (sink))
+
+#endif  // SANDTABLE_SRC_UTIL_LOGGING_H_

@@ -1,0 +1,82 @@
+// Result<T>: value-or-error for recoverable failures (parsing, IO, protocol).
+//
+// This codebase does not use exceptions; fatal programmer errors use CHECK and
+// recoverable errors return Result.
+#ifndef SANDTABLE_SRC_UTIL_RESULT_H_
+#define SANDTABLE_SRC_UTIL_RESULT_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace sandtable {
+
+template <typename T>
+class Result {
+ public:
+  // Success.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+
+  // Failure with a human-readable message.
+  static Result Error(std::string message) {
+    Result r;
+    r.error_ = std::move(message);
+    return r;
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    CHECK(ok()) << "Result::value() on error: " << error_;
+    return *value_;
+  }
+  T& value() & {
+    CHECK(ok()) << "Result::value() on error: " << error_;
+    return *value_;
+  }
+  T&& value() && {
+    CHECK(ok()) << "Result::value() on error: " << error_;
+    return std::move(*value_);
+  }
+
+  const std::string& error() const {
+    CHECK(!ok());
+    return error_;
+  }
+
+ private:
+  Result() = default;
+
+  std::optional<T> value_;
+  std::string error_;
+};
+
+// Status-like result for operations with no payload.
+class Status {
+ public:
+  Status() = default;
+  static Status Error(std::string message) {
+    Status s;
+    s.error_ = std::move(message);
+    s.ok_ = false;
+    return s;
+  }
+
+  bool ok() const { return ok_; }
+  explicit operator bool() const { return ok_; }
+  const std::string& error() const {
+    CHECK(!ok_);
+    return error_;
+  }
+
+ private:
+  bool ok_ = true;
+  std::string error_;
+};
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_UTIL_RESULT_H_

@@ -1,0 +1,30 @@
+// Small string helpers shared across the codebase.
+#ifndef SANDTABLE_SRC_UTIL_STRINGS_H_
+#define SANDTABLE_SRC_UTIL_STRINGS_H_
+
+#include <cstdarg>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace sandtable {
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+// Split `s` on `sep`, keeping empty fields.
+std::vector<std::string> StrSplit(std::string_view s, char sep);
+
+// Join with a separator.
+std::string StrJoin(const std::vector<std::string>& parts, std::string_view sep);
+
+// True if `s` begins with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Strip ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view s);
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_UTIL_STRINGS_H_

@@ -1,0 +1,1001 @@
+#include "src/value/value.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/hash.h"
+#include "src/util/strings.h"
+
+namespace sandtable {
+
+struct Value::Node {
+  ValueKind kind;
+  mutable uint64_t hash = 0;
+  mutable bool hash_computed = false;
+
+  // Per-permutation hash cache for SymmetricMinHash (see value.h). Valid only
+  // while perm_epoch matches the global symmetry context.
+  mutable uint64_t perm_epoch = 0;
+  mutable uint32_t perm_mask = 0;
+  mutable std::unique_ptr<uint64_t[]> perm_cache;
+
+  int64_t i = 0;                     // kBool (0/1), kInt, kModel (index)
+  std::string s;                     // kString, kModel (class name)
+  std::vector<Value> elems;          // kSeq, kSet
+  std::vector<Field> fields;         // kRecord
+  std::vector<Pair> pairs;           // kFun
+};
+
+namespace {
+
+std::shared_ptr<Value::Node> MakeNode(ValueKind kind) {
+  auto node = std::make_shared<Value::Node>();
+  node->kind = kind;
+  return node;
+}
+
+}  // namespace
+
+Value::Value() : Value(Int(0)) {}
+
+Value Value::Bool(bool b) {
+  auto node = MakeNode(ValueKind::kBool);
+  node->i = b ? 1 : 0;
+  return Value(std::move(node));
+}
+
+Value Value::Int(int64_t i) {
+  auto node = MakeNode(ValueKind::kInt);
+  node->i = i;
+  return Value(std::move(node));
+}
+
+Value Value::Str(std::string s) {
+  auto node = MakeNode(ValueKind::kString);
+  node->s = std::move(s);
+  return Value(std::move(node));
+}
+
+Value Value::Model(std::string cls, int index) {
+  CHECK_GE(index, 0);
+  auto node = MakeNode(ValueKind::kModel);
+  node->s = std::move(cls);
+  node->i = index;
+  return Value(std::move(node));
+}
+
+Value Value::Seq(std::vector<Value> elems) {
+  auto node = MakeNode(ValueKind::kSeq);
+  node->elems = std::move(elems);
+  return Value(std::move(node));
+}
+
+Value Value::EmptySeq() { return Seq({}); }
+
+Value Value::Set(std::vector<Value> elems) {
+  std::sort(elems.begin(), elems.end());
+  elems.erase(std::unique(elems.begin(), elems.end()), elems.end());
+  auto node = MakeNode(ValueKind::kSet);
+  node->elems = std::move(elems);
+  return Value(std::move(node));
+}
+
+Value Value::EmptySet() { return Set({}); }
+
+Value Value::Record(std::vector<Field> fields) {
+  std::sort(fields.begin(), fields.end(),
+            [](const Field& a, const Field& b) { return a.first < b.first; });
+  for (size_t i = 1; i < fields.size(); ++i) {
+    CHECK(fields[i - 1].first != fields[i].first)
+        << "duplicate record field: " << fields[i].first;
+  }
+  auto node = MakeNode(ValueKind::kRecord);
+  node->fields = std::move(fields);
+  return Value(std::move(node));
+}
+
+Value Value::Fun(std::vector<Pair> pairs) {
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& a, const Pair& b) { return a.first < b.first; });
+  for (size_t i = 1; i < pairs.size(); ++i) {
+    CHECK(pairs[i - 1].first != pairs[i].first)
+        << "duplicate function key: " << pairs[i].first.ToString();
+  }
+  auto node = MakeNode(ValueKind::kFun);
+  node->pairs = std::move(pairs);
+  return Value(std::move(node));
+}
+
+Value Value::EmptyFun() { return Fun({}); }
+
+ValueKind Value::kind() const { return node().kind; }
+
+bool Value::bool_v() const {
+  CHECK(is(ValueKind::kBool));
+  return node().i != 0;
+}
+
+int64_t Value::int_v() const {
+  CHECK(is(ValueKind::kInt));
+  return node().i;
+}
+
+const std::string& Value::str_v() const {
+  CHECK(is(ValueKind::kString));
+  return node().s;
+}
+
+const std::string& Value::model_class() const {
+  CHECK(is(ValueKind::kModel));
+  return node().s;
+}
+
+int Value::model_index() const {
+  CHECK(is(ValueKind::kModel));
+  return static_cast<int>(node().i);
+}
+
+const std::vector<Value>& Value::elems() const {
+  CHECK(is(ValueKind::kSeq) || is(ValueKind::kSet));
+  return node().elems;
+}
+
+const std::vector<Value::Field>& Value::record_fields() const {
+  CHECK(is(ValueKind::kRecord));
+  return node().fields;
+}
+
+const std::vector<Value::Pair>& Value::fun_pairs() const {
+  CHECK(is(ValueKind::kFun));
+  return node().pairs;
+}
+
+size_t Value::size() const {
+  switch (kind()) {
+    case ValueKind::kSeq:
+    case ValueKind::kSet:
+      return node().elems.size();
+    case ValueKind::kRecord:
+      return node().fields.size();
+    case ValueKind::kFun:
+      return node().pairs.size();
+    default:
+      return 0;
+  }
+}
+
+bool Value::has_field(std::string_view name) const {
+  const auto& fields = record_fields();
+  auto it = std::lower_bound(fields.begin(), fields.end(), name,
+                             [](const Field& f, std::string_view n) { return f.first < n; });
+  return it != fields.end() && it->first == name;
+}
+
+const Value& Value::field(std::string_view name) const {
+  const auto& fields = record_fields();
+  auto it = std::lower_bound(fields.begin(), fields.end(), name,
+                             [](const Field& f, std::string_view n) { return f.first < n; });
+  CHECK(it != fields.end() && it->first == name) << "missing record field: " << name;
+  return it->second;
+}
+
+Value Value::WithField(std::string_view name, Value v) const {
+  std::vector<Field> fields = record_fields();
+  auto it = std::lower_bound(fields.begin(), fields.end(), name,
+                             [](const Field& f, std::string_view n) { return f.first < n; });
+  if (it != fields.end() && it->first == name) {
+    it->second = std::move(v);
+  } else {
+    fields.insert(it, Field(std::string(name), std::move(v)));
+  }
+  auto node = MakeNode(ValueKind::kRecord);
+  node->fields = std::move(fields);
+  return Value(std::move(node));
+}
+
+Value Value::WithoutField(std::string_view name) const {
+  std::vector<Field> fields = record_fields();
+  auto it = std::lower_bound(fields.begin(), fields.end(), name,
+                             [](const Field& f, std::string_view n) { return f.first < n; });
+  if (it != fields.end() && it->first == name) {
+    fields.erase(it);
+  }
+  auto node = MakeNode(ValueKind::kRecord);
+  node->fields = std::move(fields);
+  return Value(std::move(node));
+}
+
+const Value& Value::at(size_t index) const {
+  const auto& e = elems();
+  CHECK_LT(index, e.size());
+  return e[index];
+}
+
+Value Value::Append(Value v) const {
+  CHECK(is(ValueKind::kSeq));
+  std::vector<Value> e = node().elems;
+  e.push_back(std::move(v));
+  return Seq(std::move(e));
+}
+
+Value Value::Head() const {
+  CHECK(is(ValueKind::kSeq));
+  CHECK(!empty()) << "Head of empty sequence";
+  return node().elems.front();
+}
+
+Value Value::Tail() const {
+  CHECK(is(ValueKind::kSeq));
+  CHECK(!empty()) << "Tail of empty sequence";
+  return Seq(std::vector<Value>(node().elems.begin() + 1, node().elems.end()));
+}
+
+Value Value::DropLast() const {
+  CHECK(is(ValueKind::kSeq));
+  CHECK(!empty()) << "DropLast of empty sequence";
+  return Seq(std::vector<Value>(node().elems.begin(), node().elems.end() - 1));
+}
+
+Value Value::SubSeq(size_t from1, size_t to1) const {
+  CHECK(is(ValueKind::kSeq));
+  const auto& e = node().elems;
+  if (from1 < 1) {
+    from1 = 1;
+  }
+  if (to1 > e.size()) {
+    to1 = e.size();
+  }
+  if (from1 > to1) {
+    return EmptySeq();
+  }
+  return Seq(std::vector<Value>(e.begin() + static_cast<long>(from1 - 1),
+                                e.begin() + static_cast<long>(to1)));
+}
+
+Value Value::SeqSet(size_t index, Value v) const {
+  CHECK(is(ValueKind::kSeq));
+  std::vector<Value> e = node().elems;
+  CHECK_LT(index, e.size());
+  e[index] = std::move(v);
+  return Seq(std::move(e));
+}
+
+bool Value::Contains(const Value& v) const {
+  CHECK(is(ValueKind::kSet));
+  const auto& e = node().elems;
+  return std::binary_search(e.begin(), e.end(), v);
+}
+
+Value Value::SetAdd(Value v) const {
+  CHECK(is(ValueKind::kSet));
+  std::vector<Value> e = node().elems;
+  auto it = std::lower_bound(e.begin(), e.end(), v);
+  if (it != e.end() && *it == v) {
+    return *this;
+  }
+  e.insert(it, std::move(v));
+  auto node_out = MakeNode(ValueKind::kSet);
+  node_out->elems = std::move(e);
+  return Value(std::move(node_out));
+}
+
+Value Value::SetRemove(const Value& v) const {
+  CHECK(is(ValueKind::kSet));
+  std::vector<Value> e = node().elems;
+  auto it = std::lower_bound(e.begin(), e.end(), v);
+  if (it == e.end() || *it != v) {
+    return *this;
+  }
+  e.erase(it);
+  auto node_out = MakeNode(ValueKind::kSet);
+  node_out->elems = std::move(e);
+  return Value(std::move(node_out));
+}
+
+Value Value::SetUnion(const Value& other) const {
+  CHECK(is(ValueKind::kSet));
+  CHECK(other.is(ValueKind::kSet));
+  std::vector<Value> e = node().elems;
+  e.insert(e.end(), other.node().elems.begin(), other.node().elems.end());
+  return Set(std::move(e));
+}
+
+bool Value::FunHas(const Value& key) const {
+  const auto& p = fun_pairs();
+  auto it = std::lower_bound(p.begin(), p.end(), key,
+                             [](const Pair& a, const Value& k) { return a.first < k; });
+  return it != p.end() && it->first == key;
+}
+
+const Value& Value::Apply(const Value& key) const {
+  const auto& p = fun_pairs();
+  auto it = std::lower_bound(p.begin(), p.end(), key,
+                             [](const Pair& a, const Value& k) { return a.first < k; });
+  CHECK(it != p.end() && it->first == key) << "function applied outside domain: "
+                                           << key.ToString();
+  return it->second;
+}
+
+Value Value::FunSet(const Value& key, Value v) const {
+  std::vector<Pair> p = fun_pairs();
+  auto it = std::lower_bound(p.begin(), p.end(), key,
+                             [](const Pair& a, const Value& k) { return a.first < k; });
+  if (it != p.end() && it->first == key) {
+    it->second = std::move(v);
+  } else {
+    p.insert(it, Pair(key, std::move(v)));
+  }
+  auto node_out = MakeNode(ValueKind::kFun);
+  node_out->pairs = std::move(p);
+  return Value(std::move(node_out));
+}
+
+Value Value::FunRemove(const Value& key) const {
+  std::vector<Pair> p = fun_pairs();
+  auto it = std::lower_bound(p.begin(), p.end(), key,
+                             [](const Pair& a, const Value& k) { return a.first < k; });
+  if (it != p.end() && it->first == key) {
+    p.erase(it);
+  }
+  auto node_out = MakeNode(ValueKind::kFun);
+  node_out->pairs = std::move(p);
+  return Value(std::move(node_out));
+}
+
+uint64_t Value::hash() const {
+  const Node& n = node();
+  if (n.hash_computed) {
+    return n.hash;
+  }
+  uint64_t h = HashInt(static_cast<uint64_t>(n.kind) + 0x51ULL);
+  switch (n.kind) {
+    case ValueKind::kBool:
+    case ValueKind::kInt:
+      h = HashCombine(h, HashInt(static_cast<uint64_t>(n.i)));
+      break;
+    case ValueKind::kString:
+      h = HashCombine(h, FnvHash(n.s));
+      break;
+    case ValueKind::kModel:
+      h = HashCombine(h, FnvHash(n.s));
+      h = HashCombine(h, HashInt(static_cast<uint64_t>(n.i)));
+      break;
+    case ValueKind::kSeq:
+    case ValueKind::kSet:
+      for (const Value& v : n.elems) {
+        h = HashCombine(h, v.hash());
+      }
+      break;
+    case ValueKind::kRecord:
+      for (const auto& [name, v] : n.fields) {
+        h = HashCombine(h, FnvHash(name));
+        h = HashCombine(h, v.hash());
+      }
+      break;
+    case ValueKind::kFun:
+      for (const auto& [k, v] : n.pairs) {
+        h = HashCombine(h, k.hash());
+        h = HashCombine(h, v.hash());
+      }
+      break;
+  }
+  n.hash = h;
+  n.hash_computed = true;
+  return h;
+}
+
+int Compare(const Value& a, const Value& b) {
+  if (&a == &b) {
+    return 0;
+  }
+  const ValueKind ka = a.kind();
+  const ValueKind kb = b.kind();
+  if (ka != kb) {
+    return ka < kb ? -1 : 1;
+  }
+  auto cmp_int = [](int64_t x, int64_t y) { return x < y ? -1 : (x > y ? 1 : 0); };
+  switch (ka) {
+    case ValueKind::kBool:
+      return cmp_int(a.bool_v() ? 1 : 0, b.bool_v() ? 1 : 0);
+    case ValueKind::kInt:
+      return cmp_int(a.int_v(), b.int_v());
+    case ValueKind::kString:
+      return a.str_v().compare(b.str_v());
+    case ValueKind::kModel: {
+      const int c = a.model_class().compare(b.model_class());
+      if (c != 0) {
+        return c;
+      }
+      return cmp_int(a.model_index(), b.model_index());
+    }
+    case ValueKind::kSeq:
+    case ValueKind::kSet: {
+      const auto& ea = a.elems();
+      const auto& eb = b.elems();
+      const size_t n = std::min(ea.size(), eb.size());
+      for (size_t i = 0; i < n; ++i) {
+        const int c = Compare(ea[i], eb[i]);
+        if (c != 0) {
+          return c;
+        }
+      }
+      return cmp_int(static_cast<int64_t>(ea.size()), static_cast<int64_t>(eb.size()));
+    }
+    case ValueKind::kRecord: {
+      const auto& fa = a.record_fields();
+      const auto& fb = b.record_fields();
+      const size_t n = std::min(fa.size(), fb.size());
+      for (size_t i = 0; i < n; ++i) {
+        const int c = fa[i].first.compare(fb[i].first);
+        if (c != 0) {
+          return c;
+        }
+        const int cv = Compare(fa[i].second, fb[i].second);
+        if (cv != 0) {
+          return cv;
+        }
+      }
+      return cmp_int(static_cast<int64_t>(fa.size()), static_cast<int64_t>(fb.size()));
+    }
+    case ValueKind::kFun: {
+      const auto& pa = a.fun_pairs();
+      const auto& pb = b.fun_pairs();
+      const size_t n = std::min(pa.size(), pb.size());
+      for (size_t i = 0; i < n; ++i) {
+        int c = Compare(pa[i].first, pb[i].first);
+        if (c != 0) {
+          return c;
+        }
+        c = Compare(pa[i].second, pb[i].second);
+        if (c != 0) {
+          return c;
+        }
+      }
+      return cmp_int(static_cast<int64_t>(pa.size()), static_cast<int64_t>(pb.size()));
+    }
+  }
+  return 0;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (node_ == other.node_) {
+    return true;
+  }
+  if (hash() != other.hash()) {
+    return false;
+  }
+  return Compare(*this, other) == 0;
+}
+
+bool Value::operator<(const Value& other) const { return Compare(*this, other) < 0; }
+
+Value Value::PermuteModel(const std::string& cls, const std::vector<int>& perm) const {
+  const Node& n = node();
+  switch (n.kind) {
+    case ValueKind::kBool:
+    case ValueKind::kInt:
+    case ValueKind::kString:
+      return *this;
+    case ValueKind::kModel: {
+      if (n.s != cls) {
+        return *this;
+      }
+      const auto idx = static_cast<size_t>(n.i);
+      CHECK_LT(idx, perm.size());
+      if (perm[idx] == n.i) {
+        return *this;
+      }
+      return Model(n.s, perm[idx]);
+    }
+    case ValueKind::kSeq: {
+      std::vector<Value> out;
+      out.reserve(n.elems.size());
+      bool changed = false;
+      for (const Value& v : n.elems) {
+        Value pv = v.PermuteModel(cls, perm);
+        changed = changed || !(pv == v);
+        out.push_back(std::move(pv));
+      }
+      return changed ? Seq(std::move(out)) : *this;
+    }
+    case ValueKind::kSet: {
+      std::vector<Value> out;
+      out.reserve(n.elems.size());
+      bool changed = false;
+      for (const Value& v : n.elems) {
+        Value pv = v.PermuteModel(cls, perm);
+        changed = changed || !(pv == v);
+        out.push_back(std::move(pv));
+      }
+      return changed ? Set(std::move(out)) : *this;
+    }
+    case ValueKind::kRecord: {
+      std::vector<Field> out;
+      out.reserve(n.fields.size());
+      bool changed = false;
+      for (const auto& [name, v] : n.fields) {
+        Value pv = v.PermuteModel(cls, perm);
+        changed = changed || !(pv == v);
+        out.emplace_back(name, std::move(pv));
+      }
+      return changed ? Record(std::move(out)) : *this;
+    }
+    case ValueKind::kFun: {
+      std::vector<Pair> out;
+      out.reserve(n.pairs.size());
+      bool changed = false;
+      for (const auto& [k, v] : n.pairs) {
+        Value pk = k.PermuteModel(cls, perm);
+        Value pv = v.PermuteModel(cls, perm);
+        changed = changed || !(pk == k) || !(pv == v);
+        out.emplace_back(std::move(pk), std::move(pv));
+      }
+      return changed ? Fun(std::move(out)) : *this;
+    }
+  }
+  return *this;
+}
+
+
+uint64_t Value::HashPermuted(const std::string& cls, const std::vector<int>& perm) const {
+  const Node& n = node();
+  uint64_t h = HashInt(static_cast<uint64_t>(n.kind) + 0x51ULL);
+  switch (n.kind) {
+    case ValueKind::kBool:
+    case ValueKind::kInt:
+      return HashCombine(h, HashInt(static_cast<uint64_t>(n.i)));
+    case ValueKind::kString:
+      return HashCombine(h, FnvHash(n.s));
+    case ValueKind::kModel: {
+      h = HashCombine(h, FnvHash(n.s));
+      int64_t index = n.i;
+      if (n.s == cls) {
+        const auto idx = static_cast<size_t>(n.i);
+        CHECK_LT(idx, perm.size());
+        index = perm[idx];
+      }
+      return HashCombine(h, HashInt(static_cast<uint64_t>(index)));
+    }
+    case ValueKind::kSeq:
+      for (const Value& v : n.elems) {
+        h = HashCombine(h, v.HashPermuted(cls, perm));
+      }
+      return h;
+    case ValueKind::kSet: {
+      // Order-independent: the permutation may reorder the canonical storage.
+      std::vector<uint64_t> hashes;
+      hashes.reserve(n.elems.size());
+      for (const Value& v : n.elems) {
+        hashes.push_back(v.HashPermuted(cls, perm));
+      }
+      std::sort(hashes.begin(), hashes.end());
+      for (uint64_t eh : hashes) {
+        h = HashCombine(h, eh);
+      }
+      return h;
+    }
+    case ValueKind::kRecord:
+      for (const auto& [name, v] : n.fields) {
+        h = HashCombine(h, FnvHash(name));
+        h = HashCombine(h, v.HashPermuted(cls, perm));
+      }
+      return h;
+    case ValueKind::kFun: {
+      std::vector<uint64_t> hashes;
+      hashes.reserve(n.pairs.size());
+      for (const auto& [k, v] : n.pairs) {
+        hashes.push_back(
+            HashCombine(k.HashPermuted(cls, perm), v.HashPermuted(cls, perm)));
+      }
+      std::sort(hashes.begin(), hashes.end());
+      for (uint64_t ph : hashes) {
+        h = HashCombine(h, ph);
+      }
+      return h;
+    }
+  }
+  return h;
+}
+
+
+namespace {
+
+// The active symmetry context for SymmetricMinHash caching. Changing the
+// class or the permutation count bumps the epoch, invalidating all caches.
+struct SymmetryContext {
+  std::string cls;
+  size_t nperms = 0;
+  uint64_t epoch = 0;
+};
+SymmetryContext& SymCtx() {
+  static SymmetryContext ctx;
+  return ctx;
+}
+
+}  // namespace
+
+namespace internal_sym {
+
+uint64_t CachedPermHash(const Value::Node& n, const std::string& cls,
+                        const std::vector<std::vector<int>>& perms, size_t pi);
+
+}  // namespace internal_sym
+
+uint64_t Value::SymmetricMinHash(const std::string& cls,
+                                 const std::vector<std::vector<int>>& perms) const {
+  SymmetryContext& ctx = SymCtx();
+  if (ctx.cls != cls || ctx.nperms != perms.size()) {
+    ctx.cls = cls;
+    ctx.nperms = perms.size();
+    ++ctx.epoch;
+  }
+  uint64_t best = ~uint64_t{0};
+  for (size_t pi = 0; pi < perms.size(); ++pi) {
+    best = std::min(best, internal_sym::CachedPermHash(node(), cls, perms, pi));
+  }
+  return best;
+}
+
+namespace internal_sym {
+
+uint64_t CachedPermHash(const Value::Node& n, const std::string& cls,
+                        const std::vector<std::vector<int>>& perms, size_t pi) {
+  const uint64_t epoch = SymCtx().epoch;
+  if (n.perm_epoch != epoch || n.perm_cache == nullptr) {
+    n.perm_cache = std::make_unique<uint64_t[]>(perms.size());
+    n.perm_mask = 0;
+    n.perm_epoch = epoch;
+  }
+  if ((n.perm_mask >> pi) & 1u) {
+    return n.perm_cache[pi];
+  }
+  const std::vector<int>& perm = perms[pi];
+  uint64_t h = HashInt(static_cast<uint64_t>(n.kind) + 0x51ULL);
+  switch (n.kind) {
+    case ValueKind::kBool:
+    case ValueKind::kInt:
+      h = HashCombine(h, HashInt(static_cast<uint64_t>(n.i)));
+      break;
+    case ValueKind::kString:
+      h = HashCombine(h, FnvHash(n.s));
+      break;
+    case ValueKind::kModel: {
+      h = HashCombine(h, FnvHash(n.s));
+      int64_t index = n.i;
+      if (n.s == cls) {
+        index = perm[static_cast<size_t>(n.i)];
+      }
+      h = HashCombine(h, HashInt(static_cast<uint64_t>(index)));
+      break;
+    }
+    case ValueKind::kSeq:
+      for (const Value& v : n.elems) {
+        h = HashCombine(h, CachedPermHash(v.node(), cls, perms, pi));
+      }
+      break;
+    case ValueKind::kSet: {
+      uint64_t hashes[64];
+      std::vector<uint64_t> big;
+      uint64_t* hs = n.elems.size() <= 64 ? hashes : (big.resize(n.elems.size()), big.data());
+      for (size_t i = 0; i < n.elems.size(); ++i) {
+        hs[i] = CachedPermHash(n.elems[i].node(), cls, perms, pi);
+      }
+      std::sort(hs, hs + n.elems.size());
+      for (size_t i = 0; i < n.elems.size(); ++i) {
+        h = HashCombine(h, hs[i]);
+      }
+      break;
+    }
+    case ValueKind::kRecord:
+      for (const auto& [name, v] : n.fields) {
+        h = HashCombine(h, FnvHash(name));
+        h = HashCombine(h, CachedPermHash(v.node(), cls, perms, pi));
+      }
+      break;
+    case ValueKind::kFun: {
+      uint64_t hashes[64];
+      std::vector<uint64_t> big;
+      uint64_t* hs = n.pairs.size() <= 64 ? hashes : (big.resize(n.pairs.size()), big.data());
+      for (size_t i = 0; i < n.pairs.size(); ++i) {
+        hs[i] = HashCombine(CachedPermHash(n.pairs[i].first.node(), cls, perms, pi),
+                            CachedPermHash(n.pairs[i].second.node(), cls, perms, pi));
+      }
+      std::sort(hs, hs + n.pairs.size());
+      for (size_t i = 0; i < n.pairs.size(); ++i) {
+        h = HashCombine(h, hs[i]);
+      }
+      break;
+    }
+  }
+  n.perm_cache[pi] = h;
+  n.perm_mask |= (1u << pi);
+  return h;
+}
+
+}  // namespace internal_sym
+
+std::string Value::ToString() const {
+  const Node& n = node();
+  switch (n.kind) {
+    case ValueKind::kBool:
+      return n.i != 0 ? "TRUE" : "FALSE";
+    case ValueKind::kInt:
+      return std::to_string(n.i);
+    case ValueKind::kString:
+      return "\"" + n.s + "\"";
+    case ValueKind::kModel:
+      return StrFormat("%s%d", n.s.c_str(), static_cast<int>(n.i) + 1);
+    case ValueKind::kSeq: {
+      std::string out = "<<";
+      for (size_t i = 0; i < n.elems.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += n.elems[i].ToString();
+      }
+      return out + ">>";
+    }
+    case ValueKind::kSet: {
+      std::string out = "{";
+      for (size_t i = 0; i < n.elems.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += n.elems[i].ToString();
+      }
+      return out + "}";
+    }
+    case ValueKind::kRecord: {
+      std::string out = "[";
+      for (size_t i = 0; i < n.fields.size(); ++i) {
+        if (i > 0) {
+          out += ", ";
+        }
+        out += n.fields[i].first + " |-> " + n.fields[i].second.ToString();
+      }
+      return out + "]";
+    }
+    case ValueKind::kFun: {
+      if (n.pairs.empty()) {
+        return "<<>>";
+      }
+      std::string out = "(";
+      for (size_t i = 0; i < n.pairs.size(); ++i) {
+        if (i > 0) {
+          out += " @@ ";
+        }
+        out += n.pairs[i].first.ToString() + " :> " + n.pairs[i].second.ToString();
+      }
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+Json Value::ToJson() const {
+  const Node& n = node();
+  switch (n.kind) {
+    case ValueKind::kBool:
+      return Json(n.i != 0);
+    case ValueKind::kInt:
+      return Json(n.i);
+    case ValueKind::kString:
+      return Json(n.s);
+    case ValueKind::kModel: {
+      JsonObject o;
+      o["$model"] = Json(n.s);
+      o["i"] = Json(n.i);
+      return Json(std::move(o));
+    }
+    case ValueKind::kSeq: {
+      JsonArray a;
+      a.reserve(n.elems.size());
+      for (const Value& v : n.elems) {
+        a.push_back(v.ToJson());
+      }
+      return Json(std::move(a));
+    }
+    case ValueKind::kSet: {
+      JsonArray a;
+      a.reserve(n.elems.size());
+      for (const Value& v : n.elems) {
+        a.push_back(v.ToJson());
+      }
+      JsonObject o;
+      o["$set"] = Json(std::move(a));
+      return Json(std::move(o));
+    }
+    case ValueKind::kRecord: {
+      JsonObject o;
+      for (const auto& [name, v] : n.fields) {
+        o[name] = v.ToJson();
+      }
+      // Guard against collision with our sentinel keys.
+      CHECK(o.count("$set") == 0 && o.count("$fun") == 0 && o.count("$model") == 0)
+          << "record field collides with JSON sentinel";
+      return Json(std::move(o));
+    }
+    case ValueKind::kFun: {
+      JsonArray a;
+      a.reserve(n.pairs.size());
+      for (const auto& [k, v] : n.pairs) {
+        JsonArray kv;
+        kv.push_back(k.ToJson());
+        kv.push_back(v.ToJson());
+        a.push_back(Json(std::move(kv)));
+      }
+      JsonObject o;
+      o["$fun"] = Json(std::move(a));
+      return Json(std::move(o));
+    }
+  }
+  return Json();
+}
+
+Result<Value> Value::FromJson(const Json& j) {
+  switch (j.type()) {
+    case Json::Type::kNull:
+      return Result<Value>::Error("null has no Value representation");
+    case Json::Type::kBool:
+      return Bool(j.as_bool());
+    case Json::Type::kInt:
+      return Int(j.as_int());
+    case Json::Type::kDouble:
+      return Result<Value>::Error("doubles have no Value representation");
+    case Json::Type::kString:
+      return Str(j.as_string());
+    case Json::Type::kArray: {
+      std::vector<Value> elems;
+      elems.reserve(j.size());
+      for (const Json& e : j.as_array()) {
+        auto v = FromJson(e);
+        if (!v.ok()) {
+          return v;
+        }
+        elems.push_back(std::move(v).value());
+      }
+      return Seq(std::move(elems));
+    }
+    case Json::Type::kObject: {
+      const auto& o = j.as_object();
+      if (j.contains("$model")) {
+        if (!j["$model"].is_string() || !j["i"].is_int()) {
+          return Result<Value>::Error("malformed $model value");
+        }
+        return Model(j["$model"].as_string(), static_cast<int>(j["i"].as_int()));
+      }
+      if (j.contains("$set")) {
+        if (!j["$set"].is_array()) {
+          return Result<Value>::Error("malformed $set value");
+        }
+        std::vector<Value> elems;
+        for (const Json& e : j["$set"].as_array()) {
+          auto v = FromJson(e);
+          if (!v.ok()) {
+            return v;
+          }
+          elems.push_back(std::move(v).value());
+        }
+        return Set(std::move(elems));
+      }
+      if (j.contains("$fun")) {
+        if (!j["$fun"].is_array()) {
+          return Result<Value>::Error("malformed $fun value");
+        }
+        std::vector<Pair> pairs;
+        for (const Json& e : j["$fun"].as_array()) {
+          if (!e.is_array() || e.size() != 2) {
+            return Result<Value>::Error("malformed $fun pair");
+          }
+          auto k = FromJson(e[0]);
+          if (!k.ok()) {
+            return k;
+          }
+          auto v = FromJson(e[1]);
+          if (!v.ok()) {
+            return v;
+          }
+          pairs.emplace_back(std::move(k).value(), std::move(v).value());
+        }
+        return Fun(std::move(pairs));
+      }
+      std::vector<Field> fields;
+      for (const auto& [name, e] : o) {
+        auto v = FromJson(e);
+        if (!v.ok()) {
+          return v;
+        }
+        fields.emplace_back(name, std::move(v).value());
+      }
+      return Record(std::move(fields));
+    }
+  }
+  return Result<Value>::Error("unhandled JSON type");
+}
+
+namespace {
+
+void DiffInto(const std::string& path, const Value& a, const Value& b,
+              std::vector<ValueDiffEntry>& out) {
+  if (a == b) {
+    return;
+  }
+  if (a.kind() != b.kind()) {
+    out.push_back({path, a.ToString(), b.ToString()});
+    return;
+  }
+  switch (a.kind()) {
+    case ValueKind::kRecord: {
+      const auto& fa = a.record_fields();
+      const auto& fb = b.record_fields();
+      size_t ia = 0;
+      size_t ib = 0;
+      while (ia < fa.size() || ib < fb.size()) {
+        if (ib >= fb.size() || (ia < fa.size() && fa[ia].first < fb[ib].first)) {
+          out.push_back({path + "." + fa[ia].first, fa[ia].second.ToString(), "<absent>"});
+          ++ia;
+        } else if (ia >= fa.size() || fb[ib].first < fa[ia].first) {
+          out.push_back({path + "." + fb[ib].first, "<absent>", fb[ib].second.ToString()});
+          ++ib;
+        } else {
+          DiffInto(path.empty() ? fa[ia].first : path + "." + fa[ia].first, fa[ia].second,
+                   fb[ib].second, out);
+          ++ia;
+          ++ib;
+        }
+      }
+      return;
+    }
+    case ValueKind::kFun: {
+      const auto& pa = a.fun_pairs();
+      const auto& pb = b.fun_pairs();
+      size_t ia = 0;
+      size_t ib = 0;
+      while (ia < pa.size() || ib < pb.size()) {
+        if (ib >= pb.size() || (ia < pa.size() && pa[ia].first < pb[ib].first)) {
+          out.push_back(
+              {path + "[" + pa[ia].first.ToString() + "]", pa[ia].second.ToString(), "<absent>"});
+          ++ia;
+        } else if (ia >= pa.size() || pb[ib].first < pa[ia].first) {
+          out.push_back(
+              {path + "[" + pb[ib].first.ToString() + "]", "<absent>", pb[ib].second.ToString()});
+          ++ib;
+        } else {
+          DiffInto(path + "[" + pa[ia].first.ToString() + "]", pa[ia].second, pb[ib].second, out);
+          ++ia;
+          ++ib;
+        }
+      }
+      return;
+    }
+    case ValueKind::kSeq: {
+      const auto& ea = a.elems();
+      const auto& eb = b.elems();
+      const size_t n = std::max(ea.size(), eb.size());
+      for (size_t i = 0; i < n; ++i) {
+        const std::string p = path + "[" + std::to_string(i + 1) + "]";
+        if (i >= ea.size()) {
+          out.push_back({p, "<absent>", eb[i].ToString()});
+        } else if (i >= eb.size()) {
+          out.push_back({p, ea[i].ToString(), "<absent>"});
+        } else {
+          DiffInto(p, ea[i], eb[i], out);
+        }
+      }
+      return;
+    }
+    default:
+      out.push_back({path, a.ToString(), b.ToString()});
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<ValueDiffEntry> ValueDiff(const Value& a, const Value& b) {
+  std::vector<ValueDiffEntry> out;
+  DiffInto("", a, b, out);
+  return out;
+}
+
+}  // namespace sandtable

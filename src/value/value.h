@@ -1,0 +1,175 @@
+// An immutable, structurally shared TLA+-like value model.
+//
+// Specification states are built from these values: booleans, integers,
+// strings, model values (symmetry-class constants such as server identities),
+// sequences, sets, records, and finite functions (maps). Values are
+// persistent: "updates" produce new values sharing unchanged substructure,
+// which keeps BFS frontiers compact and makes functional-style action
+// definitions cheap.
+//
+// Values have a stable total order and a memoized structural hash; sets and
+// functions are kept in canonical (sorted, deduplicated) form so equal values
+// always have equal representations and fingerprints.
+#ifndef SANDTABLE_SRC_VALUE_VALUE_H_
+#define SANDTABLE_SRC_VALUE_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/util/json.h"
+#include "src/util/result.h"
+
+namespace sandtable {
+
+enum class ValueKind : uint8_t {
+  kBool = 0,
+  kInt = 1,
+  kString = 2,
+  kModel = 3,   // a named constant belonging to a symmetry class, e.g. Server n1
+  kSeq = 4,     // ordered sequence  <<a, b, c>>
+  kSet = 5,     // canonical sorted set  {a, b, c}
+  kRecord = 6,  // fields sorted by name  [x |-> 1, y |-> 2]
+  kFun = 7,     // finite function sorted by key  (k1 :> v1 @@ k2 :> v2)
+};
+
+class Value {
+ public:
+  using Field = std::pair<std::string, Value>;
+  using Pair = std::pair<Value, Value>;
+
+  // Default-constructed value is the integer 0; having a default constructor
+  // makes Value usable in standard containers.
+  Value();
+
+  // ---- Constructors -------------------------------------------------------
+  static Value Bool(bool b);
+  static Value Int(int64_t i);
+  static Value Str(std::string s);
+  // Model value: `cls` names the symmetry class ("Server"), `index` the member.
+  static Value Model(std::string cls, int index);
+  static Value Seq(std::vector<Value> elems);
+  static Value EmptySeq();
+  // Sorts and deduplicates.
+  static Value Set(std::vector<Value> elems);
+  static Value EmptySet();
+  // Sorts fields by name; field names must be unique.
+  static Value Record(std::vector<Field> fields);
+  // Sorts pairs by key; keys must be unique.
+  static Value Fun(std::vector<Pair> pairs);
+  static Value EmptyFun();
+
+  // ---- Inspection ---------------------------------------------------------
+  ValueKind kind() const;
+  bool is(ValueKind k) const { return kind() == k; }
+
+  bool bool_v() const;
+  int64_t int_v() const;
+  const std::string& str_v() const;
+  const std::string& model_class() const;
+  int model_index() const;
+
+  // Sequence/set element list (CHECKs kind).
+  const std::vector<Value>& elems() const;
+  // Record fields (CHECKs kind).
+  const std::vector<Field>& record_fields() const;
+  // Function pairs (CHECKs kind).
+  const std::vector<Pair>& fun_pairs() const;
+
+  // Number of elements/fields/pairs; 0 for scalars.
+  size_t size() const;
+  bool empty() const { return size() == 0; }
+
+  // ---- Record operations ---------------------------------------------------
+  bool has_field(std::string_view name) const;
+  const Value& field(std::string_view name) const;           // CHECKs presence
+  Value WithField(std::string_view name, Value v) const;     // functional update/insert
+  Value WithoutField(std::string_view name) const;
+
+  // ---- Sequence operations -------------------------------------------------
+  const Value& at(size_t index) const;  // 0-based
+  Value Append(Value v) const;
+  Value Head() const;     // first element (CHECKs non-empty)
+  Value Tail() const;     // all but first
+  Value DropLast() const; // all but last
+  // 1-based inclusive TLA-style SubSeq; out-of-range clamps to valid range.
+  Value SubSeq(size_t from1, size_t to1) const;
+  Value SeqSet(size_t index, Value v) const;  // 0-based replace
+
+  // ---- Set operations --------------------------------------------------------
+  bool Contains(const Value& v) const;  // set membership (CHECKs kind)
+  Value SetAdd(Value v) const;
+  Value SetRemove(const Value& v) const;
+  Value SetUnion(const Value& other) const;
+
+  // ---- Function operations ---------------------------------------------------
+  bool FunHas(const Value& key) const;
+  const Value& Apply(const Value& key) const;      // CHECKs presence
+  Value FunSet(const Value& key, Value v) const;   // update/insert
+  Value FunRemove(const Value& key) const;
+
+  // ---- Identity -------------------------------------------------------------
+  uint64_t hash() const;  // memoized structural hash
+
+  bool operator==(const Value& other) const;
+  bool operator!=(const Value& other) const { return !(*this == other); }
+  bool operator<(const Value& other) const;
+
+  // ---- Rendering / serialization ---------------------------------------------
+  // TLA+-flavoured rendering, e.g. [term |-> 2, log |-> <<[v |-> 1]>>].
+  std::string ToString() const;
+  Json ToJson() const;
+  static Result<Value> FromJson(const Json& j);
+
+  // ---- Symmetry ----------------------------------------------------------------
+  // Replace every model value of class `cls` and index i with index perm[i].
+  Value PermuteModel(const std::string& cls, const std::vector<int>& perm) const;
+
+  // Structural hash of the value *as if* PermuteModel(cls, perm) had been
+  // applied, computed in one traversal without materializing the permuted
+  // value. Sets and functions are combined in sorted-hash order so the result
+  // does not depend on how the permutation reorders canonical storage.
+  // Minimizing this over all permutations yields a symmetry-invariant
+  // fingerprint (see mc/expand.cc); it is not comparable with hash().
+  uint64_t HashPermuted(const std::string& cls, const std::vector<int>& perm) const;
+
+  // Minimum of HashPermuted over `perms`, with per-node memoization: because
+  // values share structure, successor states only re-traverse the sub-values
+  // an action actually changed. The cache is keyed by a global symmetry
+  // context (cls, perms.size()); switching contexts invalidates it. Intended
+  // for the single-threaded model checker.
+  uint64_t SymmetricMinHash(const std::string& cls,
+                            const std::vector<std::vector<int>>& perms) const;
+
+  // Implementation node; defined in value.cc. Public so internal helpers can
+  // allocate and traverse nodes, but opaque to all other code (the definition
+  // is local to value.cc).
+  struct Node;
+  const Node& node() const { return *node_; }
+
+ private:
+  explicit Value(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+// Three-way comparison defining the global total order on values:
+// first by kind, then by content.
+int Compare(const Value& a, const Value& b);
+
+// A single structural difference between two values.
+struct ValueDiffEntry {
+  std::string path;  // e.g. "currentTerm[n1]" or "log[n2][3].term"
+  std::string lhs;   // rendering of the left value at `path` ("<absent>" if missing)
+  std::string rhs;
+};
+
+// Structural diff of `a` vs `b`; empty result iff a == b.
+std::vector<ValueDiffEntry> ValueDiff(const Value& a, const Value& b);
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_VALUE_VALUE_H_

@@ -1,0 +1,114 @@
+#include "src/zabspec/zab_common.h"
+
+#include "src/util/check.h"
+
+namespace sandtable {
+namespace zabspec {
+
+Value Zxid(int64_t epoch, int64_t counter) {
+  return Value::Record({{"epoch", Value::Int(epoch)}, {"counter", Value::Int(counter)}});
+}
+
+Value ZeroZxid() { return Zxid(0, 0); }
+
+int CompareZxid(const Value& a, const Value& b) {
+  const int64_t ea = a.field("epoch").int_v();
+  const int64_t eb = b.field("epoch").int_v();
+  if (ea != eb) {
+    return ea < eb ? -1 : 1;
+  }
+  const int64_t ca = a.field("counter").int_v();
+  const int64_t cb = b.field("counter").int_v();
+  if (ca != cb) {
+    return ca < cb ? -1 : 1;
+  }
+  return 0;
+}
+
+Value MakeVote(const Value& leader, const Value& zxid) {
+  return Value::Record({{"leader", leader}, {"zxid", zxid}});
+}
+
+bool VoteBetter(const Value& new_vote, int64_t new_round, const Value& cur_vote,
+                int64_t cur_round, bool total_order_bug) {
+  const int zxid_cmp = CompareZxid(new_vote.field("zxid"), cur_vote.field("zxid"));
+  const int id_new = new_vote.field("leader").model_index();
+  const int id_cur = cur_vote.field("leader").model_index();
+  if (total_order_bug) {
+    // ZooKeeper#1: the round-equality guard is missing from the zxid clause,
+    // so a notification from an older round with a larger zxid also wins —
+    // cross-round comparisons mix criteria and the relation stops being
+    // antisymmetric. Triggering it requires a zxid inversion against the
+    // round order, i.e. a full reign (election, discovery, synchronization,
+    // broadcast) followed by fresh elections.
+    return new_round > cur_round || zxid_cmp > 0 ||
+           (new_round == cur_round && zxid_cmp == 0 && id_new > id_cur);
+  }
+  if (new_round != cur_round) {
+    return new_round > cur_round;
+  }
+  if (zxid_cmp != 0) {
+    return zxid_cmp > 0;
+  }
+  return id_new > id_cur;
+}
+
+Value NodeV(int i) { return Value::Model(kServerClass, i); }
+
+const Value& Role(const State& s, const Value& node) { return s.field(kVarRole).Apply(node); }
+
+int64_t Round(const State& s, const Value& node) {
+  return s.field(kVarRound).Apply(node).int_v();
+}
+
+const Value& Vote(const State& s, const Value& node) { return s.field(kVarVote).Apply(node); }
+
+int64_t AcceptedEpoch(const State& s, const Value& node) {
+  return s.field(kVarAcceptedEpoch).Apply(node).int_v();
+}
+
+const Value& History(const State& s, const Value& node) {
+  return s.field(kVarHistory).Apply(node);
+}
+
+int64_t LastCommitted(const State& s, const Value& node) {
+  return s.field(kVarLastCommitted).Apply(node).int_v();
+}
+
+bool IsCrashed(const State& s, const Value& node) {
+  return Role(s, node).str_v() == kRoleCrashed;
+}
+
+Value CrashedSet(const State& s, int num_servers) {
+  std::vector<Value> crashed;
+  for (int i = 0; i < num_servers; ++i) {
+    Value node = NodeV(i);
+    if (IsCrashed(s, node)) {
+      crashed.push_back(std::move(node));
+    }
+  }
+  return Value::Set(std::move(crashed));
+}
+
+Value LastZxid(const State& s, const Value& node) {
+  const Value& history = History(s, node);
+  if (history.empty()) {
+    return ZeroZxid();
+  }
+  return history.at(history.size() - 1).field("zxid");
+}
+
+int QuorumSize(int num_servers) { return num_servers / 2 + 1; }
+
+int64_t Counter(const State& s, const char* name) {
+  return s.field(kVarCounters).field(name).int_v();
+}
+
+State BumpCounter(const State& s, const char* name) {
+  const Value& counters = s.field(kVarCounters);
+  return s.WithField(kVarCounters,
+                     counters.WithField(name, Value::Int(counters.field(name).int_v() + 1)));
+}
+
+}  // namespace zabspec
+}  // namespace sandtable

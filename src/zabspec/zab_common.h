@@ -1,0 +1,93 @@
+// Shared vocabulary of the Zab (ZooKeeper Atomic Broadcast) specification and
+// implementation: variable names, roles, message types, zxid and vote
+// helpers. The model covers the three Zab phases the paper exercises for
+// ZooKeeper#1: fast leader election (notifications), discovery +
+// synchronization (FOLLOWERINFO / SYNC / ACKLD / UPTODATE), and broadcast
+// (PROPOSAL / ACK / COMMIT).
+#ifndef SANDTABLE_SRC_ZABSPEC_ZAB_COMMON_H_
+#define SANDTABLE_SRC_ZABSPEC_ZAB_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/spec/spec.h"
+#include "src/value/value.h"
+
+namespace sandtable {
+namespace zabspec {
+
+// Spec variable names.
+inline constexpr const char* kVarRole = "role";
+inline constexpr const char* kVarRound = "logicalClock";     // election round
+inline constexpr const char* kVarVote = "vote";              // [leader, zxid]
+inline constexpr const char* kVarRecvVotes = "recvVotes";    // voter -> [vote, round, state]
+inline constexpr const char* kVarAcceptedEpoch = "acceptedEpoch";
+inline constexpr const char* kVarHistory = "history";        // <<[zxid, val]>>
+inline constexpr const char* kVarLastCommitted = "lastCommitted";  // committed prefix length
+inline constexpr const char* kVarFollowers = "followers";    // leader's synced quorum
+inline constexpr const char* kVarAcks = "acks";              // counter -> set of ackers
+inline constexpr const char* kVarEstablished = "established";
+inline constexpr const char* kVarNet = "net";
+inline constexpr const char* kVarCounters = "counters";
+
+// Roles.
+inline constexpr const char* kRoleLooking = "Looking";
+inline constexpr const char* kRoleFollowing = "Following";
+inline constexpr const char* kRoleLeading = "Leading";
+inline constexpr const char* kRoleCrashed = "Crashed";
+
+// Message types.
+inline constexpr const char* kMsgNotification = "NOTIFICATION";
+inline constexpr const char* kMsgFollowerInfo = "FOLLOWERINFO";
+inline constexpr const char* kMsgSync = "SYNC";
+inline constexpr const char* kMsgAckLeader = "ACKLD";
+inline constexpr const char* kMsgUpToDate = "UPTODATE";
+inline constexpr const char* kMsgProposal = "PROPOSAL";
+inline constexpr const char* kMsgAck = "ACK";
+inline constexpr const char* kMsgCommit = "COMMIT";
+
+inline constexpr const char* kServerClass = "n";
+
+// zxid = [epoch |-> e, counter |-> c], ordered lexicographically by (e, c).
+Value Zxid(int64_t epoch, int64_t counter);
+int CompareZxid(const Value& a, const Value& b);
+Value ZeroZxid();
+
+// A vote: [leader |-> node, zxid |-> last zxid of the proposed leader].
+Value MakeVote(const Value& leader, const Value& zxid);
+
+// The fast-leader-election total order on (vote, round) pairs: is the new
+// (vote n, round nr) strictly better than the current (vote c, round cr)?
+//
+// Correct:  nr > cr, else nr == cr and (zxid, leader id) lexicographic.
+// Buggy (ZooKeeper#1, ZOOKEEPER-1419): the round-equality conjunct is lost on
+// the zxid clause, so a notification from an older round with a larger zxid
+// also wins — the relation stops being antisymmetric and elections never
+// settle.
+bool VoteBetter(const Value& new_vote, int64_t new_round, const Value& cur_vote,
+                int64_t cur_round, bool total_order_bug);
+
+// Node-local accessors over the spec state.
+Value NodeV(int i);
+const Value& Role(const State& s, const Value& node);
+int64_t Round(const State& s, const Value& node);
+const Value& Vote(const State& s, const Value& node);
+int64_t AcceptedEpoch(const State& s, const Value& node);
+const Value& History(const State& s, const Value& node);
+int64_t LastCommitted(const State& s, const Value& node);
+bool IsCrashed(const State& s, const Value& node);
+Value CrashedSet(const State& s, int num_servers);
+
+// The last zxid in a node's history (ZeroZxid when empty).
+Value LastZxid(const State& s, const Value& node);
+
+int QuorumSize(int num_servers);
+
+int64_t Counter(const State& s, const char* name);
+State BumpCounter(const State& s, const char* name);
+
+}  // namespace zabspec
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_ZABSPEC_ZAB_COMMON_H_

@@ -1,0 +1,162 @@
+// Safety properties of the Zab specification. The headline oracle is the
+// vote total-order property violated by ZooKeeper#1 (ZOOKEEPER-1419): the
+// fast-leader-election comparison must be a strict total order, otherwise
+// elections never settle or produce multiple valid leaders.
+#include <algorithm>
+
+#include "src/net/specnet.h"
+#include "src/zabspec/zab_common.h"
+#include "src/zabspec/zab_spec.h"
+
+namespace sandtable {
+
+using namespace zabspec;  // NOLINT(build/namespaces): spec vocabulary
+
+namespace {
+
+// The (vote, round) pairs currently held by LOOKING servers, plus those
+// circulating in notifications, must be totally ordered by the election
+// comparator: for any two distinct pairs exactly one direction wins, and a
+// pair never beats itself.
+bool VotesTotallyOrdered(const State& s, int n, bool bug) {
+  struct Pair {
+    Value vote;
+    int64_t round;
+  };
+  std::vector<Pair> pairs;
+  for (int i = 0; i < n; ++i) {
+    const Value node = NodeV(i);
+    if (Role(s, node).str_v() == kRoleLooking) {
+      pairs.push_back({Vote(s, node), Round(s, node)});
+    }
+  }
+  for (const Value& msg : specnet::AllMessages(s.field(kVarNet))) {
+    if (msg.field("mtype").str_v() == kMsgNotification) {
+      pairs.push_back({msg.field("vote"), msg.field("round").int_v()});
+    }
+  }
+  for (size_t a = 0; a < pairs.size(); ++a) {
+    if (VoteBetter(pairs[a].vote, pairs[a].round, pairs[a].vote, pairs[a].round, bug)) {
+      return false;  // irreflexivity violated
+    }
+    for (size_t b = a + 1; b < pairs.size(); ++b) {
+      const bool ab = VoteBetter(pairs[a].vote, pairs[a].round, pairs[b].vote,
+                                 pairs[b].round, bug);
+      const bool ba = VoteBetter(pairs[b].vote, pairs[b].round, pairs[a].vote,
+                                 pairs[a].round, bug);
+      if (ab && ba) {
+        return false;  // antisymmetry violated: comparison is not total order
+      }
+    }
+  }
+  return true;
+}
+
+bool AtMostOneEstablishedLeaderPerEpoch(const State& s, int n) {
+  for (int a = 0; a < n; ++a) {
+    const Value na = NodeV(a);
+    if (Role(s, na).str_v() != kRoleLeading || !s.field(kVarEstablished).Apply(na).bool_v()) {
+      continue;
+    }
+    for (int b = a + 1; b < n; ++b) {
+      const Value nb = NodeV(b);
+      if (Role(s, nb).str_v() == kRoleLeading &&
+          s.field(kVarEstablished).Apply(nb).bool_v() &&
+          AcceptedEpoch(s, na) == AcceptedEpoch(s, nb)) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// Committed transaction prefixes agree pairwise (zxid and value).
+bool CommittedPrefixConsistent(const State& s, int n) {
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const Value na = NodeV(a);
+      const Value nb = NodeV(b);
+      const int64_t common = std::min(LastCommitted(s, na), LastCommitted(s, nb));
+      for (int64_t i = 0; i < common; ++i) {
+        if (!(History(s, na).at(static_cast<size_t>(i)) ==
+              History(s, nb).at(static_cast<size_t>(i)))) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+bool LastCommittedWithinHistory(const State& s, int n) {
+  for (int i = 0; i < n; ++i) {
+    const Value node = NodeV(i);
+    const int64_t committed = LastCommitted(s, node);
+    if (committed < 0 || committed > static_cast<int64_t>(History(s, node).size())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool HistoryZxidsIncreasing(const State& s, int n) {
+  for (int i = 0; i < n; ++i) {
+    const Value& history = History(s, NodeV(i));
+    for (size_t k = 1; k < history.size(); ++k) {
+      if (CompareZxid(history.at(k - 1).field("zxid"), history.at(k).field("zxid")) >= 0) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+void AddZabInvariants(Spec& spec, const ZabProfile& profile) {
+  const int n = profile.num_servers;
+  const bool bug = profile.bugs.zk1_vote_order;
+
+  spec.invariants.push_back({"VotesTotallyOrdered", [n, bug](const State& s) {
+                               return VotesTotallyOrdered(s, n, bug);
+                             }});
+  spec.invariants.push_back({"AtMostOneEstablishedLeaderPerEpoch", [n](const State& s) {
+                               return AtMostOneEstablishedLeaderPerEpoch(s, n);
+                             }});
+  spec.invariants.push_back({"CommittedPrefixConsistent", [n](const State& s) {
+                               return CommittedPrefixConsistent(s, n);
+                             }});
+  spec.invariants.push_back({"LastCommittedWithinHistory", [n](const State& s) {
+                               return LastCommittedWithinHistory(s, n);
+                             }});
+  spec.invariants.push_back({"HistoryZxidsIncreasing", [n](const State& s) {
+                               return HistoryZxidsIncreasing(s, n);
+                             }});
+
+  spec.transition_invariants.push_back(
+      {"AcceptedEpochMonotonic",
+       [n](const State& prev, const ActionLabel& label, const State& next) {
+         for (int i = 0; i < n; ++i) {
+           if (AcceptedEpoch(next, NodeV(i)) < AcceptedEpoch(prev, NodeV(i))) {
+             return false;
+           }
+         }
+         return true;
+       }});
+
+  spec.transition_invariants.push_back(
+      {"LastCommittedMonotonic",
+       [n](const State& prev, const ActionLabel& label, const State& next) {
+         if (label.kind == EventKind::kCrash || label.kind == EventKind::kRestart) {
+           return true;
+         }
+         for (int i = 0; i < n; ++i) {
+           if (LastCommitted(next, NodeV(i)) < LastCommitted(prev, NodeV(i))) {
+             return false;
+           }
+         }
+         return true;
+       }});
+}
+
+}  // namespace sandtable

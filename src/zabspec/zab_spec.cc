@@ -1,0 +1,757 @@
+#include "src/zabspec/zab_spec.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/net/specnet.h"
+#include "src/util/check.h"
+#include "src/zabspec/zab_common.h"
+
+namespace sandtable {
+
+using namespace zabspec;  // NOLINT(build/namespaces): spec vocabulary
+
+ZabProfile GetZabProfile(bool with_bugs) {
+  ZabProfile p;
+  p.bugs.zk1_vote_order = with_bugs;
+  return p;
+}
+
+namespace {
+
+struct Builder {
+  ZabProfile p;
+  int n;
+  int quorum;
+  std::vector<Value> nodes;
+
+  explicit Builder(const ZabProfile& profile)
+      : p(profile),
+        n(profile.num_servers),
+        quorum(QuorumSize(profile.num_servers)),
+        nodes([&] {
+          std::vector<Value> out;
+          for (int i = 0; i < profile.num_servers; ++i) {
+            out.push_back(NodeV(i));
+          }
+          return out;
+        }()) {}
+
+  static State Upd(const State& s, const char* var, const Value& node, Value v) {
+    return s.WithField(var, s.field(var).FunSet(node, std::move(v)));
+  }
+
+  State WithNet(const State& s, Value net) const {
+    return s.WithField(kVarNet, std::move(net));
+  }
+
+  State SendMsg(const State& s, const Value& msg) const {
+    return WithNet(s, specnet::Send(s.field(kVarNet), msg, CrashedSet(s, n)));
+  }
+
+  // ---- Messages -------------------------------------------------------------
+
+  static Value MsgBase(const char* type, const Value& src, const Value& dst) {
+    return Value::Record({{"mtype", Value::Str(type)}, {"src", src}, {"dst", dst}});
+  }
+
+  static Value MsgNotification(const Value& src, const Value& dst, const Value& vote,
+                               int64_t round, const std::string& state) {
+    return MsgBase(kMsgNotification, src, dst)
+        .WithField("vote", vote)
+        .WithField("round", Value::Int(round))
+        .WithField("state", Value::Str(state));
+  }
+
+  static Value MsgFollowerInfo(const Value& src, const Value& dst, int64_t accepted_epoch,
+                               const Value& last_zxid) {
+    return MsgBase(kMsgFollowerInfo, src, dst)
+        .WithField("acceptedEpoch", Value::Int(accepted_epoch))
+        .WithField("lastZxid", last_zxid);
+  }
+
+  static Value MsgSync(const Value& src, const Value& dst, int64_t epoch,
+                       const std::string& mode, Value entries, int64_t last_committed) {
+    return MsgBase(kMsgSync, src, dst)
+        .WithField("epoch", Value::Int(epoch))
+        .WithField("mode", Value::Str(mode))
+        .WithField("entries", std::move(entries))
+        .WithField("lastCommitted", Value::Int(last_committed));
+  }
+
+  static Value MsgAckLeader(const Value& src, const Value& dst, int64_t epoch) {
+    return MsgBase(kMsgAckLeader, src, dst).WithField("epoch", Value::Int(epoch));
+  }
+
+  static Value MsgUpToDate(const Value& src, const Value& dst) {
+    return MsgBase(kMsgUpToDate, src, dst);
+  }
+
+  static Value MsgProposal(const Value& src, const Value& dst, const Value& zxid,
+                           int64_t val) {
+    return MsgBase(kMsgProposal, src, dst)
+        .WithField("zxid", zxid)
+        .WithField("val", Value::Int(val));
+  }
+
+  static Value MsgAck(const Value& src, const Value& dst, const Value& zxid) {
+    return MsgBase(kMsgAck, src, dst).WithField("zxid", zxid);
+  }
+
+  static Value MsgCommit(const Value& src, const Value& dst, const Value& zxid) {
+    return MsgBase(kMsgCommit, src, dst).WithField("zxid", zxid);
+  }
+
+  // ---- Initial state -----------------------------------------------------------
+
+  State InitState() const {
+    std::vector<Value::Pair> role, round, vote, recv, epoch, history, committed, followers,
+        acks, established;
+    for (const Value& node : nodes) {
+      role.emplace_back(node, Value::Str(kRoleLooking));
+      round.emplace_back(node, Value::Int(0));
+      vote.emplace_back(node, MakeVote(node, ZeroZxid()));
+      recv.emplace_back(node, Value::EmptyFun());
+      epoch.emplace_back(node, Value::Int(0));
+      history.emplace_back(node, Value::EmptySeq());
+      committed.emplace_back(node, Value::Int(0));
+      followers.emplace_back(node, Value::EmptySet());
+      acks.emplace_back(node, Value::EmptyFun());
+      established.emplace_back(node, Value::Bool(false));
+    }
+    return Value::Record({
+        {kVarRole, Value::Fun(std::move(role))},
+        {kVarRound, Value::Fun(std::move(round))},
+        {kVarVote, Value::Fun(std::move(vote))},
+        {kVarRecvVotes, Value::Fun(std::move(recv))},
+        {kVarAcceptedEpoch, Value::Fun(std::move(epoch))},
+        {kVarHistory, Value::Fun(std::move(history))},
+        {kVarLastCommitted, Value::Fun(std::move(committed))},
+        {kVarFollowers, Value::Fun(std::move(followers))},
+        {kVarAcks, Value::Fun(std::move(acks))},
+        {kVarEstablished, Value::Fun(std::move(established))},
+        {kVarNet, specnet::InitTcp()},
+        {kVarCounters,
+         Value::Record({{"timeouts", Value::Int(0)},
+                        {"requests", Value::Int(0)},
+                        {"crashes", Value::Int(0)},
+                        {"restarts", Value::Int(0)},
+                        {"partitions", Value::Int(0)}})},
+    });
+  }
+
+  // ---- Election helpers ------------------------------------------------------------
+
+  // Record the node's own (vote, round) in its receive set.
+  State RecordOwnVote(const State& s, const Value& node) const {
+    const Value entry = Value::Record(
+        {{"vote", Vote(s, node)}, {"round", Value::Int(Round(s, node))}});
+    return Upd(s, kVarRecvVotes, node,
+               s.field(kVarRecvVotes).Apply(node).FunSet(node, entry));
+  }
+
+  State BroadcastNotification(const State& s, const Value& node) const {
+    State t = s;
+    for (const Value& peer : nodes) {
+      if (peer == node) {
+        continue;
+      }
+      t = SendMsg(t, MsgNotification(node, peer, Vote(t, node), Round(t, node),
+                                     Role(t, node).str_v()));
+    }
+    return t;
+  }
+
+  // Reset volatile leadership bookkeeping.
+  State ClearLeaderState(const State& s, const Value& node) const {
+    State t = Upd(s, kVarFollowers, node, Value::EmptySet());
+    t = Upd(t, kVarAcks, node, Value::EmptyFun());
+    return Upd(t, kVarEstablished, node, Value::Bool(false));
+  }
+
+  // The node concluded an election in favour of itself: start leading and
+  // propose the next epoch (discovery begins when FOLLOWERINFO arrives).
+  State BecomeLeading(const State& s, const Value& node, ActionContext& ctx) const {
+    ctx.Branch("become_leading");
+    State t = s.WithField(kVarRole, s.field(kVarRole).FunSet(node, Value::Str(kRoleLeading)));
+    t = ClearLeaderState(t, node);
+    t = Upd(t, kVarAcceptedEpoch, node, Value::Int(AcceptedEpoch(t, node) + 1));
+    return t;
+  }
+
+  // The node concluded an election in favour of `leader`: follow and send
+  // FOLLOWERINFO to start discovery.
+  State BecomeFollowing(const State& s, const Value& node, const Value& leader,
+                        ActionContext& ctx) const {
+    ctx.Branch("become_following");
+    State t = Upd(s, kVarRole, node, Value::Str(kRoleFollowing));
+    t = Upd(t, kVarVote, node, MakeVote(leader, LastZxid(t, node)));
+    t = ClearLeaderState(t, node);
+    return SendMsg(t, MsgFollowerInfo(node, leader, AcceptedEpoch(t, node),
+                                      LastZxid(t, node)));
+  }
+
+  // Count supporters of the node's current proposal among received votes.
+  bool HasElectionQuorum(const State& s, const Value& node) const {
+    const Value& my_vote = Vote(s, node);
+    const int64_t my_round = Round(s, node);
+    const Value& recv = s.field(kVarRecvVotes).Apply(node);
+    int support = 0;
+    for (const auto& [voter, entry] : recv.fun_pairs()) {
+      if (entry.field("round").int_v() == my_round &&
+          entry.field("vote").field("leader") == my_vote.field("leader")) {
+        ++support;
+      }
+    }
+    return support >= quorum;
+  }
+
+  // Position (1-based) of `zxid` in the node's history; 0 when absent.
+  static int64_t ZxidPosition(const Value& history, const Value& zxid) {
+    for (size_t i = 0; i < history.size(); ++i) {
+      if (CompareZxid(history.at(i).field("zxid"), zxid) == 0) {
+        return static_cast<int64_t>(i) + 1;
+      }
+    }
+    return 0;
+  }
+
+  static Json NodeParam(const Value& node) {
+    return Json(static_cast<int64_t>(node.model_index()));
+  }
+
+  static Json MsgParams(const Value& msg) {
+    JsonObject o;
+    o["src"] = NodeParam(msg.field("src"));
+    o["dst"] = NodeParam(msg.field("dst"));
+    o["msg"] = msg.ToJson();
+    return Json(std::move(o));
+  }
+};
+
+using BP = std::shared_ptr<const Builder>;
+
+// Election timeout: the node (re-)enters leader election with a fresh round.
+Action TimeoutAction(const BP& b) {
+  Action a;
+  a.name = "Timeout";
+  a.kind = EventKind::kTimeout;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    if (Counter(s, "timeouts") >= b->p.budget.max_timeouts) {
+      return;
+    }
+    for (const Value& node : b->nodes) {
+      if (IsCrashed(s, node)) {
+        continue;
+      }
+      if (Round(s, node) + 1 > b->p.budget.max_rounds) {
+        continue;
+      }
+      ctx.Branch("enter_looking");
+      State t = Builder::Upd(s, kVarRole, node, Value::Str(kRoleLooking));
+      t = Builder::Upd(t, kVarRound, node, Value::Int(Round(s, node) + 1));
+      t = Builder::Upd(t, kVarVote, node, MakeVote(node, LastZxid(t, node)));
+      t = Builder::Upd(t, kVarRecvVotes, node, Value::EmptyFun());
+      t = b->ClearLeaderState(t, node);
+      t = b->RecordOwnVote(t, node);
+      t = b->BroadcastNotification(t, node);
+      t = BumpCounter(t, "timeouts");
+      JsonObject params;
+      params["node"] = Builder::NodeParam(node);
+      ctx.Emit(std::move(t), Json(std::move(params)));
+    }
+  };
+  return a;
+}
+
+// Fast leader election notification handling (the spec twin of Figure 3).
+State HandleNotification(const Builder& b, State s, const Value& m, ActionContext& ctx) {
+  const Value& dst = m.field("dst");
+  const Value& src = m.field("src");
+  const Value& n_vote = m.field("vote");
+  const int64_t n_round = m.field("round").int_v();
+  const std::string& n_state = m.field("state").str_v();
+  const bool bug = b.p.bugs.zk1_vote_order;
+
+  if (Role(s, dst).str_v() != kRoleLooking) {
+    // Figure 3, lines 18-21: an out-of-election server answers a LOOKING
+    // sender with its current vote so the sender can join the regime.
+    if (n_state == kRoleLooking) {
+      ctx.Branch("answer_looking_sender");
+      return b.SendMsg(s, Builder::MsgNotification(dst, src, Vote(s, dst), Round(s, dst),
+                                                   Role(s, dst).str_v()));
+    }
+    ctx.Branch("ignored_not_looking");
+    return s;
+  }
+
+  if (n_state != kRoleLooking) {
+    // The sender claims an established regime; join it when the leader itself
+    // confirms, otherwise wait for more evidence.
+    if (n_state == kRoleLeading && n_vote.field("leader") == src) {
+      ctx.Branch("join_established");
+      return b.BecomeFollowing(s, dst, src, ctx);
+    }
+    ctx.Branch("regime_hint_ignored");
+    return s;
+  }
+
+  const int64_t my_round = Round(s, dst);
+  if (n_round > my_round) {
+    // Newer election round: adopt it, restart vote collection, and re-propose
+    // (the better of the incoming vote and our own credentials).
+    ctx.Branch("newer_round");
+    s = Builder::Upd(s, kVarRound, dst, Value::Int(n_round));
+    s = Builder::Upd(s, kVarRecvVotes, dst, Value::EmptyFun());
+    const Value self_vote = MakeVote(dst, LastZxid(s, dst));
+    const Value adopted = VoteBetter(n_vote, n_round, self_vote, n_round, bug) ? n_vote
+                                                                               : self_vote;
+    s = Builder::Upd(s, kVarVote, dst, adopted);
+    s = b.RecordOwnVote(s, dst);
+    s = b.BroadcastNotification(s, dst);
+  } else if (n_round < my_round) {
+    if (bug && VoteBetter(n_vote, n_round, Vote(s, dst), my_round, bug)) {
+      // ZooKeeper#1 behaviourally: the comparison lacks its round guard, so a
+      // notification from an OLDER round whose zxid is larger wins and gets
+      // adopted — the election never settles on one regime.
+      ctx.Branch("stale_round_adopted[bug:zk1]");
+      s = Builder::Upd(s, kVarVote, dst, n_vote);
+      s = b.RecordOwnVote(s, dst);
+      s = b.BroadcastNotification(s, dst);
+    } else {
+      // Figure 3, lines 12-16: a sender in an older round gets our (newer)
+      // notification back and nothing else happens.
+      ctx.Branch("stale_round_reply");
+      return b.SendMsg(s, Builder::MsgNotification(dst, src, Vote(s, dst), my_round,
+                                                   kRoleLooking));
+    }
+  } else if (n_round == my_round &&
+             VoteBetter(n_vote, n_round, Vote(s, dst), my_round, bug)) {
+    ctx.Branch("adopt_better_vote");
+    s = Builder::Upd(s, kVarVote, dst, n_vote);
+    s = b.RecordOwnVote(s, dst);
+    s = b.BroadcastNotification(s, dst);
+  } else {
+    ctx.Branch("keep_vote");
+  }
+
+  // Record the sender's vote for this round.
+  const Value entry = Value::Record({{"vote", n_vote}, {"round", Value::Int(n_round)}});
+  s = Builder::Upd(s, kVarRecvVotes, dst,
+                   s.field(kVarRecvVotes).Apply(dst).FunSet(src, entry));
+
+  if (b.HasElectionQuorum(s, dst)) {
+    const Value elected = Vote(s, dst).field("leader");
+    if (elected == dst) {
+      return b.BecomeLeading(s, dst, ctx);
+    }
+    return b.BecomeFollowing(s, dst, elected, ctx);
+  }
+  return s;
+}
+
+// Discovery: the leader learns the follower's accepted epoch and last zxid,
+// settles the new epoch, and ships a DIFF or SNAP synchronization.
+State HandleFollowerInfo(const Builder& b, State s, const Value& m, ActionContext& ctx) {
+  const Value& dst = m.field("dst");  // the leader
+  const Value& src = m.field("src");
+  if (Role(s, dst).str_v() != kRoleLeading) {
+    ctx.Branch("followerinfo_ignored");
+    return s;
+  }
+  const int64_t proposed = std::max(AcceptedEpoch(s, dst), m.field("acceptedEpoch").int_v() + 1);
+  if (proposed > AcceptedEpoch(s, dst)) {
+    ctx.Branch("bump_epoch");
+    s = Builder::Upd(s, kVarAcceptedEpoch, dst, Value::Int(proposed));
+  }
+  const Value& history = History(s, dst);
+  const Value& f_zxid = m.field("lastZxid");
+  const int64_t pos = CompareZxid(f_zxid, ZeroZxid()) == 0
+                          ? 0
+                          : Builder::ZxidPosition(history, f_zxid);
+  Value sync;
+  if (CompareZxid(f_zxid, ZeroZxid()) == 0 || pos > 0) {
+    // The follower's log is a prefix point of ours: send the missing suffix.
+    ctx.Branch("sync_diff");
+    sync = Builder::MsgSync(dst, src, AcceptedEpoch(s, dst), "DIFF",
+                            history.SubSeq(static_cast<size_t>(pos) + 1, history.size()),
+                            LastCommitted(s, dst));
+  } else {
+    // Unknown zxid: the follower's log diverged; ship a full snapshot.
+    ctx.Branch("sync_snap");
+    sync = Builder::MsgSync(dst, src, AcceptedEpoch(s, dst), "SNAP", history,
+                            LastCommitted(s, dst));
+  }
+  return b.SendMsg(s, sync);
+}
+
+// Synchronization at the follower: install the leader's history and ack.
+State HandleSync(const Builder& b, State s, const Value& m, ActionContext& ctx) {
+  const Value& dst = m.field("dst");
+  const Value& src = m.field("src");
+  const int64_t epoch = m.field("epoch").int_v();
+  if (Role(s, dst).str_v() != kRoleFollowing || !(Vote(s, dst).field("leader") == src) ||
+      epoch <= AcceptedEpoch(s, dst)) {
+    ctx.Branch("sync_rejected");
+    return s;
+  }
+  ctx.Branch(m.field("mode").str_v() == "DIFF" ? "install_diff" : "install_snap");
+  s = Builder::Upd(s, kVarAcceptedEpoch, dst, Value::Int(epoch));
+  Value history;
+  if (m.field("mode").str_v() == "DIFF") {
+    // The leader computed the diff against the lastZxid of our FOLLOWERINFO;
+    // proposals broadcast since then may already be in our history, so only
+    // entries past our current last zxid are appended.
+    history = History(s, dst);
+    for (const Value& entry : m.field("entries").elems()) {
+      const Value last = history.empty() ? ZeroZxid()
+                                         : history.at(history.size() - 1).field("zxid");
+      if (CompareZxid(entry.field("zxid"), last) > 0) {
+        history = history.Append(entry);
+      }
+    }
+  } else {
+    history = m.field("entries");
+  }
+  s = Builder::Upd(s, kVarHistory, dst, history);
+  const int64_t committed =
+      std::max(LastCommitted(s, dst),
+               std::min(m.field("lastCommitted").int_v(), static_cast<int64_t>(history.size())));
+  s = Builder::Upd(s, kVarLastCommitted, dst, Value::Int(committed));
+  return b.SendMsg(s, Builder::MsgAckLeader(dst, src, epoch));
+}
+
+// The leader collects synchronization acks; a quorum establishes the reign.
+State HandleAckLeader(const Builder& b, State s, const Value& m, ActionContext& ctx) {
+  const Value& dst = m.field("dst");
+  const Value& src = m.field("src");
+  if (Role(s, dst).str_v() != kRoleLeading ||
+      m.field("epoch").int_v() != AcceptedEpoch(s, dst)) {
+    ctx.Branch("ackld_ignored");
+    return s;
+  }
+  const Value followers = s.field(kVarFollowers).Apply(dst).SetAdd(src);
+  s = Builder::Upd(s, kVarFollowers, dst, followers);
+  const bool was_established = s.field(kVarEstablished).Apply(dst).bool_v();
+  if (static_cast<int>(followers.size()) + 1 >= b.quorum && !was_established) {
+    ctx.Branch("established");
+    s = Builder::Upd(s, kVarEstablished, dst, Value::Bool(true));
+    for (const Value& f : followers.elems()) {
+      s = b.SendMsg(s, Builder::MsgUpToDate(dst, f));
+    }
+  } else if (was_established) {
+    ctx.Branch("late_follower");
+    s = b.SendMsg(s, Builder::MsgUpToDate(dst, src));
+  } else {
+    ctx.Branch("ackld_counted");
+  }
+  return s;
+}
+
+State HandleUpToDate(const Builder& b, State s, const Value& m, ActionContext& ctx) {
+  const Value& dst = m.field("dst");
+  const Value& src = m.field("src");
+  if (Role(s, dst).str_v() != kRoleFollowing || !(Vote(s, dst).field("leader") == src)) {
+    ctx.Branch("uptodate_ignored");
+    return s;
+  }
+  ctx.Branch("serving");
+  return Builder::Upd(s, kVarEstablished, dst, Value::Bool(true));
+}
+
+// Broadcast phase.
+Action ClientRequestAction(const BP& b) {
+  Action a;
+  a.name = "ClientRequest";
+  a.kind = EventKind::kClientRequest;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    if (Counter(s, "requests") >= b->p.budget.max_client_requests) {
+      return;
+    }
+    for (const Value& node : b->nodes) {
+      if (Role(s, node).str_v() != kRoleLeading ||
+          !s.field(kVarEstablished).Apply(node).bool_v()) {
+        continue;
+      }
+      if (static_cast<int>(History(s, node).size()) >= b->p.budget.max_history) {
+        continue;
+      }
+      const int64_t epoch = AcceptedEpoch(s, node);
+      const Value last = LastZxid(s, node);
+      const int64_t counter =
+          last.field("epoch").int_v() == epoch ? last.field("counter").int_v() + 1 : 1;
+      const Value zxid = Zxid(epoch, counter);
+      for (int v = 1; v <= b->p.num_values; ++v) {
+        ctx.Branch("propose");
+        State t = Builder::Upd(
+            s, kVarHistory, node,
+            History(s, node).Append(
+                Value::Record({{"zxid", zxid}, {"val", Value::Int(v)}})));
+        t = Builder::Upd(t, kVarAcks, node,
+                         t.field(kVarAcks).Apply(node).FunSet(zxid, Value::EmptySet()));
+        for (const Value& f : t.field(kVarFollowers).Apply(node).elems()) {
+          t = b->SendMsg(t, Builder::MsgProposal(node, f, zxid, v));
+        }
+        t = BumpCounter(t, "requests");
+        JsonObject params;
+        params["node"] = Builder::NodeParam(node);
+        params["val"] = Json(static_cast<int64_t>(v));
+        ctx.Emit(std::move(t), Json(std::move(params)));
+      }
+    }
+  };
+  return a;
+}
+
+State HandleProposal(const Builder& b, State s, const Value& m, ActionContext& ctx) {
+  const Value& dst = m.field("dst");
+  const Value& src = m.field("src");
+  if (Role(s, dst).str_v() != kRoleFollowing || !(Vote(s, dst).field("leader") == src)) {
+    ctx.Branch("proposal_ignored");
+    return s;
+  }
+  const Value& zxid = m.field("zxid");
+  if (CompareZxid(zxid, LastZxid(s, dst)) <= 0) {
+    ctx.Branch("proposal_stale");
+    return s;
+  }
+  ctx.Branch("proposal_accepted");
+  s = Builder::Upd(s, kVarHistory, dst,
+                   History(s, dst).Append(Value::Record(
+                       {{"zxid", zxid}, {"val", m.field("val")}})));
+  return b.SendMsg(s, Builder::MsgAck(dst, src, zxid));
+}
+
+State HandleAck(const Builder& b, State s, const Value& m, ActionContext& ctx) {
+  const Value& dst = m.field("dst");
+  const Value& src = m.field("src");
+  const Value& zxid = m.field("zxid");
+  if (Role(s, dst).str_v() != kRoleLeading || !s.field(kVarAcks).Apply(dst).FunHas(zxid)) {
+    ctx.Branch("ack_ignored");
+    return s;
+  }
+  const Value ackers = s.field(kVarAcks).Apply(dst).Apply(zxid).SetAdd(src);
+  if (static_cast<int>(ackers.size()) + 1 >= b.quorum) {
+    ctx.Branch("commit");
+    // Commit: advance the committed prefix to this transaction and notify.
+    const int64_t pos = Builder::ZxidPosition(History(s, dst), zxid);
+    s = Builder::Upd(s, kVarLastCommitted, dst,
+                     Value::Int(std::max(LastCommitted(s, dst), pos)));
+    s = Builder::Upd(s, kVarAcks, dst, s.field(kVarAcks).Apply(dst).FunRemove(zxid));
+    for (const Value& f : s.field(kVarFollowers).Apply(dst).elems()) {
+      s = b.SendMsg(s, Builder::MsgCommit(dst, f, zxid));
+    }
+    return s;
+  }
+  ctx.Branch("ack_counted");
+  return Builder::Upd(s, kVarAcks, dst, s.field(kVarAcks).Apply(dst).FunSet(zxid, ackers));
+}
+
+State HandleCommit(const Builder& b, State s, const Value& m, ActionContext& ctx) {
+  const Value& dst = m.field("dst");
+  const Value& zxid = m.field("zxid");
+  const int64_t pos = Builder::ZxidPosition(History(s, dst), zxid);
+  if (pos == 0) {
+    ctx.Branch("commit_unknown_zxid");
+    return s;
+  }
+  ctx.Branch("commit_applied");
+  return Builder::Upd(s, kVarLastCommitted, dst,
+                      Value::Int(std::max(LastCommitted(s, dst), pos)));
+}
+
+Action DeliveryAction(const BP& b, const char* name, const char* mtype,
+                      std::function<State(const Builder&, State, const Value&, ActionContext&)>
+                          handler) {
+  Action a;
+  a.name = name;
+  a.kind = EventKind::kMessage;
+  a.expand = [b, mtype, handler = std::move(handler)](const State& s, ActionContext& ctx) {
+    const Value crashed = CrashedSet(s, b->n);
+    for (specnet::Delivery& d : specnet::Deliveries(s.field(kVarNet), crashed)) {
+      if (d.msg.field("mtype").str_v() != mtype) {
+        continue;
+      }
+      State t = b->WithNet(s, std::move(d.net_after));
+      t = handler(*b, std::move(t), d.msg, ctx);
+      Json params = Builder::MsgParams(d.msg);
+      if (d.from_delayed) {
+        params["delayed"] = Json(true);
+      }
+      ctx.Emit(std::move(t), std::move(params));
+    }
+  };
+  return a;
+}
+
+Action CrashAction(const BP& b) {
+  Action a;
+  a.name = "NodeCrash";
+  a.kind = EventKind::kCrash;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    if (Counter(s, "crashes") >= b->p.budget.max_crashes) {
+      return;
+    }
+    int down = 0;
+    for (const Value& node : b->nodes) {
+      down += IsCrashed(s, node) ? 1 : 0;
+    }
+    if (down + 1 >= b->quorum) {
+      return;
+    }
+    for (const Value& node : b->nodes) {
+      if (IsCrashed(s, node)) {
+        continue;
+      }
+      ctx.Branch("crash");
+      State t = Builder::Upd(s, kVarRole, node, Value::Str(kRoleCrashed));
+      t = Builder::Upd(t, kVarRound, node, Value::Int(0));
+      t = Builder::Upd(t, kVarVote, node, MakeVote(node, LastZxid(s, node)));
+      t = Builder::Upd(t, kVarRecvVotes, node, Value::EmptyFun());
+      t = b->ClearLeaderState(t, node);
+      t = b->WithNet(t, specnet::OnCrash(t.field(kVarNet), node));
+      t = BumpCounter(t, "crashes");
+      JsonObject params;
+      params["node"] = Builder::NodeParam(node);
+      ctx.Emit(std::move(t), Json(std::move(params)));
+    }
+  };
+  return a;
+}
+
+Action RestartAction(const BP& b) {
+  Action a;
+  a.name = "NodeRestart";
+  a.kind = EventKind::kRestart;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    if (Counter(s, "restarts") >= b->p.budget.max_restarts) {
+      return;
+    }
+    for (const Value& node : b->nodes) {
+      if (!IsCrashed(s, node)) {
+        continue;
+      }
+      ctx.Branch("restart");
+      State t = Builder::Upd(s, kVarRole, node, Value::Str(kRoleLooking));
+      t = BumpCounter(t, "restarts");
+      JsonObject params;
+      params["node"] = Builder::NodeParam(node);
+      ctx.Emit(std::move(t), Json(std::move(params)));
+    }
+  };
+  return a;
+}
+
+Action PartitionAction(const BP& b) {
+  Action a;
+  a.name = "PartitionStart";
+  a.kind = EventKind::kPartition;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    if (Counter(s, "partitions") >= b->p.budget.max_partitions ||
+        specnet::HasPartition(s.field(kVarNet))) {
+      return;
+    }
+    const int total = 1 << b->n;
+    for (int mask = 1; mask < total - 1; ++mask) {
+      std::vector<Value> side;
+      std::vector<Value> other;
+      for (int i = 0; i < b->n; ++i) {
+        ((mask >> i) & 1 ? side : other).push_back(b->nodes[static_cast<size_t>(i)]);
+      }
+      Value side_set = Value::Set(std::move(side));
+      Value other_set = Value::Set(std::move(other));
+      if (Compare(other_set, side_set) < 0) {
+        continue;
+      }
+      ctx.Branch("partition");
+      State t = b->WithNet(s, specnet::Partition(s.field(kVarNet), side_set));
+      t = BumpCounter(t, "partitions");
+      JsonArray ids;
+      for (const Value& v : side_set.elems()) {
+        ids.push_back(Json(static_cast<int64_t>(v.model_index())));
+      }
+      JsonObject params;
+      params["side"] = Json(std::move(ids));
+      ctx.Emit(std::move(t), Json(std::move(params)));
+    }
+  };
+  return a;
+}
+
+Action HealAction(const BP& b) {
+  Action a;
+  a.name = "PartitionHeal";
+  a.kind = EventKind::kRecover;
+  a.expand = [b](const State& s, ActionContext& ctx) {
+    if (!specnet::HasPartition(s.field(kVarNet))) {
+      return;
+    }
+    ctx.Branch("heal");
+    ctx.Emit(b->WithNet(s, specnet::Heal(s.field(kVarNet))), Json(JsonObject{}));
+  };
+  return a;
+}
+
+}  // namespace
+
+void AddZabInvariants(Spec& spec, const ZabProfile& profile);
+
+Spec MakeZabSpec(const ZabProfile& profile) {
+  auto b = std::make_shared<const Builder>(profile);
+
+  Spec spec;
+  spec.name = "zab/zookeeper";
+  spec.init_states.push_back(b->InitState());
+  spec.symmetry = Symmetry{kServerClass, b->n};
+
+  spec.actions.push_back(TimeoutAction(b));
+  spec.actions.push_back(
+      DeliveryAction(b, "HandleNotificationMsg", kMsgNotification, HandleNotification));
+  spec.actions.push_back(
+      DeliveryAction(b, "HandleFollowerInfoMsg", kMsgFollowerInfo, HandleFollowerInfo));
+  spec.actions.push_back(DeliveryAction(b, "HandleSyncMsg", kMsgSync, HandleSync));
+  spec.actions.push_back(
+      DeliveryAction(b, "HandleAckLeaderMsg", kMsgAckLeader, HandleAckLeader));
+  spec.actions.push_back(
+      DeliveryAction(b, "HandleUpToDateMsg", kMsgUpToDate, HandleUpToDate));
+  spec.actions.push_back(ClientRequestAction(b));
+  spec.actions.push_back(DeliveryAction(b, "HandleProposalMsg", kMsgProposal, HandleProposal));
+  spec.actions.push_back(DeliveryAction(b, "HandleAckMsg", kMsgAck, HandleAck));
+  spec.actions.push_back(DeliveryAction(b, "HandleCommitMsg", kMsgCommit, HandleCommit));
+  spec.actions.push_back(CrashAction(b));
+  spec.actions.push_back(RestartAction(b));
+  spec.actions.push_back(PartitionAction(b));
+  spec.actions.push_back(HealAction(b));
+
+  const ZabBudget budget = profile.budget;
+  const int n = b->n;
+  spec.constraint = [budget, n](const State& s) {
+    if (Counter(s, "timeouts") > budget.max_timeouts ||
+        Counter(s, "requests") > budget.max_client_requests ||
+        Counter(s, "crashes") > budget.max_crashes ||
+        Counter(s, "restarts") > budget.max_restarts ||
+        Counter(s, "partitions") > budget.max_partitions) {
+      return false;
+    }
+    if (specnet::MaxChannelLoad(s.field(kVarNet)) > budget.max_msg_buffer) {
+      return false;
+    }
+    for (int i = 0; i < n; ++i) {
+      const Value node = NodeV(i);
+      if (Round(s, node) > budget.max_rounds ||
+          AcceptedEpoch(s, node) > budget.max_epoch ||
+          static_cast<int>(History(s, node).size()) > budget.max_history) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  spec.compared_vars = {kVarRole, kVarRound, kVarVote, kVarAcceptedEpoch,
+                        kVarHistory, kVarLastCommitted, kVarNet};
+
+  AddZabInvariants(spec, profile);
+  return spec;
+}
+
+}  // namespace sandtable

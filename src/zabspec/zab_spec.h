@@ -1,0 +1,49 @@
+// The ZooKeeper / Zab specification (§4.2).
+//
+// Models the system behaviour of a ZooKeeper ensemble at SandTable's event
+// granularity: fast leader election via notifications (Figure 3 is the
+// corresponding implementation excerpt), a discovery + synchronization phase
+// (FOLLOWERINFO / SYNC / ACKLD / UPTODATE), and the broadcast phase
+// (PROPOSAL / ACK / COMMIT), over the reusable TCP network module with
+// partitions, crashes and restarts.
+#ifndef SANDTABLE_SRC_ZABSPEC_ZAB_SPEC_H_
+#define SANDTABLE_SRC_ZABSPEC_ZAB_SPEC_H_
+
+#include "src/spec/spec.h"
+
+namespace sandtable {
+
+struct ZabBugs {
+  // ZooKeeper#1 (ZOOKEEPER-1419, v3.4.3): the fast-leader-election vote
+  // comparison is not a total order; consequence: multiple valid leaders or
+  // an election that never settles.
+  bool zk1_vote_order = false;
+};
+
+struct ZabBudget {
+  int max_timeouts = 3;
+  int max_client_requests = 2;
+  int max_crashes = 0;
+  int max_restarts = 0;
+  int max_partitions = 0;
+  int max_rounds = 3;   // election rounds (logical clocks)
+  int max_epoch = 3;
+  int max_history = 3;  // transactions per node
+  int max_msg_buffer = 6;
+};
+
+struct ZabProfile {
+  std::string name = "zookeeper";
+  int num_servers = 3;
+  int num_values = 2;
+  ZabBugs bugs;
+  ZabBudget budget;
+};
+
+ZabProfile GetZabProfile(bool with_bugs);
+
+Spec MakeZabSpec(const ZabProfile& profile);
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_ZABSPEC_ZAB_SPEC_H_

@@ -1,0 +1,23 @@
+// A tiny *unmodified* target program for the LD_PRELOAD interception test: it
+// reads the clock the way real systems schedule timeouts (now + delta, poll
+// against the deadline) and prints what it observes.
+#include <cstdio>
+#include <ctime>
+
+int main() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  const long long t0 = ts.tv_sec * 1000000000LL + ts.tv_nsec;
+  std::printf("t0=%lld\n", t0);
+
+  // A 100ms "timeout": with the interceptor, the sleep advances virtual time
+  // instantly instead of blocking.
+  struct timespec delay{0, 100000000};
+  nanosleep(&delay, nullptr);
+
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  const long long t1 = ts.tv_sec * 1000000000LL + ts.tv_nsec;
+  std::printf("t1=%lld\n", t1);
+  std::printf("elapsed=%lld\n", t1 - t0);
+  return 0;
+}

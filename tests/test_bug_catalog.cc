@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/conformance/bug_catalog.h"
+#include "src/raftspec/raft_spec.h"
+
+namespace sandtable {
+namespace {
+
+using conformance::BugCatalog;
+using conformance::BugInfo;
+using conformance::BugStage;
+using conformance::FindBug;
+using conformance::MakeBugProfile;
+
+TEST(BugCatalog, HasAll23Table2Bugs) {
+  EXPECT_EQ(BugCatalog().size(), 23u);
+  int verification = 0;
+  int conformance_stage = 0;
+  int modeling = 0;
+  int new_bugs = 0;
+  for (const BugInfo& bug : BugCatalog()) {
+    switch (bug.stage) {
+      case BugStage::kVerification:
+        ++verification;
+        break;
+      case BugStage::kConformance:
+        ++conformance_stage;
+        break;
+      case BugStage::kModeling:
+        ++modeling;
+        break;
+    }
+    new_bugs += bug.is_new ? 1 : 0;
+  }
+  // Table 2: 16 model-checking bugs, 6 conformance bugs, 1 modeling bug,
+  // 18 new bugs.
+  EXPECT_EQ(verification, 16);
+  EXPECT_EQ(conformance_stage, 6);
+  EXPECT_EQ(modeling, 1);
+  EXPECT_EQ(new_bugs, 18);
+}
+
+TEST(BugCatalog, IdsUniqueAndSystemsKnown) {
+  std::set<std::string> ids;
+  const std::set<std::string> systems = {"pysyncobj", "wraft",  "redisraft", "daosraft",
+                                         "raftos",    "xraft",  "xraftkv",   "zookeeper"};
+  for (const BugInfo& bug : BugCatalog()) {
+    EXPECT_TRUE(ids.insert(bug.id).second) << "duplicate id " << bug.id;
+    EXPECT_TRUE(systems.count(bug.system) > 0) << bug.id;
+    EXPECT_FALSE(bug.consequence.empty()) << bug.id;
+  }
+}
+
+TEST(BugCatalog, VerificationBugsHaveOracles) {
+  for (const BugInfo& bug : BugCatalog()) {
+    if (bug.stage != BugStage::kVerification) {
+      continue;
+    }
+    EXPECT_FALSE(bug.invariant.empty()) << bug.id;
+    EXPECT_GT(bug.paper_states, 0) << bug.id;
+    EXPECT_GT(bug.paper_depth, 0) << bug.id;
+    if (!bug.zab_bug) {
+      ASSERT_NE(bug.enable_spec, nullptr) << bug.id;
+    }
+  }
+}
+
+TEST(BugCatalog, ConformanceBugsAreImplOnly) {
+  for (const BugInfo& bug : BugCatalog()) {
+    if (bug.stage != BugStage::kConformance) {
+      continue;
+    }
+    EXPECT_EQ(bug.enable_spec, nullptr) << bug.id;
+    ASSERT_NE(bug.enable_impl, nullptr) << bug.id;
+    // Each conformance bug flips exactly its own impl switch.
+    systems::RaftImplBugs impl;
+    bug.enable_impl(impl);
+    EXPECT_TRUE(impl.AnySet()) << bug.id;
+  }
+}
+
+TEST(BugCatalog, FindBugLooksUpById) {
+  EXPECT_EQ(FindBug("PySyncObj#4").paper_depth, 25);
+  EXPECT_EQ(FindBug("ZooKeeper#1").invariant, "VotesTotallyOrdered");
+  EXPECT_TRUE(FindBug("ZooKeeper#1").zab_bug);
+}
+
+TEST(BugCatalog, MakeBugProfileSeedsExactlyOneBugSet) {
+  const RaftProfile p = MakeBugProfile(FindBug("PySyncObj#2"));
+  EXPECT_TRUE(p.bugs.pso2_commit_regress);
+  EXPECT_FALSE(p.bugs.pso3_next_le_match);
+  EXPECT_FALSE(p.bugs.xkv1_stale_read);
+  // Tuned budget applied.
+  EXPECT_EQ(p.budget.max_crashes, 0);
+  // Profile features preserved.
+  EXPECT_TRUE(p.features.optimistic_next);
+}
+
+TEST(BugCatalog, EverySeededProfileBuildsASpec) {
+  for (const BugInfo& bug : BugCatalog()) {
+    if (bug.zab_bug || bug.stage != BugStage::kVerification) {
+      continue;
+    }
+    const Spec spec = MakeRaftSpec(MakeBugProfile(bug));
+    EXPECT_FALSE(spec.actions.empty()) << bug.id;
+    EXPECT_FALSE(spec.invariants.empty()) << bug.id;
+  }
+}
+
+}  // namespace
+}  // namespace sandtable

@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "src/conformance/raft_harness.h"
+#include "src/engine/engine.h"
+
+namespace sandtable {
+namespace {
+
+using conformance::MakeRaftEngineFactory;
+using conformance::MakeRaftHarness;
+
+std::unique_ptr<engine::Engine> FreshCluster(const std::string& system = "pysyncobj",
+                                             bool with_bugs = false) {
+  return MakeRaftEngineFactory(MakeRaftHarness(system, with_bugs))();
+}
+
+TEST(Engine, StartsAllNodes) {
+  auto eng = FreshCluster();
+  ASSERT_TRUE(eng->StartAll());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(eng->NodeAlive(i));
+    auto state = eng->QueryNodeState(i);
+    ASSERT_TRUE(state.ok());
+    EXPECT_EQ(state.value()["role"].as_string(), "Follower");
+    EXPECT_EQ(state.value()["currentTerm"].as_int(), 0);
+  }
+}
+
+TEST(Engine, ElectionTimeoutStartsElection) {
+  auto eng = FreshCluster();
+  ASSERT_TRUE(eng->StartAll());
+  ASSERT_TRUE(eng->FireTimeout(0, "election"));
+  auto state = eng->QueryNodeState(0);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value()["role"].as_string(), "Candidate");
+  EXPECT_EQ(state.value()["currentTerm"].as_int(), 1);
+  // RequestVote buffered to both peers, nothing delivered yet.
+  EXPECT_EQ(eng->proxy().TotalInFlight(), 2);
+}
+
+TEST(Engine, FullElectionAndReplication) {
+  auto eng = FreshCluster();
+  ASSERT_TRUE(eng->StartAll());
+  ASSERT_TRUE(eng->FireTimeout(0, "election"));
+  // Deliver RV to node 1, its grant back, node 0 becomes leader.
+  ASSERT_TRUE(eng->DeliverMessage(0, 1, ""));
+  ASSERT_TRUE(eng->DeliverMessage(1, 0, ""));
+  auto state = eng->QueryNodeState(0);
+  ASSERT_TRUE(state.ok());
+  ASSERT_EQ(state.value()["role"].as_string(), "Leader");
+
+  // Client proposes through the leader, heartbeat replicates, ack commits.
+  Json resp;
+  JsonObject req;
+  req["op"] = Json(std::string("propose"));
+  req["val"] = Json(7);
+  ASSERT_TRUE(eng->ClientRequest(0, Json(std::move(req)), &resp));
+  EXPECT_TRUE(resp["ok"].as_bool());
+  ASSERT_TRUE(eng->FireTimeout(0, "heartbeat"));
+  // The channel still holds the initial empty AppendEntries from the moment
+  // node 0 became leader; drain FIFO-style: empty AE, then the entry-carrying
+  // one, acking each.
+  ASSERT_TRUE(eng->DeliverMessage(0, 1, ""));  // initial empty AE
+  ASSERT_TRUE(eng->DeliverMessage(1, 0, ""));  // its ack
+  ASSERT_TRUE(eng->DeliverMessage(0, 1, ""));  // AE with the entry
+  ASSERT_TRUE(eng->DeliverMessage(1, 0, ""));  // ack commits
+  state = eng->QueryNodeState(0);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value()["commitIndex"].as_int(), 1);
+  EXPECT_EQ(state.value()["log"].size(), 1u);
+}
+
+TEST(Engine, ProposeAtFollowerIsRejectedNotFatal) {
+  auto eng = FreshCluster();
+  ASSERT_TRUE(eng->StartAll());
+  Json resp;
+  JsonObject req;
+  req["op"] = Json(std::string("propose"));
+  req["val"] = Json(1);
+  ASSERT_TRUE(eng->ClientRequest(1, Json(std::move(req)), &resp));
+  EXPECT_FALSE(resp["ok"].as_bool());
+  EXPECT_TRUE(eng->NodeAlive(1));
+}
+
+TEST(Engine, CrashLosesVolatileKeepsPersistent) {
+  auto eng = FreshCluster();
+  ASSERT_TRUE(eng->StartAll());
+  ASSERT_TRUE(eng->FireTimeout(0, "election"));
+  ASSERT_TRUE(eng->DeliverMessage(0, 1, ""));  // node1 votes (persistent votedFor)
+  ASSERT_TRUE(eng->Crash(1));
+  EXPECT_FALSE(eng->NodeAlive(1));
+  EXPECT_FALSE(eng->QueryNodeState(1).ok());
+  // Messages to a crashed node cannot be delivered.
+  EXPECT_FALSE(eng->DeliverMessage(0, 1, ""));
+
+  ASSERT_TRUE(eng->Restart(1));
+  auto state = eng->QueryNodeState(1);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(state.value()["role"].as_string(), "Follower");
+  EXPECT_EQ(state.value()["currentTerm"].as_int(), 1);  // persisted
+  EXPECT_EQ(state.value()["votedFor"].as_int(), 0);     // persisted
+}
+
+TEST(Engine, RestartRequiresDownNode) {
+  auto eng = FreshCluster();
+  ASSERT_TRUE(eng->StartAll());
+  EXPECT_FALSE(eng->Restart(0));
+  EXPECT_FALSE(eng->Crash(7));
+}
+
+TEST(Engine, PartitionBlocksTrafficUntilHeal) {
+  auto eng = FreshCluster();
+  ASSERT_TRUE(eng->StartAll());
+  ASSERT_TRUE(eng->FireTimeout(0, "election"));  // 2 RVs buffered
+  ASSERT_TRUE(eng->PartitionStart({0}));
+  // Crossing traffic moved to the old-connection buffers: undeliverable while
+  // the cut holds, but not lost.
+  EXPECT_FALSE(eng->DeliverMessage(0, 1, ""));
+  EXPECT_EQ(eng->proxy().TotalInFlight(), 2);
+  // New sends across the cut fail; within a side they work.
+  ASSERT_TRUE(eng->FireTimeout(1, "election"));
+  EXPECT_EQ(eng->proxy().TotalInFlight(), 3);  // +1 for the surviving 1->2 RV
+  EXPECT_FALSE(eng->PartitionStart({1}));      // one partition at a time
+  ASSERT_TRUE(eng->PartitionHeal());
+  EXPECT_FALSE(eng->PartitionHeal());
+  // After healing, the delayed RVs surface and can be delivered.
+  EXPECT_TRUE(eng->DeliverMessage(0, 1, ""));
+}
+
+TEST(Engine, TimeoutRequiresMatchingTimer) {
+  auto eng = FreshCluster();
+  ASSERT_TRUE(eng->StartAll());
+  // Followers have no heartbeat timer.
+  EXPECT_FALSE(eng->FireTimeout(0, "heartbeat"));
+  EXPECT_TRUE(eng->FireTimeout(0, "election"));
+}
+
+TEST(Engine, UdpDropAndDuplicate) {
+  auto eng = FreshCluster("raftos", false);
+  ASSERT_TRUE(eng->StartAll());
+  ASSERT_TRUE(eng->FireTimeout(0, "election"));
+  EXPECT_EQ(eng->proxy().TotalInFlight(), 2);
+  ASSERT_TRUE(eng->DuplicateMessage(0, 1, ""));
+  EXPECT_EQ(eng->proxy().TotalInFlight(), 3);
+  ASSERT_TRUE(eng->DropMessage(0, 1, ""));
+  ASSERT_TRUE(eng->DropMessage(0, 1, ""));
+  EXPECT_EQ(eng->proxy().TotalInFlight(), 1);
+  EXPECT_FALSE(eng->DropMessage(0, 1, ""));
+  // Drop/dup are UDP-only commands.
+  auto tcp = FreshCluster("pysyncobj", false);
+  ASSERT_TRUE(tcp->StartAll());
+  ASSERT_TRUE(tcp->FireTimeout(0, "election"));
+  EXPECT_FALSE(tcp->DropMessage(0, 1, ""));
+}
+
+TEST(Engine, StatsAccumulate) {
+  auto eng = FreshCluster();
+  ASSERT_TRUE(eng->StartAll());
+  ASSERT_TRUE(eng->FireTimeout(0, "election"));
+  ASSERT_TRUE(eng->DeliverMessage(0, 1, ""));
+  EXPECT_EQ(eng->stats().timeouts_fired, 1u);
+  EXPECT_EQ(eng->stats().messages_delivered, 1u);
+  EXPECT_GE(eng->stats().commands_executed, 2u);
+  EXPECT_GT(eng->proxy().bytes_proxied(), 0u);
+}
+
+TEST(Engine, DelayModelAccounting) {
+  conformance::RaftHarness h = MakeRaftHarness("pysyncobj", false);
+  h.delay.init_us = 1000;
+  h.delay.per_event_us = 10;
+  auto eng = MakeRaftEngineFactory(h)();
+  ASSERT_TRUE(eng->StartAll());
+  ASSERT_TRUE(eng->FireTimeout(0, "election"));
+  EXPECT_EQ(eng->stats().simulated_delay_us, 1010);
+}
+
+TEST(Engine, LogLinesCaptured) {
+  auto eng = FreshCluster();
+  ASSERT_TRUE(eng->StartAll());
+  ASSERT_TRUE(eng->FireTimeout(0, "election"));
+  const auto& lines = eng->NodeLogLines(0);
+  ASSERT_FALSE(lines.empty());
+  bool found = false;
+  for (const std::string& line : lines) {
+    found = found || line.find("role=Candidate") != std::string::npos;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Engine, DelayedBufferReplaySelection) {
+  auto eng = FreshCluster();
+  ASSERT_TRUE(eng->StartAll());
+  ASSERT_TRUE(eng->FireTimeout(0, "election"));  // RV(t1) buffered to 1 and 2
+  ASSERT_TRUE(eng->PartitionStart({0}));         // both RVs move to delayed
+  ASSERT_TRUE(eng->PartitionHeal());
+  // A second identical campaign would need the same term; instead verify the
+  // buffer selector: the delayed head delivers only with from_delayed=true
+  // once there is also live traffic with different bytes.
+  ASSERT_TRUE(eng->FireTimeout(0, "election"));  // RV(t2): live traffic
+  int delayed_count = 0;
+  for (const auto& m : eng->proxy().Pending()) {
+    delayed_count += m.delayed ? 1 : 0;
+  }
+  EXPECT_EQ(delayed_count, 2);
+  // Deliver the delayed RV(t1) to node 1 explicitly.
+  ASSERT_TRUE(eng->DeliverMessage(0, 1, "", /*from_delayed=*/true));
+  // And the live RV(t2) next.
+  ASSERT_TRUE(eng->DeliverMessage(0, 1, "", /*from_delayed=*/false));
+  auto s = eng->QueryNodeState(1);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value()["currentTerm"].as_int(), 2);
+}
+
+TEST(Engine, VirtualClockMonotonicPerNode) {
+  auto eng = FreshCluster();
+  ASSERT_TRUE(eng->StartAll());
+  const int64_t t0 = eng->Clock(0).PeekNs();
+  ASSERT_TRUE(eng->FireTimeout(0, "election"));
+  EXPECT_GT(eng->Clock(0).PeekNs(), t0);
+  // Node 1's clock is independent: it only advanced by its own queries.
+  EXPECT_LT(eng->Clock(1).PeekNs(), eng->Clock(0).PeekNs());
+}
+
+}  // namespace
+}  // namespace sandtable

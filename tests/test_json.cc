@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "src/util/json.h"
+
+namespace sandtable {
+namespace {
+
+TEST(Json, ScalarRoundTrip) {
+  EXPECT_EQ(Json(nullptr).Dump(), "null");
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(int64_t{-42}).Dump(), "-42");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+}
+
+TEST(Json, EscapesControlCharacters) {
+  EXPECT_EQ(Json("a\"b\\c\nd").Dump(), "\"a\\\"b\\\\c\\nd\"");
+  EXPECT_EQ(Json(std::string("\x01")).Dump(), "\"\\u0001\"");
+}
+
+TEST(Json, ObjectKeysSortedDeterministically) {
+  JsonObject o;
+  o["b"] = Json(2);
+  o["a"] = Json(1);
+  EXPECT_EQ(Json(std::move(o)).Dump(), "{\"a\":1,\"b\":2}");
+}
+
+TEST(Json, NestedDump) {
+  JsonObject o;
+  o["xs"] = Json(JsonArray{Json(1), Json("two"), Json(nullptr)});
+  EXPECT_EQ(Json(std::move(o)).Dump(), "{\"xs\":[1,\"two\",null]}");
+}
+
+TEST(Json, ParseScalars) {
+  EXPECT_TRUE(Json::Parse("null").value().is_null());
+  EXPECT_EQ(Json::Parse("true").value().as_bool(), true);
+  EXPECT_EQ(Json::Parse("-17").value().as_int(), -17);
+  EXPECT_DOUBLE_EQ(Json::Parse("2.5").value().as_double(), 2.5);
+  EXPECT_DOUBLE_EQ(Json::Parse("1e3").value().as_double(), 1000.0);
+  EXPECT_EQ(Json::Parse("\"x\\ny\"").value().as_string(), "x\ny");
+}
+
+TEST(Json, ParseUnicodeEscape) {
+  EXPECT_EQ(Json::Parse("\"\\u0041\"").value().as_string(), "A");
+}
+
+TEST(Json, ParseNested) {
+  auto r = Json::Parse(R"({"a":[1,{"b":null}],"c":"d"})");
+  ASSERT_TRUE(r.ok());
+  const Json& j = r.value();
+  EXPECT_EQ(j["a"][0].as_int(), 1);
+  EXPECT_TRUE(j["a"][1]["b"].is_null());
+  EXPECT_EQ(j["c"].as_string(), "d");
+}
+
+TEST(Json, RoundTripStability) {
+  const std::string text = R"({"arr":[1,2.5,"s",true,null],"obj":{"k":[{}]}})";
+  auto once = Json::Parse(text);
+  ASSERT_TRUE(once.ok());
+  auto twice = Json::Parse(once.value().Dump());
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(once.value(), twice.value());
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+}
+
+TEST(Json, MissingKeyIsNull) {
+  auto r = Json::Parse("{\"a\":1}");
+  ASSERT_TRUE(r.ok());
+  // Const access must not insert.
+  const Json& j = r.value();
+  EXPECT_TRUE(j["nope"].is_null());
+  EXPECT_FALSE(j.contains("nope"));
+  EXPECT_TRUE(j.contains("a"));
+}
+
+TEST(Json, PrettyPrintIndents) {
+  JsonObject o;
+  o["a"] = Json(JsonArray{Json(1)});
+  const std::string pretty = Json(std::move(o)).DumpPretty();
+  EXPECT_NE(pretty.find("\n  \"a\": [\n    1\n  ]\n"), std::string::npos);
+}
+
+TEST(Json, IntDoubleInterop) {
+  EXPECT_EQ(Json(2.0).as_int(), 2);
+  EXPECT_DOUBLE_EQ(Json(int64_t{3}).as_double(), 3.0);
+}
+
+}  // namespace
+}  // namespace sandtable

@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "src/mc/bfs.h"
+#include "src/mc/expand.h"
+#include "src/mc/random_walk.h"
+#include "src/mc/stateless.h"
+#include "tests/toy_specs.h"
+
+namespace sandtable {
+namespace {
+
+TEST(Bfs, DieHardCounterexampleIsMinimal) {
+  const Spec spec = toys::DieHard();
+  BfsOptions opts;
+  const BfsResult r = BfsCheck(spec, opts);
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->invariant, "BigNotFour");
+  // The classic puzzle needs exactly 6 pours; BFS guarantees minimality.
+  EXPECT_EQ(r.violation->depth, 6u);
+  ASSERT_EQ(r.violation->trace.size(), 7u);
+  // The trace is genuine: final state has big == 4.
+  EXPECT_EQ(r.violation->trace.back().state.field("big").int_v(), 4);
+  // And each step follows from its predecessor via some action.
+  for (size_t i = 1; i < r.violation->trace.size(); ++i) {
+    auto succs = ExpandAll(spec, r.violation->trace[i - 1].state, nullptr);
+    bool found = false;
+    for (const Successor& s : succs) {
+      found = found || s.state == r.violation->trace[i].state;
+    }
+    EXPECT_TRUE(found) << "disconnected trace at step " << i;
+  }
+}
+
+TEST(Bfs, DieHardExhaustsWithoutInvariant) {
+  Spec spec = toys::DieHard();
+  spec.invariants.clear();
+  const BfsResult r = BfsCheck(spec, {});
+  EXPECT_FALSE(r.violation.has_value());
+  EXPECT_TRUE(r.exhausted);
+  // Reachable space of the two-jug puzzle: 4 x 6 = 24 minus unreachable
+  // combinations = 16 states.
+  EXPECT_EQ(r.distinct_states, 16u);
+}
+
+TEST(Bfs, CounterExhaustsAndCountsDepth) {
+  const Spec spec = toys::Counter(10);
+  const BfsResult r = BfsCheck(spec, {});
+  EXPECT_TRUE(r.exhausted);
+  EXPECT_EQ(r.distinct_states, 11u);
+  EXPECT_EQ(r.depth_reached, 10u);
+  EXPECT_EQ(r.deadlock_states, 1u);  // the final state has no successor
+  EXPECT_FALSE(r.violation.has_value());
+}
+
+TEST(Bfs, TransitionInvariantViolationDetected) {
+  const Spec spec = toys::Counter(10, /*with_bad_jump=*/true);
+  const BfsResult r = BfsCheck(spec, {});
+  ASSERT_TRUE(r.violation.has_value());
+  EXPECT_EQ(r.violation->invariant, "Monotonic");
+  EXPECT_TRUE(r.violation->is_transition_invariant);
+  // Jump fires from x==3: depth 4 (3 increments + the jump).
+  EXPECT_EQ(r.violation->depth, 4u);
+  EXPECT_EQ(r.violation->trace.back().state.field("x").int_v(), 1);
+  EXPECT_EQ(r.violation->trace.back().label.action, "Jump");
+}
+
+TEST(Bfs, MaxDepthBounds) {
+  const Spec spec = toys::Counter(100);
+  BfsOptions opts;
+  opts.max_depth = 5;
+  const BfsResult r = BfsCheck(spec, opts);
+  EXPECT_EQ(r.distinct_states, 6u);  // x = 0..5
+  EXPECT_FALSE(r.exhausted);
+}
+
+TEST(Bfs, MaxStatesBounds) {
+  const Spec spec = toys::Counter(1000);
+  BfsOptions opts;
+  opts.max_distinct_states = 50;
+  const BfsResult r = BfsCheck(spec, opts);
+  EXPECT_TRUE(r.hit_state_limit);
+  EXPECT_EQ(r.distinct_states, 50u);
+}
+
+TEST(Bfs, ConstraintBoundsExpansion) {
+  Spec spec = toys::Counter(1000);
+  spec.constraint = [](const State& s) { return s.field("x").int_v() <= 7; };
+  const BfsResult r = BfsCheck(spec, {});
+  EXPECT_TRUE(r.exhausted);
+  // States 0..7 expand; state 8 is recorded (reached from 7) but not expanded.
+  EXPECT_EQ(r.distinct_states, 9u);
+}
+
+TEST(Bfs, SymmetryReductionShrinksSpace) {
+  const Spec spec = toys::TokenRing(3, 3);
+  BfsOptions with;
+  with.use_symmetry = true;
+  BfsOptions without;
+  without.use_symmetry = false;
+  const BfsResult rs = BfsCheck(spec, with);
+  const BfsResult rn = BfsCheck(spec, without);
+  EXPECT_TRUE(rs.exhausted);
+  EXPECT_TRUE(rn.exhausted);
+  // Distributions of 3 tokens over 3 nodes: 10 states; up to permutation:
+  // partitions of 3 into at most 3 parts = 3 ({3},{2,1},{1,1,1}).
+  EXPECT_EQ(rn.distinct_states, 10u);
+  EXPECT_EQ(rs.distinct_states, 3u);
+}
+
+TEST(Bfs, CoverageCollected) {
+  const Spec spec = toys::Counter(10);
+  const BfsResult r = BfsCheck(spec, {});
+  EXPECT_EQ(r.coverage.branches.size(), 2u);  // Inc/even, Inc/odd
+  EXPECT_GT(r.coverage.transitions, 0u);
+  EXPECT_EQ(r.coverage.event_counts[static_cast<int>(EventKind::kClientRequest)],
+            r.coverage.transitions);
+}
+
+TEST(Bfs, ProgressCallbackInvoked) {
+  const Spec spec = toys::Counter(100);
+  BfsOptions opts;
+  opts.progress_every = 10;
+  int calls = 0;
+  opts.progress = [&](uint64_t states, uint64_t depth, double secs) { ++calls; };
+  BfsCheck(spec, opts);
+  EXPECT_GE(calls, 9);
+}
+
+TEST(RandomWalk, RespectsMaxDepth) {
+  const Spec spec = toys::Counter(1000);
+  Rng rng(1);
+  WalkOptions opts;
+  opts.max_depth = 20;
+  const WalkResult r = RandomWalk(spec, opts, rng);
+  EXPECT_EQ(r.depth, 20u);
+  EXPECT_FALSE(r.deadlocked);
+}
+
+TEST(RandomWalk, StopsAtDeadlock) {
+  const Spec spec = toys::Counter(5);
+  Rng rng(1);
+  WalkOptions opts;
+  const WalkResult r = RandomWalk(spec, opts, rng);
+  EXPECT_EQ(r.depth, 5u);
+  EXPECT_TRUE(r.deadlocked);
+}
+
+TEST(RandomWalk, CollectsTrace) {
+  const Spec spec = toys::Counter(5);
+  Rng rng(2);
+  WalkOptions opts;
+  opts.collect_trace = true;
+  const WalkResult r = RandomWalk(spec, opts, rng);
+  ASSERT_EQ(r.trace.size(), 6u);
+  EXPECT_EQ(r.trace.front().state.field("x").int_v(), 0);
+  EXPECT_EQ(r.trace.back().state.field("x").int_v(), 5);
+}
+
+TEST(RandomWalk, HonoursConstraint) {
+  Spec spec = toys::Counter(1000);
+  spec.constraint = [](const State& s) { return s.field("x").int_v() <= 3; };
+  Rng rng(3);
+  const WalkResult r = RandomWalk(spec, {}, rng);
+  EXPECT_EQ(r.depth, 3u);
+  EXPECT_TRUE(r.deadlocked);
+}
+
+TEST(RandomWalk, DetectsTransitionViolation) {
+  const Spec spec = toys::Counter(4, /*with_bad_jump=*/true);
+  WalkOptions opts;
+  opts.check_transition_invariants = true;
+  opts.collect_trace = true;
+  bool found = false;
+  for (uint64_t seed = 0; seed < 64 && !found; ++seed) {
+    Rng rng(seed);
+    const WalkResult r = RandomWalk(spec, opts, rng);
+    if (r.violation.has_value()) {
+      found = true;
+      EXPECT_EQ(r.violation->invariant, "Monotonic");
+      EXPECT_FALSE(r.violation->trace.empty());
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Stateless, RedundancyExceedsStateful) {
+  const Spec spec = toys::DieHard();
+  StatelessOptions opts;
+  opts.max_depth = 8;
+  const StatelessResult r = StatelessEnumerate(spec, opts);
+  EXPECT_TRUE(r.exhausted);
+  // Depth-8 path enumeration walks far more edges than there are states.
+  EXPECT_LE(r.distinct_states, 16u);
+  EXPECT_GT(r.transitions_executed, r.distinct_states * 10);
+  EXPECT_GT(r.RedundancyFactor(), 10.0);
+}
+
+TEST(Stateless, BudgetStopsEnumeration) {
+  const Spec spec = toys::DieHard();
+  StatelessOptions opts;
+  opts.max_depth = 20;
+  opts.max_transitions = 100;
+  const StatelessResult r = StatelessEnumerate(spec, opts);
+  EXPECT_FALSE(r.exhausted);
+  EXPECT_GE(r.transitions_executed, 100u);
+}
+
+TEST(Expand, CanonicalizeIsPermutationInvariant) {
+  const Spec spec = toys::TokenRing(3, 2);
+  const State s = spec.init_states[0];
+  // Move all tokens to node 2 vs node 1: same canonical form.
+  const Value held = s.field("held");
+  const State a = s.WithField(
+      "held", Value::Fun({{Value::Model("p", 0), Value::Int(0)},
+                          {Value::Model("p", 1), Value::Int(2)},
+                          {Value::Model("p", 2), Value::Int(0)}}));
+  const State b = s.WithField(
+      "held", Value::Fun({{Value::Model("p", 0), Value::Int(0)},
+                          {Value::Model("p", 1), Value::Int(0)},
+                          {Value::Model("p", 2), Value::Int(2)}}));
+  EXPECT_EQ(Canonicalize(spec, a), Canonicalize(spec, b));
+  EXPECT_EQ(Fingerprint(spec, a, true), Fingerprint(spec, b, true));
+  EXPECT_NE(Fingerprint(spec, a, false), Fingerprint(spec, b, false));
+}
+
+}  // namespace
+}  // namespace sandtable

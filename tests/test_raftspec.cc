@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include "src/mc/bfs.h"
+#include "src/mc/expand.h"
+#include "src/mc/random_walk.h"
+#include "src/net/specnet.h"
+#include "src/raftspec/raft_common.h"
+#include "src/raftspec/raft_spec.h"
+
+namespace sandtable {
+namespace {
+
+using namespace raftspec;  // NOLINT(build/namespaces): test vocabulary
+
+RaftProfile SmallProfile(const std::string& system, bool with_bugs) {
+  RaftProfile p = GetRaftProfile(system, with_bugs);
+  // Shrink the budget so BFS exhausts quickly in unit tests.
+  p.budget.max_timeouts = 2;
+  p.budget.max_client_requests = 1;
+  p.budget.max_crashes = 0;
+  p.budget.max_restarts = 0;
+  p.budget.max_partitions = 0;
+  p.budget.max_drops = 0;
+  p.budget.max_dups = 0;
+  p.budget.max_term = 2;
+  p.budget.max_msg_buffer = 3;
+  p.budget.max_snapshots = 1;
+  return p;
+}
+
+TEST(RaftSpec, InitialStateShape) {
+  const Spec spec = MakeRaftSpec(GetRaftProfile("pysyncobj", false));
+  ASSERT_EQ(spec.init_states.size(), 1u);
+  const State& s = spec.init_states[0];
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(Role(s, NodeV(i)).str_v(), kRoleFollower);
+    EXPECT_EQ(CurrentTerm(s, NodeV(i)), 0);
+    EXPECT_EQ(LastIndex(s, NodeV(i)), 0);
+    EXPECT_EQ(CommitIndex(s, NodeV(i)), 0);
+    EXPECT_EQ(VotedFor(s, NodeV(i)), NoneValue());
+  }
+  EXPECT_FALSE(s.has_field(kVarPreVotesGranted));
+  EXPECT_FALSE(s.has_field(kVarSnapshotIndex));
+  EXPECT_TRUE(spec.symmetry.has_value());
+}
+
+TEST(RaftSpec, FeatureFlagsShapeStateAndActions) {
+  const Spec daos = MakeRaftSpec(GetRaftProfile("daosraft", false));
+  EXPECT_TRUE(daos.init_states[0].has_field(kVarPreVotesGranted));
+  EXPECT_TRUE(daos.init_states[0].has_field(kVarSnapshotIndex));
+
+  auto has_action = [](const Spec& spec, const std::string& name) {
+    for (const Action& a : spec.actions) {
+      if (a.name == name) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has_action(daos, "HandlePreVoteRequest"));
+  EXPECT_TRUE(has_action(daos, "HandleInstallSnapshotRequest"));
+  EXPECT_TRUE(has_action(daos, "PartitionStart"));
+
+  const Spec wraft = MakeRaftSpec(GetRaftProfile("wraft", false));
+  EXPECT_TRUE(has_action(wraft, "DropMessage"));
+  EXPECT_TRUE(has_action(wraft, "DuplicateMessage"));
+  EXPECT_FALSE(has_action(wraft, "PartitionStart"));
+  EXPECT_FALSE(has_action(wraft, "HandlePreVoteRequest"));
+
+  const Spec kv = MakeRaftSpec(GetRaftProfile("xraftkv", false));
+  EXPECT_TRUE(has_action(kv, "ClientRead"));
+  EXPECT_FALSE(has_action(kv, "HandlePreVoteRequest"));
+}
+
+TEST(RaftSpec, TimeoutLeadsToElection) {
+  const Spec spec = MakeRaftSpec(SmallProfile("pysyncobj", false));
+  auto succs = ExpandAll(spec, spec.init_states[0], nullptr);
+  // Only Timeout is enabled initially: one successor per node.
+  ASSERT_EQ(succs.size(), 3u);
+  for (const Successor& s : succs) {
+    EXPECT_EQ(s.label.action, "Timeout");
+    const int node = static_cast<int>(s.label.params["node"].as_int());
+    EXPECT_EQ(Role(s.state, NodeV(node)).str_v(), kRoleCandidate);
+    EXPECT_EQ(CurrentTerm(s.state, NodeV(node)), 1);
+    EXPECT_EQ(VotedFor(s.state, NodeV(node)), NodeV(node));
+    // RequestVote sent to both peers.
+    EXPECT_EQ(specnet::TotalInFlight(s.state.field(kVarNet)), 2);
+  }
+}
+
+TEST(RaftSpec, PreVoteTimeoutDoesNotBumpTerm) {
+  const Spec spec = MakeRaftSpec(SmallProfile("xraft", false));
+  auto succs = ExpandAll(spec, spec.init_states[0], nullptr);
+  ASSERT_GE(succs.size(), 3u);
+  for (const Successor& s : succs) {
+    if (s.label.action != "Timeout") {
+      continue;
+    }
+    const int node = static_cast<int>(s.label.params["node"].as_int());
+    EXPECT_EQ(Role(s.state, NodeV(node)).str_v(), kRolePreCandidate);
+    EXPECT_EQ(CurrentTerm(s.state, NodeV(node)), 0);
+  }
+}
+
+// A full election through message handling: candidate gets a vote, wins, and
+// sends initial heartbeats.
+TEST(RaftSpec, ElectionRoundTrip) {
+  const Spec spec = MakeRaftSpec(SmallProfile("pysyncobj", false));
+  State s = spec.init_states[0];
+  // n0 times out.
+  auto succs = ExpandAll(spec, s, nullptr);
+  s = succs[0].state;
+  ASSERT_EQ(succs[0].label.params["node"].as_int(), 0);
+  // Deliver one RequestVote (to n1 or n2) and its grant.
+  bool became_leader = false;
+  for (int steps = 0; steps < 10 && !became_leader; ++steps) {
+    auto next = ExpandAll(spec, s, nullptr);
+    ASSERT_FALSE(next.empty());
+    // Prefer message deliveries to drive the election forward.
+    const Successor* pick = nullptr;
+    for (const Successor& cand : next) {
+      if (cand.label.kind == EventKind::kMessage) {
+        pick = &cand;
+        break;
+      }
+    }
+    ASSERT_NE(pick, nullptr);
+    s = pick->state;
+    became_leader = Role(s, NodeV(0)).str_v() == kRoleLeader;
+  }
+  EXPECT_TRUE(became_leader);
+  EXPECT_EQ(VotedFor(s, NodeV(0)), NodeV(0));
+}
+
+struct ExhaustCase {
+  const char* system;
+};
+
+class RaftSpecExhaustTest : public ::testing::TestWithParam<ExhaustCase> {};
+
+// Property sweep: with all bug switches off, bounded BFS finds no safety
+// violation in any system profile (the fixed specs of Table 3).
+TEST_P(RaftSpecExhaustTest, NoViolationInBoundedSpace) {
+  const Spec spec = MakeRaftSpec(SmallProfile(GetParam().system, /*with_bugs=*/false));
+  BfsOptions opts;
+  opts.max_distinct_states = 300000;
+  opts.time_budget_s = 120;
+  const BfsResult r = BfsCheck(spec, opts);
+  if (r.violation.has_value()) {
+    FAIL() << "unexpected violation of " << r.violation->invariant << " in "
+           << GetParam().system << " at depth " << r.violation->depth << "\n"
+           << TraceToString(r.violation->trace);
+  }
+  EXPECT_GT(r.distinct_states, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSystems, RaftSpecExhaustTest,
+                         ::testing::Values(ExhaustCase{"pysyncobj"}, ExhaustCase{"wraft"},
+                                           ExhaustCase{"redisraft"}, ExhaustCase{"daosraft"},
+                                           ExhaustCase{"raftos"}, ExhaustCase{"xraft"},
+                                           ExhaustCase{"xraftkv"}),
+                         [](const ::testing::TestParamInfo<ExhaustCase>& info) {
+                           return info.param.system;
+                         });
+
+// Random walks over the buggy full profiles still satisfy the structural
+// TypeOK invariant (the seeded bugs are semantic, not crashes).
+TEST(RaftSpec, RandomWalkTypeSafety) {
+  for (const std::string& system : RaftSystemNames()) {
+    const Spec spec = MakeRaftSpec(SmallProfile(system, true));
+    Rng rng(7);
+    WalkOptions opts;
+    opts.max_depth = 40;
+    for (int i = 0; i < 20; ++i) {
+      const WalkResult r = RandomWalk(spec, opts, rng);
+      EXPECT_GT(r.depth, 0u) << system;
+    }
+  }
+}
+
+TEST(RaftSpec, SymmetryCanonicalizationConsistent) {
+  const Spec spec = MakeRaftSpec(SmallProfile("pysyncobj", false));
+  // Timing out n0 vs n2 yields symmetric states: same canonical fingerprint.
+  auto succs = ExpandAll(spec, spec.init_states[0], nullptr);
+  ASSERT_EQ(succs.size(), 3u);
+  const uint64_t fp0 = Fingerprint(spec, succs[0].state, true);
+  const uint64_t fp2 = Fingerprint(spec, succs[2].state, true);
+  EXPECT_EQ(fp0, fp2);
+  EXPECT_NE(Fingerprint(spec, succs[0].state, false),
+            Fingerprint(spec, succs[2].state, false));
+}
+
+}  // namespace
+}  // namespace sandtable

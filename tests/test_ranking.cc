@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "src/mc/ranking.h"
+#include "tests/toy_specs.h"
+
+namespace sandtable {
+namespace {
+
+TEST(Ranking, DefaultOrderPrefersBranchesThenDiversityThenSmallDepth) {
+  ConstraintScore a{"a", 3.0, 2.0, 10.0, 1};
+  ConstraintScore b{"b", 2.0, 5.0, 1.0, 1};
+  EXPECT_TRUE(DefaultConstraintOrder(a, b));  // more branches wins
+
+  a.avg_branches = b.avg_branches = 2.0;
+  EXPECT_FALSE(DefaultConstraintOrder(a, b));  // b has more event kinds
+
+  b.avg_event_kinds = a.avg_event_kinds = 2.0;
+  a.avg_depth = 5.0;
+  b.avg_depth = 9.0;
+  EXPECT_TRUE(DefaultConstraintOrder(a, b));  // smaller depth wins
+
+  a.avg_depth = b.avg_depth;
+  EXPECT_TRUE(DefaultConstraintOrder(a, b));  // tie broken by name
+}
+
+TEST(Ranking, RanksCounterBudgets) {
+  // Factory: a counter bounded by the constraint's "max" value. Larger max
+  // means deeper walks with the same branch count, so the default order
+  // ranks the smaller budget first (equal coverage, smaller space).
+  SpecFactory factory = [](const NamedParams& config, const NamedParams& constraint) {
+    return toys::Counter(constraint.Get("max", 1));
+  };
+  NamedParams config{"c3", {}};
+  NamedParams small{"small", {{"max", 4}}};
+  NamedParams large{"large", {{"max", 40}}};
+
+  RankingOptions opts;
+  opts.walks_per_pair = 8;
+  opts.max_walk_depth = 100;
+  auto rankings = RankConstraints(factory, {config}, {large, small}, opts);
+  ASSERT_EQ(rankings.size(), 1u);
+  EXPECT_EQ(rankings[0].config_name, "c3");
+  ASSERT_EQ(rankings[0].ranked.size(), 2u);
+  EXPECT_EQ(rankings[0].ranked[0].constraint_name, "small");
+  EXPECT_EQ(rankings[0].ranked[0].avg_depth, 4.0);
+  EXPECT_EQ(rankings[0].ranked[1].avg_depth, 40.0);
+  // Both hit the two branches (even/odd).
+  EXPECT_EQ(rankings[0].ranked[0].avg_branches, 2.0);
+}
+
+TEST(Ranking, CustomSorterInstalled) {
+  SpecFactory factory = [](const NamedParams& config, const NamedParams& constraint) {
+    return toys::Counter(constraint.Get("max", 1));
+  };
+  NamedParams config{"c", {}};
+  NamedParams small{"small", {{"max", 4}}};
+  NamedParams large{"large", {{"max", 40}}};
+  RankingOptions opts;
+  opts.walks_per_pair = 4;
+  // Invert the depth preference (§3.3: "developers can extend SandTable to
+  // install different sorting functions").
+  opts.sorter = [](const ConstraintScore& a, const ConstraintScore& b) {
+    return a.avg_depth > b.avg_depth;
+  };
+  auto rankings = RankConstraints(factory, {config}, {small, large}, opts);
+  EXPECT_EQ(rankings[0].ranked[0].constraint_name, "large");
+}
+
+TEST(Ranking, MultipleConfigs) {
+  SpecFactory factory = [](const NamedParams& config, const NamedParams& constraint) {
+    return toys::Counter(config.Get("scale", 1) * constraint.Get("max", 1));
+  };
+  NamedParams c1{"c1", {{"scale", 1}}};
+  NamedParams c2{"c2", {{"scale", 2}}};
+  NamedParams k{"k", {{"max", 3}}};
+  RankingOptions opts;
+  opts.walks_per_pair = 2;
+  auto rankings = RankConstraints(factory, {c1, c2}, {k}, opts);
+  ASSERT_EQ(rankings.size(), 2u);
+  EXPECT_EQ(rankings[0].ranked[0].avg_depth, 3.0);
+  EXPECT_EQ(rankings[1].ranked[0].avg_depth, 6.0);
+}
+
+TEST(Ranking, NamedParamsGetDefault) {
+  NamedParams p{"p", {{"a", 1}}};
+  EXPECT_EQ(p.Get("a"), 1);
+  EXPECT_EQ(p.Get("missing", 42), 42);
+}
+
+}  // namespace
+}  // namespace sandtable

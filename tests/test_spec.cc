@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "src/spec/spec.h"
+
+namespace sandtable {
+namespace {
+
+TEST(Spec, EventKindNames) {
+  EXPECT_STREQ(EventKindName(EventKind::kMessage), "Message");
+  EXPECT_STREQ(EventKindName(EventKind::kTimeout), "Timeout");
+  EXPECT_STREQ(EventKindName(EventKind::kInternal), "Internal");
+}
+
+TEST(Spec, ActionLabelToString) {
+  ActionLabel l;
+  l.action = "Deliver";
+  JsonObject o;
+  o["src"] = Json(1);
+  l.params = Json(std::move(o));
+  EXPECT_EQ(l.ToString(), "Deliver {\"src\":1}");
+  l.params = Json(JsonObject{});
+  EXPECT_EQ(l.ToString(), "Deliver");
+}
+
+TEST(Spec, WithinConstraintDefaultsTrue) {
+  Spec spec;
+  EXPECT_TRUE(spec.WithinConstraint(Value::Int(0)));
+  spec.constraint = [](const State& s) { return s.int_v() < 3; };
+  EXPECT_TRUE(spec.WithinConstraint(Value::Int(2)));
+  EXPECT_FALSE(spec.WithinConstraint(Value::Int(3)));
+}
+
+std::vector<TraceStep> MakeTrace() {
+  std::vector<TraceStep> trace;
+  trace.push_back(TraceStep{ActionLabel{}, Value::Record({{"x", Value::Int(0)}})});
+  TraceStep step;
+  step.label.action = "Inc";
+  step.label.kind = EventKind::kClientRequest;
+  JsonObject params;
+  params["node"] = Json(1);
+  step.label.params = Json(std::move(params));
+  step.state = Value::Record({{"x", Value::Int(1)}});
+  trace.push_back(std::move(step));
+  return trace;
+}
+
+TEST(Spec, TraceJsonlRoundTrip) {
+  const auto trace = MakeTrace();
+  const std::string text = TraceToJsonl(trace);
+  // Two lines, one per step.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  auto back = TraceFromJsonl(text);
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), 2u);
+  EXPECT_EQ(back.value()[1].label.action, "Inc");
+  EXPECT_EQ(back.value()[1].label.kind, EventKind::kClientRequest);
+  EXPECT_EQ(back.value()[1].label.params["node"].as_int(), 1);
+  EXPECT_EQ(back.value()[1].state, trace[1].state);
+}
+
+TEST(Spec, TraceFromJsonlRejectsGarbage) {
+  EXPECT_FALSE(TraceFromJsonl("not json\n").ok());
+  EXPECT_FALSE(TraceFromJsonl("[1,2]\n").ok());
+}
+
+TEST(Spec, TraceFromJsonlSkipsBlankLines) {
+  const auto trace = MakeTrace();
+  auto back = TraceFromJsonl("\n" + TraceToJsonl(trace) + "\n\n");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().size(), 2u);
+}
+
+TEST(Spec, TraceToStringShowsInitAndSteps) {
+  const std::string text = TraceToString(MakeTrace());
+  EXPECT_NE(text.find("0: <init>"), std::string::npos);
+  EXPECT_NE(text.find("1: Inc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sandtable

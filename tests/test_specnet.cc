@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "src/net/specnet.h"
+
+namespace sandtable {
+namespace {
+
+Value N(int i) { return Value::Model("n", i); }
+
+Value Msg(int src, int dst, int id) {
+  return Value::Record({{"src", N(src)}, {"dst", N(dst)}, {"id", Value::Int(id)},
+                        {"mtype", Value::Str("M")}});
+}
+
+TEST(SpecNetTcp, FifoDelivery) {
+  Value net = specnet::InitTcp();
+  const Value none = Value::EmptySet();
+  net = specnet::Send(net, Msg(0, 1, 1), none);
+  net = specnet::Send(net, Msg(0, 1, 2), none);
+  auto ds = specnet::Deliveries(net, none);
+  ASSERT_EQ(ds.size(), 1u);  // only the head of the single channel
+  EXPECT_EQ(ds[0].msg.field("id").int_v(), 1);
+  auto ds2 = specnet::Deliveries(ds[0].net_after, none);
+  ASSERT_EQ(ds2.size(), 1u);
+  EXPECT_EQ(ds2[0].msg.field("id").int_v(), 2);
+  EXPECT_TRUE(specnet::Deliveries(ds2[0].net_after, none).empty());
+}
+
+TEST(SpecNetTcp, IndependentChannels) {
+  Value net = specnet::InitTcp();
+  const Value none = Value::EmptySet();
+  net = specnet::Send(net, Msg(0, 1, 1), none);
+  net = specnet::Send(net, Msg(2, 1, 2), none);
+  EXPECT_EQ(specnet::Deliveries(net, none).size(), 2u);
+  EXPECT_EQ(specnet::TotalInFlight(net), 2);
+  EXPECT_EQ(specnet::MaxChannelLoad(net), 1);
+}
+
+TEST(SpecNetTcp, PartitionDelaysCrossingQueuesAndBlocksSends) {
+  Value net = specnet::InitTcp();
+  const Value none = Value::EmptySet();
+  net = specnet::Send(net, Msg(0, 1, 1), none);  // crosses the future cut
+  net = specnet::Send(net, Msg(1, 2, 2), none);  // stays within one side
+  const Value side = Value::Set({N(0)});
+  net = specnet::Partition(net, side);
+  EXPECT_TRUE(specnet::HasPartition(net));
+  EXPECT_FALSE(specnet::ConnectedPair(net, N(0), N(1)));
+  EXPECT_TRUE(specnet::ConnectedPair(net, N(1), N(2)));
+  // The crossing message moved to the old-connection buffer: not deliverable
+  // while the cut holds, but not lost either.
+  auto ds = specnet::Deliveries(net, none);
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].msg.field("id").int_v(), 2);
+  EXPECT_EQ(specnet::TotalInFlight(net), 2);
+  // New sends across the cut fail (the connection is down).
+  const Value before = net;
+  net = specnet::Send(net, Msg(0, 2, 3), none);
+  EXPECT_EQ(net, before);
+  // Healing restores connectivity and the delayed message surfaces.
+  net = specnet::Heal(net);
+  EXPECT_TRUE(specnet::ConnectedPair(net, N(0), N(1)));
+  ds = specnet::Deliveries(net, none);
+  ASSERT_EQ(ds.size(), 2u);
+}
+
+TEST(SpecNetTcp, DelayedTrafficInterleavesWithNewTraffic) {
+  Value net = specnet::InitTcp();
+  const Value none = Value::EmptySet();
+  net = specnet::Send(net, Msg(0, 1, 1), none);
+  net = specnet::Partition(net, Value::Set({N(0)}));
+  net = specnet::Heal(net);
+  net = specnet::Send(net, Msg(0, 1, 2), none);  // new-connection traffic
+  // Both stream heads are deliverable — the reordering behind Figure 6.
+  auto ds = specnet::Deliveries(net, none);
+  ASSERT_EQ(ds.size(), 2u);
+  // Delivering the new message first leaves the delayed one available.
+  for (const auto& d : ds) {
+    if (d.msg.field("id").int_v() == 2) {
+      auto rest = specnet::Deliveries(d.net_after, none);
+      ASSERT_EQ(rest.size(), 1u);
+      EXPECT_EQ(rest[0].msg.field("id").int_v(), 1);
+    }
+  }
+  // A crash clears delayed buffers too.
+  net = specnet::OnCrash(net, N(1));
+  EXPECT_EQ(specnet::TotalInFlight(net), 0);
+}
+
+TEST(SpecNetTcp, SendToCrashedNodeIsLost) {
+  Value net = specnet::InitTcp();
+  const Value crashed = Value::Set({N(1)});
+  net = specnet::Send(net, Msg(0, 1, 1), crashed);
+  EXPECT_EQ(specnet::TotalInFlight(net), 0);
+}
+
+TEST(SpecNetTcp, CrashClearsChannelsOfNode) {
+  Value net = specnet::InitTcp();
+  const Value none = Value::EmptySet();
+  net = specnet::Send(net, Msg(0, 1, 1), none);
+  net = specnet::Send(net, Msg(1, 2, 2), none);
+  net = specnet::Send(net, Msg(2, 0, 3), none);
+  net = specnet::OnCrash(net, N(1));
+  // Both the 0->1 and 1->2 channels vanish; 2->0 survives.
+  auto ds = specnet::Deliveries(net, Value::Set({N(1)}));
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].msg.field("id").int_v(), 3);
+}
+
+TEST(SpecNetUdp, OutOfOrderDelivery) {
+  Value net = specnet::InitUdp();
+  const Value none = Value::EmptySet();
+  net = specnet::Send(net, Msg(0, 1, 1), none);
+  net = specnet::Send(net, Msg(0, 1, 2), none);
+  // Both messages are individually deliverable (reordering).
+  EXPECT_EQ(specnet::Deliveries(net, none).size(), 2u);
+}
+
+TEST(SpecNetUdp, DuplicateSendsCoalesceWithCount) {
+  Value net = specnet::InitUdp();
+  const Value none = Value::EmptySet();
+  net = specnet::Send(net, Msg(0, 1, 1), none);
+  net = specnet::Send(net, Msg(0, 1, 1), none);
+  EXPECT_EQ(specnet::TotalInFlight(net), 2);
+  auto ds = specnet::Deliveries(net, none);
+  ASSERT_EQ(ds.size(), 1u);  // one distinct message
+  // After one delivery, a copy remains.
+  EXPECT_EQ(specnet::TotalInFlight(ds[0].net_after), 1);
+}
+
+TEST(SpecNetUdp, DropAndDuplicateFaults) {
+  Value net = specnet::InitUdp();
+  const Value none = Value::EmptySet();
+  net = specnet::Send(net, Msg(0, 1, 1), none);
+  auto drops = specnet::DropOptions(net);
+  ASSERT_EQ(drops.size(), 1u);
+  EXPECT_EQ(specnet::TotalInFlight(drops[0].net_after), 0);
+
+  auto dups = specnet::DupOptions(net, 2);
+  ASSERT_EQ(dups.size(), 1u);
+  EXPECT_EQ(specnet::TotalInFlight(dups[0].net_after), 2);
+  // max_copies bounds duplication.
+  EXPECT_TRUE(specnet::DupOptions(dups[0].net_after, 2).empty());
+}
+
+TEST(SpecNetUdp, NoFaultOptionsOnTcp) {
+  Value net = specnet::InitTcp();
+  net = specnet::Send(net, Msg(0, 1, 1), Value::EmptySet());
+  EXPECT_TRUE(specnet::DropOptions(net).empty());
+  EXPECT_TRUE(specnet::DupOptions(net, 2).empty());
+}
+
+TEST(SpecNet, AllMessagesEnumerates) {
+  Value net = specnet::InitTcp();
+  const Value none = Value::EmptySet();
+  net = specnet::Send(net, Msg(0, 1, 1), none);
+  net = specnet::Send(net, Msg(0, 1, 2), none);
+  net = specnet::Send(net, Msg(1, 0, 3), none);
+  EXPECT_EQ(specnet::AllMessages(net).size(), 3u);
+}
+
+TEST(SpecNet, EmptyChannelsKeepStateCanonical) {
+  Value net = specnet::InitTcp();
+  const Value none = Value::EmptySet();
+  const Value fresh = net;
+  net = specnet::Send(net, Msg(0, 1, 1), none);
+  auto ds = specnet::Deliveries(net, none);
+  ASSERT_EQ(ds.size(), 1u);
+  // Delivering the only message returns to the pristine network value, so
+  // fingerprints do not depend on historic traffic.
+  EXPECT_EQ(ds[0].net_after, fresh);
+}
+
+}  // namespace
+}  // namespace sandtable

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "src/raftspec/raft_common.h"
+#include "src/trace/replay.h"
+
+namespace sandtable {
+namespace {
+
+namespace rs = raftspec;
+
+Value SpecMsg() {
+  return Value::Record({{"mtype", Value::Str("RV")},
+                        {"src", rs::NodeV(0)},
+                        {"dst", rs::NodeV(2)},
+                        {"term", Value::Int(3)},
+                        {"lastLogIndex", Value::Int(1)},
+                        {"lastLogTerm", Value::Int(2)}});
+}
+
+TEST(Trace, SpecMsgToWireStripsModels) {
+  const std::string wire = trace::SpecMsgToWireBytes(SpecMsg());
+  auto j = Json::Parse(wire);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j.value()["src"].as_int(), 0);
+  EXPECT_EQ(j.value()["dst"].as_int(), 2);
+  EXPECT_EQ(j.value()["mtype"].as_string(), "RV");
+  EXPECT_EQ(wire.find("$model"), std::string::npos);
+}
+
+TEST(Trace, WireRoundTripsToSpecMsg) {
+  const Value msg = SpecMsg();
+  auto back = trace::WireToSpecMsg(trace::SpecMsgToWireBytes(msg), rs::kServerClass);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), msg);
+}
+
+TEST(Trace, WireConversionKeepsNestedEntries) {
+  const Value entries = Value::Seq(
+      {Value::Record({{"term", Value::Int(1)}, {"val", Value::Int(2)}})});
+  const Value msg = Value::Record({{"mtype", Value::Str("AE")},
+                                   {"src", rs::NodeV(1)},
+                                   {"dst", rs::NodeV(0)},
+                                   {"term", Value::Int(1)},
+                                   {"prevLogIndex", Value::Int(0)},
+                                   {"prevLogTerm", Value::Int(0)},
+                                   {"entries", entries},
+                                   {"commit", Value::Int(0)},
+                                   {"isRetry", Value::Bool(false)}});
+  auto back = trace::WireToSpecMsg(trace::SpecMsgToWireBytes(msg), rs::kServerClass);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), msg);
+}
+
+TEST(Trace, WireToSpecMsgRejectsGarbage) {
+  EXPECT_FALSE(trace::WireToSpecMsg("not json", "n").ok());
+  EXPECT_FALSE(trace::WireToSpecMsg("[]", "n").ok());
+}
+
+TraceStep Step(const std::string& action, Json params) {
+  TraceStep step;
+  step.label.action = action;
+  step.label.params = std::move(params);
+  step.state = Value::Record({});
+  return step;
+}
+
+TEST(Trace, CommandFromDeliveryStep) {
+  JsonObject p;
+  p["src"] = Json(0);
+  p["dst"] = Json(2);
+  p["msg"] = SpecMsg().ToJson();
+  auto cmd = trace::CommandFromStep(Step("HandleRequestVoteRequest", Json(std::move(p))));
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd.value().type, trace::CommandType::kDeliver);
+  EXPECT_EQ(cmd.value().src, 0);
+  EXPECT_EQ(cmd.value().dst, 2);
+  EXPECT_EQ(cmd.value().wire, trace::SpecMsgToWireBytes(SpecMsg()));
+}
+
+TEST(Trace, DeliveryStepCarriesDelayedFlag) {
+  JsonObject p;
+  p["src"] = Json(0);
+  p["dst"] = Json(2);
+  p["msg"] = SpecMsg().ToJson();
+  p["delayed"] = Json(true);
+  auto cmd = trace::CommandFromStep(Step("HandleRequestVoteRequest", Json(std::move(p))));
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_TRUE(cmd.value().from_delayed);
+}
+
+TEST(Trace, CommandFromTimeoutSteps) {
+  JsonObject p;
+  p["node"] = Json(1);
+  auto cmd = trace::CommandFromStep(Step("Timeout", Json(p)));
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd.value().type, trace::CommandType::kTimeout);
+  EXPECT_EQ(cmd.value().timer_kind, "election");
+  EXPECT_EQ(cmd.value().node, 1);
+
+  auto hb = trace::CommandFromStep(Step("HeartbeatTimeout", Json(p)));
+  ASSERT_TRUE(hb.ok());
+  EXPECT_EQ(hb.value().timer_kind, "heartbeat");
+}
+
+TEST(Trace, CommandFromClientSteps) {
+  JsonObject p;
+  p["node"] = Json(0);
+  p["val"] = Json(2);
+  auto cmd = trace::CommandFromStep(Step("ClientRequest", Json(std::move(p))));
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd.value().type, trace::CommandType::kClientRequest);
+  EXPECT_EQ(cmd.value().request["op"].as_string(), "propose");
+  EXPECT_EQ(cmd.value().request["val"].as_int(), 2);
+
+  JsonObject r;
+  r["node"] = Json(0);
+  r["key"] = Json(std::string("x"));
+  r["val"] = Json(1);
+  auto read = trace::CommandFromStep(Step("ClientRead", Json(std::move(r))));
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value().type, trace::CommandType::kClientRead);
+  EXPECT_EQ(read.value().expected_response["val"].as_int(), 1);
+}
+
+TEST(Trace, CommandFromFailureSteps) {
+  JsonObject p;
+  p["node"] = Json(2);
+  EXPECT_EQ(trace::CommandFromStep(Step("NodeCrash", Json(p))).value().type,
+            trace::CommandType::kCrash);
+  EXPECT_EQ(trace::CommandFromStep(Step("NodeRestart", Json(p))).value().type,
+            trace::CommandType::kRestart);
+
+  JsonObject part;
+  part["side"] = Json(JsonArray{Json(0), Json(2)});
+  auto cmd = trace::CommandFromStep(Step("PartitionStart", Json(std::move(part))));
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd.value().side, (std::set<int>{0, 2}));
+  EXPECT_EQ(trace::CommandFromStep(Step("PartitionHeal", Json(JsonObject{}))).value().type,
+            trace::CommandType::kHeal);
+}
+
+TEST(Trace, CommandFromUdpFaultSteps) {
+  JsonObject p;
+  p["src"] = Json(0);
+  p["dst"] = Json(1);
+  p["msg"] = SpecMsg().ToJson();
+  EXPECT_EQ(trace::CommandFromStep(Step("DropMessage", Json(p))).value().type,
+            trace::CommandType::kDrop);
+  EXPECT_EQ(trace::CommandFromStep(Step("DuplicateMessage", Json(p))).value().type,
+            trace::CommandType::kDuplicate);
+}
+
+TEST(Trace, CommandFromSnapshotStep) {
+  JsonObject p;
+  p["node"] = Json(0);
+  auto cmd = trace::CommandFromStep(Step("TakeSnapshot", Json(std::move(p))));
+  ASSERT_TRUE(cmd.ok());
+  EXPECT_EQ(cmd.value().type, trace::CommandType::kCompact);
+  EXPECT_EQ(cmd.value().request["op"].as_string(), "compact");
+}
+
+TEST(Trace, UnknownActionIsAnError) {
+  auto cmd = trace::CommandFromStep(Step("SomethingSystemSpecific", Json(JsonObject{})));
+  EXPECT_FALSE(cmd.ok());
+}
+
+}  // namespace
+}  // namespace sandtable

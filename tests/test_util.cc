@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/util/hash.h"
+#include "src/util/rng.h"
+#include "src/util/strings.h"
+
+namespace sandtable {
+namespace {
+
+TEST(Hash, FnvKnownValues) {
+  // FNV-1a of the empty string is the offset basis.
+  EXPECT_EQ(FnvHash("", 0u), kFnvOffsetBasis);
+  EXPECT_NE(FnvHash("a"), FnvHash("b"));
+  EXPECT_EQ(FnvHash("sandtable"), FnvHash("sandtable"));
+}
+
+TEST(Hash, CombineOrderMatters) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(Hash, Mix64Bijective) {
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    outputs.insert(Mix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += (a.Next() == b.Next()) ? 1 : 0;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Below(17), 17u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(9);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    seen.insert(rng.Below(5));
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.Range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo = saw_lo || v == -2;
+    saw_hi = saw_hi || v == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(Strings, SplitKeepsEmptyFields) {
+  const auto parts = StrSplit("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitEmptyString) {
+  const auto parts = StrSplit("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("sandtable", "sand"));
+  EXPECT_FALSE(StartsWith("sand", "sandtable"));
+  EXPECT_TRUE(EndsWith("sandtable", "table"));
+  EXPECT_FALSE(EndsWith("table", "sandtable"));
+}
+
+TEST(Strings, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  a b \n"), "a b");
+  EXPECT_EQ(StripWhitespace("\t\r\n "), "");
+}
+
+}  // namespace
+}  // namespace sandtable

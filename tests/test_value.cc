@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/value/value.h"
+
+namespace sandtable {
+namespace {
+
+TEST(Value, ScalarBasics) {
+  EXPECT_TRUE(Value::Bool(true).bool_v());
+  EXPECT_EQ(Value::Int(-5).int_v(), -5);
+  EXPECT_EQ(Value::Str("abc").str_v(), "abc");
+  EXPECT_EQ(Value::Model("n", 2).model_class(), "n");
+  EXPECT_EQ(Value::Model("n", 2).model_index(), 2);
+}
+
+TEST(Value, DefaultIsZero) {
+  Value v;
+  EXPECT_EQ(v.kind(), ValueKind::kInt);
+  EXPECT_EQ(v.int_v(), 0);
+}
+
+TEST(Value, EqualityAndHash) {
+  const Value a = Value::Seq({Value::Int(1), Value::Str("x")});
+  const Value b = Value::Seq({Value::Int(1), Value::Str("x")});
+  const Value c = Value::Seq({Value::Str("x"), Value::Int(1)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_NE(a, c);
+}
+
+TEST(Value, SetsAreCanonical) {
+  const Value a = Value::Set({Value::Int(2), Value::Int(1), Value::Int(2)});
+  const Value b = Value::Set({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.size(), 2u);
+}
+
+TEST(Value, SetOperations) {
+  Value s = Value::EmptySet();
+  s = s.SetAdd(Value::Int(3)).SetAdd(Value::Int(1)).SetAdd(Value::Int(3));
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_TRUE(s.Contains(Value::Int(1)));
+  EXPECT_FALSE(s.Contains(Value::Int(2)));
+  s = s.SetRemove(Value::Int(1));
+  EXPECT_FALSE(s.Contains(Value::Int(1)));
+  EXPECT_EQ(s.SetRemove(Value::Int(99)), s);
+  const Value u = s.SetUnion(Value::Set({Value::Int(7)}));
+  EXPECT_TRUE(u.Contains(Value::Int(7)));
+  EXPECT_TRUE(u.Contains(Value::Int(3)));
+}
+
+TEST(Value, RecordFieldAccess) {
+  const Value r = Value::Record({{"y", Value::Int(2)}, {"x", Value::Int(1)}});
+  EXPECT_TRUE(r.has_field("x"));
+  EXPECT_FALSE(r.has_field("z"));
+  EXPECT_EQ(r.field("x").int_v(), 1);
+  // Fields are sorted by name.
+  EXPECT_EQ(r.record_fields()[0].first, "x");
+}
+
+TEST(Value, RecordFunctionalUpdate) {
+  const Value r = Value::Record({{"x", Value::Int(1)}});
+  const Value r2 = r.WithField("x", Value::Int(5)).WithField("y", Value::Int(6));
+  EXPECT_EQ(r.field("x").int_v(), 1);  // original untouched
+  EXPECT_EQ(r2.field("x").int_v(), 5);
+  EXPECT_EQ(r2.field("y").int_v(), 6);
+  EXPECT_FALSE(r2.WithoutField("y").has_field("y"));
+}
+
+TEST(Value, SeqOperations) {
+  Value s = Value::EmptySeq();
+  s = s.Append(Value::Int(1)).Append(Value::Int(2)).Append(Value::Int(3));
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.Head().int_v(), 1);
+  EXPECT_EQ(s.Tail().size(), 2u);
+  EXPECT_EQ(s.DropLast().size(), 2u);
+  EXPECT_EQ(s.at(1).int_v(), 2);
+  EXPECT_EQ(s.SeqSet(1, Value::Int(9)).at(1).int_v(), 9);
+}
+
+TEST(Value, SubSeqIsOneBasedInclusive) {
+  Value s = Value::Seq({Value::Int(1), Value::Int(2), Value::Int(3), Value::Int(4)});
+  const Value mid = s.SubSeq(2, 3);
+  ASSERT_EQ(mid.size(), 2u);
+  EXPECT_EQ(mid.at(0).int_v(), 2);
+  EXPECT_EQ(mid.at(1).int_v(), 3);
+  EXPECT_EQ(s.SubSeq(3, 100).size(), 2u);  // clamps
+  EXPECT_EQ(s.SubSeq(4, 2).size(), 0u);    // empty range
+}
+
+TEST(Value, FunOperations) {
+  Value f = Value::EmptyFun();
+  f = f.FunSet(Value::Str("a"), Value::Int(1));
+  f = f.FunSet(Value::Str("b"), Value::Int(2));
+  EXPECT_TRUE(f.FunHas(Value::Str("a")));
+  EXPECT_EQ(f.Apply(Value::Str("b")).int_v(), 2);
+  f = f.FunSet(Value::Str("a"), Value::Int(9));
+  EXPECT_EQ(f.Apply(Value::Str("a")).int_v(), 9);
+  EXPECT_EQ(f.size(), 2u);
+  f = f.FunRemove(Value::Str("a"));
+  EXPECT_FALSE(f.FunHas(Value::Str("a")));
+}
+
+TEST(Value, TotalOrderByKindThenContent) {
+  // Kind order: bool < int < string < model < seq < set < record < fun.
+  EXPECT_LT(Value::Bool(true), Value::Int(0));
+  EXPECT_LT(Value::Int(5), Value::Str(""));
+  EXPECT_LT(Value::Str("z"), Value::Model("a", 0));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Seq({Value::Int(1)}), Value::Seq({Value::Int(1), Value::Int(0)}));
+}
+
+TEST(Value, ToStringTlaFlavoured) {
+  const Value r = Value::Record(
+      {{"term", Value::Int(2)},
+       {"log", Value::Seq({Value::Record({{"v", Value::Int(1)}})})}});
+  EXPECT_EQ(r.ToString(), "[log |-> <<[v |-> 1]>>, term |-> 2]");
+  EXPECT_EQ(Value::Model("n", 0).ToString(), "n1");
+  EXPECT_EQ(Value::Set({Value::Int(2), Value::Int(1)}).ToString(), "{1, 2}");
+}
+
+TEST(Value, JsonRoundTrip) {
+  const Value v = Value::Record(
+      {{"b", Value::Bool(false)},
+       {"m", Value::Model("n", 1)},
+       {"s", Value::Set({Value::Int(1), Value::Int(2)})},
+       {"f", Value::Fun({{Value::Model("n", 0), Value::Seq({Value::Int(7)})}})}});
+  auto back = Value::FromJson(v.ToJson());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), v);
+  EXPECT_EQ(back.value().hash(), v.hash());
+}
+
+TEST(Value, PermuteModelSwapsIndices) {
+  const Value v = Value::Fun({{Value::Model("n", 0), Value::Int(10)},
+                              {Value::Model("n", 1), Value::Int(20)}});
+  const Value p = v.PermuteModel("n", {1, 0});
+  EXPECT_EQ(p.Apply(Value::Model("n", 0)).int_v(), 20);
+  EXPECT_EQ(p.Apply(Value::Model("n", 1)).int_v(), 10);
+  // Other classes untouched.
+  const Value other = Value::Model("m", 0);
+  EXPECT_EQ(other.PermuteModel("n", {1, 0}), other);
+}
+
+TEST(Value, PermuteKeepsSetsCanonical) {
+  const Value s = Value::Set({Value::Model("n", 0), Value::Model("n", 2)});
+  const Value p = s.PermuteModel("n", {2, 1, 0});
+  EXPECT_TRUE(p.Contains(Value::Model("n", 0)));
+  EXPECT_TRUE(p.Contains(Value::Model("n", 2)));
+  EXPECT_EQ(p, s);  // {n0,n2} maps to {n2,n0} = same set
+}
+
+TEST(Value, DiffFindsNestedChanges) {
+  const Value a = Value::Record({{"x", Value::Int(1)}, {"y", Value::Seq({Value::Int(1)})}});
+  const Value b = Value::Record({{"x", Value::Int(2)}, {"y", Value::Seq({Value::Int(1)})}});
+  auto diff = ValueDiff(a, b);
+  ASSERT_EQ(diff.size(), 1u);
+  EXPECT_EQ(diff[0].path, "x");
+  EXPECT_EQ(diff[0].lhs, "1");
+  EXPECT_EQ(diff[0].rhs, "2");
+}
+
+TEST(Value, DiffReportsAbsentFields) {
+  const Value a = Value::Record({{"x", Value::Int(1)}});
+  const Value b = Value::Record({{"y", Value::Int(2)}});
+  auto diff = ValueDiff(a, b);
+  ASSERT_EQ(diff.size(), 2u);
+  EXPECT_EQ(diff[0].rhs, "<absent>");
+  EXPECT_EQ(diff[1].lhs, "<absent>");
+}
+
+TEST(Value, DiffSeqElements) {
+  const Value a = Value::Seq({Value::Int(1), Value::Int(2)});
+  const Value b = Value::Seq({Value::Int(1), Value::Int(3), Value::Int(4)});
+  auto diff = ValueDiff(a, b);
+  ASSERT_EQ(diff.size(), 2u);
+  EXPECT_EQ(diff[0].path, "[2]");
+  EXPECT_EQ(diff[1].path, "[3]");
+  EXPECT_EQ(diff[1].lhs, "<absent>");
+}
+
+TEST(Value, DiffEmptyOnEqual) {
+  const Value a = Value::Fun({{Value::Int(1), Value::Str("x")}});
+  EXPECT_TRUE(ValueDiff(a, a).empty());
+}
+
+TEST(Value, StructuralSharingCheapCopies) {
+  Value big = Value::EmptySeq();
+  for (int i = 0; i < 1000; ++i) {
+    big = big.Append(Value::Int(i));
+  }
+  const Value r1 = Value::Record({{"log", big}, {"x", Value::Int(1)}});
+  const Value r2 = r1.WithField("x", Value::Int(2));
+  // The log is shared, not copied: equal hashes come from the same node.
+  EXPECT_EQ(r1.field("log").hash(), r2.field("log").hash());
+  EXPECT_EQ(r2.field("log"), big);
+}
+
+}  // namespace
+}  // namespace sandtable

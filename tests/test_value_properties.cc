@@ -1,0 +1,213 @@
+// Property-based tests over randomly generated values: algebraic laws of the
+// value model that the model checker's correctness rests on (total order,
+// hash consistency, canonical forms, serialization round trips, symmetry
+// invariance of the permutation-aware hash).
+#include <gtest/gtest.h>
+
+#include "src/util/rng.h"
+#include "src/value/value.h"
+
+namespace sandtable {
+namespace {
+
+// Random value generator with bounded depth; model values use class "n" with
+// indices 0..2 so node-permutation properties can be tested.
+Value RandomValue(Rng& rng, int depth = 3) {
+  const uint64_t kind = rng.Below(depth > 0 ? 8 : 4);
+  switch (kind) {
+    case 0:
+      return Value::Bool(rng.Below(2) == 0);
+    case 1:
+      return Value::Int(rng.Range(-5, 5));
+    case 2: {
+      const char* strs[] = {"a", "b", "Leader", "Follower", ""};
+      return Value::Str(strs[rng.Below(5)]);
+    }
+    case 3:
+      return Value::Model("n", static_cast<int>(rng.Below(3)));
+    case 4: {
+      std::vector<Value> elems;
+      for (uint64_t i = rng.Below(4); i > 0; --i) {
+        elems.push_back(RandomValue(rng, depth - 1));
+      }
+      return Value::Seq(std::move(elems));
+    }
+    case 5: {
+      std::vector<Value> elems;
+      for (uint64_t i = rng.Below(4); i > 0; --i) {
+        elems.push_back(RandomValue(rng, depth - 1));
+      }
+      return Value::Set(std::move(elems));
+    }
+    case 6: {
+      const char* names[] = {"x", "y", "z", "w"};
+      std::vector<Value::Field> fields;
+      const uint64_t n = rng.Below(4);
+      for (uint64_t i = 0; i < n; ++i) {
+        fields.emplace_back(names[i], RandomValue(rng, depth - 1));
+      }
+      return Value::Record(std::move(fields));
+    }
+    default: {
+      std::vector<Value::Pair> pairs;
+      const uint64_t n = rng.Below(4);
+      for (uint64_t i = 0; i < n; ++i) {
+        pairs.emplace_back(Value::Int(static_cast<int64_t>(i)),
+                           RandomValue(rng, depth - 1));
+      }
+      return Value::Fun(std::move(pairs));
+    }
+  }
+}
+
+class ValuePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ValuePropertyTest, CompareIsAStrictTotalOrder) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Value a = RandomValue(rng);
+    const Value b = RandomValue(rng);
+    const Value c = RandomValue(rng);
+    // Irreflexivity / consistency with equality.
+    EXPECT_EQ(Compare(a, a), 0);
+    EXPECT_EQ(a == b, Compare(a, b) == 0);
+    // Antisymmetry.
+    EXPECT_EQ(Compare(a, b) < 0, Compare(b, a) > 0) << a.ToString() << " vs "
+                                                    << b.ToString();
+    // Transitivity.
+    if (Compare(a, b) <= 0 && Compare(b, c) <= 0) {
+      EXPECT_LE(Compare(a, c), 0);
+    }
+  }
+}
+
+TEST_P(ValuePropertyTest, EqualValuesHashEqual) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Value a = RandomValue(rng);
+    // Rebuild through JSON: a structurally equal but freshly allocated value.
+    auto b = Value::FromJson(a.ToJson());
+    ASSERT_TRUE(b.ok()) << a.ToString();
+    EXPECT_EQ(a, b.value());
+    EXPECT_EQ(a.hash(), b.value().hash());
+  }
+}
+
+TEST_P(ValuePropertyTest, JsonRoundTripIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Value a = RandomValue(rng);
+    auto parsed = Json::Parse(a.ToJson().Dump());
+    ASSERT_TRUE(parsed.ok());
+    auto back = Value::FromJson(parsed.value());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), a);
+  }
+}
+
+TEST_P(ValuePropertyTest, DiffEmptyIffEqual) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Value a = RandomValue(rng);
+    const Value b = RandomValue(rng);
+    EXPECT_EQ(ValueDiff(a, b).empty(), a == b);
+  }
+}
+
+TEST_P(ValuePropertyTest, PermutationRoundTrips) {
+  Rng rng(GetParam());
+  const std::vector<int> perm = {2, 0, 1};
+  const std::vector<int> inverse = {1, 2, 0};
+  for (int i = 0; i < 200; ++i) {
+    const Value a = RandomValue(rng);
+    EXPECT_EQ(a.PermuteModel("n", perm).PermuteModel("n", inverse), a);
+    // Identity permutation is a no-op.
+    EXPECT_EQ(a.PermuteModel("n", {0, 1, 2}), a);
+  }
+}
+
+TEST_P(ValuePropertyTest, PermutedHashMatchesMaterializedPermutation) {
+  Rng rng(GetParam());
+  const std::vector<std::vector<int>> perms = {{0, 1, 2}, {1, 0, 2}, {2, 1, 0},
+                                               {0, 2, 1}, {1, 2, 0}, {2, 0, 1}};
+  for (int i = 0; i < 100; ++i) {
+    const Value a = RandomValue(rng);
+    for (const auto& perm : perms) {
+      // HashPermuted(a, p) must equal HashPermuted(PermuteModel(a, p), id):
+      // both describe the same permuted value.
+      EXPECT_EQ(a.HashPermuted("n", perm),
+                a.PermuteModel("n", perm).HashPermuted("n", {0, 1, 2}))
+          << a.ToString();
+    }
+  }
+}
+
+TEST_P(ValuePropertyTest, SymmetricMinHashIsPermutationInvariant) {
+  Rng rng(GetParam());
+  const std::vector<std::vector<int>> perms = {{0, 1, 2}, {1, 0, 2}, {2, 1, 0},
+                                               {0, 2, 1}, {1, 2, 0}, {2, 0, 1}};
+  for (int i = 0; i < 100; ++i) {
+    const Value a = RandomValue(rng);
+    const uint64_t base = a.SymmetricMinHash("n", perms);
+    for (const auto& perm : perms) {
+      EXPECT_EQ(a.PermuteModel("n", perm).SymmetricMinHash("n", perms), base)
+          << a.ToString();
+    }
+  }
+}
+
+TEST_P(ValuePropertyTest, SetAlgebra) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Value s = Value::EmptySet();
+    std::vector<Value> inserted;
+    for (int k = 0; k < 5; ++k) {
+      Value v = RandomValue(rng, 1);
+      s = s.SetAdd(v);
+      inserted.push_back(std::move(v));
+    }
+    // Idempotent insert.
+    for (const Value& v : inserted) {
+      EXPECT_EQ(s.SetAdd(v), s);
+      EXPECT_TRUE(s.Contains(v));
+    }
+    // Remove then membership fails; re-add restores the set.
+    const Value& victim = inserted[rng.Below(inserted.size())];
+    const Value without = s.SetRemove(victim);
+    EXPECT_FALSE(without.Contains(victim));
+    EXPECT_EQ(without.SetAdd(victim), s);
+    // Union is commutative and absorbing.
+    const Value t = RandomValue(rng, 1);
+    const Value u = Value::Set({t});
+    EXPECT_EQ(s.SetUnion(u), u.SetUnion(s));
+    EXPECT_EQ(s.SetUnion(s), s);
+  }
+}
+
+TEST_P(ValuePropertyTest, FunUpdateLaws) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Value f = Value::EmptyFun();
+    const Value k1 = Value::Int(1);
+    const Value k2 = Value::Int(2);
+    const Value v1 = RandomValue(rng, 1);
+    const Value v2 = RandomValue(rng, 1);
+    f = f.FunSet(k1, v1).FunSet(k2, v2);
+    // Last write wins.
+    const Value v3 = RandomValue(rng, 1);
+    EXPECT_EQ(f.FunSet(k1, v3).Apply(k1), v3);
+    // Updates to different keys commute.
+    EXPECT_EQ(Value::EmptyFun().FunSet(k1, v1).FunSet(k2, v2),
+              Value::EmptyFun().FunSet(k2, v2).FunSet(k1, v1));
+    // Remove undoes insert on a fresh key.
+    EXPECT_EQ(f.FunRemove(k2).FunSet(k2, v2), f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValuePropertyTest, ::testing::Values(1u, 2u, 3u, 4u, 5u),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace sandtable

@@ -1,0 +1,161 @@
+// Unit tests of the ZabNode implementation through the engine: one reign end
+// to end (election, discovery, synchronization, broadcast), persistence
+// across crashes, and message-order determinism.
+#include <gtest/gtest.h>
+
+#include "src/conformance/zab_harness.h"
+
+namespace sandtable {
+namespace {
+
+using conformance::MakeZabEngineFactory;
+using conformance::MakeZabHarness;
+
+std::unique_ptr<engine::Engine> Cluster() {
+  return MakeZabEngineFactory(MakeZabHarness(false))();
+}
+
+// Deliver every deliverable proxied message until quiescent.
+void DrainNetwork(engine::Engine& eng, int max_steps = 200) {
+  for (int i = 0; i < max_steps; ++i) {
+    bool delivered = false;
+    for (const auto& m : eng.proxy().Pending()) {
+      if (m.deliverable && eng.DeliverMessage(m.src, m.dst, m.bytes)) {
+        delivered = true;
+        break;
+      }
+    }
+    if (!delivered) {
+      return;
+    }
+  }
+}
+
+int FindEstablishedLeader(engine::Engine& eng) {
+  for (int node = 0; node < eng.num_nodes(); ++node) {
+    auto s = eng.QueryNodeState(node);
+    if (s.ok() && s.value()["role"].as_string() == "Leading" &&
+        s.value()["established"].as_bool()) {
+      return node;
+    }
+  }
+  return -1;
+}
+
+TEST(ZabNode, StartsLooking) {
+  auto eng = Cluster();
+  ASSERT_TRUE(eng->StartAll());
+  for (int i = 0; i < 3; ++i) {
+    auto s = eng->QueryNodeState(i);
+    ASSERT_TRUE(s.ok());
+    EXPECT_EQ(s.value()["role"].as_string(), "Looking");
+    EXPECT_EQ(s.value()["round"].as_int(), 0);
+  }
+}
+
+TEST(ZabNode, ElectionEstablishesOneLeader) {
+  auto eng = Cluster();
+  ASSERT_TRUE(eng->StartAll());
+  ASSERT_TRUE(eng->FireTimeout(0, "election"));
+  DrainNetwork(*eng);
+  const int leader = FindEstablishedLeader(*eng);
+  ASSERT_GE(leader, 0) << "no established leader after draining";
+  // The other nodes follow the leader.
+  int following = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto s = eng->QueryNodeState(i);
+    ASSERT_TRUE(s.ok());
+    if (s.value()["role"].as_string() == "Following") {
+      ++following;
+      EXPECT_EQ(s.value()["vote"]["leader"].as_int(), leader);
+    }
+  }
+  EXPECT_GE(following, 1);
+  // Epoch advanced past the initial 0.
+  auto s = eng->QueryNodeState(leader);
+  EXPECT_GE(s.value()["acceptedEpoch"].as_int(), 1);
+}
+
+TEST(ZabNode, BroadcastCommitsTransaction) {
+  auto eng = Cluster();
+  ASSERT_TRUE(eng->StartAll());
+  ASSERT_TRUE(eng->FireTimeout(0, "election"));
+  DrainNetwork(*eng);
+  const int leader = FindEstablishedLeader(*eng);
+  ASSERT_GE(leader, 0);
+
+  JsonObject req;
+  req["op"] = Json(std::string("propose"));
+  req["val"] = Json(7);
+  Json resp;
+  ASSERT_TRUE(eng->ClientRequest(leader, Json(std::move(req)), &resp));
+  EXPECT_TRUE(resp["ok"].as_bool());
+  DrainNetwork(*eng);
+
+  auto s = eng->QueryNodeState(leader);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value()["lastCommitted"].as_int(), 1);
+  EXPECT_EQ(s.value()["history"].size(), 1u);
+  // Followers in the synced quorum also committed.
+  int committed = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto f = eng->QueryNodeState(i);
+    committed += (f.ok() && f.value()["lastCommitted"].as_int() == 1) ? 1 : 0;
+  }
+  EXPECT_GE(committed, 2);
+}
+
+TEST(ZabNode, ProposeRejectedAtNonLeader) {
+  auto eng = Cluster();
+  ASSERT_TRUE(eng->StartAll());
+  JsonObject req;
+  req["op"] = Json(std::string("propose"));
+  req["val"] = Json(1);
+  Json resp;
+  ASSERT_TRUE(eng->ClientRequest(1, Json(std::move(req)), &resp));
+  EXPECT_FALSE(resp["ok"].as_bool());
+}
+
+TEST(ZabNode, HistorySurvivesCrash) {
+  auto eng = Cluster();
+  ASSERT_TRUE(eng->StartAll());
+  ASSERT_TRUE(eng->FireTimeout(0, "election"));
+  DrainNetwork(*eng);
+  const int leader = FindEstablishedLeader(*eng);
+  ASSERT_GE(leader, 0);
+  JsonObject req;
+  req["op"] = Json(std::string("propose"));
+  req["val"] = Json(9);
+  Json resp;
+  ASSERT_TRUE(eng->ClientRequest(leader, Json(req), &resp));
+  DrainNetwork(*eng);
+
+  ASSERT_TRUE(eng->Crash(leader));
+  ASSERT_TRUE(eng->Restart(leader));
+  auto s = eng->QueryNodeState(leader);
+  ASSERT_TRUE(s.ok());
+  EXPECT_EQ(s.value()["role"].as_string(), "Looking");  // volatile state reset
+  EXPECT_EQ(s.value()["round"].as_int(), 0);
+  EXPECT_EQ(s.value()["history"].size(), 1u);           // persistent survived
+  EXPECT_GE(s.value()["acceptedEpoch"].as_int(), 1);
+}
+
+TEST(ZabNode, NotLookingAnswersLookingSender) {
+  auto eng = Cluster();
+  ASSERT_TRUE(eng->StartAll());
+  ASSERT_TRUE(eng->FireTimeout(0, "election"));
+  DrainNetwork(*eng);
+  ASSERT_GE(FindEstablishedLeader(*eng), 0);
+  // A late campaigner solicits votes; established servers answer with their
+  // current vote instead of joining the election (Figure 3, lines 18-21).
+  ASSERT_TRUE(eng->FireTimeout(2, "election"));
+  // Notifications to the two peers are now pending.
+  int notifications = 0;
+  for (const auto& m : eng->proxy().Pending()) {
+    notifications += (m.src == 2 && m.bytes.find("NOTIFICATION") != std::string::npos) ? 1 : 0;
+  }
+  EXPECT_EQ(notifications, 2);
+}
+
+}  // namespace
+}  // namespace sandtable

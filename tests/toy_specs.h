@@ -1,0 +1,140 @@
+// Small specifications used by the model-checker unit tests.
+#ifndef SANDTABLE_TESTS_TOY_SPECS_H_
+#define SANDTABLE_TESTS_TOY_SPECS_H_
+
+#include "src/spec/spec.h"
+
+namespace sandtable {
+namespace toys {
+
+// The Die Hard water-jug puzzle: a 3-gallon and a 5-gallon jug; the invariant
+// "big != 4" is violated in minimally 6 steps. A classic TLC counterexample
+// exercise with a known-size reachable space (16 states).
+inline Spec DieHard() {
+  Spec spec;
+  spec.name = "diehard";
+  spec.init_states.push_back(
+      Value::Record({{"small", Value::Int(0)}, {"big", Value::Int(0)}}));
+
+  auto set = [](const State& s, int64_t small, int64_t big) {
+    return Value::Record({{"small", Value::Int(small)}, {"big", Value::Int(big)}});
+  };
+  auto small = [](const State& s) { return s.field("small").int_v(); };
+  auto big = [](const State& s) { return s.field("big").int_v(); };
+
+  Action fill_small{"FillSmall", EventKind::kInternal,
+                    [=](const State& s, ActionContext& ctx) {
+                      if (small(s) < 3) {
+                        ctx.Branch("fill");
+                        ctx.Emit(set(s, 3, big(s)));
+                      }
+                    }};
+  Action fill_big{"FillBig", EventKind::kInternal,
+                  [=](const State& s, ActionContext& ctx) {
+                    if (big(s) < 5) {
+                      ctx.Branch("fill");
+                      ctx.Emit(set(s, small(s), 5));
+                    }
+                  }};
+  Action empty_small{"EmptySmall", EventKind::kInternal,
+                     [=](const State& s, ActionContext& ctx) {
+                       if (small(s) > 0) {
+                         ctx.Emit(set(s, 0, big(s)));
+                       }
+                     }};
+  Action empty_big{"EmptyBig", EventKind::kInternal,
+                   [=](const State& s, ActionContext& ctx) {
+                     if (big(s) > 0) {
+                       ctx.Emit(set(s, small(s), 0));
+                     }
+                   }};
+  Action pour_small_big{"SmallToBig", EventKind::kInternal,
+                        [=](const State& s, ActionContext& ctx) {
+                          const int64_t amount = std::min(small(s), 5 - big(s));
+                          if (amount > 0) {
+                            ctx.Emit(set(s, small(s) - amount, big(s) + amount));
+                          }
+                        }};
+  Action pour_big_small{"BigToSmall", EventKind::kInternal,
+                        [=](const State& s, ActionContext& ctx) {
+                          const int64_t amount = std::min(big(s), 3 - small(s));
+                          if (amount > 0) {
+                            ctx.Emit(set(s, small(s) + amount, big(s) - amount));
+                          }
+                        }};
+  spec.actions = {fill_small, fill_big, empty_small, empty_big, pour_small_big,
+                  pour_big_small};
+  spec.invariants.push_back(
+      {"BigNotFour", [=](const State& s) { return big(s) != 4; }});
+  return spec;
+}
+
+// A bounded counter: states 0..max, one increment action. Useful for depth,
+// exhaustion and transition-invariant tests.
+inline Spec Counter(int64_t max, bool with_bad_jump = false) {
+  Spec spec;
+  spec.name = "counter";
+  spec.init_states.push_back(Value::Record({{"x", Value::Int(0)}}));
+  spec.actions.push_back(
+      {"Inc", EventKind::kClientRequest, [max](const State& s, ActionContext& ctx) {
+         const int64_t x = s.field("x").int_v();
+         if (x < max) {
+           ctx.Branch(x % 2 == 0 ? "even" : "odd");
+           ctx.Emit(Value::Record({{"x", Value::Int(x + 1)}}));
+         }
+       }});
+  if (with_bad_jump) {
+    // A second action that jumps backwards, violating monotonicity.
+    spec.actions.push_back(
+        {"Jump", EventKind::kInternal, [](const State& s, ActionContext& ctx) {
+           const int64_t x = s.field("x").int_v();
+           if (x == 3) {
+             ctx.Emit(Value::Record({{"x", Value::Int(1)}}));
+           }
+         }});
+  }
+  spec.transition_invariants.push_back(
+      {"Monotonic", [](const State& prev, const ActionLabel& label, const State& next) {
+         return next.field("x").int_v() >= prev.field("x").int_v();
+       }});
+  return spec;
+}
+
+// A ring of `n` symmetric tokens: each action moves a token between nodes.
+// State: fun node -> token count. Used for symmetry-reduction tests:
+// with symmetry the reachable space collapses to multisets.
+inline Spec TokenRing(int n, int tokens) {
+  Spec spec;
+  spec.name = "tokenring";
+  std::vector<Value::Pair> init;
+  for (int i = 0; i < n; ++i) {
+    init.emplace_back(Value::Model("p", i), Value::Int(i == 0 ? tokens : 0));
+  }
+  spec.init_states.push_back(Value::Record({{"held", Value::Fun(std::move(init))}}));
+  spec.symmetry = Symmetry{"p", n};
+  spec.actions.push_back(
+      {"Move", EventKind::kMessage, [n](const State& s, ActionContext& ctx) {
+         const Value& held = s.field("held");
+         for (int src = 0; src < n; ++src) {
+           const Value from = Value::Model("p", src);
+           if (held.Apply(from).int_v() == 0) {
+             continue;
+           }
+           for (int dst = 0; dst < n; ++dst) {
+             if (dst == src) {
+               continue;
+             }
+             const Value to = Value::Model("p", dst);
+             Value next = held.FunSet(from, Value::Int(held.Apply(from).int_v() - 1));
+             next = next.FunSet(to, Value::Int(next.Apply(to).int_v() + 1));
+             ctx.Emit(s.WithField("held", next));
+           }
+         }
+       }});
+  return spec;
+}
+
+}  // namespace toys
+}  // namespace sandtable
+
+#endif  // SANDTABLE_TESTS_TOY_SPECS_H_
