@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_alg1_ranking.cc" "bench/CMakeFiles/bench_alg1_ranking.dir/bench_alg1_ranking.cc.o" "gcc" "bench/CMakeFiles/bench_alg1_ranking.dir/bench_alg1_ranking.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/raftspec/CMakeFiles/st_raftspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/st_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/st_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/st_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/st_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/st_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

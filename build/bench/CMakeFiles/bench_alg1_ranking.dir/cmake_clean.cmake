@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alg1_ranking.dir/bench_alg1_ranking.cc.o"
+  "CMakeFiles/bench_alg1_ranking.dir/bench_alg1_ranking.cc.o.d"
+  "bench_alg1_ranking"
+  "bench_alg1_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alg1_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_integration.dir/bench_table1_integration.cc.o"
+  "CMakeFiles/bench_table1_integration.dir/bench_table1_integration.cc.o.d"
+  "bench_table1_integration"
+  "bench_table1_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

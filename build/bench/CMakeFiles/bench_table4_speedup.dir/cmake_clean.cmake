@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_speedup.dir/bench_table4_speedup.cc.o"
+  "CMakeFiles/bench_table4_speedup.dir/bench_table4_speedup.cc.o.d"
+  "bench_table4_speedup"
+  "bench_table4_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

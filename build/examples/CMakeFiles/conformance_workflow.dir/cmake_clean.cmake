@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conformance_workflow.dir/conformance_workflow.cpp.o"
+  "CMakeFiles/conformance_workflow.dir/conformance_workflow.cpp.o.d"
+  "conformance_workflow"
+  "conformance_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conformance_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercept_demo.dir/intercept_demo.cpp.o"
+  "CMakeFiles/intercept_demo.dir/intercept_demo.cpp.o.d"
+  "intercept_demo"
+  "intercept_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercept_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linearizability_check.dir/linearizability_check.cpp.o"
+  "CMakeFiles/linearizability_check.dir/linearizability_check.cpp.o.d"
+  "linearizability_check"
+  "linearizability_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linearizability_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/raft_bug_hunt.dir/raft_bug_hunt.cpp.o"
+  "CMakeFiles/raft_bug_hunt.dir/raft_bug_hunt.cpp.o.d"
+  "raft_bug_hunt"
+  "raft_bug_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/raft_bug_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

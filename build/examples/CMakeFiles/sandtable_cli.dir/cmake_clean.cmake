@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandtable_cli.dir/sandtable_cli.cpp.o"
+  "CMakeFiles/sandtable_cli.dir/sandtable_cli.cpp.o.d"
+  "sandtable_cli"
+  "sandtable_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandtable_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

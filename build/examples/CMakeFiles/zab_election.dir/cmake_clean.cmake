@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/zab_election.dir/zab_election.cpp.o"
+  "CMakeFiles/zab_election.dir/zab_election.cpp.o.d"
+  "zab_election"
+  "zab_election.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/zab_election.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("value")
+subdirs("spec")
+subdirs("mc")
+subdirs("net")
+subdirs("raftspec")
+subdirs("zabspec")
+subdirs("sim")
+subdirs("engine")
+subdirs("systems")
+subdirs("trace")
+subdirs("conformance")
+subdirs("lin")
+subdirs("interceptor")

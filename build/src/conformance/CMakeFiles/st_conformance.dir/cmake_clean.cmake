@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_conformance.dir/bug_catalog.cc.o"
+  "CMakeFiles/st_conformance.dir/bug_catalog.cc.o.d"
+  "CMakeFiles/st_conformance.dir/checker.cc.o"
+  "CMakeFiles/st_conformance.dir/checker.cc.o.d"
+  "CMakeFiles/st_conformance.dir/observer.cc.o"
+  "CMakeFiles/st_conformance.dir/observer.cc.o.d"
+  "CMakeFiles/st_conformance.dir/raft_harness.cc.o"
+  "CMakeFiles/st_conformance.dir/raft_harness.cc.o.d"
+  "CMakeFiles/st_conformance.dir/zab_harness.cc.o"
+  "CMakeFiles/st_conformance.dir/zab_harness.cc.o.d"
+  "libst_conformance.a"
+  "libst_conformance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_engine.dir/engine.cc.o"
+  "CMakeFiles/st_engine.dir/engine.cc.o.d"
+  "CMakeFiles/st_engine.dir/proxy.cc.o"
+  "CMakeFiles/st_engine.dir/proxy.cc.o.d"
+  "libst_engine.a"
+  "libst_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

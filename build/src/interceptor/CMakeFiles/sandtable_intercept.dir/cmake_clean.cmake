@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandtable_intercept.dir/intercept.cc.o"
+  "CMakeFiles/sandtable_intercept.dir/intercept.cc.o.d"
+  "libsandtable_intercept.pdb"
+  "libsandtable_intercept.so"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandtable_intercept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_lin.dir/linearizability.cc.o"
+  "CMakeFiles/st_lin.dir/linearizability.cc.o.d"
+  "libst_lin.a"
+  "libst_lin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_lin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mc/bfs.cc" "src/mc/CMakeFiles/st_mc.dir/bfs.cc.o" "gcc" "src/mc/CMakeFiles/st_mc.dir/bfs.cc.o.d"
+  "/root/repo/src/mc/expand.cc" "src/mc/CMakeFiles/st_mc.dir/expand.cc.o" "gcc" "src/mc/CMakeFiles/st_mc.dir/expand.cc.o.d"
+  "/root/repo/src/mc/random_walk.cc" "src/mc/CMakeFiles/st_mc.dir/random_walk.cc.o" "gcc" "src/mc/CMakeFiles/st_mc.dir/random_walk.cc.o.d"
+  "/root/repo/src/mc/ranking.cc" "src/mc/CMakeFiles/st_mc.dir/ranking.cc.o" "gcc" "src/mc/CMakeFiles/st_mc.dir/ranking.cc.o.d"
+  "/root/repo/src/mc/stateless.cc" "src/mc/CMakeFiles/st_mc.dir/stateless.cc.o" "gcc" "src/mc/CMakeFiles/st_mc.dir/stateless.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/st_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/st_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/st_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_mc.dir/bfs.cc.o"
+  "CMakeFiles/st_mc.dir/bfs.cc.o.d"
+  "CMakeFiles/st_mc.dir/expand.cc.o"
+  "CMakeFiles/st_mc.dir/expand.cc.o.d"
+  "CMakeFiles/st_mc.dir/random_walk.cc.o"
+  "CMakeFiles/st_mc.dir/random_walk.cc.o.d"
+  "CMakeFiles/st_mc.dir/ranking.cc.o"
+  "CMakeFiles/st_mc.dir/ranking.cc.o.d"
+  "CMakeFiles/st_mc.dir/stateless.cc.o"
+  "CMakeFiles/st_mc.dir/stateless.cc.o.d"
+  "libst_mc.a"
+  "libst_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

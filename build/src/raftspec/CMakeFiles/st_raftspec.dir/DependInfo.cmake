@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raftspec/raft_common.cc" "src/raftspec/CMakeFiles/st_raftspec.dir/raft_common.cc.o" "gcc" "src/raftspec/CMakeFiles/st_raftspec.dir/raft_common.cc.o.d"
+  "/root/repo/src/raftspec/raft_invariants.cc" "src/raftspec/CMakeFiles/st_raftspec.dir/raft_invariants.cc.o" "gcc" "src/raftspec/CMakeFiles/st_raftspec.dir/raft_invariants.cc.o.d"
+  "/root/repo/src/raftspec/raft_params.cc" "src/raftspec/CMakeFiles/st_raftspec.dir/raft_params.cc.o" "gcc" "src/raftspec/CMakeFiles/st_raftspec.dir/raft_params.cc.o.d"
+  "/root/repo/src/raftspec/raft_spec.cc" "src/raftspec/CMakeFiles/st_raftspec.dir/raft_spec.cc.o" "gcc" "src/raftspec/CMakeFiles/st_raftspec.dir/raft_spec.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/st_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/st_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/st_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/st_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

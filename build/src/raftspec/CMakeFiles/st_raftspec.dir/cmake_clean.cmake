@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_raftspec.dir/raft_common.cc.o"
+  "CMakeFiles/st_raftspec.dir/raft_common.cc.o.d"
+  "CMakeFiles/st_raftspec.dir/raft_invariants.cc.o"
+  "CMakeFiles/st_raftspec.dir/raft_invariants.cc.o.d"
+  "CMakeFiles/st_raftspec.dir/raft_params.cc.o"
+  "CMakeFiles/st_raftspec.dir/raft_params.cc.o.d"
+  "CMakeFiles/st_raftspec.dir/raft_spec.cc.o"
+  "CMakeFiles/st_raftspec.dir/raft_spec.cc.o.d"
+  "libst_raftspec.a"
+  "libst_raftspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_raftspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

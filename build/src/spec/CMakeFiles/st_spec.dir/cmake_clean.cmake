@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_spec.dir/spec.cc.o"
+  "CMakeFiles/st_spec.dir/spec.cc.o.d"
+  "libst_spec.a"
+  "libst_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

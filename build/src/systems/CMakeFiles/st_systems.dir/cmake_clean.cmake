@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_systems.dir/raft_node.cc.o"
+  "CMakeFiles/st_systems.dir/raft_node.cc.o.d"
+  "CMakeFiles/st_systems.dir/zab_node.cc.o"
+  "CMakeFiles/st_systems.dir/zab_node.cc.o.d"
+  "libst_systems.a"
+  "libst_systems.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_systems.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

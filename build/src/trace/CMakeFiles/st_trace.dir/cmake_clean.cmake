@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_trace.dir/replay.cc.o"
+  "CMakeFiles/st_trace.dir/replay.cc.o.d"
+  "libst_trace.a"
+  "libst_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_util.dir/json.cc.o"
+  "CMakeFiles/st_util.dir/json.cc.o.d"
+  "CMakeFiles/st_util.dir/logging.cc.o"
+  "CMakeFiles/st_util.dir/logging.cc.o.d"
+  "CMakeFiles/st_util.dir/strings.cc.o"
+  "CMakeFiles/st_util.dir/strings.cc.o.d"
+  "libst_util.a"
+  "libst_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

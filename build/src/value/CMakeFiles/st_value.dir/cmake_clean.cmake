@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_value.dir/value.cc.o"
+  "CMakeFiles/st_value.dir/value.cc.o.d"
+  "libst_value.a"
+  "libst_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

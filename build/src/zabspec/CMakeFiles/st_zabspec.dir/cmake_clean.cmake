@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/st_zabspec.dir/zab_common.cc.o"
+  "CMakeFiles/st_zabspec.dir/zab_common.cc.o.d"
+  "CMakeFiles/st_zabspec.dir/zab_invariants.cc.o"
+  "CMakeFiles/st_zabspec.dir/zab_invariants.cc.o.d"
+  "CMakeFiles/st_zabspec.dir/zab_spec.cc.o"
+  "CMakeFiles/st_zabspec.dir/zab_spec.cc.o.d"
+  "libst_zabspec.a"
+  "libst_zabspec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/st_zabspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intercept_target.dir/intercept_target.cc.o"
+  "CMakeFiles/intercept_target.dir/intercept_target.cc.o.d"
+  "intercept_target"
+  "intercept_target.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intercept_target.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

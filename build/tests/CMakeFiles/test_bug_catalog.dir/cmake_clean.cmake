@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bug_catalog.dir/test_bug_catalog.cc.o"
+  "CMakeFiles/test_bug_catalog.dir/test_bug_catalog.cc.o.d"
+  "test_bug_catalog"
+  "test_bug_catalog.pdb"
+  "test_bug_catalog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bug_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interceptor.dir/test_interceptor.cc.o"
+  "CMakeFiles/test_interceptor.dir/test_interceptor.cc.o.d"
+  "test_interceptor"
+  "test_interceptor.pdb"
+  "test_interceptor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interceptor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

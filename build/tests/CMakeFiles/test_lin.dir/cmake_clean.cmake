@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lin.dir/test_lin.cc.o"
+  "CMakeFiles/test_lin.dir/test_lin.cc.o.d"
+  "test_lin"
+  "test_lin.pdb"
+  "test_lin[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

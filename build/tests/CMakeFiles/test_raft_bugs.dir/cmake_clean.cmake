@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raft_bugs.dir/test_raft_bugs.cc.o"
+  "CMakeFiles/test_raft_bugs.dir/test_raft_bugs.cc.o.d"
+  "test_raft_bugs"
+  "test_raft_bugs.pdb"
+  "test_raft_bugs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raft_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raftspec.dir/test_raftspec.cc.o"
+  "CMakeFiles/test_raftspec.dir/test_raftspec.cc.o.d"
+  "test_raftspec"
+  "test_raftspec.pdb"
+  "test_raftspec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raftspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

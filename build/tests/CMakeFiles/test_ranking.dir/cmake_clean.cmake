@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ranking.dir/test_ranking.cc.o"
+  "CMakeFiles/test_ranking.dir/test_ranking.cc.o.d"
+  "test_ranking"
+  "test_ranking.pdb"
+  "test_ranking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

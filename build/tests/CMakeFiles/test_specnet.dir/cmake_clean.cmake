@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_specnet.dir/test_specnet.cc.o"
+  "CMakeFiles/test_specnet.dir/test_specnet.cc.o.d"
+  "test_specnet"
+  "test_specnet.pdb"
+  "test_specnet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_specnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

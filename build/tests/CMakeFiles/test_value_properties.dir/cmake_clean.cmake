@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_value_properties.dir/test_value_properties.cc.o"
+  "CMakeFiles/test_value_properties.dir/test_value_properties.cc.o.d"
+  "test_value_properties"
+  "test_value_properties.pdb"
+  "test_value_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_value_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zab_conformance.dir/test_zab_conformance.cc.o"
+  "CMakeFiles/test_zab_conformance.dir/test_zab_conformance.cc.o.d"
+  "test_zab_conformance"
+  "test_zab_conformance.pdb"
+  "test_zab_conformance[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zab_conformance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

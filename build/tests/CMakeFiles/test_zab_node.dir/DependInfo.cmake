@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_zab_node.cc" "tests/CMakeFiles/test_zab_node.dir/test_zab_node.cc.o" "gcc" "tests/CMakeFiles/test_zab_node.dir/test_zab_node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/conformance/CMakeFiles/st_conformance.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/st_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/st_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/mc/CMakeFiles/st_mc.dir/DependInfo.cmake"
+  "/root/repo/build/src/systems/CMakeFiles/st_systems.dir/DependInfo.cmake"
+  "/root/repo/build/src/raftspec/CMakeFiles/st_raftspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/zabspec/CMakeFiles/st_zabspec.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/st_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/st_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/st_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/st_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

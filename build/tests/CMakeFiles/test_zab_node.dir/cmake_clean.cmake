@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zab_node.dir/test_zab_node.cc.o"
+  "CMakeFiles/test_zab_node.dir/test_zab_node.cc.o.d"
+  "test_zab_node"
+  "test_zab_node.pdb"
+  "test_zab_node[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zab_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zabspec.dir/test_zabspec.cc.o"
+  "CMakeFiles/test_zabspec.dir/test_zabspec.cc.o.d"
+  "test_zabspec"
+  "test_zabspec.pdb"
+  "test_zabspec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zabspec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

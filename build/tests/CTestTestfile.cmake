@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_json[1]_include.cmake")
+include("/root/repo/build/tests/test_value[1]_include.cmake")
+include("/root/repo/build/tests/test_specnet[1]_include.cmake")
+include("/root/repo/build/tests/test_spec[1]_include.cmake")
+include("/root/repo/build/tests/test_mc[1]_include.cmake")
+include("/root/repo/build/tests/test_ranking[1]_include.cmake")
+include("/root/repo/build/tests/test_raftspec[1]_include.cmake")
+include("/root/repo/build/tests/test_raft_bugs[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_conformance[1]_include.cmake")
+include("/root/repo/build/tests/test_zabspec[1]_include.cmake")
+include("/root/repo/build/tests/test_lin[1]_include.cmake")
+include("/root/repo/build/tests/test_zab_conformance[1]_include.cmake")
+include("/root/repo/build/tests/test_interceptor[1]_include.cmake")
+include("/root/repo/build/tests/test_bug_catalog[1]_include.cmake")
+include("/root/repo/build/tests/test_zab_node[1]_include.cmake")
+include("/root/repo/build/tests/test_value_properties[1]_include.cmake")
