@@ -16,10 +16,12 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <thread>
 
 #include "bench/bench_common.h"
 #include "src/conformance/raft_harness.h"
 #include "src/conformance/zab_harness.h"
+#include "src/par/parallel_bfs.h"
 #include "src/trace/replay.h"
 #include "src/mc/random_walk.h"
 
@@ -204,5 +206,25 @@ int main() {
   std::printf("paper speedups: 114x-2989x; the shape to check: Xraft/Xraft-KV/ZooKeeper\n");
   std::printf("are slowest at the implementation level (init+sync sleeps), RaftOS next\n");
   std::printf("(async-action sleeps), the driver-based C/Python systems fastest\n");
+
+  // ---- Threads dimension: the paper explores on 20 hyperthreads ------------
+  // Spec-level BFS exploration rate vs worker threads (src/par/ engine); see
+  // bench_parallel_scaling for the full scaling curve.
+  std::printf("\nspec-level BFS rate vs worker threads (pysyncobj, %u hw threads):\n",
+              std::thread::hardware_concurrency());
+  const RaftHarness h = MakeRaftHarness("pysyncobj", /*with_bugs=*/false);
+  const Spec bfs_spec = MakeHarnessSpec(h);
+  for (const int workers : {1, 4}) {
+    ParBfsOptions popts;
+    popts.base.time_budget_s = bench::BudgetSeconds(20) / 2;
+    popts.workers = workers;
+    const BfsResult r = ParallelBfsCheck(bfs_spec, popts);
+    std::printf("  %d worker%s: %10s distinct states in %s (%s states/min)\n", workers,
+                workers == 1 ? " " : "s", bench::HumanCount(r.distinct_states).c_str(),
+                bench::HumanTime(r.seconds).c_str(),
+                bench::HumanCount(static_cast<unsigned long long>(
+                                      r.distinct_states / std::max(r.seconds, 1e-9) * 60))
+                    .c_str());
+  }
   return 0;
 }

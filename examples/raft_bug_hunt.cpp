@@ -5,9 +5,11 @@
 //   3. confirm the bug at the implementation level by deterministic replay (§3.4)
 //   4. fix the bug on both sides and validate the fix
 #include <cstdio>
+#include <thread>
 
 #include "src/conformance/raft_harness.h"
 #include "src/mc/bfs.h"
+#include "src/par/parallel_bfs.h"
 
 using namespace sandtable;               // NOLINT(build/namespaces): example brevity
 using namespace sandtable::conformance;  // NOLINT(build/namespaces)
@@ -54,11 +56,15 @@ int main() {
               conf.traces_replayed, static_cast<unsigned long long>(conf.events_replayed));
 
   // ---- Step 2: model checking -------------------------------------------------------
-  std::printf("[2/4] model checking the bounded state space (BFS)...\n");
-  BfsOptions bopts;
-  bopts.max_distinct_states = 5000000;
-  bopts.time_budget_s = 300;
-  const BfsResult mc = BfsCheck(spec, bopts);
+  // Parallel BFS (src/par/): level-synchronized, so the counterexample depth
+  // is minimal and identical to serial BFS regardless of worker count.
+  ParBfsOptions bopts;
+  bopts.base.max_distinct_states = 5000000;
+  bopts.base.time_budget_s = 300;
+  bopts.workers = static_cast<int>(std::thread::hardware_concurrency());
+  std::printf("[2/4] model checking the bounded state space (parallel BFS, %d workers)...\n",
+              bopts.workers > 0 ? bopts.workers : 1);
+  const BfsResult mc = ParallelBfsCheck(spec, bopts);
   if (!mc.violation.has_value()) {
     std::printf("      no violation in %llu states\n",
                 static_cast<unsigned long long>(mc.distinct_states));
@@ -93,7 +99,7 @@ int main() {
   const RaftObserver fixed_observer = MakeRaftObserver(fixed);
   const ConformanceReport reconf =
       CheckConformance(fixed_spec, MakeRaftEngineFactory(fixed), fixed_observer, copts);
-  const BfsResult recheck = BfsCheck(fixed_spec, bopts);
+  const BfsResult recheck = ParallelBfsCheck(fixed_spec, bopts);
   std::printf("      conformance: %s; model checking: %s (%llu states)\n",
               reconf.conforms ? "clean" : "DISCREPANCY",
               recheck.violation.has_value() ? "VIOLATION" : "clean",

@@ -4,11 +4,12 @@
 //   sandtable_cli list-systems
 //   sandtable_cli list-bugs
 //   sandtable_cli check --system pysyncobj --bug PySyncObj#2 [--budget 60]
-//                       [--trace-out /tmp/bug.jsonl]
+//                       [--workers 4] [--trace-out /tmp/bug.jsonl]
 //   sandtable_cli conformance --system wraft [--traces 100] [--channel log]
 //   sandtable_cli simulate --system raftos --traces 1000
 //   sandtable_cli replay --system pysyncobj --bug PySyncObj#2 --trace /tmp/bug.jsonl
 //   sandtable_cli rank --system pysyncobj
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -20,6 +21,7 @@
 #include "src/mc/bfs.h"
 #include "src/mc/random_walk.h"
 #include "src/mc/ranking.h"
+#include "src/par/parallel_bfs.h"
 
 using namespace sandtable;               // NOLINT(build/namespaces): CLI brevity
 using namespace sandtable::conformance;  // NOLINT(build/namespaces)
@@ -35,6 +37,7 @@ struct Args {
   std::string channel = "api";
   double budget_s = 60;
   int traces = 100;
+  int workers = 1;  // >1 switches `check` to the parallel engine (src/par/)
   bool with_bugs = false;
 };
 
@@ -65,6 +68,9 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->budget_s = std::atof(v.c_str());
     } else if (flag == "--traces" && next(&v)) {
       out->traces = std::atoi(v.c_str());
+    } else if (flag == "--workers" && next(&v)) {
+      // atoi yields 0 on junk; anything below 1 means "serial".
+      out->workers = std::max(1, std::atoi(v.c_str()));
     } else if (flag == "--channel" && next(&v)) {
       out->channel = v;
     } else if (flag == "--with-bugs") {
@@ -140,10 +146,19 @@ int CmdListBugs() {
 
 int CmdCheck(const Args& args) {
   Target t = MakeTarget(args);
-  std::printf("model checking %s (budget %.0fs)...\n", t.spec.name.c_str(), args.budget_s);
+  std::printf("model checking %s (budget %.0fs, %d worker%s)...\n", t.spec.name.c_str(),
+              args.budget_s, args.workers, args.workers == 1 ? "" : "s");
   BfsOptions opts;
   opts.time_budget_s = args.budget_s;
-  const BfsResult r = BfsCheck(t.spec, opts);
+  BfsResult r;
+  if (args.workers > 1) {
+    ParBfsOptions popts;
+    popts.base = opts;
+    popts.workers = args.workers;
+    r = ParallelBfsCheck(t.spec, popts);
+  } else {
+    r = BfsCheck(t.spec, opts);
+  }
   std::printf("distinct states: %llu (depth %llu, %.1fs, %s)\n",
               static_cast<unsigned long long>(r.distinct_states),
               static_cast<unsigned long long>(r.depth_reached), r.seconds,
@@ -285,7 +300,7 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     std::fprintf(stderr,
                  "usage: %s <list-systems|list-bugs|check|conformance|simulate|replay|rank>"
-                 " [--system S] [--bug ID] [--budget SECONDS] [--traces N]"
+                 " [--system S] [--bug ID] [--budget SECONDS] [--traces N] [--workers N]"
                  " [--trace FILE] [--trace-out FILE] [--channel api|log] [--with-bugs]\n",
                  argv[0]);
     return 1;

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "src/mc/expand.h"
+#include "src/mc/reconstruct.h"
 #include "src/util/check.h"
 
 namespace sandtable {
@@ -17,59 +18,15 @@ double SecondsSince(Clock::time_point start) {
 }
 
 // Visited map: fingerprint -> parent fingerprint. An entry whose parent equals
-// its own fingerprint marks an initial state. This is the TLC-style compact
-// representation that lets us reconstruct minimal-depth traces by forward
-// replay without storing full states for the whole graph.
+// its own fingerprint marks an initial state (see mc/reconstruct.h).
 using VisitedMap = std::unordered_map<uint64_t, uint64_t>;
 
-// Rebuild the state trace leading to fingerprint `target` by walking parent
-// pointers back to an initial state and then replaying forward, at each level
-// picking the successor whose (canonical) fingerprint matches the chain.
-std::vector<TraceStep> ReconstructTrace(const Spec& spec, const VisitedMap& visited,
-                                        uint64_t target, bool use_symmetry) {
-  std::vector<uint64_t> chain;
-  uint64_t cur = target;
-  for (;;) {
-    chain.push_back(cur);
-    auto it = visited.find(cur);
-    CHECK(it != visited.end()) << "trace reconstruction: fingerprint not in visited set";
-    if (it->second == cur) {
-      break;  // initial state
-    }
-    cur = it->second;
-  }
-  std::reverse(chain.begin(), chain.end());
-
-  // Locate the initial state.
+// A frontier entry carries the fingerprint computed at insertion time so each
+// distinct state is fingerprinted exactly once (not re-hashed at expansion).
+struct FrontierEntry {
+  uint64_t fp;
   State state;
-  bool found_init = false;
-  for (const State& init : spec.init_states) {
-    if (Fingerprint(spec, init, use_symmetry) == chain[0]) {
-      state = init;
-      found_init = true;
-      break;
-    }
-  }
-  CHECK(found_init) << "trace reconstruction: no initial state matches chain head";
-
-  std::vector<TraceStep> trace;
-  trace.push_back(TraceStep{ActionLabel{}, state});
-  for (size_t i = 1; i < chain.size(); ++i) {
-    std::vector<Successor> succs = ExpandAll(spec, state, nullptr);
-    bool matched = false;
-    for (Successor& s : succs) {
-      if (Fingerprint(spec, s.state, use_symmetry) == chain[i]) {
-        state = s.state;
-        trace.push_back(TraceStep{std::move(s.label), std::move(s.state)});
-        matched = true;
-        break;
-      }
-    }
-    CHECK(matched) << "trace reconstruction: no successor matches chain fingerprint at step "
-                   << i;
-  }
-  return trace;
-}
+};
 
 }  // namespace
 
@@ -80,8 +37,16 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
 
   VisitedMap visited;
   visited.reserve(1 << 16);
-  std::vector<State> frontier;
-  std::vector<State> next_frontier;
+  std::vector<FrontierEntry> frontier;
+  std::vector<FrontierEntry> next_frontier;
+
+  const ParentLookup parent_of = [&visited](uint64_t fp) -> std::optional<uint64_t> {
+    auto it = visited.find(fp);
+    if (it == visited.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  };
 
   auto record_violation = [&](const std::string& invariant, bool is_transition,
                               std::vector<TraceStep> trace) {
@@ -98,6 +63,18 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
     result.violation = std::move(v);
   };
 
+  // Single exit point: every return path reports depth/time consistently.
+  // `exhausted` means the bounded space was fully explored, which is false
+  // whenever a limit fired or the search stopped early at a violation.
+  auto finalize = [&](uint64_t depth, bool frontier_drained) -> BfsResult& {
+    result.depth_reached = depth;
+    result.exhausted = frontier_drained && !result.hit_state_limit &&
+                       !result.hit_time_limit &&
+                       !(result.violation.has_value() && options.stop_at_first_violation);
+    result.seconds = SecondsSince(start);
+    return result;
+  };
+
   // Seed with initial states.
   for (const State& init : spec.init_states) {
     const uint64_t fp = Fingerprint(spec, init, use_symmetry);
@@ -110,12 +87,11 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
     if (!bad.empty()) {
       record_violation(bad, false, {TraceStep{ActionLabel{}, init}});
       if (options.stop_at_first_violation) {
-        result.seconds = SecondsSince(start);
-        return result;
+        return finalize(0, false);
       }
     }
     if (spec.WithinConstraint(init)) {
-      frontier.push_back(init);
+      frontier.push_back(FrontierEntry{fp, init});
     }
   }
 
@@ -125,42 +101,38 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
 
   while (!frontier.empty()) {
     if (depth >= options.max_depth) {
-      break;
+      return finalize(depth, false);
     }
     next_frontier.clear();
-    for (const State& state : frontier) {
+    for (const FrontierEntry& entry : frontier) {
       // Periodic limit checks.
       if (++expansions_since_time_check >= 256) {
         expansions_since_time_check = 0;
         if (SecondsSince(start) > options.time_budget_s) {
           result.hit_time_limit = true;
-          result.seconds = SecondsSince(start);
-          result.depth_reached = depth;
-          return result;
+          return finalize(depth, false);
         }
       }
 
-      std::vector<Successor> succs = ExpandAll(spec, state, &result.coverage);
+      std::vector<Successor> succs = ExpandAll(spec, entry.state, &result.coverage);
       if (succs.empty()) {
         ++result.deadlock_states;
         continue;
       }
-      const uint64_t state_fp = Fingerprint(spec, state, use_symmetry);
       for (Successor& s : succs) {
         result.coverage.RecordEvent(s.label.kind);
 
         // Transition invariants hold on every edge, including edges back to
         // already-visited states.
-        const std::string bad_edge = CheckTransitionInvariants(spec, state, s.label, s.state);
+        const std::string bad_edge =
+            CheckTransitionInvariants(spec, entry.state, s.label, s.state);
         if (!bad_edge.empty()) {
           std::vector<TraceStep> trace =
-              ReconstructTrace(spec, visited, state_fp, use_symmetry);
+              ReconstructTrace(spec, parent_of, entry.fp, use_symmetry);
           trace.push_back(TraceStep{s.label, s.state});
           record_violation(bad_edge, true, std::move(trace));
           if (options.stop_at_first_violation) {
-            result.seconds = SecondsSince(start);
-            result.depth_reached = depth;
-            return result;
+            return finalize(depth, false);
           }
         }
 
@@ -168,16 +140,14 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
         if (visited.count(fp) > 0) {
           continue;
         }
-        visited.emplace(fp, state_fp);
+        visited.emplace(fp, entry.fp);
         ++result.distinct_states;
 
         const std::string bad = CheckInvariants(spec, s.state);
         if (!bad.empty()) {
-          record_violation(bad, false, ReconstructTrace(spec, visited, fp, use_symmetry));
+          record_violation(bad, false, ReconstructTrace(spec, parent_of, fp, use_symmetry));
           if (options.stop_at_first_violation) {
-            result.seconds = SecondsSince(start);
-            result.depth_reached = depth;
-            return result;
+            return finalize(depth, false);
           }
         }
 
@@ -189,13 +159,11 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
 
         if (result.distinct_states >= options.max_distinct_states) {
           result.hit_state_limit = true;
-          result.seconds = SecondsSince(start);
-          result.depth_reached = depth;
-          return result;
+          return finalize(depth, false);
         }
 
         if (spec.WithinConstraint(s.state)) {
-          next_frontier.push_back(std::move(s.state));
+          next_frontier.push_back(FrontierEntry{fp, std::move(s.state)});
         }
       }
     }
@@ -205,10 +173,7 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
     }
   }
 
-  result.depth_reached = depth;
-  result.exhausted = depth < options.max_depth;
-  result.seconds = SecondsSince(start);
-  return result;
+  return finalize(depth, /*frontier_drained=*/true);
 }
 
 }  // namespace sandtable

@@ -47,7 +47,10 @@ struct BfsOptions {
 struct BfsResult {
   uint64_t distinct_states = 0;
   uint64_t depth_reached = 0;  // deepest BFS level from which states were expanded
-  bool exhausted = false;      // the bounded state space was fully explored
+  // The bounded state space was fully explored: the frontier drained without
+  // hitting the depth/state/time limits and without stopping early at a
+  // violation. Always false when hit_state_limit or hit_time_limit is set.
+  bool exhausted = false;
   bool hit_state_limit = false;
   bool hit_time_limit = false;
   double seconds = 0;

@@ -1,0 +1,56 @@
+#include "src/mc/reconstruct.h"
+
+#include <algorithm>
+
+#include "src/mc/expand.h"
+#include "src/util/check.h"
+
+namespace sandtable {
+
+std::vector<TraceStep> ReconstructTrace(const Spec& spec, const ParentLookup& parent_of,
+                                        uint64_t target, bool use_symmetry) {
+  std::vector<uint64_t> chain;
+  uint64_t cur = target;
+  for (;;) {
+    chain.push_back(cur);
+    const std::optional<uint64_t> parent = parent_of(cur);
+    CHECK(parent.has_value()) << "trace reconstruction: fingerprint not in visited set";
+    if (*parent == cur) {
+      break;  // initial state
+    }
+    cur = *parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  // Locate the initial state.
+  State state;
+  bool found_init = false;
+  for (const State& init : spec.init_states) {
+    if (Fingerprint(spec, init, use_symmetry) == chain[0]) {
+      state = init;
+      found_init = true;
+      break;
+    }
+  }
+  CHECK(found_init) << "trace reconstruction: no initial state matches chain head";
+
+  std::vector<TraceStep> trace;
+  trace.push_back(TraceStep{ActionLabel{}, state});
+  for (size_t i = 1; i < chain.size(); ++i) {
+    std::vector<Successor> succs = ExpandAll(spec, state, nullptr);
+    bool matched = false;
+    for (Successor& s : succs) {
+      if (Fingerprint(spec, s.state, use_symmetry) == chain[i]) {
+        state = s.state;
+        trace.push_back(TraceStep{std::move(s.label), std::move(s.state)});
+        matched = true;
+        break;
+      }
+    }
+    CHECK(matched) << "trace reconstruction: no successor matches chain fingerprint at step "
+                   << i;
+  }
+  return trace;
+}
+
+}  // namespace sandtable

@@ -1,0 +1,32 @@
+// Counterexample reconstruction shared by the serial (mc/bfs.cc) and
+// parallel (par/parallel_bfs.cc) breadth-first checkers.
+//
+// Both checkers store only `fingerprint -> parent fingerprint` for visited
+// states (TLC's compact representation); a trace is rebuilt by walking parent
+// pointers back to an initial state and replaying forward, at each step
+// picking the successor whose (canonical) fingerprint matches the chain.
+#ifndef SANDTABLE_SRC_MC_RECONSTRUCT_H_
+#define SANDTABLE_SRC_MC_RECONSTRUCT_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/spec/spec.h"
+
+namespace sandtable {
+
+// Resolves a visited fingerprint to its parent fingerprint; an entry whose
+// parent equals its own fingerprint marks an initial state. Returns nullopt
+// for fingerprints that were never visited (a reconstruction bug).
+using ParentLookup = std::function<std::optional<uint64_t>(uint64_t fp)>;
+
+// Rebuild the minimal-depth trace leading to visited fingerprint `target`.
+// CHECK-fails if the parent chain is broken or replay cannot match it.
+std::vector<TraceStep> ReconstructTrace(const Spec& spec, const ParentLookup& parent_of,
+                                        uint64_t target, bool use_symmetry);
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_MC_RECONSTRUCT_H_

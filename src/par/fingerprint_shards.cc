@@ -1,0 +1,48 @@
+#include "src/par/fingerprint_shards.h"
+
+#include "src/util/check.h"
+
+namespace sandtable {
+namespace par {
+
+ShardedFingerprintSet::ShardedFingerprintSet(int shard_count_log2)
+    : nshards_(1 << shard_count_log2),
+      shift_(64 - shard_count_log2),
+      shards_(new Shard[static_cast<size_t>(nshards_)]) {
+  CHECK(shard_count_log2 >= 0 && shard_count_log2 < 16)
+      << "unreasonable shard count log2: " << shard_count_log2;
+}
+
+bool ShardedFingerprintSet::InsertIfAbsent(uint64_t fp, uint64_t parent_fp) {
+  Shard& shard = shards_[ShardIndex(fp)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!shard.map.emplace(fp, parent_fp).second) {
+      return false;
+    }
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<uint64_t> ShardedFingerprintSet::Parent(uint64_t fp) const {
+  const Shard& shard = shards_[ShardIndex(fp)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(fp);
+  if (it == shard.map.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void ShardedFingerprintSet::Reserve(uint64_t expected_total) {
+  const size_t per_shard =
+      static_cast<size_t>(expected_total / static_cast<uint64_t>(nshards_)) + 1;
+  for (int i = 0; i < nshards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    shards_[i].map.reserve(per_shard);
+  }
+}
+
+}  // namespace par
+}  // namespace sandtable

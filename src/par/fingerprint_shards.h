@@ -1,0 +1,66 @@
+// Sharded concurrent fingerprint set for the parallel BFS engine.
+//
+// The visited set (fingerprint -> parent fingerprint) is split into N
+// lock-striped shards keyed by the fingerprint's high bits — the same
+// organization TLC uses for its multi-worker fingerprint set. High bits are
+// uniformly distributed by the structural hash, so shards stay balanced and
+// two workers only contend when they simultaneously touch the same 1/N-th of
+// fingerprint space. The distinct-state count is a separate atomic so readers
+// never take a lock.
+#ifndef SANDTABLE_SRC_PAR_FINGERPRINT_SHARDS_H_
+#define SANDTABLE_SRC_PAR_FINGERPRINT_SHARDS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+namespace sandtable {
+namespace par {
+
+class ShardedFingerprintSet {
+ public:
+  // 1 << shard_count_log2 shards (default 64).
+  explicit ShardedFingerprintSet(int shard_count_log2 = 6);
+
+  ShardedFingerprintSet(const ShardedFingerprintSet&) = delete;
+  ShardedFingerprintSet& operator=(const ShardedFingerprintSet&) = delete;
+
+  // Insert fp -> parent_fp if fp is absent; returns true on first insertion
+  // (the caller owns expanding the state). parent_fp == fp marks an initial
+  // state, matching the serial checker's convention (mc/reconstruct.h).
+  bool InsertIfAbsent(uint64_t fp, uint64_t parent_fp);
+
+  // Parent pointer of a visited fingerprint; nullopt if never inserted.
+  // Used by the (serial) trace reconstruction after the level barrier.
+  std::optional<uint64_t> Parent(uint64_t fp) const;
+
+  // Distinct states inserted so far. Monotonic, lock-free.
+  uint64_t size() const { return count_.load(std::memory_order_relaxed); }
+
+  // Pre-size every shard for ~expected_total total fingerprints.
+  void Reserve(uint64_t expected_total);
+
+  int shard_count() const { return nshards_; }
+
+ private:
+  struct alignas(64) Shard {  // own cache line: the mutex must not false-share
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, uint64_t> map;
+  };
+
+  // shift_ == 64 (single shard) would be UB in `fp >> shift_`; special-case it.
+  size_t ShardIndex(uint64_t fp) const { return shift_ >= 64 ? 0 : fp >> shift_; }
+
+  const int nshards_;
+  const int shift_;  // 64 - log2(#shards): shard by high bits
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> count_{0};
+};
+
+}  // namespace par
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_PAR_FINGERPRINT_SHARDS_H_

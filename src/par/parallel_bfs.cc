@@ -1,0 +1,273 @@
+#include "src/par/parallel_bfs.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/mc/expand.h"
+#include "src/mc/reconstruct.h"
+#include "src/par/fingerprint_shards.h"
+#include "src/par/work_queue.h"
+#include "src/par/worker_pool.h"
+#include "src/util/check.h"
+
+namespace sandtable {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Frontier entries carry the fingerprint computed at insertion time, like the
+// serial checker: one Fingerprint() evaluation per distinct state.
+struct FrontierItem {
+  uint64_t fp;
+  State state;
+};
+
+// A violation discovered by a worker during one level, resolved into a trace
+// only after arbitration at the barrier. For state invariants `fp` is the
+// violating state; for transition invariants it is the parent, and
+// label/state describe the offending edge.
+struct ViolationCandidate {
+  std::string invariant;
+  bool is_transition = false;
+  uint64_t fp = 0;
+  uint64_t succ_fp = 0;
+  ActionLabel label;
+  State state;
+};
+
+// Deterministic arbitration: all candidates of a level share the same trace
+// depth (the level barrier guarantees it), so any fixed order preserves the
+// minimal-depth result; this one makes the chosen candidate independent of
+// worker count and chunk scheduling.
+bool CandidateLess(const ViolationCandidate& a, const ViolationCandidate& b) {
+  if (a.invariant != b.invariant) {
+    return a.invariant < b.invariant;
+  }
+  if (a.is_transition != b.is_transition) {
+    return !a.is_transition;
+  }
+  if (a.fp != b.fp) {
+    return a.fp < b.fp;
+  }
+  return a.succ_fp < b.succ_fp;
+}
+
+// Everything a worker accumulates privately during a level; merged by the
+// coordinator at the barrier (frontier slices, candidates) or at finalization
+// (coverage, deadlocks), so workers never share mutable state.
+struct WorkerOutput {
+  std::vector<FrontierItem> next;
+  std::vector<ViolationCandidate> candidates;
+  CoverageStats coverage;
+  uint64_t deadlocks = 0;
+};
+
+}  // namespace
+
+BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
+  const auto start = Clock::now();
+  const BfsOptions& base = options.base;
+  BfsResult result;
+  const bool use_symmetry = base.use_symmetry && spec.symmetry.has_value();
+
+  const int workers =
+      options.workers > 0
+          ? options.workers
+          : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+
+  par::ShardedFingerprintSet visited(options.shard_count_log2);
+  visited.Reserve(options.reserve_states > 0 ? options.reserve_states : (1 << 16));
+
+  const ParentLookup parent_of = [&visited](uint64_t fp) { return visited.Parent(fp); };
+
+  std::vector<WorkerOutput> outs(static_cast<size_t>(workers));
+
+  auto record_violation = [&](const std::string& invariant, bool is_transition,
+                              std::vector<TraceStep> trace) {
+    if (result.violation.has_value()) {
+      return;  // keep the first (minimal-depth) violation
+    }
+    Violation v;
+    v.invariant = invariant;
+    v.is_transition_invariant = is_transition;
+    v.depth = trace.empty() ? 0 : trace.size() - 1;
+    v.trace = std::move(trace);
+    v.states_explored = visited.size();
+    v.seconds = SecondsSince(start);
+    result.violation = std::move(v);
+  };
+
+  // Single exit point, same semantics as serial BfsCheck's finalize.
+  auto finalize = [&](uint64_t depth, bool frontier_drained) -> BfsResult& {
+    for (WorkerOutput& out : outs) {
+      result.coverage.Merge(out.coverage);
+      result.deadlock_states += out.deadlocks;
+      out.coverage = CoverageStats{};
+      out.deadlocks = 0;
+    }
+    result.distinct_states = visited.size();
+    result.depth_reached = depth;
+    result.exhausted = frontier_drained && !result.hit_state_limit &&
+                       !result.hit_time_limit &&
+                       !(result.violation.has_value() && base.stop_at_first_violation);
+    result.seconds = SecondsSince(start);
+    return result;
+  };
+
+  // Seed with initial states (serial; also primes the symmetry-context epoch
+  // on the coordinator before any worker fingerprints concurrently).
+  std::vector<FrontierItem> frontier;
+  for (const State& init : spec.init_states) {
+    const uint64_t fp = Fingerprint(spec, init, use_symmetry);
+    if (!visited.InsertIfAbsent(fp, fp)) {
+      continue;
+    }
+    const std::string bad = CheckInvariants(spec, init);
+    if (!bad.empty()) {
+      record_violation(bad, false, {TraceStep{ActionLabel{}, init}});
+      if (base.stop_at_first_violation) {
+        return finalize(0, false);
+      }
+    }
+    if (spec.WithinConstraint(init)) {
+      frontier.push_back(FrontierItem{fp, init});
+    }
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> hit_state_limit{false};
+  std::atomic<bool> hit_time_limit{false};
+
+  par::WorkerPool pool(workers);
+
+  uint64_t depth = 0;
+  uint64_t next_progress = base.progress_every;
+
+  while (!frontier.empty()) {
+    if (depth >= base.max_depth) {
+      return finalize(depth, false);
+    }
+
+    par::WorkQueue queue(frontier.size(), options.chunk_size);
+    pool.RunLevel([&](int w) {
+      WorkerOutput& out = outs[static_cast<size_t>(w)];
+      size_t begin = 0;
+      size_t end = 0;
+      while (!stop.load(std::memory_order_relaxed) && queue.NextChunk(&begin, &end)) {
+        for (size_t i = begin; i < end; ++i) {
+          const FrontierItem& item = frontier[i];
+          std::vector<Successor> succs = ExpandAll(spec, item.state, &out.coverage);
+          if (succs.empty()) {
+            ++out.deadlocks;
+            continue;
+          }
+          for (Successor& s : succs) {
+            out.coverage.RecordEvent(s.label.kind);
+            const uint64_t fp = Fingerprint(spec, s.state, use_symmetry);
+
+            // Transition invariants hold on every edge, including edges back
+            // to already-visited states.
+            const std::string bad_edge =
+                CheckTransitionInvariants(spec, item.state, s.label, s.state);
+            if (!bad_edge.empty()) {
+              out.candidates.push_back(
+                  ViolationCandidate{bad_edge, true, item.fp, fp, s.label, s.state});
+            }
+
+            if (!visited.InsertIfAbsent(fp, item.fp)) {
+              continue;
+            }
+            const std::string bad = CheckInvariants(spec, s.state);
+            if (!bad.empty()) {
+              out.candidates.push_back(
+                  ViolationCandidate{bad, false, fp, fp, ActionLabel{}, State{}});
+            }
+            if (visited.size() >= base.max_distinct_states) {
+              hit_state_limit.store(true, std::memory_order_relaxed);
+              stop.store(true, std::memory_order_relaxed);
+            }
+            if (spec.WithinConstraint(s.state)) {
+              out.next.push_back(FrontierItem{fp, std::move(s.state)});
+            }
+          }
+        }
+        if (SecondsSince(start) > base.time_budget_s) {
+          hit_time_limit.store(true, std::memory_order_relaxed);
+          stop.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+
+    // ---- Level barrier: the coordinator owns everything again. -------------
+
+    // Arbitrate this level's violation candidates and reconstruct the winner's
+    // trace serially over the sharded parent pointers.
+    const ViolationCandidate* best = nullptr;
+    for (const WorkerOutput& out : outs) {
+      for (const ViolationCandidate& c : out.candidates) {
+        if (best == nullptr || CandidateLess(c, *best)) {
+          best = &c;
+        }
+      }
+    }
+    if (best != nullptr && !result.violation.has_value()) {
+      std::vector<TraceStep> trace =
+          ReconstructTrace(spec, parent_of, best->fp, use_symmetry);
+      if (best->is_transition) {
+        trace.push_back(TraceStep{best->label, best->state});
+      }
+      record_violation(best->invariant, best->is_transition, std::move(trace));
+    }
+    for (WorkerOutput& out : outs) {
+      out.candidates.clear();
+    }
+    if (result.violation.has_value() && base.stop_at_first_violation) {
+      return finalize(depth, false);
+    }
+
+    if (hit_state_limit.load(std::memory_order_relaxed)) {
+      result.hit_state_limit = true;
+      return finalize(depth, false);
+    }
+    if (hit_time_limit.load(std::memory_order_relaxed)) {
+      result.hit_time_limit = true;
+      return finalize(depth, false);
+    }
+
+    if (base.progress && base.progress_every > 0 && visited.size() >= next_progress) {
+      base.progress(visited.size(), depth + 1, SecondsSince(start));
+      next_progress =
+          (visited.size() / base.progress_every + 1) * base.progress_every;
+    }
+
+    // Concatenate the workers' next-frontier slices. Each distinct state was
+    // inserted by exactly one worker, so the union is duplicate-free.
+    size_t total = 0;
+    for (const WorkerOutput& out : outs) {
+      total += out.next.size();
+    }
+    frontier.clear();
+    frontier.reserve(total);
+    for (WorkerOutput& out : outs) {
+      for (FrontierItem& item : out.next) {
+        frontier.push_back(std::move(item));
+      }
+      out.next.clear();
+    }
+    if (!frontier.empty()) {
+      ++depth;
+    }
+  }
+
+  return finalize(depth, /*frontier_drained=*/true);
+}
+
+}  // namespace sandtable

@@ -1,0 +1,69 @@
+// Parallel stateful breadth-first model checking: the multi-worker analogue
+// of mc/bfs.h, mirroring TLC's multi-worker explorer.
+//
+// Architecture (level-synchronized):
+//   - the current frontier is immutable for the duration of a level; workers
+//     claim chunks of it through an atomic cursor (par/work_queue.h);
+//   - visited fingerprints and parent pointers live in a lock-striped
+//     sharded set (par/fingerprint_shards.h) — `fp -> parent_fp` is stored in
+//     the shard that owns `fp`;
+//   - each worker buffers its slice of the next frontier, its coverage stats
+//     and any violation candidates locally; the coordinator merges them at
+//     the level barrier (par/worker_pool.h) with no further locking.
+//
+// Minimal-depth guarantee: because no worker starts level d+1 before every
+// state of level d is expanded, any violation discovered during level d's
+// expansion has trace depth exactly d+1, and the first level that yields a
+// candidate yields the globally minimal depth. Workers race within a level,
+// but arbitration at the barrier picks a deterministic candidate, so the
+// reported violation depth equals serial BFS's. Unlike the serial checker the
+// engine finishes the level before stopping, which also makes
+// distinct_states/depth_reached independent of the worker count.
+//
+// Trace reconstruction is serial (after the barrier) and reuses the shared
+// mc/reconstruct.h replay over the sharded parent pointers.
+//
+// Symmetry caveat: under symmetry reduction the checker stores one
+// representative state per orbit — whichever reaches the fingerprint set
+// first. When the declared symmetry is a true symmetry of the actions
+// (successor sets commute with the permutations, e.g. the Raft spec or
+// tests' TokenRing), representative choice cannot change the explored
+// quotient and the worker-count independence above still holds exactly. When
+// it is only an abstraction — e.g. the Zab spec, whose election tie-breaks
+// on the server id — the reachable quotient depends on which representative
+// wins the race, so distinct_states may differ slightly between worker
+// counts (serial and workers=1 remain bit-identical; exploration stays sound
+// either way). tests/test_par.cc covers both situations.
+#ifndef SANDTABLE_SRC_PAR_PARALLEL_BFS_H_
+#define SANDTABLE_SRC_PAR_PARALLEL_BFS_H_
+
+#include <cstddef>
+
+#include "src/mc/bfs.h"
+#include "src/spec/spec.h"
+
+namespace sandtable {
+
+struct ParBfsOptions {
+  // Limits, symmetry, progress and stop behaviour are shared with serial BFS.
+  BfsOptions base;
+  // Worker threads; 0 = std::thread::hardware_concurrency().
+  int workers = 0;
+  // log2 of the fingerprint-set shard count (default 64 shards).
+  int shard_count_log2 = 6;
+  // Frontier states claimed per cursor bump.
+  size_t chunk_size = 64;
+  // Pre-size the fingerprint shards for this many states (0 = default).
+  uint64_t reserve_states = 0;
+};
+
+// Explores `spec` with a pool of workers and returns the same BfsResult as
+// BfsCheck. On a fully explored space, distinct_states, depth_reached,
+// deadlock_states, exhausted and coverage are identical to serial BFS for
+// every worker count; with a violation, the reported depth is identical
+// (minimal), while states_explored reflects the completed level.
+BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options = {});
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_PAR_PARALLEL_BFS_H_

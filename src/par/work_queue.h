@@ -1,0 +1,48 @@
+// Chunked work claiming over one BFS level's frontier.
+//
+// The frontier of the current level is an immutable array; workers claim
+// half-open index ranges [begin, end) through a single atomic cursor. Chunks
+// amortize the cursor contention (one fetch_add per `chunk` states) while
+// keeping the tail balanced: a worker stuck on expensive states simply claims
+// fewer chunks. Level synchronization — nobody starts level d+1 until every
+// chunk of level d is done — is what preserves the minimal-depth guarantee of
+// serial BFS (see parallel_bfs.h).
+#ifndef SANDTABLE_SRC_PAR_WORK_QUEUE_H_
+#define SANDTABLE_SRC_PAR_WORK_QUEUE_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+
+namespace sandtable {
+namespace par {
+
+class WorkQueue {
+ public:
+  WorkQueue(size_t total, size_t chunk)
+      : total_(total), chunk_(chunk == 0 ? 1 : chunk) {}
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  // Claim the next chunk. Returns false when the frontier is drained.
+  bool NextChunk(size_t* begin, size_t* end) {
+    const size_t b = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (b >= total_) {
+      return false;
+    }
+    *begin = b;
+    *end = std::min(b + chunk_, total_);
+    return true;
+  }
+
+ private:
+  const size_t total_;
+  const size_t chunk_;
+  std::atomic<size_t> cursor_{0};
+};
+
+}  // namespace par
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_PAR_WORK_QUEUE_H_

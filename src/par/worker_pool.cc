@@ -1,0 +1,63 @@
+#include "src/par/worker_pool.h"
+
+#include "src/util/check.h"
+
+namespace sandtable {
+namespace par {
+
+WorkerPool::WorkerPool(int workers) {
+  CHECK_GT(workers, 0);
+  threads_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this, i] { ThreadMain(i); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+}
+
+void WorkerPool::RunLevel(const std::function<void(int)>& fn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  CHECK_EQ(active_, 0) << "RunLevel re-entered while a level is in flight";
+  task_ = &fn;
+  active_ = workers();
+  ++generation_;
+  work_ready_.notify_all();
+  level_done_.wait(lock, [this] { return active_ == 0; });
+  task_ = nullptr;
+}
+
+void WorkerPool::ThreadMain(int index) {
+  uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* task = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock, [this, seen_generation] {
+        return shutdown_ || generation_ != seen_generation;
+      });
+      if (shutdown_) {
+        return;
+      }
+      seen_generation = generation_;
+      task = task_;
+    }
+    (*task)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+    }
+    level_done_.notify_one();
+  }
+}
+
+}  // namespace par
+}  // namespace sandtable

@@ -1,0 +1,52 @@
+// A persistent pool of worker threads driven level-by-level.
+//
+// BFS alternates parallel phases (expand one level) with serial phases
+// (merge frontiers, arbitrate violations, check limits). The pool keeps its
+// threads across levels — a deep search runs thousands of levels and
+// re-spawning threads per level would dominate small frontiers. RunLevel is
+// the level barrier: it publishes a task, wakes every worker, and returns
+// only after all of them finished, so the coordinator observes a quiescent
+// world between levels and worker-local buffers can be merged without locks.
+#ifndef SANDTABLE_SRC_PAR_WORKER_POOL_H_
+#define SANDTABLE_SRC_PAR_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sandtable {
+namespace par {
+
+class WorkerPool {
+ public:
+  explicit WorkerPool(int workers);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int workers() const { return static_cast<int>(threads_.size()); }
+
+  // Run fn(worker_index) on every worker; blocks until all return
+  // (the level barrier). fn must not throw.
+  void RunLevel(const std::function<void(int)>& fn);
+
+ private:
+  void ThreadMain(int index);
+
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable level_done_;
+  const std::function<void(int)>* task_ = nullptr;  // valid for the current level
+  uint64_t generation_ = 0;  // bumped once per RunLevel; workers run when it changes
+  int active_ = 0;           // workers still inside the current level
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace par
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_PAR_WORKER_POOL_H_

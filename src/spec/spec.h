@@ -8,6 +8,19 @@
 // Actions report which code branches they exercised via ActionContext::Branch;
 // the random-walk simulator aggregates this into the branch-coverage metric
 // used by Algorithm 1 to rank budget constraints.
+//
+// ## Thread-safety contract (required by the parallel checker, src/par/)
+//
+// Next-state evaluation must be pure with respect to the Spec: `expand`,
+// invariant `check`, transition-invariant `check` and `constraint` callables
+// are invoked concurrently from worker threads on a `const Spec&` and MUST
+// NOT mutate captured state (capture by value or by const reference only;
+// build helper state into an immutable structure, e.g. the
+// `shared_ptr<const Builder>` idiom of raftspec/zabspec). All successors must
+// be freshly constructed Values. Value's internal hash/symmetry memoization
+// is thread-safe (see value.h), with one restriction: two concurrently
+// running checks must not use different symmetry declarations — sequencing
+// runs per spec, as ParallelBfsCheck does, satisfies this.
 #ifndef SANDTABLE_SRC_SPEC_SPEC_H_
 #define SANDTABLE_SRC_SPEC_SPEC_H_
 

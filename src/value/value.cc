@@ -1,6 +1,8 @@
 #include "src/value/value.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 
 #include "src/util/check.h"
 #include "src/util/hash.h"
@@ -8,22 +10,53 @@
 
 namespace sandtable {
 
+// Per-node permutation-hash cache for SymmetricMinHash (see value.h). One
+// block caches HashPermuted for every permutation of one symmetry context
+// (identified by `epoch`). Entry `pi` is valid once bit `pi` of `mask` is
+// set; the value store is sequenced before the mask fetch_or (release), so a
+// reader that acquires the bit sees the value. Concurrent writers compute the
+// same deterministic hash, so duplicated fill-ins are benign.
+//
+// When the symmetry context changes (a different spec is checked), stale
+// blocks are replaced lazily; the old block is retired onto `prev` rather
+// than freed so that a racing reader that loaded the pointer just before the
+// swap never dereferences freed memory. Retired blocks are reclaimed with the
+// node. Context switches happen between checking runs, so the chain length is
+// bounded by the number of distinct specs a node's value participates in
+// (almost always 1).
+struct PermCacheBlock {
+  explicit PermCacheBlock(uint64_t e, size_t nperms)
+      : epoch(e), vals(new std::atomic<uint64_t>[nperms]) {}
+  const uint64_t epoch;
+  std::atomic<uint32_t> mask{0};
+  std::unique_ptr<std::atomic<uint64_t>[]> vals;
+  PermCacheBlock* prev = nullptr;  // retired predecessor, freed with the node
+};
+
 struct Value::Node {
   ValueKind kind;
-  mutable uint64_t hash = 0;
-  mutable bool hash_computed = false;
+  // Memoized structural hash: `hash_computed` is released after `hash` so a
+  // thread that acquires the flag sees the value. Racing threads recompute
+  // the same hash, which is harmless.
+  mutable std::atomic<uint64_t> hash{0};
+  mutable std::atomic<bool> hash_computed{false};
 
-  // Per-permutation hash cache for SymmetricMinHash (see value.h). Valid only
-  // while perm_epoch matches the global symmetry context.
-  mutable uint64_t perm_epoch = 0;
-  mutable uint32_t perm_mask = 0;
-  mutable std::unique_ptr<uint64_t[]> perm_cache;
+  mutable std::atomic<PermCacheBlock*> perm_cache{nullptr};
 
   int64_t i = 0;                     // kBool (0/1), kInt, kModel (index)
   std::string s;                     // kString, kModel (class name)
   std::vector<Value> elems;          // kSeq, kSet
   std::vector<Field> fields;         // kRecord
   std::vector<Pair> pairs;           // kFun
+
+  ~Node() {
+    PermCacheBlock* blk = perm_cache.load(std::memory_order_relaxed);
+    while (blk != nullptr) {
+      PermCacheBlock* prev = blk->prev;
+      delete blk;
+      blk = prev;
+    }
+  }
 };
 
 namespace {
@@ -344,8 +377,8 @@ Value Value::FunRemove(const Value& key) const {
 
 uint64_t Value::hash() const {
   const Node& n = node();
-  if (n.hash_computed) {
-    return n.hash;
+  if (n.hash_computed.load(std::memory_order_acquire)) {
+    return n.hash.load(std::memory_order_relaxed);
   }
   uint64_t h = HashInt(static_cast<uint64_t>(n.kind) + 0x51ULL);
   switch (n.kind) {
@@ -379,8 +412,8 @@ uint64_t Value::hash() const {
       }
       break;
   }
-  n.hash = h;
-  n.hash_computed = true;
+  n.hash.store(h, std::memory_order_relaxed);
+  n.hash_computed.store(true, std::memory_order_release);
   return h;
 }
 
@@ -602,52 +635,87 @@ namespace {
 
 // The active symmetry context for SymmetricMinHash caching. Changing the
 // class or the permutation count bumps the epoch, invalidating all caches.
-struct SymmetryContext {
-  std::string cls;
-  size_t nperms = 0;
-  uint64_t epoch = 0;
-};
-SymmetryContext& SymCtx() {
-  static SymmetryContext ctx;
-  return ctx;
+// Writes are serialized by a mutex; the hot path is a thread-local match
+// validated against the atomic epoch, so concurrent checkers exploring the
+// SAME spec never touch the lock after their first fingerprint.
+//
+// Concurrency contract: at most one symmetry context may be in active
+// concurrent use at a time (one spec per parallel checking run). Runs over
+// different specs must be sequenced; this mirrors the engine's level-barrier
+// structure and is documented in spec.h.
+uint64_t SymEpoch(const std::string& cls, size_t nperms) {
+  struct Global {
+    std::mutex mu;
+    std::string cls;
+    size_t nperms = 0;
+    std::atomic<uint64_t> epoch{1};
+  };
+  static Global g;
+  thread_local std::string t_cls;
+  thread_local size_t t_nperms = 0;
+  thread_local uint64_t t_epoch = 0;
+  if (t_epoch != 0 && t_nperms == nperms && t_cls == cls &&
+      g.epoch.load(std::memory_order_acquire) == t_epoch) {
+    return t_epoch;
+  }
+  std::lock_guard<std::mutex> lock(g.mu);
+  if (g.cls != cls || g.nperms != nperms) {
+    g.cls = cls;
+    g.nperms = nperms;
+    g.epoch.store(g.epoch.load(std::memory_order_relaxed) + 1,
+                  std::memory_order_release);
+  }
+  t_cls = cls;
+  t_nperms = nperms;
+  t_epoch = g.epoch.load(std::memory_order_relaxed);
+  return t_epoch;
 }
+
+// The cache validity mask is 32 bits; permutation indices beyond that (a
+// symmetry class with n >= 5, 120+ permutations) are computed uncached.
+constexpr size_t kMaxCachedPerms = 32;
 
 }  // namespace
 
 namespace internal_sym {
 
-uint64_t CachedPermHash(const Value::Node& n, const std::string& cls,
+uint64_t CachedPermHash(const Value::Node& n, uint64_t epoch, const std::string& cls,
                         const std::vector<std::vector<int>>& perms, size_t pi);
 
 }  // namespace internal_sym
 
 uint64_t Value::SymmetricMinHash(const std::string& cls,
                                  const std::vector<std::vector<int>>& perms) const {
-  SymmetryContext& ctx = SymCtx();
-  if (ctx.cls != cls || ctx.nperms != perms.size()) {
-    ctx.cls = cls;
-    ctx.nperms = perms.size();
-    ++ctx.epoch;
-  }
+  const uint64_t epoch = SymEpoch(cls, perms.size());
   uint64_t best = ~uint64_t{0};
   for (size_t pi = 0; pi < perms.size(); ++pi) {
-    best = std::min(best, internal_sym::CachedPermHash(node(), cls, perms, pi));
+    const uint64_t h = pi < kMaxCachedPerms
+                           ? internal_sym::CachedPermHash(node(), epoch, cls, perms, pi)
+                           : HashPermuted(cls, perms[pi]);
+    best = std::min(best, h);
   }
   return best;
 }
 
 namespace internal_sym {
 
-uint64_t CachedPermHash(const Value::Node& n, const std::string& cls,
+uint64_t CachedPermHash(const Value::Node& n, uint64_t epoch, const std::string& cls,
                         const std::vector<std::vector<int>>& perms, size_t pi) {
-  const uint64_t epoch = SymCtx().epoch;
-  if (n.perm_epoch != epoch || n.perm_cache == nullptr) {
-    n.perm_cache = std::make_unique<uint64_t[]>(perms.size());
-    n.perm_mask = 0;
-    n.perm_epoch = epoch;
+  PermCacheBlock* blk = n.perm_cache.load(std::memory_order_acquire);
+  if (blk == nullptr || blk->epoch != epoch) {
+    auto* fresh = new PermCacheBlock(epoch, std::min(perms.size(), kMaxCachedPerms));
+    fresh->prev = blk;
+    if (n.perm_cache.compare_exchange_strong(blk, fresh, std::memory_order_acq_rel,
+                                             std::memory_order_acquire)) {
+      blk = fresh;
+    } else {
+      // Another thread installed a block first; blk now points at it. It must
+      // carry the same epoch (one context in concurrent use at a time).
+      delete fresh;
+    }
   }
-  if ((n.perm_mask >> pi) & 1u) {
-    return n.perm_cache[pi];
+  if ((blk->mask.load(std::memory_order_acquire) >> pi) & 1u) {
+    return blk->vals[pi].load(std::memory_order_relaxed);
   }
   const std::vector<int>& perm = perms[pi];
   uint64_t h = HashInt(static_cast<uint64_t>(n.kind) + 0x51ULL);
@@ -670,7 +738,7 @@ uint64_t CachedPermHash(const Value::Node& n, const std::string& cls,
     }
     case ValueKind::kSeq:
       for (const Value& v : n.elems) {
-        h = HashCombine(h, CachedPermHash(v.node(), cls, perms, pi));
+        h = HashCombine(h, CachedPermHash(v.node(), epoch, cls, perms, pi));
       }
       break;
     case ValueKind::kSet: {
@@ -678,7 +746,7 @@ uint64_t CachedPermHash(const Value::Node& n, const std::string& cls,
       std::vector<uint64_t> big;
       uint64_t* hs = n.elems.size() <= 64 ? hashes : (big.resize(n.elems.size()), big.data());
       for (size_t i = 0; i < n.elems.size(); ++i) {
-        hs[i] = CachedPermHash(n.elems[i].node(), cls, perms, pi);
+        hs[i] = CachedPermHash(n.elems[i].node(), epoch, cls, perms, pi);
       }
       std::sort(hs, hs + n.elems.size());
       for (size_t i = 0; i < n.elems.size(); ++i) {
@@ -689,7 +757,7 @@ uint64_t CachedPermHash(const Value::Node& n, const std::string& cls,
     case ValueKind::kRecord:
       for (const auto& [name, v] : n.fields) {
         h = HashCombine(h, FnvHash(name));
-        h = HashCombine(h, CachedPermHash(v.node(), cls, perms, pi));
+        h = HashCombine(h, CachedPermHash(v.node(), epoch, cls, perms, pi));
       }
       break;
     case ValueKind::kFun: {
@@ -697,8 +765,8 @@ uint64_t CachedPermHash(const Value::Node& n, const std::string& cls,
       std::vector<uint64_t> big;
       uint64_t* hs = n.pairs.size() <= 64 ? hashes : (big.resize(n.pairs.size()), big.data());
       for (size_t i = 0; i < n.pairs.size(); ++i) {
-        hs[i] = HashCombine(CachedPermHash(n.pairs[i].first.node(), cls, perms, pi),
-                            CachedPermHash(n.pairs[i].second.node(), cls, perms, pi));
+        hs[i] = HashCombine(CachedPermHash(n.pairs[i].first.node(), epoch, cls, perms, pi),
+                            CachedPermHash(n.pairs[i].second.node(), epoch, cls, perms, pi));
       }
       std::sort(hs, hs + n.pairs.size());
       for (size_t i = 0; i < n.pairs.size(); ++i) {
@@ -707,8 +775,8 @@ uint64_t CachedPermHash(const Value::Node& n, const std::string& cls,
       break;
     }
   }
-  n.perm_cache[pi] = h;
-  n.perm_mask |= (1u << pi);
+  blk->vals[pi].store(h, std::memory_order_relaxed);
+  blk->mask.fetch_or(1u << pi, std::memory_order_release);
   return h;
 }
 

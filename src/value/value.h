@@ -112,7 +112,9 @@ class Value {
   Value FunRemove(const Value& key) const;
 
   // ---- Identity -------------------------------------------------------------
-  uint64_t hash() const;  // memoized structural hash
+  // Memoized structural hash. Thread-safe: concurrent first calls on a shared
+  // node may recompute the (deterministic) hash, then publish it atomically.
+  uint64_t hash() const;
 
   bool operator==(const Value& other) const;
   bool operator!=(const Value& other) const { return !(*this == other); }
@@ -139,8 +141,12 @@ class Value {
   // Minimum of HashPermuted over `perms`, with per-node memoization: because
   // values share structure, successor states only re-traverse the sub-values
   // an action actually changed. The cache is keyed by a global symmetry
-  // context (cls, perms.size()); switching contexts invalidates it. Intended
-  // for the single-threaded model checker.
+  // context (cls, perms.size()); switching contexts invalidates it.
+  //
+  // Thread-safe for concurrent calls under ONE symmetry context (the parallel
+  // checker's workers all explore the same spec): cache entries are published
+  // atomically and racing fill-ins recompute the same value. Runs over specs
+  // with different symmetry declarations must not overlap in time.
   uint64_t SymmetricMinHash(const std::string& cls,
                             const std::vector<std::vector<int>>& perms) const;
 
