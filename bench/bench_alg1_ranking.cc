@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "src/mc/bfs.h"
 #include "src/mc/ranking.h"
 #include "src/raftspec/raft_spec.h"
@@ -42,6 +43,7 @@ Spec SpecFor(const NamedParams& config, const NamedParams& constraint, bool with
 }  // namespace
 
 int main() {
+  bench::JsonBenchWriter json("alg1_ranking");
   std::printf("Algorithm 1 — ranking budget constraints per configuration\n\n");
 
   // The paper's §5.1 hunt uses 2-3 nodes, two workload values, 3-6 timeouts,
@@ -64,16 +66,25 @@ int main() {
     return SpecFor(config, constraint, /*with_bug=*/false);
   };
   RankingOptions opts;
-  opts.walks_per_pair = 48;
+  opts.walks_per_pair = bench::SmokeMode() ? 4 : 48;
   opts.max_walk_depth = 64;
   const auto rankings = RankConstraints(factory, configs, constraints, opts);
 
   for (const ConfigRanking& ranking : rankings) {
     std::printf("configuration: %s\n", ranking.config_name.c_str());
     std::printf("  %-16s %10s %10s %8s\n", "constraint", "branches", "evtKinds", "depth");
+    int rank = 0;
     for (const ConstraintScore& score : ranking.ranked) {
       std::printf("  %-16s %10.1f %10.1f %8.1f\n", score.constraint_name.c_str(),
                   score.avg_branches, score.avg_event_kinds, score.avg_depth);
+      JsonObject row;
+      row["config"] = Json(ranking.config_name);
+      row["constraint"] = Json(score.constraint_name);
+      row["rank"] = Json(static_cast<int64_t>(++rank));
+      row["avg_branches"] = Json(score.avg_branches);
+      row["avg_event_kinds"] = Json(score.avg_event_kinds);
+      row["avg_depth"] = Json(score.avg_depth);
+      json.Result(std::move(row));
     }
     std::printf("\n");
   }
@@ -98,7 +109,15 @@ int main() {
     const Spec spec = SpecFor(configs.back(), *constraint, /*with_bug=*/true);
     BfsOptions bopts;
     bopts.time_budget_s = bench::BudgetSeconds(120);
+    if (bench::StateBudget() > 0) {
+      bopts.max_distinct_states = bench::StateBudget();
+    }
     const BfsResult r = BfsCheck(spec, bopts);
+    JsonObject row;
+    row["validation"] = Json(std::string(label));
+    row["constraint"] = Json(constraint->name);
+    row["result"] = r.ToJson(/*include_trace=*/false);
+    json.Result(std::move(row));
     if (r.violation.has_value()) {
       std::printf("  %-14s (%s): found in %s at depth %llu (%s states)\n", label,
                   constraint->name.c_str(), bench::HumanTime(r.violation->seconds).c_str(),

@@ -20,6 +20,23 @@ inline double BudgetSeconds(double def) {
   return def;
 }
 
+// Distinct-state cap for exploration benches (0 = unlimited). The bench-smoke
+// suite sets this to a tiny value so every bench finishes in seconds.
+inline unsigned long long StateBudget(unsigned long long def = 0) {
+  if (const char* env = std::getenv("SANDTABLE_BENCH_STATES")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return def;
+}
+
+// bench-smoke mode: validate that the bench runs end-to-end and emits
+// schema-valid JSON, nothing more. Benches must not escalate budgets (e.g.
+// per-bug minimum hunt times) when this is set.
+inline bool SmokeMode() {
+  const char* env = std::getenv("SANDTABLE_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
 inline std::string HumanCount(unsigned long long n) {
   char buf[32];
   if (n >= 1000000000ULL) {

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "src/conformance/bug_catalog.h"
 #include "src/conformance/raft_harness.h"
 #include "src/mc/bfs.h"
@@ -51,6 +52,7 @@ void PrintEvent(size_t i, const TraceStep& step) {
 }  // namespace
 
 int main() {
+  bench::JsonBenchWriter json("fig6_pysyncobj4");
   std::printf("Figure 6 — PySyncObj#4: non-monotonic match index\n\n");
 
   const BugInfo& bug = FindBug("PySyncObj#4");
@@ -61,7 +63,16 @@ int main() {
   const Spec spec = MakeHarnessSpec(h);
   BfsOptions opts;
   opts.time_budget_s = bench::BudgetSeconds(300);
+  if (bench::StateBudget() > 0) {
+    opts.max_distinct_states = bench::StateBudget();
+  }
   const BfsResult r = BfsCheck(spec, opts);
+  {
+    JsonObject row;
+    row["bug"] = Json(std::string("PySyncObj#4"));
+    row["result"] = r.ToJson(/*include_trace=*/false);
+    json.Result(std::move(row));
+  }
   if (!r.violation.has_value()) {
     std::printf("bug not found within the budget\n");
     return 1;

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "src/conformance/bug_catalog.h"
 #include "src/conformance/raft_harness.h"
 #include "src/mc/bfs.h"
@@ -19,6 +20,7 @@ using namespace sandtable::conformance;  // NOLINT(build/namespaces)
 namespace rs = sandtable::raftspec;
 
 int main() {
+  bench::JsonBenchWriter json("fig7_wraft12");
   std::printf("Figure 7 — WRaft#1+#2: data inconsistency via compaction\n\n");
 
   const BugInfo& bug = FindBug("WRaft#1");
@@ -29,7 +31,16 @@ int main() {
   const Spec spec = MakeHarnessSpec(h);
   BfsOptions opts;
   opts.time_budget_s = bench::BudgetSeconds(600);
+  if (bench::StateBudget() > 0) {
+    opts.max_distinct_states = bench::StateBudget();
+  }
   const BfsResult r = BfsCheck(spec, opts);
+  {
+    JsonObject row;
+    row["bug"] = Json(std::string("WRaft#1"));
+    row["result"] = r.ToJson(/*include_trace=*/false);
+    json.Result(std::move(row));
+  }
   if (!r.violation.has_value()) {
     std::printf("bug not found within the budget\n");
     return 1;

@@ -1,0 +1,91 @@
+// Machine-readable bench output: every reproduction bench streams its result
+// rows through a JsonBenchWriter so trajectories (BENCH_<name>.json) can be
+// tracked across commits and validated by the bench-smoke CTest label.
+//
+// File format (JSONL):
+//   {"type":"meta","bench":"table3_exploration","schema_version":1,...}
+//   {"type":"result","bench":"table3_exploration",...}   (zero or more)
+//   {"type":"summary","bench":"table3_exploration","results":N}
+//
+// The meta record is written on construction and the summary on destruction,
+// so a bench that crashes mid-run leaves a file without a trailing summary —
+// which the validator (bench_validate_json) treats as a failure.
+#ifndef SANDTABLE_BENCH_BENCH_JSON_H_
+#define SANDTABLE_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "src/util/json.h"
+
+namespace sandtable {
+namespace bench {
+
+class JsonBenchWriter {
+ public:
+  // Writes to $SANDTABLE_BENCH_JSON if set, else BENCH_<name>.json in the
+  // current directory.
+  explicit JsonBenchWriter(const std::string& name) : name_(name) {
+    std::string path;
+    if (const char* env = std::getenv("SANDTABLE_BENCH_JSON")) {
+      path = env;
+    } else {
+      path = "BENCH_" + name + ".json";
+    }
+    out_.open(path);
+    if (!out_) {
+      std::fprintf(stderr, "bench: cannot open %s, JSON output disabled\n", path.c_str());
+      return;
+    }
+    JsonObject meta;
+    meta["type"] = Json(std::string("meta"));
+    meta["bench"] = Json(name_);
+    meta["schema_version"] = Json(static_cast<int64_t>(1));
+    Write(Json(std::move(meta)));
+  }
+
+  JsonBenchWriter(const JsonBenchWriter&) = delete;
+  JsonBenchWriter& operator=(const JsonBenchWriter&) = delete;
+
+  ~JsonBenchWriter() {
+    if (!out_.is_open()) {
+      return;
+    }
+    JsonObject summary;
+    summary["type"] = Json(std::string("summary"));
+    summary["bench"] = Json(name_);
+    summary["results"] = Json(results_);
+    Write(Json(std::move(summary)));
+  }
+
+  // Append one result row; `fields` are the bench-specific columns.
+  void Result(JsonObject fields) {
+    ++results_;
+    if (!out_.is_open()) {
+      return;
+    }
+    fields["type"] = Json(std::string("result"));
+    fields["bench"] = Json(name_);
+    Write(Json(std::move(fields)));
+  }
+
+  uint64_t results() const { return results_; }
+
+ private:
+  void Write(const Json& record) {
+    out_ << record.Dump() << '\n';
+    out_.flush();  // keep the file valid even if a later row crashes
+  }
+
+  std::string name_;
+  std::ofstream out_;
+  uint64_t results_ = 0;
+};
+
+}  // namespace bench
+}  // namespace sandtable
+
+#endif  // SANDTABLE_BENCH_BENCH_JSON_H_

@@ -16,6 +16,7 @@
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "src/mc/bfs.h"
 #include "src/par/parallel_bfs.h"
 #include "src/raftspec/raft_spec.h"
@@ -42,14 +43,10 @@ Spec BigRaftSpec() {
   return MakeRaftSpec(p);
 }
 
-uint64_t StateCap() {
-  if (const char* env = std::getenv("SANDTABLE_BENCH_STATES")) {
-    return std::strtoull(env, nullptr, 10);
-  }
-  return 1000000;
-}
+uint64_t StateCap() { return bench::StateBudget(1000000); }
 
-void PrintRow(const char* label, const BfsResult& r, double serial_rate) {
+void PrintRow(const char* label, const BfsResult& r, double serial_rate,
+              bench::JsonBenchWriter* json, int workers) {
   const double rate = r.distinct_states / std::max(r.seconds, 1e-9);
   std::printf("%-10s | %9s %10s %12s/min | %6.2fx%s\n", label,
               bench::HumanTime(r.seconds).c_str(),
@@ -57,11 +54,19 @@ void PrintRow(const char* label, const BfsResult& r, double serial_rate) {
               bench::HumanCount(static_cast<unsigned long long>(rate * 60)).c_str(),
               rate / serial_rate, r.exhausted ? "  [exhausted]" : "");
   std::fflush(stdout);
+  JsonObject row;
+  row["engine"] = Json(std::string(label));
+  row["workers"] = Json(static_cast<int64_t>(workers));
+  row["states_per_sec"] = Json(rate);
+  row["speedup"] = Json(rate / serial_rate);
+  row["result"] = r.ToJson(/*include_trace=*/false);
+  json->Result(std::move(row));
 }
 
 }  // namespace
 
 int main() {
+  bench::JsonBenchWriter json("parallel_scaling");
   const Spec spec = BigRaftSpec();
   const uint64_t cap = StateCap();
   const double budget = bench::BudgetSeconds(60);
@@ -79,7 +84,7 @@ int main() {
   base.time_budget_s = budget;
   const BfsResult serial = BfsCheck(spec, base);
   const double serial_rate = serial.distinct_states / std::max(serial.seconds, 1e-9);
-  PrintRow("serial", serial, serial_rate);
+  PrintRow("serial", serial, serial_rate, &json, 0);
 
   for (const int workers : {1, 2, 4, 8}) {
     ParBfsOptions popts;
@@ -89,7 +94,7 @@ int main() {
     const BfsResult par = ParallelBfsCheck(spec, popts);
     char label[16];
     std::snprintf(label, sizeof(label), "par x%d", workers);
-    PrintRow(label, par, serial_rate);
+    PrintRow(label, par, serial_rate, &json, workers);
   }
   bench::Rule(64);
   std::printf("speedup is the distinct-state rate over the serial row; on a single\n");

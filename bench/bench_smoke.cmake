@@ -1,0 +1,42 @@
+# Runs one bench binary with tiny budgets and validates its JSON output.
+# Invoked by the bench-smoke CTest entries:
+#   cmake -DBENCH=<bin> -DVALIDATOR=<bin> -DOUT=<file> [-DGBENCH=1]
+#        [-DBENCH_ARGS=<;-list>] -P bench_smoke.cmake
+#
+# The bench's own exit code is ignored — under smoke budgets a hunt may
+# legitimately miss its bug — the gate is that the JSON output is well-formed.
+
+if(NOT DEFINED BENCH OR NOT DEFINED VALIDATOR OR NOT DEFINED OUT)
+  message(FATAL_ERROR "bench_smoke.cmake needs -DBENCH, -DVALIDATOR and -DOUT")
+endif()
+
+file(REMOVE "${OUT}")
+
+if(GBENCH)
+  # google-benchmark writes its own JSON; one cheap micro-bench is enough to
+  # prove the binary runs and the reporter works.
+  execute_process(
+    COMMAND "${BENCH}" --benchmark_filter=BM_ValueRecordUpdate
+            "--benchmark_out=${OUT}" --benchmark_out_format=json
+    RESULT_VARIABLE bench_rc)
+  set(validate_args "${OUT}" --gbench)
+else()
+  execute_process(
+    COMMAND "${CMAKE_COMMAND}" -E env
+            SANDTABLE_BENCH_SECONDS=0.5
+            SANDTABLE_BENCH_STATES=2000
+            SANDTABLE_BENCH_SMOKE=1
+            "SANDTABLE_BENCH_JSON=${OUT}"
+            "${BENCH}" ${BENCH_ARGS}
+    RESULT_VARIABLE bench_rc
+    OUTPUT_VARIABLE bench_stdout
+    ERROR_VARIABLE bench_stderr)
+  set(validate_args "${OUT}")
+endif()
+
+message(STATUS "${BENCH} exited with ${bench_rc} (tolerated; validating JSON)")
+
+execute_process(COMMAND "${VALIDATOR}" ${validate_args} RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench JSON validation failed for ${OUT}")
+endif()

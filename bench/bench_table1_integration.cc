@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "src/raftspec/raft_spec.h"
 #include "src/zabspec/zab_spec.h"
 
@@ -54,6 +55,18 @@ Row RowFor(const std::string& system) {
 }  // namespace
 
 int main() {
+  bench::JsonBenchWriter json("table1_integration");
+  auto emit = [&json](const Row& row, const char* paper) {
+    JsonObject o;
+    o["system"] = Json(row.system);
+    o["paper_system"] = Json(std::string(paper));
+    o["vars"] = Json(static_cast<int64_t>(row.vars));
+    o["actions"] = Json(static_cast<int64_t>(row.actions));
+    o["invariants"] = Json(static_cast<int64_t>(row.invariants));
+    o["network"] = Json(row.network);
+    o["features"] = Json(row.features);
+    json.Result(std::move(o));
+  };
   std::printf("Table 1 — integrated systems and specification statistics\n");
   std::printf("(paper columns #Var/#Act/#Inv measured from the specs built here;\n");
   std::printf(" LOC/effort columns are human metrics the paper reports: 490-2037 spec\n");
@@ -75,14 +88,22 @@ int main() {
     std::printf("%-11s %-10s %5d %5d %5d  %-4s  %s\n", row.system.c_str(), s.paper,
                 row.vars, row.actions, row.invariants, row.network.c_str(),
                 row.features.c_str());
+    emit(row, s.paper);
   }
   {
     const Spec zab = MakeZabSpec(GetZabProfile(false));
-    std::printf("%-11s %-10s %5d %5d %5d  %-4s  %s\n", "zookeeper", "ZooKeeper",
-                static_cast<int>(zab.init_states[0].record_fields().size()),
-                static_cast<int>(zab.actions.size()),
-                static_cast<int>(zab.invariants.size() + zab.transition_invariants.size()),
-                "TCP", "election,discovery,sync,broadcast");
+    Row row;
+    row.system = "zookeeper";
+    row.vars = static_cast<int>(zab.init_states[0].record_fields().size());
+    row.actions = static_cast<int>(zab.actions.size());
+    row.invariants =
+        static_cast<int>(zab.invariants.size() + zab.transition_invariants.size());
+    row.network = "TCP";
+    row.features = "election,discovery,sync,broadcast";
+    std::printf("%-11s %-10s %5d %5d %5d  %-4s  %s\n", row.system.c_str(), "ZooKeeper",
+                row.vars, row.actions, row.invariants, row.network.c_str(),
+                row.features.c_str());
+    emit(row, "ZooKeeper");
   }
   bench::Rule();
   std::printf("paper Table 1: #Var 12-39, #Act 9-20, #Inv 13-18 across the same systems\n");

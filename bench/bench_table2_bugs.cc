@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "src/conformance/bug_catalog.h"
 #include "src/conformance/raft_harness.h"
 #include "src/conformance/zab_harness.h"
@@ -64,6 +65,9 @@ Outcome HuntVerificationBug(const BugInfo& bug, double budget_s) {
 
   BfsOptions opts;
   opts.time_budget_s = budget_s;
+  if (bench::StateBudget() > 0) {
+    opts.max_distinct_states = bench::StateBudget();
+  }
   const BfsResult r = BfsCheck(spec, opts);
   if (!r.violation.has_value()) {
     out.note = "not found within " + bench::HumanTime(budget_s) + " (" +
@@ -121,6 +125,9 @@ Outcome HuntSnapshotRejectBug(const BugInfo& bug, double budget_s) {
        }});
   BfsOptions opts;
   opts.time_budget_s = budget_s;
+  if (bench::StateBudget() > 0) {
+    opts.max_distinct_states = bench::StateBudget();
+  }
   const BfsResult r = BfsCheck(probe, opts);
   if (!r.violation.has_value()) {
     out.note = "probe state not reached within " + bench::HumanTime(budget_s);
@@ -203,6 +210,10 @@ Outcome HuntConformanceBug(const BugInfo& bug, double budget_s) {
 
 int main() {
   const double budget_s = bench::BudgetSeconds(120);
+  // Smoke mode checks that every hunt runs end-to-end; per-bug minimum hunt
+  // times would otherwise escalate tiny CI budgets back to minutes.
+  const bool smoke = bench::SmokeMode();
+  bench::JsonBenchWriter json("table2_bugs");
   std::printf("Table 2 — effectiveness and efficiency in detecting bugs\n");
   std::printf("(per-bug model-checking budget %s; paper columns in parentheses)\n\n",
               bench::HumanTime(budget_s).c_str());
@@ -219,19 +230,41 @@ int main() {
       // mechanical to run (documented in DESIGN.md).
       std::printf("%-13s %-13s %-5s %9s %7s %10s  found while modeling (paper: same)\n",
                   bug.id.c_str(), BugStageName(bug.stage), "n/a", "-", "-", "-");
+      JsonObject row;
+      row["id"] = Json(bug.id);
+      row["stage"] = Json(std::string(BugStageName(bug.stage)));
+      row["found"] = Json(std::string("n/a"));
+      json.Result(std::move(row));
       continue;
     }
     ++total;
     Outcome out;
     if (bug.stage == BugStage::kVerification) {
-      out = HuntVerificationBug(bug, std::max(budget_s, bug.min_hunt_s));
+      out = HuntVerificationBug(bug, smoke ? budget_s : std::max(budget_s, bug.min_hunt_s));
     } else if (bug.id == "WRaft#3") {
-      out = HuntSnapshotRejectBug(bug, std::max(budget_s, 300.0));
+      out = HuntSnapshotRejectBug(bug, smoke ? budget_s : std::max(budget_s, 300.0));
     } else {
       out = HuntConformanceBug(bug, std::min(budget_s, 60.0));
     }
     found += out.found ? 1 : 0;
     confirmed += out.confirmed ? 1 : 0;
+    {
+      JsonObject row;
+      row["id"] = Json(bug.id);
+      row["stage"] = Json(std::string(BugStageName(bug.stage)));
+      row["found"] = Json(out.found);
+      row["confirmed"] = Json(out.confirmed);
+      row["seconds"] = Json(out.seconds);
+      row["depth"] = Json(out.depth);
+      row["states"] = Json(out.states);
+      if (!out.fired.empty()) {
+        row["fired"] = Json(out.fired);
+      }
+      if (!out.note.empty()) {
+        row["note"] = Json(out.note);
+      }
+      json.Result(std::move(row));
+    }
     if (bug.stage == BugStage::kVerification && out.found) {
       char paper[96] = "";
       if (bug.paper_states > 0) {

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "src/mc/bfs.h"
 #include "src/raftspec/raft_spec.h"
 #include "src/zabspec/zab_spec.h"
@@ -48,7 +49,9 @@ Spec SystemSpec(const std::string& system, int scale) {
 }  // namespace
 
 int main() {
+  bench::JsonBenchWriter json("table3_exploration");
   const double exp2_budget = bench::BudgetSeconds(20);
+  const unsigned long long state_cap = bench::StateBudget();
   const char* systems[] = {"pysyncobj", "wraft",  "redisraft", "daosraft",
                            "raftos",    "xraft",  "xraftkv",   "zookeeper"};
 
@@ -65,13 +68,25 @@ int main() {
     const Spec small = SystemSpec(system, 1);
     BfsOptions o1;
     o1.time_budget_s = bench::BudgetSeconds(20) * 6;  // safety valve
+    if (state_cap > 0) {
+      o1.max_distinct_states = state_cap;
+    }
     const BfsResult r1 = BfsCheck(small, o1);
 
     // Experiment #2: doubled constraints, fixed budget.
     const Spec big = SystemSpec(system, 2);
     BfsOptions o2;
     o2.time_budget_s = exp2_budget;
+    if (state_cap > 0) {
+      o2.max_distinct_states = state_cap;
+    }
     const BfsResult r2 = BfsCheck(big, o2);
+
+    JsonObject row;
+    row["system"] = Json(std::string(system));
+    row["e1"] = r1.ToJson(/*include_trace=*/false);
+    row["e2"] = r2.ToJson(/*include_trace=*/false);
+    json.Result(std::move(row));
 
     std::printf("%-11s | %9s %7llu %10s %10s | %7llu %10s %10s%s\n", system,
                 bench::HumanTime(r1.seconds).c_str(),
@@ -99,6 +114,9 @@ int main() {
     BfsOptions o;
     o.use_symmetry = sym;
     o.time_budget_s = bench::BudgetSeconds(20) * 6;
+    if (state_cap > 0) {
+      o.max_distinct_states = state_cap;
+    }
     const BfsResult r = BfsCheck(spec, o);
     std::printf("  symmetry %-3s: %10s distinct states in %s (%s states/min)\n",
                 sym ? "on" : "off", bench::HumanCount(r.distinct_states).c_str(),
@@ -106,6 +124,11 @@ int main() {
                 bench::HumanCount(static_cast<unsigned long long>(
                                       r.distinct_states / std::max(r.seconds, 1e-9) * 60))
                     .c_str());
+    JsonObject row;
+    row["system"] = Json(std::string("pysyncobj"));
+    row["ablation"] = Json(std::string(sym ? "symmetry_on" : "symmetry_off"));
+    row["result"] = r.ToJson(/*include_trace=*/false);
+    json.Result(std::move(row));
   }
   return 0;
 }

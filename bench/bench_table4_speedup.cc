@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "bench/bench_common.h"
+#include "bench/bench_json.h"
 #include "src/conformance/raft_harness.h"
 #include "src/conformance/zab_harness.h"
 #include "src/par/parallel_bfs.h"
@@ -178,8 +179,9 @@ Row Measure(const std::string& system, int spec_traces, int impl_traces) {
 }  // namespace
 
 int main() {
-  const int spec_traces = static_cast<int>(bench::BudgetSeconds(20)) * 50;
-  const int impl_traces = 50;
+  bench::JsonBenchWriter json("table4_speedup");
+  const int spec_traces = std::max(1, static_cast<int>(bench::BudgetSeconds(20)) * 50);
+  const int impl_traces = bench::SmokeMode() ? 5 : 50;
   std::printf("Table 4 — specification-level vs implementation-level exploration speed\n");
   std::printf("(%d spec random walks, %d replayed at the implementation level per system;\n",
               spec_traces, impl_traces);
@@ -201,6 +203,18 @@ int main() {
                 row.impl_raw_ms, row.impl_modeled_ms, row.impl_modeled_ms / row.spec_ms,
                 row.paper_spec_ms, row.paper_impl_ms);
     std::fflush(stdout);
+    JsonObject o;
+    o["system"] = Json(row.system);
+    o["min_depth"] = Json(row.min_depth);
+    o["max_depth"] = Json(row.max_depth);
+    o["avg_depth"] = Json(row.avg_depth);
+    o["spec_ms"] = Json(row.spec_ms);
+    o["impl_raw_ms"] = Json(row.impl_raw_ms);
+    o["impl_modeled_ms"] = Json(row.impl_modeled_ms);
+    o["speedup"] = Json(row.impl_modeled_ms / row.spec_ms);
+    o["paper_spec_ms"] = Json(row.paper_spec_ms);
+    o["paper_impl_ms"] = Json(row.paper_impl_ms);
+    json.Result(std::move(o));
   }
   bench::Rule(108);
   std::printf("paper speedups: 114x-2989x; the shape to check: Xraft/Xraft-KV/ZooKeeper\n");
@@ -217,6 +231,9 @@ int main() {
   for (const int workers : {1, 4}) {
     ParBfsOptions popts;
     popts.base.time_budget_s = bench::BudgetSeconds(20) / 2;
+    if (bench::StateBudget() > 0) {
+      popts.base.max_distinct_states = bench::StateBudget();
+    }
     popts.workers = workers;
     const BfsResult r = ParallelBfsCheck(bfs_spec, popts);
     std::printf("  %d worker%s: %10s distinct states in %s (%s states/min)\n", workers,
@@ -225,6 +242,11 @@ int main() {
                 bench::HumanCount(static_cast<unsigned long long>(
                                       r.distinct_states / std::max(r.seconds, 1e-9) * 60))
                     .c_str());
+    JsonObject o;
+    o["system"] = Json(std::string("pysyncobj"));
+    o["bfs_workers"] = Json(static_cast<int64_t>(workers));
+    o["result"] = r.ToJson(/*include_trace=*/false);
+    json.Result(std::move(o));
   }
   return 0;
 }

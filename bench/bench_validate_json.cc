@@ -1,0 +1,123 @@
+// Validates a bench JSON output file (the bench-smoke CTest gate).
+//
+//   bench_validate_json FILE            # JSONL written by bench_json.h
+//   bench_validate_json FILE --gbench   # google-benchmark --benchmark_format=json
+//
+// JSONL mode checks the writer's contract: every line parses, the first
+// record is {"type":"meta", "schema_version":1}, at least one "result" row
+// follows, and the last record is {"type":"summary"} whose "results" count
+// matches. A bench that crashed mid-run flushes rows but never writes the
+// summary, so the file fails validation even if every line parses.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+
+using sandtable::Json;
+
+namespace {
+
+int Fail(const std::string& path, const std::string& why) {
+  std::fprintf(stderr, "%s: INVALID: %s\n", path.c_str(), why.c_str());
+  return 1;
+}
+
+int ValidateGbench(const std::string& path, const std::string& content) {
+  auto doc = Json::Parse(content);
+  if (!doc.ok()) {
+    return Fail(path, "not valid JSON: " + doc.error());
+  }
+  const Json& benchmarks = doc.value()["benchmarks"];
+  if (benchmarks.type() != Json::Type::kArray) {
+    return Fail(path, "no \"benchmarks\" array");
+  }
+  if (benchmarks.size() == 0) {
+    return Fail(path, "\"benchmarks\" array is empty");
+  }
+  for (size_t i = 0; i < benchmarks.size(); ++i) {
+    if (benchmarks[i]["name"].type() != Json::Type::kString) {
+      return Fail(path, "benchmark entry without a name");
+    }
+  }
+  std::printf("%s: ok (%zu google-benchmark entries)\n", path.c_str(), benchmarks.size());
+  return 0;
+}
+
+int ValidateJsonl(const std::string& path, const std::string& content) {
+  std::vector<Json> records;
+  std::istringstream in(content);
+  std::string line;
+  size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) {
+      continue;
+    }
+    auto rec = Json::Parse(line);
+    if (!rec.ok()) {
+      return Fail(path, "line " + std::to_string(lineno) + " does not parse: " + rec.error());
+    }
+    records.push_back(std::move(rec.value()));
+  }
+  if (records.empty()) {
+    return Fail(path, "empty file");
+  }
+  const Json& meta = records.front();
+  if (meta["type"].as_string() != "meta") {
+    return Fail(path, "first record is not type=meta");
+  }
+  if (meta["schema_version"].as_int() != 1) {
+    return Fail(path, "unsupported schema_version");
+  }
+  const std::string bench = meta["bench"].as_string();
+  if (bench.empty()) {
+    return Fail(path, "meta record has no bench name");
+  }
+  const Json& summary = records.back();
+  if (summary["type"].as_string() != "summary") {
+    return Fail(path, "last record is not type=summary (bench crashed mid-run?)");
+  }
+  uint64_t results = 0;
+  for (size_t i = 1; i + 1 < records.size(); ++i) {
+    const std::string type = records[i]["type"].as_string();
+    if (type == "result") {
+      if (records[i]["bench"].as_string() != bench) {
+        return Fail(path, "result record with mismatched bench name");
+      }
+      ++results;
+    } else if (type != "progress" && type != "report") {
+      return Fail(path, "unexpected record type: " + type);
+    }
+  }
+  if (results == 0) {
+    return Fail(path, "no result records");
+  }
+  if (static_cast<uint64_t>(summary["results"].as_int()) != results) {
+    return Fail(path, "summary result count does not match rows");
+  }
+  std::printf("%s: ok (%llu results, bench %s)\n", path.c_str(),
+              static_cast<unsigned long long>(results), bench.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s FILE [--gbench]\n", argv[0]);
+    return 2;
+  }
+  const std::string path = argv[1];
+  const bool gbench = argc > 2 && std::strcmp(argv[2], "--gbench") == 0;
+  std::ifstream f(path);
+  if (!f) {
+    return Fail(path, "cannot open");
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return gbench ? ValidateGbench(path, ss.str()) : ValidateJsonl(path, ss.str());
+}

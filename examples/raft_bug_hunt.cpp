@@ -70,15 +70,9 @@ int main() {
                 static_cast<unsigned long long>(mc.distinct_states));
     return 1;
   }
-  std::printf("      violated %s at depth %llu after %llu distinct states (%.1fs)\n",
-              mc.violation->invariant.c_str(),
-              static_cast<unsigned long long>(mc.violation->depth),
-              static_cast<unsigned long long>(mc.violation->states_explored),
-              mc.violation->seconds);
+  std::printf("      violated %s\n", ViolationSummary(*mc.violation).c_str());
   std::printf("      counterexample events:\n");
-  for (size_t i = 1; i < mc.violation->trace.size(); ++i) {
-    std::printf("        %2zu: %s\n", i, mc.violation->trace[i].label.ToString().c_str());
-  }
+  std::fputs(FormatTraceEvents(mc.violation->trace, "        ").c_str(), stdout);
 
   // ---- Step 3: implementation-level confirmation -----------------------------------
   std::printf("[3/4] replaying the counterexample on the implementation...\n");

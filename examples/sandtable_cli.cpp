@@ -9,10 +9,19 @@
 //   sandtable_cli simulate --system raftos --traces 1000
 //   sandtable_cli replay --system pysyncobj --bug PySyncObj#2 --trace /tmp/bug.jsonl
 //   sandtable_cli rank --system pysyncobj
+//
+// Telemetry (src/obs): `--metrics-out FILE` streams progress JSONL plus a
+// final report record; `--progress-every N` emits a progress line every N
+// units of work (states / replayed events); `--report json|text` prints the
+// end-of-run report to stdout.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iostream>
+#include <memory>
 #include <sstream>
 
 #include "src/conformance/bug_catalog.h"
@@ -21,6 +30,8 @@
 #include "src/mc/bfs.h"
 #include "src/mc/random_walk.h"
 #include "src/mc/ranking.h"
+#include "src/obs/phase_timer.h"
+#include "src/obs/report.h"
 #include "src/par/parallel_bfs.h"
 
 using namespace sandtable;               // NOLINT(build/namespaces): CLI brevity
@@ -35,7 +46,11 @@ struct Args {
   std::string trace_path;
   std::string trace_out;
   std::string channel = "api";
+  std::string metrics_out;  // JSONL sink for progress + final report
+  std::string report_mode;  // "", "json" or "text": end-of-run report on stdout
   double budget_s = 60;
+  uint64_t max_states = 0;        // 0 = unlimited distinct-state budget
+  uint64_t progress_every = 0;    // 0 = no periodic progress lines
   int traces = 100;
   int workers = 1;  // >1 switches `check` to the parallel engine (src/par/)
   bool with_bugs = false;
@@ -73,6 +88,18 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->workers = std::max(1, std::atoi(v.c_str()));
     } else if (flag == "--channel" && next(&v)) {
       out->channel = v;
+    } else if (flag == "--metrics-out" && next(&v)) {
+      out->metrics_out = v;
+    } else if (flag == "--report" && next(&v)) {
+      if (v != "json" && v != "text") {
+        std::fprintf(stderr, "--report wants json or text, got %s\n", v.c_str());
+        return false;
+      }
+      out->report_mode = v;
+    } else if (flag == "--states" && next(&v)) {
+      out->max_states = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--progress-every" && next(&v)) {
+      out->progress_every = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flag == "--with-bugs") {
       out->with_bugs = true;
     } else {
@@ -126,6 +153,55 @@ Target MakeTarget(const Args& args) {
   return t;
 }
 
+// The telemetry wiring shared by check/conformance/simulate: one metrics
+// registry for the run, periodic progress JSONL (to --metrics-out or stderr),
+// and an end-of-run report (appended to --metrics-out; optionally printed to
+// stdout as JSON or a human table via --report).
+struct Telemetry {
+  obs::MetricsRegistry registry;
+  std::ofstream file;
+  std::unique_ptr<obs::ProgressReporter> progress;
+  std::string report_mode;
+
+  explicit Telemetry(const Args& args) : report_mode(args.report_mode) {
+    // SANDTABLE_PHASE_TIMERS=0 keeps counters but skips the per-phase clock
+    // reads — the knob behind the overhead numbers in DESIGN.md.
+    if (const char* env = std::getenv("SANDTABLE_PHASE_TIMERS")) {
+      obs::SetPhaseTimersEnabled(env[0] != '0');
+    }
+    std::ostream* sink = nullptr;
+    if (!args.metrics_out.empty()) {
+      file.open(args.metrics_out);
+      if (!file) {
+        std::fprintf(stderr, "cannot open %s for writing\n", args.metrics_out.c_str());
+      } else {
+        sink = &file;
+      }
+    }
+    if (args.progress_every > 0) {
+      obs::ProgressOptions popts;
+      popts.every_states = args.progress_every;
+      progress =
+          std::make_unique<obs::ProgressReporter>(sink != nullptr ? sink : &std::cerr, popts);
+    }
+  }
+
+  // Build the final report around the engine result, append it to the JSONL
+  // sink, and print it as requested. Returns the report for further use.
+  Json Finish(const std::string& engine, Json result_json) {
+    Json report = obs::MakeReport(engine, std::move(result_json), &registry);
+    if (file.is_open()) {
+      file << report.Dump() << '\n';
+    }
+    if (report_mode == "json") {
+      std::printf("%s\n", report.Dump().c_str());
+    } else if (report_mode == "text") {
+      std::fputs(obs::ReportToText(report).c_str(), stdout);
+    }
+    return report;
+  }
+};
+
 int CmdListSystems() {
   for (const std::string& s : RaftSystemNames()) {
     std::printf("%s\n", s.c_str());
@@ -146,11 +222,18 @@ int CmdListBugs() {
 
 int CmdCheck(const Args& args) {
   Target t = MakeTarget(args);
+  Telemetry telemetry(args);
   std::printf("model checking %s (budget %.0fs, %d worker%s)...\n", t.spec.name.c_str(),
               args.budget_s, args.workers, args.workers == 1 ? "" : "s");
   BfsOptions opts;
   opts.time_budget_s = args.budget_s;
+  if (args.max_states > 0) {
+    opts.max_distinct_states = args.max_states;
+  }
+  opts.progress = telemetry.progress.get();
+  opts.metrics = &telemetry.registry;
   BfsResult r;
+  const char* engine = args.workers > 1 ? "parallel_bfs" : "bfs";
   if (args.workers > 1) {
     ParBfsOptions popts;
     popts.base = opts;
@@ -159,6 +242,7 @@ int CmdCheck(const Args& args) {
   } else {
     r = BfsCheck(t.spec, opts);
   }
+  telemetry.Finish(engine, r.ToJson());
   std::printf("distinct states: %llu (depth %llu, %.1fs, %s)\n",
               static_cast<unsigned long long>(r.distinct_states),
               static_cast<unsigned long long>(r.depth_reached), r.seconds,
@@ -167,13 +251,8 @@ int CmdCheck(const Args& args) {
     std::printf("no safety violation found\n");
     return 0;
   }
-  std::printf("VIOLATED %s at depth %llu after %llu states\n",
-              r.violation->invariant.c_str(),
-              static_cast<unsigned long long>(r.violation->depth),
-              static_cast<unsigned long long>(r.violation->states_explored));
-  for (size_t i = 1; i < r.violation->trace.size(); ++i) {
-    std::printf("  %2zu: %s\n", i, r.violation->trace[i].label.ToString().c_str());
-  }
+  std::printf("VIOLATED %s\n", ViolationSummary(*r.violation).c_str());
+  std::fputs(FormatTraceEvents(r.violation->trace, "  ").c_str(), stdout);
   if (!args.trace_out.empty()) {
     std::ofstream f(args.trace_out);
     f << TraceToJsonl(r.violation->trace);
@@ -188,13 +267,17 @@ int CmdCheck(const Args& args) {
 
 int CmdConformance(const Args& args) {
   Target t = MakeTarget(args);
+  Telemetry telemetry(args);
   ConformanceOptions opts;
   opts.max_traces = args.traces;
   opts.time_budget_s = args.budget_s;
+  opts.progress = telemetry.progress.get();
+  opts.metrics = &telemetry.registry;
   std::printf("conformance checking %s over %d random traces (channel: %s)...\n",
               t.spec.name.c_str(), args.traces, args.channel.c_str());
   const ConformanceReport report =
       CheckConformance(t.spec, t.factory, *t.observer, opts);
+  telemetry.Finish("conformance", report.ToJson());
   if (report.conforms) {
     std::printf("no discrepancy: %d traces, %llu events, %.1fs\n", report.traces_replayed,
                 static_cast<unsigned long long>(report.events_replayed), report.seconds);
@@ -211,22 +294,54 @@ int CmdConformance(const Args& args) {
 
 int CmdSimulate(const Args& args) {
   Target t = MakeTarget(args);
+  Telemetry telemetry(args);
   Rng rng(1);
   WalkOptions opts;
   opts.max_depth = 60;
+  opts.metrics = &telemetry.registry;
   CoverageStats coverage;
   uint64_t total_depth = 0;
   uint64_t max_depth = 0;
+  uint64_t deadlocked = 0;
+  uint64_t depth_capped = 0;
+  const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < args.traces; ++i) {
     const WalkResult w = RandomWalk(t.spec, opts, rng);
     coverage.Merge(w.coverage);
     total_depth += w.depth;
     max_depth = std::max(max_depth, w.depth);
+    deadlocked += w.deadlocked ? 1 : 0;
+    depth_capped += w.hit_depth_limit ? 1 : 0;
+    // Progress units for simulate are completed walks.
+    const uint64_t done = static_cast<uint64_t>(i) + 1;
+    if (telemetry.progress != nullptr && telemetry.progress->Due(done)) {
+      obs::ProgressSample s;
+      s.engine = "random_walk";
+      s.elapsed_s =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+      s.distinct_states = done;
+      s.depth = max_depth;
+      s.transitions = coverage.transitions;
+      s.deadlocks = deadlocked;
+      s.event_kinds = coverage.DistinctEventKinds();
+      s.branches = coverage.branches.size();
+      telemetry.progress->Emit(s);
+    }
   }
+  JsonObject summary;
+  summary["walks"] = Json(static_cast<int64_t>(args.traces));
+  summary["avg_depth"] = Json(static_cast<double>(total_depth) / args.traces);
+  summary["max_depth"] = Json(max_depth);
+  summary["deadlocked"] = Json(deadlocked);
+  summary["hit_depth_limit"] = Json(depth_capped);
+  summary["coverage"] = coverage.ToJson();
+  telemetry.Finish("random_walk", Json(std::move(summary)));
   std::printf("%d random walks over %s:\n", args.traces, t.spec.name.c_str());
-  std::printf("  avg depth %.1f, max depth %llu\n",
+  std::printf("  avg depth %.1f, max depth %llu (%llu deadlocked, %llu depth-capped)\n",
               static_cast<double>(total_depth) / args.traces,
-              static_cast<unsigned long long>(max_depth));
+              static_cast<unsigned long long>(max_depth),
+              static_cast<unsigned long long>(deadlocked),
+              static_cast<unsigned long long>(depth_capped));
   std::printf("  distinct branches: %zu, event kinds: %d, transitions: %llu\n",
               coverage.branches.size(), coverage.DistinctEventKinds(),
               static_cast<unsigned long long>(coverage.transitions));
@@ -300,8 +415,10 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     std::fprintf(stderr,
                  "usage: %s <list-systems|list-bugs|check|conformance|simulate|replay|rank>"
-                 " [--system S] [--bug ID] [--budget SECONDS] [--traces N] [--workers N]"
-                 " [--trace FILE] [--trace-out FILE] [--channel api|log] [--with-bugs]\n",
+                 " [--system S] [--bug ID] [--budget SECONDS] [--states N] [--traces N]"
+                 " [--workers N] [--trace FILE] [--trace-out FILE] [--channel api|log]"
+                 " [--with-bugs] [--metrics-out FILE] [--progress-every N]"
+                 " [--report json|text]\n",
                  argv[0]);
     return 1;
   }

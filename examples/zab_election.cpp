@@ -71,16 +71,10 @@ int main() {
     std::printf("  not found within the budget\n");
     return 1;
   }
-  std::printf("  violated %s at depth %llu after %llu distinct states (%.1fs)\n",
-              r.violation->invariant.c_str(),
-              static_cast<unsigned long long>(r.violation->depth),
-              static_cast<unsigned long long>(r.violation->states_explored),
-              r.violation->seconds);
+  std::printf("  violated %s\n", ViolationSummary(*r.violation).c_str());
   std::printf("  the optimal trace exercises election, discovery, synchronization and\n"
               "  broadcast — the same observation the paper makes for this bug:\n");
-  for (size_t i = 1; i < r.violation->trace.size(); ++i) {
-    std::printf("    %2zu: %s\n", i, r.violation->trace[i].label.action.c_str());
-  }
+  std::fputs(FormatTraceEvents(r.violation->trace, "    ").c_str(), stdout);
 
   std::printf("\npart 3: confirming on the implementation by deterministic replay\n");
   const ConfirmationResult confirm =

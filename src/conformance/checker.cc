@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "src/mc/random_walk.h"
+#include "src/obs/phase_timer.h"
 #include "src/trace/replay.h"
 #include "src/util/rng.h"
 #include "src/util/strings.h"
@@ -119,6 +120,43 @@ ReplayResult ReplayTrace(const EngineFactory& factory, const ClusterObserver& ob
   return result;
 }
 
+Json Discrepancy::ToJson() const {
+  JsonObject o;
+  o["step"] = Json(static_cast<uint64_t>(step));
+  o["action"] = Json(action);
+  o["command"] = Json(command);
+  o["kind"] = Json(kind);
+  if (!detail.empty()) {
+    o["detail"] = Json(detail);
+  }
+  if (!diffs.empty()) {
+    JsonArray arr;
+    for (const ValueDiffEntry& d : diffs) {
+      JsonObject e;
+      e["path"] = Json(d.path);
+      e["spec"] = Json(d.lhs);
+      e["impl"] = Json(d.rhs);
+      arr.push_back(Json(std::move(e)));
+    }
+    o["diffs"] = Json(std::move(arr));
+  }
+  return Json(std::move(o));
+}
+
+Json ConformanceReport::ToJson() const {
+  JsonObject o;
+  o["conforms"] = Json(conforms);
+  o["traces_replayed"] = Json(static_cast<int64_t>(traces_replayed));
+  o["events_replayed"] = Json(events_replayed);
+  o["seconds"] = Json(seconds);
+  o["budget_exhausted"] = Json(budget_exhausted);
+  o["outcome"] = Json(conforms ? "conforms" : "discrepancy");
+  if (discrepancy.has_value()) {
+    o["discrepancy"] = discrepancy->ToJson();
+  }
+  return Json(std::move(o));
+}
+
 ConformanceReport CheckConformance(const Spec& spec, const EngineFactory& factory,
                                    const ClusterObserver& observer,
                                    const ConformanceOptions& options) {
@@ -128,16 +166,46 @@ ConformanceReport CheckConformance(const Spec& spec, const EngineFactory& factor
   WalkOptions walk_opts;
   walk_opts.max_depth = options.max_trace_depth;
   walk_opts.collect_trace = true;
+  walk_opts.metrics = options.metrics;
+
+  obs::Counter* traces_counter = nullptr;
+  obs::Counter* events_counter = nullptr;
+  obs::Histogram* replay_hist = nullptr;
+  if (options.metrics != nullptr) {
+    traces_counter = &options.metrics->GetCounter("conformance.traces");
+    events_counter = &options.metrics->GetCounter("conformance.events_replayed");
+    replay_hist = &options.metrics->GetHistogram("phase.replay");
+  }
+
+  auto emit_progress = [&]() {
+    obs::ProgressSample s;
+    s.engine = "conformance";
+    s.elapsed_s = std::chrono::duration<double>(Clock::now() - start).count();
+    s.distinct_states = report.events_replayed;  // unit of work: replayed events
+    s.depth = static_cast<uint64_t>(report.traces_replayed);
+    s.transitions = report.events_replayed;
+    options.progress->Emit(s);
+  };
 
   for (int t = 0; t < options.max_traces; ++t) {
     const double elapsed = std::chrono::duration<double>(Clock::now() - start).count();
     if (elapsed > options.time_budget_s) {
+      report.budget_exhausted = true;
       break;
     }
     WalkResult walk = RandomWalk(spec, walk_opts, rng);
-    ReplayResult replay = ReplayTrace(factory, observer, walk.trace, options.replay);
+    ReplayResult replay;
+    {
+      obs::PhaseTimer timer(replay_hist);
+      replay = ReplayTrace(factory, observer, walk.trace, options.replay);
+    }
     ++report.traces_replayed;
     report.events_replayed += replay.steps_executed;
+    obs::Add(traces_counter);
+    obs::Add(events_counter, replay.steps_executed);
+    if (options.progress != nullptr && options.progress->Due(report.events_replayed)) {
+      emit_progress();
+    }
     if (!replay.conforms) {
       report.discrepancy = replay.discrepancy;
       report.failing_trace = std::move(walk.trace);
@@ -146,6 +214,7 @@ ConformanceReport CheckConformance(const Spec& spec, const EngineFactory& factor
     }
   }
   report.conforms = true;
+  report.budget_exhausted = true;  // trace or time budget spent, no discrepancy
   report.seconds = std::chrono::duration<double>(Clock::now() - start).count();
   return report;
 }

@@ -21,6 +21,8 @@
 
 #include "src/conformance/observer.h"
 #include "src/engine/engine.h"
+#include "src/obs/metrics.h"
+#include "src/obs/progress.h"
 #include "src/spec/spec.h"
 
 namespace sandtable {
@@ -37,6 +39,7 @@ struct Discrepancy {
   std::vector<ValueDiffEntry> diffs;  // variable-level differences (state kind)
 
   std::string ToString() const;
+  Json ToJson() const;
 };
 
 struct ReplayResult {
@@ -63,6 +66,9 @@ struct ConformanceOptions {
   uint64_t seed = 1;
   double time_budget_s = 60;
   ReplayOptions replay;
+  // Structured periodic progress / metrics (src/obs). Borrowed, may be null.
+  obs::ProgressReporter* progress = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct ConformanceReport {
@@ -70,8 +76,14 @@ struct ConformanceReport {
   int traces_replayed = 0;
   uint64_t events_replayed = 0;
   double seconds = 0;
+  // The time/trace budget ran out without a discrepancy (as opposed to
+  // stopping early at one) — `conforms` is a claim only up to this budget.
+  bool budget_exhausted = false;
   std::optional<Discrepancy> discrepancy;
   std::vector<TraceStep> failing_trace;  // empty when conforming
+
+  // Canonical serialization: scalars plus the discrepancy (trace omitted).
+  Json ToJson() const;
 };
 
 // Iterative conformance checking: random walks over `spec`, each replayed on

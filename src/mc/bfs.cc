@@ -5,6 +5,7 @@
 
 #include "src/mc/expand.h"
 #include "src/mc/reconstruct.h"
+#include "src/obs/phase_timer.h"
 #include "src/util/check.h"
 
 namespace sandtable {
@@ -12,6 +13,7 @@ namespace sandtable {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+using obs::Phase;
 
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -34,6 +36,8 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
   const auto start = Clock::now();
   BfsResult result;
   const bool use_symmetry = options.use_symmetry && spec.symmetry.has_value();
+  const obs::ExplorationMetrics m = obs::ExplorationMetrics::Bind(options.metrics);
+  obs::ProgressReporter* progress = options.progress;
 
   VisitedMap visited;
   visited.reserve(1 << 16);
@@ -48,8 +52,20 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
     return it->second;
   };
 
+  auto fingerprint_of = [&](const State& state) {
+    obs::PhaseTimer t(m.phase(Phase::kCanonicalize));
+    return Fingerprint(spec, state, use_symmetry);
+  };
+
+  auto reconstruct = [&](uint64_t fp) {
+    obs::PhaseTimer t(m.phase(Phase::kReconstruct));
+    obs::Add(m.reconstructions);
+    return ReconstructTrace(spec, parent_of, fp, use_symmetry);
+  };
+
   auto record_violation = [&](const std::string& invariant, bool is_transition,
                               std::vector<TraceStep> trace) {
+    obs::Add(m.violations);
     if (result.violation.has_value()) {
       return;  // keep the first (minimal-depth) violation
     }
@@ -63,6 +79,20 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
     result.violation = std::move(v);
   };
 
+  auto emit_progress = [&](uint64_t depth) {
+    obs::ProgressSample s;
+    s.engine = "bfs";
+    s.elapsed_s = SecondsSince(start);
+    s.distinct_states = result.distinct_states;
+    s.frontier = frontier.size();
+    s.depth = depth;
+    s.transitions = result.coverage.transitions;
+    s.deadlocks = result.deadlock_states;
+    s.event_kinds = result.coverage.DistinctEventKinds();
+    s.branches = result.coverage.branches.size();
+    progress->Emit(s);
+  };
+
   // Single exit point: every return path reports depth/time consistently.
   // `exhausted` means the bounded space was fully explored, which is false
   // whenever a limit fired or the search stopped early at a violation.
@@ -72,18 +102,25 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
                        !result.hit_time_limit &&
                        !(result.violation.has_value() && options.stop_at_first_violation);
     result.seconds = SecondsSince(start);
+    obs::Set(m.frontier, static_cast<int64_t>(frontier.size()));
     return result;
   };
 
   // Seed with initial states.
   for (const State& init : spec.init_states) {
-    const uint64_t fp = Fingerprint(spec, init, use_symmetry);
+    const uint64_t fp = fingerprint_of(init);
     if (visited.count(fp) > 0) {
       continue;
     }
     visited.emplace(fp, fp);
     ++result.distinct_states;
-    const std::string bad = CheckInvariants(spec, init);
+    obs::Add(m.distinct_states);
+    std::string bad;
+    {
+      obs::PhaseTimer t(m.phase(Phase::kInvariants));
+      obs::Add(m.invariant_checks);
+      bad = CheckInvariants(spec, init);
+    }
     if (!bad.empty()) {
       record_violation(bad, false, {TraceStep{ActionLabel{}, init}});
       if (options.stop_at_first_violation) {
@@ -97,12 +134,12 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
 
   uint64_t depth = 0;
   uint64_t expansions_since_time_check = 0;
-  uint64_t next_progress = options.progress_every;
 
   while (!frontier.empty()) {
     if (depth >= options.max_depth) {
       return finalize(depth, false);
     }
+    obs::SetMax(m.frontier_peak, static_cast<int64_t>(frontier.size()));
     next_frontier.clear();
     for (const FrontierEntry& entry : frontier) {
       // Periodic limit checks.
@@ -114,21 +151,31 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
         }
       }
 
-      std::vector<Successor> succs = ExpandAll(spec, entry.state, &result.coverage);
+      std::vector<Successor> succs;
+      {
+        obs::PhaseTimer t(m.phase(Phase::kExpand));
+        obs::Add(m.expand_calls);
+        succs = ExpandAll(spec, entry.state, &result.coverage);
+      }
       if (succs.empty()) {
         ++result.deadlock_states;
+        obs::Add(m.deadlocks);
         continue;
       }
+      obs::Add(m.generated, succs.size());
       for (Successor& s : succs) {
         result.coverage.RecordEvent(s.label.kind);
 
         // Transition invariants hold on every edge, including edges back to
         // already-visited states.
-        const std::string bad_edge =
-            CheckTransitionInvariants(spec, entry.state, s.label, s.state);
+        std::string bad_edge;
+        {
+          obs::PhaseTimer t(m.phase(Phase::kInvariants));
+          obs::Add(m.transition_checks);
+          bad_edge = CheckTransitionInvariants(spec, entry.state, s.label, s.state);
+        }
         if (!bad_edge.empty()) {
-          std::vector<TraceStep> trace =
-              ReconstructTrace(spec, parent_of, entry.fp, use_symmetry);
+          std::vector<TraceStep> trace = reconstruct(entry.fp);
           trace.push_back(TraceStep{s.label, s.state});
           record_violation(bad_edge, true, std::move(trace));
           if (options.stop_at_first_violation) {
@@ -136,25 +183,34 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
           }
         }
 
-        const uint64_t fp = Fingerprint(spec, s.state, use_symmetry);
-        if (visited.count(fp) > 0) {
+        const uint64_t fp = fingerprint_of(s.state);
+        bool duplicate;
+        {
+          obs::PhaseTimer t(m.phase(Phase::kFingerprint));
+          duplicate = !visited.emplace(fp, entry.fp).second;
+        }
+        if (duplicate) {
+          obs::Add(m.duplicates);
           continue;
         }
-        visited.emplace(fp, entry.fp);
         ++result.distinct_states;
+        obs::Add(m.distinct_states);
 
-        const std::string bad = CheckInvariants(spec, s.state);
+        std::string bad;
+        {
+          obs::PhaseTimer t(m.phase(Phase::kInvariants));
+          obs::Add(m.invariant_checks);
+          bad = CheckInvariants(spec, s.state);
+        }
         if (!bad.empty()) {
-          record_violation(bad, false, ReconstructTrace(spec, parent_of, fp, use_symmetry));
+          record_violation(bad, false, reconstruct(fp));
           if (options.stop_at_first_violation) {
             return finalize(depth, false);
           }
         }
 
-        if (options.progress && result.distinct_states >= next_progress &&
-            options.progress_every > 0) {
-          next_progress += options.progress_every;
-          options.progress(result.distinct_states, depth + 1, SecondsSince(start));
+        if (progress != nullptr && progress->Due(result.distinct_states)) {
+          emit_progress(depth + 1);
         }
 
         if (result.distinct_states >= options.max_distinct_states) {
@@ -168,6 +224,8 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
       }
     }
     frontier.swap(next_frontier);
+    obs::Add(m.levels);
+    obs::Set(m.frontier, static_cast<int64_t>(frontier.size()));
     if (!frontier.empty()) {
       ++depth;
     }

@@ -11,13 +11,14 @@
 #define SANDTABLE_SRC_MC_BFS_H_
 
 #include <cstdint>
-#include <functional>
 #include <limits>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "src/mc/coverage.h"
+#include "src/obs/progress.h"
+#include "src/obs/metrics.h"
 #include "src/spec/spec.h"
 
 namespace sandtable {
@@ -30,6 +31,10 @@ struct Violation {
   uint64_t depth = 0;              // events to hit the bug (= trace.size() - 1)
   uint64_t states_explored = 0;    // distinct states at detection time
   double seconds = 0;              // wall-clock time to hit
+
+  // Canonical serialization (src/util/json.h); `include_trace` adds the full
+  // counterexample as [{action, kind, params}, ...] (step 0 omitted).
+  Json ToJson(bool include_trace = true) const;
 };
 
 struct BfsOptions {
@@ -39,9 +44,12 @@ struct BfsOptions {
   // Apply the spec's symmetry declaration when fingerprinting.
   bool use_symmetry = true;
   bool stop_at_first_violation = true;
-  // Invoked every `progress_every` newly discovered states (0 = never).
-  uint64_t progress_every = 0;
-  std::function<void(uint64_t distinct_states, uint64_t depth, double seconds)> progress;
+  // Structured periodic progress (src/obs/progress.h); the reporter owns the
+  // cadence. Borrowed, may be null.
+  obs::ProgressReporter* progress = nullptr;
+  // Record counters and per-phase timers here (src/obs/metrics.h). Borrowed,
+  // may be null — a null registry costs nothing in the hot loop.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct BfsResult {
@@ -57,7 +65,18 @@ struct BfsResult {
   uint64_t deadlock_states = 0;  // in-constraint states with no successors
   std::optional<Violation> violation;
   CoverageStats coverage;
+
+  // Canonical serialization, embedding violation.ToJson() and the coverage
+  // summary. "outcome" is one of exhausted|violation|state_limit|time_limit|
+  // depth_limit (bounded, no limit flag set).
+  Json ToJson(bool include_trace = true) const;
 };
+
+// Shared human formatting, so the CLI, the examples and the benches print
+// violations identically (and stay in sync with ToJson()).
+std::string ViolationSummary(const Violation& v);
+// The counterexample's event lines ("  1: Action{...}"), step 0 omitted.
+std::string FormatTraceEvents(const std::vector<TraceStep>& trace, const char* indent);
 
 BfsResult BfsCheck(const Spec& spec, const BfsOptions& options = {});
 

@@ -39,6 +39,23 @@ struct CoverageStats {
     }
     transitions += other.transitions;
   }
+
+  // {"transitions":N,"branches":N,"event_kinds":N,"events":{"Message":N,...}}
+  // (zero-count kinds omitted; branch names are summarized, not listed).
+  Json ToJson() const {
+    JsonObject events;
+    for (size_t i = 0; i < event_counts.size(); ++i) {
+      if (event_counts[i] > 0) {
+        events[EventKindName(static_cast<EventKind>(i))] = Json(event_counts[i]);
+      }
+    }
+    JsonObject o;
+    o["transitions"] = Json(transitions);
+    o["branches"] = Json(static_cast<uint64_t>(branches.size()));
+    o["event_kinds"] = Json(static_cast<int64_t>(DistinctEventKinds()));
+    o["events"] = Json(std::move(events));
+    return Json(std::move(o));
+  }
 };
 
 }  // namespace sandtable

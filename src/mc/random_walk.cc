@@ -1,19 +1,26 @@
 #include "src/mc/random_walk.h"
 
 #include "src/mc/expand.h"
+#include "src/obs/phase_timer.h"
 #include "src/util/check.h"
 
 namespace sandtable {
 
+using obs::Phase;
+
 WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
   WalkResult result;
   CHECK(!spec.init_states.empty()) << "spec has no initial states";
+  const obs::ExplorationMetrics m = obs::ExplorationMetrics::Bind(options.metrics);
+  obs::Add(m.walks);
 
   State state = spec.init_states[rng.Below(spec.init_states.size())];
   if (options.collect_trace) {
     result.trace.push_back(TraceStep{ActionLabel{}, state});
   }
   if (options.check_invariants) {
+    obs::PhaseTimer t(m.phase(Phase::kInvariants));
+    obs::Add(m.invariant_checks);
     const std::string bad = CheckInvariants(spec, state);
     if (!bad.empty()) {
       Violation v;
@@ -23,22 +30,38 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
         v.trace = result.trace;
       }
       result.violation = std::move(v);
+      obs::Add(m.violations);
       return result;
     }
   }
 
-  while (result.depth < options.max_depth) {
-    std::vector<Successor> succs = ExpandAll(spec, state, &result.coverage);
+  while (true) {
+    if (result.depth >= options.max_depth) {
+      // Cut off by the depth budget — a capped walk, not a deadlock and not a
+      // completed exploration.
+      result.hit_depth_limit = true;
+      break;
+    }
+    std::vector<Successor> succs;
+    {
+      obs::PhaseTimer t(m.phase(Phase::kExpand));
+      obs::Add(m.expand_calls);
+      succs = ExpandAll(spec, state, &result.coverage);
+    }
     // Honour the state constraint: successors outside the budget are not taken.
     std::erase_if(succs, [&](const Successor& s) { return !spec.WithinConstraint(s.state); });
     if (succs.empty()) {
       result.deadlocked = true;
+      obs::Add(m.deadlocks);
       break;
     }
     Successor& chosen = succs[rng.Below(succs.size())];
     result.coverage.RecordEvent(chosen.label.kind);
+    obs::Add(m.walk_steps);
 
     if (options.check_transition_invariants) {
+      obs::PhaseTimer t(m.phase(Phase::kInvariants));
+      obs::Add(m.transition_checks);
       const std::string bad =
           CheckTransitionInvariants(spec, state, chosen.label, chosen.state);
       if (!bad.empty()) {
@@ -51,6 +74,7 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
           v.trace.push_back(TraceStep{chosen.label, chosen.state});
         }
         result.violation = std::move(v);
+        obs::Add(m.violations);
         return result;
       }
     }
@@ -62,6 +86,8 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
     }
 
     if (options.check_invariants) {
+      obs::PhaseTimer t(m.phase(Phase::kInvariants));
+      obs::Add(m.invariant_checks);
       const std::string bad = CheckInvariants(spec, state);
       if (!bad.empty()) {
         Violation v;
@@ -71,6 +97,7 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
           v.trace = result.trace;
         }
         result.violation = std::move(v);
+        obs::Add(m.violations);
         return result;
       }
     }

@@ -23,14 +23,23 @@ struct WalkOptions {
   bool collect_trace = false;
   bool check_invariants = false;
   bool check_transition_invariants = false;
+  // Record counters and per-phase timers here (src/obs/metrics.h). Borrowed,
+  // may be null — a null registry costs nothing in the hot loop.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 struct WalkResult {
   uint64_t depth = 0;       // events taken
   bool deadlocked = false;  // stopped because no in-constraint successor existed
+  // The walk was cut off by max_depth. A capped walk is not a deadlock and not
+  // a completed exploration — mirrors BfsResult's limit flags.
+  bool hit_depth_limit = false;
   std::optional<Violation> violation;
   CoverageStats coverage;
   std::vector<TraceStep> trace;  // populated iff collect_trace
+
+  // Canonical serialization; "terminated" is violation|deadlock|depth_limit.
+  Json ToJson(bool include_trace = true) const;
 };
 
 // One random walk from a random initial state: at each step enumerate all

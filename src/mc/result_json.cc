@@ -1,0 +1,107 @@
+// Canonical serialization of model-checking results (Violation, BfsResult,
+// WalkResult) plus the shared human formatting used by the CLI, the examples
+// and the benches, so every surface reports violations identically.
+#include <cstdio>
+
+#include "src/mc/bfs.h"
+#include "src/mc/random_walk.h"
+
+namespace sandtable {
+
+namespace {
+
+Json TraceToJson(const std::vector<TraceStep>& trace) {
+  JsonArray steps;
+  for (size_t i = 1; i < trace.size(); ++i) {
+    JsonObject step;
+    step["action"] = Json(trace[i].label.action);
+    step["kind"] = Json(EventKindName(trace[i].label.kind));
+    step["params"] = trace[i].label.params;
+    steps.push_back(Json(std::move(step)));
+  }
+  return Json(std::move(steps));
+}
+
+}  // namespace
+
+Json Violation::ToJson(bool include_trace) const {
+  JsonObject o;
+  o["invariant"] = Json(invariant);
+  o["is_transition_invariant"] = Json(is_transition_invariant);
+  o["depth"] = Json(depth);
+  o["states_explored"] = Json(states_explored);
+  o["seconds"] = Json(seconds);
+  if (include_trace) {
+    o["trace"] = TraceToJson(trace);
+  }
+  return Json(std::move(o));
+}
+
+Json BfsResult::ToJson(bool include_trace) const {
+  JsonObject o;
+  o["distinct_states"] = Json(distinct_states);
+  o["depth_reached"] = Json(depth_reached);
+  o["exhausted"] = Json(exhausted);
+  o["hit_state_limit"] = Json(hit_state_limit);
+  o["hit_time_limit"] = Json(hit_time_limit);
+  o["seconds"] = Json(seconds);
+  o["deadlock_states"] = Json(deadlock_states);
+  const char* outcome = "depth_limit";
+  if (violation.has_value()) {
+    outcome = "violation";
+  } else if (exhausted) {
+    outcome = "exhausted";
+  } else if (hit_state_limit) {
+    outcome = "state_limit";
+  } else if (hit_time_limit) {
+    outcome = "time_limit";
+  }
+  o["outcome"] = Json(outcome);
+  if (violation.has_value()) {
+    o["violation"] = violation->ToJson(include_trace);
+  }
+  o["coverage"] = coverage.ToJson();
+  return Json(std::move(o));
+}
+
+std::string ViolationSummary(const Violation& v) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "%s at depth %llu after %llu distinct states (%.1fs)",
+                v.invariant.c_str(), static_cast<unsigned long long>(v.depth),
+                static_cast<unsigned long long>(v.states_explored), v.seconds);
+  return buf;
+}
+
+std::string FormatTraceEvents(const std::vector<TraceStep>& trace, const char* indent) {
+  std::string out;
+  char head[48];
+  for (size_t i = 1; i < trace.size(); ++i) {
+    std::snprintf(head, sizeof(head), "%s%2zu: ", indent, i);
+    out += head;
+    out += trace[i].label.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+Json WalkResult::ToJson(bool include_trace) const {
+  JsonObject o;
+  o["depth"] = Json(depth);
+  o["deadlocked"] = Json(deadlocked);
+  o["hit_depth_limit"] = Json(hit_depth_limit);
+  const char* terminated = "deadlock";
+  if (violation.has_value()) {
+    terminated = "violation";
+  } else if (hit_depth_limit) {
+    terminated = "depth_limit";
+  }
+  o["terminated"] = Json(terminated);
+  if (violation.has_value()) {
+    o["violation"] = violation->ToJson(include_trace);
+  }
+  o["coverage"] = coverage.ToJson();
+  return Json(std::move(o));
+}
+
+}  // namespace sandtable

@@ -1,0 +1,228 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace sandtable {
+namespace obs {
+
+namespace internal {
+
+int ThisThreadShard() {
+  static std::atomic<int> next{0};
+  thread_local const int shard =
+      next.fetch_add(1, std::memory_order_relaxed) & (kMetricShards - 1);
+  return shard;
+}
+
+}  // namespace internal
+
+namespace {
+
+int BucketIndex(uint64_t value) {
+  // value 0 -> bucket 0; otherwise bit_width(v) in [1, 64].
+  return value == 0 ? 0 : std::bit_width(value);
+}
+
+// Inclusive value range covered by bucket i (see kHistogramBuckets comment).
+void BucketBounds(int i, uint64_t* lo, uint64_t* hi) {
+  if (i == 0) {
+    *lo = 0;
+    *hi = 0;
+    return;
+  }
+  *lo = uint64_t{1} << (i - 1);
+  *hi = (i >= 64) ? UINT64_MAX : (uint64_t{1} << i) - 1;
+}
+
+void AtomicMin(std::atomic<uint64_t>& target, uint64_t v) {
+  uint64_t cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>& target, uint64_t v) {
+  uint64_t cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void Histogram::Record(uint64_t value) {
+  Shard& shard = shards_[internal::ThisThreadShard()];
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(shard.min, value);
+  AtomicMax(shard.max, value);
+  const int bucket = BucketIndex(value);
+  // bit_width(v) <= 64 and kHistogramBuckets == 64: index 64 would be one
+  // past the end, so the top bucket absorbs the largest octave.
+  shard.buckets[static_cast<size_t>(std::min(bucket, kHistogramBuckets - 1))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (const Shard& shard : shards_) {
+    snap.count += shard.count.load(std::memory_order_relaxed);
+    snap.sum += shard.sum.load(std::memory_order_relaxed);
+    snap.min = std::min(snap.min, shard.min.load(std::memory_order_relaxed));
+    snap.max = std::max(snap.max, shard.max.load(std::memory_order_relaxed));
+    for (size_t i = 0; i < snap.buckets.size(); ++i) {
+      snap.buckets[i] += shard.buckets[i].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+double HistogramSnapshot::Percentile(double p) const {
+  if (count == 0) {
+    return 0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the requested quantile, 1-based.
+  const double rank = p * static_cast<double>(count - 1) + 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[static_cast<size_t>(i)] == 0) {
+      continue;
+    }
+    const uint64_t in_bucket = buckets[static_cast<size_t>(i)];
+    if (static_cast<double>(seen + in_bucket) < rank) {
+      seen += in_bucket;
+      continue;
+    }
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    BucketBounds(i, &lo, &hi);
+    // Interpolate linearly inside the bucket, then clamp into the observed
+    // extremes so single-value histograms report exact percentiles.
+    const double frac =
+        in_bucket <= 1 ? 0.0 : (rank - static_cast<double>(seen) - 1) /
+                                   static_cast<double>(in_bucket - 1);
+    double v = static_cast<double>(lo) + frac * static_cast<double>(hi - lo);
+    v = std::max(v, static_cast<double>(min));
+    v = std::min(v, static_cast<double>(max));
+    return v;
+  }
+  return static_cast<double>(max);
+}
+
+Json HistogramSnapshot::ToJson() const {
+  JsonObject o;
+  o["count"] = Json(count);
+  o["sum"] = Json(sum);
+  o["min"] = Json(count == 0 ? uint64_t{0} : min);
+  o["max"] = Json(max);
+  o["mean"] = Json(Mean());
+  o["p50"] = Json(Percentile(0.50));
+  o["p90"] = Json(Percentile(0.90));
+  o["p99"] = Json(Percentile(0.99));
+  // Sparse bucket listing: [bucket_upper_bound, count] pairs.
+  JsonArray bucket_list;
+  for (int i = 0; i < kHistogramBuckets; ++i) {
+    if (buckets[static_cast<size_t>(i)] == 0) {
+      continue;
+    }
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+    BucketBounds(i, &lo, &hi);
+    bucket_list.push_back(Json(JsonArray{Json(hi), Json(buckets[static_cast<size_t>(i)])}));
+  }
+  o["buckets"] = Json(std::move(bucket_list));
+  return Json(std::move(o));
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) {
+    counters[name] += v;
+  }
+  for (const auto& [name, v] : other.gauges) {
+    auto it = gauges.find(name);
+    if (it == gauges.end()) {
+      gauges[name] = v;
+    } else {
+      it->second = std::max(it->second, v);
+    }
+  }
+  for (const auto& [name, h] : other.histograms) {
+    histograms[name].Merge(h);
+  }
+}
+
+Json MetricsSnapshot::ToJson() const {
+  JsonObject counters_json;
+  for (const auto& [name, v] : counters) {
+    counters_json[name] = Json(v);
+  }
+  JsonObject gauges_json;
+  for (const auto& [name, v] : gauges) {
+    gauges_json[name] = Json(v);
+  }
+  JsonObject histograms_json;
+  for (const auto& [name, h] : histograms) {
+    histograms_json[name] = h.ToJson();
+  }
+  JsonObject o;
+  o["counters"] = Json(std::move(counters_json));
+  o["gauges"] = Json(std::move(gauges_json));
+  o["histograms"] = Json(std::move(histograms_json));
+  return Json(std::move(o));
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Counter>();
+  }
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Gauge>();
+  }
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Histogram>();
+  }
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] = histogram->Snapshot();
+  }
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace sandtable

@@ -1,0 +1,152 @@
+// Low-overhead metrics for the exploration engines.
+//
+// Counters, gauges and histograms are sharded across cache-line-aligned
+// atomic cells indexed by a thread-local shard id, so parallel BFS workers
+// record contention-free (the same organization TLC uses for its worker
+// statistics). Reads aggregate across shards into an immutable snapshot;
+// snapshots merge associatively, which lets per-run, per-worker and
+// cross-run aggregation share one code path.
+//
+// A MetricsRegistry names metrics and owns their storage; handles returned by
+// Get*() stay valid for the registry's lifetime, so engines resolve names
+// once before the hot loop and record through raw pointers.
+#ifndef SANDTABLE_SRC_OBS_METRICS_H_
+#define SANDTABLE_SRC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/util/json.h"
+
+namespace sandtable {
+namespace obs {
+
+// Power-of-two shard count: enough that a typical worker pool (<= hardware
+// threads) rarely collides, small enough that snapshots stay cheap.
+inline constexpr int kMetricShards = 16;
+
+// Histograms bucket values (durations in ns, sizes, ...) by power of two:
+// bucket 0 holds value 0, bucket i>0 holds [2^(i-1), 2^i - 1].
+inline constexpr int kHistogramBuckets = 64;
+
+namespace internal {
+
+// Stable per-thread shard id: threads are striped round-robin over the shard
+// space, so a level-synchronized worker pool lands each worker on its own cell.
+int ThisThreadShard();
+
+struct alignas(64) CounterCell {
+  std::atomic<uint64_t> v{0};
+};
+
+}  // namespace internal
+
+// Monotonic counter. Add() is a relaxed fetch_add on this thread's shard.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    cells_[internal::ThisThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const auto& cell : cells_) {
+      total += cell.v.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<internal::CounterCell, kMetricShards> cells_;
+};
+
+// Last-value gauge (frontier size, worker count). Merge semantics are "max",
+// which keeps snapshot merging associative.
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  // Raise the gauge to at least `v` (peak tracking).
+  void SetMax(int64_t v) {
+    int64_t cur = v_.load(std::memory_order_relaxed);
+    while (v > cur && !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+// Immutable aggregate of one histogram; merges associatively.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = UINT64_MAX;  // UINT64_MAX when empty
+  uint64_t max = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  void Merge(const HistogramSnapshot& other);
+  double Mean() const { return count == 0 ? 0 : static_cast<double>(sum) / count; }
+  // Quantile estimate (p in [0,1]) by linear interpolation inside the
+  // containing power-of-two bucket, clamped to the observed min/max.
+  double Percentile(double p) const;
+  Json ToJson() const;
+};
+
+// Concurrent histogram over uint64 values, sharded like Counter.
+class Histogram {
+ public:
+  void Record(uint64_t value);
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> min{UINT64_MAX};
+    std::atomic<uint64_t> max{0};
+    std::array<std::atomic<uint64_t>, kHistogramBuckets> buckets{};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+// Point-in-time view of a whole registry. Counters merge by addition, gauges
+// by max, histograms bucket-wise — all associative and commutative.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  void Merge(const MetricsSnapshot& other);
+  Json ToJson() const;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Find-or-create by name. The returned reference is valid for the
+  // registry's lifetime. Creation takes a lock; recording does not.
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace obs
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_OBS_METRICS_H_

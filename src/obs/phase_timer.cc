@@ -1,0 +1,62 @@
+#include "src/obs/phase_timer.h"
+
+namespace sandtable {
+namespace obs {
+
+namespace internal {
+std::atomic<bool> g_phase_timers_enabled{true};
+}  // namespace internal
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kExpand:
+      return "expand";
+    case Phase::kCanonicalize:
+      return "canonicalize";
+    case Phase::kFingerprint:
+      return "fingerprint";
+    case Phase::kInvariants:
+      return "invariants";
+    case Phase::kReconstruct:
+      return "reconstruct";
+  }
+  return "?";
+}
+
+void SetPhaseTimersEnabled(bool enabled) {
+  internal::g_phase_timers_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool PhaseTimersEnabled() {
+  return internal::g_phase_timers_enabled.load(std::memory_order_relaxed);
+}
+
+ExplorationMetrics ExplorationMetrics::Bind(MetricsRegistry* registry) {
+  ExplorationMetrics m;
+  if (registry == nullptr) {
+    return m;
+  }
+  m.distinct_states = &registry->GetCounter("states.distinct");
+  m.generated = &registry->GetCounter("states.generated");
+  m.duplicates = &registry->GetCounter("states.duplicate");
+  m.deadlocks = &registry->GetCounter("states.deadlock");
+  m.expand_calls = &registry->GetCounter("expand.calls");
+  m.invariant_checks = &registry->GetCounter("invariants.checked");
+  m.transition_checks = &registry->GetCounter("invariants.transition_checked");
+  m.violations = &registry->GetCounter("violations.found");
+  m.levels = &registry->GetCounter("bfs.levels");
+  m.reconstructions = &registry->GetCounter("trace.reconstructions");
+  m.walk_steps = &registry->GetCounter("walk.steps");
+  m.walks = &registry->GetCounter("walk.traces");
+  m.frontier = &registry->GetGauge("frontier.size");
+  m.frontier_peak = &registry->GetGauge("frontier.peak");
+  m.workers = &registry->GetGauge("workers");
+  for (int i = 0; i < kNumPhases; ++i) {
+    m.phases[i] = &registry->GetHistogram(std::string("phase.") +
+                                          PhaseName(static_cast<Phase>(i)));
+  }
+  return m;
+}
+
+}  // namespace obs
+}  // namespace sandtable

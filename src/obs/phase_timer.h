@@ -1,0 +1,113 @@
+// RAII timers for the exploration hot phases, recording nanosecond durations
+// into obs::Histogram. A process-wide switch turns all phase timers into
+// no-ops so the instrumentation overhead itself can be measured (see
+// DESIGN.md "Observability"); with no histogram attached a timer never reads
+// the clock, so un-instrumented runs pay nothing.
+#ifndef SANDTABLE_SRC_OBS_PHASE_TIMER_H_
+#define SANDTABLE_SRC_OBS_PHASE_TIMER_H_
+
+#include <atomic>
+#include <chrono>
+
+#include "src/obs/metrics.h"
+
+namespace sandtable {
+namespace obs {
+
+// The hot phases every exploration engine reports under the same names, so
+// serial BFS, parallel BFS and random walk produce comparable reports.
+enum class Phase : int {
+  kExpand = 0,        // successor enumeration (ExpandAll)
+  kCanonicalize = 1,  // symmetry-invariant fingerprint computation
+  kFingerprint = 2,   // visited-set lookup/insert
+  kInvariants = 3,    // state + transition invariant evaluation
+  kReconstruct = 4,   // counterexample trace reconstruction
+};
+inline constexpr int kNumPhases = 5;
+
+const char* PhaseName(Phase phase);
+
+// Process-wide enable switch for phase timing (default on). Counters are not
+// affected — only the clock reads around the phases.
+void SetPhaseTimersEnabled(bool enabled);
+bool PhaseTimersEnabled();
+
+namespace internal {
+extern std::atomic<bool> g_phase_timers_enabled;
+}  // namespace internal
+
+// Scoped timer: records elapsed ns into `h` at destruction. Null histogram
+// (metrics not requested) or disabled timers cost one branch.
+class PhaseTimer {
+ public:
+  explicit PhaseTimer(Histogram* h)
+      : h_(h != nullptr &&
+                   internal::g_phase_timers_enabled.load(std::memory_order_relaxed)
+               ? h
+               : nullptr) {
+    if (h_ != nullptr) {
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+  ~PhaseTimer() {
+    if (h_ != nullptr) {
+      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+      h_->Record(static_cast<uint64_t>(ns < 0 ? 0 : ns));
+    }
+  }
+
+ private:
+  Histogram* h_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// Null-safe handles on the well-known exploration metrics. Engines bind once
+// per run; with a null registry every handle is null and recording is free.
+struct ExplorationMetrics {
+  Counter* distinct_states = nullptr;      // states.distinct
+  Counter* generated = nullptr;            // states.generated (incl. duplicates)
+  Counter* duplicates = nullptr;           // states.duplicate (fingerprint hits)
+  Counter* deadlocks = nullptr;            // states.deadlock
+  Counter* expand_calls = nullptr;         // expand.calls
+  Counter* invariant_checks = nullptr;     // invariants.checked
+  Counter* transition_checks = nullptr;    // invariants.transition_checked
+  Counter* violations = nullptr;           // violations.found
+  Counter* levels = nullptr;               // bfs.levels
+  Counter* reconstructions = nullptr;      // trace.reconstructions
+  Counter* walk_steps = nullptr;           // walk.steps
+  Counter* walks = nullptr;                // walk.traces
+  Gauge* frontier = nullptr;               // frontier.size (last completed level)
+  Gauge* frontier_peak = nullptr;          // frontier.peak
+  Gauge* workers = nullptr;                // workers
+  Histogram* phases[kNumPhases] = {};      // phase.<name>, ns
+
+  static ExplorationMetrics Bind(MetricsRegistry* registry);
+
+  Histogram* phase(Phase p) const { return phases[static_cast<int>(p)]; }
+};
+
+// Null-safe recording helpers.
+inline void Add(Counter* c, uint64_t n = 1) {
+  if (c != nullptr) {
+    c->Add(n);
+  }
+}
+inline void Set(Gauge* g, int64_t v) {
+  if (g != nullptr) {
+    g->Set(v);
+  }
+}
+inline void SetMax(Gauge* g, int64_t v) {
+  if (g != nullptr) {
+    g->SetMax(v);
+  }
+}
+
+}  // namespace obs
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_OBS_PHASE_TIMER_H_

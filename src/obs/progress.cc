@@ -1,0 +1,97 @@
+#include "src/obs/progress.h"
+
+namespace sandtable {
+namespace obs {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}  // namespace
+
+Json ProgressSample::ToJson() const {
+  JsonObject o;
+  o["type"] = Json("progress");
+  o["engine"] = Json(engine);
+  o["elapsed_s"] = Json(elapsed_s);
+  o["distinct_states"] = Json(distinct_states);
+  o["frontier"] = Json(frontier);
+  o["depth"] = Json(depth);
+  o["transitions"] = Json(transitions);
+  o["deadlocks"] = Json(deadlocks);
+  o["event_kinds"] = Json(static_cast<int64_t>(event_kinds));
+  o["branches"] = Json(branches);
+  if (!worker_queue_depths.empty()) {
+    JsonArray workers;
+    for (uint64_t depth_w : worker_queue_depths) {
+      workers.push_back(Json(depth_w));
+    }
+    o["workers"] = Json(std::move(workers));
+  }
+  if (shard_load.has_value()) {
+    JsonObject shards;
+    shards["count"] = Json(static_cast<int64_t>(shard_load->shards));
+    shards["min"] = Json(shard_load->min_size);
+    shards["max"] = Json(shard_load->max_size);
+    shards["avg"] = Json(shard_load->avg_size);
+    shards["max_load_factor"] = Json(shard_load->max_load_factor);
+    o["shards"] = Json(std::move(shards));
+  }
+  return Json(std::move(o));
+}
+
+ProgressReporter::ProgressReporter(std::ostream* out, ProgressOptions options)
+    : out_(out),
+      options_(options),
+      next_states_(options.every_states),
+      next_time_(Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(
+                                        options.every_seconds > 0
+                                            ? options.every_seconds
+                                            : 0))) {}
+
+bool ProgressReporter::Due(uint64_t distinct_states) const {
+  if (options_.every_states > 0 && distinct_states >= next_states_) {
+    return true;
+  }
+  if (options_.every_seconds > 0 && Clock::now() >= next_time_) {
+    return true;
+  }
+  return false;
+}
+
+bool ProgressReporter::Offer(const ProgressSample& sample) {
+  if (!Due(sample.distinct_states)) {
+    return false;
+  }
+  Emit(sample);
+  return true;
+}
+
+void ProgressReporter::Emit(const ProgressSample& sample) {
+  Json line = sample.ToJson();
+  const double dt = sample.elapsed_s - last_elapsed_s_;
+  const double d_states =
+      static_cast<double>(sample.distinct_states) - static_cast<double>(last_distinct_);
+  line["states_per_sec"] =
+      Json(sample.elapsed_s > 0 ? sample.distinct_states / sample.elapsed_s : 0.0);
+  line["recent_states_per_sec"] = Json(dt > 0 ? d_states / dt : 0.0);
+
+  (*out_) << line.Dump() << '\n';
+  out_->flush();
+
+  ++lines_emitted_;
+  last_distinct_ = sample.distinct_states;
+  last_elapsed_s_ = sample.elapsed_s;
+  if (options_.every_states > 0) {
+    // Skip cadence points the run has already passed.
+    while (next_states_ <= sample.distinct_states) {
+      next_states_ += options_.every_states;
+    }
+  }
+  if (options_.every_seconds > 0) {
+    next_time_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                    std::chrono::duration<double>(options_.every_seconds));
+  }
+}
+
+}  // namespace obs
+}  // namespace sandtable

@@ -1,0 +1,93 @@
+// Structured exploration progress: periodic JSON lines describing how a
+// checker run is advancing, replacing the ad-hoc progress callback the
+// engines used to expose. One line per emission, schema:
+//
+//   {"type":"progress","engine":"bfs","elapsed_s":1.25,"distinct_states":..,
+//    "frontier":..,"depth":..,"states_per_sec":..,"recent_states_per_sec":..,
+//    "transitions":..,"event_kinds":..,"branches":..,"deadlocks":..,
+//    "workers":[q0,q1,...],            // per-worker next-frontier depths (parallel only)
+//    "shards":{"count":..,"min":..,"max":..,"avg":..,"max_load_factor":..}}
+//
+// The reporter owns the cadence (every N states and/or every T seconds); the
+// engines only offer samples at their natural sampling points. Emission goes
+// to any std::ostream — stderr by default, or a --metrics-out style file.
+#ifndef SANDTABLE_SRC_OBS_PROGRESS_H_
+#define SANDTABLE_SRC_OBS_PROGRESS_H_
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace sandtable {
+namespace obs {
+
+// Load distribution of a sharded fingerprint set at sampling time.
+struct ShardLoad {
+  int shards = 0;
+  uint64_t min_size = 0;
+  uint64_t max_size = 0;
+  double avg_size = 0;
+  double max_load_factor = 0;  // worst unordered_map load factor across shards
+};
+
+struct ProgressSample {
+  std::string engine;  // "bfs" | "parallel_bfs" | "random_walk" | "conformance"
+  double elapsed_s = 0;
+  uint64_t distinct_states = 0;
+  uint64_t frontier = 0;
+  uint64_t depth = 0;
+  uint64_t transitions = 0;
+  uint64_t deadlocks = 0;
+  int event_kinds = 0;
+  uint64_t branches = 0;
+  std::vector<uint64_t> worker_queue_depths;  // empty for serial engines
+  std::optional<ShardLoad> shard_load;
+
+  Json ToJson() const;
+};
+
+struct ProgressOptions {
+  // Emit whenever distinct_states has grown by this many since the last
+  // emission (0 = no state-based cadence).
+  uint64_t every_states = 0;
+  // Emit at most once per this many wall-clock seconds (0 = no time cadence).
+  double every_seconds = 0;
+};
+
+// Not thread-safe: engines report from the coordinator thread only.
+class ProgressReporter {
+ public:
+  // `out` is borrowed and must outlive the reporter.
+  explicit ProgressReporter(std::ostream* out, ProgressOptions options = {});
+
+  // Cheap cadence check for hot loops: build the (comparatively expensive)
+  // sample only when this returns true.
+  bool Due(uint64_t distinct_states) const;
+
+  // Emit if due; returns true when a line was written.
+  bool Offer(const ProgressSample& sample);
+
+  // Emit unconditionally and advance the cadence markers.
+  void Emit(const ProgressSample& sample);
+
+  uint64_t lines_emitted() const { return lines_emitted_; }
+
+ private:
+  std::ostream* out_;
+  ProgressOptions options_;
+  uint64_t next_states_;
+  std::chrono::steady_clock::time_point next_time_;
+  uint64_t last_distinct_ = 0;
+  double last_elapsed_s_ = 0;
+  uint64_t lines_emitted_ = 0;
+};
+
+}  // namespace obs
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_OBS_PROGRESS_H_

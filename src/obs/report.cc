@@ -1,0 +1,130 @@
+#include "src/obs/report.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace sandtable {
+namespace obs {
+
+namespace {
+
+// Render a nanosecond quantity with a human scale suffix.
+std::string HumanNs(double ns) {
+  char buf[32];
+  if (ns >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  } else if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  }
+  return buf;
+}
+
+std::string ScalarToText(const Json& v) {
+  switch (v.type()) {
+    case Json::Type::kBool:
+      return v.as_bool() ? "yes" : "no";
+    case Json::Type::kInt:
+    case Json::Type::kDouble:
+    case Json::Type::kString:
+    case Json::Type::kNull:
+      return v.is_string() ? v.as_string() : v.Dump();
+    default:
+      return v.Dump();
+  }
+}
+
+void AppendLine(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendLine(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out += buf;
+  out += '\n';
+}
+
+}  // namespace
+
+Json MakeReport(const std::string& engine, Json result, const MetricsRegistry* metrics) {
+  JsonObject o;
+  o["type"] = Json("report");
+  o["schema_version"] = Json(static_cast<int64_t>(kReportSchemaVersion));
+  o["engine"] = Json(engine);
+  o["result"] = std::move(result);
+  if (metrics != nullptr) {
+    o["metrics"] = metrics->Snapshot().ToJson();
+  }
+  return Json(std::move(o));
+}
+
+std::string ReportToText(const Json& report) {
+  std::string out;
+  const std::string engine =
+      report["engine"].is_string() ? report["engine"].as_string() : "?";
+  AppendLine(out, "=== %s run report ===", engine.c_str());
+
+  const Json& result = report["result"];
+  if (result.is_object()) {
+    for (const auto& [key, value] : result.as_object()) {
+      if (value.is_array() || value.is_object()) {
+        continue;  // traces and nested structures stay JSON-only
+      }
+      AppendLine(out, "  %-28s %s", key.c_str(), ScalarToText(value).c_str());
+    }
+  }
+
+  const Json& metrics = report["metrics"];
+  if (!metrics.is_object()) {
+    return out;
+  }
+  const Json& counters = metrics["counters"];
+  if (counters.is_object() && !counters.as_object().empty()) {
+    AppendLine(out, "counters:");
+    for (const auto& [name, value] : counters.as_object()) {
+      AppendLine(out, "  %-28s %" PRId64, name.c_str(),
+                 value.is_number() ? value.as_int() : 0);
+    }
+  }
+  const Json& gauges = metrics["gauges"];
+  if (gauges.is_object() && !gauges.as_object().empty()) {
+    AppendLine(out, "gauges:");
+    for (const auto& [name, value] : gauges.as_object()) {
+      AppendLine(out, "  %-28s %" PRId64, name.c_str(),
+                 value.is_number() ? value.as_int() : 0);
+    }
+  }
+  const Json& histograms = metrics["histograms"];
+  if (histograms.is_object() && !histograms.as_object().empty()) {
+    AppendLine(out, "phase timers:");
+    AppendLine(out, "  %-28s %10s %10s %9s %9s %9s %9s", "histogram", "count", "total",
+               "mean", "p50", "p90", "p99");
+    for (const auto& [name, h] : histograms.as_object()) {
+      const uint64_t count =
+          h["count"].is_number() ? static_cast<uint64_t>(h["count"].as_int()) : 0;
+      if (count == 0) {
+        AppendLine(out, "  %-28s %10s %10s %9s %9s %9s %9s", name.c_str(), "0", "-", "-",
+                   "-", "-", "-");
+        continue;
+      }
+      AppendLine(out, "  %-28s %10llu %10s %9s %9s %9s %9s", name.c_str(),
+                 static_cast<unsigned long long>(count),
+                 HumanNs(h["sum"].as_double()).c_str(),
+                 HumanNs(h["mean"].as_double()).c_str(),
+                 HumanNs(h["p50"].as_double()).c_str(),
+                 HumanNs(h["p90"].as_double()).c_str(),
+                 HumanNs(h["p99"].as_double()).c_str());
+    }
+  }
+  return out;
+}
+
+}  // namespace obs
+}  // namespace sandtable

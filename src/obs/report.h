@@ -1,0 +1,35 @@
+// End-of-run reports: one JSON document combining an engine's result with the
+// run's metrics snapshot, plus a human-readable rendering. Schema:
+//
+//   {"type":"report","engine":"bfs","schema_version":1,
+//    "result":{...engine-specific, e.g. BfsResult::ToJson()...},
+//    "metrics":{"counters":{...},"gauges":{...},"histograms":{...}}}
+//
+// The report layer is engine-agnostic on purpose: callers pass the result
+// already serialized, so obs depends only on util and every engine (BFS,
+// parallel BFS, random walk, conformance) and every bench shares the same
+// export path.
+#ifndef SANDTABLE_SRC_OBS_REPORT_H_
+#define SANDTABLE_SRC_OBS_REPORT_H_
+
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/util/json.h"
+
+namespace sandtable {
+namespace obs {
+
+inline constexpr int kReportSchemaVersion = 1;
+
+// Compose the report document. `metrics` may be null (no "metrics" key).
+Json MakeReport(const std::string& engine, Json result, const MetricsRegistry* metrics);
+
+// Render a report (as produced by MakeReport) as an aligned human table:
+// result fields, counters, gauges, and per-phase timer percentiles.
+std::string ReportToText(const Json& report);
+
+}  // namespace obs
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_OBS_REPORT_H_

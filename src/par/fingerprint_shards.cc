@@ -1,5 +1,7 @@
 #include "src/par/fingerprint_shards.h"
 
+#include <algorithm>
+
 #include "src/util/check.h"
 
 namespace sandtable {
@@ -33,6 +35,18 @@ std::optional<uint64_t> ShardedFingerprintSet::Parent(uint64_t fp) const {
     return std::nullopt;
   }
   return it->second;
+}
+
+ShardedFingerprintSet::LoadStats ShardedFingerprintSet::Load() const {
+  LoadStats stats;
+  stats.sizes.reserve(static_cast<size_t>(nshards_));
+  for (int i = 0; i < nshards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    stats.sizes.push_back(shards_[i].map.size());
+    stats.max_load_factor =
+        std::max(stats.max_load_factor, static_cast<double>(shards_[i].map.load_factor()));
+  }
+  return stats;
 }
 
 void ShardedFingerprintSet::Reserve(uint64_t expected_total) {

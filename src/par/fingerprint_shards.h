@@ -16,6 +16,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 namespace sandtable {
 namespace par {
@@ -44,6 +45,16 @@ class ShardedFingerprintSet {
   void Reserve(uint64_t expected_total);
 
   int shard_count() const { return nshards_; }
+
+  // Per-shard entry counts plus the largest hash-table load factor, for the
+  // progress reporter's shard-balance telemetry. Takes each shard lock in
+  // turn, so the snapshot is per-shard consistent but not globally atomic —
+  // call it from the coordinator (e.g. at a level barrier), not the hot path.
+  struct LoadStats {
+    std::vector<size_t> sizes;   // entries per shard
+    double max_load_factor = 0;  // worst shard's hash-table load factor
+  };
+  LoadStats Load() const;
 
  private:
   struct alignas(64) Shard {  // own cache line: the mutex must not false-share

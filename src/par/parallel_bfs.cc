@@ -1,5 +1,6 @@
 #include "src/par/parallel_bfs.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -8,6 +9,7 @@
 
 #include "src/mc/expand.h"
 #include "src/mc/reconstruct.h"
+#include "src/obs/phase_timer.h"
 #include "src/par/fingerprint_shards.h"
 #include "src/par/work_queue.h"
 #include "src/par/worker_pool.h"
@@ -18,6 +20,7 @@ namespace sandtable {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+using obs::Phase;
 
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
@@ -82,6 +85,10 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
       options.workers > 0
           ? options.workers
           : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  // The registry's counters and histograms are internally sharded, so workers
+  // record into `m` concurrently without further coordination.
+  const obs::ExplorationMetrics m = obs::ExplorationMetrics::Bind(base.metrics);
+  obs::Set(m.workers, workers);
 
   par::ShardedFingerprintSet visited(options.shard_count_log2);
   visited.Reserve(options.reserve_states > 0 ? options.reserve_states : (1 << 16));
@@ -92,6 +99,7 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
 
   auto record_violation = [&](const std::string& invariant, bool is_transition,
                               std::vector<TraceStep> trace) {
+    obs::Add(m.violations);
     if (result.violation.has_value()) {
       return;  // keep the first (minimal-depth) violation
     }
@@ -130,6 +138,8 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
     if (!visited.InsertIfAbsent(fp, fp)) {
       continue;
     }
+    obs::Add(m.distinct_states);
+    obs::Add(m.invariant_checks);
     const std::string bad = CheckInvariants(spec, init);
     if (!bad.empty()) {
       record_violation(bad, false, {TraceStep{ActionLabel{}, init}});
@@ -149,12 +159,12 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
   par::WorkerPool pool(workers);
 
   uint64_t depth = 0;
-  uint64_t next_progress = base.progress_every;
 
   while (!frontier.empty()) {
     if (depth >= base.max_depth) {
       return finalize(depth, false);
     }
+    obs::SetMax(m.frontier_peak, static_cast<int64_t>(frontier.size()));
 
     par::WorkQueue queue(frontier.size(), options.chunk_size);
     pool.RunLevel([&](int w) {
@@ -164,28 +174,55 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
       while (!stop.load(std::memory_order_relaxed) && queue.NextChunk(&begin, &end)) {
         for (size_t i = begin; i < end; ++i) {
           const FrontierItem& item = frontier[i];
-          std::vector<Successor> succs = ExpandAll(spec, item.state, &out.coverage);
+          std::vector<Successor> succs;
+          {
+            obs::PhaseTimer t(m.phase(Phase::kExpand));
+            obs::Add(m.expand_calls);
+            succs = ExpandAll(spec, item.state, &out.coverage);
+          }
           if (succs.empty()) {
             ++out.deadlocks;
+            obs::Add(m.deadlocks);
             continue;
           }
+          obs::Add(m.generated, succs.size());
           for (Successor& s : succs) {
             out.coverage.RecordEvent(s.label.kind);
-            const uint64_t fp = Fingerprint(spec, s.state, use_symmetry);
+            uint64_t fp;
+            {
+              obs::PhaseTimer t(m.phase(Phase::kCanonicalize));
+              fp = Fingerprint(spec, s.state, use_symmetry);
+            }
 
             // Transition invariants hold on every edge, including edges back
             // to already-visited states.
-            const std::string bad_edge =
-                CheckTransitionInvariants(spec, item.state, s.label, s.state);
+            std::string bad_edge;
+            {
+              obs::PhaseTimer t(m.phase(Phase::kInvariants));
+              obs::Add(m.transition_checks);
+              bad_edge = CheckTransitionInvariants(spec, item.state, s.label, s.state);
+            }
             if (!bad_edge.empty()) {
               out.candidates.push_back(
                   ViolationCandidate{bad_edge, true, item.fp, fp, s.label, s.state});
             }
 
-            if (!visited.InsertIfAbsent(fp, item.fp)) {
+            bool duplicate;
+            {
+              obs::PhaseTimer t(m.phase(Phase::kFingerprint));
+              duplicate = !visited.InsertIfAbsent(fp, item.fp);
+            }
+            if (duplicate) {
+              obs::Add(m.duplicates);
               continue;
             }
-            const std::string bad = CheckInvariants(spec, s.state);
+            obs::Add(m.distinct_states);
+            std::string bad;
+            {
+              obs::PhaseTimer t(m.phase(Phase::kInvariants));
+              obs::Add(m.invariant_checks);
+              bad = CheckInvariants(spec, s.state);
+            }
             if (!bad.empty()) {
               out.candidates.push_back(
                   ViolationCandidate{bad, false, fp, fp, ActionLabel{}, State{}});
@@ -219,8 +256,12 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
       }
     }
     if (best != nullptr && !result.violation.has_value()) {
-      std::vector<TraceStep> trace =
-          ReconstructTrace(spec, parent_of, best->fp, use_symmetry);
+      std::vector<TraceStep> trace;
+      {
+        obs::PhaseTimer t(m.phase(Phase::kReconstruct));
+        obs::Add(m.reconstructions);
+        trace = ReconstructTrace(spec, parent_of, best->fp, use_symmetry);
+      }
       if (best->is_transition) {
         trace.push_back(TraceStep{best->label, best->state});
       }
@@ -242,10 +283,42 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
       return finalize(depth, false);
     }
 
-    if (base.progress && base.progress_every > 0 && visited.size() >= next_progress) {
-      base.progress(visited.size(), depth + 1, SecondsSince(start));
-      next_progress =
-          (visited.size() / base.progress_every + 1) * base.progress_every;
+    // Progress is sampled at the level barrier, where per-worker queue depths
+    // and shard balance can be read without racing the workers.
+    if (base.progress != nullptr && base.progress->Due(visited.size())) {
+      obs::ProgressSample sample;
+      sample.engine = "parallel_bfs";
+      sample.elapsed_s = SecondsSince(start);
+      sample.distinct_states = visited.size();
+      sample.depth = depth + 1;
+      sample.deadlocks = 0;
+      uint64_t frontier_total = 0;
+      for (const WorkerOutput& out : outs) {
+        sample.worker_queue_depths.push_back(out.next.size());
+        frontier_total += out.next.size();
+        sample.deadlocks += out.deadlocks;
+        sample.transitions += out.coverage.transitions;
+      }
+      sample.frontier = frontier_total;
+      const par::ShardedFingerprintSet::LoadStats load = visited.Load();
+      obs::ShardLoad shard_load;
+      shard_load.shards = load.sizes.size();
+      shard_load.max_load_factor = load.max_load_factor;
+      size_t min_size = load.sizes.empty() ? 0 : load.sizes[0];
+      size_t max_size = 0;
+      size_t total = 0;
+      for (size_t sz : load.sizes) {
+        min_size = std::min(min_size, sz);
+        max_size = std::max(max_size, sz);
+        total += sz;
+      }
+      shard_load.min_size = min_size;
+      shard_load.max_size = max_size;
+      shard_load.avg_size =
+          load.sizes.empty() ? 0.0
+                             : static_cast<double>(total) / static_cast<double>(load.sizes.size());
+      sample.shard_load = shard_load;
+      base.progress->Emit(sample);
     }
 
     // Concatenate the workers' next-frontier slices. Each distinct state was
@@ -262,6 +335,8 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
       }
       out.next.clear();
     }
+    obs::Add(m.levels);
+    obs::Set(m.frontier, static_cast<int64_t>(frontier.size()));
     if (!frontier.empty()) {
       ++depth;
     }

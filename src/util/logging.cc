@@ -1,12 +1,28 @@
 #include "src/util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 
 namespace sandtable {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kWarn)};
+
+// Monotonic time base shared by every stderr line, initialized on first log.
+std::chrono::steady_clock::time_point LogEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+// Small sequential thread ids (main thread = 0 if it logs first) — far easier
+// to correlate across interleaved worker output than std::thread::id values.
+int ThisThreadLogId() {
+  static std::atomic<int> next{0};
+  thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
 }  // namespace
 
 const char* LogLevelName(LogLevel level) {
@@ -35,7 +51,13 @@ void EmitLog(LogLevel level, const std::string& line) {
   if (static_cast<int>(level) < g_min_level.load()) {
     return;
   }
-  std::fprintf(stderr, "[%s] %s\n", LogLevelName(level), line.c_str());
+  // Elapsed monotonic seconds + thread id prefix the level, so interleaved
+  // parallel-engine output stays attributable and timeable. Per-node engine
+  // sinks (log-parsing observation channel) bypass this formatting entirely.
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - LogEpoch()).count();
+  std::fprintf(stderr, "[%10.3f T%02d %s] %s\n", elapsed, ThisThreadLogId(),
+               LogLevelName(level), line.c_str());
 }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line, LogSink* sink)

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "src/mc/bfs.h"
 #include "src/mc/expand.h"
 #include "src/mc/random_walk.h"
@@ -116,14 +118,41 @@ TEST(Bfs, CoverageCollected) {
             r.coverage.transitions);
 }
 
-TEST(Bfs, ProgressCallbackInvoked) {
+TEST(Bfs, ProgressReporterEmitsParsableJson) {
   const Spec spec = toys::Counter(100);
+  std::ostringstream sink;
+  obs::ProgressOptions popts;
+  popts.every_states = 10;
+  obs::ProgressReporter reporter(&sink, popts);
   BfsOptions opts;
-  opts.progress_every = 10;
-  int calls = 0;
-  opts.progress = [&](uint64_t states, uint64_t depth, double secs) { ++calls; };
+  opts.progress = &reporter;
   BfsCheck(spec, opts);
-  EXPECT_GE(calls, 9);
+  EXPECT_GE(reporter.lines_emitted(), 9u);
+  // Every emitted line is a self-contained JSON record of type "progress".
+  std::istringstream lines(sink.str());
+  std::string line;
+  uint64_t parsed = 0;
+  while (std::getline(lines, line)) {
+    auto rec = Json::Parse(line);
+    ASSERT_TRUE(rec.ok()) << line;
+    EXPECT_EQ(rec.value()["type"].as_string(), "progress");
+    EXPECT_EQ(rec.value()["engine"].as_string(), "bfs");
+    ++parsed;
+  }
+  EXPECT_EQ(parsed, reporter.lines_emitted());
+}
+
+TEST(Bfs, MetricsRegistryCountsStates) {
+  const Spec spec = toys::Counter(10);
+  obs::MetricsRegistry registry;
+  BfsOptions opts;
+  opts.metrics = &registry;
+  const BfsResult r = BfsCheck(spec, opts);
+  const auto snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("states.distinct"), r.distinct_states);
+  EXPECT_EQ(snap.counters.at("states.deadlock"), r.deadlock_states);
+  EXPECT_GT(snap.counters.at("expand.calls"), 0u);
+  EXPECT_GT(snap.counters.at("invariants.checked"), 0u);
 }
 
 TEST(RandomWalk, RespectsMaxDepth) {
@@ -133,7 +162,11 @@ TEST(RandomWalk, RespectsMaxDepth) {
   opts.max_depth = 20;
   const WalkResult r = RandomWalk(spec, opts, rng);
   EXPECT_EQ(r.depth, 20u);
+  // A walk cut off by the depth limit is capped, not deadlocked: the final
+  // state still had successors.
+  EXPECT_TRUE(r.hit_depth_limit);
   EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.ToJson()["terminated"].as_string(), "depth_limit");
 }
 
 TEST(RandomWalk, StopsAtDeadlock) {
@@ -143,6 +176,8 @@ TEST(RandomWalk, StopsAtDeadlock) {
   const WalkResult r = RandomWalk(spec, opts, rng);
   EXPECT_EQ(r.depth, 5u);
   EXPECT_TRUE(r.deadlocked);
+  EXPECT_FALSE(r.hit_depth_limit);
+  EXPECT_EQ(r.ToJson()["terminated"].as_string(), "deadlock");
 }
 
 TEST(RandomWalk, CollectsTrace) {

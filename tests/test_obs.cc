@@ -1,0 +1,228 @@
+// Tests for the observability subsystem (src/obs/): metric primitives,
+// snapshot algebra, phase timers and the structured progress/report export.
+// Runs under TSan via the `par` label — the counter and histogram tests
+// hammer the sharded cells from many threads.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/obs/phase_timer.h"
+#include "src/obs/progress.h"
+#include "src/obs/report.h"
+#include "src/util/json.h"
+
+namespace sandtable {
+namespace obs {
+namespace {
+
+TEST(Histogram, PercentileMath) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 100; ++v) {
+    h.Record(v);
+  }
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.sum, 5050u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 50.5);
+  // Percentiles are interpolated inside power-of-two buckets, so they are
+  // estimates — but they must be clamped to [min, max] and monotone in p.
+  const double p10 = s.Percentile(0.10);
+  const double p50 = s.Percentile(0.50);
+  const double p99 = s.Percentile(0.99);
+  EXPECT_GE(p10, 1.0);
+  EXPECT_LE(p99, 100.0);
+  EXPECT_LE(p10, p50);
+  EXPECT_LE(p50, p99);
+  // The median of 1..100 lives in bucket [32,63]; the estimate must too.
+  EXPECT_GE(p50, 32.0);
+  EXPECT_LE(p50, 64.0);
+}
+
+TEST(Histogram, SingleValueCollapsesPercentiles) {
+  Histogram h;
+  h.Record(42);
+  const HistogramSnapshot s = h.Snapshot();
+  // With one observation min == max pins every percentile exactly.
+  EXPECT_DOUBLE_EQ(s.Percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(1.0), 42.0);
+}
+
+TEST(Histogram, EmptySnapshotIsInert) {
+  const HistogramSnapshot s = Histogram().Snapshot();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0.5), 0.0);
+}
+
+TEST(Counter, ConcurrentIncrementsLoseNothing) {
+  MetricsRegistry registry;
+  Counter& c = registry.GetCounter("test.hits");
+  Histogram& h = registry.GetHistogram("test.latency");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) {
+        c.Add(1);
+        h.Record(static_cast<uint64_t>(t) + 1);
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+  const HistogramSnapshot s = h.Snapshot();
+  EXPECT_EQ(s.count, kThreads * kPerThread);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, static_cast<uint64_t>(kThreads));
+}
+
+TEST(Snapshot, MergeIsAssociative) {
+  // Three registries with overlapping and disjoint metric names.
+  MetricsRegistry ra;
+  MetricsRegistry rb;
+  MetricsRegistry rc;
+  ra.GetCounter("shared").Add(3);
+  rb.GetCounter("shared").Add(5);
+  rc.GetCounter("shared").Add(7);
+  ra.GetCounter("only_a").Add(1);
+  rc.GetCounter("only_c").Add(9);
+  ra.GetGauge("peak").Set(10);
+  rb.GetGauge("peak").Set(25);
+  rc.GetGauge("peak").Set(4);
+  for (uint64_t v : {1, 2, 3}) ra.GetHistogram("lat").Record(v);
+  for (uint64_t v : {100, 200}) rb.GetHistogram("lat").Record(v);
+  rc.GetHistogram("lat").Record(50);
+
+  const MetricsSnapshot a = ra.Snapshot();
+  const MetricsSnapshot b = rb.Snapshot();
+  const MetricsSnapshot c = rc.Snapshot();
+
+  MetricsSnapshot left = a;   // (a + b) + c
+  left.Merge(b);
+  left.Merge(c);
+  MetricsSnapshot bc = b;     // a + (b + c)
+  bc.Merge(c);
+  MetricsSnapshot right = a;
+  right.Merge(bc);
+
+  EXPECT_EQ(left.ToJson().Dump(), right.ToJson().Dump());
+  EXPECT_EQ(left.counters.at("shared"), 15u);
+  EXPECT_EQ(left.counters.at("only_a"), 1u);
+  EXPECT_EQ(left.counters.at("only_c"), 9u);
+  EXPECT_EQ(left.gauges.at("peak"), 25);  // gauges merge by max
+  EXPECT_EQ(left.histograms.at("lat").count, 6u);
+  EXPECT_EQ(left.histograms.at("lat").min, 1u);
+  EXPECT_EQ(left.histograms.at("lat").max, 200u);
+}
+
+TEST(PhaseTimer, RecordsOnlyWhenEnabled) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("phase.expand");
+  { PhaseTimer t(&h); }
+  EXPECT_EQ(h.Snapshot().count, 1u);
+  SetPhaseTimersEnabled(false);
+  { PhaseTimer t(&h); }
+  EXPECT_EQ(h.Snapshot().count, 1u);  // disabled: no clock reads, no record
+  SetPhaseTimersEnabled(true);
+  { PhaseTimer t(&h); }
+  EXPECT_EQ(h.Snapshot().count, 2u);
+  { PhaseTimer t(nullptr); }  // null histogram is always a no-op
+}
+
+TEST(Progress, GoldenLineParsesWithAllFields) {
+  std::ostringstream sink;
+  ProgressReporter reporter(&sink, {});
+  ProgressSample sample;
+  sample.engine = "parallel_bfs";
+  sample.elapsed_s = 1.5;
+  sample.distinct_states = 1234;
+  sample.frontier = 56;
+  sample.depth = 7;
+  sample.transitions = 9000;
+  sample.deadlocks = 2;
+  sample.event_kinds = 4;
+  sample.branches = 11;
+  sample.worker_queue_depths = {10, 20, 26};
+  ShardLoad load;
+  load.shards = 4;
+  load.min_size = 100;
+  load.max_size = 400;
+  load.avg_size = 250.0;
+  load.max_load_factor = 0.75;
+  sample.shard_load = load;
+  reporter.Emit(sample);
+  EXPECT_EQ(reporter.lines_emitted(), 1u);
+
+  auto parsed = Json::Parse(sink.str());
+  ASSERT_TRUE(parsed.ok()) << sink.str();
+  const Json& j = parsed.value();
+  EXPECT_EQ(j["type"].as_string(), "progress");
+  EXPECT_EQ(j["engine"].as_string(), "parallel_bfs");
+  EXPECT_DOUBLE_EQ(j["elapsed_s"].as_double(), 1.5);
+  EXPECT_EQ(j["distinct_states"].as_int(), 1234);
+  EXPECT_EQ(j["frontier"].as_int(), 56);
+  EXPECT_EQ(j["depth"].as_int(), 7);
+  EXPECT_EQ(j["transitions"].as_int(), 9000);
+  EXPECT_EQ(j["deadlocks"].as_int(), 2);
+  EXPECT_EQ(j["event_kinds"].as_int(), 4);
+  EXPECT_EQ(j["branches"].as_int(), 11);
+  ASSERT_EQ(j["workers"].size(), 3u);
+  EXPECT_EQ(j["workers"][2].as_int(), 26);
+  EXPECT_EQ(j["shards"]["count"].as_int(), 4);
+  EXPECT_DOUBLE_EQ(j["shards"]["max_load_factor"].as_double(), 0.75);
+  EXPECT_GT(j["states_per_sec"].as_double(), 0.0);
+}
+
+TEST(Progress, CadenceByStates) {
+  std::ostringstream sink;
+  ProgressOptions opts;
+  opts.every_states = 100;
+  ProgressReporter reporter(&sink, opts);
+  EXPECT_FALSE(reporter.Due(50));
+  EXPECT_TRUE(reporter.Due(100));
+  ProgressSample s;
+  s.engine = "bfs";
+  s.distinct_states = 100;
+  reporter.Emit(s);
+  EXPECT_FALSE(reporter.Due(150));
+  EXPECT_TRUE(reporter.Due(200));
+}
+
+TEST(Report, ComposesResultAndMetrics) {
+  MetricsRegistry registry;
+  registry.GetCounter("states.distinct").Add(17);
+  registry.GetGauge("workers").Set(2);
+  registry.GetHistogram("phase.expand").Record(1000);
+  JsonObject result;
+  result["outcome"] = Json(std::string("exhausted"));
+  const Json report = MakeReport("bfs", Json(std::move(result)), &registry);
+  EXPECT_EQ(report["type"].as_string(), "report");
+  EXPECT_EQ(report["schema_version"].as_int(), kReportSchemaVersion);
+  EXPECT_EQ(report["engine"].as_string(), "bfs");
+  EXPECT_EQ(report["result"]["outcome"].as_string(), "exhausted");
+  EXPECT_EQ(report["metrics"]["counters"]["states.distinct"].as_int(), 17);
+  // The document survives a serialize/parse round trip.
+  auto reparsed = Json::Parse(report.Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed.value().Dump(), report.Dump());
+  // And renders as a human table mentioning the counter.
+  const std::string text = ReportToText(report);
+  EXPECT_NE(text.find("states.distinct"), std::string::npos);
+  EXPECT_NE(text.find("phase.expand"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sandtable
