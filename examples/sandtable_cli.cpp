@@ -4,10 +4,12 @@
 //   sandtable_cli list-systems
 //   sandtable_cli list-bugs
 //   sandtable_cli check --system pysyncobj --bug PySyncObj#2 [--budget 60]
-//                       [--workers 4] [--trace-out /tmp/bug.jsonl]
+//                       [--workers 4] [--trace-out /tmp/bug.jsonl] [--minimize]
 //   sandtable_cli conformance --system wraft [--traces 100] [--channel log]
-//   sandtable_cli simulate --system raftos --traces 1000
+//   sandtable_cli simulate --system raftos --traces 1000 [--seed 1] [--minimize]
 //   sandtable_cli replay --system pysyncobj --bug PySyncObj#2 --trace /tmp/bug.jsonl
+//   sandtable_cli minimize --bug PySyncObj#2 [--trace /tmp/bug.jsonl]
+//                          [--trace-out /tmp/min.jsonl] [--corpus-out golden.trace.json]
 //   sandtable_cli rank --system pysyncobj
 //
 // Telemetry (src/obs): `--metrics-out FILE` streams progress JSONL plus a
@@ -30,9 +32,12 @@
 #include "src/mc/bfs.h"
 #include "src/mc/random_walk.h"
 #include "src/mc/ranking.h"
+#include "src/minimize/corpus.h"
+#include "src/minimize/minimize.h"
 #include "src/obs/phase_timer.h"
 #include "src/obs/report.h"
 #include "src/par/parallel_bfs.h"
+#include "src/trace/spec_replay.h"
 
 using namespace sandtable;               // NOLINT(build/namespaces): CLI brevity
 using namespace sandtable::conformance;  // NOLINT(build/namespaces)
@@ -54,6 +59,10 @@ struct Args {
   int traces = 100;
   int workers = 1;  // >1 switches `check` to the parallel engine (src/par/)
   bool with_bugs = false;
+  uint64_t seed = 1;          // base RNG seed (simulate derives one per walk)
+  bool minimize = false;      // shrink the counterexample before reporting it
+  bool minimize_any = false;  // accept any violation while shrinking
+  std::string corpus_out;     // golden-trace JSON sink (minimize subcommand)
 };
 
 bool ParseArgs(int argc, char** argv, Args* out) {
@@ -102,6 +111,15 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->progress_every = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flag == "--with-bugs") {
       out->with_bugs = true;
+    } else if (flag == "--seed" && next(&v)) {
+      out->seed = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--minimize") {
+      out->minimize = true;
+    } else if (flag == "--minimize-any") {
+      out->minimize = true;
+      out->minimize_any = true;
+    } else if (flag == "--corpus-out" && next(&v)) {
+      out->corpus_out = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -202,6 +220,59 @@ struct Telemetry {
   }
 };
 
+// Shrink a violation, print the before/after summary and the shrunk event
+// list. Returns the result so callers can embed m.ToJson() in their report
+// and reuse m.trace for trace-out / implementation-level replay.
+minimize::MinimizeResult RunMinimize(const Spec& spec, const Violation& v,
+                                     const Args& args, Telemetry& telemetry) {
+  minimize::MinimizeOptions mopts;
+  mopts.match_any = args.minimize_any;
+  mopts.metrics = &telemetry.registry;
+  const minimize::MinimizeResult m = minimize::MinimizeCounterexample(spec, v, mopts);
+  if (!m.input_reproduced) {
+    std::printf("minimize: input trace did not reproduce under guided replay\n");
+    return m;
+  }
+  std::printf("minimized %llu -> %llu events (%.0f%% shrink, %llu replays, %.2fs)\n",
+              static_cast<unsigned long long>(m.events_before),
+              static_cast<unsigned long long>(m.events_after), m.ShrinkRatio() * 100,
+              static_cast<unsigned long long>(m.replays), m.seconds);
+  std::fputs(FormatTraceEvents(m.trace, "  ").c_str(), stdout);
+  return m;
+}
+
+// Save a minimized counterexample as a golden corpus file (tests/corpus/).
+bool WriteCorpus(const Spec& spec, const BugInfo& bug,
+                 const minimize::MinimizeResult& m, const std::string& path) {
+  minimize::GoldenTrace g;
+  g.bug = bug.id;
+  g.invariant = m.violation.invariant;
+  g.is_transition_invariant = m.violation.is_transition_invariant;
+  for (size_t i = 0; i < spec.init_states.size(); ++i) {
+    if (spec.init_states[i] == m.trace[0].state) {
+      g.init_index = i;
+      break;
+    }
+  }
+  for (size_t i = 1; i < m.trace.size(); ++i) {
+    g.events.push_back(m.trace[i].label);
+  }
+  // Only deterministic fields belong in the golden file: wall-clock times
+  // would make every scripts/update_corpus.sh diff noisy.
+  JsonObject meta;
+  meta["events_before"] = Json(m.events_before);
+  meta["replays"] = Json(m.replays);
+  meta["generator"] = Json("sandtable_cli minimize");
+  g.meta = Json(std::move(meta));
+  const Status st = minimize::SaveGoldenTrace(g, path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "corpus write failed: %s\n", st.error().c_str());
+    return false;
+  }
+  std::printf("golden trace written to %s\n", path.c_str());
+  return true;
+}
+
 int CmdListSystems() {
   for (const std::string& s : RaftSystemNames()) {
     std::printf("%s\n", s.c_str());
@@ -242,24 +313,34 @@ int CmdCheck(const Args& args) {
   } else {
     r = BfsCheck(t.spec, opts);
   }
-  telemetry.Finish(engine, r.ToJson());
   std::printf("distinct states: %llu (depth %llu, %.1fs, %s)\n",
               static_cast<unsigned long long>(r.distinct_states),
               static_cast<unsigned long long>(r.depth_reached), r.seconds,
               r.exhausted ? "exhausted" : "bounded");
   if (!r.violation.has_value()) {
+    telemetry.Finish(engine, r.ToJson());
     std::printf("no safety violation found\n");
     return 0;
   }
   std::printf("VIOLATED %s\n", ViolationSummary(*r.violation).c_str());
   std::fputs(FormatTraceEvents(r.violation->trace, "  ").c_str(), stdout);
+  Json result_json = r.ToJson();
+  std::vector<TraceStep> trace = r.violation->trace;
+  if (args.minimize) {
+    const minimize::MinimizeResult m = RunMinimize(t.spec, *r.violation, args, telemetry);
+    if (m.input_reproduced) {
+      trace = m.trace;
+    }
+    result_json.as_object()["minimize"] = m.ToJson();
+  }
+  telemetry.Finish(engine, std::move(result_json));
   if (!args.trace_out.empty()) {
     std::ofstream f(args.trace_out);
-    f << TraceToJsonl(r.violation->trace);
+    f << TraceToJsonl(trace);
     std::printf("counterexample written to %s\n", args.trace_out.c_str());
   }
   // Confirm immediately (§3.4).
-  const ConfirmationResult confirm = ConfirmBug(t.factory, *t.observer, r.violation->trace);
+  const ConfirmationResult confirm = ConfirmBug(t.factory, *t.observer, trace);
   std::printf("implementation-level replay: %s\n",
               confirm.confirmed ? "CONFIRMED" : "diverged (false alarm?)");
   return 2;
@@ -295,18 +376,30 @@ int CmdConformance(const Args& args) {
 int CmdSimulate(const Args& args) {
   Target t = MakeTarget(args);
   Telemetry telemetry(args);
-  Rng rng(1);
   WalkOptions opts;
   opts.max_depth = 60;
   opts.metrics = &telemetry.registry;
+  if (args.minimize) {
+    // Hunt mode: check invariants along each walk and shrink the first
+    // violating trace found.
+    opts.collect_trace = true;
+    opts.check_invariants = true;
+    opts.check_transition_invariants = true;
+  }
   CoverageStats coverage;
   uint64_t total_depth = 0;
   uint64_t max_depth = 0;
   uint64_t deadlocked = 0;
   uint64_t depth_capped = 0;
+  std::optional<Violation> violation;
+  int walks_done = 0;
   const auto start = std::chrono::steady_clock::now();
   for (int i = 0; i < args.traces; ++i) {
+    // One independent RNG per walk, derived from --seed: walk i is
+    // reproducible on its own, regardless of how many walks ran before it.
+    Rng rng(args.seed + static_cast<uint64_t>(i));
     const WalkResult w = RandomWalk(t.spec, opts, rng);
+    walks_done = i + 1;
     coverage.Merge(w.coverage);
     total_depth += w.depth;
     max_depth = std::max(max_depth, w.depth);
@@ -327,18 +420,32 @@ int CmdSimulate(const Args& args) {
       s.branches = coverage.branches.size();
       telemetry.progress->Emit(s);
     }
+    if (w.violation.has_value()) {
+      violation = w.violation;
+      break;
+    }
   }
   JsonObject summary;
-  summary["walks"] = Json(static_cast<int64_t>(args.traces));
-  summary["avg_depth"] = Json(static_cast<double>(total_depth) / args.traces);
+  summary["walks"] = Json(static_cast<int64_t>(walks_done));
+  summary["avg_depth"] = Json(static_cast<double>(total_depth) / walks_done);
   summary["max_depth"] = Json(max_depth);
   summary["deadlocked"] = Json(deadlocked);
   summary["hit_depth_limit"] = Json(depth_capped);
   summary["coverage"] = coverage.ToJson();
+  if (violation.has_value()) {
+    std::printf("walk %d VIOLATED %s\n", walks_done, ViolationSummary(*violation).c_str());
+    const minimize::MinimizeResult m = RunMinimize(t.spec, *violation, args, telemetry);
+    summary["minimize"] = m.ToJson();
+    if (!args.trace_out.empty() && m.input_reproduced) {
+      std::ofstream f(args.trace_out);
+      f << TraceToJsonl(m.trace);
+      std::printf("counterexample written to %s\n", args.trace_out.c_str());
+    }
+  }
   telemetry.Finish("random_walk", Json(std::move(summary)));
-  std::printf("%d random walks over %s:\n", args.traces, t.spec.name.c_str());
+  std::printf("%d random walks over %s:\n", walks_done, t.spec.name.c_str());
   std::printf("  avg depth %.1f, max depth %llu (%llu deadlocked, %llu depth-capped)\n",
-              static_cast<double>(total_depth) / args.traces,
+              static_cast<double>(total_depth) / walks_done,
               static_cast<unsigned long long>(max_depth),
               static_cast<unsigned long long>(deadlocked),
               static_cast<unsigned long long>(depth_capped));
@@ -373,6 +480,94 @@ int CmdReplay(const Args& args) {
   }
   std::printf("replay diverged:\n%s\n", r.discrepancy->ToString().c_str());
   return 2;
+}
+
+// Minimize a counterexample for a catalog bug: either shrink a trace file
+// recorded by `check --trace-out`, or hunt one with BFS first. Writes the
+// shrunk trace (--trace-out, JSONL with states) and/or the golden corpus file
+// (--corpus-out, labels only) used by the corpus_replay regression driver.
+int CmdMinimize(const Args& args) {
+  if (args.bug.empty()) {
+    std::fprintf(stderr, "minimize needs --bug <ID> (see list-bugs)\n");
+    return 1;
+  }
+  const BugInfo& bug = FindBug(args.bug);
+  if (bug.invariant.empty()) {
+    std::fprintf(stderr, "%s has no spec-level invariant (stage: %s); only "
+                 "verification-stage bugs have counterexample traces\n",
+                 bug.id.c_str(), BugStageName(bug.stage));
+    return 1;
+  }
+  Telemetry telemetry(args);
+  const Spec spec = MakeBugSpec(bug);
+
+  Violation input;
+  if (!args.trace_path.empty()) {
+    std::ifstream f(args.trace_path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    auto parsed = TraceFromJsonl(ss.str());
+    if (!parsed.ok() || parsed.value().empty()) {
+      std::fprintf(stderr, "cannot parse trace: %s\n",
+                   parsed.ok() ? "empty trace" : parsed.error().c_str());
+      return 1;
+    }
+    // Establish the violation identity by replaying the labels once with both
+    // invariant classes on; the minimizer then holds that identity fixed.
+    std::vector<ActionLabel> labels;
+    for (size_t i = 1; i < parsed.value().size(); ++i) {
+      labels.push_back(parsed.value()[i].label);
+    }
+    const trace::SpecReplayResult rr =
+        trace::ReplayLabels(spec, parsed.value()[0].state, labels);
+    if (rr.outcome != trace::SpecReplayOutcome::kViolation) {
+      std::fprintf(stderr, "trace does not violate under %s: %s%s\n", spec.name.c_str(),
+                   trace::SpecReplayOutcomeName(rr.outcome),
+                   rr.stuck_reason.empty() ? "" : (" (" + rr.stuck_reason + ")").c_str());
+      return 2;
+    }
+    input.invariant = rr.invariant;
+    input.is_transition_invariant = rr.is_transition_invariant;
+    input.trace = rr.trace;
+    input.depth = rr.trace.size() - 1;
+  } else {
+    BfsOptions opts;
+    opts.time_budget_s = std::max(args.budget_s, bug.min_hunt_s);
+    if (args.max_states > 0) {
+      opts.max_distinct_states = args.max_states;
+    }
+    opts.progress = telemetry.progress.get();
+    opts.metrics = &telemetry.registry;
+    std::printf("hunting %s on %s (budget %.0fs)...\n", bug.id.c_str(),
+                spec.name.c_str(), opts.time_budget_s);
+    const BfsResult r = BfsCheck(spec, opts);
+    if (!r.violation.has_value()) {
+      telemetry.Finish("minimize", r.ToJson(/*include_trace=*/false));
+      std::printf("no violation found within budget\n");
+      return 2;
+    }
+    std::printf("found %s\n", ViolationSummary(*r.violation).c_str());
+    input = *r.violation;
+  }
+
+  const minimize::MinimizeResult m = RunMinimize(spec, input, args, telemetry);
+  telemetry.Finish("minimize", m.ToJson());
+  if (!m.input_reproduced) {
+    return 2;
+  }
+  if (!args.minimize_any && m.violation.invariant != bug.invariant) {
+    std::fprintf(stderr, "warning: violated %s but catalog expects %s\n",
+                 m.violation.invariant.c_str(), bug.invariant.c_str());
+  }
+  if (!args.trace_out.empty()) {
+    std::ofstream f(args.trace_out);
+    f << TraceToJsonl(m.trace);
+    std::printf("minimized trace written to %s\n", args.trace_out.c_str());
+  }
+  if (!args.corpus_out.empty() && !WriteCorpus(spec, bug, m, args.corpus_out)) {
+    return 1;
+  }
+  return 0;
 }
 
 int CmdRank(const Args& args) {
@@ -414,11 +609,13 @@ int main(int argc, char** argv) {
   Args args;
   if (!ParseArgs(argc, argv, &args)) {
     std::fprintf(stderr,
-                 "usage: %s <list-systems|list-bugs|check|conformance|simulate|replay|rank>"
+                 "usage: %s <list-systems|list-bugs|check|conformance|simulate|replay|"
+                 "minimize|rank>"
                  " [--system S] [--bug ID] [--budget SECONDS] [--states N] [--traces N]"
                  " [--workers N] [--trace FILE] [--trace-out FILE] [--channel api|log]"
                  " [--with-bugs] [--metrics-out FILE] [--progress-every N]"
-                 " [--report json|text]\n",
+                 " [--report json|text] [--seed N] [--minimize] [--minimize-any]"
+                 " [--corpus-out FILE]\n",
                  argv[0]);
     return 1;
   }
@@ -439,6 +636,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "replay") {
     return CmdReplay(args);
+  }
+  if (args.command == "minimize") {
+    return CmdMinimize(args);
   }
   if (args.command == "rank") {
     return CmdRank(args);

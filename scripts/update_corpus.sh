@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Re-minimize every verification-stage catalog bug and diff the result against
+# the checked-in golden traces in tests/corpus/. Corpus drift (a spec or
+# minimizer change that alters a minimized counterexample) becomes an explicit
+# review event instead of a silent test failure.
+#
+# usage: scripts/update_corpus.sh [--write] [--cli PATH] [BUG_ID...]
+#   --write     overwrite tests/corpus/ with the re-minimized traces
+#   --cli PATH  sandtable_cli binary (default: build/examples/sandtable_cli)
+#   BUG_ID...   restrict to specific bugs (default: all verification bugs)
+#
+# Exit status: 0 = corpus up to date (or updated with --write), 1 = drift
+# found (without --write), 2 = a hunt or the CLI failed.
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+write=0
+cli=build/examples/sandtable_cli
+bugs=()
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --write) write=1 ;;
+    --cli) cli="$2"; shift ;;
+    -h|--help) sed -n '2,13p' "$0"; exit 0 ;;
+    *) bugs+=("$1") ;;
+  esac
+  shift
+done
+
+if [ ! -x "$cli" ]; then
+  echo "error: $cli not found or not executable (build first: cmake --build build)" >&2
+  exit 2
+fi
+
+if [ ${#bugs[@]} -eq 0 ]; then
+  # All verification-stage bugs. WRaft#2 shares its seed and property with
+  # WRaft#1 (Figure 7), so WRaft#1's golden trace covers both.
+  while read -r id; do
+    [ "$id" = "WRaft#2" ] && continue
+    bugs+=("$id")
+  done < <("$cli" list-bugs | awk '$3 == "Verification" { print $1 }')
+fi
+
+slug() {
+  echo "$1" | tr '[:upper:]' '[:lower:]' | sed 's/[^a-z0-9]\{1,\}/_/g; s/_$//'
+}
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+drift=0
+failed=0
+for bug in "${bugs[@]}"; do
+  s=$(slug "$bug")
+  golden="tests/corpus/${s}.trace.json"
+  fresh="$tmpdir/${s}.trace.json"
+  if ! "$cli" minimize --bug "$bug" --corpus-out "$fresh" >"$tmpdir/${s}.log" 2>&1; then
+    echo "FAIL   $bug: minimize failed (see below)" >&2
+    tail -5 "$tmpdir/${s}.log" >&2
+    failed=1
+    continue
+  fi
+  if [ ! -f "$golden" ]; then
+    echo "NEW    $bug: no golden trace at $golden"
+    drift=1
+  elif ! diff -q "$golden" "$fresh" >/dev/null; then
+    echo "DRIFT  $bug: re-minimized trace differs from $golden"
+    diff -u "$golden" "$fresh" | head -40
+    drift=1
+  else
+    echo "OK     $bug"
+    continue
+  fi
+  if [ "$write" = 1 ]; then
+    mkdir -p tests/corpus
+    cp "$fresh" "$golden"
+    echo "WROTE  $golden"
+  fi
+done
+
+[ "$failed" = 1 ] && exit 2
+if [ "$drift" = 1 ] && [ "$write" = 0 ]; then
+  echo ""
+  echo "corpus drift found; re-run with --write to update tests/corpus/" >&2
+  exit 1
+fi
+exit 0

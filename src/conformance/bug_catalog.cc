@@ -1,6 +1,8 @@
 #include "src/conformance/bug_catalog.h"
 
+#include "src/raftspec/raft_spec.h"
 #include "src/util/check.h"
+#include "src/zabspec/zab_spec.h"
 
 namespace sandtable {
 namespace conformance {
@@ -353,6 +355,26 @@ RaftProfile MakeBugProfile(const BugInfo& bug) {
     p.config.num_values = bug.num_values;
   }
   return p;
+}
+
+Spec MakeBugSpec(const BugInfo& bug) {
+  if (bug.zab_bug) {
+    // ZooKeeper#1's tuned hunting budget (the same one test_zabspec and the
+    // zab bench use): crashes and restarts on, everything else tight.
+    ZabProfile p = GetZabProfile(/*with_bugs=*/true);
+    p.budget.max_timeouts = 5;
+    p.budget.max_client_requests = 1;
+    p.budget.max_crashes = 1;
+    p.budget.max_restarts = 1;
+    p.budget.max_rounds = 2;
+    p.budget.max_epoch = 2;
+    p.budget.max_history = 1;
+    p.budget.max_msg_buffer = 3;
+    return MakeZabSpec(p);
+  }
+  CHECK(bug.enable_spec != nullptr)
+      << bug.id << " has no spec-level switch (not a verification-stage bug)";
+  return MakeRaftSpec(MakeBugProfile(bug));
 }
 
 }  // namespace conformance

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "src/raftspec/raft_params.h"
+#include "src/spec/spec.h"
 #include "src/systems/raft_node.h"
 
 namespace sandtable {
@@ -60,6 +61,13 @@ const BugInfo& FindBug(const std::string& id);
 // bugs): base system profile with only this bug's switches and the tuned
 // hunting budget.
 RaftProfile MakeBugProfile(const BugInfo& bug);
+
+// Build the specification a verification-stage bug is hunted — and its golden
+// corpus trace replayed — against: MakeRaftSpec over the buggy profile, or
+// for the zab_bug entry the tuned ZooKeeper#1 hunting profile (the budget
+// test_zabspec and the bench hunt with). CHECK-fails for bugs without a spec
+// switch (conformance/modeling-stage entries).
+Spec MakeBugSpec(const BugInfo& bug);
 
 }  // namespace conformance
 }  // namespace sandtable

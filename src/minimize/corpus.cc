@@ -1,0 +1,139 @@
+#include "src/minimize/corpus.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace sandtable {
+namespace minimize {
+
+namespace {
+
+EventKind EventKindFromName(const std::string& name) {
+  for (int k = 0; k < kNumEventKinds; ++k) {
+    if (name == EventKindName(static_cast<EventKind>(k))) {
+      return static_cast<EventKind>(k);
+    }
+  }
+  return EventKind::kInternal;
+}
+
+}  // namespace
+
+Json GoldenTraceToJson(const GoldenTrace& golden) {
+  JsonArray events;
+  events.reserve(golden.events.size());
+  for (const ActionLabel& label : golden.events) {
+    JsonObject e;
+    e["action"] = Json(label.action);
+    e["kind"] = Json(std::string(EventKindName(label.kind)));
+    e["params"] = label.params;
+    events.push_back(Json(std::move(e)));
+  }
+  JsonObject o;
+  o["format"] = Json(std::string(kGoldenTraceFormat));
+  o["bug"] = Json(golden.bug);
+  o["invariant"] = Json(golden.invariant);
+  o["is_transition_invariant"] = Json(golden.is_transition_invariant);
+  o["init_index"] = Json(static_cast<int64_t>(golden.init_index));
+  o["events"] = Json(std::move(events));
+  o["meta"] = golden.meta;
+  return Json(std::move(o));
+}
+
+Result<GoldenTrace> GoldenTraceFromJson(const Json& json) {
+  using R = Result<GoldenTrace>;
+  if (!json.is_object()) {
+    return R::Error("golden trace is not a JSON object");
+  }
+  if (!json["format"].is_string() || json["format"].as_string() != kGoldenTraceFormat) {
+    return R::Error("unknown golden trace format (want " +
+                    std::string(kGoldenTraceFormat) + ")");
+  }
+  if (!json["bug"].is_string() || !json["invariant"].is_string() ||
+      !json["events"].is_array()) {
+    return R::Error("golden trace missing bug/invariant/events");
+  }
+  GoldenTrace g;
+  g.bug = json["bug"].as_string();
+  g.invariant = json["invariant"].as_string();
+  g.is_transition_invariant = json["is_transition_invariant"].is_bool() &&
+                              json["is_transition_invariant"].as_bool();
+  g.init_index = json["init_index"].is_int()
+                     ? static_cast<size_t>(json["init_index"].as_int())
+                     : 0;
+  for (const Json& e : json["events"].as_array()) {
+    if (!e.is_object() || !e["action"].is_string()) {
+      return R::Error("golden trace event missing action");
+    }
+    ActionLabel label;
+    label.action = e["action"].as_string();
+    label.kind = EventKindFromName(e["kind"].is_string() ? e["kind"].as_string()
+                                                         : "Internal");
+    label.params = e["params"];
+    g.events.push_back(std::move(label));
+  }
+  g.meta = json["meta"];
+  return g;
+}
+
+Result<GoldenTrace> LoadGoldenTrace(const std::string& path) {
+  using R = Result<GoldenTrace>;
+  std::ifstream f(path);
+  if (!f) {
+    return R::Error("cannot open " + path);
+  }
+  std::ostringstream text;
+  text << f.rdbuf();
+  auto parsed = Json::Parse(text.str());
+  if (!parsed.ok()) {
+    return R::Error(path + ": " + parsed.error());
+  }
+  auto golden = GoldenTraceFromJson(parsed.value());
+  if (!golden.ok()) {
+    return R::Error(path + ": " + golden.error());
+  }
+  return golden;
+}
+
+Status SaveGoldenTrace(const GoldenTrace& golden, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) {
+    return Status::Error("cannot write " + path);
+  }
+  f << GoldenTraceToJson(golden).DumpPretty() << "\n";
+  f.close();
+  if (!f) {
+    return Status::Error("write failed: " + path);
+  }
+  return Status();
+}
+
+trace::SpecReplayResult ReplayGoldenTrace(const Spec& spec, const GoldenTrace& golden) {
+  trace::SpecReplayOptions opts;
+  opts.check_invariants = !golden.is_transition_invariant;
+  opts.check_transition_invariants = golden.is_transition_invariant;
+  return trace::ReplayLabels(spec, golden.init_index, golden.events, opts);
+}
+
+std::string CorpusSlug(const std::string& bug_id) {
+  std::string slug;
+  slug.reserve(bug_id.size());
+  bool pending_sep = false;
+  for (char c : bug_id) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      if (pending_sep && !slug.empty()) {
+        slug += '_';
+      }
+      pending_sep = false;
+      slug += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      pending_sep = true;
+    }
+  }
+  return slug;
+}
+
+}  // namespace minimize
+}  // namespace sandtable

@@ -1,0 +1,57 @@
+// Golden-trace regression corpus: minimized counterexamples checked in as
+// small JSON files (tests/corpus/*.trace.json) and replayed against their
+// bug's specification by the corpus_replay test driver.
+//
+// A golden trace pins a bug down by its event labels alone — no states are
+// stored. Guided replay (src/trace/spec_replay.h) recomputes the states from
+// the spec and asserts that the recorded invariant still fires, which makes
+// the whole Table-2 bug set a sub-second regression suite instead of a
+// model-checking run, and makes any drift in spec semantics an explicit
+// review event (the file diff changes).
+#ifndef SANDTABLE_SRC_MINIMIZE_CORPUS_H_
+#define SANDTABLE_SRC_MINIMIZE_CORPUS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/spec/spec.h"
+#include "src/trace/spec_replay.h"
+#include "src/util/result.h"
+
+namespace sandtable {
+namespace minimize {
+
+inline constexpr const char* kGoldenTraceFormat = "sandtable-golden-trace-v1";
+
+struct GoldenTrace {
+  std::string bug;        // catalog id, e.g. "PySyncObj#2"
+  std::string invariant;  // property expected to fire on replay
+  bool is_transition_invariant = false;
+  size_t init_index = 0;  // index into spec.init_states
+  std::vector<ActionLabel> events;
+  // Free-form provenance (shrink stats, generator command); not replayed.
+  Json meta;
+};
+
+Json GoldenTraceToJson(const GoldenTrace& golden);
+Result<GoldenTrace> GoldenTraceFromJson(const Json& json);
+
+// Pretty-printed single-object JSON file (stable key order via JsonObject, so
+// regeneration diffs cleanly).
+Result<GoldenTrace> LoadGoldenTrace(const std::string& path);
+Status SaveGoldenTrace(const GoldenTrace& golden, const std::string& path);
+
+// Replay the golden events from spec.init_states[init_index], checking only
+// the recorded invariant class (the same narrowing the minimizer's oracle
+// uses, so replay cannot be shadowed by an unrelated property).
+trace::SpecReplayResult ReplayGoldenTrace(const Spec& spec, const GoldenTrace& golden);
+
+// Corpus file stem for a bug id: lowercase with non-alphanumerics collapsed
+// to '_' ("Xraft-KV#1" -> "xraft_kv_1"); the file is <slug>.trace.json.
+std::string CorpusSlug(const std::string& bug_id);
+
+}  // namespace minimize
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_MINIMIZE_CORPUS_H_

@@ -1,0 +1,401 @@
+#include "src/minimize/minimize.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+#include <utility>
+
+#include "src/obs/phase_timer.h"
+#include "src/trace/spec_replay.h"
+#include "src/util/check.h"
+
+namespace sandtable {
+namespace minimize {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using trace::ReplayLabels;
+using trace::SpecReplayOptions;
+using trace::SpecReplayOutcome;
+using trace::SpecReplayResult;
+
+std::vector<ActionLabel> LabelsOf(const std::vector<TraceStep>& steps) {
+  std::vector<ActionLabel> labels;
+  labels.reserve(steps.size() > 0 ? steps.size() - 1 : 0);
+  for (size_t i = 1; i < steps.size(); ++i) {
+    labels.push_back(steps[i].label);
+  }
+  return labels;
+}
+
+// The shrink search: owns the oracle, the budgets and the statistics.
+class Shrinker {
+ public:
+  Shrinker(const Spec& spec, const State& init, const Violation& input,
+           const MinimizeOptions& options, MinimizeResult* result)
+      : spec_(spec), init_(init), options_(options), result_(result),
+        start_(Clock::now()), target_(input.invariant) {
+    // Evaluate only the invariant class that can match the target, so an
+    // unrelated property cannot shadow the violation being reproduced. In
+    // match-any mode both classes are fair game.
+    replay_opts_.check_invariants = options.match_any || !input.is_transition_invariant;
+    replay_opts_.check_transition_invariants =
+        options.match_any || input.is_transition_invariant;
+    if (options.metrics != nullptr) {
+      replay_timer_ = &options.metrics->GetHistogram(
+          std::string("phase.") + obs::PhaseName(obs::Phase::kGuidedReplay));
+      replays_ = &options.metrics->GetCounter("minimize.replays");
+      candidates_ = &options.metrics->GetCounter("minimize.candidates");
+      accepted_ = &options.metrics->GetCounter("minimize.accepted");
+      removed_ = &options.metrics->GetCounter("minimize.events_removed");
+    }
+  }
+
+  bool OutOfBudget() {
+    if (result_->replays >= options_.max_replays) {
+      result_->hit_replay_limit = true;
+      return true;
+    }
+    if (std::chrono::duration<double>(Clock::now() - start_).count() >
+        options_.time_budget_s) {
+      result_->hit_time_limit = true;
+      return true;
+    }
+    return false;
+  }
+
+  // Replay `cand`; returns the replay result when it reproduces the target
+  // violation (or any violation in match-any mode), nullopt otherwise.
+  std::optional<SpecReplayResult> Oracle(const std::vector<ActionLabel>& cand) {
+    ++result_->candidates;
+    obs::Add(candidates_);
+    if (OutOfBudget()) {
+      return std::nullopt;
+    }
+    SpecReplayResult r;
+    {
+      obs::PhaseTimer t(replay_timer_);
+      r = ReplayLabels(spec_, init_, cand, replay_opts_);
+    }
+    ++result_->replays;
+    obs::Add(replays_);
+    if (r.outcome != SpecReplayOutcome::kViolation) {
+      return std::nullopt;
+    }
+    if (!options_.match_any && r.invariant != target_) {
+      return std::nullopt;
+    }
+    return r;
+  }
+
+  // Oracle plus adoption: on success installs the (possibly truncated)
+  // replayed sequence as the current best and returns true.
+  bool Accept(const std::vector<ActionLabel>& cand) {
+    std::optional<SpecReplayResult> r = Oracle(cand);
+    if (!r.has_value()) {
+      return false;
+    }
+    ++result_->accepted;
+    obs::Add(accepted_);
+    cur_ = LabelsOf(r->trace);
+    best_ = std::move(*r);
+    return true;
+  }
+
+  // Seed with the input sequence; false when it does not reproduce.
+  bool Seed(const std::vector<ActionLabel>& input_labels) {
+    return Accept(input_labels);
+  }
+
+  const std::vector<ActionLabel>& cur() const { return cur_; }
+  const SpecReplayResult& best() const { return best_; }
+
+  // ---- ddmin ----------------------------------------------------------------
+  //
+  // Complement-style delta debugging: partition the event list into n chunks
+  // and try dropping each chunk; on success restart with granularity
+  // max(n-1, 2) on the shorter list, otherwise double n. Terminates 1-minimal
+  // (no single event can be deleted) unless a budget ran out.
+  void DdMin() {
+    size_t n = 2;
+    while (cur_.size() >= 2 && !OutOfBudget()) {
+      n = std::min(n, cur_.size());
+      bool reduced = false;
+      for (size_t i = 0; i < n; ++i) {
+        const size_t lo = cur_.size() * i / n;
+        const size_t hi = cur_.size() * (i + 1) / n;
+        std::vector<ActionLabel> cand;
+        cand.reserve(cur_.size() - (hi - lo));
+        cand.insert(cand.end(), cur_.begin(), cur_.begin() + static_cast<long>(lo));
+        cand.insert(cand.end(), cur_.begin() + static_cast<long>(hi), cur_.end());
+        const size_t before = cur_.size();
+        if (Accept(cand)) {
+          result_->ddmin_removed += before - cur_.size();
+          obs::Add(removed_, before - cur_.size());
+          n = std::max<size_t>(n - 1, 2);
+          reduced = true;
+          break;
+        }
+        if (OutOfBudget()) {
+          return;
+        }
+      }
+      if (!reduced) {
+        if (n >= cur_.size()) {
+          return;  // 1-minimal
+        }
+        n = std::min(n * 2, cur_.size());
+      }
+    }
+  }
+
+  // Delete pairs of events together, escaping 1-minimal local optima where
+  // two events depend on each other — typically a message handle and the
+  // handle of the reply it put on the network: deleting either alone leaves
+  // the other with no matching successor, so single deletions (and most
+  // contiguous chunk deletions) cannot remove them. O(n^2) replays, so only
+  // run on already-shrunk traces.
+  bool PairDelete() {
+    if (cur_.size() > 80) {
+      return false;
+    }
+    bool changed = false;
+    for (size_t i = 0; i < cur_.size() && !OutOfBudget(); ++i) {
+      for (size_t j = i + 1; j < cur_.size(); ++j) {
+        std::vector<ActionLabel> cand = cur_;
+        cand.erase(cand.begin() + static_cast<long>(j));
+        cand.erase(cand.begin() + static_cast<long>(i));
+        const size_t before = cur_.size();
+        if (Accept(cand)) {
+          result_->ddmin_removed += before - cur_.size();
+          obs::Add(removed_, before - cur_.size());
+          changed = true;
+          i = static_cast<size_t>(-1);  // restart the scan on the shorter list
+          break;
+        }
+        if (OutOfBudget()) {
+          return changed;
+        }
+      }
+    }
+    return changed;
+  }
+
+  // ---- Domain-aware reductions ---------------------------------------------
+
+  // Delete every candidate single event of `kind` (network faults are almost
+  // always red herrings in a raw trace; timeouts collapse when consecutive).
+  bool DropSingles(EventKind kind) {
+    bool changed = false;
+    for (size_t i = cur_.size(); i-- > 0;) {
+      if (cur_[i].kind != kind || OutOfBudget()) {
+        continue;
+      }
+      std::vector<ActionLabel> cand = cur_;
+      cand.erase(cand.begin() + static_cast<long>(i));
+      const size_t before = cur_.size();
+      if (Accept(cand)) {
+        result_->domain_removed += before - cur_.size();
+        obs::Add(removed_, before - cur_.size());
+        changed = true;
+        i = std::min(i, cur_.size());
+      }
+    }
+    return changed;
+  }
+
+  // Collapse runs of identical consecutive timeout events (same action, same
+  // parameters): re-firing a timer twice in a row rarely changes anything.
+  bool CollapseTimeoutRuns() {
+    bool changed = false;
+    for (size_t i = 0; i + 1 < cur_.size() && !OutOfBudget();) {
+      if (cur_[i].kind == EventKind::kTimeout && cur_[i + 1].kind == EventKind::kTimeout &&
+          cur_[i].action == cur_[i + 1].action && cur_[i].params == cur_[i + 1].params) {
+        std::vector<ActionLabel> cand = cur_;
+        cand.erase(cand.begin() + static_cast<long>(i));
+        const size_t before = cur_.size();
+        if (Accept(cand)) {
+          result_->domain_removed += before - cur_.size();
+          obs::Add(removed_, before - cur_.size());
+          changed = true;
+          continue;  // re-inspect the same position
+        }
+      }
+      ++i;
+    }
+    return changed;
+  }
+
+  // Delete matched partition/heal pairs together — removing either alone
+  // changes connectivity for the rest of the trace, so single-event ddmin
+  // cannot find this reduction.
+  bool MergePartitionHealPairs() {
+    bool changed = false;
+    for (size_t i = 0; i < cur_.size() && !OutOfBudget(); ++i) {
+      if (cur_[i].kind != EventKind::kPartition) {
+        continue;
+      }
+      for (size_t j = i + 1; j < cur_.size(); ++j) {
+        if (cur_[j].kind == EventKind::kPartition) {
+          break;  // a new cut starts; [i] pairs with nothing before it
+        }
+        if (cur_[j].kind != EventKind::kRecover) {
+          continue;
+        }
+        std::vector<ActionLabel> cand = cur_;
+        cand.erase(cand.begin() + static_cast<long>(j));
+        cand.erase(cand.begin() + static_cast<long>(i));
+        const size_t before = cur_.size();
+        if (Accept(cand)) {
+          result_->domain_removed += before - cur_.size();
+          obs::Add(removed_, before - cur_.size());
+          changed = true;
+          i = static_cast<size_t>(-1);  // restart scan on the shorter list
+        }
+        break;
+      }
+    }
+    return changed;
+  }
+
+  // Shrink the side set of partition events one node at a time. The event
+  // count is unchanged but the failure is weaker, which both reads better and
+  // opens further deletions for the next ddmin round.
+  bool ShrinkPartitionSides() {
+    bool changed = false;
+    for (size_t i = 0; i < cur_.size() && !OutOfBudget(); ++i) {
+      if (cur_[i].kind != EventKind::kPartition || !cur_[i].params.is_object() ||
+          !cur_[i].params.contains("side")) {
+        continue;
+      }
+      bool shrunk = true;
+      while (shrunk && cur_[i].params["side"].is_array() &&
+             cur_[i].params["side"].size() > 1 && !OutOfBudget()) {
+        shrunk = false;
+        const JsonArray& side = cur_[i].params["side"].as_array();
+        for (size_t k = 0; k < side.size(); ++k) {
+          JsonArray smaller;
+          for (size_t x = 0; x < side.size(); ++x) {
+            if (x != k) {
+              smaller.push_back(side[x]);
+            }
+          }
+          std::vector<ActionLabel> cand = cur_;
+          cand[i].params.as_object()["side"] = Json(std::move(smaller));
+          if (Accept(cand)) {
+            changed = true;
+            shrunk = true;
+            break;
+          }
+        }
+      }
+    }
+    return changed;
+  }
+
+  bool DomainPasses() {
+    bool changed = false;
+    changed |= DropSingles(EventKind::kNetworkFault);
+    changed |= CollapseTimeoutRuns();
+    changed |= MergePartitionHealPairs();
+    changed |= ShrinkPartitionSides();
+    return changed;
+  }
+
+ private:
+  const Spec& spec_;
+  const State& init_;
+  const MinimizeOptions& options_;
+  MinimizeResult* result_;
+  const Clock::time_point start_;
+  const std::string target_;
+  SpecReplayOptions replay_opts_;
+
+  std::vector<ActionLabel> cur_;
+  SpecReplayResult best_;
+
+  obs::Histogram* replay_timer_ = nullptr;
+  obs::Counter* replays_ = nullptr;
+  obs::Counter* candidates_ = nullptr;
+  obs::Counter* accepted_ = nullptr;
+  obs::Counter* removed_ = nullptr;
+};
+
+}  // namespace
+
+MinimizeResult MinimizeCounterexample(const Spec& spec, const Violation& input,
+                                      const MinimizeOptions& options) {
+  const auto start = Clock::now();
+  MinimizeResult result;
+  result.trace = input.trace;
+  result.violation = input;
+  result.events_before = input.trace.empty() ? 0 : input.trace.size() - 1;
+  result.events_after = result.events_before;
+  if (options.metrics != nullptr) {
+    options.metrics->GetCounter("minimize.runs").Add(1);
+  }
+  if (input.trace.empty()) {
+    // A violation without a collected trace (e.g. WalkOptions::collect_trace
+    // off) cannot be minimized.
+    result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    return result;
+  }
+
+  Shrinker shrink(spec, input.trace[0].state, input, options, &result);
+  if (!shrink.Seed(LabelsOf(input.trace))) {
+    // The input does not reproduce under guided replay — wrong spec for the
+    // trace, or the budgets were exhausted before the seed replay finished.
+    result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+    return result;
+  }
+  result.input_reproduced = true;
+
+  // Alternate the cheap domain passes with ddmin until a fixed point: a
+  // successful pair merge or side shrink can unlock further deletions.
+  bool changed = true;
+  for (int round = 0; round < 8 && changed && !shrink.OutOfBudget(); ++round) {
+    const size_t before = shrink.cur().size();
+    changed = false;
+    if (options.domain_reductions) {
+      changed |= shrink.DomainPasses();
+    }
+    shrink.DdMin();
+    changed |= shrink.PairDelete();
+    changed |= shrink.cur().size() < before;
+  }
+
+  result.trace = shrink.best().trace;
+  result.events_after = result.trace.size() - 1;
+  result.violation.invariant = shrink.best().invariant;
+  result.violation.is_transition_invariant = shrink.best().is_transition_invariant;
+  result.violation.trace = result.trace;
+  result.violation.depth = result.events_after;
+  result.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  if (options.metrics != nullptr) {
+    options.metrics->GetCounter("minimize.events_before").Add(result.events_before);
+    options.metrics->GetCounter("minimize.events_after").Add(result.events_after);
+  }
+  return result;
+}
+
+Json MinimizeResult::ToJson(bool include_trace) const {
+  JsonObject o;
+  o["input_reproduced"] = Json(input_reproduced);
+  o["events_before"] = Json(events_before);
+  o["events_after"] = Json(events_after);
+  o["shrink_ratio"] = Json(ShrinkRatio());
+  o["replays"] = Json(replays);
+  o["candidates"] = Json(candidates);
+  o["accepted"] = Json(accepted);
+  o["domain_removed"] = Json(domain_removed);
+  o["ddmin_removed"] = Json(ddmin_removed);
+  o["hit_replay_limit"] = Json(hit_replay_limit);
+  o["hit_time_limit"] = Json(hit_time_limit);
+  o["seconds"] = Json(seconds);
+  o["violation"] = violation.ToJson(include_trace);
+  return Json(std::move(o));
+}
+
+}  // namespace minimize
+}  // namespace sandtable

@@ -1,0 +1,92 @@
+// Counterexample minimization: delta-debugging (ddmin) over the event list of
+// a violating trace, plus domain-aware reductions for the failure vocabulary
+// of the reusable network modules (drop/duplicate faults, partition/heal
+// pairs, partition sides, timeout runs).
+//
+// The paper's workflow replays every specification-level counterexample at
+// the implementation level to confirm the bug; short traces are what make
+// that confirmation — and later fix validation — tractable. The minimizer
+// takes the raw trace emitted by BFS or random walk and searches for the
+// smallest event subsequence that still reproduces the violation, using
+// guided replay (src/trace/spec_replay.h) as the validity oracle: a candidate
+// is accepted only when its labels re-execute through the spec and fire the
+// same invariant (or any invariant, in match-any mode). The exploration-time
+// budget constraint is deliberately not enforced during replay, so a shrunk
+// trace may cut through states the bounded checker never expanded — BFS
+// traces are depth-minimal only within the budget, and this is where most of
+// their shrink comes from.
+#ifndef SANDTABLE_SRC_MINIMIZE_MINIMIZE_H_
+#define SANDTABLE_SRC_MINIMIZE_MINIMIZE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "src/mc/bfs.h"
+#include "src/obs/metrics.h"
+#include "src/spec/spec.h"
+
+namespace sandtable {
+namespace minimize {
+
+struct MinimizeOptions {
+  // Accept any violation during replay, not just the input's invariant
+  // (the CLI's --minimize-any). The reported violation is whatever fires.
+  bool match_any = false;
+  // Run the domain-aware reduction passes in addition to ddmin.
+  bool domain_reductions = true;
+  // Budget on oracle replays and wall-clock; the current best trace is
+  // returned when either runs out (it is always a valid counterexample).
+  uint64_t max_replays = std::numeric_limits<uint64_t>::max();
+  double time_budget_s = std::numeric_limits<double>::infinity();
+  // Record shrink statistics and guided-replay phase timings here
+  // (src/obs/metrics.h). Borrowed, may be null.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+struct MinimizeResult {
+  // The input trace reproduced under the oracle before shrinking started.
+  // When false the input is returned unchanged (wrong spec for the trace, or
+  // a violation the oracle's invariant classes cannot see).
+  bool input_reproduced = false;
+  // Minimized counterexample (step 0 = initial state) and the violation its
+  // replay fires; `violation.trace` aliases `trace`.
+  std::vector<TraceStep> trace;
+  Violation violation;
+
+  // Shrink statistics.
+  uint64_t events_before = 0;
+  uint64_t events_after = 0;
+  uint64_t replays = 0;           // oracle invocations
+  uint64_t candidates = 0;        // candidate sequences proposed
+  uint64_t accepted = 0;          // candidates that reproduced and were adopted
+  uint64_t domain_removed = 0;    // events removed by domain-aware passes
+  uint64_t ddmin_removed = 0;     // events removed by ddmin deletions
+  bool hit_replay_limit = false;
+  bool hit_time_limit = false;
+  double seconds = 0;
+
+  double ShrinkRatio() const {
+    return events_before == 0
+               ? 0.0
+               : static_cast<double>(events_before - events_after) /
+                     static_cast<double>(events_before);
+  }
+
+  // Canonical serialization (stats + violation; the trace rides on the
+  // violation when `include_trace`).
+  Json ToJson(bool include_trace = false) const;
+};
+
+// Shrink `input` (a violation whose trace step 0 holds the initial state)
+// against `spec`. The result's trace is 1-minimal under single-event deletion
+// when the budgets allow the search to finish, and minimizing an already
+// minimized trace is a fixed point.
+MinimizeResult MinimizeCounterexample(const Spec& spec, const Violation& input,
+                                      const MinimizeOptions& options = {});
+
+}  // namespace minimize
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_MINIMIZE_MINIMIZE_H_

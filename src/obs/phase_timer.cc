@@ -19,6 +19,8 @@ const char* PhaseName(Phase phase) {
       return "invariants";
     case Phase::kReconstruct:
       return "reconstruct";
+    case Phase::kGuidedReplay:
+      return "guided_replay";
   }
   return "?";
 }

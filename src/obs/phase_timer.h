@@ -22,8 +22,9 @@ enum class Phase : int {
   kFingerprint = 2,   // visited-set lookup/insert
   kInvariants = 3,    // state + transition invariant evaluation
   kReconstruct = 4,   // counterexample trace reconstruction
+  kGuidedReplay = 5,  // label-guided spec replay (minimizer/corpus oracle)
 };
-inline constexpr int kNumPhases = 5;
+inline constexpr int kNumPhases = 6;
 
 const char* PhaseName(Phase phase);
 

@@ -1,0 +1,153 @@
+#include "src/trace/spec_replay.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+#include "src/util/strings.h"
+
+namespace sandtable {
+namespace trace {
+
+namespace {
+
+// Collects the successors of one named action; Branch hits are irrelevant here.
+class CollectContext : public ActionContext {
+ public:
+  using ActionContext::Emit;
+  void Emit(State next, Json params) override {
+    succs_.emplace_back(std::move(next), std::move(params));
+  }
+  void Branch(std::string_view) override {}
+
+  std::vector<std::pair<State, Json>>& succs() { return succs_; }
+
+ private:
+  std::vector<std::pair<State, Json>> succs_;
+};
+
+// First violated state invariant, or empty. Local so st_trace does not need
+// to depend on the model-checking library for its CheckInvariants helper.
+std::string FirstBadInvariant(const Spec& spec, const State& s) {
+  for (const Invariant& inv : spec.invariants) {
+    if (!inv.check(s)) {
+      return inv.name;
+    }
+  }
+  return "";
+}
+
+std::string FirstBadTransition(const Spec& spec, const State& prev,
+                               const ActionLabel& label, const State& next) {
+  for (const TransitionInvariant& inv : spec.transition_invariants) {
+    if (!inv.check(prev, label, next)) {
+      return inv.name;
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+const char* SpecReplayOutcomeName(SpecReplayOutcome outcome) {
+  switch (outcome) {
+    case SpecReplayOutcome::kCompleted:
+      return "completed";
+    case SpecReplayOutcome::kViolation:
+      return "violation";
+    case SpecReplayOutcome::kStuck:
+      return "stuck";
+  }
+  return "?";
+}
+
+SpecReplayResult ReplayLabels(const Spec& spec, const State& init,
+                              const std::vector<ActionLabel>& labels,
+                              const SpecReplayOptions& options) {
+  SpecReplayResult result;
+  result.trace.push_back(TraceStep{ActionLabel{}, init});
+
+  if (options.check_invariants) {
+    const std::string bad = FirstBadInvariant(spec, init);
+    if (!bad.empty()) {
+      result.outcome = SpecReplayOutcome::kViolation;
+      result.invariant = bad;
+      return result;
+    }
+  }
+
+  State state = init;
+  for (const ActionLabel& label : labels) {
+    // Expand only the labelled action; every other action is irrelevant to
+    // this step, which keeps replay linear in trace length, not state degree.
+    const Action* action = nullptr;
+    for (const Action& a : spec.actions) {
+      if (a.name == label.action) {
+        action = &a;
+        break;
+      }
+    }
+    if (action == nullptr) {
+      result.outcome = SpecReplayOutcome::kStuck;
+      result.stuck_reason = StrFormat("unknown action '%s' at step %zu",
+                                      label.action.c_str(), result.steps_applied + 1);
+      return result;
+    }
+
+    CollectContext ctx;
+    action->expand(state, ctx);
+    State* match = nullptr;
+    for (auto& [next, params] : ctx.succs()) {
+      if (params == label.params) {
+        match = &next;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      result.outcome = SpecReplayOutcome::kStuck;
+      result.stuck_reason =
+          StrFormat("no successor of '%s' matches params at step %zu (%zu enabled)",
+                    label.action.c_str(), result.steps_applied + 1, ctx.succs().size());
+      return result;
+    }
+
+    if (options.check_transition_invariants) {
+      const std::string bad = FirstBadTransition(spec, state, label, *match);
+      if (!bad.empty()) {
+        result.outcome = SpecReplayOutcome::kViolation;
+        result.invariant = bad;
+        result.is_transition_invariant = true;
+        ++result.steps_applied;
+        result.trace.push_back(TraceStep{label, std::move(*match)});
+        return result;
+      }
+    }
+
+    state = std::move(*match);
+    ++result.steps_applied;
+    result.trace.push_back(TraceStep{label, state});
+
+    if (options.check_invariants) {
+      const std::string bad = FirstBadInvariant(spec, state);
+      if (!bad.empty()) {
+        result.outcome = SpecReplayOutcome::kViolation;
+        result.invariant = bad;
+        return result;
+      }
+    }
+  }
+
+  result.outcome = SpecReplayOutcome::kCompleted;
+  return result;
+}
+
+SpecReplayResult ReplayLabels(const Spec& spec, size_t init_index,
+                              const std::vector<ActionLabel>& labels,
+                              const SpecReplayOptions& options) {
+  CHECK(init_index < spec.init_states.size())
+      << "init_index " << init_index << " out of range (" << spec.init_states.size()
+      << " initial states)";
+  return ReplayLabels(spec, spec.init_states[init_index], labels, options);
+}
+
+}  // namespace trace
+}  // namespace sandtable

@@ -1,0 +1,74 @@
+// Guided specification-level replay: re-execute a sequence of action labels
+// through a Spec from an initial state, without any stored intermediate
+// states. At every step the labelled action is expanded and the successor
+// whose parameters match the label exactly is taken; invariants are
+// re-evaluated along the way.
+//
+// This is the validity oracle behind counterexample minimization
+// (src/minimize/) and the golden-trace regression corpus (tests/corpus/):
+// a trace is pinned down by its event labels alone, and replaying the labels
+// both validates that the sequence is still executable under the current
+// specification and recomputes the states it passes through. It is the
+// specification-side analogue of trace-validation tools that check recorded
+// implementation traces against a TLA+ spec.
+#ifndef SANDTABLE_SRC_TRACE_SPEC_REPLAY_H_
+#define SANDTABLE_SRC_TRACE_SPEC_REPLAY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "src/spec/spec.h"
+
+namespace sandtable {
+namespace trace {
+
+enum class SpecReplayOutcome {
+  kCompleted,  // every label applied, no (checked) invariant fired
+  kViolation,  // an invariant fired; `trace` ends at the violating step
+  kStuck,      // a label matched no enabled successor (sequence not executable)
+};
+
+const char* SpecReplayOutcomeName(SpecReplayOutcome outcome);
+
+struct SpecReplayOptions {
+  // Which invariant classes to evaluate during replay. The minimizer narrows
+  // these to the class of its target violation so an unrelated property cannot
+  // shadow the one being reproduced.
+  bool check_invariants = true;
+  bool check_transition_invariants = true;
+};
+
+struct SpecReplayResult {
+  SpecReplayOutcome outcome = SpecReplayOutcome::kStuck;
+  // Labels consumed before stopping (== labels.size() on completion).
+  size_t steps_applied = 0;
+  // Violation identity (kViolation only).
+  std::string invariant;
+  bool is_transition_invariant = false;
+  // Why the replay could not continue (kStuck only).
+  std::string stuck_reason;
+  // The replayed prefix with freshly computed states; step 0 is the initial
+  // state. On kViolation the last step is the violating one.
+  std::vector<TraceStep> trace;
+};
+
+// Replay `labels` starting from `init` (which must satisfy the checked state
+// invariants' vocabulary, i.e. be a state of `spec`). Labels match successors
+// by action name plus exact parameter equality; a label with no match stops
+// the replay as kStuck. The state constraint is deliberately NOT enforced:
+// budget constraints bound exploration, not semantics, so a shrunk trace may
+// legally pass through states the checker never expanded.
+SpecReplayResult ReplayLabels(const Spec& spec, const State& init,
+                              const std::vector<ActionLabel>& labels,
+                              const SpecReplayOptions& options = {});
+
+// Convenience overload: start from spec.init_states[init_index].
+SpecReplayResult ReplayLabels(const Spec& spec, size_t init_index,
+                              const std::vector<ActionLabel>& labels,
+                              const SpecReplayOptions& options = {});
+
+}  // namespace trace
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_TRACE_SPEC_REPLAY_H_

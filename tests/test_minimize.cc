@@ -1,0 +1,445 @@
+// Counterexample minimization (src/minimize/) and its guided-replay oracle
+// (src/trace/spec_replay.h): property tests over toy-spec violations, the
+// domain-aware reduction passes, and the golden-trace corpus round trip.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/mc/bfs.h"
+#include "src/mc/random_walk.h"
+#include "src/minimize/corpus.h"
+#include "src/minimize/minimize.h"
+#include "src/trace/spec_replay.h"
+#include "src/util/rng.h"
+#include "tests/toy_specs.h"
+
+namespace sandtable {
+namespace {
+
+using minimize::MinimizeCounterexample;
+using minimize::MinimizeOptions;
+using minimize::MinimizeResult;
+using trace::ReplayLabels;
+using trace::SpecReplayOutcome;
+using trace::SpecReplayResult;
+
+std::vector<ActionLabel> Labels(const std::vector<TraceStep>& trace) {
+  std::vector<ActionLabel> labels;
+  for (size_t i = 1; i < trace.size(); ++i) {
+    labels.push_back(trace[i].label);
+  }
+  return labels;
+}
+
+// A counter with a monotonicity bug (Jump) plus harmless noise events in the
+// failure vocabulary the domain passes target: no-op network faults and
+// timeouts, and a partition/heal toggle. Jump only fires once a partition
+// happened, so a Cut event is essential but its Heal partner is not; Heal is
+// only enabled while cut, which makes the pair undeletable one at a time.
+Spec NoisyCounter(bool jump_needs_cut) {
+  Spec spec;
+  spec.name = "noisycounter";
+  spec.init_states.push_back(
+      Value::Record({{"x", Value::Int(0)}, {"cut", Value::Bool(false)}}));
+  auto x = [](const State& s) { return s.field("x").int_v(); };
+  auto cut = [](const State& s) { return s.field("cut").bool_v(); };
+  spec.actions.push_back(
+      {"Inc", EventKind::kClientRequest, [x](const State& s, ActionContext& ctx) {
+         if (x(s) < 6) {
+           ctx.Emit(s.WithField("x", Value::Int(x(s) + 1)));
+         }
+       }});
+  spec.actions.push_back({"Jump", EventKind::kInternal,
+                          [=](const State& s, ActionContext& ctx) {
+                            if (x(s) == 3 && (!jump_needs_cut || cut(s))) {
+                              ctx.Emit(s.WithField("x", Value::Int(1)));
+                            }
+                          }});
+  spec.actions.push_back(
+      {"DropNoise", EventKind::kNetworkFault, [](const State& s, ActionContext& ctx) {
+         ctx.Emit(s, Json(JsonObject{{"i", Json(0)}}));
+       }});
+  spec.actions.push_back(
+      {"Tick", EventKind::kTimeout, [](const State& s, ActionContext& ctx) {
+         ctx.Emit(s, Json(JsonObject{{"node", Json(0)}}));
+       }});
+  spec.actions.push_back(
+      {"Cut", EventKind::kPartition, [cut](const State& s, ActionContext& ctx) {
+         if (!cut(s)) {
+           // All non-empty sides of {0, 1}, like the raft/zab network module.
+           for (const JsonArray& side :
+                {JsonArray{Json(0)}, JsonArray{Json(1)}, JsonArray{Json(0), Json(1)}}) {
+             ctx.Emit(s.WithField("cut", Value::Bool(true)),
+                      Json(JsonObject{{"side", Json(side)}}));
+           }
+         }
+       }});
+  spec.actions.push_back(
+      {"Heal", EventKind::kRecover, [cut](const State& s, ActionContext& ctx) {
+         if (cut(s)) {
+           ctx.Emit(s.WithField("cut", Value::Bool(false)));
+         }
+       }});
+  spec.transition_invariants.push_back(
+      {"Monotonic", [x](const State& prev, const ActionLabel&, const State& next) {
+         return x(next) >= x(prev);
+       }});
+  return spec;
+}
+
+ActionLabel Lbl(const char* action, EventKind kind, Json params = Json(JsonObject{})) {
+  ActionLabel l;
+  l.action = action;
+  l.kind = kind;
+  l.params = std::move(params);
+  return l;
+}
+
+// Build a Violation by replaying labels from the spec's initial state.
+Violation ViolationFromLabels(const Spec& spec, const std::vector<ActionLabel>& labels) {
+  const SpecReplayResult r = ReplayLabels(spec, 0, labels);
+  EXPECT_EQ(r.outcome, SpecReplayOutcome::kViolation) << r.stuck_reason;
+  Violation v;
+  v.invariant = r.invariant;
+  v.is_transition_invariant = r.is_transition_invariant;
+  v.trace = r.trace;
+  v.depth = r.trace.size() - 1;
+  return v;
+}
+
+TEST(SpecReplay, ReplaysBfsCounterexampleExactly) {
+  const Spec spec = toys::DieHard();
+  const BfsResult r = BfsCheck(spec, {});
+  ASSERT_TRUE(r.violation.has_value());
+  const SpecReplayResult rr = ReplayLabels(spec, 0, Labels(r.violation->trace));
+  EXPECT_EQ(rr.outcome, SpecReplayOutcome::kViolation);
+  EXPECT_EQ(rr.invariant, "BigNotFour");
+  EXPECT_FALSE(rr.is_transition_invariant);
+  ASSERT_EQ(rr.trace.size(), r.violation->trace.size());
+  for (size_t i = 0; i < rr.trace.size(); ++i) {
+    EXPECT_TRUE(rr.trace[i].state == r.violation->trace[i].state) << "step " << i;
+  }
+}
+
+TEST(SpecReplay, StuckOnUnknownActionAndUnmatchedParams) {
+  const Spec spec = toys::Counter(5);
+  SpecReplayResult r = ReplayLabels(spec, 0, {Lbl("Nope", EventKind::kInternal)});
+  EXPECT_EQ(r.outcome, SpecReplayOutcome::kStuck);
+  EXPECT_NE(r.stuck_reason.find("unknown action"), std::string::npos);
+
+  // Inc exists but emits empty params; a label with junk params cannot match.
+  r = ReplayLabels(spec, 0,
+                   {Lbl("Inc", EventKind::kClientRequest,
+                        Json(JsonObject{{"bogus", Json(1)}}))});
+  EXPECT_EQ(r.outcome, SpecReplayOutcome::kStuck);
+  EXPECT_NE(r.stuck_reason.find("no successor"), std::string::npos);
+}
+
+TEST(SpecReplay, CompletesWhenNothingFires) {
+  const Spec spec = toys::Counter(5);
+  const SpecReplayResult r =
+      ReplayLabels(spec, 0, {Lbl("Inc", EventKind::kClientRequest),
+                             Lbl("Inc", EventKind::kClientRequest)});
+  EXPECT_EQ(r.outcome, SpecReplayOutcome::kCompleted);
+  EXPECT_EQ(r.steps_applied, 2u);
+  EXPECT_EQ(r.trace.back().state.field("x").int_v(), 2);
+}
+
+TEST(SpecReplay, TruncatesAtFirstViolation) {
+  const Spec spec = toys::Counter(10, /*with_bad_jump=*/true);
+  // Three increments, the violating jump, then two more increments: the
+  // replay must stop at the jump and report the prefix.
+  std::vector<ActionLabel> labels(3, Lbl("Inc", EventKind::kClientRequest));
+  labels.push_back(Lbl("Jump", EventKind::kInternal));
+  labels.push_back(Lbl("Inc", EventKind::kClientRequest));
+  const SpecReplayResult r = ReplayLabels(spec, 0, labels);
+  EXPECT_EQ(r.outcome, SpecReplayOutcome::kViolation);
+  EXPECT_EQ(r.invariant, "Monotonic");
+  EXPECT_TRUE(r.is_transition_invariant);
+  EXPECT_EQ(r.steps_applied, 4u);
+  EXPECT_EQ(r.trace.size(), 5u);
+}
+
+TEST(SpecReplay, InvariantClassNarrowing) {
+  const Spec spec = toys::Counter(10, /*with_bad_jump=*/true);
+  std::vector<ActionLabel> labels(3, Lbl("Inc", EventKind::kClientRequest));
+  labels.push_back(Lbl("Jump", EventKind::kInternal));
+  trace::SpecReplayOptions opts;
+  opts.check_transition_invariants = false;
+  const SpecReplayResult r = ReplayLabels(spec, 0, labels, opts);
+  // With the transition class switched off the jump goes unnoticed.
+  EXPECT_EQ(r.outcome, SpecReplayOutcome::kCompleted);
+}
+
+// The core ddmin properties, over many random violating traces: the result
+// still violates the same invariant, never got longer, and re-minimizing is
+// a fixed point.
+TEST(Minimize, RandomWalkViolationsShrinkSoundly) {
+  // NoisyCounter walks violate often (~half the seeds) with raw traces of
+  // ~15 events padded with noise; the true minimum is Inc,Inc,Inc,Jump = 4.
+  const Spec spec = NoisyCounter(/*jump_needs_cut=*/false);
+  WalkOptions wopts;
+  wopts.max_depth = 40;
+  wopts.collect_trace = true;
+  wopts.check_transition_invariants = true;
+  int violations = 0;
+  for (uint64_t seed = 1; seed <= 40 && violations < 12; ++seed) {
+    Rng rng(seed);
+    const WalkResult w = RandomWalk(spec, wopts, rng);
+    if (!w.violation.has_value()) {
+      continue;
+    }
+    ++violations;
+    const MinimizeResult m = MinimizeCounterexample(spec, *w.violation);
+    ASSERT_TRUE(m.input_reproduced) << "seed " << seed;
+    EXPECT_LE(m.events_after, m.events_before) << "seed " << seed;
+    EXPECT_EQ(m.violation.invariant, "Monotonic");
+    // The minimizer cannot go below the true minimum, and ddmin + the domain
+    // passes + pair deletion reliably reach it here.
+    EXPECT_EQ(m.events_after, 4u) << "seed " << seed;
+    // The minimized labels genuinely replay to the violation.
+    const SpecReplayResult rr = ReplayLabels(spec, 0, Labels(m.trace));
+    EXPECT_EQ(rr.outcome, SpecReplayOutcome::kViolation);
+    EXPECT_EQ(rr.invariant, "Monotonic");
+    // Idempotence: minimizing the minimum is a fixed point.
+    const MinimizeResult m2 = MinimizeCounterexample(spec, m.violation);
+    ASSERT_TRUE(m2.input_reproduced);
+    EXPECT_EQ(m2.events_after, m.events_after);
+    ASSERT_EQ(m2.trace.size(), m.trace.size());
+    for (size_t i = 1; i < m.trace.size(); ++i) {
+      EXPECT_EQ(m2.trace[i].label.action, m.trace[i].label.action);
+      EXPECT_TRUE(m2.trace[i].label.params == m.trace[i].label.params);
+    }
+  }
+  ASSERT_GE(violations, 5) << "walks found too few violations to test anything";
+}
+
+TEST(Minimize, BfsTraceIsAlreadyAFixedPoint) {
+  // BFS counterexamples are depth-minimal, so the minimizer must return them
+  // unchanged — this is the property the corpus update script relies on.
+  const Spec spec = toys::Counter(10, /*with_bad_jump=*/true);
+  const BfsResult r = BfsCheck(spec, {});
+  ASSERT_TRUE(r.violation.has_value());
+  const MinimizeResult m = MinimizeCounterexample(spec, *r.violation);
+  ASSERT_TRUE(m.input_reproduced);
+  EXPECT_EQ(m.events_before, 4u);
+  EXPECT_EQ(m.events_after, 4u);
+  EXPECT_TRUE(m.violation.is_transition_invariant);
+  EXPECT_EQ(m.violation.invariant, "Monotonic");
+}
+
+TEST(Minimize, DomainPassesStripNoise) {
+  const Spec spec = NoisyCounter(/*jump_needs_cut=*/false);
+  // A violating trace padded with droppable noise: faults, a timeout run and
+  // a partition/heal pair, none of which the violation needs.
+  const std::vector<ActionLabel> noisy = {
+      Lbl("DropNoise", EventKind::kNetworkFault, Json(JsonObject{{"i", Json(0)}})),
+      Lbl("Inc", EventKind::kClientRequest),
+      Lbl("Tick", EventKind::kTimeout, Json(JsonObject{{"node", Json(0)}})),
+      Lbl("Tick", EventKind::kTimeout, Json(JsonObject{{"node", Json(0)}})),
+      Lbl("Cut", EventKind::kPartition,
+          Json(JsonObject{{"side", Json(JsonArray{Json(0)})}})),
+      Lbl("Inc", EventKind::kClientRequest),
+      Lbl("Heal", EventKind::kRecover),
+      Lbl("Inc", EventKind::kClientRequest),
+      Lbl("DropNoise", EventKind::kNetworkFault, Json(JsonObject{{"i", Json(0)}})),
+      Lbl("Jump", EventKind::kInternal),
+  };
+  const Violation v = ViolationFromLabels(spec, noisy);
+  const MinimizeResult m = MinimizeCounterexample(spec, v);
+  ASSERT_TRUE(m.input_reproduced);
+  // Only the three increments and the jump are essential.
+  EXPECT_EQ(m.events_after, 4u);
+  EXPECT_GT(m.domain_removed + m.ddmin_removed, 0u);
+  EXPECT_EQ(m.events_before - m.events_after,
+            m.domain_removed + m.ddmin_removed);
+  for (const TraceStep& step : m.trace) {
+    EXPECT_NE(step.label.kind, EventKind::kNetworkFault);
+    EXPECT_NE(step.label.kind, EventKind::kTimeout);
+  }
+}
+
+TEST(Minimize, PartitionPairAndSideShrink) {
+  const Spec spec = NoisyCounter(/*jump_needs_cut=*/true);
+  // Here Jump requires an earlier Cut, so the Cut event itself is essential
+  // — but its wide side set is not, and the Heal after the jump-enabling
+  // window is pure noise.
+  const std::vector<ActionLabel> labels = {
+      Lbl("Inc", EventKind::kClientRequest),
+      Lbl("Inc", EventKind::kClientRequest),
+      Lbl("Cut", EventKind::kPartition,
+          Json(JsonObject{{"side", Json(JsonArray{Json(0), Json(1)})}})),
+      Lbl("Inc", EventKind::kClientRequest),
+      Lbl("Jump", EventKind::kInternal),
+  };
+  const Violation v = ViolationFromLabels(spec, labels);
+  const MinimizeResult m = MinimizeCounterexample(spec, v);
+  ASSERT_TRUE(m.input_reproduced);
+  EXPECT_EQ(m.events_after, 5u);  // nothing deletable: Cut gates the jump
+  // But the partition's side was narrowed to a single node.
+  bool saw_cut = false;
+  for (const TraceStep& step : m.trace) {
+    if (step.label.kind == EventKind::kPartition) {
+      saw_cut = true;
+      EXPECT_EQ(step.label.params["side"].size(), 1u);
+    }
+  }
+  EXPECT_TRUE(saw_cut);
+}
+
+TEST(Minimize, PairedCutHealDeletedTogether) {
+  const Spec spec = NoisyCounter(/*jump_needs_cut=*/false);
+  // Heal is only enabled while cut, so neither Cut nor Heal can be removed
+  // alone — the pair pass (or pair deletion) must drop both.
+  const std::vector<ActionLabel> labels = {
+      Lbl("Inc", EventKind::kClientRequest),
+      Lbl("Cut", EventKind::kPartition,
+          Json(JsonObject{{"side", Json(JsonArray{Json(0)})}})),
+      Lbl("Heal", EventKind::kRecover),
+      Lbl("Inc", EventKind::kClientRequest),
+      Lbl("Inc", EventKind::kClientRequest),
+      Lbl("Jump", EventKind::kInternal),
+  };
+  const Violation v = ViolationFromLabels(spec, labels);
+  const MinimizeResult m = MinimizeCounterexample(spec, v);
+  ASSERT_TRUE(m.input_reproduced);
+  EXPECT_EQ(m.events_after, 4u);
+  for (const TraceStep& step : m.trace) {
+    EXPECT_NE(step.label.kind, EventKind::kPartition);
+    EXPECT_NE(step.label.kind, EventKind::kRecover);
+  }
+}
+
+TEST(Minimize, ReplayBudgetReturnsBestSoFar) {
+  const Spec spec = toys::DieHard();
+  WalkOptions wopts;
+  wopts.max_depth = 40;
+  wopts.collect_trace = true;
+  wopts.check_invariants = true;
+  Rng rng(3);
+  WalkResult w = RandomWalk(spec, wopts, rng);
+  for (uint64_t seed = 4; !w.violation.has_value(); ++seed) {
+    Rng next(seed);
+    w = RandomWalk(spec, wopts, next);
+  }
+  MinimizeOptions opts;
+  opts.max_replays = 1;  // enough for the identity check only
+  const MinimizeResult m = MinimizeCounterexample(spec, *w.violation, opts);
+  ASSERT_TRUE(m.input_reproduced);
+  EXPECT_TRUE(m.hit_replay_limit);
+  EXPECT_LE(m.events_after, m.events_before);
+  // Whatever was returned still violates.
+  const SpecReplayResult rr = ReplayLabels(spec, 0, Labels(m.trace));
+  EXPECT_EQ(rr.outcome, SpecReplayOutcome::kViolation);
+}
+
+TEST(Minimize, EmptyTraceIsRejected) {
+  const Spec spec = toys::DieHard();
+  Violation v;
+  v.invariant = "BigNotFour";
+  const MinimizeResult m = MinimizeCounterexample(spec, v);
+  EXPECT_FALSE(m.input_reproduced);
+  EXPECT_EQ(m.events_after, 0u);
+}
+
+TEST(Minimize, MismatchedSpecDoesNotReproduce) {
+  // A DieHard trace replayed against the counter spec must be rejected, not
+  // silently "minimized" into something unrelated.
+  const Spec diehard = toys::DieHard();
+  const BfsResult r = BfsCheck(diehard, {});
+  ASSERT_TRUE(r.violation.has_value());
+  const Spec counter = toys::Counter(10, /*with_bad_jump=*/true);
+  const MinimizeResult m = MinimizeCounterexample(counter, *r.violation);
+  EXPECT_FALSE(m.input_reproduced);
+  EXPECT_EQ(m.events_after, m.events_before);  // returned unchanged
+}
+
+TEST(Minimize, MetricsRecorded) {
+  const Spec spec = toys::Counter(10, /*with_bad_jump=*/true);
+  const BfsResult r = BfsCheck(spec, {});
+  ASSERT_TRUE(r.violation.has_value());
+  obs::MetricsRegistry registry;
+  MinimizeOptions opts;
+  opts.metrics = &registry;
+  const MinimizeResult m = MinimizeCounterexample(spec, *r.violation, opts);
+  ASSERT_TRUE(m.input_reproduced);
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("minimize.runs"), 1u);
+  EXPECT_EQ(snap.counters.at("minimize.replays"), m.replays);
+  EXPECT_GE(snap.counters.at("minimize.candidates"), snap.counters.at("minimize.replays"));
+  EXPECT_GT(snap.histograms.at("phase.guided_replay").count, 0u);
+}
+
+TEST(Minimize, ToJsonCarriesStats) {
+  const Spec spec = toys::Counter(10, /*with_bad_jump=*/true);
+  const BfsResult r = BfsCheck(spec, {});
+  ASSERT_TRUE(r.violation.has_value());
+  const MinimizeResult m = MinimizeCounterexample(spec, *r.violation);
+  const Json j = m.ToJson();
+  EXPECT_TRUE(j["input_reproduced"].as_bool());
+  EXPECT_EQ(j["events_before"].as_int(), 4);
+  EXPECT_EQ(j["events_after"].as_int(), 4);
+  EXPECT_EQ(j["violation"]["invariant"].as_string(), "Monotonic");
+}
+
+TEST(Corpus, JsonRoundTrip) {
+  minimize::GoldenTrace g;
+  g.bug = "PySyncObj#2";
+  g.invariant = "CommitIndexMonotonic";
+  g.is_transition_invariant = true;
+  g.init_index = 0;
+  g.events = {Lbl("Inc", EventKind::kClientRequest),
+              Lbl("Cut", EventKind::kPartition,
+                  Json(JsonObject{{"side", Json(JsonArray{Json(1)})}}))};
+  g.meta = Json(JsonObject{{"events_before", Json(10)}});
+  const Json j = minimize::GoldenTraceToJson(g);
+  auto back = minimize::GoldenTraceFromJson(j);
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value().bug, g.bug);
+  EXPECT_EQ(back.value().invariant, g.invariant);
+  EXPECT_TRUE(back.value().is_transition_invariant);
+  ASSERT_EQ(back.value().events.size(), 2u);
+  EXPECT_EQ(back.value().events[1].action, "Cut");
+  EXPECT_EQ(back.value().events[1].kind, EventKind::kPartition);
+  EXPECT_TRUE(back.value().events[1].params == g.events[1].params);
+
+  // File round trip through the pretty serializer.
+  const std::string path = ::testing::TempDir() + "/golden_roundtrip.trace.json";
+  ASSERT_TRUE(minimize::SaveGoldenTrace(g, path).ok());
+  auto loaded = minimize::LoadGoldenTrace(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  EXPECT_EQ(loaded.value().bug, g.bug);
+  EXPECT_EQ(loaded.value().events.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(Corpus, RejectsBadFormat) {
+  EXPECT_FALSE(minimize::GoldenTraceFromJson(Json(JsonObject{})).ok());
+  EXPECT_FALSE(minimize::GoldenTraceFromJson(Json("nope")).ok());
+  EXPECT_FALSE(minimize::LoadGoldenTrace("/nonexistent/x.trace.json").ok());
+}
+
+TEST(Corpus, SlugNormalizesBugIds) {
+  EXPECT_EQ(minimize::CorpusSlug("PySyncObj#2"), "pysyncobj_2");
+  EXPECT_EQ(minimize::CorpusSlug("Xraft-KV#1"), "xraft_kv_1");
+  EXPECT_EQ(minimize::CorpusSlug("ZooKeeper#1"), "zookeeper_1");
+}
+
+TEST(Corpus, GoldenReplayOnToySpec) {
+  const Spec spec = toys::Counter(10, /*with_bad_jump=*/true);
+  minimize::GoldenTrace g;
+  g.bug = "toy";
+  g.invariant = "Monotonic";
+  g.is_transition_invariant = true;
+  g.events.assign(3, Lbl("Inc", EventKind::kClientRequest));
+  g.events.push_back(Lbl("Jump", EventKind::kInternal));
+  const SpecReplayResult r = minimize::ReplayGoldenTrace(spec, g);
+  EXPECT_EQ(r.outcome, SpecReplayOutcome::kViolation);
+  EXPECT_EQ(r.invariant, "Monotonic");
+  EXPECT_TRUE(r.is_transition_invariant);
+}
+
+}  // namespace
+}  // namespace sandtable

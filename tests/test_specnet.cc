@@ -1,6 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "src/net/specnet.h"
+#include "src/util/rng.h"
 
 namespace sandtable {
 namespace {
@@ -156,6 +160,101 @@ TEST(SpecNet, AllMessagesEnumerates) {
   net = specnet::Send(net, Msg(0, 1, 2), none);
   net = specnet::Send(net, Msg(1, 0, 3), none);
   EXPECT_EQ(specnet::AllMessages(net).size(), 3u);
+}
+
+// --- Fault-option laws -------------------------------------------------------
+//
+// Property tests over randomized UDP message multisets. The fault model must
+// obey two algebraic laws for the minimizer's domain passes to be sound:
+// duplicating a datagram and then dropping the copy is the identity on the
+// network value, and fault options only ever name messages actually in flight.
+
+// Builds a UDP net with 1..max_sends sends between three nodes, with repeated
+// (src, dst, id) triples likely so the multiset counts get exercised.
+Value RandomUdpNet(Rng& rng, int max_sends) {
+  Value net = specnet::InitUdp();
+  const Value none = Value::EmptySet();
+  const int sends = static_cast<int>(rng.Range(1, max_sends));
+  for (int s = 0; s < sends; ++s) {
+    const int src = static_cast<int>(rng.Range(0, 2));
+    const int dst = (src + 1 + static_cast<int>(rng.Range(0, 1))) % 3;
+    const int id = static_cast<int>(rng.Range(1, 3));
+    net = specnet::Send(net, Msg(src, dst, id), none);
+  }
+  return net;
+}
+
+bool ContainsMessage(const std::vector<Value>& all, const Value& msg) {
+  return std::find(all.begin(), all.end(), msg) != all.end();
+}
+
+TEST(SpecNetUdpLaws, DropOfJustDuplicatedDatagramRestoresOriginalMultiset) {
+  Rng rng(0xfa017);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Value net = RandomUdpNet(rng, 8);
+    for (const auto& dup : specnet::DupOptions(net, /*max_copies=*/8)) {
+      EXPECT_EQ(specnet::TotalInFlight(dup.net_after),
+                specnet::TotalInFlight(net) + 1);
+      // Exactly one drop option targets the duplicated message; taking it must
+      // return the exact original network value, not just the same count.
+      bool found = false;
+      for (const auto& drop : specnet::DropOptions(dup.net_after)) {
+        if (drop.msg == dup.msg) {
+          EXPECT_FALSE(found) << "two drop options for one distinct message";
+          found = true;
+          EXPECT_EQ(drop.net_after, net);
+        }
+      }
+      EXPECT_TRUE(found) << "duplicated message has no drop option";
+    }
+  }
+}
+
+TEST(SpecNetUdpLaws, FaultOptionsNeverReferenceAbsentMessages) {
+  Rng rng(0xab5e97);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Value net = RandomUdpNet(rng, 8);
+    const std::vector<Value> all = specnet::AllMessages(net);
+    for (const auto& drop : specnet::DropOptions(net)) {
+      EXPECT_TRUE(ContainsMessage(all, drop.msg));
+      EXPECT_EQ(specnet::TotalInFlight(drop.net_after),
+                specnet::TotalInFlight(net) - 1);
+      // The dropped copy is gone, but the fault never invents new messages.
+      for (const auto& survivor : specnet::AllMessages(drop.net_after)) {
+        EXPECT_TRUE(ContainsMessage(all, survivor));
+      }
+    }
+    for (const auto& dup : specnet::DupOptions(net, /*max_copies=*/8)) {
+      EXPECT_TRUE(ContainsMessage(all, dup.msg));
+      // Duplication adds a copy of an existing message — no new identities.
+      for (const auto& m : specnet::AllMessages(dup.net_after)) {
+        EXPECT_TRUE(ContainsMessage(all, m));
+      }
+    }
+  }
+}
+
+TEST(SpecNetUdpLaws, EveryInFlightMessageHasExactlyOneDropOption) {
+  Rng rng(0xd1ce);
+  for (int trial = 0; trial < 50; ++trial) {
+    const Value net = RandomUdpNet(rng, 8);
+    const std::vector<Value> all = specnet::AllMessages(net);
+    const auto drops = specnet::DropOptions(net);
+    // One option per *distinct* message, regardless of its copy count.
+    EXPECT_EQ(drops.size(), all.size());
+    for (const Value& m : all) {
+      const auto hits = std::count_if(
+          drops.begin(), drops.end(),
+          [&](const specnet::FaultOption& d) { return d.msg == m; });
+      EXPECT_EQ(hits, 1);
+    }
+  }
+}
+
+TEST(SpecNetUdpLaws, NoFaultOptionsOnEmptyNet) {
+  const Value net = specnet::InitUdp();
+  EXPECT_TRUE(specnet::DropOptions(net).empty());
+  EXPECT_TRUE(specnet::DupOptions(net, 4).empty());
 }
 
 TEST(SpecNet, EmptyChannelsKeepStateCanonical) {
