@@ -1,0 +1,142 @@
+// Out-of-core exploration bench: the same capped BFS run twice — once with
+// the engines' built-in in-memory structures, once with a deliberately tiny
+// memory budget that forces the spilling fingerprint store and the frontier
+// spool onto disk. Reports throughput (states/sec), spill volume and peak RSS
+// for both, and fails loudly if the out-of-core run does not reach exactly
+// the same distinct-state count: disk residency must never change what gets
+// explored.
+//
+// Scale with SANDTABLE_BENCH_SECONDS / SANDTABLE_BENCH_STATES as usual.
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "bench/bench_json.h"
+#include "src/mc/bfs.h"
+#include "src/obs/report.h"
+#include "src/raftspec/raft_spec.h"
+#include "src/store/ooc.h"
+
+using namespace sandtable;  // NOLINT(build/namespaces): bench brevity
+
+namespace {
+
+Spec SmallRaftSpec() {
+  RaftProfile p = GetRaftProfile("pysyncobj", /*with_bugs=*/false);
+  p.budget.max_timeouts = 2;
+  p.budget.max_client_requests = 1;
+  p.budget.max_crashes = 0;
+  p.budget.max_restarts = 0;
+  p.budget.max_partitions = 0;
+  p.budget.max_drops = 0;
+  p.budget.max_dups = 0;
+  p.budget.max_term = 2;
+  p.budget.max_msg_buffer = 3;
+  p.budget.max_log_len = 1;
+  p.budget.max_snapshots = 0;
+  return MakeRaftSpec(p);
+}
+
+}  // namespace
+
+int main() {
+  bench::JsonBenchWriter json("ooc");
+  const double budget_s = bench::BudgetSeconds(20);
+  const unsigned long long state_cap = bench::StateBudget(50000);
+  const Spec spec = SmallRaftSpec();
+
+  std::printf("out-of-core exploration: in-memory vs spilling store (pysyncobj)\n");
+  std::printf("budget %s, cap %llu states\n\n", bench::HumanTime(budget_s).c_str(),
+              state_cap);
+
+  auto run = [&](store::OocConfig ooc) {
+    BfsOptions o;
+    o.time_budget_s = budget_s;
+    o.max_distinct_states = state_cap;
+    o.ooc = ooc;
+    return BfsCheck(spec, o);
+  };
+
+  // Pass 1: pure in-memory baseline.
+  const BfsResult in_mem = run({});
+  const uint64_t rss_after_in_mem = obs::PeakRssKb();
+  std::printf("%-12s %10s states  depth %2llu  %8s st/s  peak RSS %llu KiB\n",
+              "in-memory:", bench::HumanCount(in_mem.distinct_states).c_str(),
+              static_cast<unsigned long long>(in_mem.depth_reached),
+              bench::HumanCount(static_cast<unsigned long long>(
+                                    in_mem.distinct_states / std::max(in_mem.seconds, 1e-9)))
+                  .c_str(),
+              static_cast<unsigned long long>(rss_after_in_mem));
+
+  // Pass 2: out-of-core with a budget far below the visited-set size, so the
+  // bulk of the fingerprints and frontier live on disk.
+  namespace fs = std::filesystem;
+  const fs::path spill = fs::temp_directory_path() /
+                         ("sandtable-bench-ooc-" + std::to_string(::getpid()));
+  fs::remove_all(spill);
+  BfsResult ooc_result;
+  uint64_t spilled_fps = 0;
+  uint64_t runs = 0;
+  uint64_t spilled_frontier = 0;
+  {
+    obs::MetricsRegistry metrics;
+    store::StoreConfig scfg;
+    scfg.spill_dir = (spill / "fps").string();
+    scfg.max_resident = 2048;  // far below the expected visited-set size
+    scfg.metrics = &metrics;
+    store::SpillingStateStore sstore(scfg);
+    store::SpoolConfig spool;
+    spool.dir = (spill / "frontier").string();
+    spool.max_resident = 128;
+    spool.chunk_states = 64;
+    spool.metrics = &metrics;
+    store::OocConfig ooc;
+    ooc.state_store = &sstore;
+    ooc.frontier_spool = &spool;
+    ooc_result = run(ooc);
+    spilled_fps = sstore.SpilledSize();
+    runs = sstore.RunCount();
+    spilled_frontier = metrics.GetCounter("frontier.spilled_states").Value();
+  }
+  fs::remove_all(spill);
+  const uint64_t rss_after_ooc = obs::PeakRssKb();
+  std::printf("%-12s %10s states  depth %2llu  %8s st/s  peak RSS %llu KiB\n",
+              "out-of-core:", bench::HumanCount(ooc_result.distinct_states).c_str(),
+              static_cast<unsigned long long>(ooc_result.depth_reached),
+              bench::HumanCount(
+                  static_cast<unsigned long long>(ooc_result.distinct_states /
+                                                  std::max(ooc_result.seconds, 1e-9)))
+                  .c_str(),
+              static_cast<unsigned long long>(rss_after_ooc));
+  std::printf("%-12s %10s fingerprints across %llu runs (+%s frontier states)\n\n",
+              "spilled:", bench::HumanCount(spilled_fps).c_str(),
+              static_cast<unsigned long long>(runs),
+              bench::HumanCount(spilled_frontier).c_str());
+
+  const bool states_match = in_mem.distinct_states == ooc_result.distinct_states &&
+                            in_mem.depth_reached == ooc_result.depth_reached;
+  std::printf("equivalence: %s (%llu vs %llu states)\n",
+              states_match ? "OK" : "MISMATCH",
+              static_cast<unsigned long long>(in_mem.distinct_states),
+              static_cast<unsigned long long>(ooc_result.distinct_states));
+
+  JsonObject row;
+  row["in_memory"] = in_mem.ToJson(/*include_trace=*/false);
+  row["out_of_core"] = ooc_result.ToJson(/*include_trace=*/false);
+  row["in_memory_states_per_sec"] =
+      Json(in_mem.distinct_states / std::max(in_mem.seconds, 1e-9));
+  row["out_of_core_states_per_sec"] =
+      Json(ooc_result.distinct_states / std::max(ooc_result.seconds, 1e-9));
+  row["spilled_fingerprints"] = Json(spilled_fps);
+  row["spill_runs"] = Json(runs);
+  row["spilled_frontier_states"] = Json(spilled_frontier);
+  row["peak_rss_kb"] = Json(rss_after_ooc);
+  row["states_match"] = Json(states_match);
+  json.Result(std::move(row));
+
+  return states_match ? 0 : 1;
+}

@@ -13,6 +13,7 @@
 #include "bench/bench_common.h"
 #include "bench/bench_json.h"
 #include "src/mc/bfs.h"
+#include "src/obs/report.h"
 #include "src/raftspec/raft_spec.h"
 #include "src/zabspec/zab_spec.h"
 
@@ -86,6 +87,7 @@ int main() {
     row["system"] = Json(std::string(system));
     row["e1"] = r1.ToJson(/*include_trace=*/false);
     row["e2"] = r2.ToJson(/*include_trace=*/false);
+    row["peak_rss_kb"] = Json(obs::PeakRssKb());
     json.Result(std::move(row));
 
     std::printf("%-11s | %9s %7llu %10s %10s | %7llu %10s %10s%s\n", system,
@@ -128,7 +130,10 @@ int main() {
     row["system"] = Json(std::string("pysyncobj"));
     row["ablation"] = Json(std::string(sym ? "symmetry_on" : "symmetry_off"));
     row["result"] = r.ToJson(/*include_trace=*/false);
+    row["peak_rss_kb"] = Json(obs::PeakRssKb());
     json.Result(std::move(row));
   }
+  std::printf("peak RSS: %llu KiB\n",
+              static_cast<unsigned long long>(obs::PeakRssKb()));
   return 0;
 }

@@ -11,6 +11,13 @@
 //   sandtable_cli minimize --bug PySyncObj#2 [--trace /tmp/bug.jsonl]
 //                          [--trace-out /tmp/min.jsonl] [--corpus-out golden.trace.json]
 //   sandtable_cli rank --system pysyncobj
+//   sandtable_cli ckpt-info --ckpt /tmp/run.ckpt
+//
+// Out-of-core exploration (src/store): `--mem-budget-mb N` bounds the resident
+// fingerprint + frontier memory and spills the rest to `--spill-dir` (default:
+// a temp dir removed at exit); `--ckpt DIR --checkpoint-every N` writes a
+// crash-safe checkpoint every N distinct states; `--resume DIR` continues a
+// checkpointed run where it stopped.
 //
 // Telemetry (src/obs): `--metrics-out FILE` streams progress JSONL plus a
 // final report record; `--progress-every N` emits a progress line every N
@@ -21,10 +28,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
+
+#include <unistd.h>
 
 #include "src/conformance/bug_catalog.h"
 #include "src/conformance/raft_harness.h"
@@ -37,6 +48,7 @@
 #include "src/obs/phase_timer.h"
 #include "src/obs/report.h"
 #include "src/par/parallel_bfs.h"
+#include "src/store/ooc.h"
 #include "src/trace/spec_replay.h"
 
 using namespace sandtable;               // NOLINT(build/namespaces): CLI brevity
@@ -63,6 +75,12 @@ struct Args {
   bool minimize = false;      // shrink the counterexample before reporting it
   bool minimize_any = false;  // accept any violation while shrinking
   std::string corpus_out;     // golden-trace JSON sink (minimize subcommand)
+  // Out-of-core exploration (src/store).
+  uint64_t mem_budget_mb = 0;      // 0 = pure in-memory exploration
+  std::string spill_dir;           // default: temp dir, removed at exit
+  std::string ckpt_dir;            // checkpoint directory (--ckpt)
+  uint64_t checkpoint_every = 0;   // distinct-state cadence; 0 with --ckpt = 100k
+  std::string resume_dir;          // checkpoint to resume from
 };
 
 bool ParseArgs(int argc, char** argv, Args* out) {
@@ -120,6 +138,20 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->minimize_any = true;
     } else if (flag == "--corpus-out" && next(&v)) {
       out->corpus_out = v;
+    } else if (flag == "--mem-budget-mb" && next(&v)) {
+      out->mem_budget_mb = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--spill-dir" && next(&v)) {
+      out->spill_dir = v;
+    } else if (flag == "--ckpt" && next(&v)) {
+      out->ckpt_dir = v;
+    } else if (flag == "--checkpoint-every" && next(&v)) {
+      out->checkpoint_every = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--resume" && next(&v)) {
+      out->resume_dir = v;
+    } else if (out->command == "ckpt-info" && !flag.empty() && flag[0] != '-' &&
+               out->ckpt_dir.empty()) {
+      // `ckpt-info <dir>` positional form, equivalent to --ckpt <dir>.
+      out->ckpt_dir = flag;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
       return false;
@@ -291,6 +323,92 @@ int CmdListBugs() {
   return 0;
 }
 
+// Owns the out-of-core machinery for one `check` run: the spilling store, the
+// frontier spool config, the checkpointer and (on --resume) the opened
+// checkpoint. Wire() fills opts.ooc; the default-constructed runtime leaves
+// the engine fully in-memory.
+struct OocRuntime {
+  std::unique_ptr<store::SpillingStateStore> state_store;
+  store::SpoolConfig spool_cfg;
+  std::unique_ptr<store::Checkpointer> checkpointer;
+  std::optional<store::ResumedRun> resumed;
+  std::string owned_spill_dir;  // temp dir we created; removed on destruction
+  bool enabled = false;
+
+  ~OocRuntime() {
+    state_store.reset();  // unmap spill runs before deleting their directory
+    if (!owned_spill_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(owned_spill_dir, ec);
+    }
+  }
+
+  // Returns false (after printing the reason) when the flags are unusable.
+  bool Wire(const Args& args, const Spec& spec, obs::MetricsRegistry* metrics,
+            BfsOptions& opts) {
+    enabled = args.mem_budget_mb > 0 || !args.spill_dir.empty() ||
+              !args.ckpt_dir.empty() || !args.resume_dir.empty();
+    if (!enabled) {
+      return true;
+    }
+    std::string spill = args.spill_dir;
+    if (spill.empty()) {
+      spill = (std::filesystem::temp_directory_path() /
+               ("sandtable-spill-" + std::to_string(::getpid())))
+                  .string();
+      owned_spill_dir = spill;
+    }
+    const store::MemBudget budget =
+        store::SplitMemBudget(args.mem_budget_mb > 0 ? args.mem_budget_mb : 1024);
+
+    store::StoreConfig scfg;
+    scfg.spill_dir = spill + "/fps";
+    scfg.max_resident = budget.max_resident_fingerprints;
+    scfg.metrics = metrics;
+    state_store = std::make_unique<store::SpillingStateStore>(scfg);
+
+    spool_cfg.dir = spill + "/frontier";
+    spool_cfg.max_resident = budget.max_resident_frontier;
+    spool_cfg.metrics = metrics;
+
+    opts.ooc.state_store = state_store.get();
+    opts.ooc.frontier_spool = &spool_cfg;
+
+    if (!args.resume_dir.empty()) {
+      auto opened = store::OpenCheckpoint(args.resume_dir, spec);
+      if (!opened.ok()) {
+        std::fprintf(stderr, "cannot resume: %s\n", opened.error().c_str());
+        return false;
+      }
+      resumed = std::move(opened).value();
+      const Status st = state_store->LoadRuns(resumed->run_paths);
+      if (!st.ok()) {
+        std::fprintf(stderr, "cannot resume: %s\n", st.error().c_str());
+        return false;
+      }
+      opts.ooc.resume = &*resumed;
+      std::printf("resuming from %s: %llu states, depth %llu, frontier %llu\n",
+                  args.resume_dir.c_str(),
+                  static_cast<unsigned long long>(resumed->meta.distinct_states),
+                  static_cast<unsigned long long>(resumed->meta.depth_reached),
+                  static_cast<unsigned long long>(resumed->meta.frontier_size));
+    }
+    if (!args.ckpt_dir.empty()) {
+      store::Checkpointer::Config ccfg;
+      ccfg.dir = args.ckpt_dir;
+      ccfg.every_states =
+          args.checkpoint_every > 0 ? args.checkpoint_every : 100000;
+      ccfg.metrics = metrics;
+      checkpointer = std::make_unique<store::Checkpointer>(ccfg, &spec);
+      opts.ooc.checkpointer = checkpointer.get();
+    } else if (args.checkpoint_every > 0) {
+      std::fprintf(stderr, "--checkpoint-every needs --ckpt DIR\n");
+      return false;
+    }
+    return true;
+  }
+};
+
 int CmdCheck(const Args& args) {
   Target t = MakeTarget(args);
   Telemetry telemetry(args);
@@ -303,6 +421,10 @@ int CmdCheck(const Args& args) {
   }
   opts.progress = telemetry.progress.get();
   opts.metrics = &telemetry.registry;
+  OocRuntime ooc;
+  if (!ooc.Wire(args, t.spec, &telemetry.registry, opts)) {
+    return 1;
+  }
   BfsResult r;
   const char* engine = args.workers > 1 ? "parallel_bfs" : "bfs";
   if (args.workers > 1) {
@@ -317,6 +439,17 @@ int CmdCheck(const Args& args) {
               static_cast<unsigned long long>(r.distinct_states),
               static_cast<unsigned long long>(r.depth_reached), r.seconds,
               r.exhausted ? "exhausted" : "bounded");
+  if (ooc.enabled && ooc.state_store != nullptr) {
+    std::printf("out-of-core: %llu fingerprints spilled across %zu runs",
+                static_cast<unsigned long long>(ooc.state_store->SpilledSize()),
+                ooc.state_store->RunCount());
+    if (ooc.checkpointer != nullptr) {
+      std::printf(", %llu checkpoints to %s",
+                  static_cast<unsigned long long>(ooc.checkpointer->writes()),
+                  args.ckpt_dir.c_str());
+    }
+    std::printf("\n");
+  }
   if (!r.violation.has_value()) {
     telemetry.Finish(engine, r.ToJson());
     std::printf("no safety violation found\n");
@@ -570,6 +703,54 @@ int CmdMinimize(const Args& args) {
   return 0;
 }
 
+// Print a checkpoint manifest without needing (or validating against) a spec.
+int CmdCkptInfo(const Args& args) {
+  const std::string dir = !args.ckpt_dir.empty() ? args.ckpt_dir : args.resume_dir;
+  if (dir.empty()) {
+    std::fprintf(stderr, "ckpt-info needs --ckpt <dir>\n");
+    return 1;
+  }
+  auto meta_or = store::ReadCheckpointMeta(dir);
+  if (!meta_or.ok()) {
+    std::fprintf(stderr, "%s\n", meta_or.error().c_str());
+    return 1;
+  }
+  const store::CheckpointMeta& meta = meta_or.value();
+  std::printf("checkpoint %s\n", dir.c_str());
+  std::printf("  %-18s v%d\n", "format", meta.format_version);
+  std::printf("  %-18s %s\n", "spec", meta.spec_name.c_str());
+  std::printf("  %-18s %016llx\n", "spec hash",
+              static_cast<unsigned long long>(meta.spec_hash));
+  std::printf("  %-18s %llu\n", "distinct states",
+              static_cast<unsigned long long>(meta.distinct_states));
+  std::printf("  %-18s %llu\n", "depth reached",
+              static_cast<unsigned long long>(meta.depth_reached));
+  std::printf("  %-18s %llu\n", "frontier size",
+              static_cast<unsigned long long>(meta.frontier_size));
+  std::printf("  %-18s %llu\n", "deadlock states",
+              static_cast<unsigned long long>(meta.deadlock_states));
+  std::printf("  %-18s %.1fs\n", "explored for", meta.seconds);
+  std::printf("  %-18s %s\n", "symmetry", meta.use_symmetry ? "yes" : "no");
+  std::printf("  %-18s %zu file%s\n", "visited runs", meta.visited_runs.size(),
+              meta.visited_runs.size() == 1 ? "" : "s");
+  for (const std::string& name : meta.visited_runs) {
+    std::error_code ec;
+    const auto bytes = std::filesystem::file_size(
+        std::filesystem::path(dir) / name, ec);
+    std::printf("    %-16s %llu bytes\n", name.c_str(),
+                ec ? 0ull : static_cast<unsigned long long>(bytes));
+  }
+  std::printf("  %-18s %s\n", "frontier segment", meta.frontier_segment.c_str());
+  if (meta.coverage.is_object()) {
+    const Json& tr = meta.coverage["transitions"];
+    std::printf("  %-18s %lld transitions, %zu branches\n", "coverage",
+                tr.is_int() ? static_cast<long long>(tr.as_int()) : 0ll,
+                meta.coverage["branches"].is_array() ? meta.coverage["branches"].size()
+                                                     : 0);
+  }
+  return 0;
+}
+
 int CmdRank(const Args& args) {
   // Rank a small grid of budget constraints for the chosen system.
   SpecFactory factory = [&args](const NamedParams& config, const NamedParams& constraint) {
@@ -610,12 +791,13 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, &args)) {
     std::fprintf(stderr,
                  "usage: %s <list-systems|list-bugs|check|conformance|simulate|replay|"
-                 "minimize|rank>"
+                 "minimize|rank|ckpt-info>"
                  " [--system S] [--bug ID] [--budget SECONDS] [--states N] [--traces N]"
                  " [--workers N] [--trace FILE] [--trace-out FILE] [--channel api|log]"
                  " [--with-bugs] [--metrics-out FILE] [--progress-every N]"
                  " [--report json|text] [--seed N] [--minimize] [--minimize-any]"
-                 " [--corpus-out FILE]\n",
+                 " [--corpus-out FILE] [--mem-budget-mb N] [--spill-dir DIR]"
+                 " [--ckpt DIR] [--checkpoint-every N] [--resume DIR]\n",
                  argv[0]);
     return 1;
   }
@@ -642,6 +824,9 @@ int main(int argc, char** argv) {
   }
   if (args.command == "rank") {
     return CmdRank(args);
+  }
+  if (args.command == "ckpt-info") {
+    return CmdCkptInfo(args);
   }
   std::fprintf(stderr, "unknown command: %s\n", args.command.c_str());
   return 1;

@@ -1,11 +1,16 @@
 #include "src/mc/bfs.h"
 
 #include <chrono>
+#include <cstdio>
+#include <memory>
 #include <unordered_map>
 
 #include "src/mc/expand.h"
 #include "src/mc/reconstruct.h"
 #include "src/obs/phase_timer.h"
+#include "src/store/checkpoint.h"
+#include "src/store/frontier.h"
+#include "src/store/state_store.h"
 #include "src/util/check.h"
 
 namespace sandtable {
@@ -39,17 +44,75 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
   const obs::ExplorationMetrics m = obs::ExplorationMetrics::Bind(options.metrics);
   obs::ProgressReporter* progress = options.progress;
 
-  VisitedMap visited;
-  visited.reserve(1 << 16);
-  std::vector<FrontierEntry> frontier;
-  std::vector<FrontierEntry> next_frontier;
+  // Out-of-core wiring: with no OocConfig every branch below picks the
+  // original in-memory structure, keeping the default path bit-identical.
+  store::StateStore* sstore = options.ooc.state_store;
+  const store::SpoolConfig* spool_cfg = options.ooc.frontier_spool;
+  store::Checkpointer* ckpt = options.ooc.checkpointer;
+  const store::ResumedRun* resume = options.ooc.resume;
+  if (ckpt != nullptr || resume != nullptr) {
+    CHECK(sstore != nullptr && spool_cfg != nullptr)
+        << "checkpoint/resume requires ooc.state_store and ooc.frontier_spool";
+  }
+  const bool use_spool = spool_cfg != nullptr;
 
-  const ParentLookup parent_of = [&visited](uint64_t fp) -> std::optional<uint64_t> {
+  VisitedMap visited;
+  if (sstore == nullptr) {
+    visited.reserve(1 << 16);
+  }
+
+  auto insert_visited = [&](uint64_t fp, uint64_t parent_fp) {
+    return sstore != nullptr ? sstore->InsertIfAbsent(fp, parent_fp)
+                             : visited.emplace(fp, parent_fp).second;
+  };
+
+  const ParentLookup parent_of = [&](uint64_t fp) -> std::optional<uint64_t> {
+    if (sstore != nullptr) {
+      return sstore->Parent(fp);
+    }
     auto it = visited.find(fp);
     if (it == visited.end()) {
       return std::nullopt;
     }
     return it->second;
+  };
+
+  // Frontier: plain vectors in-memory, spools when configured to overflow to
+  // disk. Spool segment names rotate per level; a destroyed spool removes its
+  // segment file.
+  std::vector<FrontierEntry> frontier;
+  std::vector<FrontierEntry> next_frontier;
+  std::unique_ptr<store::FrontierSpool> cur_spool;
+  std::unique_ptr<store::FrontierSpool> next_spool;
+  uint64_t spool_seq = 0;
+  auto new_spool = [&]() {
+    char name[48];
+    std::snprintf(name, sizeof(name), "bfs-frontier-%06llu.seg",
+                  static_cast<unsigned long long>(spool_seq++));
+    return std::make_unique<store::FrontierSpool>(spool_cfg, name);
+  };
+  if (use_spool) {
+    cur_spool = new_spool();
+    next_spool = new_spool();
+  }
+  auto frontier_size = [&]() -> uint64_t {
+    return use_spool ? cur_spool->size() : frontier.size();
+  };
+  auto push_cur = [&](uint64_t fp, State state) {
+    if (use_spool) {
+      const Status st = cur_spool->Push(fp, std::move(state));
+      CHECK(st.ok()) << "frontier spill failed: " << st.error();
+    } else {
+      frontier.push_back(FrontierEntry{fp, std::move(state)});
+    }
+  };
+  auto push_next = [&](uint64_t fp, State state) {
+    if (use_spool) {
+      const Status st = next_spool->Push(fp, std::move(state));
+      CHECK(st.ok()) << "frontier spill failed: " << st.error();
+    } else {
+      next_frontier.push_back(FrontierEntry{fp, std::move(state)});
+    }
   };
 
   auto fingerprint_of = [&](const State& state) {
@@ -79,13 +142,13 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
     result.violation = std::move(v);
   };
 
-  auto emit_progress = [&](uint64_t depth) {
+  auto emit_progress = [&](uint64_t progress_depth) {
     obs::ProgressSample s;
     s.engine = "bfs";
     s.elapsed_s = SecondsSince(start);
     s.distinct_states = result.distinct_states;
-    s.frontier = frontier.size();
-    s.depth = depth;
+    s.frontier = frontier_size();
+    s.depth = progress_depth;
     s.transitions = result.coverage.transitions;
     s.deadlocks = result.deadlock_states;
     s.event_kinds = result.coverage.DistinctEventKinds();
@@ -96,138 +159,220 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
   // Single exit point: every return path reports depth/time consistently.
   // `exhausted` means the bounded space was fully explored, which is false
   // whenever a limit fired or the search stopped early at a violation.
-  auto finalize = [&](uint64_t depth, bool frontier_drained) -> BfsResult& {
-    result.depth_reached = depth;
+  auto finalize = [&](uint64_t final_depth, bool frontier_drained) -> BfsResult& {
+    result.depth_reached = final_depth;
     result.exhausted = frontier_drained && !result.hit_state_limit &&
                        !result.hit_time_limit &&
                        !(result.violation.has_value() && options.stop_at_first_violation);
     result.seconds = SecondsSince(start);
-    obs::Set(m.frontier, static_cast<int64_t>(frontier.size()));
+    obs::Set(m.frontier, static_cast<int64_t>(frontier_size()));
     return result;
   };
 
-  // Seed with initial states.
-  for (const State& init : spec.init_states) {
-    const uint64_t fp = fingerprint_of(init);
-    if (visited.count(fp) > 0) {
-      continue;
+  uint64_t depth = 0;
+  double base_seconds = 0;  // wall time carried over from a resumed checkpoint
+
+  if (resume != nullptr) {
+    // Seed from the checkpoint: counters, coverage and the saved frontier.
+    // The caller already loaded the visited runs into the state store.
+    const store::CheckpointMeta& meta = resume->meta;
+    result.distinct_states = meta.distinct_states;
+    result.deadlock_states = meta.deadlock_states;
+    depth = meta.depth_reached;
+    base_seconds = meta.seconds;
+    if (!meta.coverage.is_null()) {
+      auto cov = CoverageStats::FromFullJson(meta.coverage);
+      CHECK(cov.ok()) << "resume: " << cov.error();
+      result.coverage = std::move(cov).value();
     }
-    visited.emplace(fp, fp);
-    ++result.distinct_states;
-    obs::Add(m.distinct_states);
-    std::string bad;
-    {
-      obs::PhaseTimer t(m.phase(Phase::kInvariants));
-      obs::Add(m.invariant_checks);
-      bad = CheckInvariants(spec, init);
+    const Status st = store::ForEachSegmentEntry(
+        resume->frontier_path, [&](uint64_t fp, State&& state) -> Status {
+          push_cur(fp, std::move(state));
+          return Status();
+        });
+    CHECK(st.ok()) << "resume: " << st.error();
+    if (ckpt != nullptr) {
+      ckpt->SeedCadence(meta.distinct_states);
     }
-    if (!bad.empty()) {
-      record_violation(bad, false, {TraceStep{ActionLabel{}, init}});
-      if (options.stop_at_first_violation) {
-        return finalize(0, false);
+  } else {
+    // Seed with initial states.
+    for (const State& init : spec.init_states) {
+      const uint64_t fp = fingerprint_of(init);
+      if (!insert_visited(fp, fp)) {
+        continue;
       }
-    }
-    if (spec.WithinConstraint(init)) {
-      frontier.push_back(FrontierEntry{fp, init});
+      ++result.distinct_states;
+      obs::Add(m.distinct_states);
+      std::string bad;
+      {
+        obs::PhaseTimer t(m.phase(Phase::kInvariants));
+        obs::Add(m.invariant_checks);
+        bad = CheckInvariants(spec, init);
+      }
+      if (!bad.empty()) {
+        record_violation(bad, false, {TraceStep{ActionLabel{}, init}});
+        if (options.stop_at_first_violation) {
+          return finalize(0, false);
+        }
+      }
+      if (spec.WithinConstraint(init)) {
+        push_cur(fp, init);
+      }
     }
   }
 
-  uint64_t depth = 0;
   uint64_t expansions_since_time_check = 0;
+  bool stop_search = false;
 
-  while (!frontier.empty()) {
+  // One frontier entry: expand, check invariants, insert successors. Sets
+  // `stop_search` on the paths where the original loop returned early; the
+  // level loop then falls through to finalize(depth, false).
+  auto process_entry = [&](uint64_t entry_fp, const State& entry_state) {
+    // Periodic limit checks.
+    if (++expansions_since_time_check >= 256) {
+      expansions_since_time_check = 0;
+      if (SecondsSince(start) > options.time_budget_s) {
+        result.hit_time_limit = true;
+        stop_search = true;
+        return;
+      }
+    }
+
+    std::vector<Successor> succs;
+    {
+      obs::PhaseTimer t(m.phase(Phase::kExpand));
+      obs::Add(m.expand_calls);
+      succs = ExpandAll(spec, entry_state, &result.coverage);
+    }
+    if (succs.empty()) {
+      ++result.deadlock_states;
+      obs::Add(m.deadlocks);
+      return;
+    }
+    obs::Add(m.generated, succs.size());
+    for (Successor& s : succs) {
+      result.coverage.RecordEvent(s.label.kind);
+
+      // Transition invariants hold on every edge, including edges back to
+      // already-visited states.
+      std::string bad_edge;
+      {
+        obs::PhaseTimer t(m.phase(Phase::kInvariants));
+        obs::Add(m.transition_checks);
+        bad_edge = CheckTransitionInvariants(spec, entry_state, s.label, s.state);
+      }
+      if (!bad_edge.empty()) {
+        std::vector<TraceStep> trace = reconstruct(entry_fp);
+        trace.push_back(TraceStep{s.label, s.state});
+        record_violation(bad_edge, true, std::move(trace));
+        if (options.stop_at_first_violation) {
+          stop_search = true;
+          return;
+        }
+      }
+
+      const uint64_t fp = fingerprint_of(s.state);
+      bool duplicate;
+      {
+        obs::PhaseTimer t(m.phase(Phase::kFingerprint));
+        duplicate = !insert_visited(fp, entry_fp);
+      }
+      if (duplicate) {
+        obs::Add(m.duplicates);
+        continue;
+      }
+      ++result.distinct_states;
+      obs::Add(m.distinct_states);
+
+      std::string bad;
+      {
+        obs::PhaseTimer t(m.phase(Phase::kInvariants));
+        obs::Add(m.invariant_checks);
+        bad = CheckInvariants(spec, s.state);
+      }
+      if (!bad.empty()) {
+        record_violation(bad, false, reconstruct(fp));
+        if (options.stop_at_first_violation) {
+          stop_search = true;
+          return;
+        }
+      }
+
+      if (progress != nullptr && progress->Due(result.distinct_states)) {
+        emit_progress(depth + 1);
+      }
+
+      if (result.distinct_states >= options.max_distinct_states) {
+        result.hit_state_limit = true;
+        stop_search = true;
+        return;
+      }
+
+      if (spec.WithinConstraint(s.state)) {
+        push_next(fp, std::move(s.state));
+      }
+    }
+  };
+
+  auto write_checkpoint = [&]() {
+    store::CheckpointMeta meta;
+    meta.distinct_states = result.distinct_states;
+    meta.depth_reached = depth;
+    meta.frontier_size = cur_spool->size();
+    meta.deadlock_states = result.deadlock_states;
+    meta.seconds = base_seconds + SecondsSince(start);
+    meta.use_symmetry = use_symmetry;
+    meta.coverage = result.coverage.ToFullJson();
+    if (options.metrics != nullptr) {
+      meta.metrics = options.metrics->Snapshot().ToJson();
+    }
+    const Status st = ckpt->Write(*sstore, *cur_spool, std::move(meta));
+    if (!st.ok()) {
+      std::fprintf(stderr, "sandtable: checkpoint write failed: %s\n",
+                   st.error().c_str());
+    }
+  };
+
+  while (frontier_size() > 0) {
     if (depth >= options.max_depth) {
       return finalize(depth, false);
     }
-    obs::SetMax(m.frontier_peak, static_cast<int64_t>(frontier.size()));
-    next_frontier.clear();
-    for (const FrontierEntry& entry : frontier) {
-      // Periodic limit checks.
-      if (++expansions_since_time_check >= 256) {
-        expansions_since_time_check = 0;
-        if (SecondsSince(start) > options.time_budget_s) {
-          result.hit_time_limit = true;
-          return finalize(depth, false);
-        }
+    obs::SetMax(m.frontier_peak, static_cast<int64_t>(frontier_size()));
+    if (use_spool) {
+      store::FrontierSpool::Reader reader = cur_spool->Read();
+      uint64_t fp;
+      State state;
+      while (!stop_search && reader.Next(&fp, &state)) {
+        process_entry(fp, state);
       }
-
-      std::vector<Successor> succs;
-      {
-        obs::PhaseTimer t(m.phase(Phase::kExpand));
-        obs::Add(m.expand_calls);
-        succs = ExpandAll(spec, entry.state, &result.coverage);
-      }
-      if (succs.empty()) {
-        ++result.deadlock_states;
-        obs::Add(m.deadlocks);
-        continue;
-      }
-      obs::Add(m.generated, succs.size());
-      for (Successor& s : succs) {
-        result.coverage.RecordEvent(s.label.kind);
-
-        // Transition invariants hold on every edge, including edges back to
-        // already-visited states.
-        std::string bad_edge;
-        {
-          obs::PhaseTimer t(m.phase(Phase::kInvariants));
-          obs::Add(m.transition_checks);
-          bad_edge = CheckTransitionInvariants(spec, entry.state, s.label, s.state);
-        }
-        if (!bad_edge.empty()) {
-          std::vector<TraceStep> trace = reconstruct(entry.fp);
-          trace.push_back(TraceStep{s.label, s.state});
-          record_violation(bad_edge, true, std::move(trace));
-          if (options.stop_at_first_violation) {
-            return finalize(depth, false);
-          }
-        }
-
-        const uint64_t fp = fingerprint_of(s.state);
-        bool duplicate;
-        {
-          obs::PhaseTimer t(m.phase(Phase::kFingerprint));
-          duplicate = !visited.emplace(fp, entry.fp).second;
-        }
-        if (duplicate) {
-          obs::Add(m.duplicates);
-          continue;
-        }
-        ++result.distinct_states;
-        obs::Add(m.distinct_states);
-
-        std::string bad;
-        {
-          obs::PhaseTimer t(m.phase(Phase::kInvariants));
-          obs::Add(m.invariant_checks);
-          bad = CheckInvariants(spec, s.state);
-        }
-        if (!bad.empty()) {
-          record_violation(bad, false, reconstruct(fp));
-          if (options.stop_at_first_violation) {
-            return finalize(depth, false);
-          }
-        }
-
-        if (progress != nullptr && progress->Due(result.distinct_states)) {
-          emit_progress(depth + 1);
-        }
-
-        if (result.distinct_states >= options.max_distinct_states) {
-          result.hit_state_limit = true;
-          return finalize(depth, false);
-        }
-
-        if (spec.WithinConstraint(s.state)) {
-          next_frontier.push_back(FrontierEntry{fp, std::move(s.state)});
+      CHECK(reader.status().ok()) << "frontier read failed: " << reader.status().error();
+    } else {
+      next_frontier.clear();
+      for (const FrontierEntry& entry : frontier) {
+        process_entry(entry.fp, entry.state);
+        if (stop_search) {
+          break;
         }
       }
     }
-    frontier.swap(next_frontier);
+    if (stop_search) {
+      return finalize(depth, false);
+    }
+
+    // ---- Level barrier -----------------------------------------------------
+    if (use_spool) {
+      cur_spool = std::move(next_spool);
+      next_spool = new_spool();
+    } else {
+      frontier.swap(next_frontier);
+    }
     obs::Add(m.levels);
-    obs::Set(m.frontier, static_cast<int64_t>(frontier.size()));
-    if (!frontier.empty()) {
+    obs::Set(m.frontier, static_cast<int64_t>(frontier_size()));
+    if (frontier_size() > 0) {
       ++depth;
+    }
+    if (ckpt != nullptr && ckpt->Due(result.distinct_states)) {
+      write_checkpoint();
     }
   }
 

@@ -20,6 +20,7 @@
 #include "src/obs/progress.h"
 #include "src/obs/metrics.h"
 #include "src/spec/spec.h"
+#include "src/store/ooc.h"
 
 namespace sandtable {
 
@@ -50,6 +51,11 @@ struct BfsOptions {
   // Record counters and per-phase timers here (src/obs/metrics.h). Borrowed,
   // may be null — a null registry costs nothing in the hot loop.
   obs::MetricsRegistry* metrics = nullptr;
+  // Out-of-core exploration (src/store/ooc.h): pluggable visited store,
+  // disk-spilling frontier, checkpoints and resume. Default (all null) keeps
+  // the pure in-memory paths bit-identical to previous behaviour.
+  // checkpointer/resume require state_store AND frontier_spool.
+  store::OocConfig ooc;
 };
 
 struct BfsResult {

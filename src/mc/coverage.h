@@ -56,6 +56,48 @@ struct CoverageStats {
     o["events"] = Json(std::move(events));
     return Json(std::move(o));
   }
+
+  // Lossless serialization (branch names listed, event counts by kind index),
+  // used by checkpoint manifests so a resumed run continues the exact stats.
+  Json ToFullJson() const {
+    JsonArray names;
+    for (const std::string& b : branches) {
+      names.emplace_back(b);
+    }
+    JsonArray counts;
+    for (uint64_t c : event_counts) {
+      counts.emplace_back(c);
+    }
+    JsonObject o;
+    o["transitions"] = Json(transitions);
+    o["branches"] = Json(std::move(names));
+    o["event_counts"] = Json(std::move(counts));
+    return Json(std::move(o));
+  }
+
+  static Result<CoverageStats> FromFullJson(const Json& j) {
+    using R = Result<CoverageStats>;
+    if (!j.is_object() || !j["transitions"].is_int() || !j["branches"].is_array() ||
+        !j["event_counts"].is_array() ||
+        j["event_counts"].size() != static_cast<size_t>(kNumEventKinds)) {
+      return R::Error("malformed coverage stats");
+    }
+    CoverageStats c;
+    c.transitions = static_cast<uint64_t>(j["transitions"].as_int());
+    for (const Json& b : j["branches"].as_array()) {
+      if (!b.is_string()) {
+        return R::Error("malformed coverage branch name");
+      }
+      c.branches.insert(b.as_string());
+    }
+    for (size_t i = 0; i < c.event_counts.size(); ++i) {
+      if (!j["event_counts"][i].is_int()) {
+        return R::Error("malformed coverage event count");
+      }
+      c.event_counts[i] = static_cast<uint64_t>(j["event_counts"][i].as_int());
+    }
+    return c;
+  }
 };
 
 }  // namespace sandtable

@@ -53,12 +53,29 @@ void AppendLine(std::string& out, const char* fmt, ...) {
 
 }  // namespace
 
+uint64_t PeakRssKb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) {
+    return 0;
+  }
+  uint64_t kb = 0;
+  char line[256];
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::sscanf(line, "VmHWM: %" SCNu64, &kb) == 1) {
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
 Json MakeReport(const std::string& engine, Json result, const MetricsRegistry* metrics) {
   JsonObject o;
   o["type"] = Json("report");
   o["schema_version"] = Json(static_cast<int64_t>(kReportSchemaVersion));
   o["engine"] = Json(engine);
   o["result"] = std::move(result);
+  o["peak_rss_kb"] = Json(PeakRssKb());
   if (metrics != nullptr) {
     o["metrics"] = metrics->Snapshot().ToJson();
   }
@@ -79,6 +96,10 @@ std::string ReportToText(const Json& report) {
       }
       AppendLine(out, "  %-28s %s", key.c_str(), ScalarToText(value).c_str());
     }
+  }
+  if (report["peak_rss_kb"].is_number() && report["peak_rss_kb"].as_int() > 0) {
+    AppendLine(out, "  %-28s %" PRId64 " KiB", "peak_rss",
+               report["peak_rss_kb"].as_int());
   }
 
   const Json& metrics = report["metrics"];

@@ -22,7 +22,12 @@ namespace obs {
 
 inline constexpr int kReportSchemaVersion = 1;
 
+// Peak resident set size of this process in KiB (VmHWM from
+// /proc/self/status); 0 where unavailable. Cheap enough for end-of-run use.
+uint64_t PeakRssKb();
+
 // Compose the report document. `metrics` may be null (no "metrics" key).
+// Adds "peak_rss_kb" so memory trajectories land next to throughput.
 Json MakeReport(const std::string& engine, Json result, const MetricsRegistry* metrics);
 
 // Render a report (as produced by MakeReport) as an aligned human table:

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <memory>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -13,6 +15,9 @@
 #include "src/par/fingerprint_shards.h"
 #include "src/par/work_queue.h"
 #include "src/par/worker_pool.h"
+#include "src/store/checkpoint.h"
+#include "src/store/frontier.h"
+#include "src/store/state_store.h"
 #include "src/util/check.h"
 
 namespace sandtable {
@@ -90,10 +95,35 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
   const obs::ExplorationMetrics m = obs::ExplorationMetrics::Bind(base.metrics);
   obs::Set(m.workers, workers);
 
-  par::ShardedFingerprintSet visited(options.shard_count_log2);
-  visited.Reserve(options.reserve_states > 0 ? options.reserve_states : (1 << 16));
+  // Out-of-core wiring, mirroring serial BfsCheck: with no OocConfig every
+  // branch picks the original in-memory structure.
+  store::StateStore* sstore = base.ooc.state_store;
+  const store::SpoolConfig* spool_cfg = base.ooc.frontier_spool;
+  store::Checkpointer* ckpt = base.ooc.checkpointer;
+  const store::ResumedRun* resume = base.ooc.resume;
+  if (ckpt != nullptr || resume != nullptr) {
+    CHECK(sstore != nullptr && spool_cfg != nullptr)
+        << "checkpoint/resume requires ooc.state_store and ooc.frontier_spool";
+  }
+  const bool use_spool = spool_cfg != nullptr;
 
-  const ParentLookup parent_of = [&visited](uint64_t fp) { return visited.Parent(fp); };
+  par::ShardedFingerprintSet visited(options.shard_count_log2);
+  if (sstore == nullptr) {
+    visited.Reserve(options.reserve_states > 0 ? options.reserve_states : (1 << 16));
+  }
+
+  // Thread-safe either way: the store is internally sharded, and so is the
+  // fingerprint set.
+  auto insert_visited = [&](uint64_t fp, uint64_t parent_fp) {
+    return sstore != nullptr ? sstore->InsertIfAbsent(fp, parent_fp)
+                             : visited.InsertIfAbsent(fp, parent_fp);
+  };
+  auto distinct = [&]() -> uint64_t {
+    return sstore != nullptr ? sstore->Size() : visited.size();
+  };
+  const ParentLookup parent_of = [&](uint64_t fp) -> std::optional<uint64_t> {
+    return sstore != nullptr ? sstore->Parent(fp) : visited.Parent(fp);
+  };
 
   std::vector<WorkerOutput> outs(static_cast<size_t>(workers));
 
@@ -108,21 +138,50 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
     v.is_transition_invariant = is_transition;
     v.depth = trace.empty() ? 0 : trace.size() - 1;
     v.trace = std::move(trace);
-    v.states_explored = visited.size();
+    v.states_explored = distinct();
     v.seconds = SecondsSince(start);
     result.violation = std::move(v);
   };
 
+  // Frontier: one vector per level in-memory; spools when configured. The
+  // spool path processes a level in bounded waves so at most max_resident
+  // decoded states are pinned at once.
+  std::vector<FrontierItem> frontier;
+  std::unique_ptr<store::FrontierSpool> cur_spool;
+  std::unique_ptr<store::FrontierSpool> next_spool;
+  uint64_t spool_seq = 0;
+  auto new_spool = [&]() {
+    char name[48];
+    std::snprintf(name, sizeof(name), "par-frontier-%06llu.seg",
+                  static_cast<unsigned long long>(spool_seq++));
+    return std::make_unique<store::FrontierSpool>(spool_cfg, name);
+  };
+  if (use_spool) {
+    cur_spool = new_spool();
+    next_spool = new_spool();
+  }
+  auto frontier_size = [&]() -> uint64_t {
+    return use_spool ? cur_spool->size() : frontier.size();
+  };
+  auto push_cur = [&](uint64_t fp, State state) {
+    if (use_spool) {
+      const Status st = cur_spool->Push(fp, std::move(state));
+      CHECK(st.ok()) << "frontier spill failed: " << st.error();
+    } else {
+      frontier.push_back(FrontierItem{fp, std::move(state)});
+    }
+  };
+
   // Single exit point, same semantics as serial BfsCheck's finalize.
-  auto finalize = [&](uint64_t depth, bool frontier_drained) -> BfsResult& {
+  auto finalize = [&](uint64_t final_depth, bool frontier_drained) -> BfsResult& {
     for (WorkerOutput& out : outs) {
       result.coverage.Merge(out.coverage);
       result.deadlock_states += out.deadlocks;
       out.coverage = CoverageStats{};
       out.deadlocks = 0;
     }
-    result.distinct_states = visited.size();
-    result.depth_reached = depth;
+    result.distinct_states = distinct();
+    result.depth_reached = final_depth;
     result.exhausted = frontier_drained && !result.hit_state_limit &&
                        !result.hit_time_limit &&
                        !(result.violation.has_value() && base.stop_at_first_violation);
@@ -130,25 +189,52 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
     return result;
   };
 
-  // Seed with initial states (serial; also primes the symmetry-context epoch
-  // on the coordinator before any worker fingerprints concurrently).
-  std::vector<FrontierItem> frontier;
-  for (const State& init : spec.init_states) {
-    const uint64_t fp = Fingerprint(spec, init, use_symmetry);
-    if (!visited.InsertIfAbsent(fp, fp)) {
-      continue;
+  uint64_t depth = 0;
+  double base_seconds = 0;  // wall time carried over from a resumed checkpoint
+  uint64_t resumed_deadlocks = 0;
+
+  if (resume != nullptr) {
+    // Seed from the checkpoint. The caller already loaded the visited runs
+    // into the state store, so distinct() reflects the checkpoint's count.
+    const store::CheckpointMeta& meta = resume->meta;
+    depth = meta.depth_reached;
+    base_seconds = meta.seconds;
+    resumed_deadlocks = meta.deadlock_states;
+    result.deadlock_states = meta.deadlock_states;
+    if (!meta.coverage.is_null()) {
+      auto cov = CoverageStats::FromFullJson(meta.coverage);
+      CHECK(cov.ok()) << "resume: " << cov.error();
+      result.coverage = std::move(cov).value();
     }
-    obs::Add(m.distinct_states);
-    obs::Add(m.invariant_checks);
-    const std::string bad = CheckInvariants(spec, init);
-    if (!bad.empty()) {
-      record_violation(bad, false, {TraceStep{ActionLabel{}, init}});
-      if (base.stop_at_first_violation) {
-        return finalize(0, false);
+    const Status st = store::ForEachSegmentEntry(
+        resume->frontier_path, [&](uint64_t fp, State&& state) -> Status {
+          push_cur(fp, std::move(state));
+          return Status();
+        });
+    CHECK(st.ok()) << "resume: " << st.error();
+    if (ckpt != nullptr) {
+      ckpt->SeedCadence(meta.distinct_states);
+    }
+  } else {
+    // Seed with initial states (serial; also primes the symmetry-context epoch
+    // on the coordinator before any worker fingerprints concurrently).
+    for (const State& init : spec.init_states) {
+      const uint64_t fp = Fingerprint(spec, init, use_symmetry);
+      if (!insert_visited(fp, fp)) {
+        continue;
       }
-    }
-    if (spec.WithinConstraint(init)) {
-      frontier.push_back(FrontierItem{fp, init});
+      obs::Add(m.distinct_states);
+      obs::Add(m.invariant_checks);
+      const std::string bad = CheckInvariants(spec, init);
+      if (!bad.empty()) {
+        record_violation(bad, false, {TraceStep{ActionLabel{}, init}});
+        if (base.stop_at_first_violation) {
+          return finalize(0, false);
+        }
+      }
+      if (spec.WithinConstraint(init)) {
+        push_cur(fp, init);
+      }
     }
   }
 
@@ -158,22 +244,17 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
 
   par::WorkerPool pool(workers);
 
-  uint64_t depth = 0;
-
-  while (!frontier.empty()) {
-    if (depth >= base.max_depth) {
-      return finalize(depth, false);
-    }
-    obs::SetMax(m.frontier_peak, static_cast<int64_t>(frontier.size()));
-
-    par::WorkQueue queue(frontier.size(), options.chunk_size);
+  // Expand one batch of frontier items across the pool; workers buffer their
+  // results in outs[]. Candidates accumulate across the waves of one level.
+  auto run_wave = [&](const std::vector<FrontierItem>& items) {
+    par::WorkQueue queue(items.size(), options.chunk_size);
     pool.RunLevel([&](int w) {
       WorkerOutput& out = outs[static_cast<size_t>(w)];
       size_t begin = 0;
       size_t end = 0;
       while (!stop.load(std::memory_order_relaxed) && queue.NextChunk(&begin, &end)) {
         for (size_t i = begin; i < end; ++i) {
-          const FrontierItem& item = frontier[i];
+          const FrontierItem& item = items[i];
           std::vector<Successor> succs;
           {
             obs::PhaseTimer t(m.phase(Phase::kExpand));
@@ -210,7 +291,7 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
             bool duplicate;
             {
               obs::PhaseTimer t(m.phase(Phase::kFingerprint));
-              duplicate = !visited.InsertIfAbsent(fp, item.fp);
+              duplicate = !insert_visited(fp, item.fp);
             }
             if (duplicate) {
               obs::Add(m.duplicates);
@@ -227,7 +308,7 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
               out.candidates.push_back(
                   ViolationCandidate{bad, false, fp, fp, ActionLabel{}, State{}});
             }
-            if (visited.size() >= base.max_distinct_states) {
+            if (distinct() >= base.max_distinct_states) {
               hit_state_limit.store(true, std::memory_order_relaxed);
               stop.store(true, std::memory_order_relaxed);
             }
@@ -242,6 +323,72 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
         }
       }
     });
+  };
+
+  auto write_checkpoint = [&]() {
+    store::CheckpointMeta meta;
+    meta.distinct_states = distinct();
+    meta.depth_reached = depth;
+    meta.frontier_size = cur_spool->size();
+    meta.seconds = base_seconds + SecondsSince(start);
+    meta.use_symmetry = use_symmetry;
+    // Merged coverage so far: result.coverage plus the workers' live stats.
+    CoverageStats cov = result.coverage;
+    uint64_t deadlocks = resumed_deadlocks;
+    for (const WorkerOutput& out : outs) {
+      cov.Merge(out.coverage);
+      deadlocks += out.deadlocks;
+    }
+    meta.deadlock_states = deadlocks;
+    meta.coverage = cov.ToFullJson();
+    if (base.metrics != nullptr) {
+      meta.metrics = base.metrics->Snapshot().ToJson();
+    }
+    const Status st = ckpt->Write(*sstore, *cur_spool, std::move(meta));
+    if (!st.ok()) {
+      std::fprintf(stderr, "sandtable: checkpoint write failed: %s\n",
+                   st.error().c_str());
+    }
+  };
+
+  while (frontier_size() > 0) {
+    if (depth >= base.max_depth) {
+      return finalize(depth, false);
+    }
+    obs::SetMax(m.frontier_peak, static_cast<int64_t>(frontier_size()));
+
+    if (use_spool) {
+      // Bounded waves: decode up to max_resident states, expand them, flush
+      // the workers' next-frontier slices into the next spool, repeat.
+      store::FrontierSpool::Reader reader = cur_spool->Read();
+      const uint64_t wave_cap = spool_cfg->max_resident > 0
+                                    ? spool_cfg->max_resident
+                                    : cur_spool->size();
+      std::vector<FrontierItem> wave;
+      while (!stop.load(std::memory_order_relaxed)) {
+        wave.clear();
+        uint64_t fp;
+        State state;
+        while (wave.size() < wave_cap && reader.Next(&fp, &state)) {
+          wave.push_back(FrontierItem{fp, std::move(state)});
+        }
+        CHECK(reader.status().ok())
+            << "frontier read failed: " << reader.status().error();
+        if (wave.empty()) {
+          break;
+        }
+        run_wave(wave);
+        for (WorkerOutput& out : outs) {
+          for (FrontierItem& item : out.next) {
+            const Status st = next_spool->Push(item.fp, std::move(item.state));
+            CHECK(st.ok()) << "frontier spill failed: " << st.error();
+          }
+          out.next.clear();
+        }
+      }
+    } else {
+      run_wave(frontier);
+    }
 
     // ---- Level barrier: the coordinator owns everything again. -------------
 
@@ -285,11 +432,11 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
 
     // Progress is sampled at the level barrier, where per-worker queue depths
     // and shard balance can be read without racing the workers.
-    if (base.progress != nullptr && base.progress->Due(visited.size())) {
+    if (base.progress != nullptr && base.progress->Due(distinct())) {
       obs::ProgressSample sample;
       sample.engine = "parallel_bfs";
       sample.elapsed_s = SecondsSince(start);
-      sample.distinct_states = visited.size();
+      sample.distinct_states = distinct();
       sample.depth = depth + 1;
       sample.deadlocks = 0;
       uint64_t frontier_total = 0;
@@ -299,46 +446,60 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
         sample.deadlocks += out.deadlocks;
         sample.transitions += out.coverage.transitions;
       }
-      sample.frontier = frontier_total;
-      const par::ShardedFingerprintSet::LoadStats load = visited.Load();
-      obs::ShardLoad shard_load;
-      shard_load.shards = load.sizes.size();
-      shard_load.max_load_factor = load.max_load_factor;
-      size_t min_size = load.sizes.empty() ? 0 : load.sizes[0];
-      size_t max_size = 0;
-      size_t total = 0;
-      for (size_t sz : load.sizes) {
-        min_size = std::min(min_size, sz);
-        max_size = std::max(max_size, sz);
-        total += sz;
+      if (use_spool) {
+        frontier_total = next_spool->size();
       }
-      shard_load.min_size = min_size;
-      shard_load.max_size = max_size;
-      shard_load.avg_size =
-          load.sizes.empty() ? 0.0
-                             : static_cast<double>(total) / static_cast<double>(load.sizes.size());
-      sample.shard_load = shard_load;
+      sample.frontier = frontier_total;
+      if (sstore == nullptr) {
+        const par::ShardedFingerprintSet::LoadStats load = visited.Load();
+        obs::ShardLoad shard_load;
+        shard_load.shards = load.sizes.size();
+        shard_load.max_load_factor = load.max_load_factor;
+        size_t min_size = load.sizes.empty() ? 0 : load.sizes[0];
+        size_t max_size = 0;
+        size_t total = 0;
+        for (size_t sz : load.sizes) {
+          min_size = std::min(min_size, sz);
+          max_size = std::max(max_size, sz);
+          total += sz;
+        }
+        shard_load.min_size = min_size;
+        shard_load.max_size = max_size;
+        shard_load.avg_size =
+            load.sizes.empty() ? 0.0
+                               : static_cast<double>(total) / static_cast<double>(load.sizes.size());
+        sample.shard_load = shard_load;
+      }
       base.progress->Emit(sample);
     }
 
     // Concatenate the workers' next-frontier slices. Each distinct state was
-    // inserted by exactly one worker, so the union is duplicate-free.
-    size_t total = 0;
-    for (const WorkerOutput& out : outs) {
-      total += out.next.size();
-    }
-    frontier.clear();
-    frontier.reserve(total);
-    for (WorkerOutput& out : outs) {
-      for (FrontierItem& item : out.next) {
-        frontier.push_back(std::move(item));
+    // inserted by exactly one worker, so the union is duplicate-free. (In the
+    // spool path the slices were already flushed per wave.)
+    if (use_spool) {
+      cur_spool = std::move(next_spool);
+      next_spool = new_spool();
+    } else {
+      size_t total = 0;
+      for (const WorkerOutput& out : outs) {
+        total += out.next.size();
       }
-      out.next.clear();
+      frontier.clear();
+      frontier.reserve(total);
+      for (WorkerOutput& out : outs) {
+        for (FrontierItem& item : out.next) {
+          frontier.push_back(std::move(item));
+        }
+        out.next.clear();
+      }
     }
     obs::Add(m.levels);
-    obs::Set(m.frontier, static_cast<int64_t>(frontier.size()));
-    if (!frontier.empty()) {
+    obs::Set(m.frontier, static_cast<int64_t>(frontier_size()));
+    if (frontier_size() > 0) {
       ++depth;
+    }
+    if (ckpt != nullptr && ckpt->Due(distinct())) {
+      write_checkpoint();
     }
   }
 

@@ -1,0 +1,236 @@
+#include "src/store/checkpoint.h"
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "src/obs/phase_timer.h"
+#include "src/util/hash.h"
+
+namespace sandtable {
+namespace store {
+
+namespace fs = std::filesystem;
+
+uint64_t SpecIdentityHash(const Spec& spec) {
+  uint64_t h = FnvHash(spec.name);
+  for (const Action& a : spec.actions) {
+    h = HashCombine(h, FnvHash(a.name));
+    h = HashCombine(h, static_cast<uint64_t>(a.kind));
+  }
+  for (const Invariant& inv : spec.invariants) {
+    h = HashCombine(h, FnvHash(inv.name));
+  }
+  for (const TransitionInvariant& inv : spec.transition_invariants) {
+    h = HashCombine(h, FnvHash(inv.name));
+  }
+  if (spec.symmetry.has_value()) {
+    h = HashCombine(h, FnvHash(spec.symmetry->cls));
+    h = HashCombine(h, static_cast<uint64_t>(spec.symmetry->count));
+  }
+  for (const State& s : spec.init_states) {
+    h = HashCombine(h, s.hash());
+  }
+  return h;
+}
+
+Json CheckpointMeta::ToJson() const {
+  JsonObject o;
+  o["format"] = Json("sandtable-checkpoint");
+  o["format_version"] = Json(static_cast<int64_t>(format_version));
+  o["spec_name"] = Json(spec_name);
+  o["spec_hash"] = Json(spec_hash);
+  o["distinct_states"] = Json(distinct_states);
+  o["depth_reached"] = Json(depth_reached);
+  o["frontier_size"] = Json(frontier_size);
+  o["deadlock_states"] = Json(deadlock_states);
+  o["seconds"] = Json(seconds);
+  o["use_symmetry"] = Json(use_symmetry);
+  JsonArray runs;
+  for (const std::string& name : visited_runs) {
+    runs.emplace_back(name);
+  }
+  o["visited_runs"] = Json(std::move(runs));
+  o["frontier_segment"] = Json(frontier_segment);
+  o["coverage"] = coverage;
+  o["metrics"] = metrics;
+  return Json(std::move(o));
+}
+
+Result<CheckpointMeta> CheckpointMeta::FromJson(const Json& j) {
+  using R = Result<CheckpointMeta>;
+  if (!j.is_object() || !j["format"].is_string() ||
+      j["format"].as_string() != "sandtable-checkpoint") {
+    return R::Error("not a sandtable checkpoint manifest");
+  }
+  if (!j["format_version"].is_int() || !j["spec_name"].is_string() ||
+      !j["spec_hash"].is_int() || !j["distinct_states"].is_int() ||
+      !j["depth_reached"].is_int() || !j["frontier_size"].is_int() ||
+      !j["visited_runs"].is_array() || !j["frontier_segment"].is_string()) {
+    return R::Error("checkpoint manifest is missing required fields");
+  }
+  CheckpointMeta m;
+  m.format_version = static_cast<int>(j["format_version"].as_int());
+  m.spec_name = j["spec_name"].as_string();
+  m.spec_hash = static_cast<uint64_t>(j["spec_hash"].as_int());
+  m.distinct_states = static_cast<uint64_t>(j["distinct_states"].as_int());
+  m.depth_reached = static_cast<uint64_t>(j["depth_reached"].as_int());
+  m.frontier_size = static_cast<uint64_t>(j["frontier_size"].as_int());
+  m.deadlock_states = static_cast<uint64_t>(j["deadlock_states"].as_int());
+  m.seconds = j["seconds"].is_number() ? j["seconds"].as_double() : 0;
+  m.use_symmetry = j["use_symmetry"].is_bool() && j["use_symmetry"].as_bool();
+  for (const Json& name : j["visited_runs"].as_array()) {
+    if (!name.is_string()) {
+      return R::Error("checkpoint manifest: non-string run name");
+    }
+    m.visited_runs.push_back(name.as_string());
+  }
+  m.frontier_segment = j["frontier_segment"].as_string();
+  m.coverage = j["coverage"];
+  m.metrics = j["metrics"];
+  return m;
+}
+
+Checkpointer::Checkpointer(Config config, const Spec* spec)
+    : config_(std::move(config)), spec_(spec) {
+  if (config_.metrics != nullptr) {
+    ckpt_writes_ = &config_.metrics->GetCounter("ckpt.writes");
+    ckpt_ns_ = &config_.metrics->GetHistogram("ckpt.write_ns");
+  }
+}
+
+bool Checkpointer::Due(uint64_t distinct_states) const {
+  return config_.every_states > 0 &&
+         distinct_states >= last_states_ + config_.every_states;
+}
+
+Status Checkpointer::Write(StateStore& store, const FrontierSpool& frontier,
+                           CheckpointMeta meta) {
+  const auto start = std::chrono::steady_clock::now();
+  const fs::path dir(config_.dir);
+  const fs::path stage = dir.string() + ".tmp";
+  const fs::path old = dir.string() + ".old";
+
+  std::error_code ec;
+  fs::remove_all(stage, ec);
+  fs::create_directories(stage, ec);
+  if (ec) {
+    return Status::Error("cannot create checkpoint stage " + stage.string() + ": " +
+                         ec.message());
+  }
+
+  auto runs = store.SaveRuns(stage.string());
+  if (!runs.ok()) {
+    return Status::Error(runs.error());
+  }
+  meta.visited_runs = std::move(runs).value();
+
+  meta.frontier_segment = "frontier.seg";
+  Status st = frontier.SaveSegment((stage / meta.frontier_segment).string());
+  if (!st.ok()) {
+    return st;
+  }
+
+  meta.format_version = kCheckpointFormatVersion;
+  meta.spec_name = spec_->name;
+  meta.spec_hash = SpecIdentityHash(*spec_);
+
+  // Manifest last: its presence marks the stage complete.
+  {
+    const fs::path manifest = stage / "manifest.json";
+    std::ofstream out(manifest, std::ios::binary | std::ios::trunc);
+    out << meta.ToJson().DumpPretty() << "\n";
+    out.flush();
+    if (!out.good()) {
+      return Status::Error("cannot write " + manifest.string());
+    }
+  }
+
+  // Rotate: old checkpoint aside, stage into place, old removed.
+  fs::remove_all(old, ec);
+  if (fs::exists(dir)) {
+    ec.clear();
+    fs::rename(dir, old, ec);
+    if (ec) {
+      return Status::Error("cannot rotate previous checkpoint: " + ec.message());
+    }
+  }
+  ec.clear();
+  fs::rename(stage, dir, ec);
+  if (ec) {
+    return Status::Error("cannot publish checkpoint " + dir.string() + ": " +
+                         ec.message());
+  }
+  fs::remove_all(old, ec);
+
+  last_states_ = meta.distinct_states;
+  ++writes_;
+  obs::Add(ckpt_writes_);
+  if (ckpt_ns_ != nullptr) {
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    ckpt_ns_->Record(static_cast<uint64_t>(ns < 0 ? 0 : ns));
+  }
+  return Status();
+}
+
+Result<CheckpointMeta> ReadCheckpointMeta(const std::string& dir) {
+  using R = Result<CheckpointMeta>;
+  const fs::path manifest = fs::path(dir) / "manifest.json";
+  std::ifstream in(manifest, std::ios::binary);
+  if (!in.good()) {
+    return R::Error("no checkpoint manifest at " + manifest.string() +
+                    (fs::exists(dir + ".tmp") && !fs::exists(dir)
+                         ? " (only an incomplete .tmp stage exists — the "
+                           "checkpoint write did not finish)"
+                         : ""));
+  }
+  std::string text((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  auto parsed = Json::Parse(text);
+  if (!parsed.ok()) {
+    return R::Error("corrupt checkpoint manifest " + manifest.string() + ": " +
+                    parsed.error());
+  }
+  return CheckpointMeta::FromJson(parsed.value());
+}
+
+Result<ResumedRun> OpenCheckpoint(const std::string& dir, const Spec& spec) {
+  using R = Result<ResumedRun>;
+  auto meta = ReadCheckpointMeta(dir);
+  if (!meta.ok()) {
+    return R::Error(meta.error());
+  }
+  ResumedRun run;
+  run.dir = dir;
+  run.meta = std::move(meta).value();
+  if (run.meta.format_version != kCheckpointFormatVersion) {
+    return R::Error("checkpoint format version mismatch: checkpoint is v" +
+                    std::to_string(run.meta.format_version) + ", this binary reads v" +
+                    std::to_string(kCheckpointFormatVersion));
+  }
+  const uint64_t expect = SpecIdentityHash(spec);
+  if (run.meta.spec_hash != expect) {
+    return R::Error("checkpoint spec mismatch: checkpoint was written for spec '" +
+                    run.meta.spec_name + "' (hash " + std::to_string(run.meta.spec_hash) +
+                    "), resuming spec '" + spec.name + "' has hash " +
+                    std::to_string(expect) +
+                    " — actions, invariants, symmetry or initial states differ");
+  }
+  for (const std::string& name : run.meta.visited_runs) {
+    const fs::path p = fs::path(dir) / name;
+    if (!fs::exists(p)) {
+      return R::Error("checkpoint is missing visited run " + p.string());
+    }
+    run.run_paths.push_back(p.string());
+  }
+  run.frontier_path = (fs::path(dir) / run.meta.frontier_segment).string();
+  if (!fs::exists(run.frontier_path)) {
+    return R::Error("checkpoint is missing frontier segment " + run.frontier_path);
+  }
+  return run;
+}
+
+}  // namespace store
+}  // namespace sandtable

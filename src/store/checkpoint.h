@@ -1,0 +1,125 @@
+// Checkpoint/resume for long explorations.
+//
+// A checkpoint is a directory written at a BFS level barrier (the only points
+// where visited set + frontier + counters are mutually consistent):
+//
+//   <dir>/
+//     manifest.json       written LAST — its presence marks a complete ckpt
+//     visited-NNNNNN.run  sorted fingerprint runs (state_store.h format)
+//     frontier.seg        the next frontier (frontier.h segment format)
+//
+// Crash safety is temp-dir + rename: everything is staged under `<dir>.tmp`,
+// the manifest is written last, then the stage is renamed into place (any
+// previous checkpoint is rotated to `<dir>.old` and removed after). A crash
+// at any point leaves either the old complete checkpoint or a `.tmp` stage
+// that resume refuses to open — never a torn checkpoint at `<dir>`.
+//
+// The manifest (format v1) records the format version and a spec identity
+// hash; OpenCheckpoint rejects mismatches with a clear error so a checkpoint
+// can never silently resume under a different spec or incompatible binary.
+// The identity hash covers the spec's name, action names/kinds, invariant and
+// transition-invariant names, symmetry declaration, and the hashes of all
+// initial states. (Callable bodies cannot be hashed; changing an action's
+// logic without renaming it is not detected.)
+#ifndef SANDTABLE_SRC_STORE_CHECKPOINT_H_
+#define SANDTABLE_SRC_STORE_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/spec/spec.h"
+#include "src/store/frontier.h"
+#include "src/store/state_store.h"
+#include "src/util/json.h"
+#include "src/util/result.h"
+
+namespace sandtable {
+namespace store {
+
+inline constexpr int kCheckpointFormatVersion = 1;
+
+// Stable hash of a spec's checkable identity (see file comment for coverage).
+uint64_t SpecIdentityHash(const Spec& spec);
+
+struct CheckpointMeta {
+  int format_version = kCheckpointFormatVersion;
+  std::string spec_name;
+  uint64_t spec_hash = 0;
+
+  // Exploration progress at the barrier.
+  uint64_t distinct_states = 0;
+  uint64_t depth_reached = 0;  // completed levels; frontier holds level +1
+  uint64_t frontier_size = 0;
+  uint64_t deadlock_states = 0;
+  double seconds = 0;  // wall time spent before this checkpoint
+  bool use_symmetry = false;
+
+  // Files inside the checkpoint directory.
+  std::vector<std::string> visited_runs;
+  std::string frontier_segment;
+
+  // Engine-owned payloads, carried opaquely: full-fidelity coverage stats and
+  // an informational metrics snapshot.
+  Json coverage;
+  Json metrics;
+
+  Json ToJson() const;
+  static Result<CheckpointMeta> FromJson(const Json& j);
+};
+
+// Writes checkpoints on a distinct-state cadence. Not thread-safe; call from
+// the engine's coordinator at level barriers.
+class Checkpointer {
+ public:
+  struct Config {
+    std::string dir;             // checkpoint directory (rewritten each time)
+    uint64_t every_states = 0;   // cadence in distinct states; 0 = only on demand
+    obs::MetricsRegistry* metrics = nullptr;  // borrowed, may be null
+  };
+
+  Checkpointer(Config config, const Spec* spec);
+
+  // True when `distinct_states` has grown past the cadence since last Write.
+  bool Due(uint64_t distinct_states) const;
+
+  // Start the cadence from a resumed run's state count instead of zero.
+  void SeedCadence(uint64_t distinct_states) { last_states_ = distinct_states; }
+
+  // Stage runs + frontier + manifest under dir.tmp, then rotate into place.
+  // `meta`'s progress fields must be filled by the caller; spec identity,
+  // format version and file lists are filled here.
+  Status Write(StateStore& store, const FrontierSpool& frontier, CheckpointMeta meta);
+
+  uint64_t writes() const { return writes_; }
+
+ private:
+  Config config_;
+  const Spec* spec_;
+  uint64_t last_states_ = 0;
+  uint64_t writes_ = 0;
+  obs::Counter* ckpt_writes_ = nullptr;   // ckpt.writes
+  obs::Histogram* ckpt_ns_ = nullptr;     // ckpt.write_ns
+};
+
+// A validated, opened checkpoint ready to seed a resumed run. The directory
+// must outlive the run: visited runs are mmap'd in place.
+struct ResumedRun {
+  std::string dir;
+  CheckpointMeta meta;
+  std::vector<std::string> run_paths;  // absolute paths of visited runs
+  std::string frontier_path;           // absolute path of the frontier segment
+};
+
+// Read a manifest without validating it against a spec (ckpt-info).
+Result<CheckpointMeta> ReadCheckpointMeta(const std::string& dir);
+
+// Open `dir` for resuming: parse the manifest, check format version and spec
+// identity against `spec`, and verify the referenced files exist.
+Result<ResumedRun> OpenCheckpoint(const std::string& dir, const Spec& spec);
+
+}  // namespace store
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_STORE_CHECKPOINT_H_

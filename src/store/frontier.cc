@@ -1,0 +1,342 @@
+#include "src/store/frontier.h"
+
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "src/obs/phase_timer.h"
+
+namespace sandtable {
+namespace store {
+
+namespace {
+constexpr char kSegMagic[8] = {'S', 'T', 'F', 'R', 'S', 'E', 'G', '1'};
+}  // namespace
+
+std::string EncodeFrontierChunk(const std::vector<FrontierEntry>& chunk) {
+  ValueEncoder enc;
+  std::string body;
+  for (const FrontierEntry& e : chunk) {
+    AppendVarint(body, e.fp);
+    enc.Encode(e.state, body);
+  }
+  std::string out;
+  AppendVarint(out, chunk.size());
+  enc.WriteStringTable(out);
+  out.append(body);
+  return out;
+}
+
+Result<std::vector<FrontierEntry>> DecodeFrontierChunk(std::string_view payload) {
+  using R = Result<std::vector<FrontierEntry>>;
+  ByteReader in(payload);
+  uint64_t count;
+  if (!in.ReadVarint(&count) || count > payload.size()) {
+    return R::Error("frontier chunk: bad state count");
+  }
+  auto dec = ValueDecoder::FromStringTable(in);
+  if (!dec.ok()) {
+    return R::Error(dec.error());
+  }
+  std::vector<FrontierEntry> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    FrontierEntry e;
+    if (!in.ReadVarint(&e.fp)) {
+      return R::Error("frontier chunk: truncated fingerprint");
+    }
+    auto v = dec.value().Decode(in);
+    if (!v.ok()) {
+      return R::Error(v.error());
+    }
+    e.state = std::move(v).value();
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+// ---- SegmentWriter ---------------------------------------------------------
+
+SegmentWriter::~SegmentWriter() {
+  if (f_ != nullptr) {
+    std::fclose(f_);
+  }
+}
+
+Status SegmentWriter::Open(const std::string& path) {
+  CHECK(f_ == nullptr);
+  f_ = std::fopen(path.c_str(), "wb");
+  if (f_ == nullptr) {
+    return Status::Error("cannot open segment " + path + " for writing");
+  }
+  path_ = path;
+  if (std::fwrite(kSegMagic, 1, sizeof(kSegMagic), f_) != sizeof(kSegMagic)) {
+    return Status::Error("short write to segment " + path_);
+  }
+  return Status();
+}
+
+Status SegmentWriter::Append(const std::vector<FrontierEntry>& chunk) {
+  CHECK(f_ != nullptr);
+  const std::string payload = EncodeFrontierChunk(chunk);
+  const uint64_t len = payload.size();
+  if (std::fwrite(&len, sizeof(len), 1, f_) != 1 ||
+      std::fwrite(payload.data(), 1, payload.size(), f_) != payload.size() ||
+      std::fflush(f_) != 0) {  // readers open the file while we keep appending
+    return Status::Error("short write to segment " + path_);
+  }
+  ++chunks_;
+  return Status();
+}
+
+Status SegmentWriter::Close() {
+  if (f_ == nullptr) {
+    return Status();
+  }
+  const bool ok = std::fclose(f_) == 0;
+  f_ = nullptr;
+  return ok ? Status() : Status::Error("close failed for segment " + path_);
+}
+
+Status ForEachSegmentEntry(const std::string& path,
+                           const std::function<Status(uint64_t fp, State&& state)>& fn) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::Error("cannot open segment " + path);
+  }
+  auto fail = [&f](std::string msg) {
+    std::fclose(f);
+    return Status::Error(std::move(msg));
+  };
+  char magic[8];
+  if (std::fread(magic, 1, sizeof(magic), f) != sizeof(magic) ||
+      std::memcmp(magic, kSegMagic, sizeof(magic)) != 0) {
+    return fail("bad segment magic in " + path);
+  }
+  std::string payload;
+  for (;;) {
+    uint64_t len;
+    const size_t n = std::fread(&len, sizeof(len), 1, f);
+    if (n == 0) {
+      break;  // clean EOF
+    }
+    payload.resize(len);
+    if (std::fread(payload.data(), 1, len, f) != len) {
+      return fail("truncated chunk in segment " + path);
+    }
+    auto entries = DecodeFrontierChunk(payload);
+    if (!entries.ok()) {
+      return fail(entries.error() + " in segment " + path);
+    }
+    for (FrontierEntry& e : entries.value()) {
+      const Status st = fn(e.fp, std::move(e.state));
+      if (!st.ok()) {
+        std::fclose(f);
+        return st;
+      }
+    }
+  }
+  std::fclose(f);
+  return Status();
+}
+
+// ---- FrontierSpool ---------------------------------------------------------
+
+FrontierSpool::FrontierSpool(const SpoolConfig* config, std::string segment_name)
+    : config_(config) {
+  if (config_ != nullptr && !config_->dir.empty()) {
+    segment_path_ = config_->dir + "/" + segment_name;
+    if (config_->metrics != nullptr) {
+      spilled_metric_ = &config_->metrics->GetCounter("frontier.spilled_states");
+    }
+  }
+}
+
+FrontierSpool::~FrontierSpool() {
+  writer_.Close().ok();
+  if (spilled_ > 0 && !segment_path_.empty()) {
+    std::error_code ec;
+    std::filesystem::remove(segment_path_, ec);
+  }
+}
+
+Status FrontierSpool::Push(uint64_t fp, State state) {
+  ++size_;
+  const bool can_spill =
+      config_ != nullptr && config_->max_resident > 0 && !segment_path_.empty();
+  if (!can_spill || resident_.size() < config_->max_resident) {
+    resident_.push_back(FrontierEntry{fp, std::move(state)});
+    return Status();
+  }
+  tail_.push_back(FrontierEntry{fp, std::move(state)});
+  if (tail_.size() >= config_->chunk_states) {
+    return FlushTail();
+  }
+  return Status();
+}
+
+Status FrontierSpool::FlushTail() {
+  if (tail_.empty()) {
+    return Status();
+  }
+  if (!writer_.is_open()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_->dir, ec);
+    const Status st = writer_.Open(segment_path_);
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  const Status st = writer_.Append(tail_);
+  if (!st.ok()) {
+    return st;
+  }
+  spilled_ += tail_.size();
+  obs::Add(spilled_metric_, tail_.size());
+  tail_.clear();
+  return Status();
+}
+
+// ---- FrontierSpool::Reader -------------------------------------------------
+
+FrontierSpool::Reader::Reader(const FrontierSpool* spool) : spool_(spool) {}
+
+FrontierSpool::Reader::~Reader() {
+  if (f_ != nullptr) {
+    std::fclose(f_);
+  }
+}
+
+FrontierSpool::Reader::Reader(Reader&& other) noexcept
+    : spool_(other.spool_), resident_i_(other.resident_i_), chunk_i_(other.chunk_i_),
+      f_(other.f_), buffer_(std::move(other.buffer_)), buffer_i_(other.buffer_i_),
+      tail_i_(other.tail_i_), status_(std::move(other.status_)) {
+  other.f_ = nullptr;
+}
+
+FrontierSpool::Reader FrontierSpool::Read() const {
+  return Reader(this);
+}
+
+bool FrontierSpool::Reader::FillFromChunk() {
+  if (chunk_i_ >= spool_->writer_.chunks()) {
+    return false;
+  }
+  if (f_ == nullptr) {
+    f_ = std::fopen(spool_->segment_path_.c_str(), "rb");
+    if (f_ == nullptr) {
+      status_ = Status::Error("cannot reopen segment " + spool_->segment_path_);
+      return false;
+    }
+    char magic[8];
+    if (std::fread(magic, 1, sizeof(magic), f_) != sizeof(magic) ||
+        std::memcmp(magic, kSegMagic, sizeof(magic)) != 0) {
+      status_ = Status::Error("bad segment magic in " + spool_->segment_path_);
+      return false;
+    }
+  }
+  uint64_t len;
+  std::string payload;
+  if (std::fread(&len, sizeof(len), 1, f_) != 1) {
+    status_ = Status::Error("truncated chunk header in " + spool_->segment_path_);
+    return false;
+  }
+  payload.resize(len);
+  if (std::fread(payload.data(), 1, len, f_) != len) {
+    status_ = Status::Error("truncated chunk in " + spool_->segment_path_);
+    return false;
+  }
+  auto entries = DecodeFrontierChunk(payload);
+  if (!entries.ok()) {
+    status_ = Status::Error(entries.error());
+    return false;
+  }
+  buffer_ = std::move(entries).value();
+  buffer_i_ = 0;
+  ++chunk_i_;
+  return !buffer_.empty();
+}
+
+bool FrontierSpool::Reader::Next(uint64_t* fp, State* state) {
+  if (!status_.ok()) {
+    return false;
+  }
+  if (resident_i_ < spool_->resident_.size()) {
+    const FrontierEntry& e = spool_->resident_[resident_i_++];
+    *fp = e.fp;
+    *state = e.state;
+    return true;
+  }
+  while (buffer_i_ >= buffer_.size()) {
+    if (!FillFromChunk()) {
+      if (!status_.ok()) {
+        return false;
+      }
+      if (f_ != nullptr) {
+        std::fclose(f_);
+        f_ = nullptr;
+      }
+      if (tail_i_ < spool_->tail_.size()) {
+        const FrontierEntry& e = spool_->tail_[tail_i_++];
+        *fp = e.fp;
+        *state = e.state;
+        return true;
+      }
+      return false;
+    }
+  }
+  FrontierEntry& e = buffer_[buffer_i_++];
+  *fp = e.fp;
+  *state = std::move(e.state);
+  return true;
+}
+
+// ---- Checkpoint persistence ------------------------------------------------
+
+Status FrontierSpool::SaveSegment(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  SegmentWriter out;
+  Status st = out.Open(tmp);
+  if (!st.ok()) {
+    return st;
+  }
+  const uint64_t chunk_states =
+      config_ != nullptr && config_->chunk_states > 0 ? config_->chunk_states : 1024;
+  std::vector<FrontierEntry> chunk;
+  chunk.reserve(chunk_states);
+  Reader reader = Read();
+  uint64_t fp;
+  State state;
+  while (reader.Next(&fp, &state)) {
+    chunk.push_back(FrontierEntry{fp, std::move(state)});
+    if (chunk.size() >= chunk_states) {
+      st = out.Append(chunk);
+      if (!st.ok()) {
+        return st;
+      }
+      chunk.clear();
+    }
+  }
+  if (!reader.status().ok()) {
+    return reader.status();
+  }
+  if (!chunk.empty()) {
+    st = out.Append(chunk);
+    if (!st.ok()) {
+      return st;
+    }
+  }
+  st = out.Close();
+  if (!st.ok()) {
+    return st;
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Error("rename " + tmp + " -> " + path + ": " + ec.message());
+  }
+  return Status();
+}
+
+}  // namespace store
+}  // namespace sandtable

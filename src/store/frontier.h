@@ -1,0 +1,153 @@
+// Disk-spilling frontier queue for out-of-core BFS.
+//
+// A level-synchronized BFS holds two frontiers (current + next); at paper
+// scale either can dwarf the fingerprint set because each entry carries a full
+// state snapshot. FrontierSpool keeps the oldest `max_resident` entries in
+// memory and appends the overflow to a segment file in compact binary form
+// (value_codec.h), chunked so reads decode a bounded batch at a time.
+//
+// Frontier segment format ("frontier segment v1", also the checkpoint format):
+//   bytes 0-7  magic "STFRSEG1"
+//   then chunks until EOF, each:
+//     uint64 LE payload length
+//     payload: varint state count, string table (value_codec.h),
+//              then per state: varint fingerprint + encoded value
+//
+// Read order equals push order (FIFO): resident entries first, then the file
+// chunks in write order, then the still-open tail chunk. That preserves the
+// engines' deterministic level iteration, so out-of-core runs visit states in
+// exactly the in-memory order.
+//
+// Not thread-safe: engines push/read only from the coordinator thread (level
+// barriers); workers hand successor batches to the coordinator.
+#ifndef SANDTABLE_SRC_STORE_FRONTIER_H_
+#define SANDTABLE_SRC_STORE_FRONTIER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/spec/spec.h"
+#include "src/util/result.h"
+#include "src/value/value_codec.h"
+
+namespace sandtable {
+namespace store {
+
+struct SpoolConfig {
+  // Directory for segment files; created if missing. Required for spilling.
+  std::string dir;
+  // Frontier entries kept in memory before the overflow spills. 0 means
+  // "never spill" (pure in-memory queue).
+  uint64_t max_resident = 1u << 16;
+  // States per encoded chunk (decode batch size).
+  uint64_t chunk_states = 1024;
+  obs::MetricsRegistry* metrics = nullptr;  // borrowed, may be null
+};
+
+struct FrontierEntry {
+  uint64_t fp = 0;
+  State state;
+};
+
+// Appends chunks of encoded frontier entries to one segment file.
+class SegmentWriter {
+ public:
+  SegmentWriter() = default;
+  ~SegmentWriter();
+  SegmentWriter(const SegmentWriter&) = delete;
+  SegmentWriter& operator=(const SegmentWriter&) = delete;
+
+  // Create/truncate `path` and write the magic.
+  Status Open(const std::string& path);
+  Status Append(const std::vector<FrontierEntry>& chunk);
+  // Flush and close; returns the first error seen, if any.
+  Status Close();
+  bool is_open() const { return f_ != nullptr; }
+  uint64_t chunks() const { return chunks_; }
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::string path_;
+  uint64_t chunks_ = 0;
+};
+
+// Decode every entry of a segment file in order, invoking `fn` per entry.
+// Stops and forwards the first non-ok status `fn` returns.
+Status ForEachSegmentEntry(const std::string& path,
+                           const std::function<Status(uint64_t fp, State&& state)>& fn);
+
+class FrontierSpool {
+ public:
+  // `config` may be null (never spill); it is borrowed and must outlive the
+  // spool. The segment file (if any) is deleted on destruction.
+  FrontierSpool(const SpoolConfig* config, std::string segment_name);
+  ~FrontierSpool();
+  FrontierSpool(const FrontierSpool&) = delete;
+  FrontierSpool& operator=(const FrontierSpool&) = delete;
+
+  Status Push(uint64_t fp, State state);
+
+  uint64_t size() const { return size_; }
+  uint64_t spilled() const { return spilled_; }
+  bool empty() const { return size_ == 0; }
+
+  // Sequential cursor over the spool's content in push order. The spool must
+  // not be pushed to while a Reader is live.
+  class Reader {
+   public:
+    ~Reader();
+    Reader(Reader&& other) noexcept;
+    Reader(const Reader&) = delete;
+    Reader& operator=(const Reader&) = delete;
+    Reader& operator=(Reader&&) = delete;
+
+    // False at end of frontier or on decode error (check status()).
+    bool Next(uint64_t* fp, State* state);
+    const Status& status() const { return status_; }
+
+   private:
+    friend class FrontierSpool;
+    explicit Reader(const FrontierSpool* spool);
+    bool FillFromChunk();
+
+    const FrontierSpool* spool_;
+    uint64_t resident_i_ = 0;
+    uint64_t chunk_i_ = 0;
+    std::FILE* f_ = nullptr;  // owned read handle on the segment file
+    std::vector<FrontierEntry> buffer_;
+    uint64_t buffer_i_ = 0;
+    uint64_t tail_i_ = 0;
+    Status status_;
+  };
+  Reader Read() const;
+
+  // Persist the entire frontier (resident + spilled + tail) as one segment
+  // file at `path` via tmp+rename. Non-destructive; used by checkpoints.
+  Status SaveSegment(const std::string& path) const;
+
+ private:
+  friend class Reader;
+  Status FlushTail();
+
+  const SpoolConfig* config_;  // null = never spill
+  std::string segment_path_;   // lazily created on first spill
+  SegmentWriter writer_;
+  std::vector<FrontierEntry> resident_;
+  std::vector<FrontierEntry> tail_;  // open chunk, <= chunk_states entries
+  uint64_t size_ = 0;
+  uint64_t spilled_ = 0;
+  obs::Counter* spilled_metric_ = nullptr;
+};
+
+// Encode/decode one chunk payload (exposed for tests).
+std::string EncodeFrontierChunk(const std::vector<FrontierEntry>& chunk);
+Result<std::vector<FrontierEntry>> DecodeFrontierChunk(std::string_view payload);
+
+}  // namespace store
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_STORE_FRONTIER_H_

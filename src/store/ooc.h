@@ -1,0 +1,41 @@
+// Out-of-core configuration handed to the exploration engines.
+//
+// All pointers are borrowed and null by default, so a default OocConfig is
+// exactly the pre-existing pure in-memory behaviour — the engines only branch
+// into the store/spool/checkpoint paths when the corresponding member is set.
+#ifndef SANDTABLE_SRC_STORE_OOC_H_
+#define SANDTABLE_SRC_STORE_OOC_H_
+
+#include "src/store/checkpoint.h"
+#include "src/store/frontier.h"
+#include "src/store/state_store.h"
+
+namespace sandtable {
+namespace store {
+
+struct OocConfig {
+  // Visited-set store replacing the engine's built-in map. The engine does
+  // not own it; it may be pre-seeded (LoadRuns) when resuming.
+  StateStore* state_store = nullptr;
+
+  // When set, frontier queues spill to disk past the configured budget.
+  const SpoolConfig* frontier_spool = nullptr;
+
+  // When set, the engine writes checkpoints at level barriers whenever
+  // Due(distinct_states). Requires state_store (checkpoints persist the
+  // visited set through StateStore::SaveRuns).
+  Checkpointer* checkpointer = nullptr;
+
+  // When set, the engine seeds its visited counts, depth, coverage and
+  // frontier from this opened checkpoint instead of the spec's init states.
+  // Requires state_store; the caller is responsible for having LoadRuns'd
+  // the checkpoint's visited runs into it.
+  const ResumedRun* resume = nullptr;
+
+  bool enabled() const { return state_store != nullptr; }
+};
+
+}  // namespace store
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_STORE_OOC_H_

@@ -1,0 +1,487 @@
+#include "src/store/state_store.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+#include "src/obs/phase_timer.h"
+#include "src/util/check.h"
+
+namespace sandtable {
+namespace store {
+
+namespace {
+
+constexpr char kRunMagic[8] = {'S', 'T', 'F', 'P', 'R', 'U', 'N', '1'};
+constexpr size_t kRunHeaderBytes = 16;  // magic + count
+
+}  // namespace
+
+StoreMetrics StoreMetrics::Bind(obs::MetricsRegistry* registry) {
+  StoreMetrics m;
+  if (registry == nullptr) {
+    return m;
+  }
+  m.spilled_fingerprints = &registry->GetCounter("store.fingerprints_spilled");
+  m.spills = &registry->GetCounter("store.spills");
+  m.compactions = &registry->GetCounter("store.compactions");
+  m.disk_probes = &registry->GetCounter("store.disk_probes");
+  m.disk_hits = &registry->GetCounter("store.disk_probe_hits");
+  m.runs = &registry->GetGauge("store.runs");
+  m.resident = &registry->GetGauge("store.resident_fingerprints");
+  return m;
+}
+
+// ---- MemoryStateStore ------------------------------------------------------
+
+MemoryStateStore::MemoryStateStore(int shard_count_log2)
+    : nshards_(1 << shard_count_log2), shift_(64 - shard_count_log2),
+      shards_(new Shard[static_cast<size_t>(nshards_)]) {
+  CHECK_GE(shard_count_log2, 0);
+  CHECK_LE(shard_count_log2, 16);
+}
+
+bool MemoryStateStore::InsertIfAbsent(uint64_t fp, uint64_t parent_fp) {
+  Shard& shard = shards_[ShardIndex(fp)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (!shard.map.emplace(fp, parent_fp).second) {
+    return false;
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::optional<uint64_t> MemoryStateStore::Parent(uint64_t fp) const {
+  const Shard& shard = shards_[ShardIndex(fp)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(fp);
+  if (it == shard.map.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+Result<std::vector<std::string>> MemoryStateStore::SaveRuns(const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Result<std::vector<std::string>>::Error("cannot create " + dir + ": " +
+                                                   ec.message());
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  entries.reserve(Size());
+  for (int i = 0; i < nshards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    for (const auto& [fp, parent] : shards_[i].map) {
+      entries.emplace_back(fp, parent);
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  const std::string name = "visited-000000.run";
+  const Status st = WriteRunFile(dir + "/" + name, entries);
+  if (!st.ok()) {
+    return Result<std::vector<std::string>>::Error(st.error());
+  }
+  return std::vector<std::string>{name};
+}
+
+// ---- Run files -------------------------------------------------------------
+
+Status WriteRunFile(const std::string& path,
+                    const std::vector<std::pair<uint64_t, uint64_t>>& entries) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Error("cannot open " + tmp + " for writing");
+  }
+  const uint64_t count = entries.size();
+  bool ok = std::fwrite(kRunMagic, 1, sizeof(kRunMagic), f) == sizeof(kRunMagic) &&
+            std::fwrite(&count, sizeof(count), 1, f) == 1;
+  // Interleaved {fp, parent} pairs; std::pair<uint64_t,uint64_t> has no
+  // padding but write explicitly to keep the layout independent of the ABI.
+  for (size_t i = 0; ok && i < entries.size(); ++i) {
+    const uint64_t rec[2] = {entries[i].first, entries[i].second};
+    ok = std::fwrite(rec, sizeof(uint64_t), 2, f) == 2;
+  }
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return Status::Error("short write to " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Error("rename " + tmp + " -> " + path + ": " + ec.message());
+  }
+  return Status();
+}
+
+Result<std::unique_ptr<MappedRun>> MappedRun::Open(const std::string& path) {
+  using R = Result<std::unique_ptr<MappedRun>>;
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return R::Error("cannot open run file " + path);
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || static_cast<size_t>(st.st_size) < kRunHeaderBytes) {
+    ::close(fd);
+    return R::Error("run file too short: " + path);
+  }
+  const size_t len = static_cast<size_t>(st.st_size);
+  void* base = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (base == MAP_FAILED) {
+    return R::Error("mmap failed for " + path);
+  }
+  const char* bytes = static_cast<const char*>(base);
+  if (std::memcmp(bytes, kRunMagic, sizeof(kRunMagic)) != 0) {
+    ::munmap(base, len);
+    return R::Error("bad run magic in " + path);
+  }
+  uint64_t count;
+  std::memcpy(&count, bytes + sizeof(kRunMagic), sizeof(count));
+  if (len != kRunHeaderBytes + count * 16) {
+    ::munmap(base, len);
+    return R::Error("run size mismatch in " + path);
+  }
+  auto run = std::unique_ptr<MappedRun>(new MappedRun());
+  run->path_ = path;
+  run->base_ = base;
+  run->map_len_ = len;
+  run->entries_ = reinterpret_cast<const uint64_t*>(bytes + kRunHeaderBytes);
+  run->count_ = count;
+  return run;
+}
+
+MappedRun::~MappedRun() {
+  if (base_ != nullptr) {
+    ::munmap(base_, map_len_);
+  }
+}
+
+std::optional<uint64_t> MappedRun::Find(uint64_t target) const {
+  uint64_t lo = 0;
+  uint64_t hi = count_;
+  while (lo < hi) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    const uint64_t v = fp(mid);
+    if (v == target) {
+      return parent(mid);
+    }
+    if (v < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return std::nullopt;
+}
+
+// ---- SpillingStateStore ----------------------------------------------------
+
+SpillingStateStore::SpillingStateStore(StoreConfig config)
+    : config_(std::move(config)), nshards_(1 << config_.shard_count_log2),
+      shift_(64 - config_.shard_count_log2),
+      shards_(new Shard[static_cast<size_t>(nshards_)]),
+      m_(StoreMetrics::Bind(config_.metrics)) {
+  CHECK_GE(config_.shard_count_log2, 0);
+  CHECK_LE(config_.shard_count_log2, 16);
+  CHECK_GE(config_.max_runs, 2u) << "compaction needs at least 2 runs";
+  if (!config_.spill_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(config_.spill_dir, ec);
+  }
+}
+
+Status SpillingStateStore::LoadRuns(const std::vector<std::string>& paths) {
+  std::lock_guard<std::mutex> spill_lock(spill_mu_);
+  uint64_t loaded = 0;
+  std::vector<std::unique_ptr<MappedRun>> opened;
+  for (const std::string& path : paths) {
+    auto run = MappedRun::Open(path);
+    if (!run.ok()) {
+      return Status::Error(run.error());
+    }
+    loaded += run.value()->count();
+    opened.push_back(std::move(run).value());
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(runs_mu_);
+    for (auto& run : opened) {
+      runs_.push_back(std::move(run));
+    }
+    obs::Set(m_.runs, static_cast<int64_t>(runs_.size()));
+  }
+  spilled_.fetch_add(loaded, std::memory_order_relaxed);
+  count_.fetch_add(loaded, std::memory_order_relaxed);
+  return Status();
+}
+
+std::optional<uint64_t> SpillingStateStore::DiskFind(uint64_t fp, bool count_metrics) const {
+  std::shared_lock<std::shared_mutex> lock(runs_mu_);
+  if (runs_.empty()) {
+    return std::nullopt;
+  }
+  if (count_metrics) {
+    obs::Add(m_.disk_probes);
+  }
+  // Newest runs first: recent states are the likeliest duplicates.
+  for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {
+    if (auto parent = (*it)->Find(fp)) {
+      if (count_metrics) {
+        obs::Add(m_.disk_hits);
+      }
+      return parent;
+    }
+  }
+  return std::nullopt;
+}
+
+bool SpillingStateStore::InsertIfAbsent(uint64_t fp, uint64_t parent_fp) {
+  if (DiskFind(fp, /*count_metrics=*/true).has_value()) {
+    return false;
+  }
+  {
+    Shard& shard = shards_[ShardIndex(fp)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!shard.map.emplace(fp, parent_fp).second) {
+      return false;
+    }
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t resident = resident_.fetch_add(1, std::memory_order_relaxed) + 1;
+  obs::SetMax(m_.resident, static_cast<int64_t>(resident));
+  if (config_.max_resident > 0 && resident >= config_.max_resident &&
+      !config_.spill_dir.empty()) {
+    std::lock_guard<std::mutex> spill_lock(spill_mu_);
+    // Another thread may have spilled while we waited for the lock.
+    if (resident_.load(std::memory_order_relaxed) >= config_.max_resident) {
+      const Status st = SpillLocked();
+      // Spill failure (disk full, bad dir) is not fatal to exploration: keep
+      // the entries in memory and let the run die at RAM like before.
+      if (!st.ok()) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+          std::fprintf(stderr, "sandtable: fingerprint spill failed: %s\n",
+                       st.error().c_str());
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<uint64_t> SpillingStateStore::Parent(uint64_t fp) const {
+  {
+    const Shard& shard = shards_[ShardIndex(fp)];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(fp);
+    if (it != shard.map.end()) {
+      return it->second;
+    }
+  }
+  return DiskFind(fp, /*count_metrics=*/false);
+}
+
+size_t SpillingStateStore::RunCount() const {
+  std::shared_lock<std::shared_mutex> lock(runs_mu_);
+  return runs_.size();
+}
+
+std::string SpillingStateStore::NextRunPath() {
+  char name[32];
+  std::snprintf(name, sizeof(name), "spill-%06llu.run",
+                static_cast<unsigned long long>(next_run_id_++));
+  return config_.spill_dir + "/" + name;
+}
+
+Status SpillingStateStore::SpillLocked() {
+  // Drain the memory tier under all shard locks: inserts block for the
+  // duration, so no entry can be observed in neither tier.
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  entries.reserve(resident_.load(std::memory_order_relaxed));
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(static_cast<size_t>(nshards_));
+  for (int i = 0; i < nshards_; ++i) {
+    locks.emplace_back(shards_[i].mu);
+  }
+  for (int i = 0; i < nshards_; ++i) {
+    for (const auto& [fp, parent] : shards_[i].map) {
+      entries.emplace_back(fp, parent);
+    }
+  }
+  if (entries.empty()) {
+    return Status();
+  }
+  std::sort(entries.begin(), entries.end());
+  const std::string path = NextRunPath();
+  const Status st = WriteRunFile(path, entries);
+  if (!st.ok()) {
+    return st;
+  }
+  auto run = MappedRun::Open(path);
+  if (!run.ok()) {
+    return Status::Error(run.error());
+  }
+  {
+    std::unique_lock<std::shared_mutex> runs_lock(runs_mu_);
+    runs_.push_back(std::move(run).value());
+    obs::Set(m_.runs, static_cast<int64_t>(runs_.size()));
+  }
+  for (int i = 0; i < nshards_; ++i) {
+    shards_[i].map.clear();
+  }
+  resident_.store(0, std::memory_order_relaxed);
+  spilled_.fetch_add(entries.size(), std::memory_order_relaxed);
+  obs::Add(m_.spilled_fingerprints, entries.size());
+  obs::Add(m_.spills);
+  obs::Set(m_.resident, 0);
+  locks.clear();
+
+  if (RunCount() > config_.max_runs) {
+    return CompactLocked();
+  }
+  return Status();
+}
+
+Status SpillingStateStore::CompactLocked() {
+  // Merge every run into one. Runs are disjoint (inserts probe disk first),
+  // so this is a pure k-way merge with no duplicate resolution needed.
+  std::vector<std::pair<uint64_t, uint64_t>> merged;
+  {
+    std::shared_lock<std::shared_mutex> lock(runs_mu_);
+    uint64_t total = 0;
+    for (const auto& run : runs_) {
+      total += run->count();
+    }
+    merged.reserve(total);
+    struct Cursor {
+      const MappedRun* run;
+      uint64_t i = 0;
+    };
+    std::vector<Cursor> cursors;
+    cursors.reserve(runs_.size());
+    for (const auto& run : runs_) {
+      if (run->count() > 0) {
+        cursors.push_back(Cursor{run.get()});
+      }
+    }
+    while (!cursors.empty()) {
+      size_t best = 0;
+      for (size_t c = 1; c < cursors.size(); ++c) {
+        if (cursors[c].run->fp(cursors[c].i) < cursors[best].run->fp(cursors[best].i)) {
+          best = c;
+        }
+      }
+      Cursor& cur = cursors[best];
+      merged.emplace_back(cur.run->fp(cur.i), cur.run->parent(cur.i));
+      if (++cur.i >= cur.run->count()) {
+        cursors.erase(cursors.begin() + static_cast<long>(best));
+      }
+    }
+  }
+  const std::string path = NextRunPath();
+  Status st = WriteRunFile(path, merged);
+  if (!st.ok()) {
+    return st;
+  }
+  auto run = MappedRun::Open(path);
+  if (!run.ok()) {
+    return Status::Error(run.error());
+  }
+  std::vector<std::unique_ptr<MappedRun>> old;
+  {
+    std::unique_lock<std::shared_mutex> lock(runs_mu_);
+    old.swap(runs_);
+    runs_.push_back(std::move(run).value());
+    obs::Set(m_.runs, static_cast<int64_t>(runs_.size()));
+  }
+  obs::Add(m_.compactions);
+  for (const auto& r : old) {
+    // Checkpoint-owned runs (LoadRuns) live outside spill_dir; only delete
+    // files this store created.
+    if (r->path().rfind(config_.spill_dir + "/", 0) == 0) {
+      std::error_code ec;
+      std::filesystem::remove(r->path(), ec);
+    }
+  }
+  return Status();
+}
+
+Status SpillingStateStore::Flush() {
+  if (config_.spill_dir.empty()) {
+    return Status::Error("no spill_dir configured");
+  }
+  std::lock_guard<std::mutex> spill_lock(spill_mu_);
+  return SpillLocked();
+}
+
+Result<std::vector<std::string>> SpillingStateStore::SaveRuns(const std::string& dir) {
+  using R = Result<std::vector<std::string>>;
+  std::lock_guard<std::mutex> spill_lock(spill_mu_);
+  {
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec) {
+      return R::Error("cannot create " + dir + ": " + ec.message());
+    }
+  }
+  std::vector<std::string> names;
+  uint64_t id = 0;
+  auto name_for = [&id]() {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "visited-%06llu.run",
+                  static_cast<unsigned long long>(id++));
+    return std::string(buf);
+  };
+  {
+    std::shared_lock<std::shared_mutex> lock(runs_mu_);
+    for (const auto& run : runs_) {
+      const std::string name = name_for();
+      std::error_code ec;
+      std::filesystem::copy_file(run->path(), dir + "/" + name,
+                                 std::filesystem::copy_options::overwrite_existing, ec);
+      if (ec) {
+        return R::Error("cannot copy run " + run->path() + ": " + ec.message());
+      }
+      names.push_back(name);
+    }
+  }
+  // Snapshot the memory tier as one more run (without draining it).
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  entries.reserve(resident_.load(std::memory_order_relaxed));
+  for (int i = 0; i < nshards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    for (const auto& [fp, parent] : shards_[i].map) {
+      entries.emplace_back(fp, parent);
+    }
+  }
+  if (!entries.empty()) {
+    std::sort(entries.begin(), entries.end());
+    const std::string name = name_for();
+    const Status st = WriteRunFile(dir + "/" + name, entries);
+    if (!st.ok()) {
+      return R::Error(st.error());
+    }
+    names.push_back(name);
+  }
+  return names;
+}
+
+MemBudget SplitMemBudget(uint64_t budget_mb) {
+  const uint64_t bytes = budget_mb * (1ull << 20);
+  MemBudget b;
+  b.max_resident_fingerprints = std::max<uint64_t>(1024, (bytes * 2 / 3) / 48);
+  b.max_resident_frontier = std::max<uint64_t>(256, (bytes / 3) / 256);
+  return b;
+}
+
+}  // namespace store
+}  // namespace sandtable

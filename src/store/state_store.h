@@ -1,0 +1,214 @@
+// Pluggable visited-state stores for the exploration engines.
+//
+// Both BFS engines track visited states as `fingerprint -> parent fingerprint`
+// (mc/reconstruct.h). By default they keep that map purely in memory; a
+// StateStore lets a run swap in the two-tier SpillingStateStore, which spills
+// sorted fingerprint runs to disk past a configurable resident budget — the
+// design of TLC's disk-based fingerprint set — so multi-hour hunts are bounded
+// by disk, not RAM.
+//
+// Two-tier organization (SpillingStateStore):
+//   - memory tier: lock-striped sharded hash maps (same layout as
+//     par/fingerprint_shards.h), absorbing all inserts;
+//   - disk tier: immutable sorted run files, mmap'd and probed by binary
+//     search. When the memory tier exceeds `max_resident` entries it is
+//     drained into a fresh run; when the run count exceeds `max_runs` all
+//     runs are merged into one (compaction), keeping probe cost at
+//     O(runs * log n) with runs <= max_runs.
+//
+// Run file format ("fingerprint run v1", also the checkpoint format):
+//   bytes 0-7   magic "STFPRUN1"
+//   bytes 8-15  entry count, uint64 little-endian
+//   then count * { uint64 fp, uint64 parent }, sorted by fp ascending
+//
+// An entry's fp can appear in at most one tier and one run: inserts probe the
+// disk tier first, and spills move entries out of memory. All operations are
+// thread-safe; the parallel engine's workers insert concurrently.
+#ifndef SANDTABLE_SRC_STORE_STATE_STORE_H_
+#define SANDTABLE_SRC_STORE_STATE_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/util/result.h"
+
+namespace sandtable {
+namespace store {
+
+// Null-safe handles on the store's well-known metrics, bound once per store.
+struct StoreMetrics {
+  obs::Counter* spilled_fingerprints = nullptr;  // store.fingerprints_spilled
+  obs::Counter* spills = nullptr;                // store.spills
+  obs::Counter* compactions = nullptr;           // store.compactions
+  obs::Counter* disk_probes = nullptr;           // store.disk_probes
+  obs::Counter* disk_hits = nullptr;             // store.disk_probe_hits
+  obs::Gauge* runs = nullptr;                    // store.runs
+  obs::Gauge* resident = nullptr;                // store.resident_fingerprints
+
+  static StoreMetrics Bind(obs::MetricsRegistry* registry);
+};
+
+class StateStore {
+ public:
+  virtual ~StateStore() = default;
+
+  // Insert fp -> parent_fp if absent; true on first insertion. parent_fp == fp
+  // marks an initial state (mc/reconstruct.h convention). Thread-safe.
+  virtual bool InsertIfAbsent(uint64_t fp, uint64_t parent_fp) = 0;
+
+  // Parent pointer of a visited fingerprint; nullopt if never inserted.
+  virtual std::optional<uint64_t> Parent(uint64_t fp) const = 0;
+
+  // Distinct fingerprints inserted (memory + disk). Monotonic, lock-free.
+  virtual uint64_t Size() const = 0;
+
+  // Fingerprints currently living in disk runs (0 for in-memory stores).
+  virtual uint64_t SpilledSize() const { return 0; }
+
+  // Number of on-disk runs (0 for in-memory stores).
+  virtual size_t RunCount() const { return 0; }
+
+  // Persist every entry as sorted run files under `dir` (for checkpoints).
+  // Returns the file names (relative to dir) written. Does not mutate the
+  // store. Must not race concurrent inserts — call from a level barrier.
+  virtual Result<std::vector<std::string>> SaveRuns(const std::string& dir) = 0;
+};
+
+// Plain sharded in-memory store: the explicit-StateStore equivalent of the
+// engines' built-in maps, used as the reference point in tests and benches.
+class MemoryStateStore : public StateStore {
+ public:
+  explicit MemoryStateStore(int shard_count_log2 = 6);
+
+  bool InsertIfAbsent(uint64_t fp, uint64_t parent_fp) override;
+  std::optional<uint64_t> Parent(uint64_t fp) const override;
+  uint64_t Size() const override { return count_.load(std::memory_order_relaxed); }
+  Result<std::vector<std::string>> SaveRuns(const std::string& dir) override;
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, uint64_t> map;
+  };
+  size_t ShardIndex(uint64_t fp) const { return shift_ >= 64 ? 0 : fp >> shift_; }
+
+  const int nshards_;
+  const int shift_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> count_{0};
+};
+
+struct StoreConfig {
+  // Directory for spill runs; created if missing. Required for spilling.
+  std::string spill_dir;
+  // Fingerprints kept in the memory tier before a spill. 0 means "never
+  // spill" (the store degenerates to MemoryStateStore behaviour).
+  uint64_t max_resident = 1u << 20;
+  // Merge all runs into one when their count exceeds this.
+  size_t max_runs = 8;
+  int shard_count_log2 = 6;
+  obs::MetricsRegistry* metrics = nullptr;  // borrowed, may be null
+};
+
+// A read-only mmap'd sorted run file.
+class MappedRun {
+ public:
+  // Maps `path`; returns an error on missing/short/corrupt files.
+  static Result<std::unique_ptr<MappedRun>> Open(const std::string& path);
+  ~MappedRun();
+
+  MappedRun(const MappedRun&) = delete;
+  MappedRun& operator=(const MappedRun&) = delete;
+
+  uint64_t count() const { return count_; }
+  const std::string& path() const { return path_; }
+  uint64_t fp(uint64_t i) const { return entries_[2 * i]; }
+  uint64_t parent(uint64_t i) const { return entries_[2 * i + 1]; }
+  // Binary search; returns the parent if fp is present.
+  std::optional<uint64_t> Find(uint64_t fp) const;
+
+ private:
+  MappedRun() = default;
+  std::string path_;
+  void* base_ = nullptr;
+  size_t map_len_ = 0;
+  const uint64_t* entries_ = nullptr;  // interleaved {fp, parent} pairs
+  uint64_t count_ = 0;
+};
+
+// Write a sorted (by .first) entry list as a run file. The file is written to
+// `path + ".tmp"` and renamed into place.
+Status WriteRunFile(const std::string& path,
+                    const std::vector<std::pair<uint64_t, uint64_t>>& entries);
+
+class SpillingStateStore : public StateStore {
+ public:
+  explicit SpillingStateStore(StoreConfig config);
+
+  // Adopt existing run files (a resumed checkpoint's visited runs). The files
+  // are mmap'd in place and must outlive the store. Call before exploring.
+  Status LoadRuns(const std::vector<std::string>& paths);
+
+  bool InsertIfAbsent(uint64_t fp, uint64_t parent_fp) override;
+  std::optional<uint64_t> Parent(uint64_t fp) const override;
+  uint64_t Size() const override { return count_.load(std::memory_order_relaxed); }
+  uint64_t SpilledSize() const override { return spilled_.load(std::memory_order_relaxed); }
+  size_t RunCount() const override;
+  Result<std::vector<std::string>> SaveRuns(const std::string& dir) override;
+
+  // Force the memory tier out to a run (exposed for tests).
+  Status Flush();
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, uint64_t> map;
+  };
+  size_t ShardIndex(uint64_t fp) const { return shift_ >= 64 ? 0 : fp >> shift_; }
+
+  // Probe the disk tier. Counts probe/hit metrics when `count_metrics`.
+  std::optional<uint64_t> DiskFind(uint64_t fp, bool count_metrics) const;
+
+  // Drain the memory tier into a new run; compact if over max_runs. Caller
+  // must hold spill_mu_.
+  Status SpillLocked();
+  Status CompactLocked();
+
+  std::string NextRunPath();
+
+  const StoreConfig config_;
+  const int nshards_;
+  const int shift_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> count_{0};      // total distinct (memory + disk)
+  std::atomic<uint64_t> resident_{0};   // memory-tier entries
+  std::atomic<uint64_t> spilled_{0};    // disk-tier entries
+  std::mutex spill_mu_;                 // serializes spill/compact/save
+  mutable std::shared_mutex runs_mu_;   // guards runs_ vector swaps
+  std::vector<std::unique_ptr<MappedRun>> runs_;
+  uint64_t next_run_id_ = 0;
+  StoreMetrics m_;
+};
+
+// How a --mem-budget-mb style budget is divided between the two resident
+// tiers: roughly 2/3 to the fingerprint maps (~48 bytes per entry counting
+// hash-node overhead) and 1/3 to the frontier queue (~256 bytes per decoded
+// state), with floors so tiny budgets still make progress.
+struct MemBudget {
+  uint64_t max_resident_fingerprints = 0;
+  uint64_t max_resident_frontier = 0;
+};
+MemBudget SplitMemBudget(uint64_t budget_mb);
+
+}  // namespace store
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_STORE_STATE_STORE_H_

@@ -1,0 +1,267 @@
+#include "src/value/value_codec.h"
+
+#include <utility>
+
+namespace sandtable {
+
+void AppendVarint(std::string& out, uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+void AppendZigzag(std::string& out, int64_t v) {
+  AppendVarint(out, (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+}
+
+bool ByteReader::ReadVarint(uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  const char* p = p_;
+  while (p != end_ && shift < 64) {
+    const uint8_t byte = static_cast<uint8_t>(*p++);
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      p_ = p;
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // truncated or over-long
+}
+
+bool ByteReader::ReadZigzag(int64_t* v) {
+  uint64_t raw;
+  if (!ReadVarint(&raw)) {
+    return false;
+  }
+  *v = static_cast<int64_t>((raw >> 1) ^ (~(raw & 1) + 1));
+  return true;
+}
+
+bool ByteReader::ReadBytes(size_t n, std::string_view* out) {
+  if (remaining() < n) {
+    return false;
+  }
+  *out = std::string_view(p_, n);
+  p_ += n;
+  return true;
+}
+
+bool ByteReader::ReadByte(uint8_t* b) {
+  if (p_ == end_) {
+    return false;
+  }
+  *b = static_cast<uint8_t>(*p_++);
+  return true;
+}
+
+uint32_t ValueEncoder::Intern(const std::string& s) {
+  auto [it, inserted] = index_.emplace(s, static_cast<uint32_t>(strings_.size()));
+  if (inserted) {
+    strings_.push_back(&it->first);
+  }
+  return it->second;
+}
+
+void ValueEncoder::Encode(const Value& v, std::string& out) {
+  out.push_back(static_cast<char>(v.kind()));
+  switch (v.kind()) {
+    case ValueKind::kBool:
+      AppendVarint(out, v.bool_v() ? 1 : 0);
+      break;
+    case ValueKind::kInt:
+      AppendZigzag(out, v.int_v());
+      break;
+    case ValueKind::kString:
+      AppendVarint(out, Intern(v.str_v()));
+      break;
+    case ValueKind::kModel:
+      AppendVarint(out, Intern(v.model_class()));
+      AppendVarint(out, static_cast<uint64_t>(v.model_index()));
+      break;
+    case ValueKind::kSeq:
+    case ValueKind::kSet:
+      AppendVarint(out, v.elems().size());
+      for (const Value& e : v.elems()) {
+        Encode(e, out);
+      }
+      break;
+    case ValueKind::kRecord:
+      AppendVarint(out, v.record_fields().size());
+      for (const auto& [name, field] : v.record_fields()) {
+        AppendVarint(out, Intern(name));
+        Encode(field, out);
+      }
+      break;
+    case ValueKind::kFun:
+      AppendVarint(out, v.fun_pairs().size());
+      for (const auto& [key, val] : v.fun_pairs()) {
+        Encode(key, out);
+        Encode(val, out);
+      }
+      break;
+  }
+}
+
+void ValueEncoder::WriteStringTable(std::string& out) const {
+  AppendVarint(out, strings_.size());
+  for (const std::string* s : strings_) {
+    AppendVarint(out, s->size());
+    out.append(*s);
+  }
+}
+
+Result<ValueDecoder> ValueDecoder::FromStringTable(ByteReader& in) {
+  uint64_t count;
+  if (!in.ReadVarint(&count)) {
+    return Result<ValueDecoder>::Error("codec: truncated string table count");
+  }
+  if (count > in.remaining()) {  // each string needs at least its length byte
+    return Result<ValueDecoder>::Error("codec: string table count exceeds input");
+  }
+  ValueDecoder d;
+  d.strings_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t len;
+    std::string_view bytes;
+    if (!in.ReadVarint(&len) || !in.ReadBytes(len, &bytes)) {
+      return Result<ValueDecoder>::Error("codec: truncated string table entry");
+    }
+    d.strings_.emplace_back(bytes);
+  }
+  return d;
+}
+
+Result<Value> ValueDecoder::Decode(ByteReader& in) const {
+  uint8_t tag;
+  if (!in.ReadByte(&tag)) {
+    return Result<Value>::Error("codec: truncated value tag");
+  }
+  if (tag > static_cast<uint8_t>(ValueKind::kFun)) {
+    return Result<Value>::Error("codec: unknown value tag " + std::to_string(tag));
+  }
+  const auto kind = static_cast<ValueKind>(tag);
+  auto read_string = [&](std::string* out) -> bool {
+    uint64_t idx;
+    if (!in.ReadVarint(&idx) || idx >= strings_.size()) {
+      return false;
+    }
+    *out = strings_[idx];
+    return true;
+  };
+  switch (kind) {
+    case ValueKind::kBool: {
+      uint64_t b;
+      if (!in.ReadVarint(&b)) {
+        return Result<Value>::Error("codec: truncated bool");
+      }
+      return Value::Bool(b != 0);
+    }
+    case ValueKind::kInt: {
+      int64_t i;
+      if (!in.ReadZigzag(&i)) {
+        return Result<Value>::Error("codec: truncated int");
+      }
+      return Value::Int(i);
+    }
+    case ValueKind::kString: {
+      std::string s;
+      if (!read_string(&s)) {
+        return Result<Value>::Error("codec: bad string index");
+      }
+      return Value::Str(std::move(s));
+    }
+    case ValueKind::kModel: {
+      std::string cls;
+      uint64_t index;
+      if (!read_string(&cls) || !in.ReadVarint(&index)) {
+        return Result<Value>::Error("codec: truncated model value");
+      }
+      return Value::Model(std::move(cls), static_cast<int>(index));
+    }
+    case ValueKind::kSeq:
+    case ValueKind::kSet: {
+      uint64_t count;
+      if (!in.ReadVarint(&count) || count > in.remaining()) {
+        return Result<Value>::Error("codec: bad element count");
+      }
+      std::vector<Value> elems;
+      elems.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        auto e = Decode(in);
+        if (!e.ok()) {
+          return e;
+        }
+        elems.push_back(std::move(e).value());
+      }
+      return kind == ValueKind::kSeq ? Value::Seq(std::move(elems))
+                                     : Value::Set(std::move(elems));
+    }
+    case ValueKind::kRecord: {
+      uint64_t count;
+      if (!in.ReadVarint(&count) || count > in.remaining()) {
+        return Result<Value>::Error("codec: bad field count");
+      }
+      std::vector<Value::Field> fields;
+      fields.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        std::string name;
+        if (!read_string(&name)) {
+          return Result<Value>::Error("codec: bad field name index");
+        }
+        auto v = Decode(in);
+        if (!v.ok()) {
+          return v;
+        }
+        fields.emplace_back(std::move(name), std::move(v).value());
+      }
+      return Value::Record(std::move(fields));
+    }
+    case ValueKind::kFun: {
+      uint64_t count;
+      if (!in.ReadVarint(&count) || count > in.remaining()) {
+        return Result<Value>::Error("codec: bad pair count");
+      }
+      std::vector<Value::Pair> pairs;
+      pairs.reserve(count);
+      for (uint64_t i = 0; i < count; ++i) {
+        auto k = Decode(in);
+        if (!k.ok()) {
+          return k;
+        }
+        auto v = Decode(in);
+        if (!v.ok()) {
+          return v;
+        }
+        pairs.emplace_back(std::move(k).value(), std::move(v).value());
+      }
+      return Value::Fun(std::move(pairs));
+    }
+  }
+  return Result<Value>::Error("codec: unreachable tag");
+}
+
+std::string EncodeValueBlock(const Value& v) {
+  ValueEncoder enc;
+  std::string body;
+  enc.Encode(v, body);
+  std::string out;
+  enc.WriteStringTable(out);
+  out.append(body);
+  return out;
+}
+
+Result<Value> DecodeValueBlock(std::string_view bytes) {
+  ByteReader in(bytes);
+  auto dec = ValueDecoder::FromStringTable(in);
+  if (!dec.ok()) {
+    return Result<Value>::Error(dec.error());
+  }
+  return dec.value().Decode(in);
+}
+
+}  // namespace sandtable

@@ -1,0 +1,99 @@
+// Compact binary codec for Value trees (the out-of-core frontier encoding).
+//
+// JSON serialization (Value::ToJson) is convenient for trace files but costs
+// 5-10x the bytes of the information content, which matters once frontier
+// queues overflow to disk. This codec writes a length-delimited binary form:
+// LEB128 varints for all integers (zigzag for signed), one tag byte per node,
+// and a per-block string table so repeated field names, string values and
+// model-class names are written once and referenced by index thereafter.
+//
+// Layout of one encoded value (tag byte, then payload):
+//   kBool    varint 0|1
+//   kInt     zigzag varint
+//   kString  varint string-table index
+//   kModel   varint class index (string table) + varint member index
+//   kSeq     varint count + elements
+//   kSet     varint count + elements (canonical sorted order)
+//   kRecord  varint count + (varint name index, value)*
+//   kFun     varint count + (key value, value)*
+//
+// A self-contained block is [string table][value...]; the table is
+//   varint count, then per string: varint length + bytes.
+//
+// Decoding rebuilds values through the canonicalizing constructors, so a
+// decoded value is structurally identical to the original: equal, same
+// memoized hash, and therefore the same exploration fingerprint.
+#ifndef SANDTABLE_SRC_VALUE_VALUE_CODEC_H_
+#define SANDTABLE_SRC_VALUE_VALUE_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/util/result.h"
+#include "src/value/value.h"
+
+namespace sandtable {
+
+// ---- Varint primitives (LEB128) -------------------------------------------
+
+void AppendVarint(std::string& out, uint64_t v);
+void AppendZigzag(std::string& out, int64_t v);
+
+// Sequential reader over an encoded byte range. All Read* methods return
+// false (without advancing past the end) on truncated input.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : p_(bytes.data()), end_(bytes.data() + bytes.size()) {}
+
+  bool ReadVarint(uint64_t* v);
+  bool ReadZigzag(int64_t* v);
+  bool ReadBytes(size_t n, std::string_view* out);
+  bool ReadByte(uint8_t* b);
+
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+  bool done() const { return p_ == end_; }
+
+ private:
+  const char* p_;
+  const char* end_;
+};
+
+// ---- Encoder / decoder -----------------------------------------------------
+
+// Accumulates a string table across any number of Encode calls; the table must
+// be written into the same block the encoded values live in (WriteStringTable
+// before the values — indices only grow, so earlier encodings stay valid).
+class ValueEncoder {
+ public:
+  uint32_t Intern(const std::string& s);
+  void Encode(const Value& v, std::string& out);
+  // varint count, then per string varint length + bytes.
+  void WriteStringTable(std::string& out) const;
+  size_t table_size() const { return strings_.size(); }
+
+ private:
+  std::vector<const std::string*> strings_;
+  std::unordered_map<std::string, uint32_t> index_;
+};
+
+class ValueDecoder {
+ public:
+  // Consume a string table from `in` (as written by WriteStringTable).
+  static Result<ValueDecoder> FromStringTable(ByteReader& in);
+
+  Result<Value> Decode(ByteReader& in) const;
+
+ private:
+  std::vector<std::string> strings_;
+};
+
+// Self-contained single-value block: [string table][value].
+std::string EncodeValueBlock(const Value& v);
+Result<Value> DecodeValueBlock(std::string_view bytes);
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_VALUE_VALUE_CODEC_H_

@@ -1,0 +1,352 @@
+// Out-of-core exploration end to end: the serial and parallel BFS engines
+// must produce identical results (state counts, depth, deadlocks, violations)
+// with a disk-spilling store + frontier as with their built-in in-memory
+// structures — and a run that checkpointed, died and resumed must reproduce
+// the uninterrupted run's final numbers. Crash-safety: torn or tampered
+// checkpoints are rejected with clear errors, never silently resumed.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mc/bfs.h"
+#include "src/par/parallel_bfs.h"
+#include "src/store/checkpoint.h"
+#include "src/store/frontier.h"
+#include "src/store/ooc.h"
+#include "src/store/state_store.h"
+#include "src/util/json.h"
+#include "tests/toy_specs.h"
+
+namespace sandtable {
+namespace {
+
+namespace fs = std::filesystem;
+
+class OocTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sandtable-ooc-test-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    if (!HasFailure()) {
+      std::error_code ec;
+      fs::remove_all(dir_, ec);
+    }
+  }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+// An out-of-core harness with deliberately tiny budgets so even toy spaces
+// spill: every few fingerprints trigger a run, every few frontier states hit
+// the segment file.
+struct TinyOoc {
+  explicit TinyOoc(const std::string& base) {
+    store::StoreConfig scfg;
+    scfg.spill_dir = base + "/fps";
+    scfg.max_resident = 4;
+    scfg.max_runs = 2;
+    scfg.shard_count_log2 = 1;
+    state_store = std::make_unique<store::SpillingStateStore>(scfg);
+    spool_cfg.dir = base + "/frontier";
+    spool_cfg.max_resident = 3;
+    spool_cfg.chunk_states = 2;
+  }
+  store::OocConfig Config() {
+    store::OocConfig ooc;
+    ooc.state_store = state_store.get();
+    ooc.frontier_spool = &spool_cfg;
+    return ooc;
+  }
+  std::unique_ptr<store::SpillingStateStore> state_store;
+  store::SpoolConfig spool_cfg;
+};
+
+void ExpectSameResult(const BfsResult& a, const BfsResult& b) {
+  EXPECT_EQ(a.distinct_states, b.distinct_states);
+  EXPECT_EQ(a.depth_reached, b.depth_reached);
+  EXPECT_EQ(a.exhausted, b.exhausted);
+  EXPECT_EQ(a.deadlock_states, b.deadlock_states);
+  ASSERT_EQ(a.violation.has_value(), b.violation.has_value());
+  if (a.violation.has_value()) {
+    EXPECT_EQ(a.violation->invariant, b.violation->invariant);
+    EXPECT_EQ(a.violation->depth, b.violation->depth);
+    EXPECT_EQ(a.violation->trace.size(), b.violation->trace.size());
+  }
+}
+
+// ---- Serial engine equivalence ---------------------------------------------
+
+TEST_F(OocTest, SerialDieHardFindsSameViolationOutOfCore) {
+  const Spec spec = toys::DieHard();
+  const BfsResult in_mem = BfsCheck(spec);
+  ASSERT_TRUE(in_mem.violation.has_value());
+  EXPECT_EQ(in_mem.violation->depth, 6u);
+
+  TinyOoc ooc(Path("ooc"));
+  BfsOptions opts;
+  opts.ooc = ooc.Config();
+  const BfsResult out_of_core = BfsCheck(spec, opts);
+  ExpectSameResult(in_mem, out_of_core);
+  EXPECT_GT(ooc.state_store->SpilledSize(), 0u);
+}
+
+TEST_F(OocTest, SerialCounterExhaustsIdentically) {
+  const Spec spec = toys::Counter(40);
+  const BfsResult in_mem = BfsCheck(spec);
+  ASSERT_TRUE(in_mem.exhausted);
+  EXPECT_EQ(in_mem.distinct_states, 41u);
+  EXPECT_EQ(in_mem.deadlock_states, 1u);  // x == max has no successors
+
+  TinyOoc ooc(Path("ooc"));
+  BfsOptions opts;
+  opts.ooc = ooc.Config();
+  ExpectSameResult(in_mem, BfsCheck(spec, opts));
+}
+
+TEST_F(OocTest, SerialTokenRingWithSymmetryMatches) {
+  const Spec spec = toys::TokenRing(3, 3);
+  const BfsResult in_mem = BfsCheck(spec);
+  ASSERT_TRUE(in_mem.exhausted);
+
+  TinyOoc ooc(Path("ooc"));
+  BfsOptions opts;
+  opts.ooc = ooc.Config();
+  ExpectSameResult(in_mem, BfsCheck(spec, opts));
+}
+
+// ---- Parallel engine equivalence -------------------------------------------
+
+TEST_F(OocTest, ParallelDieHardFindsSameViolationOutOfCore) {
+  const Spec spec = toys::DieHard();
+  const BfsResult serial = BfsCheck(spec);
+
+  TinyOoc ooc(Path("ooc"));
+  ParBfsOptions opts;
+  opts.base.ooc = ooc.Config();
+  opts.workers = 2;
+  opts.chunk_size = 1;
+  const BfsResult par = ParallelBfsCheck(spec, opts);
+  ASSERT_TRUE(par.violation.has_value());
+  EXPECT_EQ(par.violation->invariant, serial.violation->invariant);
+  EXPECT_EQ(par.violation->depth, serial.violation->depth);
+  EXPECT_GT(ooc.state_store->SpilledSize(), 0u);
+}
+
+TEST_F(OocTest, ParallelTokenRingMatchesSerialOutOfCore) {
+  const Spec spec = toys::TokenRing(3, 4);
+  const BfsResult serial = BfsCheck(spec);
+  ASSERT_TRUE(serial.exhausted);
+
+  TinyOoc ooc(Path("ooc"));
+  ParBfsOptions opts;
+  opts.base.ooc = ooc.Config();
+  opts.workers = 3;
+  opts.chunk_size = 1;
+  ExpectSameResult(serial, ParallelBfsCheck(spec, opts));
+}
+
+// ---- Checkpoint / resume ---------------------------------------------------
+
+// Run `spec` out-of-core with a checkpoint cadence and a state limit (the
+// simulated crash point), then resume from the checkpoint in a fresh store
+// and run to completion. Returns the resumed result.
+BfsResult CheckpointThenResume(const Spec& spec, const std::string& base,
+                               uint64_t crash_after_states, uint64_t ckpt_every,
+                               bool parallel) {
+  const std::string ckpt_dir = base + "/run.ckpt";
+  {
+    TinyOoc ooc(base + "/a");
+    store::Checkpointer::Config ccfg;
+    ccfg.dir = ckpt_dir;
+    ccfg.every_states = ckpt_every;
+    store::Checkpointer ckpt(ccfg, &spec);
+    BfsOptions opts;
+    opts.ooc = ooc.Config();
+    opts.ooc.checkpointer = &ckpt;
+    opts.max_distinct_states = crash_after_states;
+    BfsResult partial;
+    if (parallel) {
+      ParBfsOptions popts;
+      popts.base = opts;
+      popts.workers = 2;
+      popts.chunk_size = 1;
+      partial = ParallelBfsCheck(spec, popts);
+    } else {
+      partial = BfsCheck(spec, opts);
+    }
+    EXPECT_TRUE(partial.hit_state_limit || partial.violation.has_value());
+    EXPECT_GT(ckpt.writes(), 0u) << "no checkpoint written before the crash point";
+  }
+  // The first run's store/spool are gone (simulated process death). Open the
+  // checkpoint and resume in a fresh store.
+  auto resumed = store::OpenCheckpoint(ckpt_dir, spec);
+  if (!resumed.ok()) {
+    ADD_FAILURE() << resumed.error();
+    return BfsResult{};
+  }
+  TinyOoc ooc(base + "/b");
+  EXPECT_TRUE(ooc.state_store->LoadRuns(resumed.value().run_paths).ok());
+  BfsOptions opts;
+  opts.ooc = ooc.Config();
+  opts.ooc.resume = &resumed.value();
+  if (parallel) {
+    ParBfsOptions popts;
+    popts.base = opts;
+    popts.workers = 2;
+    popts.chunk_size = 1;
+    return ParallelBfsCheck(spec, popts);
+  }
+  return BfsCheck(spec, opts);
+}
+
+TEST_F(OocTest, SerialResumeReproducesUninterruptedCounterRun) {
+  const Spec spec = toys::Counter(30);
+  const BfsResult uninterrupted = BfsCheck(spec);
+  ASSERT_TRUE(uninterrupted.exhausted);
+  const BfsResult resumed = CheckpointThenResume(spec, Path("cr"),
+                                                 /*crash_after_states=*/12,
+                                                 /*ckpt_every=*/5, /*parallel=*/false);
+  ExpectSameResult(uninterrupted, resumed);
+}
+
+TEST_F(OocTest, SerialResumeStillFindsTheDieHardViolation) {
+  const Spec spec = toys::DieHard();
+  const BfsResult uninterrupted = BfsCheck(spec);
+  ASSERT_TRUE(uninterrupted.violation.has_value());
+  // Crash after 8 states — before the depth-6 violation is reachable.
+  const BfsResult resumed = CheckpointThenResume(spec, Path("cr"),
+                                                 /*crash_after_states=*/8,
+                                                 /*ckpt_every=*/2, /*parallel=*/false);
+  ASSERT_TRUE(resumed.violation.has_value());
+  EXPECT_EQ(resumed.violation->invariant, uninterrupted.violation->invariant);
+  EXPECT_EQ(resumed.violation->depth, uninterrupted.violation->depth);
+  EXPECT_EQ(resumed.distinct_states, uninterrupted.distinct_states);
+}
+
+TEST_F(OocTest, ParallelResumeReproducesUninterruptedRun) {
+  // TokenRing(3, 8) has 10 symmetric states (partitions of 8 into <= 3
+  // parts), so a limit of 6 states crashes mid-exploration.
+  const Spec spec = toys::TokenRing(3, 8);
+  const BfsResult uninterrupted = BfsCheck(spec);
+  ASSERT_TRUE(uninterrupted.exhausted);
+  const BfsResult resumed = CheckpointThenResume(spec, Path("cr"),
+                                                 /*crash_after_states=*/6,
+                                                 /*ckpt_every=*/2, /*parallel=*/true);
+  ExpectSameResult(uninterrupted, resumed);
+}
+
+// ---- Crash safety ----------------------------------------------------------
+
+// Write one real checkpoint via the Checkpointer (store + frontier + manifest)
+// and return its directory.
+std::string WriteRealCheckpoint(const Spec& spec, const std::string& base) {
+  store::StoreConfig scfg;
+  scfg.spill_dir = base + "/fps";
+  store::SpillingStateStore sstore(scfg);
+  sstore.InsertIfAbsent(1, 1);
+  sstore.InsertIfAbsent(2, 1);
+  store::FrontierSpool spool(nullptr, "f.seg");
+  EXPECT_TRUE(spool.Push(2, spec.init_states[0]).ok());
+
+  store::Checkpointer::Config ccfg;
+  ccfg.dir = base + "/run.ckpt";
+  store::Checkpointer ckpt(ccfg, &spec);
+  store::CheckpointMeta meta;
+  meta.distinct_states = 2;
+  meta.depth_reached = 1;
+  meta.frontier_size = 1;
+  EXPECT_TRUE(ckpt.Write(sstore, spool, meta).ok());
+  return ccfg.dir;
+}
+
+TEST_F(OocTest, TornCheckpointStageIsRejected) {
+  const Spec spec = toys::Counter(5);
+  const std::string dir = WriteRealCheckpoint(spec, Path("torn"));
+  // Simulate a crash mid-write: the stage directory exists, the final
+  // directory does not (the rename never happened).
+  fs::rename(dir, dir + ".tmp");
+  auto r = store::OpenCheckpoint(dir, spec);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find(".tmp"), std::string::npos) << r.error();
+}
+
+TEST_F(OocTest, CorruptManifestIsRejected) {
+  const Spec spec = toys::Counter(5);
+  const std::string dir = WriteRealCheckpoint(spec, Path("corrupt"));
+  std::ofstream(dir + "/manifest.json") << "{ not json";
+  auto r = store::OpenCheckpoint(dir, spec);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("manifest"), std::string::npos) << r.error();
+}
+
+TEST_F(OocTest, FormatVersionMismatchIsRejected) {
+  const Spec spec = toys::Counter(5);
+  const std::string dir = WriteRealCheckpoint(spec, Path("ver"));
+  // Rewrite the manifest with a bumped format version.
+  std::ifstream in(dir + "/manifest.json");
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  in.close();
+  auto parsed = Json::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  JsonObject o = parsed.value().as_object();
+  o["format_version"] = Json(static_cast<int64_t>(99));
+  std::ofstream(dir + "/manifest.json") << Json(std::move(o)).Dump();
+
+  auto r = store::OpenCheckpoint(dir, spec);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("format version"), std::string::npos) << r.error();
+}
+
+TEST_F(OocTest, SpecMismatchIsRejected) {
+  const Spec counter = toys::Counter(5);
+  const std::string dir = WriteRealCheckpoint(counter, Path("spec"));
+  const Spec diehard = toys::DieHard();
+  auto r = store::OpenCheckpoint(dir, diehard);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("spec"), std::string::npos) << r.error();
+  // The same spec still opens fine.
+  EXPECT_TRUE(store::OpenCheckpoint(dir, counter).ok());
+}
+
+TEST_F(OocTest, MissingRunFileIsRejected) {
+  const Spec spec = toys::Counter(5);
+  const std::string dir = WriteRealCheckpoint(spec, Path("missing"));
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() == ".run") {
+      fs::remove(entry.path());
+    }
+  }
+  auto r = store::OpenCheckpoint(dir, spec);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().find("visited run"), std::string::npos) << r.error();
+}
+
+TEST_F(OocTest, SpecIdentityHashSeparatesSpecsButIsStable) {
+  const uint64_t counter5 = store::SpecIdentityHash(toys::Counter(5));
+  EXPECT_EQ(counter5, store::SpecIdentityHash(toys::Counter(5)));
+  // Extra action ("Jump") changes the identity; a changed lambda capture alone
+  // (Counter(6)) is the documented blind spot and is NOT detected.
+  EXPECT_NE(counter5, store::SpecIdentityHash(toys::Counter(5, /*with_bad_jump=*/true)));
+  EXPECT_NE(counter5, store::SpecIdentityHash(toys::DieHard()));
+  // Symmetry declaration is part of the identity.
+  Spec ring = toys::TokenRing(3, 3);
+  const uint64_t with_sym = store::SpecIdentityHash(ring);
+  ring.symmetry.reset();
+  EXPECT_NE(with_sym, store::SpecIdentityHash(ring));
+}
+
+}  // namespace
+}  // namespace sandtable

@@ -1,0 +1,455 @@
+// Out-of-core store building blocks: the compact value codec (round trips
+// preserve equality, hashes and therefore fingerprints), the two-tier spilling
+// fingerprint store (equivalent to a reference map under forced spills and
+// compaction), the disk-backed frontier spool (FIFO order survives spilling),
+// and checkpoint manifest serialization.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/conformance/bug_catalog.h"
+#include "src/mc/expand.h"
+#include "src/minimize/corpus.h"
+#include "src/store/checkpoint.h"
+#include "src/store/frontier.h"
+#include "src/store/state_store.h"
+#include "src/util/rng.h"
+#include "src/value/value_codec.h"
+#include "tests/value_generators.h"
+
+namespace sandtable {
+namespace {
+
+namespace fs = std::filesystem;
+using store::FrontierEntry;
+using store::FrontierSpool;
+using store::SpoolConfig;
+
+// Per-test scratch directory under the system temp dir, removed on success
+// (kept on failure for post-mortem).
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sandtable-store-test-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    if (!HasFailure()) {
+      std::error_code ec;
+      fs::remove_all(dir_, ec);
+    }
+  }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+// ---- Varints ---------------------------------------------------------------
+
+TEST(ValueCodec, VarintRoundTripsEdgeValues) {
+  const uint64_t cases[] = {0,       1,        127,        128,
+                            16383,   16384,    (1ull << 32) - 1,
+                            1ull << 32, ~0ull};
+  for (uint64_t v : cases) {
+    std::string buf;
+    AppendVarint(buf, v);
+    ByteReader r(buf);
+    uint64_t back = 0;
+    ASSERT_TRUE(r.ReadVarint(&back));
+    EXPECT_EQ(back, v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(ValueCodec, ZigzagRoundTripsSignedValues) {
+  const int64_t cases[] = {0, 1, -1, 63, -64, 64, -65, INT64_MAX, INT64_MIN};
+  for (int64_t v : cases) {
+    std::string buf;
+    AppendZigzag(buf, v);
+    ByteReader r(buf);
+    int64_t back = 0;
+    ASSERT_TRUE(r.ReadZigzag(&back));
+    EXPECT_EQ(back, v);
+  }
+}
+
+TEST(ValueCodec, TruncatedInputIsAnErrorNotACrash) {
+  const Value v = Value::Record({{"xs", Value::Seq({Value::Int(1), Value::Str("hi")})}});
+  const std::string block = EncodeValueBlock(v);
+  for (size_t len = 0; len < block.size(); ++len) {
+    auto r = DecodeValueBlock(std::string_view(block.data(), len));
+    EXPECT_FALSE(r.ok()) << "prefix of length " << len << " decoded";
+  }
+  auto full = DecodeValueBlock(block);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(full.value(), v);
+}
+
+// ---- Codec property tests --------------------------------------------------
+
+TEST(ValueCodec, RandomValuesRoundTripWithIdenticalHash) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    for (int i = 0; i < 300; ++i) {
+      const Value v = RandomValue(rng);
+      auto back = DecodeValueBlock(EncodeValueBlock(v));
+      ASSERT_TRUE(back.ok()) << v.ToString() << ": " << back.error();
+      EXPECT_EQ(back.value(), v);
+      EXPECT_EQ(back.value().hash(), v.hash()) << v.ToString();
+    }
+  }
+}
+
+TEST(ValueCodec, SharedEncoderDeduplicatesStrings) {
+  // Many values sharing field names and strings: the shared table should make
+  // the batch dramatically smaller than independent blocks.
+  std::vector<Value> values;
+  for (int i = 0; i < 64; ++i) {
+    values.push_back(Value::Record({{"commonFieldName", Value::Str("Leader")},
+                                    {"anotherFieldName", Value::Int(i)}}));
+  }
+  ValueEncoder enc;
+  std::string batch_values;
+  for (const Value& v : values) {
+    enc.Encode(v, batch_values);
+  }
+  std::string batch;
+  enc.WriteStringTable(batch);
+  batch += batch_values;
+
+  size_t independent = 0;
+  for (const Value& v : values) {
+    independent += EncodeValueBlock(v).size();
+  }
+  EXPECT_LT(batch.size(), independent / 2);
+  EXPECT_EQ(enc.table_size(), 3u);  // two field names + "Leader"
+
+  // And the batch decodes back.
+  ByteReader r(batch);
+  auto dec = ValueDecoder::FromStringTable(r);
+  ASSERT_TRUE(dec.ok());
+  for (const Value& v : values) {
+    auto back = dec.value().Decode(r);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), v);
+  }
+  EXPECT_TRUE(r.done());
+}
+
+// Every state of every golden corpus trace round trips with an unchanged
+// exploration fingerprint — the property out-of-core frontiers rest on.
+TEST(ValueCodec, CorpusTraceStatesRoundTripWithIdenticalFingerprint) {
+  const fs::path dir(SANDTABLE_CORPUS_DIR);
+  ASSERT_TRUE(fs::exists(dir));
+  int states_checked = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= 11 || name.substr(name.size() - 11) != ".trace.json") {
+      continue;
+    }
+    auto golden = minimize::LoadGoldenTrace(entry.path().string());
+    ASSERT_TRUE(golden.ok()) << name;
+    const conformance::BugInfo& bug = conformance::FindBug(golden.value().bug);
+    const Spec spec = conformance::MakeBugSpec(bug);
+    const trace::SpecReplayResult r = minimize::ReplayGoldenTrace(spec, golden.value());
+    ASSERT_FALSE(r.trace.empty()) << name;
+    for (const TraceStep& step : r.trace) {
+      auto back = DecodeValueBlock(EncodeValueBlock(step.state));
+      ASSERT_TRUE(back.ok()) << name;
+      EXPECT_EQ(back.value(), step.state);
+      EXPECT_EQ(Fingerprint(spec, back.value(), /*use_symmetry=*/true),
+                Fingerprint(spec, step.state, /*use_symmetry=*/true))
+          << name;
+      EXPECT_EQ(Fingerprint(spec, back.value(), /*use_symmetry=*/false),
+                Fingerprint(spec, step.state, /*use_symmetry=*/false))
+          << name;
+      ++states_checked;
+    }
+  }
+  EXPECT_GT(states_checked, 0);
+}
+
+// ---- Run files -------------------------------------------------------------
+
+TEST_F(StoreTest, RunFileWriteAndProbe) {
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  for (uint64_t i = 0; i < 100; ++i) {
+    entries.emplace_back(i * 7 + 1, i);  // sorted by fp
+  }
+  const std::string path = Path("a.run");
+  ASSERT_TRUE(store::WriteRunFile(path, entries).ok());
+
+  auto run = store::MappedRun::Open(path);
+  ASSERT_TRUE(run.ok()) << run.error();
+  EXPECT_EQ(run.value()->count(), 100u);
+  for (const auto& [fp, parent] : entries) {
+    auto found = run.value()->Find(fp);
+    ASSERT_TRUE(found.has_value()) << fp;
+    EXPECT_EQ(*found, parent);
+  }
+  EXPECT_FALSE(run.value()->Find(0).has_value());
+  EXPECT_FALSE(run.value()->Find(2).has_value());
+  EXPECT_FALSE(run.value()->Find(~0ull).has_value());
+}
+
+TEST_F(StoreTest, CorruptRunFilesAreRejected) {
+  EXPECT_FALSE(store::MappedRun::Open(Path("missing.run")).ok());
+
+  {
+    std::FILE* f = std::fopen(Path("bad-magic.run").c_str(), "wb");
+    std::fwrite("NOTARUN0\0\0\0\0\0\0\0\0", 1, 16, f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(store::MappedRun::Open(Path("bad-magic.run")).ok());
+
+  {
+    // Valid magic but the declared count does not match the file size.
+    std::FILE* f = std::fopen(Path("short.run").c_str(), "wb");
+    const char magic[8] = {'S', 'T', 'F', 'P', 'R', 'U', 'N', '1'};
+    std::fwrite(magic, 1, 8, f);
+    uint64_t count = 1000;
+    std::fwrite(&count, 8, 1, f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(store::MappedRun::Open(Path("short.run")).ok());
+}
+
+// ---- Spilling store equivalence -------------------------------------------
+
+TEST_F(StoreTest, SpillingStoreMatchesReferenceMapUnderForcedSpills) {
+  store::StoreConfig cfg;
+  cfg.spill_dir = Path("spill");
+  cfg.max_resident = 64;  // spill constantly
+  cfg.max_runs = 3;       // compact repeatedly
+  cfg.shard_count_log2 = 2;
+  store::SpillingStateStore s(cfg);
+  std::unordered_map<uint64_t, uint64_t> ref;
+
+  Rng rng(42);
+  for (int i = 0; i < 5000; ++i) {
+    // Small universe so duplicate inserts are common.
+    const uint64_t fp = rng.Below(2000) + 1;
+    const uint64_t parent = rng.Below(2000) + 1;
+    const bool inserted = ref.emplace(fp, parent).second;
+    EXPECT_EQ(s.InsertIfAbsent(fp, parent), inserted) << fp;
+  }
+  EXPECT_EQ(s.Size(), ref.size());
+  EXPECT_GT(s.SpilledSize(), 0u);
+  EXPECT_LE(s.RunCount(), cfg.max_runs);
+
+  for (const auto& [fp, parent] : ref) {
+    auto got = s.Parent(fp);
+    ASSERT_TRUE(got.has_value()) << fp;
+    EXPECT_EQ(*got, parent) << fp;
+  }
+  EXPECT_FALSE(s.Parent(0).has_value());
+  EXPECT_FALSE(s.Parent(999999).has_value());
+
+  // Flush pushes the remaining memory tier out; lookups still work.
+  ASSERT_TRUE(s.Flush().ok());
+  EXPECT_EQ(s.SpilledSize(), ref.size());
+  for (const auto& [fp, parent] : ref) {
+    ASSERT_EQ(s.Parent(fp).value_or(~0ull), parent);
+  }
+}
+
+TEST_F(StoreTest, MemoryStoreAndSaveRunsRoundTrip) {
+  store::MemoryStateStore mem(2);
+  EXPECT_TRUE(mem.InsertIfAbsent(10, 10));
+  EXPECT_TRUE(mem.InsertIfAbsent(20, 10));
+  EXPECT_FALSE(mem.InsertIfAbsent(20, 99));
+  EXPECT_EQ(mem.Size(), 2u);
+  EXPECT_EQ(mem.Parent(20).value_or(0), 10u);
+  EXPECT_EQ(mem.SpilledSize(), 0u);
+  EXPECT_EQ(mem.RunCount(), 0u);
+
+  auto files = mem.SaveRuns(Path("ckpt"));
+  ASSERT_TRUE(files.ok()) << files.error();
+  uint64_t total = 0;
+  for (const std::string& name : files.value()) {
+    auto run = store::MappedRun::Open(Path("ckpt") + "/" + name);
+    ASSERT_TRUE(run.ok());
+    total += run.value()->count();
+  }
+  EXPECT_EQ(total, 2u);
+}
+
+TEST_F(StoreTest, SpillingStoreAdoptsSavedRuns) {
+  store::StoreConfig cfg;
+  cfg.spill_dir = Path("spill");
+  cfg.max_resident = 16;
+  store::SpillingStateStore s(cfg);
+  for (uint64_t fp = 1; fp <= 100; ++fp) {
+    s.InsertIfAbsent(fp, fp / 2 + 1);
+  }
+  auto files = s.SaveRuns(Path("saved"));
+  ASSERT_TRUE(files.ok()) << files.error();
+
+  store::StoreConfig cfg2;
+  cfg2.spill_dir = Path("spill2");
+  store::SpillingStateStore s2(cfg2);
+  std::vector<std::string> paths;
+  for (const std::string& name : files.value()) {
+    paths.push_back(Path("saved") + "/" + name);
+  }
+  ASSERT_TRUE(s2.LoadRuns(paths).ok());
+  EXPECT_EQ(s2.Size(), 100u);
+  for (uint64_t fp = 1; fp <= 100; ++fp) {
+    EXPECT_FALSE(s2.InsertIfAbsent(fp, 0)) << fp;  // already known
+    EXPECT_EQ(s2.Parent(fp).value_or(0), fp / 2 + 1);
+  }
+  EXPECT_EQ(s2.Size(), 100u);
+}
+
+TEST(MemBudget, SplitsWithFloors) {
+  const store::MemBudget tiny = store::SplitMemBudget(0);
+  EXPECT_GE(tiny.max_resident_fingerprints, 1024u);
+  EXPECT_GE(tiny.max_resident_frontier, 256u);
+  const store::MemBudget big = store::SplitMemBudget(1024);
+  EXPECT_GT(big.max_resident_fingerprints, big.max_resident_frontier);
+  EXPECT_GT(big.max_resident_fingerprints, 1u << 20);
+}
+
+// ---- Frontier spool --------------------------------------------------------
+
+State TestState(uint64_t i) {
+  return Value::Record({{"id", Value::Int(static_cast<int64_t>(i))},
+                        {"tag", Value::Str(i % 2 == 0 ? "even" : "odd")}});
+}
+
+TEST_F(StoreTest, FrontierChunkRoundTrip) {
+  std::vector<FrontierEntry> chunk;
+  for (uint64_t i = 0; i < 50; ++i) {
+    chunk.push_back({i * 3 + 7, TestState(i)});
+  }
+  auto back = store::DecodeFrontierChunk(store::EncodeFrontierChunk(chunk));
+  ASSERT_TRUE(back.ok()) << back.error();
+  ASSERT_EQ(back.value().size(), chunk.size());
+  for (size_t i = 0; i < chunk.size(); ++i) {
+    EXPECT_EQ(back.value()[i].fp, chunk[i].fp);
+    EXPECT_EQ(back.value()[i].state, chunk[i].state);
+  }
+}
+
+TEST_F(StoreTest, SpoolPreservesFifoOrderAcrossSpills) {
+  SpoolConfig cfg;
+  cfg.dir = Path("frontier");
+  cfg.max_resident = 10;
+  cfg.chunk_states = 4;  // several chunks plus a partial tail
+  FrontierSpool spool(&cfg, "t.seg");
+
+  const uint64_t n = 137;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(spool.Push(i + 1, TestState(i)).ok());
+  }
+  EXPECT_EQ(spool.size(), n);
+  // spilled() counts entries written to the segment file: the overflow minus
+  // whatever still sits in the open (< chunk_states) tail chunk.
+  const uint64_t overflow = n - cfg.max_resident;
+  EXPECT_EQ(spool.spilled(), overflow / cfg.chunk_states * cfg.chunk_states);
+
+  auto reader = spool.Read();
+  uint64_t fp = 0;
+  State state;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(reader.Next(&fp, &state))
+        << "entry " << i << ": "
+        << (reader.status().ok() ? "exhausted" : reader.status().error());
+    EXPECT_EQ(fp, i + 1);
+    EXPECT_EQ(state, TestState(i));
+  }
+  EXPECT_FALSE(reader.Next(&fp, &state));
+  EXPECT_TRUE(reader.status().ok());
+}
+
+TEST_F(StoreTest, SpoolWithNullConfigStaysInMemory) {
+  FrontierSpool spool(nullptr, "unused.seg");
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(spool.Push(i, TestState(i)).ok());
+  }
+  EXPECT_EQ(spool.spilled(), 0u);
+  auto reader = spool.Read();
+  uint64_t fp = 0;
+  State state;
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(reader.Next(&fp, &state));
+    EXPECT_EQ(fp, i);
+  }
+}
+
+TEST_F(StoreTest, SaveSegmentRoundTripsThroughForEach) {
+  SpoolConfig cfg;
+  cfg.dir = Path("frontier");
+  cfg.max_resident = 8;
+  cfg.chunk_states = 4;
+  FrontierSpool spool(&cfg, "s.seg");
+  const uint64_t n = 33;
+  for (uint64_t i = 0; i < n; ++i) {
+    ASSERT_TRUE(spool.Push(i + 1, TestState(i)).ok());
+  }
+  const std::string saved = Path("saved.seg");
+  ASSERT_TRUE(spool.SaveSegment(saved).ok());
+
+  uint64_t next = 0;
+  Status st = store::ForEachSegmentEntry(saved, [&](uint64_t fp, State&& state) {
+    EXPECT_EQ(fp, next + 1);
+    EXPECT_EQ(state, TestState(next));
+    ++next;
+    return Status();
+  });
+  EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error());
+  EXPECT_EQ(next, n);
+}
+
+// ---- Checkpoint manifest ---------------------------------------------------
+
+TEST(CheckpointMeta, JsonRoundTrip) {
+  store::CheckpointMeta meta;
+  meta.spec_name = "raft/pysyncobj";
+  meta.spec_hash = 0xdeadbeefcafef00dull;
+  meta.distinct_states = 123456;
+  meta.depth_reached = 17;
+  meta.frontier_size = 999;
+  meta.deadlock_states = 3;
+  meta.seconds = 12.5;
+  meta.use_symmetry = true;
+  meta.visited_runs = {"visited-000000.run", "visited-000001.run"};
+  meta.frontier_segment = "frontier.seg";
+  JsonObject cov;
+  cov["transitions"] = Json(static_cast<int64_t>(42));
+  meta.coverage = Json(std::move(cov));
+
+  auto back = store::CheckpointMeta::FromJson(meta.ToJson());
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value().format_version, store::kCheckpointFormatVersion);
+  EXPECT_EQ(back.value().spec_name, meta.spec_name);
+  EXPECT_EQ(back.value().spec_hash, meta.spec_hash);
+  EXPECT_EQ(back.value().distinct_states, meta.distinct_states);
+  EXPECT_EQ(back.value().depth_reached, meta.depth_reached);
+  EXPECT_EQ(back.value().frontier_size, meta.frontier_size);
+  EXPECT_EQ(back.value().deadlock_states, meta.deadlock_states);
+  EXPECT_DOUBLE_EQ(back.value().seconds, meta.seconds);
+  EXPECT_EQ(back.value().use_symmetry, meta.use_symmetry);
+  EXPECT_EQ(back.value().visited_runs, meta.visited_runs);
+  EXPECT_EQ(back.value().frontier_segment, meta.frontier_segment);
+  EXPECT_EQ(back.value().coverage["transitions"].as_int(), 42);
+}
+
+TEST(CheckpointMeta, FromJsonRejectsGarbage) {
+  EXPECT_FALSE(store::CheckpointMeta::FromJson(Json()).ok());
+  JsonObject o;
+  o["format"] = Json(std::string("something-else"));
+  EXPECT_FALSE(store::CheckpointMeta::FromJson(Json(std::move(o))).ok());
+}
+
+}  // namespace
+}  // namespace sandtable

@@ -1,0 +1,65 @@
+// Shared random-value generator for property tests. Produces values covering
+// every Value kind with bounded depth; model values use class "n" with
+// indices 0..2 so node-permutation properties can be tested.
+#ifndef SANDTABLE_TESTS_VALUE_GENERATORS_H_
+#define SANDTABLE_TESTS_VALUE_GENERATORS_H_
+
+#include <utility>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/value/value.h"
+
+namespace sandtable {
+
+inline Value RandomValue(Rng& rng, int depth = 3) {
+  const uint64_t kind = rng.Below(depth > 0 ? 8 : 4);
+  switch (kind) {
+    case 0:
+      return Value::Bool(rng.Below(2) == 0);
+    case 1:
+      return Value::Int(rng.Range(-5, 5));
+    case 2: {
+      const char* strs[] = {"a", "b", "Leader", "Follower", ""};
+      return Value::Str(strs[rng.Below(5)]);
+    }
+    case 3:
+      return Value::Model("n", static_cast<int>(rng.Below(3)));
+    case 4: {
+      std::vector<Value> elems;
+      for (uint64_t i = rng.Below(4); i > 0; --i) {
+        elems.push_back(RandomValue(rng, depth - 1));
+      }
+      return Value::Seq(std::move(elems));
+    }
+    case 5: {
+      std::vector<Value> elems;
+      for (uint64_t i = rng.Below(4); i > 0; --i) {
+        elems.push_back(RandomValue(rng, depth - 1));
+      }
+      return Value::Set(std::move(elems));
+    }
+    case 6: {
+      const char* names[] = {"x", "y", "z", "w"};
+      std::vector<Value::Field> fields;
+      const uint64_t n = rng.Below(4);
+      for (uint64_t i = 0; i < n; ++i) {
+        fields.emplace_back(names[i], RandomValue(rng, depth - 1));
+      }
+      return Value::Record(std::move(fields));
+    }
+    default: {
+      std::vector<Value::Pair> pairs;
+      const uint64_t n = rng.Below(4);
+      for (uint64_t i = 0; i < n; ++i) {
+        pairs.emplace_back(Value::Int(static_cast<int64_t>(i)),
+                           RandomValue(rng, depth - 1));
+      }
+      return Value::Fun(std::move(pairs));
+    }
+  }
+}
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_TESTS_VALUE_GENERATORS_H_
