@@ -1,5 +1,8 @@
 #include "src/store/checkpoint.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -12,6 +15,57 @@ namespace sandtable {
 namespace store {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+Status SyncPath(const fs::path& p, bool is_dir) {
+  const int fd = ::open(p.c_str(), is_dir ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+  if (fd < 0) {
+    return Status::Error("cannot open " + p.string() + " for fsync");
+  }
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    return Status::Error("fsync failed for " + p.string());
+  }
+  return Status();
+}
+
+// Durably sync every staged file plus the stage directory itself, so a power
+// loss after the publishing rename cannot surface a checkpoint whose files
+// were never written back.
+Status SyncStage(const fs::path& stage) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(stage, ec)) {
+    if (entry.is_regular_file()) {
+      const Status st = SyncPath(entry.path(), /*is_dir=*/false);
+      if (!st.ok()) {
+        return st;
+      }
+    }
+  }
+  if (ec) {
+    return Status::Error("cannot list checkpoint stage " + stage.string() + ": " +
+                         ec.message());
+  }
+  return SyncPath(stage, /*is_dir=*/true);
+}
+
+// The directory that actually holds the complete checkpoint: `dir` itself,
+// or `<dir>.old` when a crash between the two publishing renames left the
+// previous checkpoint rotated aside with the stage not yet in place.
+fs::path ResolveCheckpointDir(const std::string& dir) {
+  if (fs::exists(fs::path(dir) / "manifest.json")) {
+    return dir;
+  }
+  const fs::path old = dir + ".old";
+  if (!fs::exists(dir) && fs::exists(old / "manifest.json")) {
+    return old;
+  }
+  return dir;
+}
+
+}  // namespace
 
 uint64_t SpecIdentityHash(const Spec& spec) {
   uint64_t h = FnvHash(spec.name);
@@ -147,7 +201,16 @@ Status Checkpointer::Write(StateStore& store, const FrontierSpool& frontier,
     }
   }
 
-  // Rotate: old checkpoint aside, stage into place, old removed.
+  // Sync the stage before publishing so the renamed-in checkpoint is durable,
+  // not just present in the page cache.
+  st = SyncStage(stage);
+  if (!st.ok()) {
+    return st;
+  }
+
+  // Rotate: old checkpoint aside, stage into place, old removed. A crash
+  // between the two renames leaves only `<dir>.old`; ResolveCheckpointDir
+  // falls back to it on resume.
   fs::remove_all(old, ec);
   if (fs::exists(dir)) {
     ec.clear();
@@ -163,6 +226,12 @@ Status Checkpointer::Write(StateStore& store, const FrontierSpool& frontier,
                          ec.message());
   }
   fs::remove_all(old, ec);
+  // Make the renames themselves durable.
+  const fs::path parent = dir.has_parent_path() ? dir.parent_path() : fs::path(".");
+  st = SyncPath(parent, /*is_dir=*/true);
+  if (!st.ok()) {
+    return st;
+  }
 
   last_states_ = meta.distinct_states;
   ++writes_;
@@ -178,7 +247,7 @@ Status Checkpointer::Write(StateStore& store, const FrontierSpool& frontier,
 
 Result<CheckpointMeta> ReadCheckpointMeta(const std::string& dir) {
   using R = Result<CheckpointMeta>;
-  const fs::path manifest = fs::path(dir) / "manifest.json";
+  const fs::path manifest = ResolveCheckpointDir(dir) / "manifest.json";
   std::ifstream in(manifest, std::ios::binary);
   if (!in.good()) {
     return R::Error("no checkpoint manifest at " + manifest.string() +
@@ -198,12 +267,15 @@ Result<CheckpointMeta> ReadCheckpointMeta(const std::string& dir) {
 
 Result<ResumedRun> OpenCheckpoint(const std::string& dir, const Spec& spec) {
   using R = Result<ResumedRun>;
-  auto meta = ReadCheckpointMeta(dir);
+  // Resolve once and read everything (manifest, runs, frontier) from the same
+  // directory, so a `.old` fallback stays self-consistent.
+  const std::string resolved = ResolveCheckpointDir(dir).string();
+  auto meta = ReadCheckpointMeta(resolved);
   if (!meta.ok()) {
     return R::Error(meta.error());
   }
   ResumedRun run;
-  run.dir = dir;
+  run.dir = resolved;
   run.meta = std::move(meta).value();
   if (run.meta.format_version != kCheckpointFormatVersion) {
     return R::Error("checkpoint format version mismatch: checkpoint is v" +
@@ -219,13 +291,13 @@ Result<ResumedRun> OpenCheckpoint(const std::string& dir, const Spec& spec) {
                     " — actions, invariants, symmetry or initial states differ");
   }
   for (const std::string& name : run.meta.visited_runs) {
-    const fs::path p = fs::path(dir) / name;
+    const fs::path p = fs::path(resolved) / name;
     if (!fs::exists(p)) {
       return R::Error("checkpoint is missing visited run " + p.string());
     }
     run.run_paths.push_back(p.string());
   }
-  run.frontier_path = (fs::path(dir) / run.meta.frontier_segment).string();
+  run.frontier_path = (fs::path(resolved) / run.meta.frontier_segment).string();
   if (!fs::exists(run.frontier_path)) {
     return R::Error("checkpoint is missing frontier segment " + run.frontier_path);
   }

@@ -9,10 +9,13 @@
 //     frontier.seg        the next frontier (frontier.h segment format)
 //
 // Crash safety is temp-dir + rename: everything is staged under `<dir>.tmp`,
-// the manifest is written last, then the stage is renamed into place (any
-// previous checkpoint is rotated to `<dir>.old` and removed after). A crash
-// at any point leaves either the old complete checkpoint or a `.tmp` stage
-// that resume refuses to open — never a torn checkpoint at `<dir>`.
+// the manifest is written last, the staged files and directory are fsync'd,
+// then the stage is renamed into place (any previous checkpoint is rotated to
+// `<dir>.old` and removed after, and the parent directory is fsync'd). A
+// crash at any point leaves either a complete checkpoint at `<dir>`, a
+// complete one rotated aside at `<dir>.old` (readers fall back to it when
+// `<dir>` is missing), or a `.tmp` stage that resume refuses to open — never
+// a torn checkpoint.
 //
 // The manifest (format v1) records the format version and a spec identity
 // hash; OpenCheckpoint rejects mismatches with a clear error so a checkpoint

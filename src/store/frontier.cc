@@ -1,5 +1,7 @@
 #include "src/store/frontier.h"
 
+#include <sys/stat.h>
+
 #include <cstring>
 #include <filesystem>
 #include <utility>
@@ -10,7 +12,22 @@ namespace sandtable {
 namespace store {
 
 namespace {
+
 constexpr char kSegMagic[8] = {'S', 'T', 'F', 'R', 'S', 'E', 'G', '1'};
+
+// Bytes between the stream position and the end of the file. Chunk lengths
+// are untrusted 64-bit values read from disk; a corrupt or truncated segment
+// must produce a clean Status, not a huge resize/bad_alloc.
+bool RemainingBytes(std::FILE* f, uint64_t* out) {
+  struct stat st {};
+  const long pos = std::ftell(f);
+  if (pos < 0 || ::fstat(::fileno(f), &st) != 0 || st.st_size < pos) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(st.st_size) - static_cast<uint64_t>(pos);
+  return true;
+}
+
 }  // namespace
 
 std::string EncodeFrontierChunk(const std::vector<FrontierEntry>& chunk) {
@@ -119,6 +136,10 @@ Status ForEachSegmentEntry(const std::string& path,
     const size_t n = std::fread(&len, sizeof(len), 1, f);
     if (n == 0) {
       break;  // clean EOF
+    }
+    uint64_t remaining = 0;
+    if (!RemainingBytes(f, &remaining) || len > remaining) {
+      return fail("truncated chunk in segment " + path);
     }
     payload.resize(len);
     if (std::fread(payload.data(), 1, len, f) != len) {
@@ -239,6 +260,11 @@ bool FrontierSpool::Reader::FillFromChunk() {
   std::string payload;
   if (std::fread(&len, sizeof(len), 1, f_) != 1) {
     status_ = Status::Error("truncated chunk header in " + spool_->segment_path_);
+    return false;
+  }
+  uint64_t remaining = 0;
+  if (!RemainingBytes(f_, &remaining) || len > remaining) {
+    status_ = Status::Error("truncated chunk in " + spool_->segment_path_);
     return false;
   }
   payload.resize(len);

@@ -147,7 +147,11 @@ Result<std::unique_ptr<MappedRun>> MappedRun::Open(const std::string& path) {
   }
   uint64_t count;
   std::memcpy(&count, bytes + sizeof(kRunMagic), sizeof(count));
-  if (len != kRunHeaderBytes + count * 16) {
+  // count is untrusted: compare against the entry capacity derived from the
+  // mapped length rather than multiplying (count * 16 can wrap for a
+  // tampered file, which would pass a `len != header + count * 16` check and
+  // send Find()/fp() far past the mapping).
+  if ((len - kRunHeaderBytes) % 16 != 0 || count != (len - kRunHeaderBytes) / 16) {
     ::munmap(base, len);
     return R::Error("run size mismatch in " + path);
   }
@@ -221,6 +225,7 @@ Status SpillingStateStore::LoadRuns(const std::vector<std::string>& paths) {
   }
   spilled_.fetch_add(loaded, std::memory_order_relaxed);
   count_.fetch_add(loaded, std::memory_order_relaxed);
+  spill_epoch_.fetch_add(1, std::memory_order_release);
   return Status();
 }
 
@@ -245,15 +250,26 @@ std::optional<uint64_t> SpillingStateStore::DiskFind(uint64_t fp, bool count_met
 }
 
 bool SpillingStateStore::InsertIfAbsent(uint64_t fp, uint64_t parent_fp) {
-  if (DiskFind(fp, /*count_metrics=*/true).has_value()) {
-    return false;
-  }
-  {
+  // The disk probe and the shard insert must be atomic with respect to
+  // spills: a spill that completes between them moves already-inserted
+  // fingerprints (possibly this one) into a run and clears the shards, so a
+  // stale probe result would let the same fp land in both tiers. Spills bump
+  // spill_epoch_ while holding every shard lock, so if the epoch is unchanged
+  // once we hold our shard lock, no run was published since our probe.
+  for (;;) {
+    const uint64_t epoch = spill_epoch_.load(std::memory_order_acquire);
+    if (DiskFind(fp, /*count_metrics=*/true).has_value()) {
+      return false;
+    }
     Shard& shard = shards_[ShardIndex(fp)];
     std::lock_guard<std::mutex> lock(shard.mu);
+    if (spill_epoch_.load(std::memory_order_acquire) != epoch) {
+      continue;  // a spill published a run mid-probe; re-probe the disk tier
+    }
     if (!shard.map.emplace(fp, parent_fp).second) {
       return false;
     }
+    break;
   }
   count_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t resident = resident_.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -343,6 +359,10 @@ Status SpillingStateStore::SpillLocked() {
   obs::Add(m_.spilled_fingerprints, entries.size());
   obs::Add(m_.spills);
   obs::Set(m_.resident, 0);
+  // Publish the new epoch before any shard lock is released so a concurrent
+  // InsertIfAbsent that probed disk before this run existed sees the bump
+  // under its shard lock and re-probes.
+  spill_epoch_.fetch_add(1, std::memory_order_release);
   locks.clear();
 
   if (RunCount() > config_.max_runs) {
@@ -352,16 +372,26 @@ Status SpillingStateStore::SpillLocked() {
 }
 
 Status SpillingStateStore::CompactLocked() {
-  // Merge every run into one. Runs are disjoint (inserts probe disk first),
-  // so this is a pure k-way merge with no duplicate resolution needed.
-  std::vector<std::pair<uint64_t, uint64_t>> merged;
+  // Merge every run into one. Runs are disjoint (inserts probe disk before
+  // the shard insert, atomically w.r.t. spills), so this is a pure k-way
+  // merge with no duplicate resolution needed — and the total entry count is
+  // the sum of the run counts, known up front. Stream the merge straight to
+  // the output file (stdio-buffered) so compaction memory is O(runs), not
+  // O(total spilled fingerprints).
+  const std::string path = NextRunPath();
+  const std::string tmp = path + ".tmp";
   {
     std::shared_lock<std::shared_mutex> lock(runs_mu_);
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::Error("cannot open " + tmp + " for writing");
+    }
     uint64_t total = 0;
     for (const auto& run : runs_) {
       total += run->count();
     }
-    merged.reserve(total);
+    bool ok = std::fwrite(kRunMagic, 1, sizeof(kRunMagic), f) == sizeof(kRunMagic) &&
+              std::fwrite(&total, sizeof(total), 1, f) == 1;
     struct Cursor {
       const MappedRun* run;
       uint64_t i = 0;
@@ -373,7 +403,7 @@ Status SpillingStateStore::CompactLocked() {
         cursors.push_back(Cursor{run.get()});
       }
     }
-    while (!cursors.empty()) {
+    while (ok && !cursors.empty()) {
       size_t best = 0;
       for (size_t c = 1; c < cursors.size(); ++c) {
         if (cursors[c].run->fp(cursors[c].i) < cursors[best].run->fp(cursors[best].i)) {
@@ -381,16 +411,24 @@ Status SpillingStateStore::CompactLocked() {
         }
       }
       Cursor& cur = cursors[best];
-      merged.emplace_back(cur.run->fp(cur.i), cur.run->parent(cur.i));
+      const uint64_t rec[2] = {cur.run->fp(cur.i), cur.run->parent(cur.i)};
+      ok = std::fwrite(rec, sizeof(uint64_t), 2, f) == 2;
       if (++cur.i >= cur.run->count()) {
         cursors.erase(cursors.begin() + static_cast<long>(best));
       }
     }
+    ok = std::fclose(f) == 0 && ok;
+    if (!ok) {
+      std::remove(tmp.c_str());
+      return Status::Error("short write to " + tmp);
+    }
   }
-  const std::string path = NextRunPath();
-  Status st = WriteRunFile(path, merged);
-  if (!st.ok()) {
-    return st;
+  {
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+      return Status::Error("rename " + tmp + " -> " + path + ": " + ec.message());
+    }
   }
   auto run = MappedRun::Open(path);
   if (!run.ok()) {

@@ -191,6 +191,11 @@ class SpillingStateStore : public StateStore {
   std::atomic<uint64_t> count_{0};      // total distinct (memory + disk)
   std::atomic<uint64_t> resident_{0};   // memory-tier entries
   std::atomic<uint64_t> spilled_{0};    // disk-tier entries
+  // Bumped by SpillLocked/LoadRuns while all shard locks are held, after new
+  // runs are published. InsertIfAbsent re-probes the disk tier when the epoch
+  // moved between its probe and its shard-lock acquisition, keeping
+  // probe+insert atomic w.r.t. spills (tiers and runs stay disjoint).
+  std::atomic<uint64_t> spill_epoch_{0};
   std::mutex spill_mu_;                 // serializes spill/compact/save
   mutable std::shared_mutex runs_mu_;   // guards runs_ vector swaps
   std::vector<std::unique_ptr<MappedRun>> runs_;

@@ -282,6 +282,25 @@ TEST_F(OocTest, TornCheckpointStageIsRejected) {
   EXPECT_NE(r.error().find(".tmp"), std::string::npos) << r.error();
 }
 
+TEST_F(OocTest, CrashBetweenRotationRenamesFallsBackToOld) {
+  const Spec spec = toys::Counter(5);
+  const std::string dir = WriteRealCheckpoint(spec, Path("rot"));
+  // Simulate a crash between rename(dir -> dir.old) and rename(stage -> dir):
+  // the previous complete checkpoint sits at .old, nothing at dir.
+  fs::rename(dir, dir + ".old");
+  auto meta = store::ReadCheckpointMeta(dir);
+  ASSERT_TRUE(meta.ok()) << meta.error();
+  EXPECT_EQ(meta.value().distinct_states, 2u);
+  auto r = store::OpenCheckpoint(dir, spec);
+  ASSERT_TRUE(r.ok()) << r.error();
+  // All resolved paths point into the .old directory so runs/frontier load.
+  EXPECT_EQ(r.value().dir, dir + ".old");
+  for (const std::string& p : r.value().run_paths) {
+    EXPECT_TRUE(fs::exists(p)) << p;
+  }
+  EXPECT_TRUE(fs::exists(r.value().frontier_path));
+}
+
 TEST_F(OocTest, CorruptManifestIsRejected) {
   const Spec spec = toys::Counter(5);
   const std::string dir = WriteRealCheckpoint(spec, Path("corrupt"));

@@ -7,9 +7,11 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -221,6 +223,21 @@ TEST_F(StoreTest, CorruptRunFilesAreRejected) {
     std::fclose(f);
   }
   EXPECT_FALSE(store::MappedRun::Open(Path("short.run")).ok());
+
+  {
+    // Declared count chosen so count * 16 wraps around uint64: 2^60 + 1
+    // entries "fit" a 32-byte file if the size check multiplies. Must be
+    // rejected, not probed out of the mapping.
+    std::FILE* f = std::fopen(Path("overflow.run").c_str(), "wb");
+    const char magic[8] = {'S', 'T', 'F', 'P', 'R', 'U', 'N', '1'};
+    std::fwrite(magic, 1, 8, f);
+    const uint64_t count = (1ull << 60) + 1;
+    std::fwrite(&count, 8, 1, f);
+    const uint64_t entry[2] = {1, 1};
+    std::fwrite(entry, 8, 2, f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(store::MappedRun::Open(Path("overflow.run")).ok());
 }
 
 // ---- Spilling store equivalence -------------------------------------------
@@ -260,6 +277,52 @@ TEST_F(StoreTest, SpillingStoreMatchesReferenceMapUnderForcedSpills) {
   for (const auto& [fp, parent] : ref) {
     ASSERT_EQ(s.Parent(fp).value_or(~0ull), parent);
   }
+}
+
+TEST_F(StoreTest, ConcurrentInsertsWithSpillsStayDisjointAcrossTiers) {
+  // Stress the probe+insert vs. spill race: tiny resident budget so spills
+  // happen constantly while several threads insert an overlapping universe.
+  // A fingerprint that lands in both a disk run and the memory tier (the
+  // TOCTOU the spill epoch closes) inflates Size() past the true distinct
+  // count and double-counts successful inserts.
+  store::StoreConfig cfg;
+  cfg.spill_dir = Path("spill");
+  cfg.max_resident = 32;
+  cfg.max_runs = 3;
+  cfg.shard_count_log2 = 2;
+  store::SpillingStateStore s(cfg);
+
+  constexpr uint64_t kUniverse = 3000;
+  constexpr int kThreads = 4;
+  std::atomic<uint64_t> inserted{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&s, &inserted, t] {
+      Rng rng(100 + static_cast<uint64_t>(t));
+      for (int i = 0; i < 4000; ++i) {
+        const uint64_t fp = rng.Below(kUniverse) + 1;
+        if (s.InsertIfAbsent(fp, fp)) {
+          inserted.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) {
+    th.join();
+  }
+
+  uint64_t distinct = 0;
+  for (uint64_t fp = 1; fp <= kUniverse; ++fp) {
+    if (s.Parent(fp).has_value()) {
+      ++distinct;
+    }
+  }
+  EXPECT_EQ(inserted.load(), distinct);
+  EXPECT_EQ(s.Size(), distinct);
+  // After a final flush the disk tier alone holds exactly the distinct set:
+  // cumulative spilled == distinct only if no fp was ever spilled twice.
+  ASSERT_TRUE(s.Flush().ok());
+  EXPECT_EQ(s.SpilledSize(), distinct);
 }
 
 TEST_F(StoreTest, MemoryStoreAndSaveRunsRoundTrip) {
@@ -408,6 +471,25 @@ TEST_F(StoreTest, SaveSegmentRoundTripsThroughForEach) {
   });
   EXPECT_TRUE(st.ok()) << (st.ok() ? "" : st.error());
   EXPECT_EQ(next, n);
+}
+
+TEST_F(StoreTest, SegmentWithHugeChunkLengthIsACleanError) {
+  // A corrupt/truncated segment can declare any 64-bit chunk length; readers
+  // must bound it against the file size and return Status, not allocate.
+  const std::string path = Path("huge.seg");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    const char magic[8] = {'S', 'T', 'F', 'R', 'S', 'E', 'G', '1'};
+    std::fwrite(magic, 1, 8, f);
+    const uint64_t len = 1ull << 62;
+    std::fwrite(&len, 8, 1, f);
+    std::fwrite("abc", 1, 3, f);
+    std::fclose(f);
+  }
+  const Status st = store::ForEachSegmentEntry(
+      path, [](uint64_t, State&&) { return Status(); });
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.error().find("truncated chunk"), std::string::npos) << st.error();
 }
 
 // ---- Checkpoint manifest ---------------------------------------------------
