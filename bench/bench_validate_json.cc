@@ -2,12 +2,18 @@
 //
 //   bench_validate_json FILE            # JSONL written by bench_json.h
 //   bench_validate_json FILE --gbench   # google-benchmark --benchmark_format=json
+//   bench_validate_json FILE --serve    # sandtable_serve client frame capture
 //
 // JSONL mode checks the writer's contract: every line parses, the first
 // record is {"type":"meta", "schema_version":1}, at least one "result" row
 // follows, and the last record is {"type":"summary"} whose "results" count
 // matches. A bench that crashed mid-run flushes rows but never writes the
 // summary, so the file fails validation even if every line parses.
+//
+// Serve mode checks a captured sandtable_serve connection stream: every line
+// parses, the first frame is the hello, at least one ack and one result frame
+// are present, every streamed job frame (started/progress/result) carries an
+// integer job id, and every result status is done|cancelled|failed.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -104,20 +110,98 @@ int ValidateJsonl(const std::string& path, const std::string& content) {
   return 0;
 }
 
+// A captured sandtable_serve frame stream (see src/serve/wire.h). The serve
+// smoke test pipes a client connection's frames to a file and gates on this.
+int ValidateServe(const std::string& path, const std::string& content) {
+  std::istringstream in(content);
+  std::string line;
+  size_t lineno = 0;
+  size_t acks = 0;
+  size_t results = 0;
+  size_t progress = 0;
+  bool first = true;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) {
+      continue;
+    }
+    auto rec = Json::Parse(line);
+    if (!rec.ok()) {
+      return Fail(path, "line " + std::to_string(lineno) + " does not parse: " + rec.error());
+    }
+    const Json& frame = rec.value();
+    if (frame["type"].type() != Json::Type::kString) {
+      return Fail(path, "line " + std::to_string(lineno) + " has no \"type\"");
+    }
+    const std::string type = frame["type"].as_string();
+    if (first) {
+      if (type != "hello") {
+        return Fail(path, "first frame is not the hello (got " + type + ")");
+      }
+      first = false;
+      continue;
+    }
+    if (type == "ack") {
+      ++acks;
+    } else if (type == "started" || type == "progress" || type == "result" ||
+               type == "log") {
+      if (frame["job"].type() != Json::Type::kInt) {
+        return Fail(path, "line " + std::to_string(lineno) + ": " + type +
+                              " frame without an integer \"job\"");
+      }
+      if (type == "progress") {
+        ++progress;
+      }
+      if (type == "result") {
+        const std::string status = frame["status"].type() == Json::Type::kString
+                                       ? frame["status"].as_string()
+                                       : "";
+        if (status != "done" && status != "cancelled" && status != "failed") {
+          return Fail(path, "line " + std::to_string(lineno) +
+                                ": result status \"" + status + "\"");
+        }
+        ++results;
+      }
+    } else if (type != "error" && type != "pong" && type != "stats" &&
+               type != "status") {
+      return Fail(path, "unexpected frame type: " + type);
+    }
+  }
+  if (first) {
+    return Fail(path, "empty capture");
+  }
+  if (acks == 0) {
+    return Fail(path, "no ack frames");
+  }
+  if (results == 0) {
+    return Fail(path, "no result frames");
+  }
+  std::printf("%s: ok (%zu acks, %zu results, %zu progress frames)\n",
+              path.c_str(), acks, results, progress);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s FILE [--gbench]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s FILE [--gbench | --serve]\n", argv[0]);
     return 2;
   }
   const std::string path = argv[1];
   const bool gbench = argc > 2 && std::strcmp(argv[2], "--gbench") == 0;
+  const bool serve = argc > 2 && std::strcmp(argv[2], "--serve") == 0;
   std::ifstream f(path);
   if (!f) {
     return Fail(path, "cannot open");
   }
   std::stringstream ss;
   ss << f.rdbuf();
-  return gbench ? ValidateGbench(path, ss.str()) : ValidateJsonl(path, ss.str());
+  if (gbench) {
+    return ValidateGbench(path, ss.str());
+  }
+  if (serve) {
+    return ValidateServe(path, ss.str());
+  }
+  return ValidateJsonl(path, ss.str());
 }

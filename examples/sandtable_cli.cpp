@@ -25,6 +25,8 @@
 // end-of-run report to stdout.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,11 +52,30 @@
 #include "src/par/parallel_bfs.h"
 #include "src/store/ooc.h"
 #include "src/trace/spec_replay.h"
+#include "src/util/stop_token.h"
 
 using namespace sandtable;               // NOLINT(build/namespaces): CLI brevity
 using namespace sandtable::conformance;  // NOLINT(build/namespaces)
 
 namespace {
+
+// Graceful interruption: SIGINT/SIGTERM raise this token, the engines stop at
+// their next poll, and the command still writes its final --metrics-out
+// report (and, for `check --ckpt`, a resumable checkpoint of the unexpanded
+// frontier) before exiting with code 130.
+StopToken g_stop;
+
+void OnSignal(int) { g_stop.RequestStop(); }
+
+void InstallSignalHandlers() {
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+constexpr int kInterruptedExit = 130;  // 128 + SIGINT, shell convention
 
 struct Args {
   std::string command;
@@ -66,6 +87,7 @@ struct Args {
   std::string metrics_out;  // JSONL sink for progress + final report
   std::string report_mode;  // "", "json" or "text": end-of-run report on stdout
   double budget_s = 60;
+  uint64_t time_budget_ms = 0;    // overrides --budget when set (finer grain)
   uint64_t max_states = 0;        // 0 = unlimited distinct-state budget
   uint64_t progress_every = 0;    // 0 = no periodic progress lines
   int traces = 100;
@@ -108,6 +130,8 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->trace_out = v;
     } else if (flag == "--budget" && next(&v)) {
       out->budget_s = std::atof(v.c_str());
+    } else if (flag == "--time-budget-ms" && next(&v)) {
+      out->time_budget_ms = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flag == "--traces" && next(&v)) {
       out->traces = std::atoi(v.c_str());
     } else if (flag == "--workers" && next(&v)) {
@@ -415,12 +439,15 @@ int CmdCheck(const Args& args) {
   std::printf("model checking %s (budget %.0fs, %d worker%s)...\n", t.spec.name.c_str(),
               args.budget_s, args.workers, args.workers == 1 ? "" : "s");
   BfsOptions opts;
-  opts.time_budget_s = args.budget_s;
+  opts.time_budget_s = args.time_budget_ms > 0
+                           ? static_cast<double>(args.time_budget_ms) / 1000.0
+                           : args.budget_s;
   if (args.max_states > 0) {
     opts.max_distinct_states = args.max_states;
   }
   opts.progress = telemetry.progress.get();
   opts.metrics = &telemetry.registry;
+  opts.stop = &g_stop;
   OocRuntime ooc;
   if (!ooc.Wire(args, t.spec, &telemetry.registry, opts)) {
     return 1;
@@ -438,7 +465,7 @@ int CmdCheck(const Args& args) {
   std::printf("distinct states: %llu (depth %llu, %.1fs, %s)\n",
               static_cast<unsigned long long>(r.distinct_states),
               static_cast<unsigned long long>(r.depth_reached), r.seconds,
-              r.exhausted ? "exhausted" : "bounded");
+              r.cancelled ? "interrupted" : (r.exhausted ? "exhausted" : "bounded"));
   if (ooc.enabled && ooc.state_store != nullptr) {
     std::printf("out-of-core: %llu fingerprints spilled across %zu runs",
                 static_cast<unsigned long long>(ooc.state_store->SpilledSize()),
@@ -452,6 +479,12 @@ int CmdCheck(const Args& args) {
   }
   if (!r.violation.has_value()) {
     telemetry.Finish(engine, r.ToJson());
+    if (r.cancelled) {
+      std::printf("interrupted%s\n",
+                  ooc.checkpointer != nullptr ? "; checkpoint written, resume with --resume"
+                                              : "");
+      return kInterruptedExit;
+    }
     std::printf("no safety violation found\n");
     return 0;
   }
@@ -512,6 +545,7 @@ int CmdSimulate(const Args& args) {
   WalkOptions opts;
   opts.max_depth = 60;
   opts.metrics = &telemetry.registry;
+  opts.stop = &g_stop;
   if (args.minimize) {
     // Hunt mode: check invariants along each walk and shrink the first
     // violating trace found.
@@ -519,15 +553,39 @@ int CmdSimulate(const Args& args) {
     opts.check_invariants = true;
     opts.check_transition_invariants = true;
   }
+  // --time-budget-ms bounds the whole simulate run: each walk gets whatever
+  // wall-clock remains, so a walk in progress when the budget expires is cut
+  // off rather than overshooting.
+  const double total_budget_s =
+      args.time_budget_ms > 0 ? static_cast<double>(args.time_budget_ms) / 1000.0
+                              : std::numeric_limits<double>::infinity();
   CoverageStats coverage;
   uint64_t total_depth = 0;
   uint64_t max_depth = 0;
   uint64_t deadlocked = 0;
   uint64_t depth_capped = 0;
+  uint64_t time_capped = 0;
+  bool cancelled = false;
   std::optional<Violation> violation;
   int walks_done = 0;
   const auto start = std::chrono::steady_clock::now();
+  auto elapsed_s = [&start]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+  };
   for (int i = 0; i < args.traces; ++i) {
+    if (g_stop.stop_requested()) {
+      cancelled = true;
+      break;
+    }
+    if (std::isfinite(total_budget_s)) {
+      const double remaining = total_budget_s - elapsed_s();
+      if (remaining <= 0) {
+        ++time_capped;
+        break;
+      }
+      opts.time_budget_s = remaining;
+    }
     // One independent RNG per walk, derived from --seed: walk i is
     // reproducible on its own, regardless of how many walks ran before it.
     Rng rng(args.seed + static_cast<uint64_t>(i));
@@ -538,6 +596,10 @@ int CmdSimulate(const Args& args) {
     max_depth = std::max(max_depth, w.depth);
     deadlocked += w.deadlocked ? 1 : 0;
     depth_capped += w.hit_depth_limit ? 1 : 0;
+    time_capped += w.hit_time_limit ? 1 : 0;
+    if (w.cancelled) {
+      cancelled = true;
+    }
     // Progress units for simulate are completed walks.
     const uint64_t done = static_cast<uint64_t>(i) + 1;
     if (telemetry.progress != nullptr && telemetry.progress->Due(done)) {
@@ -557,13 +619,19 @@ int CmdSimulate(const Args& args) {
       violation = w.violation;
       break;
     }
+    if (cancelled || w.hit_time_limit) {
+      break;
+    }
   }
   JsonObject summary;
   summary["walks"] = Json(static_cast<int64_t>(walks_done));
-  summary["avg_depth"] = Json(static_cast<double>(total_depth) / walks_done);
+  summary["avg_depth"] =
+      Json(walks_done > 0 ? static_cast<double>(total_depth) / walks_done : 0.0);
   summary["max_depth"] = Json(max_depth);
   summary["deadlocked"] = Json(deadlocked);
   summary["hit_depth_limit"] = Json(depth_capped);
+  summary["hit_time_limit"] = Json(time_capped);
+  summary["cancelled"] = Json(cancelled);
   summary["coverage"] = coverage.ToJson();
   if (violation.has_value()) {
     std::printf("walk %d VIOLATED %s\n", walks_done, ViolationSummary(*violation).c_str());
@@ -578,13 +646,17 @@ int CmdSimulate(const Args& args) {
   telemetry.Finish("random_walk", Json(std::move(summary)));
   std::printf("%d random walks over %s:\n", walks_done, t.spec.name.c_str());
   std::printf("  avg depth %.1f, max depth %llu (%llu deadlocked, %llu depth-capped)\n",
-              static_cast<double>(total_depth) / walks_done,
+              walks_done > 0 ? static_cast<double>(total_depth) / walks_done : 0.0,
               static_cast<unsigned long long>(max_depth),
               static_cast<unsigned long long>(deadlocked),
               static_cast<unsigned long long>(depth_capped));
   std::printf("  distinct branches: %zu, event kinds: %d, transitions: %llu\n",
               coverage.branches.size(), coverage.DistinctEventKinds(),
               static_cast<unsigned long long>(coverage.transitions));
+  if (cancelled) {
+    std::printf("interrupted\n");
+    return kInterruptedExit;
+  }
   return 0;
 }
 
@@ -665,17 +737,26 @@ int CmdMinimize(const Args& args) {
     input.depth = rr.trace.size() - 1;
   } else {
     BfsOptions opts;
-    opts.time_budget_s = std::max(args.budget_s, bug.min_hunt_s);
+    opts.time_budget_s =
+        std::max(args.time_budget_ms > 0
+                     ? static_cast<double>(args.time_budget_ms) / 1000.0
+                     : args.budget_s,
+                 bug.min_hunt_s);
     if (args.max_states > 0) {
       opts.max_distinct_states = args.max_states;
     }
     opts.progress = telemetry.progress.get();
     opts.metrics = &telemetry.registry;
+    opts.stop = &g_stop;
     std::printf("hunting %s on %s (budget %.0fs)...\n", bug.id.c_str(),
                 spec.name.c_str(), opts.time_budget_s);
     const BfsResult r = BfsCheck(spec, opts);
     if (!r.violation.has_value()) {
       telemetry.Finish("minimize", r.ToJson(/*include_trace=*/false));
+      if (r.cancelled) {
+        std::printf("interrupted\n");
+        return kInterruptedExit;
+      }
       std::printf("no violation found within budget\n");
       return 2;
     }
@@ -787,12 +868,14 @@ int CmdRank(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  InstallSignalHandlers();
   Args args;
   if (!ParseArgs(argc, argv, &args)) {
     std::fprintf(stderr,
                  "usage: %s <list-systems|list-bugs|check|conformance|simulate|replay|"
                  "minimize|rank|ckpt-info>"
-                 " [--system S] [--bug ID] [--budget SECONDS] [--states N] [--traces N]"
+                 " [--system S] [--bug ID] [--budget SECONDS] [--time-budget-ms N]"
+                 " [--states N] [--traces N]"
                  " [--workers N] [--trace FILE] [--trace-out FILE] [--channel api|log]"
                  " [--with-bugs] [--metrics-out FILE] [--progress-every N]"
                  " [--report json|text] [--seed N] [--minimize] [--minimize-any]"

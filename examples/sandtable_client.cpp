@@ -1,0 +1,232 @@
+// Command-line client for sandtable_serve. Submits jobs and streams the
+// daemon's frames (ack, started, progress, result) to stdout as JSONL;
+// exit code 0 = job done, 2 = job cancelled/failed, 1 = usage or protocol
+// error.
+//
+//   sandtable_client --socket /tmp/sandtable.sock
+//       submit check --params '{"system":"pysyncobj","max_states":20000}'
+//   sandtable_client --socket S submit simulate --params '{"traces":500}' --detach
+//   sandtable_client --socket S cancel 3
+//   sandtable_client --socket S status 3
+//   sandtable_client --socket S stats | ping | shutdown
+//   sandtable_client --metrics-socket /tmp/sandtable-metrics.sock metrics
+//
+// --host/--port select TCP instead of --socket; --tenant names the admission
+// queue (default: a per-connection tenant). `submit` without --detach waits
+// for the job's result frame; --detach returns right after the ack.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/serve/client.h"
+#include "src/serve/wire.h"
+
+using sandtable::Json;
+using sandtable::JsonObject;
+using sandtable::Result;
+using sandtable::serve::Client;
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--socket PATH | --host H --port P] [--tenant T] [--timeout S]\n"
+      "          submit KIND [--params JSON] [--detach]\n"
+      "        | cancel JOB | status JOB | stats | ping | shutdown\n"
+      "        %s [--metrics-socket PATH | --host H --metrics-port P] metrics\n"
+      "KIND is check | simulate | minimize | ckpt-info.\n",
+      argv0, argv0);
+  return 1;
+}
+
+void PrintFrame(const Json& frame) {
+  std::printf("%s\n", frame.Dump().c_str());
+  std::fflush(stdout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  std::string metrics_socket;
+  std::string host = "127.0.0.1";
+  int port = -1;
+  int metrics_port = -1;
+  std::string tenant;
+  double timeout_s = 600;
+  std::string command;
+  std::string kind;
+  std::string params_text;
+  uint64_t job = 0;
+  bool detach = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string* dst) {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      *dst = argv[++i];
+      return true;
+    };
+    std::string v;
+    if (arg == "--socket" && next(&v)) {
+      socket_path = v;
+    } else if (arg == "--metrics-socket" && next(&v)) {
+      metrics_socket = v;
+    } else if (arg == "--host" && next(&v)) {
+      host = v;
+    } else if (arg == "--port" && next(&v)) {
+      port = std::atoi(v.c_str());
+    } else if (arg == "--metrics-port" && next(&v)) {
+      metrics_port = std::atoi(v.c_str());
+    } else if (arg == "--tenant" && next(&v)) {
+      tenant = v;
+    } else if (arg == "--timeout" && next(&v)) {
+      timeout_s = std::atof(v.c_str());
+    } else if (arg == "--params" && next(&v)) {
+      params_text = v;
+    } else if (arg == "--detach") {
+      detach = true;
+    } else if (command.empty() && !arg.empty() && arg[0] != '-') {
+      command = arg;
+    } else if (command == "submit" && kind.empty() && !arg.empty() && arg[0] != '-') {
+      kind = arg;
+    } else if ((command == "cancel" || command == "status") && !arg.empty() &&
+               arg[0] != '-') {
+      job = std::strtoull(arg.c_str(), nullptr, 10);
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (command.empty()) {
+    return Usage(argv[0]);
+  }
+
+  if (command == "metrics") {
+    Result<std::string> body =
+        !metrics_socket.empty()
+            ? Client::HttpGetUnix(metrics_socket, "/metrics", timeout_s)
+            : (metrics_port >= 0
+                   ? Client::HttpGetTcp(host, metrics_port, "/metrics", timeout_s)
+                   : Result<std::string>::Error(
+                         "metrics needs --metrics-socket or --metrics-port"));
+    if (!body.ok()) {
+      std::fprintf(stderr, "%s\n", body.error().c_str());
+      return 1;
+    }
+    std::fputs(body.value().c_str(), stdout);
+    return 0;
+  }
+
+  Result<Client> connected =
+      !socket_path.empty()
+          ? Client::ConnectUnix(socket_path)
+          : (port >= 0 ? Client::ConnectTcp(host, port)
+                       : Result<Client>::Error("need --socket or --port"));
+  if (!connected.ok()) {
+    std::fprintf(stderr, "%s\n", connected.error().c_str());
+    return 1;
+  }
+  Client client = std::move(connected).value();
+
+  // The hello frame arrives first on every connection.
+  Result<Json> hello = client.NextFrame(timeout_s);
+  if (!hello.ok()) {
+    std::fprintf(stderr, "no hello from server: %s\n", hello.error().c_str());
+    return 1;
+  }
+
+  if (command == "submit") {
+    if (kind.empty()) {
+      return Usage(argv[0]);
+    }
+    // Echo the hello too, so the captured stream is the connection verbatim
+    // (bench_validate_json --serve checks it leads the capture).
+    PrintFrame(hello.value());
+    Json params;
+    if (!params_text.empty()) {
+      Result<Json> parsed = Json::Parse(params_text);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "--params is not valid JSON: %s\n",
+                     parsed.error().c_str());
+        return 1;
+      }
+      params = std::move(parsed).value();
+    }
+    JsonObject req;
+    req["op"] = Json("submit");
+    req["kind"] = Json(kind);
+    req["req"] = Json(static_cast<int64_t>(1));
+    if (!tenant.empty()) {
+      req["tenant"] = Json(tenant);
+    }
+    if (!params.is_null()) {
+      req["params"] = std::move(params);
+    }
+    const sandtable::Status sent = client.Send(Json(std::move(req)));
+    if (!sent.ok()) {
+      std::fprintf(stderr, "%s\n", sent.error().c_str());
+      return 1;
+    }
+    // Stream every frame; stop at our ack error or (unless detached) at the
+    // submitted job's result frame.
+    uint64_t submitted = 0;
+    bool have_ack = false;
+    for (;;) {
+      Result<Json> frame = client.NextFrame(timeout_s);
+      if (!frame.ok()) {
+        std::fprintf(stderr, "%s\n", frame.error().c_str());
+        return 1;
+      }
+      const Json& f = frame.value();
+      PrintFrame(f);
+      const std::string type = f["type"].is_string() ? f["type"].as_string() : "";
+      if (!have_ack && f["req"].is_int() && f["req"].as_int() == 1) {
+        if (type == "error") {
+          return 1;
+        }
+        have_ack = true;
+        submitted = static_cast<uint64_t>(f["job"].as_int());
+        if (detach) {
+          return 0;
+        }
+      }
+      if (have_ack && type == "result" && f["job"].is_int() &&
+          static_cast<uint64_t>(f["job"].as_int()) == submitted) {
+        return f["status"].as_string() == "done" ? 0 : 2;
+      }
+    }
+  }
+
+  JsonObject req;
+  req["req"] = Json(static_cast<int64_t>(1));
+  if (command == "cancel" || command == "status") {
+    req["op"] = Json(command);
+    req["job"] = Json(job);
+  } else if (command == "stats" || command == "ping" || command == "shutdown") {
+    req["op"] = Json(command);
+  } else {
+    return Usage(argv[0]);
+  }
+  const sandtable::Status sent = client.Send(Json(std::move(req)));
+  if (!sent.ok()) {
+    std::fprintf(stderr, "%s\n", sent.error().c_str());
+    return 1;
+  }
+  for (;;) {
+    Result<Json> frame = client.NextFrame(timeout_s);
+    if (!frame.ok()) {
+      std::fprintf(stderr, "%s\n", frame.error().c_str());
+      return 1;
+    }
+    const Json& f = frame.value();
+    if (!(f["req"].is_int() && f["req"].as_int() == 1)) {
+      continue;  // frames of other jobs on this connection
+    }
+    PrintFrame(f);
+    return f["type"].is_string() && f["type"].as_string() == "error" ? 2 : 0;
+  }
+}

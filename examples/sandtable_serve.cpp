@@ -1,0 +1,141 @@
+// Model checking as a service: a long-lived daemon accepting check /
+// simulate / minimize / ckpt-info jobs as newline-delimited JSON over a
+// Unix-domain socket or loopback TCP, running them on a bounded worker pool
+// and streaming per-job progress back on the submitting connection. See
+// DESIGN.md "Model checking as a service" for the wire protocol.
+//
+//   sandtable_serve --socket /tmp/sandtable.sock [--workers 4]
+//                   [--metrics-socket /tmp/sandtable-metrics.sock]
+//   sandtable_serve --port 7424 --metrics-port 9424 [--allow-shutdown]
+//
+// On startup the daemon prints one "serving" JSON line with the bound
+// addresses (ports are resolved, so --port 0 works for tests). SIGINT or
+// SIGTERM drains: queued jobs are cancelled, running jobs stop at the next
+// engine poll, every client gets its result frames, then the process exits.
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/serve/server.h"
+
+using sandtable::Json;
+using sandtable::JsonObject;
+
+namespace {
+
+sandtable::serve::Server* g_server = nullptr;
+
+void OnSignal(int) {
+  if (g_server != nullptr) {
+    g_server->RequestStop();  // async-signal-safe: flag + pipe write
+  }
+}
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--socket PATH] [--port P] [--metrics-socket PATH]\n"
+      "          [--metrics-port P] [--workers N] [--max-queued N]\n"
+      "          [--max-queued-per-tenant N] [--default-time-budget-ms N]\n"
+      "          [--max-time-budget-ms N] [--max-states N] [--max-depth N]\n"
+      "          [--allow-shutdown]\n"
+      "Job listener: --socket and/or --port (0 = ephemeral). Metrics listener\n"
+      "(GET /metrics | /jobs | /healthz): --metrics-socket and/or --metrics-port.\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  sandtable::serve::ServerOptions opts;
+  opts.scheduler.workers = 2;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto next = [&](std::string* dst) {
+      if (i + 1 >= argc) {
+        return false;
+      }
+      *dst = argv[++i];
+      return true;
+    };
+    std::string v;
+    if (flag == "--socket" && next(&v)) {
+      opts.unix_path = v;
+    } else if (flag == "--port" && next(&v)) {
+      opts.tcp_port = std::atoi(v.c_str());
+    } else if (flag == "--metrics-socket" && next(&v)) {
+      opts.metrics_unix_path = v;
+    } else if (flag == "--metrics-port" && next(&v)) {
+      opts.metrics_tcp_port = std::atoi(v.c_str());
+    } else if (flag == "--workers" && next(&v)) {
+      opts.scheduler.workers = std::max(1, std::atoi(v.c_str()));
+    } else if (flag == "--max-queued" && next(&v)) {
+      opts.scheduler.max_queued = std::max(0, std::atoi(v.c_str()));
+    } else if (flag == "--max-queued-per-tenant" && next(&v)) {
+      opts.scheduler.max_queued_per_tenant = std::max(0, std::atoi(v.c_str()));
+    } else if (flag == "--default-time-budget-ms" && next(&v)) {
+      opts.default_time_budget_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--max-time-budget-ms" && next(&v)) {
+      opts.max_time_budget_ms = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--max-states" && next(&v)) {
+      opts.max_states_cap = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--max-depth" && next(&v)) {
+      opts.max_depth_cap = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--allow-shutdown") {
+      opts.allow_shutdown = true;
+    } else {
+      Usage(argv[0]);
+      return 1;
+    }
+  }
+  if (opts.unix_path.empty() && opts.tcp_port < 0) {
+    Usage(argv[0]);
+    return 1;
+  }
+
+  sandtable::obs::MetricsRegistry registry;
+  opts.metrics = &registry;
+  sandtable::serve::Server server(opts);
+  const sandtable::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "sandtable_serve: %s\n", started.error().c_str());
+    return 1;
+  }
+
+  g_server = &server;
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = OnSignal;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+  signal(SIGPIPE, SIG_IGN);  // worker writes handle EPIPE themselves
+
+  // One machine-readable line announcing where we listen; tests and wrapper
+  // scripts parse this instead of racing the bind.
+  JsonObject serving;
+  serving["type"] = Json("serving");
+  if (!opts.unix_path.empty()) {
+    serving["socket"] = Json(opts.unix_path);
+  }
+  if (opts.tcp_port >= 0) {
+    serving["port"] = Json(static_cast<int64_t>(server.tcp_port()));
+  }
+  if (!opts.metrics_unix_path.empty()) {
+    serving["metrics_socket"] = Json(opts.metrics_unix_path);
+  }
+  if (opts.metrics_tcp_port >= 0) {
+    serving["metrics_port"] = Json(static_cast<int64_t>(server.metrics_tcp_port()));
+  }
+  serving["workers"] = Json(static_cast<int64_t>(opts.scheduler.workers));
+  std::printf("%s\n", Json(std::move(serving)).Dump().c_str());
+  std::fflush(stdout);
+
+  server.WaitShutdown();
+  g_server = nullptr;
+  std::fprintf(stderr, "sandtable_serve: drained, exiting\n");
+  return 0;
+}

@@ -162,7 +162,7 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
   auto finalize = [&](uint64_t final_depth, bool frontier_drained) -> BfsResult& {
     result.depth_reached = final_depth;
     result.exhausted = frontier_drained && !result.hit_state_limit &&
-                       !result.hit_time_limit &&
+                       !result.hit_time_limit && !result.cancelled &&
                        !(result.violation.has_value() && options.stop_at_first_violation);
     result.seconds = SecondsSince(start);
     obs::Set(m.frontier, static_cast<int64_t>(frontier_size()));
@@ -228,7 +228,13 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
   // `stop_search` on the paths where the original loop returned early; the
   // level loop then falls through to finalize(depth, false).
   auto process_entry = [&](uint64_t entry_fp, const State& entry_state) {
-    // Periodic limit checks.
+    // Cancellation is one relaxed load, so it is polled on every expansion;
+    // the (costlier) clock read keeps its 256-expansion cadence.
+    if (StopRequested(options.stop)) {
+      result.cancelled = true;
+      stop_search = true;
+      return;
+    }
     if (++expansions_since_time_check >= 256) {
       expansions_since_time_check = 0;
       if (SecondsSince(start) > options.time_budget_s) {
@@ -346,6 +352,25 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
         process_entry(fp, state);
       }
       CHECK(reader.status().ok()) << "frontier read failed: " << reader.status().error();
+      if (result.cancelled && ckpt != nullptr &&
+          !(result.violation.has_value() && options.stop_at_first_violation)) {
+        // Final checkpoint for a cancellation stop only: carry the unexpanded
+        // remainder of this level over into the next spool so the
+        // checkpointed frontier is exactly the set of states not yet
+        // expanded. The resumed frontier then mixes two adjacent levels, so
+        // depth_reached reads as "at least" after such a resume. Budget stops
+        // (state/time limits) deliberately keep the last level-boundary
+        // checkpoint: resuming from it replays the level deterministically,
+        // which is what makes a resumed run reproduce an uninterrupted one.
+        while (reader.Next(&fp, &state)) {
+          push_next(fp, std::move(state));
+        }
+        CHECK(reader.status().ok())
+            << "frontier read failed: " << reader.status().error();
+        cur_spool = std::move(next_spool);
+        next_spool = new_spool();
+        write_checkpoint();
+      }
     } else {
       next_frontier.clear();
       for (const FrontierEntry& entry : frontier) {

@@ -21,6 +21,7 @@
 #include "src/obs/metrics.h"
 #include "src/spec/spec.h"
 #include "src/store/ooc.h"
+#include "src/util/stop_token.h"
 
 namespace sandtable {
 
@@ -51,6 +52,12 @@ struct BfsOptions {
   // Record counters and per-phase timers here (src/obs/metrics.h). Borrowed,
   // may be null — a null registry costs nothing in the hot loop.
   obs::MetricsRegistry* metrics = nullptr;
+  // Cooperative cancellation (src/util/stop_token.h): polled at the same
+  // cadence as the time budget. A raised token stops the search with
+  // `cancelled` set; with checkpointing configured, a final checkpoint
+  // capturing the unexpanded frontier is written before returning. Borrowed,
+  // may be null.
+  const StopToken* stop = nullptr;
   // Out-of-core exploration (src/store/ooc.h): pluggable visited store,
   // disk-spilling frontier, checkpoints and resume. Default (all null) keeps
   // the pure in-memory paths bit-identical to previous behaviour.
@@ -67,14 +74,17 @@ struct BfsResult {
   bool exhausted = false;
   bool hit_state_limit = false;
   bool hit_time_limit = false;
+  // The run was stopped early through BfsOptions::stop. Mutually exclusive
+  // with the limit flags above: whichever condition was observed first wins.
+  bool cancelled = false;
   double seconds = 0;
   uint64_t deadlock_states = 0;  // in-constraint states with no successors
   std::optional<Violation> violation;
   CoverageStats coverage;
 
   // Canonical serialization, embedding violation.ToJson() and the coverage
-  // summary. "outcome" is one of exhausted|violation|state_limit|time_limit|
-  // depth_limit (bounded, no limit flag set).
+  // summary. "outcome" is one of exhausted|violation|cancelled|state_limit|
+  // time_limit|depth_limit (bounded, no limit flag set).
   Json ToJson(bool include_trace = true) const;
 };
 

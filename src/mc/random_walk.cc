@@ -1,5 +1,8 @@
 #include "src/mc/random_walk.h"
 
+#include <chrono>
+#include <cmath>
+
 #include "src/mc/expand.h"
 #include "src/obs/phase_timer.h"
 #include "src/util/check.h"
@@ -9,6 +12,12 @@ namespace sandtable {
 using obs::Phase;
 
 WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  const bool budgeted = std::isfinite(options.time_budget_s);
+  auto elapsed_s = [&]() {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  };
   WalkResult result;
   CHECK(!spec.init_states.empty()) << "spec has no initial states";
   const obs::ExplorationMetrics m = obs::ExplorationMetrics::Bind(options.metrics);
@@ -31,11 +40,22 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
       }
       result.violation = std::move(v);
       obs::Add(m.violations);
+      result.seconds = elapsed_s();
       return result;
     }
   }
 
   while (true) {
+    if (StopRequested(options.stop)) {
+      result.cancelled = true;
+      break;
+    }
+    if (budgeted && elapsed_s() > options.time_budget_s) {
+      // Cut off by the wall-clock budget — distinct from deadlock and the
+      // depth cap, mirroring BfsResult::hit_time_limit.
+      result.hit_time_limit = true;
+      break;
+    }
     if (result.depth >= options.max_depth) {
       // Cut off by the depth budget — a capped walk, not a deadlock and not a
       // completed exploration.
@@ -75,6 +95,7 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
         }
         result.violation = std::move(v);
         obs::Add(m.violations);
+        result.seconds = elapsed_s();
         return result;
       }
     }
@@ -98,10 +119,12 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
         }
         result.violation = std::move(v);
         obs::Add(m.violations);
+        result.seconds = elapsed_s();
         return result;
       }
     }
   }
+  result.seconds = elapsed_s();
   return result;
 }
 

@@ -13,11 +13,15 @@
 #include "src/mc/coverage.h"
 #include "src/spec/spec.h"
 #include "src/util/rng.h"
+#include "src/util/stop_token.h"
 
 namespace sandtable {
 
 struct WalkOptions {
   uint64_t max_depth = std::numeric_limits<uint64_t>::max();
+  // Wall-clock budget for one walk; checked once per step. Infinite by
+  // default, so unbudgeted walks never read the clock.
+  double time_budget_s = std::numeric_limits<double>::infinity();
   // Keep the full state trace (needed for conformance replay); otherwise only
   // statistics are retained.
   bool collect_trace = false;
@@ -26,6 +30,9 @@ struct WalkOptions {
   // Record counters and per-phase timers here (src/obs/metrics.h). Borrowed,
   // may be null — a null registry costs nothing in the hot loop.
   obs::MetricsRegistry* metrics = nullptr;
+  // Cooperative cancellation (src/util/stop_token.h), polled once per step.
+  // Borrowed, may be null.
+  const StopToken* stop = nullptr;
 };
 
 struct WalkResult {
@@ -34,11 +41,17 @@ struct WalkResult {
   // The walk was cut off by max_depth. A capped walk is not a deadlock and not
   // a completed exploration — mirrors BfsResult's limit flags.
   bool hit_depth_limit = false;
+  // The walk was cut off by the wall-clock budget (WalkOptions::time_budget_s).
+  bool hit_time_limit = false;
+  // The walk was stopped early through WalkOptions::stop.
+  bool cancelled = false;
+  double seconds = 0;  // wall-clock time for this walk
   std::optional<Violation> violation;
   CoverageStats coverage;
   std::vector<TraceStep> trace;  // populated iff collect_trace
 
-  // Canonical serialization; "terminated" is violation|deadlock|depth_limit.
+  // Canonical serialization; "terminated" is one of
+  // violation|cancelled|time_limit|depth_limit|deadlock.
   Json ToJson(bool include_trace = true) const;
 };
 

@@ -44,6 +44,7 @@ Json BfsResult::ToJson(bool include_trace) const {
   o["exhausted"] = Json(exhausted);
   o["hit_state_limit"] = Json(hit_state_limit);
   o["hit_time_limit"] = Json(hit_time_limit);
+  o["cancelled"] = Json(cancelled);
   o["seconds"] = Json(seconds);
   o["deadlock_states"] = Json(deadlock_states);
   const char* outcome = "depth_limit";
@@ -51,6 +52,8 @@ Json BfsResult::ToJson(bool include_trace) const {
     outcome = "violation";
   } else if (exhausted) {
     outcome = "exhausted";
+  } else if (cancelled) {
+    outcome = "cancelled";
   } else if (hit_state_limit) {
     outcome = "state_limit";
   } else if (hit_time_limit) {
@@ -90,9 +93,16 @@ Json WalkResult::ToJson(bool include_trace) const {
   o["depth"] = Json(depth);
   o["deadlocked"] = Json(deadlocked);
   o["hit_depth_limit"] = Json(hit_depth_limit);
+  o["hit_time_limit"] = Json(hit_time_limit);
+  o["cancelled"] = Json(cancelled);
+  o["seconds"] = Json(seconds);
   const char* terminated = "deadlock";
   if (violation.has_value()) {
     terminated = "violation";
+  } else if (cancelled) {
+    terminated = "cancelled";
+  } else if (hit_time_limit) {
+    terminated = "time_limit";
   } else if (hit_depth_limit) {
     terminated = "depth_limit";
   }

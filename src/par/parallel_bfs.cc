@@ -183,7 +183,7 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
     result.distinct_states = distinct();
     result.depth_reached = final_depth;
     result.exhausted = frontier_drained && !result.hit_state_limit &&
-                       !result.hit_time_limit &&
+                       !result.hit_time_limit && !result.cancelled &&
                        !(result.violation.has_value() && base.stop_at_first_violation);
     result.seconds = SecondsSince(start);
     return result;
@@ -241,12 +241,15 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
   std::atomic<bool> stop{false};
   std::atomic<bool> hit_state_limit{false};
   std::atomic<bool> hit_time_limit{false};
+  std::atomic<bool> cancel_hit{false};
 
   par::WorkerPool pool(workers);
 
   // Expand one batch of frontier items across the pool; workers buffer their
   // results in outs[]. Candidates accumulate across the waves of one level.
-  auto run_wave = [&](const std::vector<FrontierItem>& items) {
+  // Returns the claimed-prefix length: on an early stop, items[claimed..) were
+  // never expanded and belong in the final checkpoint's frontier.
+  auto run_wave = [&](const std::vector<FrontierItem>& items) -> size_t {
     par::WorkQueue queue(items.size(), options.chunk_size);
     pool.RunLevel([&](int w) {
       WorkerOutput& out = outs[static_cast<size_t>(w)];
@@ -317,12 +320,17 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
             }
           }
         }
+        if (StopRequested(base.stop)) {
+          cancel_hit.store(true, std::memory_order_relaxed);
+          stop.store(true, std::memory_order_relaxed);
+        }
         if (SecondsSince(start) > base.time_budget_s) {
           hit_time_limit.store(true, std::memory_order_relaxed);
           stop.store(true, std::memory_order_relaxed);
         }
       }
     });
+    return queue.Claimed();
   };
 
   auto write_checkpoint = [&]() {
@@ -365,6 +373,7 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
                                     ? spool_cfg->max_resident
                                     : cur_spool->size();
       std::vector<FrontierItem> wave;
+      size_t claimed = 0;
       while (!stop.load(std::memory_order_relaxed)) {
         wave.clear();
         uint64_t fp;
@@ -377,13 +386,43 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
         if (wave.empty()) {
           break;
         }
-        run_wave(wave);
+        claimed = run_wave(wave);
         for (WorkerOutput& out : outs) {
           for (FrontierItem& item : out.next) {
             const Status st = next_spool->Push(item.fp, std::move(item.state));
             CHECK(st.ok()) << "frontier spill failed: " << st.error();
           }
           out.next.clear();
+        }
+      }
+      if (cancel_hit.load(std::memory_order_relaxed) && ckpt != nullptr) {
+        bool has_candidates = false;
+        for (const WorkerOutput& out : outs) {
+          has_candidates = has_candidates || !out.candidates.empty();
+        }
+        if (!(has_candidates && base.stop_at_first_violation)) {
+          // Final checkpoint for a cancellation stop only, mirroring serial
+          // BfsCheck: the unexpanded tail of the stopped wave plus the unread
+          // remainder of the level joins the generated successors, so the
+          // checkpointed frontier is exactly the set of unexpanded states.
+          // Budget stops keep the last level-boundary checkpoint so a resumed
+          // run reproduces an uninterrupted one.
+          for (size_t i = claimed; i < wave.size(); ++i) {
+            const Status st =
+                next_spool->Push(wave[i].fp, std::move(wave[i].state));
+            CHECK(st.ok()) << "frontier spill failed: " << st.error();
+          }
+          uint64_t fp;
+          State state;
+          while (reader.Next(&fp, &state)) {
+            const Status st = next_spool->Push(fp, std::move(state));
+            CHECK(st.ok()) << "frontier spill failed: " << st.error();
+          }
+          CHECK(reader.status().ok())
+              << "frontier read failed: " << reader.status().error();
+          cur_spool = std::move(next_spool);
+          next_spool = new_spool();
+          write_checkpoint();
         }
       }
     } else {
@@ -421,6 +460,10 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
       return finalize(depth, false);
     }
 
+    if (cancel_hit.load(std::memory_order_relaxed)) {
+      result.cancelled = true;
+      return finalize(depth, false);
+    }
     if (hit_state_limit.load(std::memory_order_relaxed)) {
       result.hit_state_limit = true;
       return finalize(depth, false);

@@ -36,6 +36,15 @@ class WorkQueue {
     return true;
   }
 
+  // Length of the claimed prefix. Workers claim contiguously from index 0 and
+  // finish every chunk they claim, so after the pool quiesces (RunLevel
+  // returned) everything in [0, Claimed()) was expanded and everything in
+  // [Claimed(), total) was not — which is what an early-stop checkpoint needs
+  // to carry over.
+  size_t Claimed() const {
+    return std::min(cursor_.load(std::memory_order_relaxed), total_);
+  }
+
  private:
   const size_t total_;
   const size_t chunk_;

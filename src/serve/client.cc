@@ -1,0 +1,298 @@
+#include "src/serve/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace sandtable {
+namespace serve {
+
+namespace {
+
+Result<int> DialUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Result<int>::Error("socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Result<int>::Error("socket: " + std::string(std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Result<int>::Error("connect " + path + ": " + err);
+  }
+  return fd;
+}
+
+Result<int> DialTcp(const std::string& host, int port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Result<int>::Error("not an IPv4 address: " + host);
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Result<int>::Error("socket: " + std::string(std::strerror(errno)));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Result<int>::Error("connect " + host + ":" + std::to_string(port) +
+                              ": " + err);
+  }
+  return fd;
+}
+
+// Writes all of `data`, retrying short writes.
+Status WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+    } else if (n < 0 && errno == EINTR) {
+      continue;
+    } else {
+      return Status::Error("send: " + std::string(std::strerror(errno)));
+    }
+  }
+  return Status();
+}
+
+// One-shot HTTP/1.0 exchange on a connected socket; returns the body.
+Result<std::string> HttpExchange(int fd, const std::string& path,
+                                 double timeout_s) {
+  const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+  const Status sent = WriteAll(fd, request);
+  if (!sent.ok()) {
+    ::close(fd);
+    return Result<std::string>::Error(sent.error());
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  std::string response;
+  char buf[16384];
+  for (;;) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, static_cast<int>(std::max<int64_t>(0, remaining.count()))) <= 0) {
+      ::close(fd);
+      return Result<std::string>::Error("timeout reading HTTP response");
+    }
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      break;  // HTTP/1.0: server closes when done
+    }
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  const size_t head_end = response.find("\r\n\r\n");
+  if (head_end == std::string::npos) {
+    return Result<std::string>::Error("malformed HTTP response");
+  }
+  const size_t sp = response.find(' ');
+  const int status = sp == std::string::npos ? 0 : std::atoi(response.c_str() + sp + 1);
+  if (status != 200) {
+    return Result<std::string>::Error("HTTP " + std::to_string(status) + ": " +
+                                      response.substr(head_end + 4));
+  }
+  return response.substr(head_end + 4);
+}
+
+}  // namespace
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), inbuf_(std::move(other.inbuf_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    inbuf_ = std::move(other.inbuf_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Client> Client::ConnectUnix(const std::string& path) {
+  auto fd = DialUnix(path);
+  if (!fd.ok()) {
+    return Result<Client>::Error(fd.error());
+  }
+  return Client(fd.value());
+}
+
+Result<Client> Client::ConnectTcp(const std::string& host, int port) {
+  auto fd = DialTcp(host, port);
+  if (!fd.ok()) {
+    return Result<Client>::Error(fd.error());
+  }
+  return Client(fd.value());
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Client::Send(const Json& request) {
+  if (fd_ < 0) {
+    return Status::Error("not connected");
+  }
+  return WriteAll(fd_, request.Dump() + "\n");
+}
+
+Result<Json> Client::NextFrame(double timeout_s) {
+  if (fd_ < 0) {
+    return Result<Json>::Error("not connected");
+  }
+  const bool forever = timeout_s < 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(forever ? 0 : timeout_s);
+  for (;;) {
+    const size_t nl = inbuf_.find('\n');
+    if (nl != std::string::npos) {
+      std::string line = inbuf_.substr(0, nl);
+      inbuf_.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') {
+        line.pop_back();
+      }
+      if (line.empty()) {
+        continue;
+      }
+      auto parsed = Json::Parse(line);
+      if (!parsed.ok()) {
+        return Result<Json>::Error("malformed frame: " + parsed.error());
+      }
+      return std::move(parsed).value();
+    }
+    int wait_ms = -1;
+    if (!forever) {
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        return Result<Json>::Error("timeout waiting for frame");
+      }
+      wait_ms = static_cast<int>(remaining.count());
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, wait_ms);
+    if (ready == 0) {
+      return Result<Json>::Error("timeout waiting for frame");
+    }
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Result<Json>::Error("poll: " + std::string(std::strerror(errno)));
+    }
+    char buf[16384];
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n <= 0) {
+      return Result<Json>::Error("connection closed by server");
+    }
+    inbuf_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<uint64_t> Client::Submit(const std::string& kind, Json params,
+                                const std::string& tenant, double timeout_s) {
+  static std::atomic<int64_t> next_token{1};
+  const int64_t token = next_token.fetch_add(1, std::memory_order_relaxed);
+  JsonObject req;
+  req["op"] = Json("submit");
+  req["kind"] = Json(kind);
+  req["req"] = Json(token);
+  if (!tenant.empty()) {
+    req["tenant"] = Json(tenant);
+  }
+  if (!params.is_null()) {
+    req["params"] = std::move(params);
+  }
+  const Status sent = Send(Json(std::move(req)));
+  if (!sent.ok()) {
+    return Result<uint64_t>::Error(sent.error());
+  }
+  for (;;) {
+    auto frame = NextFrame(timeout_s);
+    if (!frame.ok()) {
+      return Result<uint64_t>::Error(frame.error());
+    }
+    const Json& f = frame.value();
+    if (!(f["req"].is_int() && f["req"].as_int() == token)) {
+      continue;  // unrelated stream frame
+    }
+    if (f["type"].as_string() == "ack") {
+      return static_cast<uint64_t>(f["job"].as_int());
+    }
+    return Result<uint64_t>::Error(f["code"].as_string() + ": " +
+                                   f["message"].as_string());
+  }
+}
+
+Result<Json> Client::WaitResult(uint64_t job, double timeout_s) {
+  for (;;) {
+    auto frame = NextFrame(timeout_s);
+    if (!frame.ok()) {
+      return frame;
+    }
+    const Json& f = frame.value();
+    if (f["type"].is_string() && f["type"].as_string() == "result" &&
+        f["job"].is_int() && static_cast<uint64_t>(f["job"].as_int()) == job) {
+      return frame;
+    }
+  }
+}
+
+Result<std::string> Client::HttpGetUnix(const std::string& socket_path,
+                                        const std::string& path,
+                                        double timeout_s) {
+  auto fd = DialUnix(socket_path);
+  if (!fd.ok()) {
+    return Result<std::string>::Error(fd.error());
+  }
+  return HttpExchange(fd.value(), path, timeout_s);
+}
+
+Result<std::string> Client::HttpGetTcp(const std::string& host, int port,
+                                       const std::string& path,
+                                       double timeout_s) {
+  auto fd = DialTcp(host, port);
+  if (!fd.ok()) {
+    return Result<std::string>::Error(fd.error());
+  }
+  return HttpExchange(fd.value(), path, timeout_s);
+}
+
+}  // namespace serve
+}  // namespace sandtable

@@ -1,0 +1,68 @@
+// Blocking client for sandtable_serve: connects over a Unix-domain socket or
+// loopback TCP, sends request frames and reads response/stream frames one at
+// a time. Used by the sandtable_client binary and the serve tests; the wire
+// format lives in wire.h.
+#ifndef SANDTABLE_SRC_SERVE_CLIENT_H_
+#define SANDTABLE_SRC_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/json.h"
+#include "src/util/result.h"
+
+namespace sandtable {
+namespace serve {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  static Result<Client> ConnectUnix(const std::string& path);
+  static Result<Client> ConnectTcp(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+
+  // Writes one request frame (a single NDJSON line).
+  Status Send(const Json& request);
+
+  // Reads the next complete frame, waiting up to timeout_s (<0 = forever).
+  // Errors on timeout, EOF and malformed lines.
+  Result<Json> NextFrame(double timeout_s);
+
+  // Submits a job and reads frames until its ack/error arrives (other frames
+  // are discarded — use the raw Send/NextFrame loop to multiplex). Returns
+  // the job id.
+  Result<uint64_t> Submit(const std::string& kind, Json params,
+                          const std::string& tenant = "", double timeout_s = 10);
+
+  // Reads frames until `job`'s result frame arrives; returns that frame.
+  Result<Json> WaitResult(uint64_t job, double timeout_s);
+
+  void Close();
+
+  // One-shot HTTP/1.0 GET against the daemon's metrics listener; returns the
+  // response body (status errors become Result errors).
+  static Result<std::string> HttpGetUnix(const std::string& socket_path,
+                                         const std::string& path,
+                                         double timeout_s = 10);
+  static Result<std::string> HttpGetTcp(const std::string& host, int port,
+                                        const std::string& path,
+                                        double timeout_s = 10);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+  int fd_ = -1;
+  std::string inbuf_;
+};
+
+}  // namespace serve
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_SERVE_CLIENT_H_

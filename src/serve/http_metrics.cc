@@ -1,0 +1,129 @@
+#include "src/serve/http_metrics.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace sandtable {
+namespace serve {
+
+std::optional<HttpRequest> ParseHttpRequest(const std::string& data) {
+  // Head complete at the first blank line; a bare "\n\n" is tolerated for
+  // hand-typed requests (nc / socat debugging).
+  const size_t head_end = data.find("\r\n\r\n") != std::string::npos
+                              ? data.find("\r\n\r\n")
+                              : data.find("\n\n");
+  if (head_end == std::string::npos) {
+    return std::nullopt;
+  }
+  HttpRequest r;
+  const size_t line_end = data.find_first_of("\r\n");
+  const std::string line = data.substr(0, line_end);
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) {
+    return r;  // malformed: empty method/path -> 400 upstream
+  }
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  r.method = line.substr(0, sp1);
+  r.path = sp2 == std::string::npos ? line.substr(sp1 + 1)
+                                    : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  return r;
+}
+
+std::string HttpResponse(int status, const std::string& content_type,
+                         const std::string& body) {
+  const char* reason = "OK";
+  switch (status) {
+    case 200:
+      reason = "OK";
+      break;
+    case 400:
+      reason = "Bad Request";
+      break;
+    case 404:
+      reason = "Not Found";
+      break;
+    case 405:
+      reason = "Method Not Allowed";
+      break;
+    default:
+      reason = "Internal Server Error";
+      break;
+  }
+  std::ostringstream out;
+  out << "HTTP/1.0 " << status << ' ' << reason << "\r\n"
+      << "Content-Type: " << content_type << "\r\n"
+      << "Content-Length: " << body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << body;
+  return out.str();
+}
+
+namespace {
+
+// Prometheus metric names allow [a-zA-Z0-9_:]; everything else ('.', '-',
+// '#') becomes '_'.
+std::string Sanitize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void Line(std::ostringstream& out, const std::string& name, const char* type,
+          double value) {
+  out << "# TYPE " << name << ' ' << type << '\n';
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out << name << ' ' << buf << '\n';
+}
+
+}  // namespace
+
+std::string RenderPrometheus(const obs::MetricsSnapshot& snapshot,
+                             const SchedulerStats& stats) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    Line(out, "sandtable_" + Sanitize(name), "counter",
+         static_cast<double>(value));
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    Line(out, "sandtable_" + Sanitize(name), "gauge",
+         static_cast<double>(value));
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    const std::string base = "sandtable_" + Sanitize(name);
+    Line(out, base + "_count", "gauge", static_cast<double>(h.count));
+    Line(out, base + "_sum", "gauge", static_cast<double>(h.sum));
+    if (h.count > 0) {
+      Line(out, base + "_min", "gauge", static_cast<double>(h.min));
+      Line(out, base + "_max", "gauge", static_cast<double>(h.max));
+      Line(out, base + "_p50", "gauge", h.Percentile(0.5));
+      Line(out, base + "_p99", "gauge", h.Percentile(0.99));
+    }
+  }
+  // Scheduler job accounting, rendered directly from the live stats so the
+  // scrape works even when the daemon runs without a metrics registry.
+  Line(out, "sandtable_scheduler_jobs_submitted_total", "counter",
+       static_cast<double>(stats.submitted));
+  Line(out, "sandtable_scheduler_jobs_completed_total", "counter",
+       static_cast<double>(stats.completed));
+  Line(out, "sandtable_scheduler_jobs_cancelled_total", "counter",
+       static_cast<double>(stats.cancelled));
+  Line(out, "sandtable_scheduler_jobs_failed_total", "counter",
+       static_cast<double>(stats.failed));
+  Line(out, "sandtable_scheduler_jobs_rejected_total", "counter",
+       static_cast<double>(stats.rejected));
+  Line(out, "sandtable_scheduler_jobs_queued", "gauge",
+       static_cast<double>(stats.queued));
+  Line(out, "sandtable_scheduler_jobs_running", "gauge",
+       static_cast<double>(stats.running));
+  return out.str();
+}
+
+}  // namespace serve
+}  // namespace sandtable

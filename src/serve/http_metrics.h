@@ -1,0 +1,47 @@
+// The daemon's HTTP/1.0 scrape surface: request parsing, response framing and
+// Prometheus text rendering. Pure functions over buffers — the server owns
+// the sockets, the tests exercise this layer directly.
+//
+// Endpoints (served by server.cc on the metrics listener):
+//   GET /metrics  Prometheus text exposition of the daemon-wide metrics
+//                 registry plus scheduler job gauges/counters
+//   GET /jobs     JSON array of job records (id, tenant, kind, state, timings)
+//   GET /healthz  "ok"
+#ifndef SANDTABLE_SRC_SERVE_HTTP_METRICS_H_
+#define SANDTABLE_SRC_SERVE_HTTP_METRICS_H_
+
+#include <optional>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/serve/scheduler.h"
+
+namespace sandtable {
+namespace serve {
+
+struct HttpRequest {
+  std::string method;
+  std::string path;
+};
+
+// Returns the parsed request line once `data` holds a complete request head
+// (terminated by a blank line), nullopt while incomplete. A malformed first
+// line parses as an empty method/path, which the server answers with 400.
+std::optional<HttpRequest> ParseHttpRequest(const std::string& data);
+
+// Serializes a complete HTTP/1.0 response with Content-Length and
+// Connection: close (the server closes after writing).
+std::string HttpResponse(int status, const std::string& content_type,
+                         const std::string& body);
+
+// Prometheus text exposition: every counter/gauge/histogram in the snapshot
+// (prefixed "sandtable_", metric names sanitized to [a-zA-Z0-9_:]) plus the
+// scheduler's job accounting as "sandtable_scheduler_*". Histograms render
+// as _count/_sum/_min/_max/_p50/_p99 summaries.
+std::string RenderPrometheus(const obs::MetricsSnapshot& snapshot,
+                             const SchedulerStats& stats);
+
+}  // namespace serve
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_SERVE_HTTP_METRICS_H_

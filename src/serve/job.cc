@@ -1,0 +1,569 @@
+#include "src/serve/job.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iterator>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <streambuf>
+#include <utility>
+#include <vector>
+
+#include "src/conformance/bug_catalog.h"
+#include "src/conformance/raft_harness.h"
+#include "src/conformance/zab_harness.h"
+#include "src/mc/bfs.h"
+#include "src/mc/random_walk.h"
+#include "src/minimize/minimize.h"
+#include "src/obs/progress.h"
+#include "src/par/parallel_bfs.h"
+#include "src/raftspec/raft_params.h"
+#include "src/store/checkpoint.h"
+#include "src/util/rng.h"
+
+namespace sandtable {
+namespace serve {
+
+const char* JobKindName(JobKind kind) {
+  switch (kind) {
+    case JobKind::kCheck:
+      return "check";
+    case JobKind::kSimulate:
+      return "simulate";
+    case JobKind::kMinimize:
+      return "minimize";
+    case JobKind::kCkptInfo:
+      return "ckpt-info";
+  }
+  return "check";
+}
+
+namespace {
+
+using conformance::BugCatalog;
+using conformance::BugInfo;
+using conformance::BugStageName;
+using conformance::MakeBugProfile;
+using conformance::MakeBugSpec;
+using conformance::MakeHarnessSpec;
+using conformance::MakeRaftHarness;
+using conformance::MakeZabHarness;
+using conformance::ObservationChannel;
+using conformance::RaftHarness;
+using conformance::ZabHarness;
+
+bool KnownSystem(const std::string& name) {
+  if (name == "zookeeper") {
+    return true;
+  }
+  const std::vector<std::string>& names = RaftSystemNames();
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+// Returns null for unknown ids — FindBug() CHECK-aborts, which a daemon
+// validating client input cannot afford.
+const BugInfo* LookupBug(const std::string& id) {
+  for (const BugInfo& bug : BugCatalog()) {
+    if (bug.id == id) {
+      return &bug;
+    }
+  }
+  return nullptr;
+}
+
+// Field-typed extraction helpers: each returns an error string on type
+// mismatch so ParseJobParams reads as a flat validation table.
+bool GetString(const Json& o, const char* key, std::string* dst, std::string* err) {
+  if (!o.contains(key)) {
+    return true;
+  }
+  if (!o[key].is_string()) {
+    *err = std::string("\"") + key + "\" must be a string";
+    return false;
+  }
+  *dst = o[key].as_string();
+  return true;
+}
+
+bool GetU64(const Json& o, const char* key, uint64_t* dst, std::string* err) {
+  if (!o.contains(key)) {
+    return true;
+  }
+  if (!o[key].is_int() || o[key].as_int() < 0) {
+    *err = std::string("\"") + key + "\" must be a non-negative integer";
+    return false;
+  }
+  *dst = static_cast<uint64_t>(o[key].as_int());
+  return true;
+}
+
+bool GetInt(const Json& o, const char* key, int* dst, std::string* err) {
+  uint64_t v = static_cast<uint64_t>(*dst);
+  if (!GetU64(o, key, &v, err)) {
+    return false;
+  }
+  *dst = static_cast<int>(v);
+  return true;
+}
+
+bool GetBool(const Json& o, const char* key, bool* dst, std::string* err) {
+  if (!o.contains(key)) {
+    return true;
+  }
+  if (!o[key].is_bool()) {
+    *err = std::string("\"") + key + "\" must be a boolean";
+    return false;
+  }
+  *dst = o[key].as_bool();
+  return true;
+}
+
+bool GetDouble(const Json& o, const char* key, double* dst, std::string* err) {
+  if (!o.contains(key)) {
+    return true;
+  }
+  if (o[key].is_double()) {
+    *dst = o[key].as_double();
+  } else if (o[key].is_int()) {
+    *dst = static_cast<double>(o[key].as_int());
+  } else {
+    *err = std::string("\"") + key + "\" must be a number";
+    return false;
+  }
+  if (!(*dst >= 0)) {
+    *err = std::string("\"") + key + "\" must be non-negative";
+    return false;
+  }
+  return true;
+}
+
+// The fields each kind accepts; anything else in params is a typo we reject.
+const char* const kCommonKeys[] = {"system", "bug", "with_bugs", "channel",
+                                   "progress_every", "progress_every_s"};
+const char* const kCheckKeys[] = {"workers", "max_states", "max_depth",
+                                  "time_budget_ms"};
+const char* const kSimulateKeys[] = {"traces", "seed", "walk_depth",
+                                     "check_invariants", "time_budget_ms"};
+const char* const kMinimizeKeys[] = {"match_any", "time_budget_ms",
+                                     "max_states"};
+const char* const kCkptKeys[] = {"ckpt_dir"};
+
+bool KeyAllowed(JobKind kind, const std::string& key) {
+  for (const char* k : kCommonKeys) {
+    if (key == k) {
+      return true;
+    }
+  }
+  auto scan = [&key](const char* const* keys, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      if (key == keys[i]) {
+        return true;
+      }
+    }
+    return false;
+  };
+  switch (kind) {
+    case JobKind::kCheck:
+      return scan(kCheckKeys, std::size(kCheckKeys));
+    case JobKind::kSimulate:
+      return scan(kSimulateKeys, std::size(kSimulateKeys));
+    case JobKind::kMinimize:
+      return scan(kMinimizeKeys, std::size(kMinimizeKeys));
+    case JobKind::kCkptInfo:
+      return scan(kCkptKeys, std::size(kCkptKeys));
+  }
+  return false;
+}
+
+// Same target construction as sandtable_cli's MakeTarget, minus the
+// implementation-side engine factory/observer (the daemon only runs
+// specification-level work; confirmation replay stays a CLI workflow).
+Spec MakeJobSpec(const JobParams& p) {
+  if (p.system == "zookeeper") {
+    ZabHarness h = MakeZabHarness(p.with_bugs || !p.bug.empty());
+    if (!p.bug.empty()) {
+      h.profile.budget.max_timeouts = 5;
+      h.profile.budget.max_client_requests = 1;
+      h.profile.budget.max_crashes = 1;
+      h.profile.budget.max_restarts = 1;
+      h.profile.budget.max_history = 1;
+      h.profile.budget.max_msg_buffer = 3;
+    }
+    h.channel = p.channel == "log" ? ObservationChannel::kLogParser
+                                   : ObservationChannel::kApi;
+    return MakeHarnessSpec(h);
+  }
+  RaftHarness h = MakeRaftHarness(p.system, p.with_bugs);
+  if (!p.bug.empty()) {
+    const BugInfo* bug = LookupBug(p.bug);  // validated at parse time
+    h.profile = MakeBugProfile(*bug);
+    h.impl_bugs = systems::RaftImplBugs{};
+    if (bug->enable_impl != nullptr) {
+      bug->enable_impl(h.impl_bugs);
+    }
+  }
+  h.channel = p.channel == "log" ? ObservationChannel::kLogParser
+                                 : ObservationChannel::kApi;
+  return MakeHarnessSpec(h);
+}
+
+// std::streambuf bridging obs::ProgressReporter (which writes JSONL to an
+// ostream) onto the job's ProgressSink: each complete line is parsed and
+// forwarded as one progress document. Unparseable lines are forwarded as
+// strings rather than dropped (ProgressFrame wraps them as log frames).
+class LineSinkBuf : public std::streambuf {
+ public:
+  explicit LineSinkBuf(const ProgressSink* sink) : sink_(sink) {}
+
+  ~LineSinkBuf() override {
+    if (!line_.empty()) {
+      Flush();
+    }
+  }
+
+ protected:
+  int overflow(int ch) override {
+    if (ch == traits_type::eof()) {
+      return ch;
+    }
+    if (ch == '\n') {
+      Flush();
+    } else {
+      line_.push_back(static_cast<char>(ch));
+    }
+    return ch;
+  }
+
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    for (std::streamsize i = 0; i < n; ++i) {
+      overflow(s[i]);
+    }
+    return n;
+  }
+
+ private:
+  void Flush() {
+    if ((*sink_) != nullptr) {
+      auto parsed = Json::Parse(line_);
+      (*sink_)(parsed.ok() ? std::move(parsed).value() : Json(line_));
+    }
+    line_.clear();
+  }
+
+  const ProgressSink* sink_;
+  std::string line_;
+};
+
+// Progress cadence for one job: the params' explicit cadence, or a 0.5 s
+// time cadence so every long-running job streams something.
+obs::ProgressOptions CadenceFor(const JobParams& p) {
+  obs::ProgressOptions popts;
+  popts.every_states = p.progress_every;
+  popts.every_seconds = p.progress_every_s;
+  if (popts.every_states == 0 && popts.every_seconds == 0) {
+    popts.every_seconds = 0.5;
+  }
+  return popts;
+}
+
+JobOutcome RunCheck(const JobParams& p, const Spec& spec,
+                    obs::ProgressReporter* progress, const StopToken& stop,
+                    obs::MetricsRegistry* metrics) {
+  BfsOptions opts;
+  if (p.time_budget_ms > 0) {
+    opts.time_budget_s = static_cast<double>(p.time_budget_ms) / 1000.0;
+  }
+  if (p.max_states > 0) {
+    opts.max_distinct_states = p.max_states;
+  }
+  if (p.max_depth > 0) {
+    opts.max_depth = p.max_depth;
+  }
+  opts.progress = progress;
+  opts.metrics = metrics;
+  opts.stop = &stop;
+  BfsResult r;
+  if (p.workers > 1) {
+    ParBfsOptions popts;
+    popts.base = opts;
+    popts.workers = p.workers;
+    r = ParallelBfsCheck(spec, popts);
+  } else {
+    r = BfsCheck(spec, opts);
+  }
+  JobOutcome out;
+  out.status = r.cancelled ? "cancelled" : "done";
+  out.result = r.ToJson();
+  return out;
+}
+
+JobOutcome RunSimulate(const JobParams& p, const Spec& spec,
+                       obs::ProgressReporter* progress, const StopToken& stop,
+                       obs::MetricsRegistry* metrics) {
+  WalkOptions opts;
+  opts.max_depth = p.walk_depth;
+  opts.metrics = metrics;
+  opts.stop = &stop;
+  if (p.check_invariants) {
+    opts.collect_trace = true;
+    opts.check_invariants = true;
+    opts.check_transition_invariants = true;
+  }
+  // Same aggregation loop (and per-walk seed formula) as the CLI's simulate,
+  // so a daemon job and `sandtable_cli simulate --seed N --traces K` produce
+  // identical summaries.
+  const double budget_s =
+      p.time_budget_ms > 0 ? static_cast<double>(p.time_budget_ms) / 1000.0
+                           : std::numeric_limits<double>::infinity();
+  CoverageStats coverage;
+  uint64_t total_depth = 0;
+  uint64_t max_depth = 0;
+  uint64_t deadlocked = 0;
+  uint64_t depth_capped = 0;
+  uint64_t time_capped = 0;
+  bool cancelled = false;
+  std::optional<Violation> violation;
+  int walks_done = 0;
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_s = [&start]() {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  for (int i = 0; i < p.traces; ++i) {
+    if (StopRequested(&stop)) {
+      cancelled = true;
+      break;
+    }
+    if (std::isfinite(budget_s)) {
+      const double remaining = budget_s - elapsed_s();
+      if (remaining <= 0) {
+        ++time_capped;
+        break;
+      }
+      opts.time_budget_s = remaining;  // total budget, spread across walks
+    }
+    Rng rng(p.seed + static_cast<uint64_t>(i));
+    const WalkResult w = RandomWalk(spec, opts, rng);
+    walks_done = i + 1;
+    coverage.Merge(w.coverage);
+    total_depth += w.depth;
+    max_depth = std::max(max_depth, w.depth);
+    deadlocked += w.deadlocked ? 1 : 0;
+    depth_capped += w.hit_depth_limit ? 1 : 0;
+    time_capped += w.hit_time_limit ? 1 : 0;
+    if (w.cancelled) {
+      cancelled = true;
+    }
+    const uint64_t done = static_cast<uint64_t>(i) + 1;
+    if (progress != nullptr && progress->Due(done)) {
+      obs::ProgressSample s;
+      s.engine = "random_walk";
+      s.elapsed_s = elapsed_s();
+      s.distinct_states = done;
+      s.depth = max_depth;
+      s.transitions = coverage.transitions;
+      s.deadlocks = deadlocked;
+      s.event_kinds = coverage.DistinctEventKinds();
+      s.branches = coverage.branches.size();
+      progress->Emit(s);
+    }
+    if (w.violation.has_value()) {
+      violation = w.violation;
+      break;
+    }
+    if (cancelled || w.hit_time_limit) {
+      break;
+    }
+  }
+  JsonObject summary;
+  summary["walks"] = Json(static_cast<int64_t>(walks_done));
+  summary["avg_depth"] =
+      Json(walks_done > 0 ? static_cast<double>(total_depth) / walks_done : 0.0);
+  summary["max_depth"] = Json(max_depth);
+  summary["deadlocked"] = Json(deadlocked);
+  summary["hit_depth_limit"] = Json(depth_capped);
+  summary["hit_time_limit"] = Json(time_capped);
+  summary["cancelled"] = Json(cancelled);
+  summary["coverage"] = coverage.ToJson();
+  if (violation.has_value()) {
+    summary["violation"] = violation->ToJson();
+  }
+  JobOutcome out;
+  out.status = cancelled ? "cancelled" : "done";
+  out.result = Json(std::move(summary));
+  return out;
+}
+
+JobOutcome RunMinimizeJob(const JobParams& p, obs::ProgressReporter* progress,
+                          const StopToken& stop, obs::MetricsRegistry* metrics) {
+  const BugInfo* bug = LookupBug(p.bug);  // validated at parse time
+  const Spec spec = MakeBugSpec(*bug);
+
+  // Hunt a counterexample with BFS first (the CLI's no-trace minimize path).
+  BfsOptions opts;
+  opts.time_budget_s = p.time_budget_ms > 0
+                           ? std::max(static_cast<double>(p.time_budget_ms) / 1000.0,
+                                      bug->min_hunt_s)
+                           : std::max(60.0, bug->min_hunt_s);
+  if (p.max_states > 0) {
+    opts.max_distinct_states = p.max_states;
+  }
+  opts.progress = progress;
+  opts.metrics = metrics;
+  opts.stop = &stop;
+  const BfsResult r = BfsCheck(spec, opts);
+  JobOutcome out;
+  if (!r.violation.has_value()) {
+    out.status = r.cancelled ? "cancelled" : "done";
+    out.result = r.ToJson(/*include_trace=*/false);
+    return out;
+  }
+  minimize::MinimizeOptions mopts;
+  mopts.match_any = p.match_any;
+  mopts.metrics = metrics;
+  const minimize::MinimizeResult m =
+      minimize::MinimizeCounterexample(spec, *r.violation, mopts);
+  out.status = "done";
+  out.result = m.ToJson(/*include_trace=*/true);
+  return out;
+}
+
+JobOutcome RunCkptInfo(const JobParams& p) {
+  JobOutcome out;
+  auto meta_or = store::ReadCheckpointMeta(p.ckpt_dir);
+  if (!meta_or.ok()) {
+    out.status = "failed";
+    JsonObject e;
+    e["error"] = Json(meta_or.error());
+    out.result = Json(std::move(e));
+    return out;
+  }
+  out.status = "done";
+  out.result = meta_or.value().ToJson();
+  return out;
+}
+
+}  // namespace
+
+Result<JobParams> ParseJobParams(const std::string& kind, const Json& params) {
+  JobParams p;
+  if (kind == "check") {
+    p.kind = JobKind::kCheck;
+  } else if (kind == "simulate") {
+    p.kind = JobKind::kSimulate;
+  } else if (kind == "minimize") {
+    p.kind = JobKind::kMinimize;
+  } else if (kind == "ckpt-info") {
+    p.kind = JobKind::kCkptInfo;
+  } else {
+    return Result<JobParams>::Error("unknown job kind: " + kind);
+  }
+  if (params.is_null()) {
+    if (p.kind == JobKind::kMinimize) {
+      return Result<JobParams>::Error("minimize needs params.bug");
+    }
+    if (p.kind == JobKind::kCkptInfo) {
+      return Result<JobParams>::Error("ckpt-info needs params.ckpt_dir");
+    }
+    return p;
+  }
+  if (!params.is_object()) {
+    return Result<JobParams>::Error("\"params\" must be an object");
+  }
+  for (const auto& [key, value] : params.as_object()) {
+    (void)value;
+    if (!KeyAllowed(p.kind, key)) {
+      return Result<JobParams>::Error("unknown param \"" + key + "\" for kind " +
+                                      kind);
+    }
+  }
+  std::string err;
+  if (!GetString(params, "system", &p.system, &err) ||
+      !GetString(params, "bug", &p.bug, &err) ||
+      !GetBool(params, "with_bugs", &p.with_bugs, &err) ||
+      !GetString(params, "channel", &p.channel, &err) ||
+      !GetU64(params, "progress_every", &p.progress_every, &err) ||
+      !GetDouble(params, "progress_every_s", &p.progress_every_s, &err) ||
+      !GetInt(params, "workers", &p.workers, &err) ||
+      !GetU64(params, "max_states", &p.max_states, &err) ||
+      !GetU64(params, "max_depth", &p.max_depth, &err) ||
+      !GetU64(params, "time_budget_ms", &p.time_budget_ms, &err) ||
+      !GetInt(params, "traces", &p.traces, &err) ||
+      !GetU64(params, "seed", &p.seed, &err) ||
+      !GetU64(params, "walk_depth", &p.walk_depth, &err) ||
+      !GetBool(params, "check_invariants", &p.check_invariants, &err) ||
+      !GetBool(params, "match_any", &p.match_any, &err) ||
+      !GetString(params, "ckpt_dir", &p.ckpt_dir, &err)) {
+    return Result<JobParams>::Error(err);
+  }
+  if (p.channel != "api" && p.channel != "log") {
+    return Result<JobParams>::Error("\"channel\" must be \"api\" or \"log\"");
+  }
+  if (p.kind != JobKind::kCkptInfo && !KnownSystem(p.system)) {
+    return Result<JobParams>::Error("unknown system: " + p.system);
+  }
+  if (!p.bug.empty() && LookupBug(p.bug) == nullptr) {
+    return Result<JobParams>::Error("unknown bug: " + p.bug);
+  }
+  if (p.kind == JobKind::kCheck && p.workers < 1) {
+    return Result<JobParams>::Error("\"workers\" must be >= 1");
+  }
+  if (p.kind == JobKind::kSimulate && p.traces < 1) {
+    return Result<JobParams>::Error("\"traces\" must be >= 1");
+  }
+  if (p.kind == JobKind::kMinimize) {
+    const BugInfo* bug = p.bug.empty() ? nullptr : LookupBug(p.bug);
+    if (bug == nullptr) {
+      return Result<JobParams>::Error("minimize needs params.bug (see list-bugs)");
+    }
+    if (bug->invariant.empty()) {
+      return Result<JobParams>::Error(
+          p.bug + " has no spec-level invariant (stage: " +
+          BugStageName(bug->stage) +
+          "); only verification-stage bugs have counterexample traces");
+    }
+  }
+  if (p.kind == JobKind::kCkptInfo && p.ckpt_dir.empty()) {
+    return Result<JobParams>::Error("ckpt-info needs params.ckpt_dir");
+  }
+  return p;
+}
+
+JobOutcome ExecuteJob(const JobParams& params, const ProgressSink& sink,
+                      const StopToken& stop, obs::MetricsRegistry* metrics) {
+  if (params.kind == JobKind::kCkptInfo) {
+    return RunCkptInfo(params);
+  }
+  LineSinkBuf buf(&sink);
+  std::ostream line_out(&buf);
+  obs::ProgressReporter progress(&line_out, CadenceFor(params));
+  switch (params.kind) {
+    case JobKind::kCheck:
+      return RunCheck(params, MakeJobSpec(params), &progress, stop, metrics);
+    case JobKind::kSimulate:
+      return RunSimulate(params, MakeJobSpec(params), &progress, stop, metrics);
+    case JobKind::kMinimize:
+      return RunMinimizeJob(params, &progress, stop, metrics);
+    case JobKind::kCkptInfo:
+      break;  // handled above
+  }
+  JobOutcome out;
+  out.status = "failed";
+  JsonObject e;
+  e["error"] = Json("unreachable job kind");
+  out.result = Json(std::move(e));
+  return out;
+}
+
+JobFn MakeJobFn(JobParams params, obs::MetricsRegistry* metrics) {
+  return [params = std::move(params), metrics](const ProgressSink& sink,
+                                               const StopToken& stop) {
+    return ExecuteJob(params, sink, stop, metrics);
+  };
+}
+
+}  // namespace serve
+}  // namespace sandtable

@@ -1,0 +1,86 @@
+// The SandTable-specific job kinds sandtable_serve runs, adapted into the
+// scheduler's generic JobFn closures.
+//
+// A job is described by the "params" object of a submit frame; ParseJobParams
+// validates it up front (unknown systems/bugs are submit-time bad_request
+// errors, not daemon aborts) and MakeJobFn builds the closure a worker thread
+// executes. Spec construction deliberately mirrors sandtable_cli's
+// MakeTarget, so a job submitted to the daemon returns the same result
+// document the standalone CLI prints for the same spec/seed — the
+// equivalence the serve tests pin down.
+//
+// Engine progress streams through the job's ProgressSink: the engines'
+// obs::ProgressReporter writes its usual JSONL to an in-process line sink,
+// and each line is forwarded as a progress frame tagged with the job id.
+#ifndef SANDTABLE_SRC_SERVE_JOB_H_
+#define SANDTABLE_SRC_SERVE_JOB_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "src/obs/metrics.h"
+#include "src/serve/scheduler.h"
+#include "src/util/json.h"
+#include "src/util/result.h"
+
+namespace sandtable {
+namespace serve {
+
+enum class JobKind { kCheck, kSimulate, kMinimize, kCkptInfo };
+const char* JobKindName(JobKind kind);
+
+struct JobParams {
+  JobKind kind = JobKind::kCheck;
+
+  // Target selection, mirroring the CLI: a catalog bug id and/or a system
+  // profile name ("pysyncobj", ..., "zookeeper").
+  std::string system = "pysyncobj";
+  std::string bug;
+  bool with_bugs = false;
+  std::string channel = "api";  // "api" | "log" observation channel
+
+  // check: engine shape and budgets. time_budget_ms == 0 means unlimited —
+  // the daemon's admission-time default lives in ServerOptions, not here.
+  int workers = 1;
+  uint64_t max_states = 0;  // 0 = unlimited
+  uint64_t max_depth = 0;   // 0 = unlimited
+  uint64_t time_budget_ms = 0;
+
+  // simulate: number of walks, base RNG seed (walk i uses seed + i, exactly
+  // like the CLI), per-walk depth cap, invariant checking.
+  int traces = 100;
+  uint64_t seed = 1;
+  uint64_t walk_depth = 60;
+  bool check_invariants = false;
+
+  // minimize: accept any violation while shrinking (CLI --minimize-any).
+  bool match_any = false;
+
+  // ckpt-info: checkpoint directory to describe.
+  std::string ckpt_dir;
+
+  // Progress cadence: emit a progress frame every N units of work (states
+  // for check, walks for simulate) and/or every S seconds. 0/0 falls back to
+  // a 0.5 s time cadence so every long job streams something.
+  uint64_t progress_every = 0;
+  double progress_every_s = 0;
+};
+
+// Validates a submit frame's params for `kind`. Unknown fields are rejected
+// so client typos fail loudly instead of silently running defaults.
+Result<JobParams> ParseJobParams(const std::string& kind, const Json& params);
+
+// Builds the closure executing `params` on a worker thread. `metrics` is the
+// daemon-wide registry (borrowed, may be null): engine counters and phase
+// timers from all jobs aggregate there for GET /metrics.
+JobFn MakeJobFn(JobParams params, obs::MetricsRegistry* metrics);
+
+// Direct execution, used by MakeJobFn and the tests' CLI-equivalence checks.
+JobOutcome ExecuteJob(const JobParams& params, const ProgressSink& sink,
+                      const StopToken& stop, obs::MetricsRegistry* metrics);
+
+}  // namespace serve
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_SERVE_JOB_H_

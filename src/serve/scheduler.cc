@@ -1,0 +1,463 @@
+#include "src/serve/scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+namespace sandtable {
+namespace serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsBetween(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+const char* JobStateName(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kDone:
+      return "done";
+    case JobState::kCancelled:
+      return "cancelled";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "failed";
+}
+
+Json JobRecord::ToJson() const {
+  JsonObject o;
+  o["id"] = Json(id);
+  o["tenant"] = Json(tenant);
+  o["kind"] = Json(kind);
+  o["state"] = Json(JobStateName(state));
+  o["queued_s"] = Json(queued_s);
+  o["run_s"] = Json(run_s);
+  return Json(std::move(o));
+}
+
+Json SchedulerStats::ToJson() const {
+  JsonObject o;
+  o["type"] = Json("stats");
+  o["submitted"] = Json(submitted);
+  o["completed"] = Json(completed);
+  o["cancelled"] = Json(cancelled);
+  o["failed"] = Json(failed);
+  o["rejected"] = Json(rejected);
+  o["queued"] = Json(static_cast<int64_t>(queued));
+  o["running"] = Json(static_cast<int64_t>(running));
+  return Json(std::move(o));
+}
+
+// One scheduled job. The token outlives the engine run because workers and
+// cancellers both hold the shared_ptr.
+struct Scheduler::Job {
+  uint64_t id = 0;
+  std::string tenant;
+  std::string kind;
+  JobState state = JobState::kQueued;
+  JobFn fn;
+  FrameSink sink;
+  StopToken token;
+  Clock::time_point submitted_at;
+  Clock::time_point started_at;
+  double queued_s = 0;
+  double run_s = 0;
+
+  JobRecord Record() const {
+    JobRecord r;
+    r.id = id;
+    r.tenant = tenant;
+    r.kind = kind;
+    r.state = state;
+    r.queued_s = state == JobState::kQueued
+                     ? SecondsBetween(submitted_at, Clock::now())
+                     : queued_s;
+    r.run_s = state == JobState::kRunning
+                  ? SecondsBetween(started_at, Clock::now())
+                  : run_s;
+    return r;
+  }
+};
+
+Scheduler::Scheduler(const SchedulerOptions& options) : options_(options) {
+  options_.workers = std::max(1, options_.workers);
+  options_.max_queued = std::max(0, options_.max_queued);
+  if (options_.metrics != nullptr) {
+    g_queued_ = &options_.metrics->GetGauge("serve.jobs_queued");
+    g_running_ = &options_.metrics->GetGauge("serve.jobs_running");
+    c_submitted_ = &options_.metrics->GetCounter("serve.jobs_submitted");
+    c_completed_ = &options_.metrics->GetCounter("serve.jobs_completed");
+    c_cancelled_ = &options_.metrics->GetCounter("serve.jobs_cancelled");
+    c_failed_ = &options_.metrics->GetCounter("serve.jobs_failed");
+    c_rejected_ = &options_.metrics->GetCounter("serve.jobs_rejected");
+  }
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerMain(); });
+  }
+}
+
+Scheduler::~Scheduler() { Shutdown(); }
+
+void Scheduler::UpdateGaugesLocked() {
+  if (g_queued_ != nullptr) {
+    g_queued_->Set(queued_total_);
+  }
+  if (g_running_ != nullptr) {
+    g_running_->Set(running_total_);
+  }
+}
+
+Scheduler::SubmitResult Scheduler::Submit(const std::string& tenant,
+                                          const std::string& kind, JobFn fn,
+                                          FrameSink sink) {
+  SubmitResult res;
+  std::shared_ptr<Job> job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      res.code = ErrorCode::kShuttingDown;
+      res.message = "server is shutting down";
+      if (c_rejected_ != nullptr) {
+        c_rejected_->Add();
+      }
+      ++stats_.rejected;
+      return res;
+    }
+    if (queued_total_ >= options_.max_queued) {
+      res.code = ErrorCode::kQueueFull;
+      res.message = "queue full (" + std::to_string(options_.max_queued) +
+                    " jobs queued)";
+      if (c_rejected_ != nullptr) {
+        c_rejected_->Add();
+      }
+      ++stats_.rejected;
+      return res;
+    }
+    auto& q = queues_[tenant];
+    if (options_.max_queued_per_tenant > 0 &&
+        static_cast<int>(q.size()) >= options_.max_queued_per_tenant) {
+      if (q.empty()) {
+        queues_.erase(tenant);  // don't leak the entry we just created
+      }
+      res.code = ErrorCode::kTenantQueueFull;
+      res.message = "tenant \"" + tenant + "\" queue full (" +
+                    std::to_string(options_.max_queued_per_tenant) + " jobs)";
+      if (c_rejected_ != nullptr) {
+        c_rejected_->Add();
+      }
+      ++stats_.rejected;
+      return res;
+    }
+    job = std::make_shared<Job>();
+    job->id = next_job_id_++;
+    job->tenant = tenant;
+    job->kind = kind;
+    job->fn = std::move(fn);
+    job->sink = std::move(sink);
+    job->submitted_at = Clock::now();
+    if (q.empty()) {
+      rr_.push_back(tenant);  // tenant (re)joins the round-robin rotation
+    }
+    q.push_back(job);
+    jobs_[job->id] = job;
+    ++queued_total_;
+    ++stats_.submitted;
+    if (c_submitted_ != nullptr) {
+      c_submitted_->Add();
+    }
+    UpdateGaugesLocked();
+    res.ok = true;
+    res.job = job->id;
+    res.queue_depth = static_cast<uint64_t>(queued_total_);
+  }
+  work_cv_.notify_one();
+  return res;
+}
+
+// Round-robin across tenants, FIFO within one. Called with `lock` held.
+std::shared_ptr<Scheduler::Job> Scheduler::PopNextLocked(
+    std::unique_lock<std::mutex>& lock) {
+  (void)lock;
+  while (!rr_.empty()) {
+    const std::string tenant = rr_.front();
+    rr_.pop_front();
+    auto it = queues_.find(tenant);
+    if (it == queues_.end() || it->second.empty()) {
+      continue;  // stale rotation entry (queue drained by Cancel)
+    }
+    std::shared_ptr<Job> job = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) {
+      queues_.erase(it);
+    } else {
+      rr_.push_back(tenant);  // still has work: back of the rotation
+    }
+    --queued_total_;
+    return job;
+  }
+  return nullptr;
+}
+
+void Scheduler::WorkerMain() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return draining_ || queued_total_ > 0; });
+      if (draining_) {
+        return;
+      }
+      job = PopNextLocked(lock);
+      if (job == nullptr) {
+        continue;
+      }
+      job->state = JobState::kRunning;
+      job->started_at = Clock::now();
+      job->queued_s = SecondsBetween(job->submitted_at, job->started_at);
+      ++running_total_;
+      UpdateGaugesLocked();
+    }
+
+    job->sink(StartedFrame(job->id, job->queued_s));
+    const uint64_t id = job->id;
+    const FrameSink& sink = job->sink;
+    ProgressSink progress = [id, &sink](Json doc) {
+      sink(ProgressFrame(id, std::move(doc)));
+    };
+
+    JobOutcome outcome;
+    // The daemon must survive anything a job throws (bad params discovered
+    // late, allocation failure in a huge exploration, ...): a throwing job
+    // fails, the worker slot lives on.
+    try {
+      outcome = job->fn(progress, job->token);
+    } catch (const std::exception& e) {
+      outcome.status = "failed";
+      JsonObject err;
+      err["error"] = Json(std::string("job threw: ") + e.what());
+      outcome.result = Json(std::move(err));
+    } catch (...) {
+      outcome.status = "failed";
+      JsonObject err;
+      err["error"] = Json("job threw a non-standard exception");
+      outcome.result = Json(std::move(err));
+    }
+    // A job that ignored its raised token still reports as cancelled: the
+    // caller asked for cancellation and observed the ack.
+    JobState final_state = JobState::kDone;
+    if (outcome.status == "cancelled" ||
+        (job->token.stop_requested() && outcome.status != "failed")) {
+      final_state = JobState::kCancelled;
+      outcome.status = "cancelled";
+    } else if (outcome.status == "failed") {
+      final_state = JobState::kFailed;
+    }
+    FinishJob(job, final_state, outcome);
+  }
+}
+
+void Scheduler::FinishJob(const std::shared_ptr<Job>& job, JobState state,
+                          const JobOutcome& outcome) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job->state == JobState::kRunning) {
+      --running_total_;
+      job->run_s = SecondsBetween(job->started_at, Clock::now());
+    }
+    job->state = state;
+    switch (state) {
+      case JobState::kDone:
+        ++stats_.completed;
+        if (c_completed_ != nullptr) {
+          c_completed_->Add();
+        }
+        break;
+      case JobState::kCancelled:
+        ++stats_.cancelled;
+        if (c_cancelled_ != nullptr) {
+          c_cancelled_->Add();
+        }
+        break;
+      default:
+        ++stats_.failed;
+        if (c_failed_ != nullptr) {
+          c_failed_->Add();
+        }
+        break;
+    }
+    finished_order_.push_back(job->id);
+    while (static_cast<int>(finished_order_.size()) > options_.retain_finished) {
+      jobs_.erase(finished_order_.front());
+      finished_order_.pop_front();
+    }
+    UpdateGaugesLocked();
+  }
+  job->sink(ResultFrame(job->id, outcome.status, outcome.result, job->queued_s,
+                        job->run_s));
+  idle_cv_.notify_all();
+}
+
+bool Scheduler::Cancel(uint64_t job_id) {
+  std::shared_ptr<Job> queued_job;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = jobs_.find(job_id);
+    if (it == jobs_.end()) {
+      return false;
+    }
+    std::shared_ptr<Job> job = it->second;
+    if (job->state == JobState::kRunning) {
+      job->token.RequestStop();
+      return true;  // the worker emits the result frame when the engine yields
+    }
+    if (job->state != JobState::kQueued) {
+      return false;  // already finished
+    }
+    auto qit = queues_.find(job->tenant);
+    if (qit != queues_.end()) {
+      auto& q = qit->second;
+      q.erase(std::remove(q.begin(), q.end(), job), q.end());
+      if (q.empty()) {
+        queues_.erase(qit);
+      }
+    }
+    --queued_total_;
+    queued_job = std::move(job);
+    queued_job->state = JobState::kCancelled;
+    queued_job->queued_s = SecondsBetween(queued_job->submitted_at, Clock::now());
+    ++stats_.cancelled;
+    if (c_cancelled_ != nullptr) {
+      c_cancelled_->Add();
+    }
+    finished_order_.push_back(job_id);
+    while (static_cast<int>(finished_order_.size()) > options_.retain_finished) {
+      jobs_.erase(finished_order_.front());
+      finished_order_.pop_front();
+    }
+    UpdateGaugesLocked();
+  }
+  queued_job->sink(
+      ResultFrame(queued_job->id, "cancelled", Json(), queued_job->queued_s, 0));
+  idle_cv_.notify_all();
+  return true;
+}
+
+int Scheduler::CancelTenant(const std::string& tenant) {
+  std::vector<uint64_t> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [id, job] : jobs_) {
+      if (job->tenant == tenant &&
+          (job->state == JobState::kQueued || job->state == JobState::kRunning)) {
+        ids.push_back(id);
+      }
+    }
+  }
+  int cancelled = 0;
+  for (uint64_t id : ids) {
+    if (Cancel(id)) {
+      ++cancelled;
+    }
+  }
+  return cancelled;
+}
+
+std::optional<JobRecord> Scheduler::Status(uint64_t job_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = jobs_.find(job_id);
+  if (it == jobs_.end()) {
+    return std::nullopt;
+  }
+  return it->second->Record();
+}
+
+std::vector<JobRecord> Scheduler::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobRecord> out;
+  out.reserve(jobs_.size());
+  for (const auto& [id, job] : jobs_) {
+    out.push_back(job->Record());
+  }
+  return out;
+}
+
+SchedulerStats Scheduler::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SchedulerStats s = stats_;
+  s.queued = queued_total_;
+  s.running = running_total_;
+  return s;
+}
+
+bool Scheduler::WaitIdle(double timeout_s) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_cv_.wait_for(
+      lock, std::chrono::duration<double>(timeout_s),
+      [&] { return queued_total_ == 0 && running_total_ == 0; });
+}
+
+bool Scheduler::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+void Scheduler::Shutdown() {
+  std::vector<std::shared_ptr<Job>> queued;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_ && workers_.empty()) {
+      return;  // already shut down
+    }
+    draining_ = true;
+    // Drain the queues: every queued job is cancelled, every running token is
+    // raised. Workers exit once they notice draining_.
+    for (auto& [tenant, q] : queues_) {
+      for (auto& job : q) {
+        job->state = JobState::kCancelled;
+        job->queued_s = SecondsBetween(job->submitted_at, Clock::now());
+        ++stats_.cancelled;
+        if (c_cancelled_ != nullptr) {
+          c_cancelled_->Add();
+        }
+        finished_order_.push_back(job->id);
+        queued.push_back(job);
+      }
+    }
+    queues_.clear();
+    rr_.clear();
+    queued_total_ = 0;
+    for (const auto& [id, job] : jobs_) {
+      if (job->state == JobState::kRunning) {
+        job->token.RequestStop();
+      }
+    }
+    UpdateGaugesLocked();
+  }
+  work_cv_.notify_all();
+  for (const auto& job : queued) {
+    job->sink(ResultFrame(job->id, "cancelled", Json(), job->queued_s, 0));
+  }
+  for (std::thread& t : workers_) {
+    if (t.joinable()) {
+      t.join();
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers_.clear();
+  }
+  idle_cv_.notify_all();
+}
+
+}  // namespace serve
+}  // namespace sandtable

@@ -1,0 +1,189 @@
+// Multi-tenant job scheduling for sandtable_serve.
+//
+// The scheduler owns a bounded pool of worker threads and a per-tenant FIFO
+// admission queue. Dispatch is round-robin across tenants with FIFO order
+// inside each tenant, so one tenant flooding the queue delays — but never
+// starves — everyone else. Admission control is two-level: a global queued
+// cap and an optional per-tenant cap, both rejecting at submit time with a
+// structured error code (the server relays it as an error frame; see
+// wire.h).
+//
+// The scheduler is deliberately generic: it runs JobFn closures, not model
+// checker jobs. The SandTable-specific job kinds (check / simulate /
+// minimize / ckpt-info) are adapted into JobFns by job.h, and tests inject
+// synthetic jobs to exercise queueing, fairness and cancellation without
+// paying for real exploration.
+//
+// Cancellation is cooperative: every job gets a StopToken (util/stop_token.h)
+// that the engines poll. Cancelling a queued job removes it immediately;
+// cancelling a running job raises its token and the worker slot frees when
+// the engine returns. Every job — completed, failed or cancelled — emits
+// exactly one result frame through its FrameSink.
+#ifndef SANDTABLE_SRC_SERVE_SCHEDULER_H_
+#define SANDTABLE_SRC_SERVE_SCHEDULER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/serve/wire.h"
+#include "src/util/json.h"
+#include "src/util/stop_token.h"
+
+namespace sandtable {
+namespace serve {
+
+// What one job produced. `status` is "done", "cancelled" or "failed";
+// `result` is the engine-specific document embedded in the result frame.
+struct JobOutcome {
+  std::string status;
+  Json result;
+};
+
+// Receives per-job progress documents (already JSON; the scheduler tags them
+// with the job id before forwarding). Called from the worker thread.
+using ProgressSink = std::function<void(Json)>;
+
+// The work itself: runs to completion on a worker thread, streaming progress
+// through the sink and polling the token for cooperative cancellation.
+using JobFn = std::function<JobOutcome(const ProgressSink&, const StopToken&)>;
+
+// Receives complete wire frames (started / progress / result) for one job.
+// Called from worker threads and from Cancel/Shutdown callers — must be
+// thread-safe and must not block indefinitely.
+using FrameSink = std::function<void(const Json&)>;
+
+struct SchedulerOptions {
+  // Concurrent worker slots (max running jobs).
+  int workers = 2;
+  // Global admission bound on queued (not yet running) jobs.
+  int max_queued = 64;
+  // Per-tenant admission bound; 0 = bounded only by max_queued.
+  int max_queued_per_tenant = 0;
+  // Finished-job records retained for status/listing (oldest evicted first).
+  int retain_finished = 1024;
+  // Borrowed, may be null: job gauges/counters land here under "serve.*",
+  // and job.h points the engines at the same registry.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+enum class JobState { kQueued, kRunning, kDone, kCancelled, kFailed };
+const char* JobStateName(JobState state);
+
+// Snapshot of one job for status queries and GET /jobs.
+struct JobRecord {
+  uint64_t id = 0;
+  std::string tenant;
+  std::string kind;
+  JobState state = JobState::kQueued;
+  double queued_s = 0;  // time spent in the queue
+  double run_s = 0;     // time spent running (0 while queued)
+  Json ToJson() const;
+};
+
+struct SchedulerStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t cancelled = 0;
+  uint64_t failed = 0;
+  uint64_t rejected = 0;
+  int queued = 0;
+  int running = 0;
+  Json ToJson() const;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(const SchedulerOptions& options);
+  ~Scheduler();  // Shutdown()
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  struct SubmitResult {
+    bool ok = false;
+    uint64_t job = 0;          // valid when ok
+    uint64_t queue_depth = 0;  // global queued count after admission
+    ErrorCode code = ErrorCode::kInternal;  // valid when !ok
+    std::string message;                    // valid when !ok
+  };
+
+  // Admission-checks and enqueues one job. `kind` is informational (status
+  // frames); `sink` receives this job's started/progress/result frames.
+  SubmitResult Submit(const std::string& tenant, const std::string& kind,
+                      JobFn fn, FrameSink sink);
+
+  // True if the job was found queued (removed immediately, result frame
+  // emitted) or running (token raised; the slot frees when the engine
+  // yields). False for unknown or already-finished jobs.
+  bool Cancel(uint64_t job);
+
+  // Cancels every queued and running job belonging to `tenant` (used when a
+  // client connection goes away). Returns the number of jobs cancelled.
+  int CancelTenant(const std::string& tenant);
+
+  std::optional<JobRecord> Status(uint64_t job) const;
+  std::vector<JobRecord> List() const;
+  SchedulerStats Stats() const;
+
+  // Blocks until no job is queued or running (tests; bounded by timeout).
+  // Returns false on timeout.
+  bool WaitIdle(double timeout_s) const;
+
+  // Stops admission, cancels all queued jobs, raises every running token and
+  // joins the workers. Idempotent.
+  void Shutdown();
+
+  bool draining() const;
+
+ private:
+  struct Job;
+  void WorkerMain();
+  std::shared_ptr<Job> PopNextLocked(std::unique_lock<std::mutex>& lock);
+  void FinishJob(const std::shared_ptr<Job>& job, JobState state,
+                 const JobOutcome& outcome);
+  void UpdateGaugesLocked();
+
+  SchedulerOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  mutable std::condition_variable idle_cv_;
+  bool draining_ = false;
+
+  uint64_t next_job_id_ = 1;
+  // Per-tenant FIFO queues plus a round-robin rotation of tenant names.
+  std::map<std::string, std::deque<std::shared_ptr<Job>>> queues_;
+  std::deque<std::string> rr_;
+  int queued_total_ = 0;
+  int running_total_ = 0;
+
+  // All known jobs by id; finished ones are evicted FIFO past retain_finished.
+  std::map<uint64_t, std::shared_ptr<Job>> jobs_;
+  std::deque<uint64_t> finished_order_;
+
+  SchedulerStats stats_;
+  std::vector<std::thread> workers_;
+
+  // serve.* instruments (null when options_.metrics is null).
+  obs::Gauge* g_queued_ = nullptr;
+  obs::Gauge* g_running_ = nullptr;
+  obs::Counter* c_submitted_ = nullptr;
+  obs::Counter* c_completed_ = nullptr;
+  obs::Counter* c_cancelled_ = nullptr;
+  obs::Counter* c_failed_ = nullptr;
+  obs::Counter* c_rejected_ = nullptr;
+};
+
+}  // namespace serve
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_SERVE_SCHEDULER_H_

@@ -1,0 +1,548 @@
+#include "src/serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "src/serve/http_metrics.h"
+#include "src/serve/job.h"
+
+namespace sandtable {
+namespace serve {
+
+namespace {
+
+// How long a worker will wait for a slow client before disconnecting it
+// instead of blocking the worker slot on its progress stream.
+constexpr int kWriteTimeoutMs = 5000;
+
+Status Errno(const std::string& what) {
+  return Status::Error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+// One accepted connection. Reads happen only on the loop thread; writes are
+// serialized by write_mu and may come from the loop thread (acks) or worker
+// threads (job frames).
+struct Server::Conn {
+  int fd = -1;
+  uint64_t id = 0;
+  ConnKind kind = ConnKind::kJob;
+  std::string inbuf;
+  std::string tenant;  // default tenant for submits without one
+
+  std::mutex write_mu;
+  bool dead = false;  // write failed/timed out; loop reaps via shutdown()
+
+  // Jobs submitted on this connection, cancelled when it goes away.
+  std::vector<uint64_t> jobs;
+};
+
+Server::Server(const ServerOptions& options) : options_(options) {
+  SchedulerOptions sopts = options_.scheduler;
+  sopts.metrics = options_.metrics;
+  scheduler_ = std::make_unique<Scheduler>(sopts);
+}
+
+Server::~Server() { Stop(); }
+
+namespace {
+
+Result<int> ListenUnix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Result<int>::Error("socket path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Result<int>::Error("socket: " + std::string(std::strerror(errno)));
+  }
+  // A stale path from a crashed daemon would fail bind(); only unlink paths
+  // nothing is listening on, so two daemons can't silently steal each other's
+  // socket.
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+    ::close(fd);
+    return Result<int>::Error("already in use: " + path);
+  }
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Result<int>::Error("bind/listen " + path + ": " + err);
+  }
+  return fd;
+}
+
+Result<int> ListenTcp(int port, int* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Result<int>::Error("socket: " + std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return Result<int>::Error("bind/listen 127.0.0.1:" + std::to_string(port) +
+                              ": " + err);
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+}  // namespace
+
+Status Server::Start() {
+  if (started_) {
+    return Status::Error("server already started");
+  }
+  if (options_.unix_path.empty() && options_.tcp_port < 0) {
+    return Status::Error("no job listener configured (unix_path or tcp_port)");
+  }
+  if (::pipe(wake_pipe_) != 0) {
+    return Errno("pipe");
+  }
+  ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+
+  epoll_fd_ = ::epoll_create1(0);
+  if (epoll_fd_ < 0) {
+    return Errno("epoll_create1");
+  }
+  auto watch = [this](int fd) {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    return ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0;
+  };
+
+  if (!options_.unix_path.empty()) {
+    auto fd = ListenUnix(options_.unix_path);
+    if (!fd.ok()) {
+      return Status::Error(fd.error());
+    }
+    job_unix_fd_ = fd.value();
+  }
+  if (options_.tcp_port >= 0) {
+    auto fd = ListenTcp(options_.tcp_port, &tcp_port_);
+    if (!fd.ok()) {
+      return Status::Error(fd.error());
+    }
+    job_tcp_fd_ = fd.value();
+  }
+  if (!options_.metrics_unix_path.empty()) {
+    auto fd = ListenUnix(options_.metrics_unix_path);
+    if (!fd.ok()) {
+      return Status::Error(fd.error());
+    }
+    http_unix_fd_ = fd.value();
+  }
+  if (options_.metrics_tcp_port >= 0) {
+    auto fd = ListenTcp(options_.metrics_tcp_port, &metrics_tcp_port_);
+    if (!fd.ok()) {
+      return Status::Error(fd.error());
+    }
+    http_tcp_fd_ = fd.value();
+  }
+  for (int fd : {wake_pipe_[0], job_unix_fd_, job_tcp_fd_, http_unix_fd_, http_tcp_fd_}) {
+    if (fd >= 0 && !watch(fd)) {
+      return Errno("epoll_ctl");
+    }
+  }
+  started_ = true;
+  loop_ = std::thread([this] { LoopMain(); });
+  return Status();
+}
+
+void Server::RequestStop() {
+  stop_requested_.store(true, std::memory_order_relaxed);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::Stop() {
+  if (!started_) {
+    return;
+  }
+  RequestStop();
+  if (loop_.joinable()) {
+    loop_.join();
+  }
+  scheduler_->Shutdown();
+  for (int* fd : {&job_unix_fd_, &job_tcp_fd_, &http_unix_fd_, &http_tcp_fd_,
+                  &epoll_fd_, &wake_pipe_[0], &wake_pipe_[1]}) {
+    if (*fd >= 0) {
+      ::close(*fd);
+      *fd = -1;
+    }
+  }
+  if (!options_.unix_path.empty()) {
+    ::unlink(options_.unix_path.c_str());
+  }
+  if (!options_.metrics_unix_path.empty()) {
+    ::unlink(options_.metrics_unix_path.c_str());
+  }
+  started_ = false;
+  {
+    std::lock_guard<std::mutex> lock(stopped_mu_);
+    stopped_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void Server::WaitShutdown() {
+  std::unique_lock<std::mutex> lock(stopped_mu_);
+  stopped_cv_.wait(lock, [this] { return stopped_; });
+}
+
+void Server::LoopMain() {
+  epoll_event events[64];
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    const int n = ::epoll_wait(epoll_fd_, events, 64, 200);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_pipe_[0]) {
+        char buf[64];
+        while (::read(wake_pipe_[0], buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (fd == job_unix_fd_ || fd == job_tcp_fd_) {
+        Accept(fd, ConnKind::kJob);
+        continue;
+      }
+      if (fd == http_unix_fd_ || fd == http_tcp_fd_) {
+        Accept(fd, ConnKind::kHttp);
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) {
+        continue;  // already closed this iteration
+      }
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConn(it->second, /*cancel_jobs=*/true);
+        continue;
+      }
+      HandleReadable(it->second);
+    }
+    // Reap connections whose writers hit the timeout/EPIPE path.
+    std::vector<std::shared_ptr<Conn>> dead;
+    for (auto& [cfd, conn] : conns_) {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      if (conn->dead) {
+        dead.push_back(conn);
+      }
+    }
+    for (auto& conn : dead) {
+      CloseConn(conn, /*cancel_jobs=*/true);
+    }
+  }
+  // Drain: close every connection (cancelling its jobs) before the scheduler
+  // shuts down, so no frame sink outlives its socket.
+  while (!conns_.empty()) {
+    CloseConn(conns_.begin()->second, /*cancel_jobs=*/true);
+  }
+  // Unblock WaitShutdown(); full teardown (scheduler join, fd close) stays in
+  // Stop(), which cannot run on this thread.
+  {
+    std::lock_guard<std::mutex> lock(stopped_mu_);
+    stopped_ = true;
+  }
+  stopped_cv_.notify_all();
+}
+
+void Server::Accept(int listen_fd, ConnKind kind) {
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    return;
+  }
+  auto conn = std::make_shared<Conn>();
+  conn->fd = fd;
+  conn->id = next_conn_id_++;
+  conn->kind = kind;
+  conn->tenant = "conn-" + std::to_string(conn->id);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    ::close(fd);
+    return;
+  }
+  conns_[fd] = conn;
+  if (kind == ConnKind::kJob) {
+    SendFrame(conn, HelloFrame(options_.scheduler.workers,
+                               options_.scheduler.max_queued));
+  }
+}
+
+void Server::HandleReadable(std::shared_ptr<Conn> conn) {
+  char buf[16384];
+  const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+  if (n <= 0) {
+    if (n < 0 && (errno == EAGAIN || errno == EINTR)) {
+      return;
+    }
+    CloseConn(conn, /*cancel_jobs=*/true);
+    return;
+  }
+  conn->inbuf.append(buf, static_cast<size_t>(n));
+  if (conn->kind == ConnKind::kHttp) {
+    HandleHttp(conn);
+    return;
+  }
+  size_t start = 0;
+  for (size_t nl = conn->inbuf.find('\n', start); nl != std::string::npos;
+       nl = conn->inbuf.find('\n', start)) {
+    std::string line = conn->inbuf.substr(start, nl - start);
+    start = nl + 1;
+    if (!line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    if (!line.empty()) {
+      HandleRequestLine(conn, line);
+    }
+    // A request (shutdown, or a fatal write error) may have closed the
+    // connection; stop parsing its buffer in that case.
+    if (conns_.find(conn->fd) == conns_.end() || conns_[conn->fd] != conn) {
+      return;
+    }
+  }
+  conn->inbuf.erase(0, start);
+}
+
+void Server::HandleRequestLine(const std::shared_ptr<Conn>& conn,
+                               const std::string& line) {
+  auto parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    const bool unknown_op = parsed.error().rfind("unknown op:", 0) == 0;
+    SendFrame(conn, ErrorFrame(Json(), unknown_op ? ErrorCode::kUnknownOp
+                                                  : ErrorCode::kBadRequest,
+                               parsed.error()));
+    return;
+  }
+  const Request& req = parsed.value();
+  switch (req.op) {
+    case Request::Op::kPing:
+      SendFrame(conn, PongFrame(req.req_token));
+      return;
+    case Request::Op::kStats: {
+      Json frame = scheduler_->Stats().ToJson();
+      frame.as_object()["type"] = Json("stats");
+      if (!req.req_token.is_null()) {
+        frame.as_object()["req"] = req.req_token;
+      }
+      SendFrame(conn, frame);
+      return;
+    }
+    case Request::Op::kStatus: {
+      auto record = scheduler_->Status(req.job);
+      if (!record.has_value()) {
+        SendFrame(conn, ErrorFrame(req.req_token, ErrorCode::kUnknownJob,
+                                   "unknown job: " + std::to_string(req.job)));
+        return;
+      }
+      Json frame = record->ToJson();
+      frame.as_object()["type"] = Json("status");
+      if (!req.req_token.is_null()) {
+        frame.as_object()["req"] = req.req_token;
+      }
+      SendFrame(conn, frame);
+      return;
+    }
+    case Request::Op::kCancel: {
+      if (!scheduler_->Cancel(req.job)) {
+        SendFrame(conn, ErrorFrame(req.req_token, ErrorCode::kUnknownJob,
+                                   "job not queued or running: " +
+                                       std::to_string(req.job)));
+        return;
+      }
+      SendFrame(conn, AckFrame(req.req_token, req.job, "cancelling",
+                               scheduler_->Stats().queued));
+      return;
+    }
+    case Request::Op::kShutdown: {
+      if (!options_.allow_shutdown) {
+        SendFrame(conn, ErrorFrame(req.req_token, ErrorCode::kForbidden,
+                                   "shutdown disabled; start the daemon with "
+                                   "--allow-shutdown to enable"));
+        return;
+      }
+      SendFrame(conn, AckFrame(req.req_token, 0, "shutting_down",
+                               scheduler_->Stats().queued));
+      RequestStop();
+      return;
+    }
+    case Request::Op::kSubmit:
+      break;
+  }
+
+  // Submit: validate params, apply the server's budget policy, enqueue.
+  auto params = ParseJobParams(req.kind, req.params);
+  if (!params.ok()) {
+    const bool unknown_kind = params.error().rfind("unknown job kind", 0) == 0;
+    SendFrame(conn, ErrorFrame(req.req_token,
+                               unknown_kind ? ErrorCode::kUnknownKind
+                                            : ErrorCode::kBadRequest,
+                               params.error()));
+    return;
+  }
+  JobParams p = std::move(params).value();
+  if (p.time_budget_ms == 0 && options_.default_time_budget_ms > 0) {
+    p.time_budget_ms = options_.default_time_budget_ms;
+  }
+  if (options_.max_time_budget_ms > 0 &&
+      (p.time_budget_ms == 0 || p.time_budget_ms > options_.max_time_budget_ms)) {
+    p.time_budget_ms = options_.max_time_budget_ms;
+  }
+  if (options_.max_states_cap > 0 &&
+      (p.max_states == 0 || p.max_states > options_.max_states_cap)) {
+    p.max_states = options_.max_states_cap;
+  }
+  if (options_.max_depth_cap > 0 &&
+      (p.max_depth == 0 || p.max_depth > options_.max_depth_cap)) {
+    p.max_depth = options_.max_depth_cap;
+  }
+
+  const std::string tenant = req.tenant.empty() ? conn->tenant : req.tenant;
+  std::weak_ptr<Conn> weak = conn;
+  FrameSink sink = [weak](const Json& frame) {
+    if (auto conn = weak.lock()) {
+      SendFrame(conn, frame);
+    }
+  };
+  const Scheduler::SubmitResult sub = scheduler_->Submit(
+      tenant, req.kind, MakeJobFn(std::move(p), options_.metrics),
+      std::move(sink));
+  if (!sub.ok) {
+    SendFrame(conn, ErrorFrame(req.req_token, sub.code, sub.message));
+    return;
+  }
+  // Jobs on the implicit per-connection tenant die with the connection; jobs
+  // submitted under an explicit tenant are externally owned and keep running
+  // (the point of sandtable_client --detach), cancellable by id later.
+  if (req.tenant.empty()) {
+    conn->jobs.push_back(sub.job);
+  }
+  SendFrame(conn, AckFrame(req.req_token, sub.job, "queued", sub.queue_depth));
+}
+
+void Server::HandleHttp(const std::shared_ptr<Conn>& conn) {
+  auto req = ParseHttpRequest(conn->inbuf);
+  if (!req.has_value()) {
+    if (conn->inbuf.size() > 16384) {
+      CloseConn(conn, /*cancel_jobs=*/false);  // oversized head
+    }
+    return;
+  }
+  std::string response;
+  if (req->method != "GET") {
+    response = HttpResponse(405, "text/plain", "only GET is supported\n");
+  } else if (req->path == "/metrics") {
+    obs::MetricsSnapshot snap;
+    if (options_.metrics != nullptr) {
+      snap = options_.metrics->Snapshot();
+    }
+    response = HttpResponse(200, "text/plain; version=0.0.4",
+                            RenderPrometheus(snap, scheduler_->Stats()));
+  } else if (req->path == "/jobs") {
+    JsonArray jobs;
+    for (const JobRecord& r : scheduler_->List()) {
+      jobs.push_back(r.ToJson());
+    }
+    response = HttpResponse(200, "application/json",
+                            Json(std::move(jobs)).Dump() + "\n");
+  } else if (req->path == "/healthz") {
+    response = HttpResponse(200, "text/plain", "ok\n");
+  } else if (req->path.empty()) {
+    response = HttpResponse(400, "text/plain", "malformed request line\n");
+  } else {
+    response = HttpResponse(404, "text/plain", "unknown path: " + req->path +
+                                                   " (try /metrics)\n");
+  }
+  SendRaw(conn, response);
+  CloseConn(conn, /*cancel_jobs=*/false);  // HTTP/1.0: one request per connection
+}
+
+void Server::CloseConn(std::shared_ptr<Conn> conn, bool cancel_jobs) {
+  auto it = conns_.find(conn->fd);
+  if (it == conns_.end() || it->second != conn) {
+    return;
+  }
+  conns_.erase(it);
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  if (cancel_jobs) {
+    for (uint64_t job : conn->jobs) {
+      scheduler_->Cancel(job);  // false for finished jobs; that's fine
+    }
+  }
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  ::close(conn->fd);
+  conn->fd = -1;
+  conn->dead = true;
+}
+
+bool Server::SendRaw(const std::shared_ptr<Conn>& conn, const std::string& data) {
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->dead || conn->fd < 0) {
+    return false;
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(conn->fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd pfd{conn->fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, kWriteTimeoutMs) > 0) {
+        continue;
+      }
+    }
+    // Broken pipe or a client unwritable past the timeout: mark the
+    // connection dead; the loop thread reaps and cancels its jobs.
+    conn->dead = true;
+    return false;
+  }
+  return true;
+}
+
+void Server::SendFrame(const std::shared_ptr<Conn>& conn, const Json& frame) {
+  SendRaw(conn, frame.Dump() + "\n");
+}
+
+}  // namespace serve
+}  // namespace sandtable

@@ -1,0 +1,144 @@
+// sandtable_serve's network core: an epoll event loop accepting job
+// connections (newline-delimited JSON, wire.h) and HTTP/1.0 metrics scrapes,
+// dispatching submitted jobs to the shared Scheduler.
+//
+// Threading model:
+//   - One event-loop thread owns accept/read/close for every connection.
+//   - Scheduler worker threads execute jobs and push started/progress/result
+//     frames through a thread-safe per-connection Send (mutex-serialized
+//     blocking writes with a poll timeout; a client that stays unwritable
+//     past the timeout is disconnected rather than wedging a worker).
+//   - Client disconnect cancels that connection's outstanding jobs: queued
+//     ones leave the queue immediately, running ones get their StopToken
+//     raised and the worker slot frees at the next engine poll.
+//
+// Lifecycle: Start() binds the listeners and launches the loop; Stop() (or a
+// client "shutdown" op when enabled, or RequestStop from a signal handler)
+// drains: admission closes, running jobs are cancelled, workers join,
+// connections close. WaitShutdown() parks the daemon main thread until then.
+#ifndef SANDTABLE_SRC_SERVE_SERVER_H_
+#define SANDTABLE_SRC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/metrics.h"
+#include "src/serve/scheduler.h"
+#include "src/serve/wire.h"
+#include "src/util/result.h"
+
+namespace sandtable {
+namespace serve {
+
+struct ServerOptions {
+  // Job listener: a Unix-domain socket path and/or a loopback TCP port
+  // (0 = ephemeral, -1 = disabled). At least one must be enabled.
+  std::string unix_path;
+  int tcp_port = -1;
+
+  // Metrics listener (HTTP/1.0 GET /metrics | /jobs | /healthz), same
+  // conventions. Both disabled = no scrape endpoint.
+  std::string metrics_unix_path;
+  int metrics_tcp_port = -1;
+
+  SchedulerOptions scheduler;
+
+  // Honor the "shutdown" op from clients (off by default: a shared daemon
+  // shouldn't be stoppable by any tenant).
+  bool allow_shutdown = false;
+
+  // Per-job budget policy applied at submit time: defaults fill unset (zero)
+  // params, caps clamp client-requested budgets. 0 = no default / no cap.
+  uint64_t default_time_budget_ms = 0;
+  uint64_t max_time_budget_ms = 0;
+  uint64_t max_states_cap = 0;
+  uint64_t max_depth_cap = 0;
+
+  // Borrowed, may be null: daemon-wide registry shared by the scheduler's
+  // job gauges and every job's engine counters; rendered by GET /metrics.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(const ServerOptions& options);
+  ~Server();  // Stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds listeners and starts the loop thread. Fails (with errno detail) on
+  // bind/listen errors, e.g. an already-taken socket path.
+  Status Start();
+
+  // Full drain; idempotent, safe from any thread (not from signal handlers —
+  // those use RequestStop).
+  void Stop();
+
+  // Async-signal-safe stop request: flips a flag and pokes the loop's wake
+  // pipe. The loop thread performs the actual Stop().
+  void RequestStop();
+
+  // Blocks until the server stopped (Stop/RequestStop/client shutdown op).
+  void WaitShutdown();
+
+  // Bound ports after Start() when the corresponding listener used port 0.
+  int tcp_port() const { return tcp_port_; }
+  int metrics_tcp_port() const { return metrics_tcp_port_; }
+
+  Scheduler& scheduler() { return *scheduler_; }
+
+ private:
+  struct Conn;
+  enum class ConnKind { kJob, kHttp };
+
+  void LoopMain();
+  void Accept(int listen_fd, ConnKind kind);
+  // HandleReadable and CloseConn take the shared_ptr BY VALUE on purpose:
+  // callers pass the shared_ptr stored in conns_ itself, and CloseConn erases
+  // that map entry — a reference parameter would dangle the moment the entry
+  // (the last strong ref; job sinks hold weak_ptrs) is destroyed.
+  void HandleReadable(std::shared_ptr<Conn> conn);
+  void HandleRequestLine(const std::shared_ptr<Conn>& conn,
+                         const std::string& line);
+  void HandleHttp(const std::shared_ptr<Conn>& conn);
+  void CloseConn(std::shared_ptr<Conn> conn, bool cancel_jobs);
+  static bool SendRaw(const std::shared_ptr<Conn>& conn, const std::string& data);
+  static void SendFrame(const std::shared_ptr<Conn>& conn, const Json& frame);
+
+  ServerOptions options_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::thread loop_;
+  std::atomic<bool> stop_requested_{false};
+  bool started_ = false;
+
+  int job_unix_fd_ = -1;
+  int job_tcp_fd_ = -1;
+  int http_unix_fd_ = -1;
+  int http_tcp_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  int tcp_port_ = -1;
+  int metrics_tcp_port_ = -1;
+
+  // Connections are owned here and referenced weakly by job FrameSinks, so a
+  // frame for a vanished connection is dropped, not use-after-freed.
+  std::map<int, std::shared_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  std::mutex stopped_mu_;
+  std::condition_variable stopped_cv_;
+  bool stopped_ = false;
+};
+
+}  // namespace serve
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_SERVE_SERVER_H_

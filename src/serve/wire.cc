@@ -1,0 +1,170 @@
+#include "src/serve/wire.h"
+
+namespace sandtable {
+namespace serve {
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest:
+      return "bad_request";
+    case ErrorCode::kUnknownOp:
+      return "unknown_op";
+    case ErrorCode::kUnknownKind:
+      return "unknown_kind";
+    case ErrorCode::kUnknownJob:
+      return "unknown_job";
+    case ErrorCode::kQueueFull:
+      return "queue_full";
+    case ErrorCode::kTenantQueueFull:
+      return "tenant_queue_full";
+    case ErrorCode::kShuttingDown:
+      return "shutting_down";
+    case ErrorCode::kForbidden:
+      return "forbidden";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+Result<Request> ParseRequest(const std::string& line) {
+  auto parsed = Json::Parse(line);
+  if (!parsed.ok()) {
+    return Result<Request>::Error("not valid JSON: " + parsed.error());
+  }
+  const Json& j = parsed.value();
+  if (!j.is_object()) {
+    return Result<Request>::Error("request must be a JSON object");
+  }
+  if (!j["op"].is_string()) {
+    return Result<Request>::Error("missing string field \"op\"");
+  }
+  Request r;
+  r.req_token = j["req"];
+  const std::string& op = j["op"].as_string();
+  if (op == "submit") {
+    r.op = Request::Op::kSubmit;
+    if (!j["kind"].is_string()) {
+      return Result<Request>::Error("submit needs a string field \"kind\"");
+    }
+    r.kind = j["kind"].as_string();
+    if (j.contains("tenant")) {
+      if (!j["tenant"].is_string()) {
+        return Result<Request>::Error("\"tenant\" must be a string");
+      }
+      r.tenant = j["tenant"].as_string();
+    }
+    r.params = j["params"];
+    if (!r.params.is_null() && !r.params.is_object()) {
+      return Result<Request>::Error("\"params\" must be an object");
+    }
+    return r;
+  }
+  if (op == "cancel" || op == "status") {
+    r.op = op == "cancel" ? Request::Op::kCancel : Request::Op::kStatus;
+    if (!j["job"].is_int() || j["job"].as_int() < 0) {
+      return Result<Request>::Error(op + " needs a non-negative integer \"job\"");
+    }
+    r.job = static_cast<uint64_t>(j["job"].as_int());
+    return r;
+  }
+  if (op == "stats") {
+    r.op = Request::Op::kStats;
+    return r;
+  }
+  if (op == "ping") {
+    r.op = Request::Op::kPing;
+    return r;
+  }
+  if (op == "shutdown") {
+    r.op = Request::Op::kShutdown;
+    return r;
+  }
+  return Result<Request>::Error("unknown op: " + op);
+}
+
+namespace {
+
+// Every response frame echoes the request's correlation token when present.
+void PutToken(JsonObject& o, const Json& req_token) {
+  if (!req_token.is_null()) {
+    o["req"] = req_token;
+  }
+}
+
+}  // namespace
+
+Json HelloFrame(int max_running, int max_queued) {
+  JsonObject o;
+  o["type"] = Json("hello");
+  o["server"] = Json("sandtable_serve");
+  o["protocol"] = Json(kProtocolVersion);
+  o["max_running"] = Json(static_cast<int64_t>(max_running));
+  o["max_queued"] = Json(static_cast<int64_t>(max_queued));
+  return Json(std::move(o));
+}
+
+Json AckFrame(const Json& req_token, uint64_t job, const char* status,
+              uint64_t queue_depth) {
+  JsonObject o;
+  o["type"] = Json("ack");
+  PutToken(o, req_token);
+  o["job"] = Json(job);
+  o["status"] = Json(status);
+  o["queue_depth"] = Json(queue_depth);
+  return Json(std::move(o));
+}
+
+Json ErrorFrame(const Json& req_token, ErrorCode code, const std::string& message) {
+  JsonObject o;
+  o["type"] = Json("error");
+  PutToken(o, req_token);
+  o["code"] = Json(ErrorCodeName(code));
+  o["message"] = Json(message);
+  return Json(std::move(o));
+}
+
+Json PongFrame(const Json& req_token) {
+  JsonObject o;
+  o["type"] = Json("pong");
+  PutToken(o, req_token);
+  o["protocol"] = Json(kProtocolVersion);
+  return Json(std::move(o));
+}
+
+Json StartedFrame(uint64_t job, double queued_s) {
+  JsonObject o;
+  o["type"] = Json("started");
+  o["job"] = Json(job);
+  o["queued_s"] = Json(queued_s);
+  return Json(std::move(o));
+}
+
+Json ProgressFrame(uint64_t job, Json progress) {
+  if (progress.is_object()) {
+    progress.as_object()["job"] = Json(job);
+    return progress;
+  }
+  // Non-object engine output (shouldn't happen) still reaches the client as a
+  // tagged log frame rather than being dropped.
+  JsonObject o;
+  o["type"] = Json("log");
+  o["job"] = Json(job);
+  o["line"] = std::move(progress);
+  return Json(std::move(o));
+}
+
+Json ResultFrame(uint64_t job, const std::string& status, Json result,
+                 double queued_s, double run_s) {
+  JsonObject o;
+  o["type"] = Json("result");
+  o["job"] = Json(job);
+  o["status"] = Json(status);
+  o["result"] = std::move(result);
+  o["queued_s"] = Json(queued_s);
+  o["run_s"] = Json(run_s);
+  return Json(std::move(o));
+}
+
+}  // namespace serve
+}  // namespace sandtable

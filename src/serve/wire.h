@@ -1,0 +1,79 @@
+// Wire protocol of sandtable_serve (see DESIGN.md "Model checking as a
+// service" for the full specification).
+//
+// Everything on a job connection is newline-delimited JSON, both directions.
+// The client sends request frames:
+//
+//   {"op":"submit","kind":"check","tenant":"ci","req":7,"params":{...}}
+//   {"op":"cancel","job":3}         {"op":"status","job":3}
+//   {"op":"stats"}  {"op":"ping"}   {"op":"shutdown"}
+//
+// The server answers with exactly one ack/error/pong/stats frame per request
+// (correlated by the client-chosen "req" token, echoed verbatim), and streams
+// unsolicited per-job frames — started / progress / result — tagged with the
+// server-assigned job id. Frames of concurrent jobs interleave on the
+// connection; the job id is the demultiplexing key.
+//
+// This layer is pure data: frame builders and the request parser, shared by
+// the server, the client library and the tests so the two sides cannot
+// drift. No sockets here.
+#ifndef SANDTABLE_SRC_SERVE_WIRE_H_
+#define SANDTABLE_SRC_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/json.h"
+#include "src/util/result.h"
+
+namespace sandtable {
+namespace serve {
+
+inline constexpr int kProtocolVersion = 1;
+
+// Stable machine-readable error codes ("code" in error frames).
+enum class ErrorCode {
+  kBadRequest,       // unparseable line, missing/mistyped field
+  kUnknownOp,        // "op" not one of the verbs above
+  kUnknownKind,      // submit with an unrecognized job kind
+  kUnknownJob,       // cancel/status for a job id the server never assigned
+  kQueueFull,        // admission control: global queue at capacity
+  kTenantQueueFull,  // admission control: this tenant's queue at capacity
+  kShuttingDown,     // server is draining; no new work accepted
+  kForbidden,        // op disabled by server configuration (e.g. shutdown)
+  kInternal,         // unexpected server-side failure
+};
+const char* ErrorCodeName(ErrorCode code);
+
+// Client -> server request, one per line.
+struct Request {
+  enum class Op { kSubmit, kCancel, kStatus, kStats, kPing, kShutdown };
+  Op op = Op::kPing;
+  Json req_token;       // echoed in the response frame; null when absent
+  std::string tenant;   // submit only; "" = per-connection default tenant
+  std::string kind;     // submit only; job kind name
+  Json params;          // submit only; job parameters (object or null)
+  uint64_t job = 0;     // cancel/status only
+};
+
+// Parses one request line. Returns an error message suitable for a
+// bad_request error frame; the caller still answers on the wire.
+Result<Request> ParseRequest(const std::string& line);
+
+// Server -> client frame builders. Every frame has a "type" key.
+Json HelloFrame(int max_running, int max_queued);
+Json AckFrame(const Json& req_token, uint64_t job, const char* status,
+              uint64_t queue_depth);
+Json ErrorFrame(const Json& req_token, ErrorCode code, const std::string& message);
+Json PongFrame(const Json& req_token);
+Json StartedFrame(uint64_t job, double queued_s);
+// Wraps one engine progress line (obs::ProgressReporter output) with the job id.
+Json ProgressFrame(uint64_t job, Json progress);
+// `status` is done|cancelled|failed; `result` is the engine-specific document.
+Json ResultFrame(uint64_t job, const std::string& status, Json result,
+                 double queued_s, double run_s);
+
+}  // namespace serve
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_SERVE_WIRE_H_

@@ -1,0 +1,45 @@
+// Cooperative cancellation for long-running engine work.
+//
+// A StopToken is a single sticky flag shared between a controller (a signal
+// handler, the serve scheduler, a test) and the engine loops that poll it.
+// Engines treat a raised token like a budget limit: they stop at the next
+// natural sampling point (per expanded state / per walk step / per chunk),
+// finalize their result with `cancelled = true`, and return normally — no
+// exceptions, no thread interruption, checkpoints still get written.
+//
+// RequestStop() is a relaxed atomic store, so it is async-signal-safe and may
+// be called from a SIGINT/SIGTERM handler. The token must outlive every
+// engine borrowing it.
+#ifndef SANDTABLE_SRC_UTIL_STOP_TOKEN_H_
+#define SANDTABLE_SRC_UTIL_STOP_TOKEN_H_
+
+#include <atomic>
+
+namespace sandtable {
+
+class StopToken {
+ public:
+  StopToken() = default;
+  StopToken(const StopToken&) = delete;
+  StopToken& operator=(const StopToken&) = delete;
+
+  void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
+  bool stop_requested() const { return stop_.load(std::memory_order_relaxed); }
+
+  // Re-arm a token between runs (the CLI reuses one across subcommand steps;
+  // tests reuse one across cases). Not safe concurrently with RequestStop.
+  void Reset() { stop_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
+// Null-safe polling helper: engines take `const StopToken*` options that
+// default to nullptr, and a null token never requests a stop.
+inline bool StopRequested(const StopToken* token) {
+  return token != nullptr && token->stop_requested();
+}
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_UTIL_STOP_TOKEN_H_

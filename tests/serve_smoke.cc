@@ -1,0 +1,259 @@
+// Serve smoke test (label serve-smoke): boots the real sandtable_serve
+// binary on a Unix socket, drives it with the real sandtable_client binary,
+// and validates the captured frame streams with bench_validate_json --serve.
+//
+// Two scenarios, mirroring the daily workflow:
+//   1. A small check job: streamed frames validate, the client exits 0, and
+//      the result document matches what `sandtable_cli check` prints for the
+//      same target — the daemon is a scheduler around the same engines, not a
+//      different checker.
+//   2. A cancelled walk: an effectively-unbounded simulate job is cancelled
+//      by id from a second connection; the submitting client sees the
+//      cancelled result (exit 2) and its capture still validates.
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/util/json.h"
+
+#ifndef SANDTABLE_SERVE_BIN
+#define SANDTABLE_SERVE_BIN ""
+#endif
+#ifndef SANDTABLE_CLIENT_BIN
+#define SANDTABLE_CLIENT_BIN ""
+#endif
+#ifndef SANDTABLE_CLI_BIN
+#define SANDTABLE_CLI_BIN ""
+#endif
+#ifndef SANDTABLE_VALIDATOR_BIN
+#define SANDTABLE_VALIDATOR_BIN ""
+#endif
+
+namespace sandtable {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Runs a shell command, returns its exit code (-1 if it died on a signal).
+int RunCmd(const std::string& cmd) {
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// Strips wall-clock keys so a daemon result and a CLI result of the same
+// deterministic run compare equal.
+Json StripVolatile(const Json& doc) {
+  if (doc.is_object()) {
+    JsonObject out;
+    for (const auto& [key, value] : doc.as_object()) {
+      if (key == "seconds" || key == "queued_s" || key == "run_s") {
+        continue;
+      }
+      out[key] = StripVolatile(value);
+    }
+    return Json(std::move(out));
+  }
+  if (doc.is_array()) {
+    JsonArray out;
+    for (const Json& v : doc.as_array()) {
+      out.push_back(StripVolatile(v));
+    }
+    return Json(std::move(out));
+  }
+  return doc;
+}
+
+// First JSONL line in `content` satisfying `pred`, or null.
+template <typename Pred>
+Json FindLine(const std::string& content, Pred pred) {
+  std::istringstream in(content);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] != '{') {
+      continue;
+    }
+    auto parsed = Json::Parse(line);
+    if (parsed.ok() && pred(parsed.value())) {
+      return parsed.value();
+    }
+  }
+  return Json();
+}
+
+class ServeSmoke : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = "/tmp/st-smoke-" + std::to_string(::getpid());
+    ::mkdir(dir_.c_str(), 0755);
+    sock_ = dir_ + "/serve.sock";
+    ::unlink(sock_.c_str());
+
+    daemon_pid_ = ::fork();
+    ASSERT_GE(daemon_pid_, 0) << "fork failed";
+    if (daemon_pid_ == 0) {
+      // Child: the daemon. Its one "serving" stdout line goes to a file.
+      std::freopen((dir_ + "/serving.json").c_str(), "w", stdout);
+      ::execl(SANDTABLE_SERVE_BIN, SANDTABLE_SERVE_BIN, "--socket",
+              sock_.c_str(), "--workers", "2", (char*)nullptr);
+      std::perror("execl sandtable_serve");
+      std::_Exit(127);
+    }
+
+    // Wait until the daemon answers a ping.
+    const std::string ping = std::string(SANDTABLE_CLIENT_BIN) + " --socket " +
+                             sock_ + " ping > /dev/null 2>&1";
+    const auto deadline = Clock::now() + std::chrono::seconds(20);
+    bool up = false;
+    while (Clock::now() < deadline) {
+      if (RunCmd(ping) == 0) {
+        up = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    ASSERT_TRUE(up) << "daemon never came up on " << sock_;
+  }
+
+  void TearDown() override {
+    if (daemon_pid_ > 0) {
+      ::kill(daemon_pid_, SIGTERM);
+      // Graceful drain first, SIGKILL as a backstop.
+      const auto deadline = Clock::now() + std::chrono::seconds(15);
+      int status = 0;
+      pid_t done = 0;
+      while (Clock::now() < deadline) {
+        done = ::waitpid(daemon_pid_, &status, WNOHANG);
+        if (done == daemon_pid_) {
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      }
+      if (done != daemon_pid_) {
+        ::kill(daemon_pid_, SIGKILL);
+        ::waitpid(daemon_pid_, &status, 0);
+        ADD_FAILURE() << "daemon did not drain on SIGTERM";
+      } else {
+        EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+            << "daemon exit status " << status;
+      }
+    }
+  }
+
+  std::string Client(const std::string& rest) {
+    return std::string(SANDTABLE_CLIENT_BIN) + " --socket " + sock_ + " " + rest;
+  }
+
+  std::string dir_;
+  std::string sock_;
+  pid_t daemon_pid_ = -1;
+};
+
+TEST_F(ServeSmoke, CheckJobStreamsValidatesAndMatchesCli) {
+  const std::string capture = dir_ + "/check.jsonl";
+  const std::string params =
+      R"('{"system":"pysyncobj","max_states":3000,"progress_every":500}')";
+  ASSERT_EQ(RunCmd(Client("submit check --params " + params) + " > " + capture), 0);
+
+  // The captured connection stream passes the serve validator.
+  EXPECT_EQ(RunCmd(std::string(SANDTABLE_VALIDATOR_BIN) + " " + capture +
+                " --serve > /dev/null"),
+            0);
+
+  const std::string content = ReadFile(capture);
+  const Json result = FindLine(content, [](const Json& f) {
+    return f["type"].as_string() == "result";
+  });
+  ASSERT_TRUE(result.is_object()) << content;
+  EXPECT_EQ(result["status"].as_string(), "done");
+  const Json progress = FindLine(content, [](const Json& f) {
+    return f["type"].as_string() == "progress";
+  });
+  EXPECT_TRUE(progress.is_object()) << "no streamed progress in capture";
+
+  // Same target through the standalone CLI: identical result document.
+  const std::string cli_out = dir_ + "/cli.json";
+  ASSERT_EQ(RunCmd(std::string(SANDTABLE_CLI_BIN) +
+                " check --system pysyncobj --states 3000 --report json > " +
+                cli_out),
+            0);
+  const Json report = FindLine(ReadFile(cli_out), [](const Json& f) {
+    return f["result"].is_object();
+  });
+  ASSERT_TRUE(report.is_object()) << ReadFile(cli_out);
+  EXPECT_EQ(StripVolatile(result["result"]).Dump(),
+            StripVolatile(report["result"]).Dump())
+      << "daemon and CLI diverged for the same check";
+}
+
+TEST_F(ServeSmoke, CancelledWalkStreamsAndValidates) {
+  const std::string capture = dir_ + "/walk.jsonl";
+
+  // Background client: submits an effectively-unbounded walk and stays
+  // attached, streaming frames into the capture.
+  const pid_t client_pid = ::fork();
+  ASSERT_GE(client_pid, 0);
+  if (client_pid == 0) {
+    std::freopen(capture.c_str(), "w", stdout);
+    ::execl(SANDTABLE_CLIENT_BIN, SANDTABLE_CLIENT_BIN, "--socket",
+            sock_.c_str(), "submit", "simulate", "--params",
+            R"({"traces":1000000000,"walk_depth":50,"progress_every":2000})",
+            (char*)nullptr);
+    std::perror("execl sandtable_client");
+    std::_Exit(127);
+  }
+
+  // Fish the job id out of the streamed ack.
+  uint64_t job = 0;
+  const auto deadline = Clock::now() + std::chrono::seconds(20);
+  while (Clock::now() < deadline && job == 0) {
+    const Json ack = FindLine(ReadFile(capture), [](const Json& f) {
+      return f["type"].as_string() == "ack" && f["job"].is_int();
+    });
+    if (ack.is_object()) {
+      job = static_cast<uint64_t>(ack["job"].as_int());
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_GT(job, 0u) << "no ack in capture: " << ReadFile(capture);
+
+  // Cancel it from a second connection, by id.
+  EXPECT_EQ(RunCmd(Client("cancel " + std::to_string(job)) + " > /dev/null"), 0);
+
+  // The attached client sees the cancelled result: exit code 2.
+  int status = 0;
+  ASSERT_EQ(::waitpid(client_pid, &status, 0), client_pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 2);
+
+  EXPECT_EQ(RunCmd(std::string(SANDTABLE_VALIDATOR_BIN) + " " + capture +
+                " --serve > /dev/null"),
+            0);
+  const Json result = FindLine(ReadFile(capture), [](const Json& f) {
+    return f["type"].as_string() == "result";
+  });
+  ASSERT_TRUE(result.is_object()) << ReadFile(capture);
+  EXPECT_EQ(result["status"].as_string(), "cancelled");
+}
+
+}  // namespace
+}  // namespace sandtable
