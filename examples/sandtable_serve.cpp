@@ -42,7 +42,7 @@ void Usage(const char* argv0) {
       "          [--metrics-port P] [--workers N] [--max-queued N]\n"
       "          [--max-queued-per-tenant N] [--default-time-budget-ms N]\n"
       "          [--max-time-budget-ms N] [--max-states N] [--max-depth N]\n"
-      "          [--allow-shutdown]\n"
+      "          [--max-job-workers N] [--allow-shutdown]\n"
       "Job listener: --socket and/or --port (0 = ephemeral). Metrics listener\n"
       "(GET /metrics | /jobs | /healthz): --metrics-socket and/or --metrics-port.\n",
       argv0);
@@ -85,6 +85,8 @@ int main(int argc, char** argv) {
       opts.max_states_cap = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flag == "--max-depth" && next(&v)) {
       opts.max_depth_cap = std::strtoull(v.c_str(), nullptr, 10);
+    } else if (flag == "--max-job-workers" && next(&v)) {
+      opts.max_workers_cap = std::max(0, std::atoi(v.c_str()));
     } else if (flag == "--allow-shutdown") {
       opts.allow_shutdown = true;
     } else {

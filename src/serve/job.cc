@@ -105,6 +105,13 @@ bool GetInt(const Json& o, const char* key, int* dst, std::string* err) {
   if (!GetU64(o, key, &v, err)) {
     return false;
   }
+  // A bare static_cast would wrap (traces=4294967301 -> 5) and silently run
+  // a different job than the client asked for.
+  if (v > static_cast<uint64_t>(std::numeric_limits<int>::max())) {
+    *err = std::string("\"") + key + "\" must be at most " +
+           std::to_string(std::numeric_limits<int>::max());
+    return false;
+  }
   *dst = static_cast<int>(v);
   return true;
 }

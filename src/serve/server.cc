@@ -10,7 +10,9 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -22,9 +24,14 @@ namespace serve {
 
 namespace {
 
-// How long a worker will wait for a slow client before disconnecting it
-// instead of blocking the worker slot on its progress stream.
+// How long a worker will wait, in total per frame, for a slow client before
+// disconnecting it instead of blocking the worker slot on its progress stream.
 constexpr int kWriteTimeoutMs = 5000;
+
+// A job connection must send a newline within this many buffered bytes;
+// beyond it the "line" is either abuse or a framing bug, and buffering more
+// only grows daemon memory. (The HTTP path has its own 16 KB head cap.)
+constexpr size_t kMaxRequestLineBytes = 4u << 20;  // 4 MiB
 
 Status Errno(const std::string& what) {
   return Status::Error(what + ": " + std::strerror(errno));
@@ -66,18 +73,27 @@ Result<int> ListenUnix(const std::string& path) {
     return Result<int>::Error("socket path too long: " + path);
   }
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  // A stale path from a crashed daemon would fail bind(); only unlink paths
+  // nothing is listening on, so two daemons can't silently steal each other's
+  // socket. The probe socket is discarded either way: POSIX leaves a socket
+  // in unspecified state after a failed connect(), so bind() gets a fresh fd.
+  {
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (probe < 0) {
+      return Result<int>::Error("socket: " + std::string(std::strerror(errno)));
+    }
+    const bool alive =
+        ::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+    ::close(probe);
+    if (alive) {
+      return Result<int>::Error("already in use: " + path);
+    }
+  }
+  ::unlink(path.c_str());
   const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     return Result<int>::Error("socket: " + std::string(std::strerror(errno)));
   }
-  // A stale path from a crashed daemon would fail bind(); only unlink paths
-  // nothing is listening on, so two daemons can't silently steal each other's
-  // socket.
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
-    ::close(fd);
-    return Result<int>::Error("already in use: " + path);
-  }
-  ::unlink(path.c_str());
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
       ::listen(fd, 64) != 0) {
     const std::string err = std::strerror(errno);
@@ -254,11 +270,14 @@ void Server::LoopMain() {
       }
       HandleReadable(it->second);
     }
-    // Reap connections whose writers hit the timeout/EPIPE path.
+    // Reap connections whose writers hit the timeout/EPIPE path. try_lock:
+    // a held write_mu means a worker is mid-write (for up to the write
+    // deadline) and the conn isn't reapable yet anyway — don't stall the
+    // event loop behind it; the next loop pass will catch it.
     std::vector<std::shared_ptr<Conn>> dead;
     for (auto& [cfd, conn] : conns_) {
-      std::lock_guard<std::mutex> lock(conn->write_mu);
-      if (conn->dead) {
+      std::unique_lock<std::mutex> lock(conn->write_mu, std::try_to_lock);
+      if (lock.owns_lock() && conn->dead) {
         dead.push_back(conn);
       }
     }
@@ -281,7 +300,20 @@ void Server::LoopMain() {
 }
 
 void Server::Accept(int listen_fd, ConnKind kind) {
-  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  // Connections must be non-blocking: SendRaw's poll/timeout path only runs
+  // if send() can return EAGAIN, and a blocking fd would let one stalled
+  // client wedge a worker thread (and everyone queued on its write_mu).
+  int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_NONBLOCK);
+  if (fd < 0 && (errno == ENOSYS || errno == EINVAL)) {
+    fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      const int fl = ::fcntl(fd, F_GETFL, 0);
+      if (fl < 0 || ::fcntl(fd, F_SETFL, fl | O_NONBLOCK) != 0) {
+        ::close(fd);
+        return;
+      }
+    }
+  }
   if (fd < 0) {
     return;
   }
@@ -337,6 +369,16 @@ void Server::HandleReadable(std::shared_ptr<Conn> conn) {
     }
   }
   conn->inbuf.erase(0, start);
+  // A partial line may legitimately span reads, but not without bound: a
+  // client streaming bytes with no '\n' would otherwise grow daemon memory
+  // until the OOM killer arbitrates.
+  if (conn->inbuf.size() > kMaxRequestLineBytes) {
+    SendFrame(conn, ErrorFrame(Json(), ErrorCode::kBadRequest,
+                               "request line exceeds " +
+                                   std::to_string(kMaxRequestLineBytes) +
+                                   " bytes"));
+    CloseConn(conn, /*cancel_jobs=*/true);
+  }
 }
 
 void Server::HandleRequestLine(const std::shared_ptr<Conn>& conn,
@@ -431,6 +473,18 @@ void Server::HandleRequestLine(const std::shared_ptr<Conn>& conn,
       (p.max_depth == 0 || p.max_depth > options_.max_depth_cap)) {
     p.max_depth = options_.max_depth_cap;
   }
+  // ParallelBfsCheck spawns p.workers threads verbatim; never let a client
+  // pick the daemon's thread count for it.
+  int workers_cap = options_.max_workers_cap;
+  if (workers_cap <= 0) {
+    workers_cap = static_cast<int>(std::thread::hardware_concurrency());
+    if (workers_cap <= 0) {
+      workers_cap = 1;  // hardware_concurrency() may report 0
+    }
+  }
+  if (p.workers > workers_cap) {
+    p.workers = workers_cap;
+  }
 
   const std::string tenant = req.tenant.empty() ? conn->tenant : req.tenant;
   std::weak_ptr<Conn> weak = conn;
@@ -515,6 +569,10 @@ bool Server::SendRaw(const std::shared_ptr<Conn>& conn, const std::string& data)
   if (conn->dead || conn->fd < 0) {
     return false;
   }
+  // One deadline for the whole frame: a client draining one byte per poll
+  // round must not extend its grace period indefinitely.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(kWriteTimeoutMs);
   size_t off = 0;
   while (off < data.size()) {
     const ssize_t n =
@@ -527,9 +585,13 @@ bool Server::SendRaw(const std::shared_ptr<Conn>& conn, const std::string& data)
       continue;
     }
     if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-      pollfd pfd{conn->fd, POLLOUT, 0};
-      if (::poll(&pfd, 1, kWriteTimeoutMs) > 0) {
-        continue;
+      const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          deadline - std::chrono::steady_clock::now());
+      if (remaining.count() > 0) {
+        pollfd pfd{conn->fd, POLLOUT, 0};
+        if (::poll(&pfd, 1, static_cast<int>(remaining.count())) > 0) {
+          continue;
+        }
       }
     }
     // Broken pipe or a client unwritable past the timeout: mark the

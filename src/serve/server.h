@@ -6,8 +6,9 @@
 //   - One event-loop thread owns accept/read/close for every connection.
 //   - Scheduler worker threads execute jobs and push started/progress/result
 //     frames through a thread-safe per-connection Send (mutex-serialized
-//     blocking writes with a poll timeout; a client that stays unwritable
-//     past the timeout is disconnected rather than wedging a worker).
+//     writes on non-blocking fds, polling under a per-frame deadline; a
+//     client that stays unwritable past it is disconnected rather than
+//     wedging a worker).
 //   - Client disconnect cancels that connection's outstanding jobs: queued
 //     ones leave the queue immediately, running ones get their StopToken
 //     raised and the worker slot frees at the next engine poll.
@@ -60,6 +61,10 @@ struct ServerOptions {
   uint64_t max_time_budget_ms = 0;
   uint64_t max_states_cap = 0;
   uint64_t max_depth_cap = 0;
+
+  // Cap on a check job's client-requested "workers" (threads spawned inside
+  // the daemon). 0 = cap at std::thread::hardware_concurrency().
+  int max_workers_cap = 0;
 
   // Borrowed, may be null: daemon-wide registry shared by the scheduler's
   // job gauges and every job's engine counters; rendered by GET /metrics.

@@ -4,6 +4,9 @@
 // ISSUE acceptance criterion: concurrent jobs stream progress and return the
 // same result documents a direct engine run produces, and GET /metrics
 // reflects job counts both during and after the run.
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -11,6 +14,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -628,6 +632,18 @@ TEST(JobParams, RejectsInvalidShapes) {
   EXPECT_FALSE(ParseJobParams("ckpt-info", Json()).ok());
 }
 
+TEST(JobParams, RejectsIntFieldsPastIntMax) {
+  // uint64 values past INT_MAX must be rejected, not wrapped: 4294967301
+  // would otherwise silently become traces=5 and run a different job.
+  EXPECT_FALSE(
+      ParseJobParams("simulate", ParseParams(R"({"traces":4294967301})")).ok());
+  EXPECT_FALSE(
+      ParseJobParams("check", ParseParams(R"({"workers":4294967297})")).ok());
+  // INT_MAX itself is still in range.
+  EXPECT_TRUE(
+      ParseJobParams("simulate", ParseParams(R"({"traces":2147483647})")).ok());
+}
+
 TEST(JobParams, KnownBugIsAccepted) {
   auto r = ParseJobParams("check", ParseParams(R"({"bug":"PySyncObj#1"})"));
   ASSERT_TRUE(r.ok()) << r.error();
@@ -682,12 +698,13 @@ class ServeE2E : public ::testing::Test {
     msock_ = sock_ + ".m";
   }
 
-  void StartServer(int workers, int max_queued = 64) {
+  void StartServer(int workers, int max_queued = 64, int max_workers_cap = 0) {
     ServerOptions opts;
     opts.unix_path = sock_;
     opts.metrics_unix_path = msock_;
     opts.scheduler.workers = workers;
     opts.scheduler.max_queued = max_queued;
+    opts.max_workers_cap = max_workers_cap;
     opts.metrics = &registry_;
     server_ = std::make_unique<Server>(opts);
     Status started = server_->Start();
@@ -770,6 +787,64 @@ TEST_F(ServeE2E, ProtocolErrorsCarryStableCodes) {
   auto e4 = client.NextFrame(10);
   ASSERT_TRUE(e4.ok()) << e4.error();
   EXPECT_EQ(e4.value()["code"].as_string(), "forbidden");
+}
+
+// A job that asks for an absurd thread count must not get it: the server
+// clamps "workers" to its cap before the job reaches ParallelBfsCheck. If
+// the clamp regressed, this submit would attempt a million threads.
+TEST_F(ServeE2E, WorkersClampedToServerCap) {
+  StartServer(/*workers=*/1, /*max_queued=*/64, /*max_workers_cap=*/2);
+  Client client = Connect();
+  auto job = client.Submit(
+      "check", ParseParams(R"({"system":"pysyncobj","workers":1000000,)"
+                           R"("max_states":200})"));
+  ASSERT_TRUE(job.ok()) << job.error();
+  auto result = client.WaitResult(job.value(), 30);
+  ASSERT_TRUE(result.ok()) << result.error();
+  EXPECT_EQ(result.value()["status"].as_string(), "done");
+}
+
+// A job connection streaming bytes with no newline must be cut off at the
+// line cap instead of growing server memory without bound.
+TEST_F(ServeE2E, OversizedRequestLineIsRejected) {
+  StartServer(1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, sock_.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  // Don't hang the suite if the server (wrongly) neither errors nor closes.
+  timeval tv{10, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  // 5 MiB, no '\n'. The server closes mid-stream, so write errors (EPIPE /
+  // ECONNRESET) are expected and end the pump.
+  const std::string chunk(64 * 1024, 'x');
+  for (int i = 0; i < 80; ++i) {
+    size_t off = 0;
+    while (off < chunk.size()) {
+      const ssize_t n =
+          ::send(fd, chunk.data() + off, chunk.size() - off, MSG_NOSIGNAL);
+      if (n <= 0) {
+        break;
+      }
+      off += static_cast<size_t>(n);
+    }
+    if (off < chunk.size()) {
+      break;
+    }
+  }
+
+  std::string got;  // hello frame, then the oversized-line error, then EOF
+  char buf[4096];
+  for (ssize_t n = ::read(fd, buf, sizeof(buf)); n > 0;
+       n = ::read(fd, buf, sizeof(buf))) {
+    got.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(got.find("\"bad_request\""), std::string::npos) << got;
+  EXPECT_NE(got.find("request line exceeds"), std::string::npos) << got;
 }
 
 // The acceptance-criterion test: four concurrent jobs (two BFS checks, two
