@@ -11,13 +11,21 @@
 // machine raise the budget (e.g. SANDTABLE_BENCH_SECONDS=600) to let every
 // row hit the full state cap and compare wall-clock directly. Expected shape
 // on >=4 cores: >=2x rate at 4 workers.
+//
+// `--trace-out FILE` records a Chrome trace covering every row (per-worker
+// lanes, per-level spans, barrier waits) — the input to
+// `bench_validate_json --trace` and `scripts/trace_summary.py`.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <thread>
 
 #include "bench/bench_common.h"
 #include "bench/bench_json.h"
 #include "src/mc/bfs.h"
+#include "src/obs/trace.h"
 #include "src/par/parallel_bfs.h"
 #include "src/raftspec/raft_spec.h"
 
@@ -65,7 +73,22 @@ void PrintRow(const char* label, const BfsResult& r, double serial_rate,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string trace_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: %s [--trace-out FILE]\n", argv[0]);
+      return 1;
+    }
+  }
+  std::unique_ptr<obs::Tracer> tracer;
+  if (!trace_out.empty()) {
+    tracer = std::make_unique<obs::Tracer>();
+    tracer->Install();
+  }
+
   bench::JsonBenchWriter json("parallel_scaling");
   const Spec spec = BigRaftSpec();
   const uint64_t cap = StateCap();
@@ -99,5 +122,14 @@ int main() {
   bench::Rule(64);
   std::printf("speedup is the distinct-state rate over the serial row; on a single\n");
   std::printf("core all rows collapse to ~1x (level barriers add a few %% overhead)\n");
+  if (tracer != nullptr) {
+    tracer->Uninstall();
+    const Status st = tracer->WriteChromeTrace(trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n", st.error().c_str());
+      return 1;
+    }
+    std::printf("chrome trace written to %s\n", trace_out.c_str());
+  }
   return 0;
 }

@@ -3,6 +3,8 @@
 //   bench_validate_json FILE            # JSONL written by bench_json.h
 //   bench_validate_json FILE --gbench   # google-benchmark --benchmark_format=json
 //   bench_validate_json FILE --serve    # sandtable_serve client frame capture
+//   bench_validate_json FILE --trace [--expect-span NAME]... [--expect-lanes N]
+//                                       # Chrome trace from --trace-out
 //
 // JSONL mode checks the writer's contract: every line parses, the first
 // record is {"type":"meta", "schema_version":1}, at least one "result" row
@@ -14,9 +16,18 @@
 // parses, the first frame is the hello, at least one ack and one result frame
 // are present, every streamed job frame (started/progress/result) carries an
 // integer job id, and every result status is done|cancelled|failed.
+//
+// Trace mode checks a Chrome trace-event file (obs::Tracer output): a single
+// JSON object with a non-empty traceEvents array, metadata.run_id present,
+// every event carrying ph/name/ts/pid/tid, and at least one complete ("X")
+// span. `--expect-span NAME` (repeatable) requires a complete span with that
+// exact name; `--expect-lanes N` requires complete spans on >= N distinct
+// thread lanes.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -181,16 +192,103 @@ int ValidateServe(const std::string& path, const std::string& content) {
   return 0;
 }
 
+bool IsNumber(const Json& v) {
+  return v.type() == Json::Type::kInt || v.type() == Json::Type::kDouble;
+}
+
+// A Chrome trace-event file written by obs::Tracer::WriteChromeTrace.
+int ValidateTrace(const std::string& path, const std::string& content,
+                  const std::vector<std::string>& expect_spans,
+                  size_t expect_lanes) {
+  auto doc = Json::Parse(content);
+  if (!doc.ok()) {
+    return Fail(path, "not valid JSON: " + doc.error());
+  }
+  const Json& events = doc.value()["traceEvents"];
+  if (events.type() != Json::Type::kArray) {
+    return Fail(path, "no \"traceEvents\" array");
+  }
+  if (events.size() == 0) {
+    return Fail(path, "\"traceEvents\" array is empty");
+  }
+  if (doc.value()["metadata"]["run_id"].type() != Json::Type::kString ||
+      doc.value()["metadata"]["run_id"].as_string().empty()) {
+    return Fail(path, "metadata.run_id missing");
+  }
+  size_t complete = 0;
+  std::set<std::string> span_names;
+  std::set<int64_t> lanes;  // tids carrying at least one complete span
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Json& e = events[i];
+    const std::string where = "traceEvents[" + std::to_string(i) + "]";
+    if (e["ph"].type() != Json::Type::kString) {
+      return Fail(path, where + " has no \"ph\"");
+    }
+    if (e["name"].type() != Json::Type::kString) {
+      return Fail(path, where + " has no \"name\"");
+    }
+    if (!IsNumber(e["ts"]) || !IsNumber(e["pid"]) || !IsNumber(e["tid"])) {
+      return Fail(path, where + " is missing ts/pid/tid");
+    }
+    if (e["ph"].as_string() == "X") {
+      if (!IsNumber(e["dur"])) {
+        return Fail(path, where + " is a complete span without \"dur\"");
+      }
+      ++complete;
+      span_names.insert(e["name"].as_string());
+      lanes.insert(e["tid"].as_int());
+    }
+  }
+  if (complete == 0) {
+    return Fail(path, "no complete (\"X\") spans");
+  }
+  for (const std::string& name : expect_spans) {
+    if (span_names.count(name) == 0) {
+      return Fail(path, "expected span \"" + name + "\" not present");
+    }
+  }
+  if (lanes.size() < expect_lanes) {
+    return Fail(path, "expected spans on >= " + std::to_string(expect_lanes) +
+                          " thread lanes, saw " + std::to_string(lanes.size()));
+  }
+  std::printf("%s: ok (%zu events, %zu complete spans, %zu span names, %zu lanes)\n",
+              path.c_str(), events.size(), complete, span_names.size(),
+              lanes.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s FILE [--gbench | --serve]\n", argv[0]);
+    std::fprintf(stderr,
+                 "usage: %s FILE [--gbench | --serve | --trace"
+                 " [--expect-span NAME]... [--expect-lanes N]]\n",
+                 argv[0]);
     return 2;
   }
   const std::string path = argv[1];
-  const bool gbench = argc > 2 && std::strcmp(argv[2], "--gbench") == 0;
-  const bool serve = argc > 2 && std::strcmp(argv[2], "--serve") == 0;
+  bool gbench = false;
+  bool serve = false;
+  bool trace = false;
+  std::vector<std::string> expect_spans;
+  size_t expect_lanes = 0;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--gbench") == 0) {
+      gbench = true;
+    } else if (std::strcmp(argv[i], "--serve") == 0) {
+      serve = true;
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace = true;
+    } else if (std::strcmp(argv[i], "--expect-span") == 0 && i + 1 < argc) {
+      expect_spans.push_back(argv[++i]);
+    } else if (std::strcmp(argv[i], "--expect-lanes") == 0 && i + 1 < argc) {
+      expect_lanes = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", argv[i]);
+      return 2;
+    }
+  }
   std::ifstream f(path);
   if (!f) {
     return Fail(path, "cannot open");
@@ -202,6 +300,9 @@ int main(int argc, char** argv) {
   }
   if (serve) {
     return ValidateServe(path, ss.str());
+  }
+  if (trace) {
+    return ValidateTrace(path, ss.str(), expect_spans, expect_lanes);
   }
   return ValidateJsonl(path, ss.str());
 }

@@ -4,12 +4,12 @@
 //   sandtable_cli list-systems
 //   sandtable_cli list-bugs
 //   sandtable_cli check --system pysyncobj --bug PySyncObj#2 [--budget 60]
-//                       [--workers 4] [--trace-out /tmp/bug.jsonl] [--minimize]
+//                       [--workers 4] [--cex-out /tmp/bug.jsonl] [--minimize]
 //   sandtable_cli conformance --system wraft [--traces 100] [--channel log]
 //   sandtable_cli simulate --system raftos --traces 1000 [--seed 1] [--minimize]
 //   sandtable_cli replay --system pysyncobj --bug PySyncObj#2 --trace /tmp/bug.jsonl
 //   sandtable_cli minimize --bug PySyncObj#2 [--trace /tmp/bug.jsonl]
-//                          [--trace-out /tmp/min.jsonl] [--corpus-out golden.trace.json]
+//                          [--cex-out /tmp/min.jsonl] [--corpus-out golden.trace.json]
 //   sandtable_cli rank --system pysyncobj
 //   sandtable_cli ckpt-info --ckpt /tmp/run.ckpt
 //
@@ -22,7 +22,13 @@
 // Telemetry (src/obs): `--metrics-out FILE` streams progress JSONL plus a
 // final report record; `--progress-every N` emits a progress line every N
 // units of work (states / replayed events); `--report json|text` prints the
-// end-of-run report to stdout.
+// end-of-run report to stdout; `--trace-out FILE` records a Chrome trace of
+// the run (open in chrome://tracing or ui.perfetto.dev); `--run-id ID` sets
+// the correlation id stamped on progress lines, reports and trace metadata
+// (minted randomly when absent). A crash-safe flight recorder is installed by
+// default (disable with SANDTABLE_FLIGHT=0; dump path via
+// SANDTABLE_FLIGHT_DUMP): on SIGSEGV/SIGABRT/SIGBUS/SIGQUIT it dumps the most
+// recent spans/events to stderr and a JSON file before re-raising.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -47,11 +53,14 @@
 #include "src/mc/ranking.h"
 #include "src/minimize/corpus.h"
 #include "src/minimize/minimize.h"
+#include "src/obs/flight_recorder.h"
 #include "src/obs/phase_timer.h"
 #include "src/obs/report.h"
+#include "src/obs/trace.h"
 #include "src/par/parallel_bfs.h"
 #include "src/store/ooc.h"
 #include "src/trace/spec_replay.h"
+#include "src/util/run_id.h"
 #include "src/util/stop_token.h"
 
 using namespace sandtable;               // NOLINT(build/namespaces): CLI brevity
@@ -82,7 +91,9 @@ struct Args {
   std::string system = "pysyncobj";
   std::string bug;
   std::string trace_path;
-  std::string trace_out;
+  std::string trace_out;  // Chrome trace of the run itself (spans/counters)
+  std::string cex_out;    // counterexample / minimized trace JSONL
+  std::string run_id;     // correlation id override (--run-id)
   std::string channel = "api";
   std::string metrics_out;  // JSONL sink for progress + final report
   std::string report_mode;  // "", "json" or "text": end-of-run report on stdout
@@ -128,6 +139,10 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->trace_path = v;
     } else if (flag == "--trace-out" && next(&v)) {
       out->trace_out = v;
+    } else if (flag == "--cex-out" && next(&v)) {
+      out->cex_out = v;
+    } else if (flag == "--run-id" && next(&v)) {
+      out->run_id = v;
     } else if (flag == "--budget" && next(&v)) {
       out->budget_s = std::atof(v.c_str());
     } else if (flag == "--time-budget-ms" && next(&v)) {
@@ -235,9 +250,12 @@ struct Telemetry {
   obs::MetricsRegistry registry;
   std::ofstream file;
   std::unique_ptr<obs::ProgressReporter> progress;
+  std::unique_ptr<obs::Tracer> tracer;
+  std::string trace_out;
   std::string report_mode;
 
-  explicit Telemetry(const Args& args) : report_mode(args.report_mode) {
+  explicit Telemetry(const Args& args)
+      : trace_out(args.trace_out), report_mode(args.report_mode) {
     // SANDTABLE_PHASE_TIMERS=0 keeps counters but skips the per-phase clock
     // reads — the knob behind the overhead numbers in DESIGN.md.
     if (const char* env = std::getenv("SANDTABLE_PHASE_TIMERS")) {
@@ -257,6 +275,27 @@ struct Telemetry {
       popts.every_states = args.progress_every;
       progress =
           std::make_unique<obs::ProgressReporter>(sink != nullptr ? sink : &std::cerr, popts);
+    }
+    if (!trace_out.empty()) {
+      tracer = std::make_unique<obs::Tracer>();
+      tracer->Install();
+    }
+  }
+
+  // The Chrome trace is written on destruction so every exit path of a
+  // subcommand (violation found, budget spent, error) still produces it.
+  ~Telemetry() {
+    if (tracer == nullptr) {
+      return;
+    }
+    tracer->Uninstall();
+    const Status st = tracer->WriteChromeTrace(trace_out);
+    if (st.ok()) {
+      std::printf("chrome trace written to %s (open in chrome://tracing or "
+                  "ui.perfetto.dev)\n",
+                  trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "trace write failed: %s\n", st.error().c_str());
     }
   }
 
@@ -500,10 +539,10 @@ int CmdCheck(const Args& args) {
     result_json.as_object()["minimize"] = m.ToJson();
   }
   telemetry.Finish(engine, std::move(result_json));
-  if (!args.trace_out.empty()) {
-    std::ofstream f(args.trace_out);
+  if (!args.cex_out.empty()) {
+    std::ofstream f(args.cex_out);
     f << TraceToJsonl(trace);
-    std::printf("counterexample written to %s\n", args.trace_out.c_str());
+    std::printf("counterexample written to %s\n", args.cex_out.c_str());
   }
   // Confirm immediately (§3.4).
   const ConfirmationResult confirm = ConfirmBug(t.factory, *t.observer, trace);
@@ -637,10 +676,10 @@ int CmdSimulate(const Args& args) {
     std::printf("walk %d VIOLATED %s\n", walks_done, ViolationSummary(*violation).c_str());
     const minimize::MinimizeResult m = RunMinimize(t.spec, *violation, args, telemetry);
     summary["minimize"] = m.ToJson();
-    if (!args.trace_out.empty() && m.input_reproduced) {
-      std::ofstream f(args.trace_out);
+    if (!args.cex_out.empty() && m.input_reproduced) {
+      std::ofstream f(args.cex_out);
       f << TraceToJsonl(m.trace);
-      std::printf("counterexample written to %s\n", args.trace_out.c_str());
+      std::printf("counterexample written to %s\n", args.cex_out.c_str());
     }
   }
   telemetry.Finish("random_walk", Json(std::move(summary)));
@@ -688,8 +727,8 @@ int CmdReplay(const Args& args) {
 }
 
 // Minimize a counterexample for a catalog bug: either shrink a trace file
-// recorded by `check --trace-out`, or hunt one with BFS first. Writes the
-// shrunk trace (--trace-out, JSONL with states) and/or the golden corpus file
+// recorded by `check --cex-out`, or hunt one with BFS first. Writes the
+// shrunk trace (--cex-out, JSONL with states) and/or the golden corpus file
 // (--corpus-out, labels only) used by the corpus_replay regression driver.
 int CmdMinimize(const Args& args) {
   if (args.bug.empty()) {
@@ -773,10 +812,10 @@ int CmdMinimize(const Args& args) {
     std::fprintf(stderr, "warning: violated %s but catalog expects %s\n",
                  m.violation.invariant.c_str(), bug.invariant.c_str());
   }
-  if (!args.trace_out.empty()) {
-    std::ofstream f(args.trace_out);
+  if (!args.cex_out.empty()) {
+    std::ofstream f(args.cex_out);
     f << TraceToJsonl(m.trace);
-    std::printf("minimized trace written to %s\n", args.trace_out.c_str());
+    std::printf("minimized trace written to %s\n", args.cex_out.c_str());
   }
   if (!args.corpus_out.empty() && !WriteCorpus(spec, bug, m, args.corpus_out)) {
     return 1;
@@ -876,13 +915,24 @@ int main(int argc, char** argv) {
                  "minimize|rank|ckpt-info>"
                  " [--system S] [--bug ID] [--budget SECONDS] [--time-budget-ms N]"
                  " [--states N] [--traces N]"
-                 " [--workers N] [--trace FILE] [--trace-out FILE] [--channel api|log]"
+                 " [--workers N] [--trace FILE] [--cex-out FILE] [--channel api|log]"
                  " [--with-bugs] [--metrics-out FILE] [--progress-every N]"
-                 " [--report json|text] [--seed N] [--minimize] [--minimize-any]"
+                 " [--report json|text] [--trace-out FILE] [--run-id ID]"
+                 " [--seed N] [--minimize] [--minimize-any]"
                  " [--corpus-out FILE] [--mem-budget-mb N] [--spill-dir DIR]"
                  " [--ckpt DIR] [--checkpoint-every N] [--resume DIR]\n",
                  argv[0]);
     return 1;
+  }
+  if (!args.run_id.empty()) {
+    SetRunId(args.run_id);
+  }
+  // Flight recorder: static so the dump-on-crash handler can run at any point
+  // after Install, including during static destruction of command locals.
+  static obs::FlightRecorder flight_recorder;
+  const char* flight_env = std::getenv("SANDTABLE_FLIGHT");
+  if (flight_env == nullptr || flight_env[0] != '0') {
+    flight_recorder.Install();
   }
   if (args.command == "list-systems") {
     return CmdListSystems();

@@ -7,6 +7,13 @@
 //   sandtable_serve --socket /tmp/sandtable.sock [--workers 4]
 //                   [--metrics-socket /tmp/sandtable-metrics.sock]
 //   sandtable_serve --port 7424 --metrics-port 9424 [--allow-shutdown]
+//                   [--trace-out /tmp/serve.trace.json]
+//
+// Observability: `--trace-out FILE` records a Chrome trace of the daemon's
+// lifetime (job queued/run/result spans per worker lane), written at
+// shutdown. A crash-safe flight recorder is installed by default (disable
+// with SANDTABLE_FLIGHT=0): recent events are dumped on fatal signals and
+// attached to error result frames.
 //
 // On startup the daemon prints one "serving" JSON line with the bound
 // addresses (ports are resolved, so --port 0 works for tests). SIGINT or
@@ -19,8 +26,11 @@
 #include <cstring>
 #include <string>
 
+#include "src/obs/flight_recorder.h"
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/serve/server.h"
+#include "src/util/run_id.h"
 
 using sandtable::Json;
 using sandtable::JsonObject;
@@ -42,7 +52,7 @@ void Usage(const char* argv0) {
       "          [--metrics-port P] [--workers N] [--max-queued N]\n"
       "          [--max-queued-per-tenant N] [--default-time-budget-ms N]\n"
       "          [--max-time-budget-ms N] [--max-states N] [--max-depth N]\n"
-      "          [--max-job-workers N] [--allow-shutdown]\n"
+      "          [--max-job-workers N] [--allow-shutdown] [--trace-out FILE]\n"
       "Job listener: --socket and/or --port (0 = ephemeral). Metrics listener\n"
       "(GET /metrics | /jobs | /healthz): --metrics-socket and/or --metrics-port.\n",
       argv0);
@@ -53,6 +63,7 @@ void Usage(const char* argv0) {
 int main(int argc, char** argv) {
   sandtable::serve::ServerOptions opts;
   opts.scheduler.workers = 2;
+  std::string trace_out;
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
     auto next = [&](std::string* dst) {
@@ -89,6 +100,8 @@ int main(int argc, char** argv) {
       opts.max_workers_cap = std::max(0, std::atoi(v.c_str()));
     } else if (flag == "--allow-shutdown") {
       opts.allow_shutdown = true;
+    } else if (flag == "--trace-out" && next(&v)) {
+      trace_out = v;
     } else {
       Usage(argv[0]);
       return 1;
@@ -97,6 +110,18 @@ int main(int argc, char** argv) {
   if (opts.unix_path.empty() && opts.tcp_port < 0) {
     Usage(argv[0]);
     return 1;
+  }
+
+  // Flight recorder before any worker thread exists; static so the signal
+  // handler can dump it at any later point in the process lifetime.
+  static sandtable::obs::FlightRecorder flight_recorder;
+  const char* flight_env = std::getenv("SANDTABLE_FLIGHT");
+  if (flight_env == nullptr || flight_env[0] != '0') {
+    flight_recorder.Install();
+  }
+  sandtable::obs::Tracer tracer;
+  if (!trace_out.empty()) {
+    tracer.Install();
   }
 
   sandtable::obs::MetricsRegistry registry;
@@ -133,11 +158,21 @@ int main(int argc, char** argv) {
     serving["metrics_port"] = Json(static_cast<int64_t>(server.metrics_tcp_port()));
   }
   serving["workers"] = Json(static_cast<int64_t>(opts.scheduler.workers));
+  serving["run_id"] = Json(sandtable::RunId());
+  serving["version"] = Json(sandtable::BuildVersion());
   std::printf("%s\n", Json(std::move(serving)).Dump().c_str());
   std::fflush(stdout);
 
   server.WaitShutdown();
   g_server = nullptr;
+  if (tracer.installed()) {
+    tracer.Uninstall();
+    const sandtable::Status st = tracer.WriteChromeTrace(trace_out);
+    if (!st.ok()) {
+      std::fprintf(stderr, "sandtable_serve: trace write failed: %s\n",
+                   st.error().c_str());
+    }
+  }
   std::fprintf(stderr, "sandtable_serve: drained, exiting\n");
   return 0;
 }

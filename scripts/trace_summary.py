@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Summarize a SandTable Chrome trace (the --trace-out output).
+
+Usage: trace_summary.py [--json] TRACE.json
+
+Reads the trace-event JSON written by obs::Tracer::WriteChromeTrace and
+prints, per run:
+
+  - top phases: complete spans grouped by name, by total (inclusive) duration;
+  - worker lanes: per-thread busy time (worker.wave spans), barrier idle time
+    (barrier.wait spans) and utilization over the lane's active window;
+  - spill/checkpoint stalls: total time in store.spill, store.compact and
+    ckpt.write spans — exploration time lost to the out-of-core machinery.
+
+--json emits the same summary as one JSON object for dashboards.
+"""
+import collections
+import json
+import sys
+
+BUSY_SPANS = ("worker.wave",)
+IDLE_SPANS = ("barrier.wait", "barrier.join")
+STALL_SPANS = ("store.spill", "store.compact", "ckpt.write")
+
+
+def us(v):
+    return "%.1fms" % (v / 1000.0)
+
+
+def summarize(doc):
+    events = doc.get("traceEvents", [])
+    meta = doc.get("metadata", {})
+    names = {}  # tid -> thread name
+    complete = []
+    for e in events:
+        if e.get("ph") == "M" and e.get("name") == "thread_name":
+            names[e.get("tid")] = e.get("args", {}).get("name", "")
+        elif e.get("ph") == "X":
+            complete.append(e)
+
+    phases = collections.defaultdict(lambda: {"count": 0, "total_us": 0.0, "max_us": 0.0})
+    lanes = collections.defaultdict(
+        lambda: {"events": 0, "busy_us": 0.0, "idle_us": 0.0, "t0": None, "t1": None})
+    stalls = collections.defaultdict(lambda: {"count": 0, "total_us": 0.0})
+
+    for e in complete:
+        name, dur, ts, tid = e["name"], float(e.get("dur", 0)), float(e["ts"]), e["tid"]
+        p = phases[name]
+        p["count"] += 1
+        p["total_us"] += dur
+        p["max_us"] = max(p["max_us"], dur)
+        lane = lanes[tid]
+        lane["events"] += 1
+        lane["t0"] = ts if lane["t0"] is None else min(lane["t0"], ts)
+        lane["t1"] = ts + dur if lane["t1"] is None else max(lane["t1"], ts + dur)
+        if name in BUSY_SPANS:
+            lane["busy_us"] += dur
+        if name in IDLE_SPANS:
+            lane["idle_us"] += dur
+        if name in STALL_SPANS:
+            s = stalls[name]
+            s["count"] += 1
+            s["total_us"] += dur
+
+    out = {
+        "run_id": meta.get("run_id", ""),
+        "version": meta.get("version", ""),
+        "dropped_events": meta.get("dropped_events", 0),
+        "events": len(events),
+        "complete_spans": len(complete),
+        "top_phases": [],
+        "workers": [],
+        "stalls": [],
+    }
+    for name, p in sorted(phases.items(), key=lambda kv: -kv[1]["total_us"]):
+        out["top_phases"].append({"name": name, **p})
+    for tid, lane in sorted(lanes.items()):
+        window = (lane["t1"] - lane["t0"]) if lane["events"] else 0.0
+        out["workers"].append({
+            "tid": tid,
+            "name": names.get(tid, ""),
+            "events": lane["events"],
+            "busy_us": lane["busy_us"],
+            "barrier_idle_us": lane["idle_us"],
+            "window_us": window,
+            "utilization": (lane["busy_us"] / window) if window > 0 else 0.0,
+            "barrier_idle_frac": (lane["idle_us"] / window) if window > 0 else 0.0,
+        })
+    for name, s in sorted(stalls.items(), key=lambda kv: -kv[1]["total_us"]):
+        out["stalls"].append({"name": name, **s})
+    return out
+
+
+def render_text(s):
+    lines = []
+    lines.append("trace summary — run %s (version %s, %d events, %d spans, %d dropped)"
+                 % (s["run_id"], s["version"], s["events"], s["complete_spans"],
+                    s["dropped_events"]))
+    lines.append("")
+    lines.append("top phases (by total inclusive duration):")
+    lines.append("  %-24s %8s %12s %12s %12s" % ("phase", "count", "total", "mean", "max"))
+    for p in s["top_phases"][:12]:
+        mean = p["total_us"] / p["count"] if p["count"] else 0.0
+        lines.append("  %-24s %8d %12s %12s %12s"
+                     % (p["name"], p["count"], us(p["total_us"]), us(mean), us(p["max_us"])))
+    lines.append("")
+    lines.append("worker lanes (busy = worker.wave, idle = barrier.wait):")
+    lines.append("  %-16s %8s %12s %12s %8s %8s"
+                 % ("lane", "events", "busy", "barrier", "util%", "idle%"))
+    for w in s["workers"]:
+        label = w["name"] or ("tid-%d" % w["tid"])
+        lines.append("  %-16s %8d %12s %12s %7.1f%% %7.1f%%"
+                     % (label, w["events"], us(w["busy_us"]), us(w["barrier_idle_us"]),
+                        100.0 * w["utilization"], 100.0 * w["barrier_idle_frac"]))
+    lines.append("")
+    if s["stalls"]:
+        lines.append("spill/checkpoint stalls:")
+        for st in s["stalls"]:
+            lines.append("  %-24s %8d %12s" % (st["name"], st["count"], us(st["total_us"])))
+    else:
+        lines.append("spill/checkpoint stalls: none recorded")
+    return "\n".join(lines)
+
+
+def main(argv):
+    as_json = False
+    path = None
+    for a in argv[1:]:
+        if a == "--json":
+            as_json = True
+        elif a.startswith("-"):
+            sys.stderr.write(__doc__)
+            return 2
+        else:
+            path = a
+    if path is None:
+        sys.stderr.write(__doc__)
+        return 2
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.stderr.write("%s: %s\n" % (path, err))
+        return 1
+    if not doc.get("traceEvents"):
+        sys.stderr.write("%s: no traceEvents\n" % path)
+        return 1
+    s = summarize(doc)
+    if as_json:
+        json.dump(s, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(render_text(s))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

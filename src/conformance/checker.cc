@@ -196,7 +196,7 @@ ConformanceReport CheckConformance(const Spec& spec, const EngineFactory& factor
     WalkResult walk = RandomWalk(spec, walk_opts, rng);
     ReplayResult replay;
     {
-      obs::PhaseTimer timer(replay_hist);
+      obs::PhaseTimer timer(replay_hist, "conformance.replay");
       replay = ReplayTrace(factory, observer, walk.trace, options.replay);
     }
     ++report.traces_replayed;

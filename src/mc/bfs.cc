@@ -8,6 +8,7 @@
 #include "src/mc/expand.h"
 #include "src/mc/reconstruct.h"
 #include "src/obs/phase_timer.h"
+#include "src/obs/trace.h"
 #include "src/store/checkpoint.h"
 #include "src/store/frontier.h"
 #include "src/store/state_store.h"
@@ -116,12 +117,12 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
   };
 
   auto fingerprint_of = [&](const State& state) {
-    obs::PhaseTimer t(m.phase(Phase::kCanonicalize));
+    obs::PhaseTimer t(m, Phase::kCanonicalize);
     return Fingerprint(spec, state, use_symmetry);
   };
 
   auto reconstruct = [&](uint64_t fp) {
-    obs::PhaseTimer t(m.phase(Phase::kReconstruct));
+    obs::PhaseTimer t(m, Phase::kReconstruct);
     obs::Add(m.reconstructions);
     return ReconstructTrace(spec, parent_of, fp, use_symmetry);
   };
@@ -205,7 +206,7 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
       obs::Add(m.distinct_states);
       std::string bad;
       {
-        obs::PhaseTimer t(m.phase(Phase::kInvariants));
+        obs::PhaseTimer t(m, Phase::kInvariants);
         obs::Add(m.invariant_checks);
         bad = CheckInvariants(spec, init);
       }
@@ -246,7 +247,7 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
 
     std::vector<Successor> succs;
     {
-      obs::PhaseTimer t(m.phase(Phase::kExpand));
+      obs::PhaseTimer t(m, Phase::kExpand);
       obs::Add(m.expand_calls);
       succs = ExpandAll(spec, entry_state, &result.coverage);
     }
@@ -263,7 +264,7 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
       // already-visited states.
       std::string bad_edge;
       {
-        obs::PhaseTimer t(m.phase(Phase::kInvariants));
+        obs::PhaseTimer t(m, Phase::kInvariants);
         obs::Add(m.transition_checks);
         bad_edge = CheckTransitionInvariants(spec, entry_state, s.label, s.state);
       }
@@ -280,7 +281,7 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
       const uint64_t fp = fingerprint_of(s.state);
       bool duplicate;
       {
-        obs::PhaseTimer t(m.phase(Phase::kFingerprint));
+        obs::PhaseTimer t(m, Phase::kFingerprint);
         duplicate = !insert_visited(fp, entry_fp);
       }
       if (duplicate) {
@@ -292,7 +293,7 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
 
       std::string bad;
       {
-        obs::PhaseTimer t(m.phase(Phase::kInvariants));
+        obs::PhaseTimer t(m, Phase::kInvariants);
         obs::Add(m.invariant_checks);
         bad = CheckInvariants(spec, s.state);
       }
@@ -343,6 +344,9 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
     if (depth >= options.max_depth) {
       return finalize(depth, false);
     }
+    obs::TraceSpan level_span("bfs.level", "level",
+                              static_cast<int64_t>(depth), "frontier",
+                              static_cast<int64_t>(frontier_size()));
     obs::SetMax(m.frontier_peak, static_cast<int64_t>(frontier_size()));
     if (use_spool) {
       store::FrontierSpool::Reader reader = cur_spool->Read();
@@ -393,6 +397,9 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
     }
     obs::Add(m.levels);
     obs::Set(m.frontier, static_cast<int64_t>(frontier_size()));
+    obs::TraceCounter("distinct_states",
+                      static_cast<int64_t>(result.distinct_states));
+    obs::TraceCounter("frontier", static_cast<int64_t>(frontier_size()));
     if (frontier_size() > 0) {
       ++depth;
     }

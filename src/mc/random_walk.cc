@@ -5,6 +5,7 @@
 
 #include "src/mc/expand.h"
 #include "src/obs/phase_timer.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace sandtable {
@@ -22,13 +23,15 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
   CHECK(!spec.init_states.empty()) << "spec has no initial states";
   const obs::ExplorationMetrics m = obs::ExplorationMetrics::Bind(options.metrics);
   obs::Add(m.walks);
+  obs::TraceSpan walk_span("walk.run", "max_depth",
+                           static_cast<int64_t>(options.max_depth));
 
   State state = spec.init_states[rng.Below(spec.init_states.size())];
   if (options.collect_trace) {
     result.trace.push_back(TraceStep{ActionLabel{}, state});
   }
   if (options.check_invariants) {
-    obs::PhaseTimer t(m.phase(Phase::kInvariants));
+    obs::PhaseTimer t(m, Phase::kInvariants);
     obs::Add(m.invariant_checks);
     const std::string bad = CheckInvariants(spec, state);
     if (!bad.empty()) {
@@ -64,7 +67,7 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
     }
     std::vector<Successor> succs;
     {
-      obs::PhaseTimer t(m.phase(Phase::kExpand));
+      obs::PhaseTimer t(m, Phase::kExpand);
       obs::Add(m.expand_calls);
       succs = ExpandAll(spec, state, &result.coverage);
     }
@@ -80,7 +83,7 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
     obs::Add(m.walk_steps);
 
     if (options.check_transition_invariants) {
-      obs::PhaseTimer t(m.phase(Phase::kInvariants));
+      obs::PhaseTimer t(m, Phase::kInvariants);
       obs::Add(m.transition_checks);
       const std::string bad =
           CheckTransitionInvariants(spec, state, chosen.label, chosen.state);
@@ -95,6 +98,8 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
         }
         result.violation = std::move(v);
         obs::Add(m.violations);
+        obs::TraceInstant("walk.violation", "depth",
+                          static_cast<int64_t>(result.depth + 1));
         result.seconds = elapsed_s();
         return result;
       }
@@ -107,7 +112,7 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
     }
 
     if (options.check_invariants) {
-      obs::PhaseTimer t(m.phase(Phase::kInvariants));
+      obs::PhaseTimer t(m, Phase::kInvariants);
       obs::Add(m.invariant_checks);
       const std::string bad = CheckInvariants(spec, state);
       if (!bad.empty()) {
@@ -119,6 +124,8 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
         }
         result.violation = std::move(v);
         obs::Add(m.violations);
+        obs::TraceInstant("walk.violation", "depth",
+                          static_cast<int64_t>(result.depth));
         result.seconds = elapsed_s();
         return result;
       }

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "src/obs/phase_timer.h"
+#include "src/obs/trace.h"
 #include "src/trace/spec_replay.h"
 #include "src/util/check.h"
 
@@ -75,7 +76,7 @@ class Shrinker {
     }
     SpecReplayResult r;
     {
-      obs::PhaseTimer t(replay_timer_);
+      obs::PhaseTimer t(replay_timer_, "guided_replay");
       r = ReplayLabels(spec_, init_, cand, replay_opts_);
     }
     ++result_->replays;
@@ -118,6 +119,8 @@ class Shrinker {
   // max(n-1, 2) on the shorter list, otherwise double n. Terminates 1-minimal
   // (no single event can be deleted) unless a budget ran out.
   void DdMin() {
+    obs::TraceSpan ddmin_span("minimize.ddmin", "events",
+                              static_cast<int64_t>(cur_.size()));
     size_t n = 2;
     while (cur_.size() >= 2 && !OutOfBudget()) {
       n = std::min(n, cur_.size());
@@ -295,6 +298,8 @@ class Shrinker {
   }
 
   bool DomainPasses() {
+    obs::TraceSpan passes_span("minimize.domain_passes", "events",
+                               static_cast<int64_t>(cur_.size()));
     bool changed = false;
     changed |= DropSingles(EventKind::kNetworkFault);
     changed |= CollapseTimeoutRuns();

@@ -1,0 +1,362 @@
+#include "src/obs/flight_recorder.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/util/run_id.h"
+
+namespace sandtable {
+namespace obs {
+
+namespace internal {
+std::atomic<FlightRecorder*> g_flight_recorder{nullptr};
+}  // namespace internal
+
+namespace {
+
+constexpr int kFatalSignals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGQUIT};
+constexpr int kNumFatalSignals = 4;
+struct sigaction g_prev_actions[kNumFatalSignals];
+
+size_t RoundUpPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// --- async-signal-safe output helpers ---------------------------------------
+
+void WriteRaw(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w <= 0) {
+      return;  // nothing sensible to do in a signal handler
+    }
+    data += w;
+    n -= static_cast<size_t>(w);
+  }
+}
+
+void WriteStr(int fd, const char* s) { WriteRaw(fd, s, std::strlen(s)); }
+
+void WriteU64(int fd, uint64_t v) {
+  char buf[24];
+  int i = 24;
+  do {
+    buf[--i] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  WriteRaw(fd, buf + i, static_cast<size_t>(24 - i));
+}
+
+void WriteI64(int fd, int64_t v) {
+  if (v < 0) {
+    WriteStr(fd, "-");
+    WriteU64(fd, static_cast<uint64_t>(-(v + 1)) + 1);
+  } else {
+    WriteU64(fd, static_cast<uint64_t>(v));
+  }
+}
+
+// sargs can carry client-supplied bytes (tenant ids); neutralize anything
+// that would break the JSON rather than escaping (no allocation allowed).
+void WriteSanitized(int fd, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    const char out =
+        (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) ? '_'
+                                                                        : c;
+    WriteRaw(fd, &out, 1);
+  }
+}
+
+// An event read from the ring mid-write can be garbage; keep only records
+// that look like something EmitEventSlow produced.
+bool LooksValid(const TraceEvent& e) {
+  return e.name != nullptr &&
+         static_cast<uint8_t>(e.kind) <= static_cast<uint8_t>(
+                                             TraceEventKind::kCounter);
+}
+
+const char* KindName(TraceEventKind k) {
+  switch (k) {
+    case TraceEventKind::kComplete:
+      return "span";
+    case TraceEventKind::kInstant:
+      return "instant";
+    case TraceEventKind::kCounter:
+      return "counter";
+  }
+  return "?";
+}
+
+void FlightSignalHandler(int sig) {
+  FlightRecorder* r = internal::g_flight_recorder.load(std::memory_order_relaxed);
+  if (r != nullptr) {
+    r->DumpText(STDERR_FILENO, sig);
+    const int fd =
+        ::open(r->dump_path(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      r->DumpJson(fd, sig);
+      ::close(fd);
+    }
+  }
+  // Chain to the default disposition so the exit status still reports the
+  // signal (core dumps, waitpid WTERMSIG, etc).
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+Json EventJson(const TraceEvent& e) {
+  JsonObject o;
+  o["name"] = e.name;
+  o["kind"] = KindName(e.kind);
+  o["ts_ns"] = e.ts_ns;
+  if (e.kind == TraceEventKind::kComplete) {
+    o["dur_ns"] = e.dur_ns;
+  }
+  o["tid"] = static_cast<int64_t>(e.tid);
+  JsonObject args;
+  if (e.kind == TraceEventKind::kCounter) {
+    args["value"] = e.arg1;
+  } else {
+    if (e.arg1_name != nullptr) {
+      args[e.arg1_name] = e.arg1;
+    }
+    if (e.arg2_name != nullptr) {
+      args[e.arg2_name] = e.arg2;
+    }
+    if (e.sarg_name != nullptr) {
+      args[e.sarg_name] = std::string(e.sarg);
+    }
+  }
+  if (!args.empty()) {
+    o["args"] = std::move(args);
+  }
+  return Json(std::move(o));
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(Options options) : options_(options) {
+  const size_t cap = RoundUpPow2(options_.capacity == 0 ? 1 : options_.capacity);
+  ring_.resize(cap);
+  mask_ = cap - 1;
+}
+
+FlightRecorder::~FlightRecorder() { Uninstall(); }
+
+void FlightRecorder::Install() {
+  dump_path_ = options_.dump_path;
+  if (dump_path_.empty()) {
+    const char* env = std::getenv("SANDTABLE_FLIGHT_DUMP");
+    if (env != nullptr && env[0] != '\0') {
+      dump_path_ = env;
+    } else {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "sandtable-flight-%d.json",
+                    static_cast<int>(::getpid()));
+      dump_path_ = buf;
+    }
+  }
+  // Snapshot identity into fixed buffers: the handler cannot call RunId().
+  std::snprintf(run_id_, sizeof(run_id_), "%s", RunId().c_str());
+  std::snprintf(version_, sizeof(version_), "%s", BuildVersion());
+
+  internal::g_flight_recorder.store(this, std::memory_order_release);
+  internal::UpdateEmitActive();
+  if (options_.install_signal_handlers && !handlers_installed_) {
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = &FlightSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    for (int i = 0; i < kNumFatalSignals; ++i) {
+      ::sigaction(kFatalSignals[i], &sa, &g_prev_actions[i]);
+    }
+    handlers_installed_ = true;
+  }
+}
+
+void FlightRecorder::Uninstall() {
+  FlightRecorder* expected = this;
+  internal::g_flight_recorder.compare_exchange_strong(
+      expected, nullptr, std::memory_order_acq_rel);
+  internal::UpdateEmitActive();
+  if (handlers_installed_) {
+    for (int i = 0; i < kNumFatalSignals; ++i) {
+      ::sigaction(kFatalSignals[i], &g_prev_actions[i], nullptr);
+    }
+    handlers_installed_ = false;
+  }
+}
+
+FlightRecorder* FlightRecorder::Installed() {
+  return internal::g_flight_recorder.load(std::memory_order_acquire);
+}
+
+void FlightRecorder::Record(const TraceEvent& e) {
+  const uint64_t slot = head_.fetch_add(1, std::memory_order_relaxed);
+  ring_[slot & mask_] = e;
+}
+
+std::vector<TraceEvent> FlightRecorder::Snapshot(size_t last_n) const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  uint64_t count = head < ring_.size() ? head : ring_.size();
+  if (last_n != 0 && count > last_n) {
+    count = last_n;
+  }
+  std::vector<TraceEvent> out;
+  out.reserve(count);
+  for (uint64_t i = head - count; i < head; ++i) {
+    const TraceEvent& e = ring_[i & mask_];
+    if (LooksValid(e)) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+Json FlightRecorder::RecentJson(size_t last_n) const {
+  JsonObject o;
+  o["type"] = "flight_recorder";
+  o["run_id"] = RunId();
+  o["recorded"] = recorded();
+  JsonArray events;
+  for (const TraceEvent& e : Snapshot(last_n)) {
+    events.push_back(EventJson(e));
+  }
+  o["events"] = std::move(events);
+  return Json(std::move(o));
+}
+
+void FlightRecorder::DumpJson(int fd, int sig) const {
+  WriteStr(fd, "{\"type\":\"flight_recorder\",\"run_id\":\"");
+  WriteSanitized(fd, run_id_);
+  WriteStr(fd, "\",\"version\":\"");
+  WriteSanitized(fd, version_);
+  WriteStr(fd, "\",\"signal\":");
+  WriteI64(fd, sig);
+  WriteStr(fd, ",\"recorded\":");
+  WriteU64(fd, head_.load(std::memory_order_relaxed));
+  WriteStr(fd, ",\"events\":[");
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t count = head < ring_.size() ? head : ring_.size();
+  bool first = true;
+  for (uint64_t i = head - count; i < head; ++i) {
+    const TraceEvent& e = ring_[i & mask_];
+    if (!LooksValid(e)) {
+      continue;
+    }
+    if (!first) {
+      WriteStr(fd, ",");
+    }
+    first = false;
+    WriteStr(fd, "{\"name\":\"");
+    WriteSanitized(fd, e.name);
+    WriteStr(fd, "\",\"kind\":\"");
+    WriteStr(fd, KindName(e.kind));
+    WriteStr(fd, "\",\"ts_ns\":");
+    WriteU64(fd, e.ts_ns);
+    if (e.kind == TraceEventKind::kComplete) {
+      WriteStr(fd, ",\"dur_ns\":");
+      WriteU64(fd, e.dur_ns);
+    }
+    WriteStr(fd, ",\"tid\":");
+    WriteU64(fd, e.tid);
+    if (e.kind == TraceEventKind::kCounter) {
+      WriteStr(fd, ",\"value\":");
+      WriteI64(fd, e.arg1);
+    } else {
+      if (e.arg1_name != nullptr) {
+        WriteStr(fd, ",\"");
+        WriteSanitized(fd, e.arg1_name);
+        WriteStr(fd, "\":");
+        WriteI64(fd, e.arg1);
+      }
+      if (e.arg2_name != nullptr) {
+        WriteStr(fd, ",\"");
+        WriteSanitized(fd, e.arg2_name);
+        WriteStr(fd, "\":");
+        WriteI64(fd, e.arg2);
+      }
+      if (e.sarg_name != nullptr) {
+        WriteStr(fd, ",\"");
+        WriteSanitized(fd, e.sarg_name);
+        WriteStr(fd, "\":\"");
+        WriteSanitized(fd, e.sarg);
+        WriteStr(fd, "\"");
+      }
+    }
+    WriteStr(fd, "}");
+  }
+  WriteStr(fd, "]}\n");
+}
+
+void FlightRecorder::DumpText(int fd, int sig) const {
+  WriteStr(fd, "\n=== sandtable flight recorder (run ");
+  WriteSanitized(fd, run_id_);
+  WriteStr(fd, ", signal ");
+  WriteI64(fd, sig);
+  WriteStr(fd, ") ===\n");
+  const uint64_t head = head_.load(std::memory_order_relaxed);
+  const uint64_t count = head < ring_.size() ? head : ring_.size();
+  for (uint64_t i = head - count; i < head; ++i) {
+    const TraceEvent& e = ring_[i & mask_];
+    if (!LooksValid(e)) {
+      continue;
+    }
+    WriteStr(fd, "  ");
+    WriteU64(fd, e.ts_ns);
+    WriteStr(fd, "ns T");
+    WriteU64(fd, e.tid);
+    WriteStr(fd, " ");
+    WriteStr(fd, KindName(e.kind));
+    WriteStr(fd, " ");
+    WriteSanitized(fd, e.name);
+    if (e.kind == TraceEventKind::kComplete) {
+      WriteStr(fd, " dur=");
+      WriteU64(fd, e.dur_ns);
+      WriteStr(fd, "ns");
+    }
+    if (e.kind == TraceEventKind::kCounter) {
+      WriteStr(fd, " value=");
+      WriteI64(fd, e.arg1);
+    } else {
+      if (e.arg1_name != nullptr) {
+        WriteStr(fd, " ");
+        WriteSanitized(fd, e.arg1_name);
+        WriteStr(fd, "=");
+        WriteI64(fd, e.arg1);
+      }
+      if (e.arg2_name != nullptr) {
+        WriteStr(fd, " ");
+        WriteSanitized(fd, e.arg2_name);
+        WriteStr(fd, "=");
+        WriteI64(fd, e.arg2);
+      }
+      if (e.sarg_name != nullptr) {
+        WriteStr(fd, " ");
+        WriteSanitized(fd, e.sarg_name);
+        WriteStr(fd, "=");
+        WriteSanitized(fd, e.sarg);
+      }
+    }
+    WriteStr(fd, "\n");
+  }
+  WriteStr(fd, "=== end flight recorder (");
+  WriteU64(fd, head);
+  WriteStr(fd, " events recorded, dump written to ");
+  WriteSanitized(fd, dump_path_.c_str());
+  WriteStr(fd, ") ===\n");
+}
+
+}  // namespace obs
+}  // namespace sandtable

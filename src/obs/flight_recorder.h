@@ -1,0 +1,107 @@
+// Crash-safe flight recorder: a fixed-size lock-free ring of the most recent
+// trace events (the same TraceEvent stream the Tracer consumes — see
+// trace.h), dumped when the process dies on SIGSEGV/SIGABRT/SIGBUS/SIGQUIT.
+//
+// Purpose: a wedged or crashed exploration should explain itself. The ring
+// always holds the last ~capacity events (phase scopes, BFS levels, spills,
+// job lifecycle), so the post-mortem shows *what the process was doing*,
+// not just where it died. The dump is written twice: human-readable text to
+// stderr and JSON to a file (SANDTABLE_FLIGHT_DUMP or
+// "sandtable-flight-<pid>.json" in the cwd); the serve scheduler also
+// attaches the most recent events to failed-job result frames.
+//
+// Signal safety: the dump path uses only write(2)/open(2) and hand-rolled
+// integer formatting — no allocation, no stdio, no locks. Event names are
+// static string literals by the trace.h contract, so reading them in a
+// handler is safe. The ring itself is written with a relaxed fetch_add slot
+// claim and a plain struct copy: a dump racing an in-flight writer can see
+// one torn event per writing thread. That is acceptable for a post-mortem
+// aid and is filtered by a per-event sanity check; the alternative (locks on
+// the hot path) is not.
+#ifndef SANDTABLE_SRC_OBS_FLIGHT_RECORDER_H_
+#define SANDTABLE_SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+#include "src/util/json.h"
+
+namespace sandtable {
+namespace obs {
+
+class FlightRecorder {
+ public:
+  struct Options {
+    size_t capacity = 4096;  // rounded up to a power of two
+    // JSON dump target; empty = $SANDTABLE_FLIGHT_DUMP at Install() time,
+    // falling back to "sandtable-flight-<pid>.json".
+    std::string dump_path;
+    // When false, only the ring is active (RecentJson for serve error
+    // frames, tests); no process signal handlers are touched.
+    bool install_signal_handlers = true;
+  };
+
+  FlightRecorder() : FlightRecorder(Options()) {}
+  explicit FlightRecorder(Options options);
+  ~FlightRecorder();  // Uninstall()s
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Makes this recorder the process-wide event ring (one at a time; second
+  // Install replaces the first) and optionally installs the fatal-signal
+  // handlers (SIGSEGV, SIGABRT, SIGBUS, SIGQUIT), chaining to the previous
+  // disposition after dumping via re-raise.
+  void Install();
+  void Uninstall();
+
+  // The installed recorder, if any (used by the serve scheduler to attach
+  // recent events to failed jobs).
+  static FlightRecorder* Installed();
+
+  // Hot path: copies e into the next ring slot. Lock-free; called by the
+  // trace emit path for every event when installed.
+  void Record(const TraceEvent& e);
+
+  // Most recent events, oldest first, at most last_n (0 = whole ring).
+  // Best-effort under concurrent writers (see file comment).
+  std::vector<TraceEvent> Snapshot(size_t last_n = 0) const;
+
+  // {"type":"flight_recorder","run_id":...,"events":[...]} for attaching to
+  // serve error frames. Not signal-safe (allocates); use DumpJson in
+  // handlers.
+  Json RecentJson(size_t last_n = 0) const;
+
+  // Async-signal-safe dumps. `sig` is recorded in the output (0 = manual).
+  void DumpJson(int fd, int sig) const;
+  void DumpText(int fd, int sig) const;
+
+  uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  const char* dump_path() const { return dump_path_.c_str(); }
+
+ private:
+  std::vector<TraceEvent> ring_;
+  size_t mask_ = 0;
+  std::atomic<uint64_t> head_{0};
+  Options options_;
+  std::string dump_path_;
+  // Fixed copies for signal-handler use (std::string access would allocate
+  // or race).
+  char run_id_[40] = {};
+  char version_[64] = {};
+  bool handlers_installed_ = false;
+};
+
+namespace internal {
+extern std::atomic<FlightRecorder*> g_flight_recorder;
+}  // namespace internal
+
+}  // namespace obs
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_OBS_FLIGHT_RECORDER_H_

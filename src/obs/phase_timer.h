@@ -3,6 +3,12 @@
 // no-ops so the instrumentation overhead itself can be measured (see
 // DESIGN.md "Observability"); with no histogram attached a timer never reads
 // the clock, so un-instrumented runs pay nothing.
+//
+// Phase timers are unified with span tracing (trace.h): a timer constructed
+// with a phase (or explicit span name) emits one histogram sample AND one
+// Chrome-trace span from the same pair of clock reads whenever a trace sink
+// is installed — a single scope instruments both the aggregate view
+// (percentiles) and the timeline view (what ran when, on which worker).
 #ifndef SANDTABLE_SRC_OBS_PHASE_TIMER_H_
 #define SANDTABLE_SRC_OBS_PHASE_TIMER_H_
 
@@ -10,6 +16,7 @@
 #include <chrono>
 
 #include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace sandtable {
 namespace obs {
@@ -37,33 +44,55 @@ namespace internal {
 extern std::atomic<bool> g_phase_timers_enabled;
 }  // namespace internal
 
-// Scoped timer: records elapsed ns into `h` at destruction. Null histogram
-// (metrics not requested) or disabled timers cost one branch.
+struct ExplorationMetrics;
+
+// Scoped timer: records elapsed ns into `h` at destruction, and — when
+// constructed with a span name (or via the ExplorationMetrics/Phase
+// convenience overload) while a trace sink is installed — emits the same
+// interval as a trace span. Null histogram + no active trace, or disabled
+// timers, cost one branch and never read the clock.
 class PhaseTimer {
  public:
-  explicit PhaseTimer(Histogram* h)
-      : h_(h != nullptr &&
-                   internal::g_phase_timers_enabled.load(std::memory_order_relaxed)
-               ? h
-               : nullptr) {
-    if (h_ != nullptr) {
-      start_ = std::chrono::steady_clock::now();
+  explicit PhaseTimer(Histogram* h) : PhaseTimer(h, nullptr) {}
+
+  // One scope ⇒ histogram sample + trace span named PhaseName(p).
+  inline PhaseTimer(const ExplorationMetrics& m, Phase p);
+
+  // span_name must have static lifetime (trace.h contract); nullptr = no span.
+  PhaseTimer(Histogram* h, const char* span_name) {
+    if (!internal::g_phase_timers_enabled.load(std::memory_order_relaxed)) {
+      return;
+    }
+    h_ = h;
+    span_name_ = (span_name != nullptr && TraceActive()) ? span_name : nullptr;
+    if (h_ != nullptr || span_name_ != nullptr) {
+      start_ns_ = TraceNowNs();
     }
   }
   PhaseTimer(const PhaseTimer&) = delete;
   PhaseTimer& operator=(const PhaseTimer&) = delete;
   ~PhaseTimer() {
+    if (h_ == nullptr && span_name_ == nullptr) {
+      return;
+    }
+    const uint64_t end_ns = TraceNowNs();
+    const uint64_t dur_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
     if (h_ != nullptr) {
-      const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                          std::chrono::steady_clock::now() - start_)
-                          .count();
-      h_->Record(static_cast<uint64_t>(ns < 0 ? 0 : ns));
+      h_->Record(dur_ns);
+    }
+    if (span_name_ != nullptr) {
+      TraceEvent e;
+      e.name = span_name_;
+      e.ts_ns = start_ns_;
+      e.dur_ns = dur_ns;
+      internal::EmitEventSlow(e);
     }
   }
 
  private:
-  Histogram* h_;
-  std::chrono::steady_clock::time_point start_;
+  Histogram* h_ = nullptr;
+  const char* span_name_ = nullptr;
+  uint64_t start_ns_ = 0;
 };
 
 // Null-safe handles on the well-known exploration metrics. Engines bind once
@@ -90,6 +119,9 @@ struct ExplorationMetrics {
 
   Histogram* phase(Phase p) const { return phases[static_cast<int>(p)]; }
 };
+
+inline PhaseTimer::PhaseTimer(const ExplorationMetrics& m, Phase p)
+    : PhaseTimer(m.phase(p), PhaseName(p)) {}
 
 // Null-safe recording helpers.
 inline void Add(Counter* c, uint64_t n = 1) {

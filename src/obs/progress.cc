@@ -1,5 +1,7 @@
 #include "src/obs/progress.h"
 
+#include "src/util/run_id.h"
+
 namespace sandtable {
 namespace obs {
 
@@ -40,12 +42,12 @@ Json ProgressSample::ToJson() const {
 
 ProgressReporter::ProgressReporter(std::ostream* out, ProgressOptions options)
     : out_(out),
-      options_(options),
-      next_states_(options.every_states),
+      options_(std::move(options)),
+      next_states_(options_.every_states),
       next_time_(Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                     std::chrono::duration<double>(
-                                        options.every_seconds > 0
-                                            ? options.every_seconds
+                                        options_.every_seconds > 0
+                                            ? options_.every_seconds
                                             : 0))) {}
 
 bool ProgressReporter::Due(uint64_t distinct_states) const {
@@ -67,7 +69,11 @@ bool ProgressReporter::Offer(const ProgressSample& sample) {
 }
 
 void ProgressReporter::Emit(const ProgressSample& sample) {
+  if (options_.run_id.empty()) {
+    options_.run_id = RunId();
+  }
   Json line = sample.ToJson();
+  line["run_id"] = Json(options_.run_id);
   const double dt = sample.elapsed_s - last_elapsed_s_;
   const double d_states =
       static_cast<double>(sample.distinct_states) - static_cast<double>(last_distinct_);

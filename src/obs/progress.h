@@ -57,6 +57,9 @@ struct ProgressOptions {
   uint64_t every_states = 0;
   // Emit at most once per this many wall-clock seconds (0 = no time cadence).
   double every_seconds = 0;
+  // Run id stamped on every line; empty = the process-wide RunId(). Serve
+  // jobs set their per-job id here so concurrent tenants stay separable.
+  std::string run_id;
 };
 
 // Not thread-safe: engines report from the coordinator thread only.
@@ -76,6 +79,7 @@ class ProgressReporter {
   void Emit(const ProgressSample& sample);
 
   uint64_t lines_emitted() const { return lines_emitted_; }
+  const std::string& run_id() const { return options_.run_id; }
 
  private:
   std::ostream* out_;

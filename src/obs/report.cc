@@ -4,6 +4,8 @@
 #include <cstdarg>
 #include <cstdio>
 
+#include "src/util/run_id.h"
+
 namespace sandtable {
 namespace obs {
 
@@ -73,6 +75,7 @@ Json MakeReport(const std::string& engine, Json result, const MetricsRegistry* m
   JsonObject o;
   o["type"] = Json("report");
   o["schema_version"] = Json(static_cast<int64_t>(kReportSchemaVersion));
+  o["run_id"] = Json(RunId());
   o["engine"] = Json(engine);
   o["result"] = std::move(result);
   o["peak_rss_kb"] = Json(PeakRssKb());
@@ -87,6 +90,10 @@ std::string ReportToText(const Json& report) {
   const std::string engine =
       report["engine"].is_string() ? report["engine"].as_string() : "?";
   AppendLine(out, "=== %s run report ===", engine.c_str());
+  if (report["run_id"].is_string()) {
+    AppendLine(out, "  %-28s %s", "run_id",
+               report["run_id"].as_string().c_str());
+  }
 
   const Json& result = report["result"];
   if (result.is_object()) {

@@ -1,0 +1,296 @@
+#include "src/obs/trace.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+
+#include "src/obs/flight_recorder.h"
+#include "src/util/run_id.h"
+
+namespace sandtable {
+namespace obs {
+
+namespace {
+
+std::atomic<Tracer*> g_tracer{nullptr};
+
+// Bumped on every Install/Uninstall/~Tracer so the per-thread buffer cache
+// below can never hand back a buffer belonging to a dead or replaced tracer
+// (including the ABA case of a new tracer allocated at the old address).
+std::atomic<uint64_t> g_install_epoch{1};
+
+struct TlsBuf {
+  const void* owner = nullptr;
+  uint64_t epoch = 0;
+  void* buf = nullptr;
+};
+thread_local TlsBuf t_buf;
+
+std::mutex& ThreadNameMu() {
+  static std::mutex mu;
+  return mu;
+}
+std::map<uint32_t, std::string>& ThreadNames() {
+  static std::map<uint32_t, std::string> names;
+  return names;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<bool> g_emit_active{false};
+
+void UpdateEmitActive() {
+  g_emit_active.store(g_tracer.load(std::memory_order_acquire) != nullptr ||
+                          g_flight_recorder.load(std::memory_order_acquire) !=
+                              nullptr,
+                      std::memory_order_release);
+}
+
+void EmitEventSlow(TraceEvent& e) {
+  e.tid = TraceTid();
+  Tracer* tracer = g_tracer.load(std::memory_order_acquire);
+  if (tracer != nullptr) {
+    tracer->Append(e);
+  }
+  FlightRecorder* recorder =
+      g_flight_recorder.load(std::memory_order_acquire);
+  if (recorder != nullptr) {
+    recorder->Record(e);
+  }
+}
+
+}  // namespace internal
+
+std::chrono::steady_clock::time_point TraceEpoch() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return epoch;
+}
+
+uint64_t TraceNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - TraceEpoch())
+          .count());
+}
+
+uint32_t TraceTid() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+void TraceSetCurrentThreadName(const std::string& name) {
+  std::lock_guard<std::mutex> lock(ThreadNameMu());
+  ThreadNames()[TraceTid()] = name;
+}
+
+struct Tracer::ThreadBuffer {
+  explicit ThreadBuffer(uint32_t tid) : tid(tid) {}
+
+  const uint32_t tid;
+  // Chunked so growth never moves already-written events under a concurrent
+  // drain. The chunk list itself is guarded by the owning Tracer's mu_.
+  std::vector<std::unique_ptr<TraceEvent[]>> chunks;
+  TraceEvent* cur = nullptr;  // writer-owned
+  size_t cur_used = 0;        // writer-owned
+  uint64_t written = 0;       // writer-owned
+  // Drain reads events [0, published): the release store in Append makes the
+  // event contents visible to an acquire reader before the count is.
+  std::atomic<uint64_t> published{0};
+};
+
+Tracer::Tracer(Options options) : options_(options) {
+  if (options_.chunk_events == 0) {
+    options_.chunk_events = 4096;
+  }
+}
+
+Tracer::~Tracer() {
+  Uninstall();
+  // Invalidate any cached buffer pointers into this tracer even if it was
+  // never installed (tests Append directly).
+  g_install_epoch.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void Tracer::Install() {
+  g_tracer.store(this, std::memory_order_release);
+  g_install_epoch.fetch_add(1, std::memory_order_acq_rel);
+  internal::UpdateEmitActive();
+}
+
+void Tracer::Uninstall() {
+  Tracer* expected = this;
+  g_tracer.compare_exchange_strong(expected, nullptr,
+                                   std::memory_order_acq_rel);
+  g_install_epoch.fetch_add(1, std::memory_order_acq_rel);
+  internal::UpdateEmitActive();
+}
+
+bool Tracer::installed() const {
+  return g_tracer.load(std::memory_order_acquire) == this;
+}
+
+uint64_t Tracer::dropped_events() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+Tracer::ThreadBuffer* Tracer::RegisterCurrentThread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>(TraceTid()));
+  return buffers_.back().get();
+}
+
+void Tracer::Append(const TraceEvent& e) {
+  const uint64_t epoch = g_install_epoch.load(std::memory_order_acquire);
+  if (t_buf.owner != this || t_buf.epoch != epoch || t_buf.buf == nullptr) {
+    t_buf.buf = RegisterCurrentThread();
+    t_buf.owner = this;
+    t_buf.epoch = epoch;
+  }
+  auto* b = static_cast<ThreadBuffer*>(t_buf.buf);
+  if (b->written >= options_.max_events_per_thread) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (b->cur == nullptr || b->cur_used == options_.chunk_events) {
+    std::lock_guard<std::mutex> lock(mu_);
+    b->chunks.push_back(std::make_unique<TraceEvent[]>(options_.chunk_events));
+    b->cur = b->chunks.back().get();
+    b->cur_used = 0;
+  }
+  b->cur[b->cur_used++] = e;
+  ++b->written;
+  b->published.store(b->written, std::memory_order_release);
+}
+
+std::vector<TraceEvent> Tracer::Drain() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& b : buffers_) {
+      uint64_t remaining = b->published.load(std::memory_order_acquire);
+      for (const auto& chunk : b->chunks) {
+        if (remaining == 0) {
+          break;
+        }
+        const uint64_t n =
+            std::min<uint64_t>(remaining, options_.chunk_events);
+        out.insert(out.end(), chunk.get(), chunk.get() + n);
+        remaining -= n;
+      }
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns != b.ts_ns ? a.ts_ns < b.ts_ns
+                                               : a.tid < b.tid;
+                   });
+  return out;
+}
+
+Json Tracer::ToChromeJson() const {
+  const int64_t pid = static_cast<int64_t>(::getpid());
+  JsonArray events;
+
+  {
+    JsonObject pname;
+    pname["ph"] = "M";
+    pname["name"] = "process_name";
+    pname["ts"] = 0.0;  // metadata is timeless; uniform shape for validators
+    pname["pid"] = pid;
+    pname["tid"] = static_cast<int64_t>(0);
+    JsonObject pargs;
+    pargs["name"] = "sandtable";
+    pname["args"] = std::move(pargs);
+    events.emplace_back(std::move(pname));
+  }
+  {
+    std::lock_guard<std::mutex> lock(ThreadNameMu());
+    for (const auto& [tid, name] : ThreadNames()) {
+      JsonObject m;
+      m["ph"] = "M";
+      m["name"] = "thread_name";
+      m["ts"] = 0.0;
+      m["pid"] = pid;
+      m["tid"] = static_cast<int64_t>(tid);
+      JsonObject args;
+      args["name"] = name;
+      m["args"] = std::move(args);
+      events.emplace_back(std::move(m));
+    }
+  }
+
+  for (const TraceEvent& e : Drain()) {
+    JsonObject o;
+    o["name"] = e.name != nullptr ? e.name : "?";
+    o["cat"] = "sandtable";
+    o["ts"] = static_cast<double>(e.ts_ns) / 1000.0;  // microseconds
+    o["pid"] = pid;
+    o["tid"] = static_cast<int64_t>(e.tid);
+    JsonObject args;
+    switch (e.kind) {
+      case TraceEventKind::kComplete:
+        o["ph"] = "X";
+        o["dur"] = static_cast<double>(e.dur_ns) / 1000.0;
+        break;
+      case TraceEventKind::kInstant:
+        o["ph"] = "i";
+        o["s"] = "t";
+        break;
+      case TraceEventKind::kCounter:
+        o["ph"] = "C";
+        args["value"] = e.arg1;
+        break;
+    }
+    if (e.kind != TraceEventKind::kCounter) {
+      if (e.arg1_name != nullptr) {
+        args[e.arg1_name] = e.arg1;
+      }
+      if (e.arg2_name != nullptr) {
+        args[e.arg2_name] = e.arg2;
+      }
+      if (e.sarg_name != nullptr) {
+        args[e.sarg_name] = std::string(e.sarg);
+      }
+    }
+    if (!args.empty()) {
+      o["args"] = std::move(args);
+    }
+    events.emplace_back(std::move(o));
+  }
+
+  JsonObject metadata;
+  metadata["schema"] = "sandtable-trace-1";
+  metadata["run_id"] = RunId();
+  metadata["version"] = BuildVersion();
+  metadata["dropped_events"] = dropped_events();
+  metadata["clock"] = "steady, ns since process trace epoch";
+
+  JsonObject root;
+  root["traceEvents"] = std::move(events);
+  root["displayTimeUnit"] = "ms";
+  root["metadata"] = std::move(metadata);
+  return Json(std::move(root));
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Error("trace: cannot open " + path + " for writing");
+  }
+  out << ToChromeJson().Dump() << "\n";
+  out.flush();
+  if (!out) {
+    return Status::Error("trace: short write to " + path);
+  }
+  return Status();
+}
+
+}  // namespace obs
+}  // namespace sandtable

@@ -1,0 +1,239 @@
+// Low-overhead span tracing for exploration runs, exported as Chrome
+// trace-event JSON (load in chrome://tracing or https://ui.perfetto.dev).
+//
+// Model: instrumentation sites emit fixed-size TraceEvent records — complete
+// spans (RAII TraceSpan, or a PhaseTimer constructed with a phase), instant
+// events, and counter samples. Records flow through one guard check into up
+// to two sinks:
+//
+//   - an installed Tracer: per-thread chunked buffers, appended lock-free by
+//     the owning thread and drained at run end into one Chrome JSON file;
+//   - an installed FlightRecorder (flight_recorder.h): a small global ring of
+//     the most recent events, dumped on fatal signals.
+//
+// Cost model: with neither sink installed, every emit site is a single
+// relaxed atomic load and branch — no clock read, no allocation, no event
+// construction (measured on bench_table3_exploration; see DESIGN.md
+// "Tracing & flight recorder"). With a sink installed, the hot path is two
+// clock reads (span begin/end) plus an ~96-byte store into a thread-local
+// chunk; chunk allocation (amortized 1/4096 events) takes a mutex.
+//
+// Threading contract: Append is single-writer per thread buffer; Drain/
+// export synchronize via per-buffer release/acquire publication, so a
+// concurrent drain never reads a half-written event. Install/Uninstall and
+// Tracer destruction must happen while no instrumented code is running
+// (engines quiesce at run end; serve drains after workers join).
+//
+// Event names and arg names must be string literals (static lifetime): the
+// hot path stores the pointer, not a copy. One short string arg per event
+// (tenant ids, statuses) is stored inline, truncated to kSargCap-1 chars.
+#ifndef SANDTABLE_SRC_OBS_TRACE_H_
+#define SANDTABLE_SRC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+#include "src/util/result.h"
+
+namespace sandtable {
+namespace obs {
+
+enum class TraceEventKind : uint8_t {
+  kComplete = 0,  // span with duration ("ph":"X")
+  kInstant = 1,   // point event ("ph":"i")
+  kCounter = 2,   // sampled value ("ph":"C")
+};
+
+struct TraceEvent {
+  static constexpr size_t kSargCap = 24;
+
+  const char* name = nullptr;       // static lifetime, required
+  const char* arg1_name = nullptr;  // static lifetime, nullptr = absent
+  const char* arg2_name = nullptr;
+  const char* sarg_name = nullptr;  // static lifetime, nullptr = absent
+  uint64_t ts_ns = 0;               // ns since TraceEpoch()
+  uint64_t dur_ns = 0;              // kComplete only
+  int64_t arg1 = 0;
+  int64_t arg2 = 0;                 // kCounter stores the sample in arg1
+  char sarg[kSargCap] = {};         // inline short string arg, NUL-terminated
+  uint32_t tid = 0;                 // small sequential trace thread id
+  TraceEventKind kind = TraceEventKind::kComplete;
+
+  void set_sarg(const char* static_name, const std::string& value) {
+    sarg_name = static_name;
+    const size_t n = value.size() < kSargCap - 1 ? value.size() : kSargCap - 1;
+    std::memcpy(sarg, value.data(), n);
+    sarg[n] = '\0';
+  }
+};
+
+// Monotonic time base shared by every event in the process (and by the
+// scheduler's retroactive "job.queued" spans).
+std::chrono::steady_clock::time_point TraceEpoch();
+uint64_t TraceNowNs();
+
+// Small sequential id for the calling thread, assigned on first use and
+// shared by the tracer and the flight recorder.
+uint32_t TraceTid();
+
+// Names the calling thread's lane in exported traces ("worker-3"). Cold path
+// (mutex); safe to call whether or not a sink is installed.
+void TraceSetCurrentThreadName(const std::string& name);
+
+namespace internal {
+// True iff a Tracer and/or FlightRecorder is installed. The only cost paid
+// by instrumentation sites when tracing is off.
+extern std::atomic<bool> g_emit_active;
+// Routes a finished event to the installed sinks. Fills e.tid.
+void EmitEventSlow(TraceEvent& e);
+void UpdateEmitActive();
+}  // namespace internal
+
+inline bool TraceActive() {
+  return internal::g_emit_active.load(std::memory_order_relaxed);
+}
+
+inline void EmitEvent(TraceEvent& e) {
+  if (TraceActive()) {
+    internal::EmitEventSlow(e);
+  }
+}
+
+class Tracer {
+ public:
+  struct Options {
+    // Hard cap per thread; events past it are counted in dropped_events()
+    // and recorded in export metadata rather than silently lost.
+    size_t max_events_per_thread = 1u << 20;
+    size_t chunk_events = 4096;
+  };
+
+  Tracer() : Tracer(Options()) {}
+  explicit Tracer(Options options);
+  ~Tracer();  // Uninstall()s if installed; requires quiescence (see above)
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Makes this tracer the process-wide span sink. One tracer at a time; a
+  // second Install replaces the first (which stops receiving events).
+  void Install();
+  void Uninstall();
+  bool installed() const;
+
+  // Events dropped because a thread hit max_events_per_thread.
+  uint64_t dropped_events() const;
+
+  // All recorded events, merged across threads and sorted by ts_ns. Safe
+  // concurrently with writers (release/acquire publication), but a coherent
+  // full trace requires writer quiescence.
+  std::vector<TraceEvent> Drain() const;
+
+  // {"traceEvents":[...],"metadata":{run_id,version,dropped_events,...}}
+  Json ToChromeJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+  // Appends to the calling thread's buffer, registering it on first use.
+  // Called via EmitEvent; public for the flight-recorder-less test path.
+  void Append(const TraceEvent& e);
+
+ private:
+  struct ThreadBuffer;
+
+  ThreadBuffer* RegisterCurrentThread();
+
+  Options options_;
+  mutable std::mutex mu_;  // guards buffers_ (registration) and chunk growth
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<uint64_t> dropped_{0};
+};
+
+// RAII complete-span scope. When no sink is installed at construction, the
+// whole scope is one branch: no clock read, no event at destruction.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name) {
+    if (TraceActive()) {
+      event_.name = name;
+      event_.ts_ns = TraceNowNs();
+      armed_ = true;
+    }
+  }
+  TraceSpan(const char* name, const char* arg1_name, int64_t arg1)
+      : TraceSpan(name) {
+    if (armed_) {
+      event_.arg1_name = arg1_name;
+      event_.arg1 = arg1;
+    }
+  }
+  TraceSpan(const char* name, const char* arg1_name, int64_t arg1,
+            const char* arg2_name, int64_t arg2)
+      : TraceSpan(name, arg1_name, arg1) {
+    if (armed_) {
+      event_.arg2_name = arg2_name;
+      event_.arg2 = arg2;
+    }
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (armed_) {
+      event_.dur_ns = TraceNowNs() - event_.ts_ns;
+      internal::EmitEventSlow(event_);
+    }
+  }
+
+  // Attach args whose values are only known at scope end (e.g. how many
+  // states a wave produced). No-ops when the span is disarmed.
+  void set_arg2(const char* arg2_name, int64_t arg2) {
+    if (armed_) {
+      event_.arg2_name = arg2_name;
+      event_.arg2 = arg2;
+    }
+  }
+  void set_sarg(const char* sarg_name, const std::string& value) {
+    if (armed_) {
+      event_.set_sarg(sarg_name, value);
+    }
+  }
+
+ private:
+  TraceEvent event_;
+  bool armed_ = false;
+};
+
+inline void TraceInstant(const char* name, const char* arg1_name = nullptr,
+                         int64_t arg1 = 0) {
+  if (TraceActive()) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kInstant;
+    e.name = name;
+    e.ts_ns = TraceNowNs();
+    e.arg1_name = arg1_name;
+    e.arg1 = arg1;
+    internal::EmitEventSlow(e);
+  }
+}
+
+inline void TraceCounter(const char* name, int64_t value) {
+  if (TraceActive()) {
+    TraceEvent e;
+    e.kind = TraceEventKind::kCounter;
+    e.name = name;
+    e.ts_ns = TraceNowNs();
+    e.arg1 = value;
+    internal::EmitEventSlow(e);
+  }
+}
+
+}  // namespace obs
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_OBS_TRACE_H_

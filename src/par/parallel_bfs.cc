@@ -12,6 +12,7 @@
 #include "src/mc/expand.h"
 #include "src/mc/reconstruct.h"
 #include "src/obs/phase_timer.h"
+#include "src/obs/trace.h"
 #include "src/par/fingerprint_shards.h"
 #include "src/par/work_queue.h"
 #include "src/par/worker_pool.h"
@@ -253,6 +254,10 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
     par::WorkQueue queue(items.size(), options.chunk_size);
     pool.RunLevel([&](int w) {
       WorkerOutput& out = outs[static_cast<size_t>(w)];
+      // One lane-local span per wave: in the trace, a worker's life is
+      // alternating worker.wave (busy) and barrier.wait (idle) spans.
+      obs::TraceSpan wave_span("worker.wave", "worker", w, "items",
+                               static_cast<int64_t>(items.size()));
       size_t begin = 0;
       size_t end = 0;
       while (!stop.load(std::memory_order_relaxed) && queue.NextChunk(&begin, &end)) {
@@ -260,7 +265,7 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
           const FrontierItem& item = items[i];
           std::vector<Successor> succs;
           {
-            obs::PhaseTimer t(m.phase(Phase::kExpand));
+            obs::PhaseTimer t(m, Phase::kExpand);
             obs::Add(m.expand_calls);
             succs = ExpandAll(spec, item.state, &out.coverage);
           }
@@ -274,7 +279,7 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
             out.coverage.RecordEvent(s.label.kind);
             uint64_t fp;
             {
-              obs::PhaseTimer t(m.phase(Phase::kCanonicalize));
+              obs::PhaseTimer t(m, Phase::kCanonicalize);
               fp = Fingerprint(spec, s.state, use_symmetry);
             }
 
@@ -282,7 +287,7 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
             // to already-visited states.
             std::string bad_edge;
             {
-              obs::PhaseTimer t(m.phase(Phase::kInvariants));
+              obs::PhaseTimer t(m, Phase::kInvariants);
               obs::Add(m.transition_checks);
               bad_edge = CheckTransitionInvariants(spec, item.state, s.label, s.state);
             }
@@ -293,7 +298,7 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
 
             bool duplicate;
             {
-              obs::PhaseTimer t(m.phase(Phase::kFingerprint));
+              obs::PhaseTimer t(m, Phase::kFingerprint);
               duplicate = !insert_visited(fp, item.fp);
             }
             if (duplicate) {
@@ -303,7 +308,7 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
             obs::Add(m.distinct_states);
             std::string bad;
             {
-              obs::PhaseTimer t(m.phase(Phase::kInvariants));
+              obs::PhaseTimer t(m, Phase::kInvariants);
               obs::Add(m.invariant_checks);
               bad = CheckInvariants(spec, s.state);
             }
@@ -363,6 +368,9 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
     if (depth >= base.max_depth) {
       return finalize(depth, false);
     }
+    obs::TraceSpan level_span("bfs.level", "level",
+                              static_cast<int64_t>(depth), "frontier",
+                              static_cast<int64_t>(frontier_size()));
     obs::SetMax(m.frontier_peak, static_cast<int64_t>(frontier_size()));
 
     if (use_spool) {
@@ -444,7 +452,7 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
     if (best != nullptr && !result.violation.has_value()) {
       std::vector<TraceStep> trace;
       {
-        obs::PhaseTimer t(m.phase(Phase::kReconstruct));
+        obs::PhaseTimer t(m, Phase::kReconstruct);
         obs::Add(m.reconstructions);
         trace = ReconstructTrace(spec, parent_of, best->fp, use_symmetry);
       }
@@ -519,25 +527,30 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
     // Concatenate the workers' next-frontier slices. Each distinct state was
     // inserted by exactly one worker, so the union is duplicate-free. (In the
     // spool path the slices were already flushed per wave.)
-    if (use_spool) {
-      cur_spool = std::move(next_spool);
-      next_spool = new_spool();
-    } else {
-      size_t total = 0;
-      for (const WorkerOutput& out : outs) {
-        total += out.next.size();
-      }
-      frontier.clear();
-      frontier.reserve(total);
-      for (WorkerOutput& out : outs) {
-        for (FrontierItem& item : out.next) {
-          frontier.push_back(std::move(item));
+    {
+      obs::TraceSpan merge_span("bfs.merge");
+      if (use_spool) {
+        cur_spool = std::move(next_spool);
+        next_spool = new_spool();
+      } else {
+        size_t total = 0;
+        for (const WorkerOutput& out : outs) {
+          total += out.next.size();
         }
-        out.next.clear();
+        frontier.clear();
+        frontier.reserve(total);
+        for (WorkerOutput& out : outs) {
+          for (FrontierItem& item : out.next) {
+            frontier.push_back(std::move(item));
+          }
+          out.next.clear();
+        }
       }
     }
     obs::Add(m.levels);
     obs::Set(m.frontier, static_cast<int64_t>(frontier_size()));
+    obs::TraceCounter("distinct_states", static_cast<int64_t>(distinct()));
+    obs::TraceCounter("frontier", static_cast<int64_t>(frontier_size()));
     if (frontier_size() > 0) {
       ++depth;
     }

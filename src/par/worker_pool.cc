@@ -1,5 +1,8 @@
 #include "src/par/worker_pool.h"
 
+#include <string>
+
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace sandtable {
@@ -25,6 +28,11 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::RunLevel(const std::function<void(int)>& fn) {
+  // barrier.join is the coordinator side of the level barrier: publish work,
+  // then block until the slowest worker finishes. In a trace, its duration
+  // is the whole parallel phase as seen from the coordinator lane.
+  obs::TraceSpan join_span("barrier.join", "workers",
+                           static_cast<int64_t>(workers()));
   std::unique_lock<std::mutex> lock(mu_);
   CHECK_EQ(active_, 0) << "RunLevel re-entered while a level is in flight";
   task_ = &fn;
@@ -36,10 +44,15 @@ void WorkerPool::RunLevel(const std::function<void(int)>& fn) {
 }
 
 void WorkerPool::ThreadMain(int index) {
+  obs::TraceSetCurrentThreadName("worker-" + std::to_string(index));
   uint64_t seen_generation = 0;
   for (;;) {
     const std::function<void(int)>* task = nullptr;
     {
+      // barrier.wait spans measure per-worker idle time between levels —
+      // the "barrier idle %" that scripts/trace_summary.py reports.
+      obs::TraceSpan wait_span("barrier.wait", "worker",
+                               static_cast<int64_t>(index));
       std::unique_lock<std::mutex> lock(mu_);
       work_ready_.wait(lock, [this, seen_generation] {
         return shutdown_ || generation_ != seen_generation;

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "src/util/run_id.h"
+
 namespace sandtable {
 namespace serve {
 
@@ -74,6 +76,24 @@ std::string Sanitize(const std::string& name) {
   return out;
 }
 
+// Label values allow any characters; only '\\', '"' and newlines need
+// escaping (a git-describe version keeps its dots and dashes intact).
+std::string EscapeLabel(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\' || c == '"') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
 void Line(std::ostringstream& out, const std::string& name, const char* type,
           double value) {
   out << "# TYPE " << name << ' ' << type << '\n';
@@ -122,6 +142,13 @@ std::string RenderPrometheus(const obs::MetricsSnapshot& snapshot,
        static_cast<double>(stats.queued));
   Line(out, "sandtable_scheduler_jobs_running", "gauge",
        static_cast<double>(stats.running));
+  // Identity gauges: value is always 1, the labels carry the information.
+  // run_id matches progress JSONL / reports / trace metadata for this process.
+  out << "# TYPE sandtable_run_info gauge\n"
+      << "sandtable_run_info{run_id=\"" << EscapeLabel(RunId()) << "\"} 1\n"
+      << "# TYPE sandtable_build_info gauge\n"
+      << "sandtable_build_info{version=\"" << EscapeLabel(BuildVersion())
+      << "\"} 1\n";
   return out.str();
 }
 

@@ -23,6 +23,7 @@
 #include "src/raftspec/raft_params.h"
 #include "src/store/checkpoint.h"
 #include "src/util/rng.h"
+#include "src/util/run_id.h"
 
 namespace sandtable {
 namespace serve {
@@ -148,8 +149,10 @@ bool GetDouble(const Json& o, const char* key, double* dst, std::string* err) {
 }
 
 // The fields each kind accepts; anything else in params is a typo we reject.
-const char* const kCommonKeys[] = {"system", "bug", "with_bugs", "channel",
-                                   "progress_every", "progress_every_s"};
+const char* const kCommonKeys[] = {"system",         "bug",
+                                   "with_bugs",      "channel",
+                                   "progress_every", "progress_every_s",
+                                   "run_id"};
 const char* const kCheckKeys[] = {"workers", "max_states", "max_depth",
                                   "time_budget_ms"};
 const char* const kSimulateKeys[] = {"traces", "seed", "walk_depth",
@@ -270,6 +273,7 @@ obs::ProgressOptions CadenceFor(const JobParams& p) {
   obs::ProgressOptions popts;
   popts.every_states = p.progress_every;
   popts.every_seconds = p.progress_every_s;
+  popts.run_id = p.run_id;
   if (popts.every_states == 0 && popts.every_seconds == 0) {
     popts.every_seconds = 0.5;
   }
@@ -503,8 +507,12 @@ Result<JobParams> ParseJobParams(const std::string& kind, const Json& params) {
       !GetU64(params, "walk_depth", &p.walk_depth, &err) ||
       !GetBool(params, "check_invariants", &p.check_invariants, &err) ||
       !GetBool(params, "match_any", &p.match_any, &err) ||
-      !GetString(params, "ckpt_dir", &p.ckpt_dir, &err)) {
+      !GetString(params, "ckpt_dir", &p.ckpt_dir, &err) ||
+      !GetString(params, "run_id", &p.run_id, &err)) {
     return Result<JobParams>::Error(err);
+  }
+  if (p.run_id.empty()) {
+    p.run_id = NewRunId();  // every job is joinable even without a client id
   }
   if (p.channel != "api" && p.channel != "log") {
     return Result<JobParams>::Error("\"channel\" must be \"api\" or \"log\"");
@@ -541,19 +549,29 @@ Result<JobParams> ParseJobParams(const std::string& kind, const Json& params) {
 
 JobOutcome ExecuteJob(const JobParams& params, const ProgressSink& sink,
                       const StopToken& stop, obs::MetricsRegistry* metrics) {
+  // Every outcome document carries the job's run_id, matching the id on its
+  // progress lines — the same join key the CLI stamps via MakeReport.
+  auto stamped = [&params](JobOutcome out) {
+    if (out.result.is_object()) {
+      out.result["run_id"] = Json(params.run_id);
+    }
+    return out;
+  };
   if (params.kind == JobKind::kCkptInfo) {
-    return RunCkptInfo(params);
+    return stamped(RunCkptInfo(params));
   }
   LineSinkBuf buf(&sink);
   std::ostream line_out(&buf);
   obs::ProgressReporter progress(&line_out, CadenceFor(params));
   switch (params.kind) {
     case JobKind::kCheck:
-      return RunCheck(params, MakeJobSpec(params), &progress, stop, metrics);
+      return stamped(
+          RunCheck(params, MakeJobSpec(params), &progress, stop, metrics));
     case JobKind::kSimulate:
-      return RunSimulate(params, MakeJobSpec(params), &progress, stop, metrics);
+      return stamped(
+          RunSimulate(params, MakeJobSpec(params), &progress, stop, metrics));
     case JobKind::kMinimize:
-      return RunMinimizeJob(params, &progress, stop, metrics);
+      return stamped(RunMinimizeJob(params, &progress, stop, metrics));
     case JobKind::kCkptInfo:
       break;  // handled above
   }

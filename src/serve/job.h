@@ -65,6 +65,11 @@ struct JobParams {
   // a 0.5 s time cadence so every long job streams something.
   uint64_t progress_every = 0;
   double progress_every_s = 0;
+
+  // Client-settable run correlation id; minted at parse time when absent.
+  // Stamped on the job's progress JSONL lines and result document so a
+  // client can join daemon artifacts with its own records.
+  std::string run_id;
 };
 
 // Validates a submit frame's params for `kind`. Unknown fields are rejected

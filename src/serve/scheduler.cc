@@ -4,6 +4,9 @@
 #include <chrono>
 #include <exception>
 
+#include "src/obs/flight_recorder.h"
+#include "src/obs/trace.h"
+
 namespace sandtable {
 namespace serve {
 
@@ -13,6 +16,16 @@ using Clock = std::chrono::steady_clock;
 
 double SecondsBetween(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double>(b - a).count();
+}
+
+// The last events before a job failed usually explain *why* it failed, the
+// same way a crash dump would: ship them inside the error result so remote
+// clients get a post-mortem without daemon-host access.
+void AttachFlightRecorder(JsonObject& err) {
+  obs::FlightRecorder* recorder = obs::FlightRecorder::Installed();
+  if (recorder != nullptr) {
+    err["flight_recorder"] = recorder->RecentJson(64);
+  }
 }
 
 }  // namespace
@@ -102,7 +115,10 @@ Scheduler::Scheduler(const SchedulerOptions& options) : options_(options) {
   }
   workers_.reserve(static_cast<size_t>(options_.workers));
   for (int i = 0; i < options_.workers; ++i) {
-    workers_.emplace_back([this] { WorkerMain(); });
+    workers_.emplace_back([this, i] {
+      obs::TraceSetCurrentThreadName("serve-worker-" + std::to_string(i));
+      WorkerMain();
+    });
   }
 }
 
@@ -228,6 +244,22 @@ void Scheduler::WorkerMain() {
       UpdateGaugesLocked();
     }
 
+    // Retroactive queued→dispatched span: the wait is only known at dispatch
+    // time, so it is emitted here with its start backdated to submission.
+    if (obs::TraceActive()) {
+      obs::TraceEvent queued_span;
+      queued_span.name = "job.queued";
+      queued_span.ts_ns = static_cast<uint64_t>(
+          std::max<int64_t>(0, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   job->submitted_at - obs::TraceEpoch())
+                                   .count()));
+      queued_span.dur_ns = static_cast<uint64_t>(job->queued_s * 1e9);
+      queued_span.arg1_name = "job";
+      queued_span.arg1 = static_cast<int64_t>(job->id);
+      queued_span.set_sarg("tenant", job->tenant);
+      obs::EmitEvent(queued_span);
+    }
+
     job->sink(StartedFrame(job->id, job->queued_s));
     const uint64_t id = job->id;
     const FrameSink& sink = job->sink;
@@ -240,16 +272,21 @@ void Scheduler::WorkerMain() {
     // late, allocation failure in a huge exploration, ...): a throwing job
     // fails, the worker slot lives on.
     try {
+      obs::TraceSpan run_span("job.run", "job",
+                              static_cast<int64_t>(job->id));
+      run_span.set_sarg("tenant", job->tenant);
       outcome = job->fn(progress, job->token);
     } catch (const std::exception& e) {
       outcome.status = "failed";
       JsonObject err;
       err["error"] = Json(std::string("job threw: ") + e.what());
+      AttachFlightRecorder(err);
       outcome.result = Json(std::move(err));
     } catch (...) {
       outcome.status = "failed";
       JsonObject err;
       err["error"] = Json("job threw a non-standard exception");
+      AttachFlightRecorder(err);
       outcome.result = Json(std::move(err));
     }
     // A job that ignored its raised token still reports as cancelled: the
@@ -301,6 +338,16 @@ void Scheduler::FinishJob(const std::shared_ptr<Job>& job, JobState state,
       finished_order_.pop_front();
     }
     UpdateGaugesLocked();
+  }
+  if (obs::TraceActive()) {
+    obs::TraceEvent done;
+    done.kind = obs::TraceEventKind::kInstant;
+    done.name = "job.result";
+    done.ts_ns = obs::TraceNowNs();
+    done.arg1_name = "job";
+    done.arg1 = static_cast<int64_t>(job->id);
+    done.set_sarg("status", outcome.status);
+    obs::EmitEvent(done);
   }
   job->sink(ResultFrame(job->id, outcome.status, outcome.result, job->queued_s,
                         job->run_s));

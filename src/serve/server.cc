@@ -18,6 +18,7 @@
 
 #include "src/serve/http_metrics.h"
 #include "src/serve/job.h"
+#include "src/util/run_id.h"
 
 namespace sandtable {
 namespace serve {
@@ -535,7 +536,9 @@ void Server::HandleHttp(const std::shared_ptr<Conn>& conn) {
     response = HttpResponse(200, "application/json",
                             Json(std::move(jobs)).Dump() + "\n");
   } else if (req->path == "/healthz") {
-    response = HttpResponse(200, "text/plain", "ok\n");
+    response = HttpResponse(200, "text/plain",
+                            "ok run_id=" + RunId() +
+                                " version=" + BuildVersion() + "\n");
   } else if (req->path.empty()) {
     response = HttpResponse(400, "text/plain", "malformed request line\n");
   } else {

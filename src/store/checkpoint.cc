@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "src/obs/phase_timer.h"
+#include "src/obs/trace.h"
 #include "src/util/hash.h"
 
 namespace sandtable {
@@ -161,6 +162,9 @@ bool Checkpointer::Due(uint64_t distinct_states) const {
 
 Status Checkpointer::Write(StateStore& store, const FrontierSpool& frontier,
                            CheckpointMeta meta) {
+  obs::TraceSpan ckpt_span("ckpt.write", "distinct_states",
+                           static_cast<int64_t>(meta.distinct_states),
+                           "frontier", static_cast<int64_t>(meta.frontier_size));
   const auto start = std::chrono::steady_clock::now();
   const fs::path dir(config_.dir);
   const fs::path stage = dir.string() + ".tmp";

@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "src/obs/phase_timer.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace sandtable {
@@ -321,6 +322,9 @@ std::string SpillingStateStore::NextRunPath() {
 Status SpillingStateStore::SpillLocked() {
   // Drain the memory tier under all shard locks: inserts block for the
   // duration, so no entry can be observed in neither tier.
+  obs::TraceSpan spill_span("store.spill", "resident",
+                            static_cast<int64_t>(
+                                resident_.load(std::memory_order_relaxed)));
   std::vector<std::pair<uint64_t, uint64_t>> entries;
   entries.reserve(resident_.load(std::memory_order_relaxed));
   std::vector<std::unique_lock<std::mutex>> locks;
@@ -378,6 +382,8 @@ Status SpillingStateStore::CompactLocked() {
   // the sum of the run counts, known up front. Stream the merge straight to
   // the output file (stdio-buffered) so compaction memory is O(runs), not
   // O(total spilled fingerprints).
+  obs::TraceSpan compact_span("store.compact", "runs",
+                              static_cast<int64_t>(RunCount()));
   const std::string path = NextRunPath();
   const std::string tmp = path + ".tmp";
   {

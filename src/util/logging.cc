@@ -2,7 +2,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <cstdio>
+
+#include "src/util/run_id.h"
 
 namespace sandtable {
 
@@ -47,17 +50,28 @@ LogLevel GlobalLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
 
 namespace internal {
 
+std::string FormatLogLine(LogLevel level, const std::string& line) {
+  // Prefix order: run id fragment (joins the line to every other artifact of
+  // the run), global sequence number (total order across threads — timestamps
+  // alone tie at ms granularity), elapsed monotonic seconds, thread id,
+  // level. Per-node engine sinks (log-parsing observation channel) bypass
+  // this formatting entirely.
+  static std::atomic<uint64_t> g_seq{0};
+  const uint64_t seq = g_seq.fetch_add(1, std::memory_order_relaxed);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - LogEpoch()).count();
+  char prefix[128];
+  std::snprintf(prefix, sizeof(prefix), "[%s #%06llu %10.3f T%02d %s] ",
+                ShortRunId().c_str(), static_cast<unsigned long long>(seq),
+                elapsed, ThisThreadLogId(), LogLevelName(level));
+  return std::string(prefix) + line;
+}
+
 void EmitLog(LogLevel level, const std::string& line) {
   if (static_cast<int>(level) < g_min_level.load()) {
     return;
   }
-  // Elapsed monotonic seconds + thread id prefix the level, so interleaved
-  // parallel-engine output stays attributable and timeable. Per-node engine
-  // sinks (log-parsing observation channel) bypass this formatting entirely.
-  const double elapsed =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - LogEpoch()).count();
-  std::fprintf(stderr, "[%10.3f T%02d %s] %s\n", elapsed, ThisThreadLogId(),
-               LogLevelName(level), line.c_str());
+  std::fprintf(stderr, "%s\n", FormatLogLine(level, line).c_str());
 }
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line, LogSink* sink)

@@ -34,6 +34,13 @@ namespace internal {
 
 void EmitLog(LogLevel level, const std::string& line);
 
+// Formats one stderr line (no trailing newline):
+//   [<run8> #<seq> <elapsed>s T<tid> <LEVEL>] <line>
+// <seq> is a global monotonic counter, so interleaved parallel-worker output
+// can be re-sorted into emission order; <run8> is ShortRunId(). Exposed for
+// tests; EmitLog is this plus the level filter and the fprintf.
+std::string FormatLogLine(LogLevel level, const std::string& line);
+
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line, LogSink* sink = nullptr);

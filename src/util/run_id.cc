@@ -1,0 +1,85 @@
+#include "src/util/run_id.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <random>
+
+namespace sandtable {
+
+namespace {
+
+std::mutex g_mu;
+std::string g_run_id;    // guarded by g_mu; empty until minted/set
+std::string g_short_id;  // guarded by g_mu; derived from g_run_id
+
+std::string ToHex16(uint64_t v) {
+  static const char* kHex = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = kHex[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string NewRunId() {
+  // Mix wall clock, pid, and a PRNG seeded from random_device so two runs
+  // started in the same tick on the same host still diverge.
+  const uint64_t now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  static std::atomic<uint64_t> counter{0};
+  std::random_device rd;
+  uint64_t mixed = now ^ (static_cast<uint64_t>(::getpid()) << 32) ^
+                   (static_cast<uint64_t>(rd()) << 16) ^
+                   counter.fetch_add(0x9e3779b97f4a7c15ull,
+                                     std::memory_order_relaxed);
+  // splitmix64 finalizer: spreads the entropy across all 16 hex chars.
+  mixed ^= mixed >> 30;
+  mixed *= 0xbf58476d1ce4e5b9ull;
+  mixed ^= mixed >> 27;
+  mixed *= 0x94d049bb133111ebull;
+  mixed ^= mixed >> 31;
+  return ToHex16(mixed);
+}
+
+std::string RunId() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_run_id.empty()) {
+    g_run_id = NewRunId();
+    g_short_id = g_run_id.substr(0, 8);
+  }
+  return g_run_id;
+}
+
+void SetRunId(const std::string& id) {
+  std::lock_guard<std::mutex> lock(g_mu);
+  g_run_id = id.empty() ? NewRunId() : id;
+  g_short_id = g_run_id.substr(0, 8);
+}
+
+std::string ShortRunId() {
+  std::lock_guard<std::mutex> lock(g_mu);
+  if (g_run_id.empty()) {
+    g_run_id = NewRunId();
+    g_short_id = g_run_id.substr(0, 8);
+  }
+  return g_short_id;
+}
+
+const char* BuildVersion() {
+#ifdef SANDTABLE_GIT_DESCRIBE
+  return SANDTABLE_GIT_DESCRIBE;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace sandtable

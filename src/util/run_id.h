@@ -1,0 +1,39 @@
+// Process-wide run identity, shared by every observability artifact.
+//
+// A "run" is one checking invocation (a CLI command, a serve job, a bench
+// row set). Every artifact it produces — progress JSONL lines, the final
+// report, Chrome trace metadata, flight-recorder dumps, /metrics — carries
+// the same run_id so they can be joined after the fact. The id is minted
+// lazily on first use and can be overridden (CLI --run-id, serve submit
+// param) before or during a run; serve jobs mint their own per-job ids with
+// NewRunId() so concurrent tenants stay distinguishable.
+#ifndef SANDTABLE_SRC_UTIL_RUN_ID_H_
+#define SANDTABLE_SRC_UTIL_RUN_ID_H_
+
+#include <string>
+
+namespace sandtable {
+
+// The process-wide run id: 16 lowercase hex chars, minted on first call.
+// Thread-safe; stable for the life of the process unless SetRunId is called.
+// Returned by value: SetRunId may swap the backing string concurrently.
+std::string RunId();
+
+// Overrides the process-wide run id (e.g. --run-id). Callers should do this
+// before the run starts; changing it mid-run splits the artifacts.
+void SetRunId(const std::string& id);
+
+// Mints a fresh id without touching the process-wide one (per-job ids in the
+// serve daemon).
+std::string NewRunId();
+
+// First 8 chars of RunId() — compact form for log-line prefixes.
+std::string ShortRunId();
+
+// Build version from `git describe` baked in at configure time ("unknown"
+// when built outside a git checkout).
+const char* BuildVersion();
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_UTIL_RUN_ID_H_

@@ -59,13 +59,14 @@ std::string ReadFile(const std::string& path) {
   return ss.str();
 }
 
-// Strips wall-clock keys so a daemon result and a CLI result of the same
-// deterministic run compare equal.
+// Strips wall-clock keys and the per-run correlation id so a daemon result
+// and a CLI result of the same deterministic run compare equal.
 Json StripVolatile(const Json& doc) {
   if (doc.is_object()) {
     JsonObject out;
     for (const auto& [key, value] : doc.as_object()) {
-      if (key == "seconds" || key == "queued_s" || key == "run_s") {
+      if (key == "seconds" || key == "queued_s" || key == "run_s" ||
+          key == "run_id") {
         continue;
       }
       out[key] = StripVolatile(value);

@@ -653,13 +653,14 @@ TEST(JobParams, KnownBugIsAccepted) {
 // ---------------------------------------------------------------------------
 // End-to-end: in-process Server + Client over a Unix socket
 
-// Strips wall-clock-dependent keys so two runs of the same deterministic job
-// compare equal.
+// Strips wall-clock-dependent keys and the per-run correlation id so two runs
+// of the same deterministic job compare equal.
 Json StripVolatile(const Json& doc) {
   if (doc.is_object()) {
     JsonObject out;
     for (const auto& [key, value] : doc.as_object()) {
-      if (key == "seconds" || key == "queued_s" || key == "run_s") {
+      if (key == "seconds" || key == "queued_s" || key == "run_s" ||
+          key == "run_id") {
         continue;
       }
       out[key] = StripVolatile(value);

@@ -1,0 +1,321 @@
+// Tracing and flight-recorder tests (labels obs, trace; run under TSan via
+// scripts/run_tests.sh): tracer buffer cap and drop accounting, cross-thread
+// span attribution, the disabled-mode zero-allocation guarantee, PhaseTimer's
+// histogram+span unification, run-id consistency across progress JSONL /
+// reports / trace metadata, the flight-recorder ring, and a fork regression
+// that raises SIGSEGV mid-BFS and asserts a well-formed crash dump.
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <new>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/mc/bfs.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+#include "src/obs/phase_timer.h"
+#include "src/obs/progress.h"
+#include "src/obs/report.h"
+#include "src/obs/trace.h"
+#include "src/util/json.h"
+#include "src/util/run_id.h"
+#include "tests/toy_specs.h"
+
+// Allocation counter for the disabled-mode test: the trace emit path must not
+// reach operator new when no sink is installed.
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace sandtable {
+namespace obs {
+namespace {
+
+std::vector<TraceEvent> EventsNamed(const std::vector<TraceEvent>& events,
+                                    const std::string& name) {
+  std::vector<TraceEvent> out;
+  for (const TraceEvent& e : events) {
+    if (e.name != nullptr && name == e.name) {
+      out.push_back(e);
+    }
+  }
+  return out;
+}
+
+TEST(Tracer, RecordsSpansInstantsAndCounters) {
+  Tracer tracer;
+  tracer.Install();
+  {
+    TraceSpan span("unit.span", "a", 7);
+    span.set_sarg("who", "tenant-x");
+    TraceInstant("unit.instant", "d", 3);
+    TraceCounter("unit.counter", 42);
+  }
+  tracer.Uninstall();
+
+  const std::vector<TraceEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), 3u);
+  const auto spans = EventsNamed(events, "unit.span");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].kind, TraceEventKind::kComplete);
+  EXPECT_EQ(spans[0].arg1, 7);
+  EXPECT_STREQ(spans[0].sarg, "tenant-x");
+  const auto instants = EventsNamed(events, "unit.instant");
+  ASSERT_EQ(instants.size(), 1u);
+  EXPECT_EQ(instants[0].kind, TraceEventKind::kInstant);
+  const auto counters = EventsNamed(events, "unit.counter");
+  ASSERT_EQ(counters.size(), 1u);
+  EXPECT_EQ(counters[0].kind, TraceEventKind::kCounter);
+  EXPECT_EQ(counters[0].arg1, 42);
+  // The span closed after the instant fired inside it, so its end covers the
+  // instant's timestamp.
+  EXPECT_LE(spans[0].ts_ns, instants[0].ts_ns);
+  EXPECT_GE(spans[0].ts_ns + spans[0].dur_ns, instants[0].ts_ns);
+
+  const Json doc = tracer.ToChromeJson();
+  EXPECT_EQ(doc["metadata"]["run_id"].as_string(), RunId());
+  EXPECT_EQ(doc["metadata"]["schema"].as_string(), "sandtable-trace-1");
+  EXPECT_GE(doc["traceEvents"].size(), 3u);
+}
+
+TEST(Tracer, CapsPerThreadEventsAndCountsDrops) {
+  Tracer::Options opts;
+  opts.max_events_per_thread = 64;
+  opts.chunk_events = 16;  // force chunk growth before the cap
+  Tracer tracer(opts);
+  tracer.Install();
+  for (int i = 0; i < 200; ++i) {
+    TraceInstant("cap.event", "i", i);
+  }
+  tracer.Uninstall();
+  EXPECT_EQ(tracer.Drain().size(), 64u);
+  EXPECT_EQ(tracer.dropped_events(), 136u);
+  // The drop count survives into the export metadata.
+  EXPECT_EQ(tracer.ToChromeJson()["metadata"]["dropped_events"].as_int(), 136);
+}
+
+TEST(Tracer, CrossThreadSpansLandInTheirOwnLanes) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 10;
+  Tracer tracer;
+  tracer.Install();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t]() {
+      TraceSetCurrentThreadName("lane-" + std::to_string(t));
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("cross.span", "owner", t);
+      }
+    });
+  }
+  for (std::thread& th : threads) {
+    th.join();
+  }
+  tracer.Uninstall();
+
+  const std::vector<TraceEvent> events = tracer.Drain();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kThreads * kSpansPerThread));
+  // Every event sits in exactly one thread's lane, and each lane carries one
+  // owner value — begin/end pairing never mixes lanes.
+  std::map<uint32_t, std::set<int64_t>> owners_by_tid;
+  for (const TraceEvent& e : events) {
+    owners_by_tid[e.tid].insert(e.arg1);
+  }
+  ASSERT_EQ(owners_by_tid.size(), static_cast<size_t>(kThreads));
+  std::set<int64_t> owners;
+  for (const auto& [tid, set] : owners_by_tid) {
+    ASSERT_EQ(set.size(), 1u) << "lane " << tid << " mixes threads";
+    owners.insert(*set.begin());
+  }
+  EXPECT_EQ(owners.size(), static_cast<size_t>(kThreads));
+
+  // The export names each lane.
+  const Json doc = tracer.ToChromeJson();
+  std::set<std::string> lane_names;
+  for (size_t i = 0; i < doc["traceEvents"].size(); ++i) {
+    const Json& e = doc["traceEvents"][i];
+    if (e["ph"].as_string() == "M" && e["name"].as_string() == "thread_name") {
+      lane_names.insert(e["args"]["name"].as_string());
+    }
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(lane_names.count("lane-" + std::to_string(t)))
+        << "missing thread_name metadata for lane-" << t;
+  }
+}
+
+TEST(Tracer, DisabledModeAllocatesNothing) {
+  ASSERT_FALSE(TraceActive()) << "a sink leaked from a previous test";
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    TraceSpan span("off.span", "i", i);
+    span.set_sarg("s", "ignored");
+    TraceInstant("off.instant", "i", i);
+    TraceCounter("off.counter", i);
+  }
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before) << "disabled-mode emit sites allocated";
+}
+
+TEST(PhaseTimer, OneScopeFeedsHistogramAndSpan) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.GetHistogram("phase.unit");
+  Tracer tracer;
+  tracer.Install();
+  {
+    PhaseTimer timer(&hist, "phase.unit");
+  }
+  tracer.Uninstall();
+  EXPECT_EQ(hist.Snapshot().count, 1u);
+  const auto spans = EventsNamed(tracer.Drain(), "phase.unit");
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].kind, TraceEventKind::kComplete);
+
+  // Without a tracer the same scope still records the histogram sample.
+  {
+    PhaseTimer timer(&hist, "phase.unit");
+  }
+  EXPECT_EQ(hist.Snapshot().count, 2u);
+}
+
+TEST(RunId, OneIdAcrossProgressReportAndTraceMetadata) {
+  SetRunId("cafe0123cafe0123");
+  ASSERT_EQ(RunId(), "cafe0123cafe0123");
+
+  // Progress JSONL line.
+  std::ostringstream jsonl;
+  ProgressOptions popts;
+  popts.every_states = 1;
+  ProgressReporter reporter(&jsonl, popts);
+  ProgressSample sample;
+  sample.engine = "bfs";
+  sample.distinct_states = 1;
+  reporter.Emit(sample);
+  auto line = Json::Parse(jsonl.str());
+  ASSERT_TRUE(line.ok()) << line.error();
+  EXPECT_EQ(line.value()["run_id"].as_string(), "cafe0123cafe0123");
+
+  // Final report.
+  MetricsRegistry registry;
+  const Json report = MakeReport("bfs", Json(JsonObject{}), &registry);
+  EXPECT_EQ(report["run_id"].as_string(), "cafe0123cafe0123");
+  EXPECT_NE(ReportToText(report).find("cafe0123cafe0123"), std::string::npos);
+
+  // Trace metadata.
+  Tracer tracer;
+  tracer.Install();
+  TraceInstant("id.check");
+  tracer.Uninstall();
+  EXPECT_EQ(tracer.ToChromeJson()["metadata"]["run_id"].as_string(),
+            "cafe0123cafe0123");
+}
+
+TEST(FlightRecorder, RingKeepsTheMostRecentEvents) {
+  FlightRecorder::Options opts;
+  opts.capacity = 8;
+  opts.install_signal_handlers = false;
+  FlightRecorder recorder(opts);
+  recorder.Install();
+  ASSERT_EQ(FlightRecorder::Installed(), &recorder);
+  for (int i = 0; i < 20; ++i) {
+    TraceInstant("ring.event", "i", i);
+  }
+  EXPECT_EQ(recorder.recorded(), 20u);
+
+  const std::vector<TraceEvent> snap = recorder.Snapshot();
+  ASSERT_EQ(snap.size(), 8u);
+  for (size_t i = 0; i < snap.size(); ++i) {
+    EXPECT_EQ(snap[i].arg1, static_cast<int64_t>(12 + i)) << "at " << i;
+  }
+
+  const Json recent = recorder.RecentJson(/*last_n=*/4);
+  EXPECT_EQ(recent["type"].as_string(), "flight_recorder");
+  ASSERT_EQ(recent["events"].size(), 4u);
+  EXPECT_EQ(recent["events"][3]["args"]["i"].as_int(), 19);
+  recorder.Uninstall();
+  EXPECT_EQ(FlightRecorder::Installed(), nullptr);
+  EXPECT_FALSE(TraceActive());
+}
+
+// Satellite regression: a child installs the recorder, explores a toy spec
+// (so the ring holds real bfs.level spans), then dies on SIGSEGV. The parent
+// requires the crash dump to exist, parse, and hold the last events.
+TEST(FlightRecorder, DumpsWellFormedJsonOnSigsegvMidBfs) {
+  const std::string dump =
+      "/tmp/st-flight-" + std::to_string(::getpid()) + ".json";
+  ::unlink(dump.c_str());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child. Quiet the handler's stderr dump; _Exit on any unexpected path.
+    std::freopen("/dev/null", "w", stderr);
+    FlightRecorder::Options opts;
+    opts.capacity = 64;
+    opts.dump_path = dump;
+    FlightRecorder recorder(opts);
+    recorder.Install();
+    const Spec spec = toys::Counter(200);
+    const BfsResult r = BfsCheck(spec, {});
+    if (r.distinct_states == 0) {
+      std::_Exit(3);
+    }
+    ::raise(SIGSEGV);
+    std::_Exit(4);  // unreachable if the handler re-raises correctly
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFSIGNALED(status))
+      << "child exited " << (WIFEXITED(status) ? WEXITSTATUS(status) : -1)
+      << " instead of dying on the signal";
+  EXPECT_EQ(WTERMSIG(status), SIGSEGV);
+
+  std::ifstream f(dump);
+  ASSERT_TRUE(f.good()) << "no crash dump at " << dump;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  auto doc = Json::Parse(ss.str());
+  ASSERT_TRUE(doc.ok()) << "dump does not parse: " << doc.error();
+  EXPECT_EQ(doc.value()["type"].as_string(), "flight_recorder");
+  EXPECT_EQ(doc.value()["signal"].as_int(), SIGSEGV);
+  EXPECT_FALSE(doc.value()["run_id"].as_string().empty());
+  const Json& events = doc.value()["events"];
+  ASSERT_GT(events.size(), 0u);
+  bool saw_bfs_level = false;
+  for (size_t i = 0; i < events.size(); ++i) {
+    saw_bfs_level = saw_bfs_level ||
+                    events[i]["name"].as_string() == "bfs.level";
+  }
+  EXPECT_TRUE(saw_bfs_level) << "ring lost the BFS spans";
+  ::unlink(dump.c_str());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace sandtable

@@ -3,7 +3,9 @@
 #include <set>
 
 #include "src/util/hash.h"
+#include "src/util/logging.h"
 #include "src/util/rng.h"
+#include "src/util/run_id.h"
 #include "src/util/strings.h"
 
 namespace sandtable {
@@ -111,6 +113,33 @@ TEST(Strings, StartsEndsWith) {
 TEST(Strings, StripWhitespace) {
   EXPECT_EQ(StripWhitespace("  a b \n"), "a b");
   EXPECT_EQ(StripWhitespace("\t\r\n "), "");
+}
+
+TEST(RunId, ShapeAndOverride) {
+  // The minted id is 16 lowercase hex chars; ShortRunId is its prefix.
+  const std::string id = RunId();
+  EXPECT_EQ(id.size(), 16u);
+  EXPECT_EQ(id.find_first_not_of("0123456789abcdef"), std::string::npos);
+  EXPECT_EQ(ShortRunId(), id.substr(0, 8));
+  SetRunId("feedface00000001");
+  EXPECT_EQ(RunId(), "feedface00000001");
+  EXPECT_EQ(ShortRunId(), "feedface");
+  EXPECT_NE(BuildVersion(), nullptr);
+}
+
+TEST(Logging, LineCarriesRunIdAndMonotonicSequence) {
+  SetRunId("feedface00000001");
+  const std::string a = internal::FormatLogLine(LogLevel::kInfo, "hello one");
+  const std::string b = internal::FormatLogLine(LogLevel::kWarn, "hello two");
+  // [<run8> #<seq> <elapsed>s T<tid> <LEVEL>] <line>
+  EXPECT_EQ(a.rfind("[feedface #", 0), 0u) << a;
+  EXPECT_NE(a.find(" INFO] hello one"), std::string::npos) << a;
+  EXPECT_NE(b.find(" WARN] hello two"), std::string::npos) << b;
+  auto seq_of = [](const std::string& line) {
+    const size_t hash = line.find('#');
+    return std::stoull(line.substr(hash + 1));
+  };
+  EXPECT_GT(seq_of(b), seq_of(a)) << a << " vs " << b;
 }
 
 }  // namespace

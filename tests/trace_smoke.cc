@@ -1,0 +1,90 @@
+// Trace smoke test (label trace-smoke): runs the real bench_parallel_scaling
+// binary with --trace-out under small budgets, then gates the produced Chrome
+// trace through bench_validate_json --trace — per-worker lanes, per-level BFS
+// spans and barrier-wait spans must all be present — and finally runs
+// scripts/trace_summary.py over it (skipped when python3 is unavailable).
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/util/json.h"
+
+#ifndef SANDTABLE_BENCH_BIN
+#define SANDTABLE_BENCH_BIN ""
+#endif
+#ifndef SANDTABLE_VALIDATOR_BIN
+#define SANDTABLE_VALIDATOR_BIN ""
+#endif
+#ifndef SANDTABLE_TRACE_SUMMARY_PY
+#define SANDTABLE_TRACE_SUMMARY_PY ""
+#endif
+
+namespace sandtable {
+namespace {
+
+int RunCmd(const std::string& cmd) {
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+TEST(TraceSmoke, BenchTraceValidatesAndSummarizes) {
+  const std::string dir = "/tmp/st-trace-smoke-" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  const std::string trace = dir + "/scaling.trace.json";
+  const std::string bench_log = dir + "/bench.log";
+
+  // Small caps keep the five rows (serial + par x{1,2,4,8}) under a few
+  // seconds each; the trace still gets every span kind and worker lane.
+  ASSERT_EQ(RunCmd("env SANDTABLE_BENCH_STATES=4000 SANDTABLE_BENCH_SECONDS=3 " +
+                   std::string(SANDTABLE_BENCH_BIN) + " --trace-out " + trace +
+                   " > " + bench_log + " 2>&1"),
+            0)
+      << "bench failed; log at " << bench_log;
+
+  ASSERT_EQ(RunCmd(std::string(SANDTABLE_VALIDATOR_BIN) + " " + trace +
+                   " --trace --expect-span bfs.level --expect-span barrier.wait"
+                   " --expect-span worker.wave --expect-span bfs.merge"
+                   " --expect-lanes 4"),
+            0);
+
+  // The acceptance invariant directly: one run_id shared by trace metadata
+  // and every bench result row's report would require --metrics-out; here we
+  // at least pin the metadata schema the tooling depends on.
+  std::ifstream f(trace);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  auto doc = Json::Parse(ss.str());
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  EXPECT_EQ(doc.value()["metadata"]["schema"].as_string(), "sandtable-trace-1");
+  EXPECT_FALSE(doc.value()["metadata"]["run_id"].as_string().empty());
+
+  if (RunCmd("command -v python3 > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "python3 not available; trace_summary.py not exercised";
+  }
+  const std::string summary = dir + "/summary.txt";
+  ASSERT_EQ(RunCmd("python3 " + std::string(SANDTABLE_TRACE_SUMMARY_PY) + " " +
+                   trace + " > " + summary + " 2>&1"),
+            0)
+      << "trace_summary.py failed; output at " << summary;
+  std::ifstream sf(summary);
+  std::stringstream sss;
+  sss << sf.rdbuf();
+  EXPECT_NE(sss.str().find("top phases"), std::string::npos) << sss.str();
+  EXPECT_NE(sss.str().find("worker"), std::string::npos) << sss.str();
+
+  // JSON mode parses too.
+  EXPECT_EQ(RunCmd("python3 " + std::string(SANDTABLE_TRACE_SUMMARY_PY) +
+                   " --json " + trace + " > " + dir + "/summary.json 2>&1"),
+            0);
+}
+
+}  // namespace
+}  // namespace sandtable
