@@ -131,6 +131,94 @@ void BM_BfsThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_BfsThroughput)->Unit(benchmark::kMillisecond);
 
+// Branch-hit recording, before/after the analytics refactor. "Before" is the
+// pre-analytics worker path (still taken when no profile is attached): every
+// ctx.Branch() hit concatenates "Action/branch" and inserts into the worker's
+// std::set<std::string>. "After" interns the hit into a per-action (id, hits)
+// slot — allocation-free on repeats — and names reach the coordinator once
+// per level via DrainNewBranches.
+void BM_BranchHitStringSet(benchmark::State& state) {
+  const Spec& spec = PysyncSpec();
+  CoverageStats cov;
+  static const char* kIds[] = {"grant", "reject", "step_down"};
+  size_t i = 0;
+  for (auto _ : state) {
+    const Action& a = spec.actions[i % spec.actions.size()];
+    cov.branches.insert(a.name + "/" + kIds[i % 3]);
+    ++i;
+    benchmark::DoNotOptimize(cov.branches.size());
+  }
+}
+BENCHMARK(BM_BranchHitStringSet);
+
+void BM_BranchHitInterned(benchmark::State& state) {
+  const Spec& spec = PysyncSpec();
+  obs::ExplorationProfile profile;
+  InitProfileFromSpec(&profile, spec);
+  static const char* kIds[] = {"grant", "reject", "step_down"};
+  size_t i = 0;
+  for (auto _ : state) {
+    profile.RecordBranch(static_cast<uint32_t>(i % spec.actions.size()),
+                         kIds[i % 3]);
+    ++i;
+  }
+  benchmark::DoNotOptimize(profile.num_actions());
+}
+BENCHMARK(BM_BranchHitInterned);
+
+// The level-barrier fold itself: coordinator absorbing four worker slices.
+// "Before" unions each worker's branch string-set; "after" adds the interned
+// count arrays, zeroes the slices, and drains first-sighting names only.
+void BM_BarrierMergeCoverage(benchmark::State& state) {
+  const Spec& spec = PysyncSpec();
+  std::vector<CoverageStats> workers(4);
+  static const char* kIds[] = {"grant", "reject", "step_down"};
+  for (CoverageStats& w : workers) {
+    for (const Action& a : spec.actions) {
+      for (const char* id : kIds) {
+        w.branches.insert(a.name + "/" + id);
+      }
+      w.RecordEvent(a.kind);
+    }
+  }
+  CoverageStats result;
+  for (auto _ : state) {
+    for (const CoverageStats& w : workers) {
+      result.Merge(w);
+    }
+    benchmark::DoNotOptimize(result.transitions);
+  }
+}
+BENCHMARK(BM_BarrierMergeCoverage);
+
+void BM_BarrierMergeProfile(benchmark::State& state) {
+  const Spec& spec = PysyncSpec();
+  std::vector<obs::ExplorationProfile> workers(4);
+  static const char* kIds[] = {"grant", "reject", "step_down"};
+  for (obs::ExplorationProfile& w : workers) {
+    InitProfileFromSpec(&w, spec);
+    for (uint32_t a = 0; a < static_cast<uint32_t>(spec.actions.size()); ++a) {
+      for (const char* id : kIds) {
+        w.RecordBranch(a, id);
+      }
+      w.RecordExpand(a, /*emitted=*/2, /*ns=*/100);
+    }
+  }
+  obs::ExplorationProfile result;
+  InitProfileFromSpec(&result, spec);
+  std::vector<std::string> names;
+  for (auto _ : state) {
+    for (obs::ExplorationProfile& w : workers) {
+      result.MergeCounts(w);
+      w.ResetCounts();
+    }
+    names.clear();
+    result.DrainNewBranches(&names);
+    benchmark::DoNotOptimize(result.TotalFired());
+  }
+}
+BENCHMARK(BM_BarrierMergeProfile);
+
 void BM_RandomWalkTrace(benchmark::State& state) {
   const Spec& spec = PysyncSpec();
   Rng rng(7);

@@ -25,6 +25,7 @@
 #include "bench/bench_common.h"
 #include "bench/bench_json.h"
 #include "src/mc/bfs.h"
+#include "src/obs/analytics.h"
 #include "src/obs/trace.h"
 #include "src/par/parallel_bfs.h"
 #include "src/raftspec/raft_spec.h"
@@ -53,7 +54,8 @@ Spec BigRaftSpec() {
 
 uint64_t StateCap() { return bench::StateBudget(1000000); }
 
-void PrintRow(const char* label, const BfsResult& r, double serial_rate,
+void PrintRow(const char* label, const BfsResult& r,
+              const obs::ExplorationProfile& prof, double serial_rate,
               bench::JsonBenchWriter* json, int workers) {
   const double rate = r.distinct_states / std::max(r.seconds, 1e-9);
   std::printf("%-10s | %9s %10s %12s/min | %6.2fx%s\n", label,
@@ -68,6 +70,7 @@ void PrintRow(const char* label, const BfsResult& r, double serial_rate,
   row["states_per_sec"] = Json(rate);
   row["speedup"] = Json(rate / serial_rate);
   row["result"] = r.ToJson(/*include_trace=*/false);
+  row["analytics"] = prof.SummaryJson(/*top_n=*/3);
   json->Result(std::move(row));
 }
 
@@ -105,19 +108,23 @@ int main(int argc, char** argv) {
   BfsOptions base;
   base.max_distinct_states = cap;
   base.time_budget_s = budget;
+  obs::ExplorationProfile serial_prof;
+  base.analytics = &serial_prof;
   const BfsResult serial = BfsCheck(spec, base);
   const double serial_rate = serial.distinct_states / std::max(serial.seconds, 1e-9);
-  PrintRow("serial", serial, serial_rate, &json, 0);
+  PrintRow("serial", serial, serial_prof, serial_rate, &json, 0);
 
   for (const int workers : {1, 2, 4, 8}) {
     ParBfsOptions popts;
     popts.base = base;
+    obs::ExplorationProfile prof;  // fresh per row — rows must not aggregate
+    popts.base.analytics = &prof;
     popts.workers = workers;
     popts.reserve_states = cap;
     const BfsResult par = ParallelBfsCheck(spec, popts);
     char label[16];
     std::snprintf(label, sizeof(label), "par x%d", workers);
-    PrintRow(label, par, serial_rate, &json, workers);
+    PrintRow(label, par, prof, serial_rate, &json, workers);
   }
   bench::Rule(64);
   std::printf("speedup is the distinct-state rate over the serial row; on a single\n");

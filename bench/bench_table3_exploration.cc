@@ -13,6 +13,7 @@
 #include "bench/bench_common.h"
 #include "bench/bench_json.h"
 #include "src/mc/bfs.h"
+#include "src/obs/analytics.h"
 #include "src/obs/report.h"
 #include "src/raftspec/raft_spec.h"
 #include "src/zabspec/zab_spec.h"
@@ -72,6 +73,8 @@ int main() {
     if (state_cap > 0) {
       o1.max_distinct_states = state_cap;
     }
+    obs::ExplorationProfile prof1;
+    o1.analytics = &prof1;
     const BfsResult r1 = BfsCheck(small, o1);
 
     // Experiment #2: doubled constraints, fixed budget.
@@ -81,12 +84,18 @@ int main() {
     if (state_cap > 0) {
       o2.max_distinct_states = state_cap;
     }
+    obs::ExplorationProfile prof2;
+    o2.analytics = &prof2;
     const BfsResult r2 = BfsCheck(big, o2);
 
     JsonObject row;
     row["system"] = Json(std::string(system));
     row["e1"] = r1.ToJson(/*include_trace=*/false);
     row["e2"] = r2.ToJson(/*include_trace=*/false);
+    JsonObject analytics;
+    analytics["e1"] = prof1.SummaryJson(/*top_n=*/3);
+    analytics["e2"] = prof2.SummaryJson(/*top_n=*/3);
+    row["analytics"] = Json(std::move(analytics));
     row["peak_rss_kb"] = Json(obs::PeakRssKb());
     json.Result(std::move(row));
 
@@ -130,6 +139,39 @@ int main() {
     row["system"] = Json(std::string("pysyncobj"));
     row["ablation"] = Json(std::string(sym ? "symmetry_on" : "symmetry_off"));
     row["result"] = r.ToJson(/*include_trace=*/false);
+    row["peak_rss_kb"] = Json(obs::PeakRssKb());
+    json.Result(std::move(row));
+  }
+  // Ablation: analytics profiling on/off (same budget, same spec) — the
+  // measured overhead DESIGN.md's "State-space analytics" section cites.
+  std::printf(
+      "\nablation — exploration analytics (pysyncobj, experiment #1 "
+      "constraints):\n");
+  for (const bool analytics : {true, false}) {
+    BfsOptions o;
+    o.time_budget_s = bench::BudgetSeconds(20) * 6;
+    if (state_cap > 0) {
+      o.max_distinct_states = state_cap;
+    }
+    obs::ExplorationProfile prof;
+    if (analytics) {
+      o.analytics = &prof;
+    }
+    const BfsResult r = BfsCheck(spec, o);
+    std::printf("  analytics %-3s: %10s distinct states in %s (%s states/min)\n",
+                analytics ? "on" : "off",
+                bench::HumanCount(r.distinct_states).c_str(),
+                bench::HumanTime(r.seconds).c_str(),
+                bench::HumanCount(static_cast<unsigned long long>(
+                                      r.distinct_states / std::max(r.seconds, 1e-9) * 60))
+                    .c_str());
+    JsonObject row;
+    row["system"] = Json(std::string("pysyncobj"));
+    row["ablation"] = Json(std::string(analytics ? "analytics_on" : "analytics_off"));
+    row["result"] = r.ToJson(/*include_trace=*/false);
+    if (analytics) {
+      row["analytics"] = prof.SummaryJson(/*top_n=*/3);
+    }
     row["peak_rss_kb"] = Json(obs::PeakRssKb());
     json.Result(std::move(row));
   }

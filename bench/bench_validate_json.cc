@@ -5,6 +5,7 @@
 //   bench_validate_json FILE --serve    # sandtable_serve client frame capture
 //   bench_validate_json FILE --trace [--expect-span NAME]... [--expect-lanes N]
 //                                       # Chrome trace from --trace-out
+//   bench_validate_json FILE --analytics  # profile from --analytics-out
 //
 // JSONL mode checks the writer's contract: every line parses, the first
 // record is {"type":"meta", "schema_version":1}, at least one "result" row
@@ -16,6 +17,11 @@
 // parses, the first frame is the hello, at least one ack and one result frame
 // are present, every streamed job frame (started/progress/result) carries an
 // integer job id, and every result status is done|cancelled|failed.
+//
+// Analytics mode checks an obs::ExplorationProfile document written by
+// `--analytics-out`: type=analytics, schema_version 1, a run_id, a non-empty
+// per-action table with the counter fields, invariant cost entries, a depth
+// histogram, and a collision probability inside [0,1].
 //
 // Trace mode checks a Chrome trace-event file (obs::Tracer output): a single
 // JSON object with a non-empty traceEvents array, metadata.run_id present,
@@ -64,6 +70,45 @@ int ValidateGbench(const std::string& path, const std::string& content) {
   return 0;
 }
 
+bool IsNumber(const Json& v) {
+  return v.type() == Json::Type::kInt || v.type() == Json::Type::kDouble;
+}
+
+// An obs::ExplorationProfile::SummaryJson object, the "analytics" field bench
+// rows and progress lines carry. Table-3 rows nest one summary per
+// experiment, so a non-summary object is accepted when every value is one.
+bool ValidAnalyticsSummary(const Json& a, std::string* why) {
+  if (!a.is_object()) {
+    *why = "\"analytics\" is not an object";
+    return false;
+  }
+  if (!a.contains("top_actions")) {
+    for (const auto& [key, nested] : a.as_object()) {
+      if (!ValidAnalyticsSummary(nested, why)) {
+        *why = "analytics[" + key + "]: " + *why;
+        return false;
+      }
+    }
+    return true;
+  }
+  if (a["top_actions"].type() != Json::Type::kArray) {
+    *why = "analytics \"top_actions\" is not an array";
+    return false;
+  }
+  if (!IsNumber(a["duplicate_rate"]) || a["duplicate_rate"].as_double() < 0 ||
+      a["duplicate_rate"].as_double() > 1) {
+    *why = "analytics \"duplicate_rate\" is not a number in [0,1]";
+    return false;
+  }
+  if (!IsNumber(a["collision_probability"]) ||
+      a["collision_probability"].as_double() < 0 ||
+      a["collision_probability"].as_double() > 1) {
+    *why = "analytics \"collision_probability\" is not a number in [0,1]";
+    return false;
+  }
+  return true;
+}
+
 int ValidateJsonl(const std::string& path, const std::string& content) {
   std::vector<Json> records;
   std::istringstream in(content);
@@ -104,6 +149,12 @@ int ValidateJsonl(const std::string& path, const std::string& content) {
     if (type == "result") {
       if (records[i]["bench"].as_string() != bench) {
         return Fail(path, "result record with mismatched bench name");
+      }
+      if (!records[i]["analytics"].is_null()) {
+        std::string why;
+        if (!ValidAnalyticsSummary(records[i]["analytics"], &why)) {
+          return Fail(path, "result record " + std::to_string(i) + ": " + why);
+        }
       }
       ++results;
     } else if (type != "progress" && type != "report") {
@@ -192,10 +243,6 @@ int ValidateServe(const std::string& path, const std::string& content) {
   return 0;
 }
 
-bool IsNumber(const Json& v) {
-  return v.type() == Json::Type::kInt || v.type() == Json::Type::kDouble;
-}
-
 // A Chrome trace-event file written by obs::Tracer::WriteChromeTrace.
 int ValidateTrace(const std::string& path, const std::string& content,
                   const std::vector<std::string>& expect_spans,
@@ -257,12 +304,73 @@ int ValidateTrace(const std::string& path, const std::string& content,
   return 0;
 }
 
+// An exploration-profile document written by `--analytics-out`
+// (obs::ExplorationProfile::ToJson plus the type/run_id/engine/spec stamp).
+int ValidateAnalytics(const std::string& path, const std::string& content) {
+  auto doc = Json::Parse(content);
+  if (!doc.ok()) {
+    return Fail(path, "not valid JSON: " + doc.error());
+  }
+  const Json& a = doc.value();
+  if (!a.is_object()) {
+    return Fail(path, "not a JSON object");
+  }
+  if (a["type"].type() != Json::Type::kString ||
+      a["type"].as_string() != "analytics") {
+    return Fail(path, "type is not \"analytics\"");
+  }
+  if (a["schema_version"].as_int() != 1) {
+    return Fail(path, "unsupported schema_version");
+  }
+  if (a["run_id"].type() != Json::Type::kString || a["run_id"].as_string().empty()) {
+    return Fail(path, "run_id missing");
+  }
+  const Json& actions = a["actions"];
+  if (actions.type() != Json::Type::kArray || actions.size() == 0) {
+    return Fail(path, "no \"actions\" array");
+  }
+  for (size_t i = 0; i < actions.size(); ++i) {
+    const Json& act = actions[i];
+    const std::string where = "actions[" + std::to_string(i) + "]";
+    if (act["action"].type() != Json::Type::kString ||
+        act["action"].as_string().empty()) {
+      return Fail(path, where + " has no \"action\" name");
+    }
+    for (const char* key :
+         {"enabled", "fired", "fanout_max", "duplicates", "expand_ns"}) {
+      if (act[key].type() != Json::Type::kInt || act[key].as_int() < 0) {
+        return Fail(path, where + " \"" + key +
+                              "\" is not a non-negative integer");
+      }
+    }
+  }
+  if (a["invariants"].type() != Json::Type::kArray) {
+    return Fail(path, "no \"invariants\" array");
+  }
+  if (a["depth_histogram"].type() != Json::Type::kArray) {
+    return Fail(path, "no \"depth_histogram\" array");
+  }
+  if (!IsNumber(a["collision_probability"]) ||
+      a["collision_probability"].as_double() < 0 ||
+      a["collision_probability"].as_double() > 1) {
+    return Fail(path, "\"collision_probability\" is not a number in [0,1]");
+  }
+  if (a["distinct_states"].type() != Json::Type::kInt ||
+      a["distinct_states"].as_int() < 0) {
+    return Fail(path, "\"distinct_states\" is not a non-negative integer");
+  }
+  std::printf("%s: ok (%zu actions, %zu invariants, %zu depth buckets)\n",
+              path.c_str(), actions.size(), a["invariants"].size(),
+              a["depth_histogram"].size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: %s FILE [--gbench | --serve | --trace"
+                 "usage: %s FILE [--gbench | --serve | --analytics | --trace"
                  " [--expect-span NAME]... [--expect-lanes N]]\n",
                  argv[0]);
     return 2;
@@ -271,6 +379,7 @@ int main(int argc, char** argv) {
   bool gbench = false;
   bool serve = false;
   bool trace = false;
+  bool analytics = false;
   std::vector<std::string> expect_spans;
   size_t expect_lanes = 0;
   for (int i = 2; i < argc; ++i) {
@@ -280,6 +389,8 @@ int main(int argc, char** argv) {
       serve = true;
     } else if (std::strcmp(argv[i], "--trace") == 0) {
       trace = true;
+    } else if (std::strcmp(argv[i], "--analytics") == 0) {
+      analytics = true;
     } else if (std::strcmp(argv[i], "--expect-span") == 0 && i + 1 < argc) {
       expect_spans.push_back(argv[++i]);
     } else if (std::strcmp(argv[i], "--expect-lanes") == 0 && i + 1 < argc) {
@@ -303,6 +414,9 @@ int main(int argc, char** argv) {
   }
   if (trace) {
     return ValidateTrace(path, ss.str(), expect_spans, expect_lanes);
+  }
+  if (analytics) {
+    return ValidateAnalytics(path, ss.str());
   }
   return ValidateJsonl(path, ss.str());
 }

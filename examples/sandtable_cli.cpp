@@ -97,6 +97,7 @@ struct Args {
   std::string channel = "api";
   std::string metrics_out;  // JSONL sink for progress + final report
   std::string report_mode;  // "", "json" or "text": end-of-run report on stdout
+  std::string analytics_out;  // per-action exploration profile JSON sink
   double budget_s = 60;
   uint64_t time_budget_ms = 0;    // overrides --budget when set (finer grain)
   uint64_t max_states = 0;        // 0 = unlimited distinct-state budget
@@ -156,6 +157,8 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->channel = v;
     } else if (flag == "--metrics-out" && next(&v)) {
       out->metrics_out = v;
+    } else if (flag == "--analytics-out" && next(&v)) {
+      out->analytics_out = v;
     } else if (flag == "--report" && next(&v)) {
       if (v != "json" && v != "text") {
         std::fprintf(stderr, "--report wants json or text, got %s\n", v.c_str());
@@ -314,6 +317,28 @@ struct Telemetry {
     return report;
   }
 };
+
+// Write the standalone --analytics-out document: the exploration profile plus
+// enough identity (run_id, engine, spec) for scripts/analytics_summary.py to
+// label its output.
+void WriteAnalyticsOut(const Args& args, const obs::ExplorationProfile& profile,
+                       const std::string& engine, const std::string& spec_name) {
+  if (args.analytics_out.empty()) {
+    return;
+  }
+  Json doc = profile.ToJson();
+  doc["type"] = Json("analytics");
+  doc["run_id"] = Json(RunId());
+  doc["engine"] = Json(engine);
+  doc["spec"] = Json(spec_name);
+  std::ofstream f(args.analytics_out);
+  if (!f) {
+    std::fprintf(stderr, "cannot open %s for writing\n", args.analytics_out.c_str());
+    return;
+  }
+  f << doc.Dump() << '\n';
+  std::printf("analytics written to %s\n", args.analytics_out.c_str());
+}
 
 // Shrink a violation, print the before/after summary and the shrunk event
 // list. Returns the result so callers can embed m.ToJson() in their report
@@ -487,6 +512,10 @@ int CmdCheck(const Args& args) {
   opts.progress = telemetry.progress.get();
   opts.metrics = &telemetry.registry;
   opts.stop = &g_stop;
+  obs::ExplorationProfile profile;
+  if (!args.analytics_out.empty()) {
+    opts.analytics = &profile;
+  }
   OocRuntime ooc;
   if (!ooc.Wire(args, t.spec, &telemetry.registry, opts)) {
     return 1;
@@ -516,8 +545,17 @@ int CmdCheck(const Args& args) {
     }
     std::printf("\n");
   }
+  // Attach the profile to the result (so --report text renders the hot-action
+  // table and the JSONL report carries it) and write the standalone document.
+  auto attach_analytics = [&](Json result_json) {
+    if (opts.analytics != nullptr) {
+      result_json["analytics"] = profile.ToJson();
+      WriteAnalyticsOut(args, profile, engine, t.spec.name);
+    }
+    return result_json;
+  };
   if (!r.violation.has_value()) {
-    telemetry.Finish(engine, r.ToJson());
+    telemetry.Finish(engine, attach_analytics(r.ToJson()));
     if (r.cancelled) {
       std::printf("interrupted%s\n",
                   ooc.checkpointer != nullptr ? "; checkpoint written, resume with --resume"
@@ -538,7 +576,7 @@ int CmdCheck(const Args& args) {
     }
     result_json.as_object()["minimize"] = m.ToJson();
   }
-  telemetry.Finish(engine, std::move(result_json));
+  telemetry.Finish(engine, attach_analytics(std::move(result_json)));
   if (!args.cex_out.empty()) {
     std::ofstream f(args.cex_out);
     f << TraceToJsonl(trace);
@@ -585,6 +623,12 @@ int CmdSimulate(const Args& args) {
   opts.max_depth = 60;
   opts.metrics = &telemetry.registry;
   opts.stop = &g_stop;
+  // One shared profile across all walks: counts aggregate, and the depth
+  // histogram buckets walk end-depths.
+  obs::ExplorationProfile profile;
+  if (!args.analytics_out.empty()) {
+    opts.analytics = &profile;
+  }
   if (args.minimize) {
     // Hunt mode: check invariants along each walk and shrink the first
     // violating trace found.
@@ -652,6 +696,9 @@ int CmdSimulate(const Args& args) {
       s.deadlocks = deadlocked;
       s.event_kinds = coverage.DistinctEventKinds();
       s.branches = coverage.branches.size();
+      if (opts.analytics != nullptr) {
+        s.analytics = profile.SummaryJson(3);
+      }
       telemetry.progress->Emit(s);
     }
     if (w.violation.has_value()) {
@@ -672,6 +719,10 @@ int CmdSimulate(const Args& args) {
   summary["hit_time_limit"] = Json(time_capped);
   summary["cancelled"] = Json(cancelled);
   summary["coverage"] = coverage.ToJson();
+  if (opts.analytics != nullptr) {
+    summary["analytics"] = profile.ToJson();
+    WriteAnalyticsOut(args, profile, "random_walk", t.spec.name);
+  }
   if (violation.has_value()) {
     std::printf("walk %d VIOLATED %s\n", walks_done, ViolationSummary(*violation).c_str());
     const minimize::MinimizeResult m = RunMinimize(t.spec, *violation, args, telemetry);
@@ -916,7 +967,8 @@ int main(int argc, char** argv) {
                  " [--system S] [--bug ID] [--budget SECONDS] [--time-budget-ms N]"
                  " [--states N] [--traces N]"
                  " [--workers N] [--trace FILE] [--cex-out FILE] [--channel api|log]"
-                 " [--with-bugs] [--metrics-out FILE] [--progress-every N]"
+                 " [--with-bugs] [--metrics-out FILE] [--analytics-out FILE]"
+                 " [--progress-every N]"
                  " [--report json|text] [--trace-out FILE] [--run-id ID]"
                  " [--seed N] [--minimize] [--minimize-any]"
                  " [--corpus-out FILE] [--mem-budget-mb N] [--spill-dir DIR]"

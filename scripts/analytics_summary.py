@@ -1,0 +1,168 @@
+#!/usr/bin/env python3
+"""Summarize a SandTable exploration profile (the --analytics-out output).
+
+Usage: analytics_summary.py [--json] [--top N] PROFILE.json
+
+Reads the per-action exploration profile written by `sandtable_cli check
+--analytics-out FILE` (or a serve result frame's "analytics" object) and
+prints:
+
+  - hot actions: a ranked table by cumulative expansion time, with
+    enabled/fired counts, fanout, duplicate rate and per-branch hits;
+  - invariant cost: checks, total and mean time per (transition) invariant;
+  - the wave-width histogram, duplicate/revisit rates, fingerprint-collision
+    probability and the commuting-delivery POR opportunity;
+  - coverage gaps: actions that never fired and declared branches never hit.
+
+Exits 0 on a valid profile, 1 on malformed input; coverage gaps are flagged
+in the output but do not change the exit status (gating on gaps is the
+model checker's ReportToText WARNING lines, not this renderer).
+
+--json emits the same summary as one JSON object for dashboards.
+"""
+import json
+import sys
+
+
+def ns(v):
+    v = float(v)
+    if v >= 1e9:
+        return "%.2fs" % (v / 1e9)
+    if v >= 1e6:
+        return "%.2fms" % (v / 1e6)
+    if v >= 1e3:
+        return "%.2fus" % (v / 1e3)
+    return "%.0fns" % v
+
+
+def summarize(doc, top_n):
+    actions = sorted(doc.get("actions", []),
+                     key=lambda a: (-int(a.get("expand_ns", 0)), a.get("action", "")))
+    out = {
+        "run_id": doc.get("run_id", ""),
+        "engine": doc.get("engine", ""),
+        "spec": doc.get("spec", ""),
+        "states_expanded": doc.get("states_expanded", 0),
+        "distinct_states": doc.get("distinct_states", 0),
+        "successors": doc.get("successors", 0),
+        "duplicate_rate": doc.get("duplicate_rate", 0.0),
+        "revisit_rate": doc.get("revisit_rate", 0.0),
+        "collision_probability": doc.get("collision_probability", 0.0),
+        "delivery_pairs": doc.get("delivery_pairs", 0),
+        "commuting_delivery_pairs": doc.get("commuting_delivery_pairs", 0),
+        "depth_histogram": doc.get("depth_histogram", []),
+        "hot_actions": actions[:top_n],
+        "more_actions": max(0, len(actions) - top_n),
+        "invariants": doc.get("invariants", []),
+        "transition_invariants": doc.get("transition_invariants", []),
+        "coverage_gaps": {
+            "zero_hit_actions": doc.get("zero_hit_actions", []),
+            "zero_hit_branches": doc.get("zero_hit_branches", []),
+        },
+    }
+    return out
+
+
+def render_text(s):
+    lines = []
+    head = "exploration analytics — run %s" % (s["run_id"] or "?")
+    if s["engine"] or s["spec"]:
+        head += " (%s%s)" % (s["engine"], ", " + s["spec"] if s["spec"] else "")
+    lines.append(head)
+    lines.append("  %d states expanded, %d distinct, %d successors"
+                 % (s["states_expanded"], s["distinct_states"], s["successors"]))
+    lines.append("")
+    lines.append("hot actions (by cumulative expand time):")
+    lines.append("  %-26s %-9s %9s %9s %8s %8s %10s"
+                 % ("action", "kind", "enabled", "fired", "fan.avg", "dup%", "time"))
+    for a in s["hot_actions"]:
+        lines.append("  %-26s %-9s %9d %9d %8.2f %7.1f%% %10s"
+                     % (a.get("action", "?"), a.get("kind", "?"),
+                        a.get("enabled", 0), a.get("fired", 0),
+                        a.get("fanout_avg", 0.0),
+                        100.0 * a.get("duplicate_rate", 0.0),
+                        ns(a.get("expand_ns", 0))))
+        for b in a.get("branches", []):
+            lines.append("      branch %-22s %d hits" % (b.get("id", "?"), b.get("hits", 0)))
+    if s["more_actions"]:
+        lines.append("  ... %d more actions (rerun with --top N)" % s["more_actions"])
+    for key in ("invariants", "transition_invariants"):
+        if not s[key]:
+            continue
+        lines.append("")
+        lines.append("%s:" % key.replace("_", " "))
+        for inv in s[key]:
+            checks = inv.get("checks", 0)
+            total = inv.get("ns", 0)
+            lines.append("  %-26s checks %-12d total %-10s mean %s"
+                         % (inv.get("name", "?"), checks, ns(total),
+                            ns(total / checks if checks else 0)))
+    lines.append("")
+    hist = s["depth_histogram"]
+    if hist:
+        shown = " ".join("%d:%d" % (d, w) for d, w in enumerate(hist[:16]))
+        if len(hist) > 16:
+            shown += " ..."
+        lines.append("wave widths (depth:states): %s  (%d levels)" % (shown, len(hist)))
+    lines.append("duplicate successor rate:   %.1f%%" % (100.0 * s["duplicate_rate"]))
+    lines.append("revisit rate:               %.1f%%" % (100.0 * s["revisit_rate"]))
+    lines.append("collision probability:      %.3g" % s["collision_probability"])
+    if s["delivery_pairs"]:
+        lines.append("commuting deliveries:       %d of %d pairs (%.1f%%) — POR opportunity"
+                     % (s["commuting_delivery_pairs"], s["delivery_pairs"],
+                        100.0 * s["commuting_delivery_pairs"] / s["delivery_pairs"]))
+    gaps = s["coverage_gaps"]
+    if gaps["zero_hit_actions"] or gaps["zero_hit_branches"]:
+        lines.append("")
+        lines.append("coverage gaps:")
+        for name in gaps["zero_hit_actions"]:
+            lines.append("  action %s never fired" % name)
+        for name in gaps["zero_hit_branches"]:
+            lines.append("  branch %s declared but never hit" % name)
+    else:
+        lines.append("coverage gaps:              none")
+    return "\n".join(lines)
+
+
+def main(argv):
+    as_json = False
+    top_n = 12
+    path = None
+    args = argv[1:]
+    i = 0
+    while i < len(args):
+        a = args[i]
+        if a == "--json":
+            as_json = True
+        elif a == "--top" and i + 1 < len(args):
+            i += 1
+            top_n = int(args[i])
+        elif a.startswith("-"):
+            sys.stderr.write(__doc__)
+            return 2
+        else:
+            path = a
+        i += 1
+    if path is None:
+        sys.stderr.write(__doc__)
+        return 2
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        sys.stderr.write("%s: %s\n" % (path, err))
+        return 1
+    if not isinstance(doc, dict) or not doc.get("actions"):
+        sys.stderr.write("%s: not an exploration profile (no actions)\n" % path)
+        return 1
+    s = summarize(doc, top_n)
+    if as_json:
+        json.dump(s, sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        print(render_text(s))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

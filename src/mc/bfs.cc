@@ -44,6 +44,22 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
   const bool use_symmetry = options.use_symmetry && spec.symmetry.has_value();
   const obs::ExplorationMetrics m = obs::ExplorationMetrics::Bind(options.metrics);
   obs::ProgressReporter* progress = options.progress;
+  obs::ExplorationProfile* profile = options.analytics;
+  if (profile != nullptr && !profile->initialized()) {
+    InitProfileFromSpec(profile, spec);
+  }
+  // Sync branch names interned by the profile into coverage (the profile
+  // replaces coverage's per-hit set inserts; see mc/expand.cc).
+  auto drain_branches = [&]() {
+    if (profile == nullptr) {
+      return;
+    }
+    std::vector<std::string> names;
+    profile->DrainNewBranches(&names);
+    for (std::string& n : names) {
+      result.coverage.branches.insert(std::move(n));
+    }
+  };
 
   // Out-of-core wiring: with no OocConfig every branch below picks the
   // original in-memory structure, keeping the default path bit-identical.
@@ -144,6 +160,7 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
   };
 
   auto emit_progress = [&](uint64_t progress_depth) {
+    drain_branches();
     obs::ProgressSample s;
     s.engine = "bfs";
     s.elapsed_s = SecondsSince(start);
@@ -154,6 +171,9 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
     s.deadlocks = result.deadlock_states;
     s.event_kinds = result.coverage.DistinctEventKinds();
     s.branches = result.coverage.branches.size();
+    if (profile != nullptr) {
+      s.analytics = profile->SummaryJson(3);
+    }
     progress->Emit(s);
   };
 
@@ -161,6 +181,10 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
   // `exhausted` means the bounded space was fully explored, which is false
   // whenever a limit fired or the search stopped early at a violation.
   auto finalize = [&](uint64_t final_depth, bool frontier_drained) -> BfsResult& {
+    drain_branches();
+    if (profile != nullptr) {
+      profile->SetDistinctStates(result.distinct_states);
+    }
     result.depth_reached = final_depth;
     result.exhausted = frontier_drained && !result.hit_state_limit &&
                        !result.hit_time_limit && !result.cancelled &&
@@ -186,6 +210,14 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
       CHECK(cov.ok()) << "resume: " << cov.error();
       result.coverage = std::move(cov).value();
     }
+    if (profile != nullptr && !meta.analytics.is_null()) {
+      auto prior = obs::ExplorationProfile::FromJson(meta.analytics);
+      CHECK(prior.ok()) << "resume: " << prior.error();
+      profile->MergeCounts(prior.value());
+      // The merged branch names are already in the restored coverage set.
+      std::vector<std::string> drained;
+      profile->DrainNewBranches(&drained);
+    }
     const Status st = store::ForEachSegmentEntry(
         resume->frontier_path, [&](uint64_t fp, State&& state) -> Status {
           push_cur(fp, std::move(state));
@@ -208,7 +240,7 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
       {
         obs::PhaseTimer t(m, Phase::kInvariants);
         obs::Add(m.invariant_checks);
-        bad = CheckInvariants(spec, init);
+        bad = CheckInvariants(spec, init, profile);
       }
       if (!bad.empty()) {
         record_violation(bad, false, {TraceStep{ActionLabel{}, init}});
@@ -249,7 +281,7 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
     {
       obs::PhaseTimer t(m, Phase::kExpand);
       obs::Add(m.expand_calls);
-      succs = ExpandAll(spec, entry_state, &result.coverage);
+      succs = ExpandAll(spec, entry_state, &result.coverage, profile);
     }
     if (succs.empty()) {
       ++result.deadlock_states;
@@ -266,7 +298,8 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
       {
         obs::PhaseTimer t(m, Phase::kInvariants);
         obs::Add(m.transition_checks);
-        bad_edge = CheckTransitionInvariants(spec, entry_state, s.label, s.state);
+        bad_edge = CheckTransitionInvariants(spec, entry_state, s.label, s.state,
+                                             profile);
       }
       if (!bad_edge.empty()) {
         std::vector<TraceStep> trace = reconstruct(entry_fp);
@@ -286,6 +319,9 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
       }
       if (duplicate) {
         obs::Add(m.duplicates);
+        if (profile != nullptr) {
+          profile->RecordDuplicate(s.action_index);
+        }
         continue;
       }
       ++result.distinct_states;
@@ -295,7 +331,7 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
       {
         obs::PhaseTimer t(m, Phase::kInvariants);
         obs::Add(m.invariant_checks);
-        bad = CheckInvariants(spec, s.state);
+        bad = CheckInvariants(spec, s.state, profile);
       }
       if (!bad.empty()) {
         record_violation(bad, false, reconstruct(fp));
@@ -322,6 +358,7 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
   };
 
   auto write_checkpoint = [&]() {
+    drain_branches();
     store::CheckpointMeta meta;
     meta.distinct_states = result.distinct_states;
     meta.depth_reached = depth;
@@ -332,6 +369,10 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
     meta.coverage = result.coverage.ToFullJson();
     if (options.metrics != nullptr) {
       meta.metrics = options.metrics->Snapshot().ToJson();
+    }
+    if (profile != nullptr) {
+      profile->SetDistinctStates(result.distinct_states);
+      meta.analytics = profile->ToJson();
     }
     const Status st = ckpt->Write(*sstore, *cur_spool, std::move(meta));
     if (!st.ok()) {
@@ -348,6 +389,9 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
                               static_cast<int64_t>(depth), "frontier",
                               static_cast<int64_t>(frontier_size()));
     obs::SetMax(m.frontier_peak, static_cast<int64_t>(frontier_size()));
+    if (profile != nullptr) {
+      profile->RecordLevel(depth, frontier_size());
+    }
     if (use_spool) {
       store::FrontierSpool::Reader reader = cur_spool->Read();
       uint64_t fp;

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "src/mc/coverage.h"
+#include "src/obs/analytics.h"
 #include "src/obs/progress.h"
 #include "src/obs/metrics.h"
 #include "src/spec/spec.h"
@@ -52,6 +53,12 @@ struct BfsOptions {
   // Record counters and per-phase timers here (src/obs/metrics.h). Borrowed,
   // may be null — a null registry costs nothing in the hot loop.
   obs::MetricsRegistry* metrics = nullptr;
+  // Per-action exploration analytics (src/obs/analytics.h). Borrowed, may be
+  // null — a null profile keeps the hot loop exactly as before. The engine
+  // initializes an uninitialized profile from the spec, merges checkpointed
+  // counts on resume, and leaves the final counts (including distinct-state
+  // count) in the profile when it returns.
+  obs::ExplorationProfile* analytics = nullptr;
   // Cooperative cancellation (src/util/stop_token.h): polled at the same
   // cadence as the time budget. A raised token stops the search with
   // `cancelled` set; with checkpointing configured, a final checkpoint

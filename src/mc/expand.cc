@@ -1,8 +1,10 @@
 #include "src/mc/expand.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <numeric>
+#include <utility>
 
 #include "src/util/check.h"
 
@@ -10,10 +12,23 @@ namespace sandtable {
 
 namespace {
 
+inline uint64_t NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 class CollectingContext : public ActionContext {
  public:
-  CollectingContext(const Action& action, std::vector<Successor>& out, CoverageStats* coverage)
-      : action_(action), out_(out), coverage_(coverage) {}
+  CollectingContext(const Action& action, uint32_t action_index,
+                    std::vector<Successor>& out, CoverageStats* coverage,
+                    obs::ExplorationProfile* profile)
+      : action_(action),
+        action_index_(action_index),
+        out_(out),
+        coverage_(coverage),
+        profile_(profile) {}
 
   void Emit(State next, Json params) override {
     Successor s;
@@ -21,29 +36,99 @@ class CollectingContext : public ActionContext {
     s.label.action = action_.name;
     s.label.kind = action_.kind;
     s.label.params = std::move(params);
+    s.action_index = action_index_;
     out_.push_back(std::move(s));
   }
 
   void Branch(std::string_view id) override {
-    if (coverage_ != nullptr) {
+    // With a profile the hit is interned (allocation-free on repeats) and
+    // drained into coverage once per level; without one, fall back to the
+    // original per-hit set insert.
+    if (profile_ != nullptr) {
+      profile_->RecordBranch(action_index_, id);
+    } else if (coverage_ != nullptr) {
       coverage_->branches.insert(action_.name + "/" + std::string(id));
     }
   }
 
  private:
   const Action& action_;
+  const uint32_t action_index_;
   std::vector<Successor>& out_;
   CoverageStats* coverage_;
+  obs::ExplorationProfile* profile_;
 };
+
+// C(n, 2) without overflow for the pair counts seen here.
+inline uint64_t Choose2(uint64_t n) { return n * (n - 1) / 2; }
+
+// Of the message successors enabled at one state, count the delivery pairs
+// that commute (target different destinations) — a direct measure of the
+// partial-order-reduction opportunity. Destinations are grouped by the
+// serialized "dst" param; successors without one are treated as one group.
+void RecordCommutingPairs(const std::vector<Successor>& successors,
+                          obs::ExplorationProfile* profile) {
+  uint64_t messages = 0;
+  // (dst key, count); message actions target a handful of nodes, so a linear
+  // scan over a small vector beats a map.
+  std::vector<std::pair<std::string, uint64_t>> by_dst;
+  for (const Successor& s : successors) {
+    if (s.label.kind != EventKind::kMessage) {
+      continue;
+    }
+    ++messages;
+    std::string key = s.label.params["dst"].Dump();
+    bool found = false;
+    for (auto& [dst, count] : by_dst) {
+      if (dst == key) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      by_dst.emplace_back(std::move(key), 1);
+    }
+  }
+  if (messages < 2) {
+    return;
+  }
+  uint64_t same_dst_pairs = 0;
+  for (const auto& [dst, count] : by_dst) {
+    same_dst_pairs += Choose2(count);
+  }
+  const uint64_t total = Choose2(messages);
+  profile->RecordDeliveryPairs(total - same_dst_pairs, total);
+}
 
 }  // namespace
 
-std::vector<Successor> ExpandAll(const Spec& spec, const State& state, CoverageStats* coverage) {
+std::vector<Successor> ExpandAll(const Spec& spec, const State& state,
+                                 CoverageStats* coverage,
+                                 obs::ExplorationProfile* profile) {
   std::vector<Successor> out;
-  for (const Action& action : spec.actions) {
-    CollectingContext ctx(action, out, coverage);
-    action.expand(state, ctx);
+  if (profile == nullptr) {
+    for (size_t i = 0; i < spec.actions.size(); ++i) {
+      CollectingContext ctx(spec.actions[i], static_cast<uint32_t>(i), out,
+                            coverage, nullptr);
+      spec.actions[i].expand(state, ctx);
+    }
+    return out;
   }
+  // Chained clock reads: one before the loop plus one per action (N+1 total)
+  // time every action without doubling the clock cost.
+  profile->RecordState();
+  uint64_t t0 = NowNs();
+  for (size_t i = 0; i < spec.actions.size(); ++i) {
+    const size_t before = out.size();
+    CollectingContext ctx(spec.actions[i], static_cast<uint32_t>(i), out,
+                          coverage, profile);
+    spec.actions[i].expand(state, ctx);
+    const uint64_t t1 = NowNs();
+    profile->RecordExpand(static_cast<uint32_t>(i), out.size() - before, t1 - t0);
+    t0 = t1;
+  }
+  RecordCommutingPairs(out, profile);
   return out;
 }
 
@@ -101,23 +186,76 @@ uint64_t Fingerprint(const Spec& spec, const State& state, bool use_symmetry) {
   return state.SymmetricMinHash(cls, perms);
 }
 
-std::string CheckInvariants(const Spec& spec, const State& state) {
-  for (const Invariant& inv : spec.invariants) {
-    if (!inv.check(state)) {
-      return inv.name;
+std::string CheckInvariants(const Spec& spec, const State& state,
+                            obs::ExplorationProfile* profile) {
+  if (profile == nullptr) {
+    for (const Invariant& inv : spec.invariants) {
+      if (!inv.check(state)) {
+        return inv.name;
+      }
+    }
+    return "";
+  }
+  uint64_t t0 = NowNs();
+  for (size_t i = 0; i < spec.invariants.size(); ++i) {
+    const bool ok = spec.invariants[i].check(state);
+    const uint64_t t1 = NowNs();
+    profile->RecordInvariant(static_cast<uint32_t>(i), t1 - t0);
+    t0 = t1;
+    if (!ok) {
+      return spec.invariants[i].name;
     }
   }
   return "";
 }
 
 std::string CheckTransitionInvariants(const Spec& spec, const State& prev,
-                                      const ActionLabel& label, const State& next) {
-  for (const TransitionInvariant& inv : spec.transition_invariants) {
-    if (!inv.check(prev, label, next)) {
-      return inv.name;
+                                      const ActionLabel& label, const State& next,
+                                      obs::ExplorationProfile* profile) {
+  if (profile == nullptr) {
+    for (const TransitionInvariant& inv : spec.transition_invariants) {
+      if (!inv.check(prev, label, next)) {
+        return inv.name;
+      }
+    }
+    return "";
+  }
+  uint64_t t0 = NowNs();
+  for (size_t i = 0; i < spec.transition_invariants.size(); ++i) {
+    const bool ok = spec.transition_invariants[i].check(prev, label, next);
+    const uint64_t t1 = NowNs();
+    profile->RecordTransitionInvariant(static_cast<uint32_t>(i), t1 - t0);
+    t0 = t1;
+    if (!ok) {
+      return spec.transition_invariants[i].name;
     }
   }
   return "";
+}
+
+void InitProfileFromSpec(obs::ExplorationProfile* profile, const Spec& spec) {
+  if (profile == nullptr) {
+    return;
+  }
+  std::vector<obs::ActionInfo> actions;
+  actions.reserve(spec.actions.size());
+  for (const Action& a : spec.actions) {
+    obs::ActionInfo info;
+    info.name = a.name;
+    info.kind = EventKindName(a.kind);
+    info.declared_branches = a.declared_branches;
+    actions.push_back(std::move(info));
+  }
+  std::vector<std::string> invariants;
+  for (const Invariant& inv : spec.invariants) {
+    invariants.push_back(inv.name);
+  }
+  std::vector<std::string> transition_invariants;
+  for (const TransitionInvariant& inv : spec.transition_invariants) {
+    transition_invariants.push_back(inv.name);
+  }
+  profile->Init(std::move(actions), std::move(invariants),
+                std::move(transition_invariants));
 }
 
 }  // namespace sandtable

@@ -2,10 +2,12 @@
 #ifndef SANDTABLE_SRC_MC_EXPAND_H_
 #define SANDTABLE_SRC_MC_EXPAND_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/mc/coverage.h"
+#include "src/obs/analytics.h"
 #include "src/spec/spec.h"
 
 namespace sandtable {
@@ -13,11 +15,21 @@ namespace sandtable {
 struct Successor {
   State state;
   ActionLabel label;
+  // Index into spec.actions of the action that produced this successor
+  // (profiler attribution without a name lookup).
+  uint32_t action_index = 0;
 };
 
 // Enumerate all successors of `state` under every action of `spec`.
-// Branch hits are recorded into `coverage` (if non-null).
-std::vector<Successor> ExpandAll(const Spec& spec, const State& state, CoverageStats* coverage);
+// Branch hits are recorded into `coverage` (if non-null). With a non-null
+// `profile`, per-action enabled/fired/fanout/time stats and branch hits are
+// recorded there instead of into coverage->branches (the engine drains the
+// profile's branch names into coverage once per level), and the
+// commuting-delivery-pair count of this state's message successors is
+// accumulated.
+std::vector<Successor> ExpandAll(const Spec& spec, const State& state,
+                                 CoverageStats* coverage,
+                                 obs::ExplorationProfile* profile = nullptr);
 
 // Canonicalize `state` under the spec's symmetry declaration (identity if
 // none): the minimum state under the value order across all permutations of
@@ -27,12 +39,20 @@ State Canonicalize(const Spec& spec, const State& state);
 // Fingerprint of the (optionally canonicalized) state.
 uint64_t Fingerprint(const Spec& spec, const State& state, bool use_symmetry);
 
-// Find the first violated state invariant; empty string if none.
-std::string CheckInvariants(const Spec& spec, const State& state);
+// Find the first violated state invariant; empty string if none. With a
+// profile, per-invariant check counts and nanos are recorded.
+std::string CheckInvariants(const Spec& spec, const State& state,
+                            obs::ExplorationProfile* profile = nullptr);
 
 // Find the first violated transition invariant on edge (prev -> next).
 std::string CheckTransitionInvariants(const Spec& spec, const State& prev,
-                                      const ActionLabel& label, const State& next);
+                                      const ActionLabel& label, const State& next,
+                                      obs::ExplorationProfile* profile = nullptr);
+
+// Initialize `profile` with the spec's action/invariant identity (names,
+// event kinds, declared branches). Engines call this once before exploring;
+// it is a no-op if profile is null.
+void InitProfileFromSpec(obs::ExplorationProfile* profile, const Spec& spec);
 
 }  // namespace sandtable
 

@@ -22,6 +22,24 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
   WalkResult result;
   CHECK(!spec.init_states.empty()) << "spec has no initial states";
   const obs::ExplorationMetrics m = obs::ExplorationMetrics::Bind(options.metrics);
+  obs::ExplorationProfile* profile = options.analytics;
+  if (profile != nullptr && !profile->initialized()) {
+    InitProfileFromSpec(profile, spec);
+  }
+  // Every exit path: bucket this walk's end depth into the histogram and sync
+  // newly interned branch names into the walk's coverage set.
+  auto finish = [&]() -> WalkResult& {
+    if (profile != nullptr) {
+      profile->RecordLevel(result.depth, 1);
+      std::vector<std::string> names;
+      profile->DrainNewBranches(&names);
+      for (std::string& n : names) {
+        result.coverage.branches.insert(std::move(n));
+      }
+    }
+    result.seconds = elapsed_s();
+    return result;
+  };
   obs::Add(m.walks);
   obs::TraceSpan walk_span("walk.run", "max_depth",
                            static_cast<int64_t>(options.max_depth));
@@ -33,7 +51,7 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
   if (options.check_invariants) {
     obs::PhaseTimer t(m, Phase::kInvariants);
     obs::Add(m.invariant_checks);
-    const std::string bad = CheckInvariants(spec, state);
+    const std::string bad = CheckInvariants(spec, state, profile);
     if (!bad.empty()) {
       Violation v;
       v.invariant = bad;
@@ -43,8 +61,7 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
       }
       result.violation = std::move(v);
       obs::Add(m.violations);
-      result.seconds = elapsed_s();
-      return result;
+      return finish();
     }
   }
 
@@ -69,7 +86,7 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
     {
       obs::PhaseTimer t(m, Phase::kExpand);
       obs::Add(m.expand_calls);
-      succs = ExpandAll(spec, state, &result.coverage);
+      succs = ExpandAll(spec, state, &result.coverage, profile);
     }
     // Honour the state constraint: successors outside the budget are not taken.
     std::erase_if(succs, [&](const Successor& s) { return !spec.WithinConstraint(s.state); });
@@ -85,8 +102,8 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
     if (options.check_transition_invariants) {
       obs::PhaseTimer t(m, Phase::kInvariants);
       obs::Add(m.transition_checks);
-      const std::string bad =
-          CheckTransitionInvariants(spec, state, chosen.label, chosen.state);
+      const std::string bad = CheckTransitionInvariants(spec, state, chosen.label,
+                                                        chosen.state, profile);
       if (!bad.empty()) {
         Violation v;
         v.invariant = bad;
@@ -100,8 +117,7 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
         obs::Add(m.violations);
         obs::TraceInstant("walk.violation", "depth",
                           static_cast<int64_t>(result.depth + 1));
-        result.seconds = elapsed_s();
-        return result;
+        return finish();
       }
     }
 
@@ -114,7 +130,7 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
     if (options.check_invariants) {
       obs::PhaseTimer t(m, Phase::kInvariants);
       obs::Add(m.invariant_checks);
-      const std::string bad = CheckInvariants(spec, state);
+      const std::string bad = CheckInvariants(spec, state, profile);
       if (!bad.empty()) {
         Violation v;
         v.invariant = bad;
@@ -126,13 +142,11 @@ WalkResult RandomWalk(const Spec& spec, const WalkOptions& options, Rng& rng) {
         obs::Add(m.violations);
         obs::TraceInstant("walk.violation", "depth",
                           static_cast<int64_t>(result.depth));
-        result.seconds = elapsed_s();
-        return result;
+        return finish();
       }
     }
   }
-  result.seconds = elapsed_s();
-  return result;
+  return finish();
 }
 
 }  // namespace sandtable

@@ -30,6 +30,10 @@ struct WalkOptions {
   // Record counters and per-phase timers here (src/obs/metrics.h). Borrowed,
   // may be null — a null registry costs nothing in the hot loop.
   obs::MetricsRegistry* metrics = nullptr;
+  // Per-action exploration analytics (src/obs/analytics.h). Borrowed, may be
+  // null. Share one profile across a batch of walks to aggregate: counts
+  // accumulate, and the depth histogram buckets walk end-depths.
+  obs::ExplorationProfile* analytics = nullptr;
   // Cooperative cancellation (src/util/stop_token.h), polled once per step.
   // Borrowed, may be null.
   const StopToken* stop = nullptr;

@@ -1,0 +1,399 @@
+#include "src/obs/analytics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "src/obs/metrics.h"
+#include "src/util/check.h"
+
+namespace sandtable {
+namespace obs {
+
+namespace {
+
+// Shared serialization field names, so ToJson/FromJson cannot drift.
+constexpr char kActions[] = "actions";
+constexpr char kInvariants[] = "invariants";
+constexpr char kTransitionInvariants[] = "transition_invariants";
+constexpr char kDepthHistogram[] = "depth_histogram";
+
+Json InvariantsToJson(const std::vector<std::string>& names,
+                      const std::vector<InvariantStats>& stats) {
+  JsonArray arr;
+  for (size_t i = 0; i < names.size(); ++i) {
+    JsonObject o;
+    o["name"] = Json(names[i]);
+    o["checks"] = Json(stats[i].checks);
+    o["ns"] = Json(stats[i].ns);
+    arr.emplace_back(Json(std::move(o)));
+  }
+  return Json(std::move(arr));
+}
+
+bool InvariantsFromJson(const Json& arr, std::vector<std::string>* names,
+                        std::vector<InvariantStats>* stats) {
+  if (!arr.is_array()) {
+    return false;
+  }
+  for (const Json& e : arr.as_array()) {
+    if (!e.is_object() || !e["name"].is_string() || !e["checks"].is_int() ||
+        !e["ns"].is_int()) {
+      return false;
+    }
+    names->push_back(e["name"].as_string());
+    InvariantStats s;
+    s.checks = static_cast<uint64_t>(e["checks"].as_int());
+    s.ns = static_cast<uint64_t>(e["ns"].as_int());
+    stats->push_back(s);
+  }
+  return true;
+}
+
+}  // namespace
+
+void ExplorationProfile::Init(std::vector<ActionInfo> actions,
+                              std::vector<std::string> invariants,
+                              std::vector<std::string> transition_invariants) {
+  *this = ExplorationProfile();
+  actions_ = std::move(actions);
+  invariant_names_ = std::move(invariants);
+  transition_invariant_names_ = std::move(transition_invariants);
+  stats_.resize(actions_.size());
+  branches_.resize(actions_.size());
+  drained_.resize(actions_.size(), 0);
+  invariants_.resize(invariant_names_.size());
+  transition_invariants_.resize(transition_invariant_names_.size());
+  initialized_ = true;
+}
+
+void ExplorationProfile::RecordLevel(uint64_t depth, uint64_t width) {
+  if (wave_widths_.size() <= depth) {
+    wave_widths_.resize(depth + 1, 0);
+  }
+  wave_widths_[depth] += width;
+}
+
+void ExplorationProfile::MergeCounts(const ExplorationProfile& other) {
+  CHECK(initialized_ && other.initialized_)
+      << "MergeCounts on uninitialized profile";
+  CHECK(actions_.size() == other.actions_.size() &&
+        invariant_names_.size() == other.invariant_names_.size() &&
+        transition_invariant_names_.size() ==
+            other.transition_invariant_names_.size())
+      << "MergeCounts across profiles from different specs";
+  for (size_t i = 0; i < actions_.size(); ++i) {
+    CHECK(actions_[i].name == other.actions_[i].name)
+        << "MergeCounts action mismatch at " << i;
+    stats_[i].enabled += other.stats_[i].enabled;
+    stats_[i].fired += other.stats_[i].fired;
+    stats_[i].fanout_max = std::max(stats_[i].fanout_max, other.stats_[i].fanout_max);
+    stats_[i].duplicates += other.stats_[i].duplicates;
+    stats_[i].expand_ns += other.stats_[i].expand_ns;
+    for (const BranchHits& b : other.branches_[i]) {
+      bool found = false;
+      for (BranchHits& mine : branches_[i]) {
+        if (mine.id == b.id) {
+          mine.hits += b.hits;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        branches_[i].push_back(b);
+      }
+    }
+  }
+  for (size_t i = 0; i < invariants_.size(); ++i) {
+    invariants_[i].checks += other.invariants_[i].checks;
+    invariants_[i].ns += other.invariants_[i].ns;
+  }
+  for (size_t i = 0; i < transition_invariants_.size(); ++i) {
+    transition_invariants_[i].checks += other.transition_invariants_[i].checks;
+    transition_invariants_[i].ns += other.transition_invariants_[i].ns;
+  }
+  for (size_t d = 0; d < other.wave_widths_.size(); ++d) {
+    RecordLevel(d, other.wave_widths_[d]);
+  }
+  states_expanded_ += other.states_expanded_;
+  commuting_delivery_pairs_ += other.commuting_delivery_pairs_;
+  delivery_pairs_ += other.delivery_pairs_;
+  distinct_states_ = std::max(distinct_states_, other.distinct_states_);
+}
+
+void ExplorationProfile::ResetCounts() {
+  for (ActionStats& s : stats_) {
+    s = ActionStats{};
+  }
+  for (std::vector<BranchHits>& bs : branches_) {
+    for (BranchHits& b : bs) {
+      b.hits = 0;
+    }
+  }
+  for (InvariantStats& s : invariants_) {
+    s = InvariantStats{};
+  }
+  for (InvariantStats& s : transition_invariants_) {
+    s = InvariantStats{};
+  }
+  wave_widths_.clear();
+  states_expanded_ = 0;
+  distinct_states_ = 0;
+  commuting_delivery_pairs_ = 0;
+  delivery_pairs_ = 0;
+}
+
+void ExplorationProfile::DrainNewBranches(std::vector<std::string>* out) {
+  for (size_t i = 0; i < branches_.size(); ++i) {
+    for (size_t b = drained_[i]; b < branches_[i].size(); ++b) {
+      out->push_back(actions_[i].name + "/" + branches_[i][b].id);
+    }
+    drained_[i] = branches_[i].size();
+  }
+}
+
+uint64_t ExplorationProfile::TotalFired() const {
+  uint64_t n = 0;
+  for (const ActionStats& s : stats_) {
+    n += s.fired;
+  }
+  return n;
+}
+
+uint64_t ExplorationProfile::TotalDuplicates() const {
+  uint64_t n = 0;
+  for (const ActionStats& s : stats_) {
+    n += s.duplicates;
+  }
+  return n;
+}
+
+double ExplorationProfile::CollisionProbability(uint64_t n) {
+  // 1 - exp(-n^2 / 2^65); expm1 keeps precision for the tiny probabilities
+  // that matter in practice.
+  const double x = static_cast<double>(n);
+  return -std::expm1(-(x * x) / std::ldexp(1.0, 65));
+}
+
+Json ExplorationProfile::ToJson() const {
+  JsonArray actions;
+  std::vector<std::string> zero_hit_actions;
+  std::vector<std::string> zero_hit_branches;
+  for (size_t i = 0; i < actions_.size(); ++i) {
+    const ActionStats& s = stats_[i];
+    JsonObject a;
+    a["action"] = Json(actions_[i].name);
+    a["kind"] = Json(actions_[i].kind);
+    a["enabled"] = Json(s.enabled);
+    a["fired"] = Json(s.fired);
+    a["fanout_max"] = Json(s.fanout_max);
+    a["fanout_avg"] =
+        Json(s.enabled == 0 ? 0.0
+                            : static_cast<double>(s.fired) / static_cast<double>(s.enabled));
+    a["duplicates"] = Json(s.duplicates);
+    a["duplicate_rate"] =
+        Json(s.fired == 0 ? 0.0
+                          : static_cast<double>(s.duplicates) / static_cast<double>(s.fired));
+    a["expand_ns"] = Json(s.expand_ns);
+    JsonArray branches;
+    for (const BranchHits& b : branches_[i]) {
+      JsonObject bo;
+      bo["id"] = Json(b.id);
+      bo["hits"] = Json(b.hits);
+      branches.emplace_back(Json(std::move(bo)));
+    }
+    a["branches"] = Json(std::move(branches));
+    if (!actions_[i].declared_branches.empty()) {
+      JsonArray declared;
+      for (const std::string& d : actions_[i].declared_branches) {
+        declared.emplace_back(d);
+        bool hit = false;
+        for (const BranchHits& b : branches_[i]) {
+          if (b.id == d && b.hits > 0) {
+            hit = true;
+            break;
+          }
+        }
+        if (!hit) {
+          zero_hit_branches.push_back(actions_[i].name + "/" + d);
+        }
+      }
+      a["declared_branches"] = Json(std::move(declared));
+    }
+    actions.emplace_back(Json(std::move(a)));
+    if (s.fired == 0) {
+      zero_hit_actions.push_back(actions_[i].name);
+    }
+  }
+
+  JsonArray depth_hist;
+  for (uint64_t w : wave_widths_) {
+    depth_hist.emplace_back(w);
+  }
+
+  const uint64_t fired = TotalFired();
+  const uint64_t dups = TotalDuplicates();
+
+  JsonObject o;
+  o["schema_version"] = Json(static_cast<int64_t>(1));
+  o[kActions] = Json(std::move(actions));
+  o[kInvariants] = InvariantsToJson(invariant_names_, invariants_);
+  o[kTransitionInvariants] =
+      InvariantsToJson(transition_invariant_names_, transition_invariants_);
+  o[kDepthHistogram] = Json(std::move(depth_hist));
+  o["states_expanded"] = Json(states_expanded_);
+  o["distinct_states"] = Json(distinct_states_);
+  o["successors"] = Json(fired);
+  o["duplicates"] = Json(dups);
+  o["duplicate_rate"] =
+      Json(fired == 0 ? 0.0 : static_cast<double>(dups) / static_cast<double>(fired));
+  // Revisit rate: fraction of distinct states reached by more than one
+  // transition. Every duplicate successor is an extra in-edge on an already
+  // known state, so `duplicates / distinct` bounds the average extra
+  // in-degree; states with in-degree > 1 are at most min(duplicates, distinct).
+  o["revisit_rate"] =
+      Json(distinct_states_ == 0
+               ? 0.0
+               : static_cast<double>(std::min(dups, distinct_states_)) /
+                     static_cast<double>(distinct_states_));
+  o["collision_probability"] = Json(CollisionProbability(distinct_states_));
+  o["delivery_pairs"] = Json(delivery_pairs_);
+  o["commuting_delivery_pairs"] = Json(commuting_delivery_pairs_);
+  JsonArray zha;
+  for (std::string& s : zero_hit_actions) {
+    zha.emplace_back(std::move(s));
+  }
+  o["zero_hit_actions"] = Json(std::move(zha));
+  JsonArray zhb;
+  for (std::string& s : zero_hit_branches) {
+    zhb.emplace_back(std::move(s));
+  }
+  o["zero_hit_branches"] = Json(std::move(zhb));
+  return Json(std::move(o));
+}
+
+Result<ExplorationProfile> ExplorationProfile::FromJson(const Json& j) {
+  using R = Result<ExplorationProfile>;
+  if (!j.is_object() || !j[kActions].is_array() ||
+      !j[kDepthHistogram].is_array() || !j["states_expanded"].is_int() ||
+      !j["distinct_states"].is_int()) {
+    return R::Error("malformed exploration profile");
+  }
+  ExplorationProfile p;
+  for (const Json& a : j[kActions].as_array()) {
+    if (!a.is_object() || !a["action"].is_string() || !a["enabled"].is_int() ||
+        !a["fired"].is_int() || !a["fanout_max"].is_int() ||
+        !a["duplicates"].is_int() || !a["expand_ns"].is_int() ||
+        !a["branches"].is_array()) {
+      return R::Error("malformed exploration profile action");
+    }
+    ActionInfo info;
+    info.name = a["action"].as_string();
+    info.kind = a["kind"].is_string() ? a["kind"].as_string() : "";
+    if (a["declared_branches"].is_array()) {
+      for (const Json& d : a["declared_branches"].as_array()) {
+        if (!d.is_string()) {
+          return R::Error("malformed exploration profile declared branch");
+        }
+        info.declared_branches.push_back(d.as_string());
+      }
+    }
+    ActionStats s;
+    s.enabled = static_cast<uint64_t>(a["enabled"].as_int());
+    s.fired = static_cast<uint64_t>(a["fired"].as_int());
+    s.fanout_max = static_cast<uint64_t>(a["fanout_max"].as_int());
+    s.duplicates = static_cast<uint64_t>(a["duplicates"].as_int());
+    s.expand_ns = static_cast<uint64_t>(a["expand_ns"].as_int());
+    std::vector<BranchHits> branches;
+    for (const Json& b : a["branches"].as_array()) {
+      if (!b.is_object() || !b["id"].is_string() || !b["hits"].is_int()) {
+        return R::Error("malformed exploration profile branch");
+      }
+      branches.push_back(
+          BranchHits{b["id"].as_string(), static_cast<uint64_t>(b["hits"].as_int())});
+    }
+    p.actions_.push_back(std::move(info));
+    p.stats_.push_back(s);
+    p.branches_.push_back(std::move(branches));
+  }
+  if (!InvariantsFromJson(j[kInvariants], &p.invariant_names_, &p.invariants_) ||
+      !InvariantsFromJson(j[kTransitionInvariants], &p.transition_invariant_names_,
+                          &p.transition_invariants_)) {
+    return R::Error("malformed exploration profile invariants");
+  }
+  for (const Json& w : j[kDepthHistogram].as_array()) {
+    if (!w.is_int()) {
+      return R::Error("malformed exploration profile depth histogram");
+    }
+    p.wave_widths_.push_back(static_cast<uint64_t>(w.as_int()));
+  }
+  p.drained_.resize(p.actions_.size(), 0);
+  p.states_expanded_ = static_cast<uint64_t>(j["states_expanded"].as_int());
+  p.distinct_states_ = static_cast<uint64_t>(j["distinct_states"].as_int());
+  if (j["delivery_pairs"].is_int()) {
+    p.delivery_pairs_ = static_cast<uint64_t>(j["delivery_pairs"].as_int());
+  }
+  if (j["commuting_delivery_pairs"].is_int()) {
+    p.commuting_delivery_pairs_ =
+        static_cast<uint64_t>(j["commuting_delivery_pairs"].as_int());
+  }
+  p.initialized_ = true;
+  return p;
+}
+
+Json ExplorationProfile::SummaryJson(size_t top_n) const {
+  std::vector<size_t> order(actions_.size());
+  for (size_t i = 0; i < order.size(); ++i) {
+    order[i] = i;
+  }
+  std::sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+    if (stats_[a].expand_ns != stats_[b].expand_ns) {
+      return stats_[a].expand_ns > stats_[b].expand_ns;
+    }
+    return actions_[a].name < actions_[b].name;
+  });
+  JsonArray top;
+  for (size_t i = 0; i < order.size() && i < top_n; ++i) {
+    const size_t idx = order[i];
+    JsonObject a;
+    a["action"] = Json(actions_[idx].name);
+    a["fired"] = Json(stats_[idx].fired);
+    a["expand_ns"] = Json(stats_[idx].expand_ns);
+    top.emplace_back(Json(std::move(a)));
+  }
+  const uint64_t fired = TotalFired();
+  const uint64_t dups = TotalDuplicates();
+  JsonObject o;
+  o["top_actions"] = Json(std::move(top));
+  o["duplicate_rate"] =
+      Json(fired == 0 ? 0.0 : static_cast<double>(dups) / static_cast<double>(fired));
+  o["collision_probability"] = Json(CollisionProbability(distinct_states_));
+  return Json(std::move(o));
+}
+
+void ExplorationProfile::FlushToMetrics(MetricsRegistry* registry) const {
+  if (registry == nullptr) {
+    return;
+  }
+  for (size_t i = 0; i < actions_.size(); ++i) {
+    const std::string& name = actions_[i].name;
+    registry->GetCounter("analytics.action.fired." + name).Add(stats_[i].fired);
+    registry->GetCounter("analytics.action.duplicates." + name)
+        .Add(stats_[i].duplicates);
+    registry->GetCounter("analytics.action.expand_ns." + name)
+        .Add(stats_[i].expand_ns);
+  }
+  for (size_t i = 0; i < invariant_names_.size(); ++i) {
+    registry->GetCounter("analytics.invariant.ns." + invariant_names_[i])
+        .Add(invariants_[i].ns);
+  }
+  for (size_t i = 0; i < transition_invariant_names_.size(); ++i) {
+    registry
+        ->GetCounter("analytics.transition_invariant.ns." +
+                     transition_invariant_names_[i])
+        .Add(transition_invariants_[i].ns);
+  }
+}
+
+}  // namespace obs
+}  // namespace sandtable

@@ -1,0 +1,187 @@
+// State-space analytics: a per-action exploration profiler that explains
+// where the states (and the time) go.
+//
+// An ExplorationProfile accumulates, per spec action: enabled/fired counts,
+// successor fanout (sum + max), duplicate-successor counts against the
+// fingerprint set, cumulative expansion nanoseconds, and per-branch hit
+// counts; plus per-invariant check cost, a depth/wave-width histogram, the
+// revisit rate, an estimated fingerprint-collision probability (TLC's
+// 1 - exp(-n²/2·2⁶⁴) formula), and a commuting-delivery-pair counter that
+// quantifies the partial-order-reduction opportunity.
+//
+// Collection follows the CoverageStats pattern: each parallel worker owns a
+// private profile and the coordinator merges at the BFS level barrier (or at
+// walk end), so the hot path never synchronizes. The profile is engine-owned
+// state, not a spec-layer concept — engines Init() it from the spec's action/
+// invariant names and record through dense indices; a null profile pointer
+// costs nothing.
+//
+// Branch hits are interned per action into an append-only (id, hits) table
+// with a linear string_view scan, so a repeat hit is allocation-free. This
+// replaces the per-hit `action + "/" + id` string construction and
+// std::set insert the coverage path used to pay, and DrainNewBranches()
+// syncs newly seen names into CoverageStats::branches once per level.
+#ifndef SANDTABLE_SRC_OBS_ANALYTICS_H_
+#define SANDTABLE_SRC_OBS_ANALYTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/json.h"
+#include "src/util/result.h"
+
+namespace sandtable {
+namespace obs {
+
+class MetricsRegistry;
+
+// Static identity of one action, captured at Init. `kind` is the
+// EventKindName string; `declared_branches` lists the branch ids the spec
+// author expects the action to exercise (zero-hit declared branches become
+// coverage warnings).
+struct ActionInfo {
+  std::string name;
+  std::string kind;
+  std::vector<std::string> declared_branches;
+};
+
+// Dense per-action counters (hot path: plain adds, no atomics).
+struct ActionStats {
+  uint64_t enabled = 0;     // expansions that emitted >= 1 successor
+  uint64_t fired = 0;       // successors emitted (sum of fanout)
+  uint64_t fanout_max = 0;  // largest fanout from a single expansion
+  uint64_t duplicates = 0;  // successors already in the fingerprint set
+  uint64_t expand_ns = 0;   // cumulative wall time inside expand()
+};
+
+struct InvariantStats {
+  uint64_t checks = 0;
+  uint64_t ns = 0;
+};
+
+class ExplorationProfile {
+ public:
+  // Fix the action/invariant identity. Counts start at zero. Calling Init on
+  // an initialized profile resets everything.
+  void Init(std::vector<ActionInfo> actions, std::vector<std::string> invariants,
+            std::vector<std::string> transition_invariants);
+  bool initialized() const { return initialized_; }
+  size_t num_actions() const { return actions_.size(); }
+
+  // ---- Hot-path recording (one profile per thread; no synchronization) ----
+
+  // One ExpandAll evaluation of action `idx`: `emitted` successors in `ns`.
+  void RecordExpand(uint32_t idx, uint64_t emitted, uint64_t ns) {
+    ActionStats& a = stats_[idx];
+    if (emitted > 0) {
+      ++a.enabled;
+      a.fired += emitted;
+      if (emitted > a.fanout_max) {
+        a.fanout_max = emitted;
+      }
+    }
+    a.expand_ns += ns;
+  }
+  // One fully expanded state (one ExpandAll call).
+  void RecordState() { ++states_expanded_; }
+  // A successor of action `idx` hit the fingerprint set.
+  void RecordDuplicate(uint32_t idx) { ++stats_[idx].duplicates; }
+  // Branch `id` of action `idx` was exercised. Interned: repeat hits are a
+  // linear string_view scan over the action's (typically tiny) branch table.
+  void RecordBranch(uint32_t idx, std::string_view id) {
+    for (BranchHits& b : branches_[idx]) {
+      if (b.id == id) {
+        ++b.hits;
+        return;
+      }
+    }
+    branches_[idx].push_back(BranchHits{std::string(id), 1});
+  }
+  void RecordInvariant(uint32_t idx, uint64_t ns) {
+    ++invariants_[idx].checks;
+    invariants_[idx].ns += ns;
+  }
+  void RecordTransitionInvariant(uint32_t idx, uint64_t ns) {
+    ++transition_invariants_[idx].checks;
+    transition_invariants_[idx].ns += ns;
+  }
+  // Delivery pairs enabled at one state: `commuting` of `total` message pairs
+  // target different destinations (the POR opportunity).
+  void RecordDeliveryPairs(uint64_t commuting, uint64_t total) {
+    commuting_delivery_pairs_ += commuting;
+    delivery_pairs_ += total;
+  }
+
+  // ---- Coordinator-side (level barrier / walk end) ----
+
+  // BFS wave width at `depth` (+= semantics: resumed runs and walk depths
+  // accumulate). Grows the histogram as needed.
+  void RecordLevel(uint64_t depth, uint64_t width);
+  // Denominator of the collision-probability estimate; set before ToJson.
+  void SetDistinctStates(uint64_t n) { distinct_states_ = n; }
+  uint64_t distinct_states() const { return distinct_states_; }
+
+  // Add `other`'s counts into this profile. Both must be initialized from the
+  // same spec (identical action/invariant name vectors, checked).
+  void MergeCounts(const ExplorationProfile& other);
+  // Zero all counts, keeping the action identity and the interned branch-name
+  // slots so a worker profile stays allocation-free across levels.
+  void ResetCounts();
+  // Append "Action/branch" names interned since the last drain (per-action
+  // high-water mark). O(new names) — the once-per-level sync into
+  // CoverageStats::branches.
+  void DrainNewBranches(std::vector<std::string>* out);
+
+  // ---- Output ----
+
+  // Lossless serialization plus derived fields (fanout_avg, duplicate_rate,
+  // revisit_rate, collision_probability, zero_hit_actions/branches).
+  Json ToJson() const;
+  static Result<ExplorationProfile> FromJson(const Json& j);
+  // Compact top-N-actions-by-expand-time summary for progress lines and
+  // serve frames.
+  Json SummaryJson(size_t top_n) const;
+  // Export per-action counters into a metrics registry (Prometheus surface):
+  // analytics.action.{fired,duplicates,expand_ns}.<name> and
+  // analytics.invariant.ns.<name>.
+  void FlushToMetrics(MetricsRegistry* registry) const;
+
+  // TLC's estimate that at least two of `n` distinct states collided in a
+  // 64-bit fingerprint space: 1 - exp(-n²/2·2⁶⁴).
+  static double CollisionProbability(uint64_t n);
+
+  const std::vector<ActionInfo>& actions() const { return actions_; }
+  const ActionStats& action_stats(size_t i) const { return stats_[i]; }
+  uint64_t states_expanded() const { return states_expanded_; }
+  uint64_t TotalFired() const;
+  uint64_t TotalDuplicates() const;
+  const std::vector<uint64_t>& wave_widths() const { return wave_widths_; }
+
+ private:
+  struct BranchHits {
+    std::string id;
+    uint64_t hits = 0;
+  };
+
+  bool initialized_ = false;
+  std::vector<ActionInfo> actions_;
+  std::vector<ActionStats> stats_;
+  std::vector<std::vector<BranchHits>> branches_;
+  std::vector<size_t> drained_;  // per-action branch high-water mark
+  std::vector<std::string> invariant_names_;
+  std::vector<std::string> transition_invariant_names_;
+  std::vector<InvariantStats> invariants_;
+  std::vector<InvariantStats> transition_invariants_;
+  std::vector<uint64_t> wave_widths_;  // index = depth, value = summed width
+  uint64_t states_expanded_ = 0;
+  uint64_t distinct_states_ = 0;
+  uint64_t commuting_delivery_pairs_ = 0;
+  uint64_t delivery_pairs_ = 0;
+};
+
+}  // namespace obs
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_OBS_ANALYTICS_H_

@@ -37,6 +37,9 @@ Json ProgressSample::ToJson() const {
     shards["max_load_factor"] = Json(shard_load->max_load_factor);
     o["shards"] = Json(std::move(shards));
   }
+  if (!analytics.is_null()) {
+    o["analytics"] = analytics;
+  }
   return Json(std::move(o));
 }
 

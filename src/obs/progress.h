@@ -6,7 +6,9 @@
 //    "frontier":..,"depth":..,"states_per_sec":..,"recent_states_per_sec":..,
 //    "transitions":..,"event_kinds":..,"branches":..,"deadlocks":..,
 //    "workers":[q0,q1,...],            // per-worker next-frontier depths (parallel only)
-//    "shards":{"count":..,"min":..,"max":..,"avg":..,"max_load_factor":..}}
+//    "shards":{"count":..,"min":..,"max":..,"avg":..,"max_load_factor":..},
+//    "analytics":{"top_actions":[{"action":..,"fired":..,"expand_ns":..},...],
+//                 "duplicate_rate":..,"collision_probability":..}}  // with --analytics
 //
 // The reporter owns the cadence (every N states and/or every T seconds); the
 // engines only offer samples at their natural sampling points. Emission goes
@@ -47,6 +49,9 @@ struct ProgressSample {
   uint64_t branches = 0;
   std::vector<uint64_t> worker_queue_depths;  // empty for serial engines
   std::optional<ShardLoad> shard_load;
+  // Top-N-actions analytics summary (obs::ExplorationProfile::SummaryJson);
+  // omitted from the line when null.
+  Json analytics;
 
   Json ToJson() const;
 };

@@ -1,8 +1,10 @@
 #include "src/obs/report.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdarg>
 #include <cstdio>
+#include <vector>
 
 #include "src/util/run_id.h"
 
@@ -51,6 +53,109 @@ void AppendLine(std::string& out, const char* fmt, ...) {
   va_end(args);
   out += buf;
   out += '\n';
+}
+
+// The "hot actions / coverage holes" section of a run report, rendered from
+// an obs::ExplorationProfile::ToJson document (result["analytics"]).
+void AppendAnalytics(std::string& out, const Json& a) {
+  if (!a.is_object() || !a["actions"].is_array()) {
+    return;
+  }
+  AppendLine(out, "state-space analytics:");
+  AppendLine(out, "  hot actions (by expand time):");
+  AppendLine(out, "  %-24s %-9s %9s %9s %7s %7s %8s %10s", "action", "kind",
+             "enabled", "fired", "fan.avg", "fan.max", "dup.rate", "time");
+  // Sort by cumulative expansion time, hottest first; cap the table.
+  std::vector<const Json*> actions;
+  for (const Json& act : a["actions"].as_array()) {
+    actions.push_back(&act);
+  }
+  std::sort(actions.begin(), actions.end(), [](const Json* x, const Json* y) {
+    return (*x)["expand_ns"].as_int() > (*y)["expand_ns"].as_int();
+  });
+  constexpr size_t kMaxRows = 12;
+  for (size_t i = 0; i < actions.size() && i < kMaxRows; ++i) {
+    const Json& act = *actions[i];
+    AppendLine(out, "  %-24s %-9s %9" PRId64 " %9" PRId64 " %7.2f %7" PRId64
+                    " %7.1f%% %10s",
+               act["action"].as_string().c_str(),
+               act["kind"].is_string() ? act["kind"].as_string().c_str() : "?",
+               act["enabled"].as_int(), act["fired"].as_int(),
+               act["fanout_avg"].is_number() ? act["fanout_avg"].as_double() : 0.0,
+               act["fanout_max"].as_int(),
+               (act["duplicate_rate"].is_number() ? act["duplicate_rate"].as_double()
+                                                  : 0.0) *
+                   100.0,
+               HumanNs(act["expand_ns"].as_double()).c_str());
+  }
+  if (actions.size() > kMaxRows) {
+    AppendLine(out, "  ... %zu more actions (see --analytics-out JSON)",
+               actions.size() - kMaxRows);
+  }
+  for (const char* key : {"invariants", "transition_invariants"}) {
+    const Json& invs = a[key];
+    if (!invs.is_array() || invs.size() == 0) {
+      continue;
+    }
+    AppendLine(out, "  %s:", key);
+    for (const Json& inv : invs.as_array()) {
+      const int64_t checks = inv["checks"].as_int();
+      const double ns = inv["ns"].as_double();
+      AppendLine(out, "  %-24s checks %-12" PRId64 " total %-10s mean %s",
+                 inv["name"].as_string().c_str(), checks, HumanNs(ns).c_str(),
+                 HumanNs(checks > 0 ? ns / static_cast<double>(checks) : 0).c_str());
+    }
+  }
+  if (a["depth_histogram"].is_array() && a["depth_histogram"].size() > 0) {
+    const Json& hist = a["depth_histogram"];
+    std::string widths;
+    constexpr size_t kMaxBuckets = 16;
+    for (size_t d = 0; d < hist.size() && d < kMaxBuckets; ++d) {
+      if (d > 0) {
+        widths += ' ';
+      }
+      widths += std::to_string(d) + ":" + std::to_string(hist[d].as_int());
+    }
+    if (hist.size() > kMaxBuckets) {
+      widths += " ...";
+    }
+    AppendLine(out, "  %-28s %s  (%zu levels)", "wave widths (depth:states)",
+               widths.c_str(), hist.size());
+  }
+  if (a["duplicate_rate"].is_number()) {
+    AppendLine(out, "  %-28s %.1f%%", "duplicate successor rate",
+               a["duplicate_rate"].as_double() * 100.0);
+  }
+  if (a["revisit_rate"].is_number()) {
+    AppendLine(out, "  %-28s %.1f%%", "revisit rate",
+               a["revisit_rate"].as_double() * 100.0);
+  }
+  if (a["collision_probability"].is_number()) {
+    AppendLine(out, "  %-28s %.3g", "collision probability",
+               a["collision_probability"].as_double());
+  }
+  if (a["delivery_pairs"].is_number() && a["delivery_pairs"].as_int() > 0) {
+    const double total = a["delivery_pairs"].as_double();
+    const double commuting = a["commuting_delivery_pairs"].as_double();
+    AppendLine(out,
+               "  %-28s %.0f of %.0f delivery pairs (%.1f%%) commute (POR "
+               "opportunity)",
+               "commuting deliveries", commuting, total,
+               total > 0 ? commuting / total * 100.0 : 0.0);
+  }
+  if (a["zero_hit_actions"].is_array()) {
+    for (const Json& name : a["zero_hit_actions"].as_array()) {
+      AppendLine(out, "  WARNING: action %s never fired (coverage hole)",
+                 name.as_string().c_str());
+    }
+  }
+  if (a["zero_hit_branches"].is_array()) {
+    for (const Json& name : a["zero_hit_branches"].as_array()) {
+      AppendLine(out,
+                 "  WARNING: branch %s declared but never hit (coverage hole)",
+                 name.as_string().c_str());
+    }
+  }
 }
 
 }  // namespace
@@ -108,6 +213,8 @@ std::string ReportToText(const Json& report) {
     AppendLine(out, "  %-28s %" PRId64 " KiB", "peak_rss",
                report["peak_rss_kb"].as_int());
   }
+
+  AppendAnalytics(out, result["analytics"]);
 
   const Json& metrics = report["metrics"];
   if (!metrics.is_object()) {

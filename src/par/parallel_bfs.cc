@@ -77,6 +77,12 @@ struct WorkerOutput {
   std::vector<ViolationCandidate> candidates;
   CoverageStats coverage;
   uint64_t deadlocks = 0;
+  // Per-worker analytics slice (initialized iff analytics is enabled): merged
+  // into the main profile at the barrier, then count-reset so the interned
+  // branch tables keep their slots across levels. With analytics on, branch
+  // hits land here instead of coverage.branches, which turns the per-level
+  // coverage set merge under the barrier into a no-op.
+  obs::ExplorationProfile profile;
 };
 
 }  // namespace
@@ -127,6 +133,32 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
   };
 
   std::vector<WorkerOutput> outs(static_cast<size_t>(workers));
+  obs::ExplorationProfile* profile = base.analytics;
+  if (profile != nullptr) {
+    if (!profile->initialized()) {
+      InitProfileFromSpec(profile, spec);
+    }
+    for (WorkerOutput& out : outs) {
+      InitProfileFromSpec(&out.profile, spec);
+    }
+  }
+  // Barrier-side profile merge: fold each worker's slice into the main
+  // profile, zero the slices (keeping their interned branch slots), and sync
+  // newly seen branch names into the coverage set once per level.
+  auto merge_worker_profiles = [&]() {
+    if (profile == nullptr) {
+      return;
+    }
+    for (WorkerOutput& out : outs) {
+      profile->MergeCounts(out.profile);
+      out.profile.ResetCounts();
+    }
+    std::vector<std::string> names;
+    profile->DrainNewBranches(&names);
+    for (std::string& n : names) {
+      result.coverage.branches.insert(std::move(n));
+    }
+  };
 
   auto record_violation = [&](const std::string& invariant, bool is_transition,
                               std::vector<TraceStep> trace) {
@@ -175,6 +207,10 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
 
   // Single exit point, same semantics as serial BfsCheck's finalize.
   auto finalize = [&](uint64_t final_depth, bool frontier_drained) -> BfsResult& {
+    merge_worker_profiles();
+    if (profile != nullptr) {
+      profile->SetDistinctStates(distinct());
+    }
     for (WorkerOutput& out : outs) {
       result.coverage.Merge(out.coverage);
       result.deadlock_states += out.deadlocks;
@@ -207,6 +243,14 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
       CHECK(cov.ok()) << "resume: " << cov.error();
       result.coverage = std::move(cov).value();
     }
+    if (profile != nullptr && !meta.analytics.is_null()) {
+      auto prior = obs::ExplorationProfile::FromJson(meta.analytics);
+      CHECK(prior.ok()) << "resume: " << prior.error();
+      profile->MergeCounts(prior.value());
+      // The merged branch names are already in the restored coverage set.
+      std::vector<std::string> drained;
+      profile->DrainNewBranches(&drained);
+    }
     const Status st = store::ForEachSegmentEntry(
         resume->frontier_path, [&](uint64_t fp, State&& state) -> Status {
           push_cur(fp, std::move(state));
@@ -226,7 +270,7 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
       }
       obs::Add(m.distinct_states);
       obs::Add(m.invariant_checks);
-      const std::string bad = CheckInvariants(spec, init);
+      const std::string bad = CheckInvariants(spec, init, profile);
       if (!bad.empty()) {
         record_violation(bad, false, {TraceStep{ActionLabel{}, init}});
         if (base.stop_at_first_violation) {
@@ -254,6 +298,7 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
     par::WorkQueue queue(items.size(), options.chunk_size);
     pool.RunLevel([&](int w) {
       WorkerOutput& out = outs[static_cast<size_t>(w)];
+      obs::ExplorationProfile* wp = profile != nullptr ? &out.profile : nullptr;
       // One lane-local span per wave: in the trace, a worker's life is
       // alternating worker.wave (busy) and barrier.wait (idle) spans.
       obs::TraceSpan wave_span("worker.wave", "worker", w, "items",
@@ -267,7 +312,7 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
           {
             obs::PhaseTimer t(m, Phase::kExpand);
             obs::Add(m.expand_calls);
-            succs = ExpandAll(spec, item.state, &out.coverage);
+            succs = ExpandAll(spec, item.state, &out.coverage, wp);
           }
           if (succs.empty()) {
             ++out.deadlocks;
@@ -289,7 +334,8 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
             {
               obs::PhaseTimer t(m, Phase::kInvariants);
               obs::Add(m.transition_checks);
-              bad_edge = CheckTransitionInvariants(spec, item.state, s.label, s.state);
+              bad_edge = CheckTransitionInvariants(spec, item.state, s.label,
+                                                   s.state, wp);
             }
             if (!bad_edge.empty()) {
               out.candidates.push_back(
@@ -303,6 +349,9 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
             }
             if (duplicate) {
               obs::Add(m.duplicates);
+              if (wp != nullptr) {
+                wp->RecordDuplicate(s.action_index);
+              }
               continue;
             }
             obs::Add(m.distinct_states);
@@ -310,7 +359,7 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
             {
               obs::PhaseTimer t(m, Phase::kInvariants);
               obs::Add(m.invariant_checks);
-              bad = CheckInvariants(spec, s.state);
+              bad = CheckInvariants(spec, s.state, wp);
             }
             if (!bad.empty()) {
               out.candidates.push_back(
@@ -353,6 +402,22 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
       deadlocks += out.deadlocks;
     }
     meta.deadlock_states = deadlocks;
+    if (profile != nullptr) {
+      // Copy-merge the live worker slices (mirrors the coverage copy-merge
+      // above): the cancel-path checkpoint runs before the barrier merge, the
+      // level-boundary one after — merging already-reset slices is a no-op.
+      obs::ExplorationProfile prof = *profile;
+      for (const WorkerOutput& out : outs) {
+        prof.MergeCounts(out.profile);
+      }
+      prof.SetDistinctStates(distinct());
+      std::vector<std::string> names;
+      prof.DrainNewBranches(&names);
+      for (std::string& n : names) {
+        cov.branches.insert(std::move(n));
+      }
+      meta.analytics = prof.ToJson();
+    }
     meta.coverage = cov.ToFullJson();
     if (base.metrics != nullptr) {
       meta.metrics = base.metrics->Snapshot().ToJson();
@@ -372,6 +437,9 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
                               static_cast<int64_t>(depth), "frontier",
                               static_cast<int64_t>(frontier_size()));
     obs::SetMax(m.frontier_peak, static_cast<int64_t>(frontier_size()));
+    if (profile != nullptr) {
+      profile->RecordLevel(depth, frontier_size());
+    }
 
     if (use_spool) {
       // Bounded waves: decode up to max_resident states, expand them, flush
@@ -438,6 +506,8 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
     }
 
     // ---- Level barrier: the coordinator owns everything again. -------------
+
+    merge_worker_profiles();
 
     // Arbitrate this level's violation candidates and reconstruct the winner's
     // trace serially over the sharded parent pointers.
@@ -520,6 +590,11 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
             load.sizes.empty() ? 0.0
                                : static_cast<double>(total) / static_cast<double>(load.sizes.size());
         sample.shard_load = shard_load;
+      }
+      sample.event_kinds = result.coverage.DistinctEventKinds();
+      sample.branches = result.coverage.branches.size();
+      if (profile != nullptr) {
+        sample.analytics = profile->SummaryJson(3);
       }
       base.progress->Emit(sample);
     }

@@ -346,6 +346,10 @@ Action ElectionTimeoutAction(const BP& b) {
   Action a;
   a.name = "Timeout";
   a.kind = EventKind::kTimeout;
+  // The campaign path this profile is expected to exercise; a run that never
+  // hits it (e.g. a budget with no timeouts left) shows up as a coverage-hole
+  // warning in the analytics report.
+  a.declared_branches = {b->p.features.prevote ? "prevote_round" : "start_election"};
   a.expand = [b](const State& s, ActionContext& ctx) {
     if (Counter(s, "timeouts") >= b->p.budget.max_timeouts) {
       return;
@@ -1109,8 +1113,14 @@ Spec MakeRaftSpec(const RaftProfile& profile) {
 
   spec.actions.push_back(ElectionTimeoutAction(b));
   spec.actions.push_back(HeartbeatAction(b));
-  spec.actions.push_back(DeliveryAction(b, "HandleRequestVoteRequest", kMsgRequestVote,
-                                        HandleRequestVote));
+  {
+    Action vote = DeliveryAction(b, "HandleRequestVoteRequest", kMsgRequestVote,
+                                 HandleRequestVote);
+    // Every exploration worth trusting sees both verdicts; a missing one is
+    // flagged as a coverage hole by the analytics report.
+    vote.declared_branches = {"grant_vote", "reject_vote"};
+    spec.actions.push_back(std::move(vote));
+  }
   spec.actions.push_back(DeliveryAction(b, "HandleRequestVoteResponse", kMsgRequestVoteResp,
                                         HandleRequestVoteResp));
   spec.actions.push_back(DeliveryAction(b, "HandleAppendEntriesRequest", kMsgAppendEntries,

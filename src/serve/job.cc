@@ -18,6 +18,7 @@
 #include "src/mc/bfs.h"
 #include "src/mc/random_walk.h"
 #include "src/minimize/minimize.h"
+#include "src/obs/analytics.h"
 #include "src/obs/progress.h"
 #include "src/par/parallel_bfs.h"
 #include "src/raftspec/raft_params.h"
@@ -154,9 +155,10 @@ const char* const kCommonKeys[] = {"system",         "bug",
                                    "progress_every", "progress_every_s",
                                    "run_id"};
 const char* const kCheckKeys[] = {"workers", "max_states", "max_depth",
-                                  "time_budget_ms"};
+                                  "time_budget_ms", "analytics"};
 const char* const kSimulateKeys[] = {"traces", "seed", "walk_depth",
-                                     "check_invariants", "time_budget_ms"};
+                                     "check_invariants", "time_budget_ms",
+                                     "analytics"};
 const char* const kMinimizeKeys[] = {"match_any", "time_budget_ms",
                                      "max_states"};
 const char* const kCkptKeys[] = {"ckpt_dir"};
@@ -296,6 +298,10 @@ JobOutcome RunCheck(const JobParams& p, const Spec& spec,
   opts.progress = progress;
   opts.metrics = metrics;
   opts.stop = &stop;
+  obs::ExplorationProfile profile;
+  if (p.analytics) {
+    opts.analytics = &profile;
+  }
   BfsResult r;
   if (p.workers > 1) {
     ParBfsOptions popts;
@@ -308,6 +314,12 @@ JobOutcome RunCheck(const JobParams& p, const Spec& spec,
   JobOutcome out;
   out.status = r.cancelled ? "cancelled" : "done";
   out.result = r.ToJson();
+  if (p.analytics) {
+    // Embedded in the result frame for the client; per-action counters also
+    // aggregate into the daemon registry so GET /metrics exports them.
+    out.result["analytics"] = profile.ToJson();
+    profile.FlushToMetrics(metrics);
+  }
   return out;
 }
 
@@ -318,6 +330,12 @@ JobOutcome RunSimulate(const JobParams& p, const Spec& spec,
   opts.max_depth = p.walk_depth;
   opts.metrics = metrics;
   opts.stop = &stop;
+  // One shared profile across the batch: counts aggregate and the depth
+  // histogram buckets every walk's end depth.
+  obs::ExplorationProfile profile;
+  if (p.analytics) {
+    opts.analytics = &profile;
+  }
   if (p.check_invariants) {
     opts.collect_trace = true;
     opts.check_invariants = true;
@@ -379,6 +397,9 @@ JobOutcome RunSimulate(const JobParams& p, const Spec& spec,
       s.deadlocks = deadlocked;
       s.event_kinds = coverage.DistinctEventKinds();
       s.branches = coverage.branches.size();
+      if (p.analytics) {
+        s.analytics = profile.SummaryJson(3);
+      }
       progress->Emit(s);
     }
     if (w.violation.has_value()) {
@@ -399,6 +420,10 @@ JobOutcome RunSimulate(const JobParams& p, const Spec& spec,
   summary["hit_time_limit"] = Json(time_capped);
   summary["cancelled"] = Json(cancelled);
   summary["coverage"] = coverage.ToJson();
+  if (p.analytics) {
+    summary["analytics"] = profile.ToJson();
+    profile.FlushToMetrics(metrics);
+  }
   if (violation.has_value()) {
     summary["violation"] = violation->ToJson();
   }
@@ -506,6 +531,7 @@ Result<JobParams> ParseJobParams(const std::string& kind, const Json& params) {
       !GetU64(params, "seed", &p.seed, &err) ||
       !GetU64(params, "walk_depth", &p.walk_depth, &err) ||
       !GetBool(params, "check_invariants", &p.check_invariants, &err) ||
+      !GetBool(params, "analytics", &p.analytics, &err) ||
       !GetBool(params, "match_any", &p.match_any, &err) ||
       !GetString(params, "ckpt_dir", &p.ckpt_dir, &err) ||
       !GetString(params, "run_id", &p.run_id, &err)) {

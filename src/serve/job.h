@@ -54,6 +54,12 @@ struct JobParams {
   uint64_t walk_depth = 60;
   bool check_invariants = false;
 
+  // check/simulate: collect the per-action exploration profile
+  // (src/obs/analytics.h) and embed it as result["analytics"]; its per-action
+  // counters also aggregate into the daemon registry for GET /metrics.
+  // On by default — the profile is cheap and clients can opt out.
+  bool analytics = true;
+
   // minimize: accept any violation while shrinking (CLI --minimize-any).
   bool match_any = false;
 

@@ -83,6 +83,10 @@ struct Action {
   // Enumerate all successors of `state` for this action. An action that is
   // not enabled simply emits nothing.
   std::function<void(const State& state, ActionContext& ctx)> expand;
+  // Branch ids this action is expected to exercise (optional). A declared
+  // branch never hit during exploration is a coverage hole the analytics
+  // report warns about.
+  std::vector<std::string> declared_branches = {};
 };
 
 // A state invariant; `check` returns true when the state is safe.

@@ -110,6 +110,7 @@ Json CheckpointMeta::ToJson() const {
   o["frontier_segment"] = Json(frontier_segment);
   o["coverage"] = coverage;
   o["metrics"] = metrics;
+  o["analytics"] = analytics;
   return Json(std::move(o));
 }
 
@@ -144,6 +145,7 @@ Result<CheckpointMeta> CheckpointMeta::FromJson(const Json& j) {
   m.frontier_segment = j["frontier_segment"].as_string();
   m.coverage = j["coverage"];
   m.metrics = j["metrics"];
+  m.analytics = j["analytics"];
   return m;
 }
 

@@ -63,10 +63,13 @@ struct CheckpointMeta {
   std::vector<std::string> visited_runs;
   std::string frontier_segment;
 
-  // Engine-owned payloads, carried opaquely: full-fidelity coverage stats and
-  // an informational metrics snapshot.
+  // Engine-owned payloads, carried opaquely: full-fidelity coverage stats,
+  // an informational metrics snapshot, and the exploration-analytics profile
+  // (obs::ExplorationProfile::ToJson; null in checkpoints written without
+  // analytics, including pre-analytics ones).
   Json coverage;
   Json metrics;
+  Json analytics;
 
   Json ToJson() const;
   static Result<CheckpointMeta> FromJson(const Json& j);

@@ -1,0 +1,97 @@
+// Analytics smoke test (label analytics-smoke): runs the real sandtable_cli
+// on a small Raft profile with --analytics-out, asserts the text report's
+// analytics section rendered, gates the produced profile document through
+// bench_validate_json --analytics, and finally renders it with
+// scripts/analytics_summary.py (skipped when python3 is unavailable).
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "src/util/json.h"
+
+#ifndef SANDTABLE_CLI_BIN
+#define SANDTABLE_CLI_BIN ""
+#endif
+#ifndef SANDTABLE_VALIDATOR_BIN
+#define SANDTABLE_VALIDATOR_BIN ""
+#endif
+#ifndef SANDTABLE_ANALYTICS_SUMMARY_PY
+#define SANDTABLE_ANALYTICS_SUMMARY_PY ""
+#endif
+
+namespace sandtable {
+namespace {
+
+int RunCmd(const std::string& cmd) {
+  const int status = std::system(cmd.c_str());
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+std::string Slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(AnalyticsSmoke, CliProfileValidatesAndSummarizes) {
+  const std::string dir = "/tmp/st-analytics-smoke-" + std::to_string(::getpid());
+  ::mkdir(dir.c_str(), 0755);
+  const std::string profile = dir + "/check.analytics.json";
+  const std::string report = dir + "/report.txt";
+
+  // A few thousand states of pysyncobj finish in about a second and touch
+  // every analytics dimension: multiple actions/kinds, branches, invariants,
+  // duplicates and commuting deliveries.
+  ASSERT_EQ(RunCmd(std::string(SANDTABLE_CLI_BIN) +
+                   " check --system pysyncobj --states 2000 --report text"
+                   " --analytics-out " + profile + " > " + report + " 2>&1"),
+            0)
+      << "cli failed; log at " << report;
+
+  const std::string text = Slurp(report);
+  EXPECT_NE(text.find("state-space analytics:"), std::string::npos) << text;
+  EXPECT_NE(text.find("hot actions (by expand time):"), std::string::npos);
+  EXPECT_NE(text.find("collision probability"), std::string::npos);
+
+  ASSERT_EQ(RunCmd(std::string(SANDTABLE_VALIDATOR_BIN) + " " + profile +
+                   " --analytics"),
+            0);
+
+  // The document is joinable with the run's report via run_id and carries the
+  // per-action table the summary script renders.
+  auto doc = Json::Parse(Slurp(profile));
+  ASSERT_TRUE(doc.ok()) << doc.error();
+  EXPECT_EQ(doc.value()["type"].as_string(), "analytics");
+  EXPECT_EQ(doc.value()["engine"].as_string(), "bfs");
+  EXPECT_FALSE(doc.value()["run_id"].as_string().empty());
+  EXPECT_GT(doc.value()["actions"].size(), 0u);
+
+  if (RunCmd("command -v python3 > /dev/null 2>&1") != 0) {
+    GTEST_SKIP() << "python3 not available; analytics_summary.py not exercised";
+  }
+  const std::string summary = dir + "/summary.txt";
+  ASSERT_EQ(RunCmd("python3 " + std::string(SANDTABLE_ANALYTICS_SUMMARY_PY) +
+                   " " + profile + " > " + summary + " 2>&1"),
+            0)
+      << "analytics_summary.py failed; output at " << summary;
+  const std::string rendered = Slurp(summary);
+  EXPECT_NE(rendered.find("hot actions"), std::string::npos) << rendered;
+  EXPECT_NE(rendered.find("collision probability"), std::string::npos);
+
+  // JSON mode parses too.
+  EXPECT_EQ(RunCmd("python3 " + std::string(SANDTABLE_ANALYTICS_SUMMARY_PY) +
+                   " --json " + profile + " > " + dir + "/summary.json 2>&1"),
+            0);
+}
+
+}  // namespace
+}  // namespace sandtable

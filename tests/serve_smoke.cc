@@ -60,13 +60,15 @@ std::string ReadFile(const std::string& path) {
 }
 
 // Strips wall-clock keys and the per-run correlation id so a daemon result
-// and a CLI result of the same deterministic run compare equal.
+// and a CLI result of the same deterministic run compare equal. The daemon
+// embeds an `analytics` profile by default while a bare CLI run does not;
+// count-level analytics equality is pinned by the in-process serve e2e.
 Json StripVolatile(const Json& doc) {
   if (doc.is_object()) {
     JsonObject out;
     for (const auto& [key, value] : doc.as_object()) {
       if (key == "seconds" || key == "queued_s" || key == "run_s" ||
-          key == "run_id") {
+          key == "run_id" || key == "analytics") {
         continue;
       }
       out[key] = StripVolatile(value);

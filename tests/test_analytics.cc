@@ -1,0 +1,474 @@
+// State-space analytics: profile round-trips, malformed-input rejection,
+// merge/reset semantics at the parallel barrier, serial-vs-parallel count
+// determinism, checkpoint/resume continuity, and the coverage-hole warnings
+// in the text report. The concurrency tests carry the `par` label so the
+// TSan build exercises the worker-profile merge path.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/mc/bfs.h"
+#include "src/mc/coverage.h"
+#include "src/mc/random_walk.h"
+#include "src/obs/analytics.h"
+#include "src/obs/metrics.h"
+#include "src/obs/report.h"
+#include "src/par/parallel_bfs.h"
+#include "src/store/checkpoint.h"
+#include "src/store/ooc.h"
+#include "src/store/state_store.h"
+#include "src/util/json.h"
+#include "src/util/rng.h"
+#include "tests/toy_specs.h"
+
+namespace sandtable {
+namespace {
+
+namespace fs = std::filesystem;
+using obs::ActionInfo;
+using obs::ExplorationProfile;
+
+// ---- CoverageStats::FromFullJson error paths --------------------------------
+
+TEST(CoverageJson, FullRoundTrip) {
+  CoverageStats c;
+  c.branches = {"A/x", "B/y"};
+  c.RecordEvent(EventKind::kMessage);
+  c.RecordEvent(EventKind::kTimeout);
+  auto back = CoverageStats::FromFullJson(c.ToFullJson());
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_EQ(back.value().branches, c.branches);
+  EXPECT_EQ(back.value().transitions, c.transitions);
+  EXPECT_EQ(back.value().event_counts, c.event_counts);
+}
+
+TEST(CoverageJson, RejectsMalformedStats) {
+  auto r = CoverageStats::FromFullJson(Json(std::string("nope")));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), "malformed coverage stats");
+
+  // Wrong event_counts arity is also a malformed-stats error.
+  Json j = CoverageStats().ToFullJson();
+  j["event_counts"] = Json(JsonArray{});
+  r = CoverageStats::FromFullJson(j);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), "malformed coverage stats");
+}
+
+TEST(CoverageJson, RejectsMalformedBranchName) {
+  Json j = CoverageStats().ToFullJson();
+  j["branches"] = Json(JsonArray{Json(static_cast<int64_t>(7))});
+  auto r = CoverageStats::FromFullJson(j);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), "malformed coverage branch name");
+}
+
+TEST(CoverageJson, RejectsMalformedEventCount) {
+  Json j = CoverageStats().ToFullJson();
+  j["event_counts"].as_array()[3] = Json(std::string("three"));
+  auto r = CoverageStats::FromFullJson(j);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error(), "malformed coverage event count");
+}
+
+// ---- ExplorationProfile serialization ---------------------------------------
+
+ExplorationProfile SampleProfile() {
+  ExplorationProfile p;
+  p.Init({ActionInfo{"Send", "Message", {"fast", "slow"}},
+          ActionInfo{"Tick", "Timeout", {}}},
+         {"Safe"}, {"Monotonic"});
+  p.RecordState();
+  p.RecordExpand(0, 3, 120);
+  p.RecordExpand(1, 0, 15);
+  p.RecordBranch(0, "fast");
+  p.RecordBranch(0, "fast");
+  p.RecordDuplicate(0);
+  p.RecordInvariant(0, 40);
+  p.RecordTransitionInvariant(0, 25);
+  p.RecordDeliveryPairs(2, 3);
+  p.RecordLevel(0, 1);
+  p.RecordLevel(1, 3);
+  p.SetDistinctStates(4);
+  return p;
+}
+
+TEST(ProfileJson, RoundTripPreservesEverything) {
+  const ExplorationProfile p = SampleProfile();
+  auto back = ExplorationProfile::FromJson(p.ToJson());
+  ASSERT_TRUE(back.ok()) << back.error();
+  // ToJson includes every serialized field plus the derived ones, so Dump
+  // equality is the strongest round-trip check available.
+  EXPECT_EQ(back.value().ToJson().Dump(), p.ToJson().Dump());
+}
+
+TEST(ProfileJson, DerivedFieldsAndCoverageHoles) {
+  const Json j = SampleProfile().ToJson();
+  EXPECT_EQ(j["successors"].as_int(), 3);
+  EXPECT_EQ(j["duplicates"].as_int(), 1);
+  EXPECT_DOUBLE_EQ(j["duplicate_rate"].as_double(), 1.0 / 3.0);
+  EXPECT_EQ(j["delivery_pairs"].as_int(), 3);
+  EXPECT_EQ(j["commuting_delivery_pairs"].as_int(), 2);
+  // Tick never fired; Send/slow was declared but never hit.
+  ASSERT_EQ(j["zero_hit_actions"].size(), 1u);
+  EXPECT_EQ(j["zero_hit_actions"][0].as_string(), "Tick");
+  ASSERT_EQ(j["zero_hit_branches"].size(), 1u);
+  EXPECT_EQ(j["zero_hit_branches"][0].as_string(), "Send/slow");
+}
+
+TEST(ProfileJson, RejectsMalformedDocuments) {
+  auto expect_error = [](const Json& j, const std::string& want) {
+    auto r = ExplorationProfile::FromJson(j);
+    ASSERT_FALSE(r.ok()) << "accepted: " << j.Dump();
+    EXPECT_EQ(r.error(), want);
+  };
+  expect_error(Json(std::string("nope")), "malformed exploration profile");
+
+  Json good = SampleProfile().ToJson();
+  Json j = good;
+  j["actions"].as_array()[0] = Json(JsonObject{});
+  expect_error(j, "malformed exploration profile action");
+
+  j = good;
+  j["actions"].as_array()[0]["declared_branches"].as_array()[0] = Json(static_cast<int64_t>(1));
+  expect_error(j, "malformed exploration profile declared branch");
+
+  j = good;
+  j["actions"].as_array()[0]["branches"].as_array()[0] = Json(std::string("fast"));
+  expect_error(j, "malformed exploration profile branch");
+
+  j = good;
+  j["invariants"] = Json(JsonArray{Json(std::string("Safe"))});
+  expect_error(j, "malformed exploration profile invariants");
+
+  j = good;
+  j["depth_histogram"].as_array()[0] = Json(std::string("one"));
+  expect_error(j, "malformed exploration profile depth histogram");
+}
+
+TEST(ProfileJson, CollisionProbabilityFormula) {
+  EXPECT_DOUBLE_EQ(ExplorationProfile::CollisionProbability(0), 0.0);
+  // n = 2^32 puts n^2/2^65 at exactly 1/2: p = 1 - e^{-1/2}.
+  EXPECT_NEAR(ExplorationProfile::CollisionProbability(uint64_t{1} << 32),
+              1.0 - std::exp(-0.5), 1e-12);
+  const double small = ExplorationProfile::CollisionProbability(1000000);
+  const double large = ExplorationProfile::CollisionProbability(1000000000);
+  EXPECT_GT(small, 0.0);
+  EXPECT_LT(small, large);
+  EXPECT_LE(large, 1.0);
+}
+
+// ---- Merge / reset (the barrier pattern) ------------------------------------
+
+TEST(ProfileMerge, MergeAddsCountsAndMaxesFanout) {
+  ExplorationProfile a = SampleProfile();
+  ExplorationProfile b;
+  b.Init({ActionInfo{"Send", "Message", {"fast", "slow"}},
+          ActionInfo{"Tick", "Timeout", {}}},
+         {"Safe"}, {"Monotonic"});
+  b.RecordExpand(0, 5, 80);
+  b.RecordBranch(0, "slow");
+  b.RecordLevel(1, 2);
+  a.MergeCounts(b);
+  EXPECT_EQ(a.action_stats(0).fired, 8u);
+  EXPECT_EQ(a.action_stats(0).fanout_max, 5u);  // max, not sum
+  EXPECT_EQ(a.action_stats(0).expand_ns, 200u);
+  ASSERT_EQ(a.wave_widths().size(), 2u);
+  EXPECT_EQ(a.wave_widths()[1], 5u);  // 3 + 2
+
+  // The merged-in "slow" branch surfaces exactly once per drain.
+  std::vector<std::string> names;
+  a.DrainNewBranches(&names);
+  ASSERT_EQ(names.size(), 2u);  // fast, slow (first drain on this profile)
+  names.clear();
+  a.DrainNewBranches(&names);
+  EXPECT_TRUE(names.empty());
+}
+
+TEST(ProfileMerge, ResetKeepsIdentityAndBranchSlots) {
+  ExplorationProfile p = SampleProfile();
+  std::vector<std::string> names;
+  p.DrainNewBranches(&names);  // mark "fast" drained
+  p.ResetCounts();
+  EXPECT_EQ(p.TotalFired(), 0u);
+  EXPECT_EQ(p.states_expanded(), 0u);
+  EXPECT_TRUE(p.wave_widths().empty());
+  // The interned slot survives the reset, so a re-hit is not "new" again.
+  p.RecordBranch(0, "fast");
+  names.clear();
+  p.DrainNewBranches(&names);
+  EXPECT_TRUE(names.empty());
+}
+
+// Worker threads record into private profiles concurrently; the coordinator
+// merges after the join — the exact level-barrier pattern, under TSan.
+TEST(ProfileMerge, ConcurrentWorkersThenMerge) {
+  constexpr int kWorkers = 4;
+  constexpr uint64_t kPerWorker = 10000;
+  std::vector<ActionInfo> actions = {ActionInfo{"A", "Internal", {}},
+                                     ActionInfo{"B", "Internal", {}}};
+  ExplorationProfile main;
+  main.Init(actions, {}, {});
+  std::vector<ExplorationProfile> workers(kWorkers);
+  for (ExplorationProfile& w : workers) {
+    w.Init(actions, {}, {});
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&workers, t]() {
+      for (uint64_t i = 0; i < kPerWorker; ++i) {
+        workers[t].RecordState();
+        workers[t].RecordExpand(0, 2, 1);
+        workers[t].RecordBranch(0, i % 2 == 0 ? "x" : "y");
+        workers[t].RecordDuplicate(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) {
+    t.join();
+  }
+  for (ExplorationProfile& w : workers) {
+    main.MergeCounts(w);
+    w.ResetCounts();
+  }
+  EXPECT_EQ(main.states_expanded(), kWorkers * kPerWorker);
+  EXPECT_EQ(main.action_stats(0).fired, 2 * kWorkers * kPerWorker);
+  EXPECT_EQ(main.action_stats(1).duplicates, kWorkers * kPerWorker);
+  // Merging the reset (all-zero) worker slices again must be a no-op — the
+  // cancel-path checkpoint relies on this idempotence.
+  for (const ExplorationProfile& w : workers) {
+    main.MergeCounts(w);
+  }
+  EXPECT_EQ(main.action_stats(0).fired, 2 * kWorkers * kPerWorker);
+}
+
+// ---- Engine integration -----------------------------------------------------
+
+// Exhaustive DieHard without its invariant: 16 states, 6 actions, no early
+// exit — per-action counts must not depend on the worker count.
+Spec ExhaustibleDieHard() {
+  Spec spec = toys::DieHard();
+  spec.invariants.clear();
+  return spec;
+}
+
+TEST(ProfileEngines, SerialAndParallelCountsAgree) {
+  const Spec spec = ExhaustibleDieHard();
+  ExplorationProfile serial;
+  BfsOptions opts;
+  opts.analytics = &serial;
+  const BfsResult r1 = BfsCheck(spec, opts);
+  ASSERT_TRUE(r1.exhausted);
+
+  ExplorationProfile par;
+  ParBfsOptions popts;
+  popts.base.analytics = &par;
+  popts.workers = 4;
+  popts.chunk_size = 1;
+  const BfsResult r4 = ParallelBfsCheck(spec, popts);
+  ASSERT_TRUE(r4.exhausted);
+  EXPECT_EQ(r1.distinct_states, r4.distinct_states);
+
+  ASSERT_EQ(serial.num_actions(), par.num_actions());
+  for (size_t i = 0; i < serial.num_actions(); ++i) {
+    SCOPED_TRACE(serial.actions()[i].name);
+    EXPECT_EQ(serial.action_stats(i).enabled, par.action_stats(i).enabled);
+    EXPECT_EQ(serial.action_stats(i).fired, par.action_stats(i).fired);
+    EXPECT_EQ(serial.action_stats(i).fanout_max, par.action_stats(i).fanout_max);
+  }
+  // Per-action duplicate attribution is schedule-dependent in the parallel
+  // engine (arbitrary insert winner); the totals are not.
+  EXPECT_EQ(serial.TotalDuplicates(), par.TotalDuplicates());
+  EXPECT_EQ(serial.states_expanded(), par.states_expanded());
+  EXPECT_EQ(serial.distinct_states(), par.distinct_states());
+  EXPECT_EQ(serial.wave_widths(), par.wave_widths());
+}
+
+TEST(ProfileEngines, CounterRunFlagsUndeclaredBranchHole) {
+  ExplorationProfile prof;
+  BfsOptions opts;
+  opts.analytics = &prof;
+  const BfsResult r = BfsCheck(toys::Counter(6), opts);
+  ASSERT_TRUE(r.exhausted);
+  const Json j = prof.ToJson();
+  // "even" and "odd" fire; declared-but-unreachable "negative" is the hole.
+  bool saw_negative = false;
+  for (const Json& name : j["zero_hit_branches"].as_array()) {
+    saw_negative |= name.as_string() == "Inc/negative";
+  }
+  EXPECT_TRUE(saw_negative) << j.Dump();
+  // Interned branch hits still reach CoverageStats through the drain.
+  EXPECT_TRUE(r.coverage.branches.count("Inc/even") == 1 &&
+              r.coverage.branches.count("Inc/odd") == 1);
+}
+
+TEST(ProfileEngines, CommutingDeliveryPairsCounted) {
+  ExplorationProfile ring;
+  BfsOptions opts;
+  opts.analytics = &ring;
+  const BfsResult r = BfsCheck(toys::TokenRing(3, 2), opts);
+  ASSERT_TRUE(r.exhausted);
+  const Json j = ring.ToJson();
+  EXPECT_GT(j["delivery_pairs"].as_int(), 0);
+  EXPECT_GT(j["commuting_delivery_pairs"].as_int(), 0);
+  EXPECT_LE(j["commuting_delivery_pairs"].as_int(), j["delivery_pairs"].as_int());
+
+  // Internal-only actions produce no delivery pairs at all.
+  ExplorationProfile jugs;
+  BfsOptions jopts;
+  jopts.analytics = &jugs;
+  BfsCheck(ExhaustibleDieHard(), jopts);
+  EXPECT_EQ(jugs.ToJson()["delivery_pairs"].as_int(), 0);
+}
+
+TEST(ProfileEngines, WalkBatchAggregatesDepthHistogram) {
+  const Spec spec = toys::Counter(10);
+  ExplorationProfile prof;
+  WalkOptions opts;
+  opts.max_depth = 10;
+  opts.analytics = &prof;
+  constexpr int kWalks = 5;
+  for (int i = 0; i < kWalks; ++i) {
+    Rng rng(100 + i);
+    RandomWalk(spec, opts, rng);
+  }
+  // Each walk buckets its end depth once: widths sum to the walk count.
+  uint64_t total = 0;
+  for (uint64_t w : prof.wave_widths()) {
+    total += w;
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kWalks));
+  EXPECT_GT(prof.states_expanded(), 0u);
+}
+
+// ---- Checkpoint / resume continuity -----------------------------------------
+
+class AnalyticsResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sandtable-analytics-test-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    if (!HasFailure()) {
+      std::error_code ec;
+      fs::remove_all(dir_, ec);
+    }
+  }
+  std::string Path(const std::string& name) const { return (dir_ / name).string(); }
+
+  fs::path dir_;
+};
+
+void ExpectSameCounts(const ExplorationProfile& a, const ExplorationProfile& b) {
+  ASSERT_EQ(a.num_actions(), b.num_actions());
+  for (size_t i = 0; i < a.num_actions(); ++i) {
+    SCOPED_TRACE(a.actions()[i].name);
+    EXPECT_EQ(a.action_stats(i).enabled, b.action_stats(i).enabled);
+    EXPECT_EQ(a.action_stats(i).fired, b.action_stats(i).fired);
+    EXPECT_EQ(a.action_stats(i).fanout_max, b.action_stats(i).fanout_max);
+    EXPECT_EQ(a.action_stats(i).duplicates, b.action_stats(i).duplicates);
+  }
+  EXPECT_EQ(a.states_expanded(), b.states_expanded());
+  EXPECT_EQ(a.distinct_states(), b.distinct_states());
+  EXPECT_EQ(a.wave_widths(), b.wave_widths());
+}
+
+TEST_F(AnalyticsResumeTest, ResumedProfileMatchesUninterruptedRun) {
+  const Spec spec = toys::Counter(30);
+  ExplorationProfile uninterrupted;
+  BfsOptions plain;
+  plain.analytics = &uninterrupted;
+  const BfsResult full = BfsCheck(spec, plain);
+  ASSERT_TRUE(full.exhausted);
+
+  const std::string ckpt_dir = Path("run.ckpt");
+  {
+    store::StoreConfig scfg;
+    scfg.spill_dir = Path("a-fps");
+    store::SpillingStateStore state_store(scfg);
+    store::SpoolConfig spool_cfg;
+    spool_cfg.dir = Path("a-frontier");
+    store::Checkpointer::Config ccfg;
+    ccfg.dir = ckpt_dir;
+    ccfg.every_states = 5;
+    store::Checkpointer ckpt(ccfg, &spec);
+    ExplorationProfile crashed;  // dies with the "process"
+    BfsOptions opts;
+    opts.ooc.state_store = &state_store;
+    opts.ooc.frontier_spool = &spool_cfg;
+    opts.ooc.checkpointer = &ckpt;
+    opts.max_distinct_states = 12;
+    opts.analytics = &crashed;
+    const BfsResult partial = BfsCheck(spec, opts);
+    ASSERT_TRUE(partial.hit_state_limit);
+    ASSERT_GT(ckpt.writes(), 0u);
+  }
+
+  auto resumed_ckpt = store::OpenCheckpoint(ckpt_dir, spec);
+  ASSERT_TRUE(resumed_ckpt.ok()) << resumed_ckpt.error();
+  store::StoreConfig scfg;
+  scfg.spill_dir = Path("b-fps");
+  store::SpillingStateStore state_store(scfg);
+  store::SpoolConfig spool_cfg;
+  spool_cfg.dir = Path("b-frontier");
+  ASSERT_TRUE(state_store.LoadRuns(resumed_ckpt.value().run_paths).ok());
+  ExplorationProfile resumed;
+  BfsOptions opts;
+  opts.ooc.state_store = &state_store;
+  opts.ooc.frontier_spool = &spool_cfg;
+  opts.ooc.resume = &resumed_ckpt.value();
+  opts.analytics = &resumed;
+  const BfsResult rest = BfsCheck(spec, opts);
+  ASSERT_TRUE(rest.exhausted);
+  EXPECT_EQ(rest.distinct_states, full.distinct_states);
+
+  ExpectSameCounts(uninterrupted, resumed);
+}
+
+// ---- Report rendering -------------------------------------------------------
+
+TEST(ProfileReport, TextReportWarnsOnCoverageHoles) {
+  ExplorationProfile p = SampleProfile();
+  JsonObject result;
+  result["distinct_states"] = Json(static_cast<int64_t>(4));
+  result["analytics"] = p.ToJson();
+  const Json report = obs::MakeReport("bfs", Json(std::move(result)), nullptr);
+  const std::string text = obs::ReportToText(report);
+  EXPECT_NE(text.find("state-space analytics:"), std::string::npos) << text;
+  EXPECT_NE(text.find("hot actions (by expand time):"), std::string::npos);
+  EXPECT_NE(text.find("WARNING: action Tick never fired (coverage hole)"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(
+      text.find("WARNING: branch Send/slow declared but never hit (coverage hole)"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("commuting deliveries"), std::string::npos);
+  // A report without an analytics object renders no analytics section.
+  const Json bare = obs::MakeReport("bfs", Json(JsonObject{}), nullptr);
+  EXPECT_EQ(obs::ReportToText(bare).find("state-space analytics:"),
+            std::string::npos);
+}
+
+TEST(ProfileReport, FlushToMetricsExportsPerActionCounters) {
+  obs::MetricsRegistry registry;
+  SampleProfile().FlushToMetrics(&registry);
+  const Json snap = registry.Snapshot().ToJson();
+  EXPECT_EQ(snap["counters"]["analytics.action.fired.Send"].as_int(), 3);
+  EXPECT_EQ(snap["counters"]["analytics.action.duplicates.Send"].as_int(), 1);
+  EXPECT_EQ(snap["counters"]["analytics.invariant.ns.Safe"].as_int(), 40);
+}
+
+}  // namespace
+}  // namespace sandtable

@@ -660,7 +660,8 @@ Json StripVolatile(const Json& doc) {
     JsonObject out;
     for (const auto& [key, value] : doc.as_object()) {
       if (key == "seconds" || key == "queued_s" || key == "run_s" ||
-          key == "run_id") {
+          key == "run_id" || key == "expand_ns" || key == "ns" ||
+          key == "top_actions") {
         continue;
       }
       out[key] = StripVolatile(value);
