@@ -1,10 +1,12 @@
-// Out-of-core exploration bench: the same capped BFS run twice — once with
-// the engines' built-in in-memory structures, once with a deliberately tiny
+// Out-of-core exploration bench: the same capped BFS run three times — with
+// the engines' built-in in-memory structures, with a deliberately tiny
 // memory budget that forces the spilling fingerprint store and the frontier
-// spool onto disk. Reports throughput (states/sec), spill volume and peak RSS
-// for both, and fails loudly if the out-of-core run does not reach exactly
-// the same distinct-state count: disk residency must never change what gets
-// explored.
+// spool onto disk, and with the hash-compacted (fingerprint-only) store.
+// Reports throughput (states/sec), spill volume and peak RSS, plus the
+// compacted run's collision-probability bound, and fails loudly if either
+// alternative store changes the distinct-state count: memory strategy must
+// never change what gets explored (up to the reported collision bound for
+// the compacted row).
 //
 // Scale with SANDTABLE_BENCH_SECONDS / SANDTABLE_BENCH_STATES as usual.
 #include <unistd.h>
@@ -19,6 +21,7 @@
 #include "src/mc/bfs.h"
 #include "src/obs/report.h"
 #include "src/raftspec/raft_spec.h"
+#include "src/store/compact_store.h"
 #include "src/store/ooc.h"
 
 using namespace sandtable;  // NOLINT(build/namespaces): bench brevity
@@ -117,26 +120,58 @@ int main() {
               static_cast<unsigned long long>(runs),
               bench::HumanCount(spilled_frontier).c_str());
 
+  // Pass 3: hash-compacted visited set — 64-bit fingerprints only, no
+  // parents. Memory cost collapses to ~8 bytes per distinct state; the trade
+  // is the (reported) probability that a fingerprint collision hid a state.
+  BfsResult compact_result;
+  uint64_t compact_states = 0;
+  {
+    store::CompactStateStore cstore;
+    store::OocConfig ooc;
+    ooc.state_store = &cstore;
+    compact_result = run(ooc);
+    compact_states = cstore.Size();
+  }
+  std::printf("%-12s %10s states  depth %2llu  %8s st/s  P(missed) <= %.3g\n",
+              "compacted:", bench::HumanCount(compact_result.distinct_states).c_str(),
+              static_cast<unsigned long long>(compact_result.depth_reached),
+              bench::HumanCount(
+                  static_cast<unsigned long long>(compact_result.distinct_states /
+                                                  std::max(compact_result.seconds, 1e-9)))
+                  .c_str(),
+              compact_result.collision_probability);
+
   const bool states_match = in_mem.distinct_states == ooc_result.distinct_states &&
                             in_mem.depth_reached == ooc_result.depth_reached;
-  std::printf("equivalence: %s (%llu vs %llu states)\n",
-              states_match ? "OK" : "MISMATCH",
+  // The compacted run can fall short only by fingerprint collisions; at bench
+  // scale the bound is astronomically small, so exact equality is demanded.
+  const bool compact_match =
+      in_mem.distinct_states == compact_result.distinct_states &&
+      in_mem.depth_reached == compact_result.depth_reached &&
+      compact_states == compact_result.distinct_states;
+  std::printf("equivalence: %s (%llu vs %llu spilled vs %llu compacted states)\n",
+              states_match && compact_match ? "OK" : "MISMATCH",
               static_cast<unsigned long long>(in_mem.distinct_states),
-              static_cast<unsigned long long>(ooc_result.distinct_states));
+              static_cast<unsigned long long>(ooc_result.distinct_states),
+              static_cast<unsigned long long>(compact_result.distinct_states));
 
   JsonObject row;
   row["in_memory"] = in_mem.ToJson(/*include_trace=*/false);
   row["out_of_core"] = ooc_result.ToJson(/*include_trace=*/false);
+  row["hash_compact"] = compact_result.ToJson(/*include_trace=*/false);
   row["in_memory_states_per_sec"] =
       Json(in_mem.distinct_states / std::max(in_mem.seconds, 1e-9));
   row["out_of_core_states_per_sec"] =
       Json(ooc_result.distinct_states / std::max(ooc_result.seconds, 1e-9));
+  row["hash_compact_states_per_sec"] =
+      Json(compact_result.distinct_states / std::max(compact_result.seconds, 1e-9));
   row["spilled_fingerprints"] = Json(spilled_fps);
   row["spill_runs"] = Json(runs);
   row["spilled_frontier_states"] = Json(spilled_frontier);
   row["peak_rss_kb"] = Json(rss_after_ooc);
-  row["states_match"] = Json(states_match);
+  row["collision_probability"] = Json(compact_result.collision_probability);
+  row["states_match"] = Json(states_match && compact_match);
   json.Result(std::move(row));
 
-  return states_match ? 0 : 1;
+  return states_match && compact_match ? 0 : 1;
 }

@@ -15,6 +15,13 @@
 // `--trace-out FILE` records a Chrome trace covering every row (per-worker
 // lanes, per-level spans, barrier waits) — the input to
 // `bench_validate_json --trace` and `scripts/trace_summary.py`.
+//
+// `--baseline` runs the level-synchronized and work-stealing schedulers
+// side by side at each worker count, in one JSONL: every steal row carries
+// the steal.chunks/steal.misses/steal.idle_ns counters and a
+// "steal_speedup" field (its rate over the level-sync row at the same
+// worker count). On >= 4 real cores expect >= 1.3x at 8 workers on this
+// irregular-fanout space; on one core both schedulers collapse to ~1x.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,6 +33,7 @@
 #include "bench/bench_json.h"
 #include "src/mc/bfs.h"
 #include "src/obs/analytics.h"
+#include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/par/parallel_bfs.h"
 #include "src/raftspec/raft_spec.h"
@@ -54,9 +62,13 @@ Spec BigRaftSpec() {
 
 uint64_t StateCap() { return bench::StateBudget(1000000); }
 
-void PrintRow(const char* label, const BfsResult& r,
-              const obs::ExplorationProfile& prof, double serial_rate,
-              bench::JsonBenchWriter* json, int workers) {
+// Prints one table row, writes one JSONL result row, and returns the row's
+// distinct-state rate. `extra` fields (scheduler tag, steal counters,
+// steal_speedup) are merged into the JSONL row.
+double PrintRow(const char* label, const BfsResult& r,
+                const obs::ExplorationProfile& prof, double serial_rate,
+                bench::JsonBenchWriter* json, int workers,
+                JsonObject extra = {}) {
   const double rate = r.distinct_states / std::max(r.seconds, 1e-9);
   std::printf("%-10s | %9s %10s %12s/min | %6.2fx%s\n", label,
               bench::HumanTime(r.seconds).c_str(),
@@ -71,18 +83,36 @@ void PrintRow(const char* label, const BfsResult& r,
   row["speedup"] = Json(rate / serial_rate);
   row["result"] = r.ToJson(/*include_trace=*/false);
   row["analytics"] = prof.SummaryJson(/*top_n=*/3);
+  for (auto& [key, value] : extra) {
+    row[key] = std::move(value);
+  }
   json->Result(std::move(row));
+  return rate;
+}
+
+// The steal.* counters of one row's registry, as a JSONL sub-object.
+JsonObject StealCounters(const obs::MetricsSnapshot& snap) {
+  JsonObject steal;
+  for (const char* key : {"steal.chunks", "steal.misses", "steal.idle_ns"}) {
+    const auto it = snap.counters.find(key);
+    steal[key + 6] = Json(static_cast<int64_t>(  // strip the "steal." prefix
+        it == snap.counters.end() ? 0 : it->second));
+  }
+  return steal;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string trace_out;
+  bool baseline = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      baseline = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--trace-out FILE]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--trace-out FILE] [--baseline]\n", argv[0]);
       return 1;
     }
   }
@@ -112,23 +142,67 @@ int main(int argc, char** argv) {
   base.analytics = &serial_prof;
   const BfsResult serial = BfsCheck(spec, base);
   const double serial_rate = serial.distinct_states / std::max(serial.seconds, 1e-9);
-  PrintRow("serial", serial, serial_prof, serial_rate, &json, 0);
+  {
+    JsonObject extra;
+    extra["scheduler"] = Json(std::string("serial"));
+    PrintRow("serial", serial, serial_prof, serial_rate, &json, 0, std::move(extra));
+  }
 
   for (const int workers : {1, 2, 4, 8}) {
+    // Level-synchronized scheduler (always run: in --baseline mode it is the
+    // denominator of steal_speedup).
     ParBfsOptions popts;
     popts.base = base;
     obs::ExplorationProfile prof;  // fresh per row — rows must not aggregate
     popts.base.analytics = &prof;
     popts.workers = workers;
     popts.reserve_states = cap;
-    const BfsResult par = ParallelBfsCheck(spec, popts);
     char label[16];
     std::snprintf(label, sizeof(label), "par x%d", workers);
-    PrintRow(label, par, prof, serial_rate, &json, workers);
+    JsonObject extra;
+    extra["scheduler"] = Json(std::string("level-sync"));
+    const double level_rate = PrintRow(label, ParallelBfsCheck(spec, popts), prof,
+                                       serial_rate, &json, workers, std::move(extra));
+
+    if (!baseline) {
+      continue;
+    }
+    // Work-stealing scheduler on the same spec and budgets, with a per-row
+    // registry so the steal counters belong to exactly this row.
+    obs::MetricsRegistry reg;
+    obs::ExplorationProfile steal_prof;
+    ParBfsOptions sopts;
+    sopts.base = base;
+    sopts.base.analytics = &steal_prof;
+    sopts.base.metrics = &reg;
+    sopts.workers = workers;
+    sopts.reserve_states = cap;
+    sopts.steal = true;
+    const BfsResult stolen = ParallelBfsCheck(spec, sopts);
+    const obs::MetricsSnapshot snap = reg.Snapshot();
+    std::snprintf(label, sizeof(label), "steal x%d", workers);
+    JsonObject sextra;
+    sextra["scheduler"] = Json(std::string("steal"));
+    sextra["steal"] = Json(StealCounters(snap));
+    const double steal_rate = stolen.distinct_states / std::max(stolen.seconds, 1e-9);
+    sextra["steal_speedup"] = Json(steal_rate / std::max(level_rate, 1e-9));
+    PrintRow(label, stolen, steal_prof, serial_rate, &json, workers,
+             std::move(sextra));
+    std::printf("%-10s | steal vs level-sync at x%d: %.2fx "
+                "(chunks stolen %llu, misses %llu)\n",
+                "", workers, steal_rate / std::max(level_rate, 1e-9),
+                static_cast<unsigned long long>(
+                    snap.counters.count("steal.chunks") ? snap.counters.at("steal.chunks") : 0),
+                static_cast<unsigned long long>(
+                    snap.counters.count("steal.misses") ? snap.counters.at("steal.misses") : 0));
   }
   bench::Rule(64);
   std::printf("speedup is the distinct-state rate over the serial row; on a single\n");
   std::printf("core all rows collapse to ~1x (level barriers add a few %% overhead)\n");
+  if (baseline) {
+    std::printf("steal_speedup compares the work-stealing scheduler to level-sync at\n");
+    std::printf("the same worker count; the >=1.3x-at-8-workers target needs real cores\n");
+  }
   if (tracer != nullptr) {
     tracer->Uninstall();
     const Status st = tracer->WriteChromeTrace(trace_out);

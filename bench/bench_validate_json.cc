@@ -11,7 +11,11 @@
 // record is {"type":"meta", "schema_version":1}, at least one "result" row
 // follows, and the last record is {"type":"summary"} whose "results" count
 // matches. A bench that crashed mid-run flushes rows but never writes the
-// summary, so the file fails validation even if every line parses.
+// summary, so the file fails validation even if every line parses. Rows may
+// optionally carry scheduler-comparison fields ("scheduler", "steal"
+// counters, "steal_speedup" — bench_parallel_scaling --baseline) and
+// hash-compaction fields ("collision_probability", "hash_compact" —
+// bench_ooc); when present they are type- and range-checked.
 //
 // Serve mode checks a captured sandtable_serve connection stream: every line
 // parses, the first frame is the hello, at least one ack and one result frame
@@ -155,6 +159,42 @@ int ValidateJsonl(const std::string& path, const std::string& content) {
         if (!ValidAnalyticsSummary(records[i]["analytics"], &why)) {
           return Fail(path, "result record " + std::to_string(i) + ": " + why);
         }
+      }
+      const std::string where = "result record " + std::to_string(i);
+      // Scheduler-comparison fields (bench_parallel_scaling --baseline).
+      const Json& sched = records[i]["scheduler"];
+      if (!sched.is_null()) {
+        if (sched.type() != Json::Type::kString ||
+            (sched.as_string() != "serial" && sched.as_string() != "level-sync" &&
+             sched.as_string() != "steal")) {
+          return Fail(path, where + ": \"scheduler\" is not serial|level-sync|steal");
+        }
+      }
+      const Json& steal = records[i]["steal"];
+      if (!steal.is_null()) {
+        if (!steal.is_object()) {
+          return Fail(path, where + ": \"steal\" is not an object");
+        }
+        for (const char* key : {"chunks", "misses", "idle_ns"}) {
+          if (steal[key].type() != Json::Type::kInt || steal[key].as_int() < 0) {
+            return Fail(path, where + ": steal \"" + key +
+                                  "\" is not a non-negative integer");
+          }
+        }
+      }
+      const Json& ssp = records[i]["steal_speedup"];
+      if (!ssp.is_null() && (!IsNumber(ssp) || ssp.as_double() <= 0)) {
+        return Fail(path, where + ": \"steal_speedup\" is not a positive number");
+      }
+      // Hash-compaction fields (bench_ooc compacted pass).
+      const Json& cp = records[i]["collision_probability"];
+      if (!cp.is_null() &&
+          (!IsNumber(cp) || cp.as_double() < 0 || cp.as_double() > 1)) {
+        return Fail(path, where + ": \"collision_probability\" is not in [0,1]");
+      }
+      if (!records[i]["hash_compact"].is_null() &&
+          !records[i]["hash_compact"].is_object()) {
+        return Fail(path, where + ": \"hash_compact\" is not a result object");
       }
       ++results;
     } else if (type != "progress" && type != "report") {

@@ -58,6 +58,7 @@
 #include "src/obs/report.h"
 #include "src/obs/trace.h"
 #include "src/par/parallel_bfs.h"
+#include "src/store/compact_store.h"
 #include "src/store/ooc.h"
 #include "src/trace/spec_replay.h"
 #include "src/util/run_id.h"
@@ -104,6 +105,7 @@ struct Args {
   uint64_t progress_every = 0;    // 0 = no periodic progress lines
   int traces = 100;
   int workers = 1;  // >1 switches `check` to the parallel engine (src/par/)
+  bool steal = false;  // parallel engine: work-stealing scheduler (src/par/steal.h)
   bool with_bugs = false;
   uint64_t seed = 1;          // base RNG seed (simulate derives one per walk)
   bool minimize = false;      // shrink the counterexample before reporting it
@@ -115,6 +117,10 @@ struct Args {
   std::string ckpt_dir;            // checkpoint directory (--ckpt)
   uint64_t checkpoint_every = 0;   // distinct-state cadence; 0 with --ckpt = 100k
   std::string resume_dir;          // checkpoint to resume from
+  // Visited set keeps only 64-bit fingerprints (store/compact_store.h):
+  // ~4x less memory per state, no parent pointers (counterexamples rebuilt by
+  // re-search), and a reported fingerprint-collision probability.
+  bool hash_compact = false;
 };
 
 bool ParseArgs(int argc, char** argv, Args* out) {
@@ -171,6 +177,10 @@ bool ParseArgs(int argc, char** argv, Args* out) {
       out->progress_every = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flag == "--with-bugs") {
       out->with_bugs = true;
+    } else if (flag == "--steal") {
+      out->steal = true;
+    } else if (flag == "--hash-compact") {
+      out->hash_compact = true;
     } else if (flag == "--seed" && next(&v)) {
       out->seed = std::strtoull(v.c_str(), nullptr, 10);
     } else if (flag == "--minimize") {
@@ -416,7 +426,10 @@ int CmdListBugs() {
 // checkpoint. Wire() fills opts.ooc; the default-constructed runtime leaves
 // the engine fully in-memory.
 struct OocRuntime {
-  std::unique_ptr<store::SpillingStateStore> state_store;
+  std::unique_ptr<store::StateStore> state_store;
+  // Concrete views of state_store; exactly one is set when enabled.
+  store::SpillingStateStore* spilling = nullptr;
+  store::CompactStateStore* compact = nullptr;
   store::SpoolConfig spool_cfg;
   std::unique_ptr<store::Checkpointer> checkpointer;
   std::optional<store::ResumedRun> resumed;
@@ -435,7 +448,8 @@ struct OocRuntime {
   bool Wire(const Args& args, const Spec& spec, obs::MetricsRegistry* metrics,
             BfsOptions& opts) {
     enabled = args.mem_budget_mb > 0 || !args.spill_dir.empty() ||
-              !args.ckpt_dir.empty() || !args.resume_dir.empty();
+              !args.ckpt_dir.empty() || !args.resume_dir.empty() ||
+              args.hash_compact;
     if (!enabled) {
       return true;
     }
@@ -449,11 +463,24 @@ struct OocRuntime {
     const store::MemBudget budget =
         store::SplitMemBudget(args.mem_budget_mb > 0 ? args.mem_budget_mb : 1024);
 
-    store::StoreConfig scfg;
-    scfg.spill_dir = spill + "/fps";
-    scfg.max_resident = budget.max_resident_fingerprints;
-    scfg.metrics = metrics;
-    state_store = std::make_unique<store::SpillingStateStore>(scfg);
+    if (args.hash_compact) {
+      // Fingerprint-only visited set. Size it off the same budget: at ~8
+      // bytes per slot the compacted table holds ~6x the fingerprints the
+      // spilling store's memory tier would (~48 bytes per map node).
+      store::CompactStateStore::Config ccfg;
+      ccfg.reserve = budget.max_resident_fingerprints * 6;
+      auto cs = std::make_unique<store::CompactStateStore>(ccfg);
+      compact = cs.get();
+      state_store = std::move(cs);
+    } else {
+      store::StoreConfig scfg;
+      scfg.spill_dir = spill + "/fps";
+      scfg.max_resident = budget.max_resident_fingerprints;
+      scfg.metrics = metrics;
+      auto ss = std::make_unique<store::SpillingStateStore>(scfg);
+      spilling = ss.get();
+      state_store = std::move(ss);
+    }
 
     spool_cfg.dir = spill + "/frontier";
     spool_cfg.max_resident = budget.max_resident_frontier;
@@ -469,7 +496,19 @@ struct OocRuntime {
         return false;
       }
       resumed = std::move(opened).value();
-      const Status st = state_store->LoadRuns(resumed->run_paths);
+      if (resumed->meta.hash_compact != args.hash_compact) {
+        // Friendlier than the engines' CHECK on the same mismatch: compacted
+        // runs carry no parent pointers, so the modes cannot mix.
+        std::fprintf(stderr,
+                     "cannot resume: checkpoint %s written with --hash-compact "
+                     "but this run %s it\n",
+                     resumed->meta.hash_compact ? "was" : "was not",
+                     args.hash_compact ? "sets" : "does not set");
+        return false;
+      }
+      const Status st = compact != nullptr
+                            ? compact->LoadRuns(resumed->run_paths)
+                            : spilling->LoadRuns(resumed->run_paths);
       if (!st.ok()) {
         std::fprintf(stderr, "cannot resume: %s\n", st.error().c_str());
         return false;
@@ -521,11 +560,16 @@ int CmdCheck(const Args& args) {
     return 1;
   }
   BfsResult r;
-  const char* engine = args.workers > 1 ? "parallel_bfs" : "bfs";
-  if (args.workers > 1) {
+  // --steal forces the parallel engine even at one worker, so the scheduler
+  // can be exercised (and compared) without changing the worker count.
+  const bool parallel = args.workers > 1 || args.steal;
+  const char* engine =
+      args.steal ? "parallel_bfs_steal" : (parallel ? "parallel_bfs" : "bfs");
+  if (parallel) {
     ParBfsOptions popts;
     popts.base = opts;
     popts.workers = args.workers;
+    popts.steal = args.steal;
     r = ParallelBfsCheck(t.spec, popts);
   } else {
     r = BfsCheck(t.spec, opts);
@@ -534,16 +578,23 @@ int CmdCheck(const Args& args) {
               static_cast<unsigned long long>(r.distinct_states),
               static_cast<unsigned long long>(r.depth_reached), r.seconds,
               r.cancelled ? "interrupted" : (r.exhausted ? "exhausted" : "bounded"));
-  if (ooc.enabled && ooc.state_store != nullptr) {
+  if (ooc.enabled && ooc.spilling != nullptr) {
     std::printf("out-of-core: %llu fingerprints spilled across %zu runs",
-                static_cast<unsigned long long>(ooc.state_store->SpilledSize()),
-                ooc.state_store->RunCount());
+                static_cast<unsigned long long>(ooc.spilling->SpilledSize()),
+                ooc.spilling->RunCount());
     if (ooc.checkpointer != nullptr) {
       std::printf(", %llu checkpoints to %s",
                   static_cast<unsigned long long>(ooc.checkpointer->writes()),
                   args.ckpt_dir.c_str());
     }
     std::printf("\n");
+  }
+  if (ooc.compact != nullptr) {
+    std::printf(
+        "hash compaction: P(any state missed to a fingerprint collision) "
+        "<= %.3g%s\n",
+        r.collision_probability,
+        ooc.checkpointer != nullptr ? ", checkpoints carry the mode" : "");
   }
   // Attach the profile to the result (so --report text renders the hot-action
   // table and the JSONL report carries it) and write the standalone document.
@@ -902,6 +953,7 @@ int CmdCkptInfo(const Args& args) {
               static_cast<unsigned long long>(meta.deadlock_states));
   std::printf("  %-18s %.1fs\n", "explored for", meta.seconds);
   std::printf("  %-18s %s\n", "symmetry", meta.use_symmetry ? "yes" : "no");
+  std::printf("  %-18s %s\n", "hash compaction", meta.hash_compact ? "yes" : "no");
   std::printf("  %-18s %zu file%s\n", "visited runs", meta.visited_runs.size(),
               meta.visited_runs.size() == 1 ? "" : "s");
   for (const std::string& name : meta.visited_runs) {
@@ -972,7 +1024,8 @@ int main(int argc, char** argv) {
                  " [--report json|text] [--trace-out FILE] [--run-id ID]"
                  " [--seed N] [--minimize] [--minimize-any]"
                  " [--corpus-out FILE] [--mem-budget-mb N] [--spill-dir DIR]"
-                 " [--ckpt DIR] [--checkpoint-every N] [--resume DIR]\n",
+                 " [--ckpt DIR] [--checkpoint-every N] [--resume DIR]"
+                 " [--steal] [--hash-compact]\n",
                  argv[0]);
     return 1;
   }

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# One-command verification sweep: the tier-1 build + full test suite, the
+# ThreadSanitizer build running the concurrency-labeled tests (the work
+# stealing deque, compacted store, scheduler and serve stress tests), and the
+# randomized differential-equivalence harness (diff-smoke).
+#
+# Usage: scripts/check_all.sh [--skip-tsan]
+#   --skip-tsan   tier-1 + diff-smoke only (e.g. when a TSan toolchain is
+#                 unavailable); prints a loud notice so a green run is never
+#                 mistaken for a sanitized one.
+#
+# Build dirs: ./build (tier-1) and ./build-tsan (ThreadSanitizer), created
+# next to this script's repo root. Exit status is non-zero if any stage fails.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$ROOT"
+
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "usage: $0 [--skip-tsan]" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "==> [1/3] tier-1: configure + build + full ctest (build/)"
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "==> [2/3] diff-smoke: randomized differential-equivalence harness"
+ctest --test-dir build -L diff-smoke --output-on-failure
+
+if [[ "$SKIP_TSAN" -eq 1 ]]; then
+  echo "==> [3/3] SKIPPED: ThreadSanitizer suite (--skip-tsan given)"
+  echo "    NOT a fully verified run — rerun without --skip-tsan before merging."
+else
+  echo "==> [3/3] ThreadSanitizer: par-labeled concurrency tests (build-tsan/)"
+  cmake -B build-tsan -S . -DSANDTABLE_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan -L par --output-on-failure -j "$JOBS"
+fi
+
+echo "==> all checks passed"

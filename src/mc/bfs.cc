@@ -137,10 +137,19 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
     return Fingerprint(spec, state, use_symmetry);
   };
 
+  // Hash-compacted stores keep no ancestry, so the parent-chain walk is
+  // replaced by a bounded re-search from the initial states.
+  const bool parents_available = sstore == nullptr || sstore->RetainsParents();
+  result.hash_compact = !parents_available;
+
+  uint64_t depth = 0;
+
   auto reconstruct = [&](uint64_t fp) {
     obs::PhaseTimer t(m, Phase::kReconstruct);
     obs::Add(m.reconstructions);
-    return ReconstructTrace(spec, parent_of, fp, use_symmetry);
+    return parents_available
+               ? ReconstructTrace(spec, parent_of, fp, use_symmetry)
+               : ReconstructTraceResearch(spec, fp, depth + 2, use_symmetry);
   };
 
   auto record_violation = [&](const std::string& invariant, bool is_transition,
@@ -190,14 +199,22 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
                        !result.hit_time_limit && !result.cancelled &&
                        !(result.violation.has_value() && options.stop_at_first_violation);
     result.seconds = SecondsSince(start);
+    if (result.hash_compact) {
+      result.collision_probability =
+          obs::ExplorationProfile::CollisionProbability(result.distinct_states);
+    }
     obs::Set(m.frontier, static_cast<int64_t>(frontier_size()));
     return result;
   };
 
-  uint64_t depth = 0;
   double base_seconds = 0;  // wall time carried over from a resumed checkpoint
 
   if (resume != nullptr) {
+    CHECK(resume->meta.hash_compact == result.hash_compact)
+        << "resume mode mismatch: checkpoint "
+        << (resume->meta.hash_compact ? "was" : "was not")
+        << " written with a hash-compacted store, this run "
+        << (result.hash_compact ? "is" : "is not") << " using one";
     // Seed from the checkpoint: counters, coverage and the saved frontier.
     // The caller already loaded the visited runs into the state store.
     const store::CheckpointMeta& meta = resume->meta;
@@ -366,6 +383,7 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
     meta.deadlock_states = result.deadlock_states;
     meta.seconds = base_seconds + SecondsSince(start);
     meta.use_symmetry = use_symmetry;
+    meta.hash_compact = result.hash_compact;
     meta.coverage = result.coverage.ToFullJson();
     if (options.metrics != nullptr) {
       meta.metrics = options.metrics->Snapshot().ToJson();

@@ -88,6 +88,14 @@ struct BfsResult {
   uint64_t deadlock_states = 0;  // in-constraint states with no successors
   std::optional<Violation> violation;
   CoverageStats coverage;
+  // The visited set was hash-compacted (fingerprints only, no parents); set
+  // whenever ooc.state_store->RetainsParents() is false. States colliding in
+  // the 64-bit fingerprint space are merged, so states can be missed — never
+  // falsely reported; `collision_probability` is the TLC birthday-bound
+  // estimate 1 - exp(-n²/2·2⁶⁴) for the final distinct-state count, reported
+  // so the omission risk is always visible next to the result.
+  bool hash_compact = false;
+  double collision_probability = 0;
 
   // Canonical serialization, embedding violation.ToJson() and the coverage
   // summary. "outcome" is one of exhausted|violation|cancelled|state_limit|

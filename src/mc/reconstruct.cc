@@ -1,6 +1,7 @@
 #include "src/mc/reconstruct.h"
 
 #include <algorithm>
+#include <unordered_map>
 
 #include "src/mc/expand.h"
 #include "src/util/check.h"
@@ -51,6 +52,64 @@ std::vector<TraceStep> ReconstructTrace(const Spec& spec, const ParentLookup& pa
                    << i;
   }
   return trace;
+}
+
+std::vector<TraceStep> ReconstructTraceResearch(const Spec& spec, uint64_t target,
+                                                uint64_t max_depth, bool use_symmetry) {
+  // Level-by-level BFS mirroring the engines' visit discipline (fingerprint
+  // at generation, state constraint gates expansion) with a private parent
+  // map. The map holds fp->parent for everything generated so far, so once
+  // `target` appears ReconstructTrace can walk it directly.
+  std::unordered_map<uint64_t, uint64_t> parents;
+  const ParentLookup parent_of = [&](uint64_t fp) -> std::optional<uint64_t> {
+    const auto it = parents.find(fp);
+    if (it == parents.end()) {
+      return std::nullopt;
+    }
+    return it->second;
+  };
+
+  std::vector<State> frontier;
+  std::vector<uint64_t> frontier_fps;
+  for (const State& init : spec.init_states) {
+    const uint64_t fp = Fingerprint(spec, init, use_symmetry);
+    if (!parents.emplace(fp, fp).second) {
+      continue;
+    }
+    if (fp == target) {
+      return ReconstructTrace(spec, parent_of, target, use_symmetry);
+    }
+    if (spec.WithinConstraint(init)) {
+      frontier.push_back(init);
+      frontier_fps.push_back(fp);
+    }
+  }
+
+  for (uint64_t depth = 0; depth < max_depth && !frontier.empty(); ++depth) {
+    std::vector<State> next;
+    std::vector<uint64_t> next_fps;
+    for (size_t i = 0; i < frontier.size(); ++i) {
+      std::vector<Successor> succs = ExpandAll(spec, frontier[i], nullptr);
+      for (Successor& s : succs) {
+        const uint64_t fp = Fingerprint(spec, s.state, use_symmetry);
+        if (!parents.emplace(fp, frontier_fps[i]).second) {
+          continue;
+        }
+        if (fp == target) {
+          return ReconstructTrace(spec, parent_of, target, use_symmetry);
+        }
+        if (spec.WithinConstraint(s.state)) {
+          next.push_back(std::move(s.state));
+          next_fps.push_back(fp);
+        }
+      }
+    }
+    frontier = std::move(next);
+    frontier_fps = std::move(next_fps);
+  }
+  CHECK(false) << "re-search reconstruction: target fingerprint unreachable within "
+               << max_depth << " levels (fingerprint collision?)";
+  return {};
 }
 
 }  // namespace sandtable

@@ -27,6 +27,18 @@ using ParentLookup = std::function<std::optional<uint64_t>(uint64_t fp)>;
 std::vector<TraceStep> ReconstructTrace(const Spec& spec, const ParentLookup& parent_of,
                                         uint64_t target, bool use_symmetry);
 
+// Rebuild a minimal-depth trace to `target` without parent pointers — the
+// reconstruction path for hash-compacted visited sets (store/compact_store.h),
+// which keep bare fingerprints. Runs a fresh bounded BFS from the initial
+// states with a local fingerprint->parent map until `target` is generated
+// (at most `max_depth` levels, the violation depth the engine already knows),
+// then replays the discovered chain forward. The re-search honors the spec's
+// state constraint exactly like the engines, so it finds `target` at the same
+// minimal depth the engine first saw it. CHECK-fails if `target` is not
+// reachable within the bound (only possible under a fingerprint collision).
+std::vector<TraceStep> ReconstructTraceResearch(const Spec& spec, uint64_t target,
+                                                uint64_t max_depth, bool use_symmetry);
+
 }  // namespace sandtable
 
 #endif  // SANDTABLE_SRC_MC_RECONSTRUCT_H_

@@ -60,6 +60,12 @@ Json BfsResult::ToJson(bool include_trace) const {
     outcome = "time_limit";
   }
   o["outcome"] = Json(outcome);
+  if (hash_compact) {
+    // Present only for hash-compacted runs, so consumers can treat the field
+    // itself as the mode marker (serve results, reports, bench rows).
+    o["hash_compact"] = Json(true);
+    o["collision_probability"] = Json(collision_probability);
+  }
   if (violation.has_value()) {
     o["violation"] = violation->ToJson(include_trace);
   }

@@ -50,6 +50,9 @@ ExplorationMetrics ExplorationMetrics::Bind(MetricsRegistry* registry) {
   m.reconstructions = &registry->GetCounter("trace.reconstructions");
   m.walk_steps = &registry->GetCounter("walk.steps");
   m.walks = &registry->GetCounter("walk.traces");
+  m.steals = &registry->GetCounter("steal.chunks");
+  m.steal_misses = &registry->GetCounter("steal.misses");
+  m.steal_idle_ns = &registry->GetCounter("steal.idle_ns");
   m.frontier = &registry->GetGauge("frontier.size");
   m.frontier_peak = &registry->GetGauge("frontier.peak");
   m.workers = &registry->GetGauge("workers");

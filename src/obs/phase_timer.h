@@ -110,6 +110,9 @@ struct ExplorationMetrics {
   Counter* reconstructions = nullptr;      // trace.reconstructions
   Counter* walk_steps = nullptr;           // walk.steps
   Counter* walks = nullptr;                // walk.traces
+  Counter* steals = nullptr;               // steal.chunks (taken from a victim)
+  Counter* steal_misses = nullptr;         // steal.misses (full failed sweeps)
+  Counter* steal_idle_ns = nullptr;        // steal.idle_ns (ns waiting for work)
   Gauge* frontier = nullptr;               // frontier.size (last completed level)
   Gauge* frontier_peak = nullptr;          // frontier.peak
   Gauge* workers = nullptr;                // workers

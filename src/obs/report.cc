@@ -206,7 +206,21 @@ std::string ReportToText(const Json& report) {
       if (value.is_array() || value.is_object()) {
         continue;  // traces and nested structures stay JSON-only
       }
+      if (key == "hash_compact" || key == "collision_probability") {
+        continue;  // rendered as one explanatory line below
+      }
       AppendLine(out, "  %-28s %s", key.c_str(), ScalarToText(value).c_str());
+    }
+    if (result["hash_compact"].is_bool() && result["hash_compact"].as_bool()) {
+      // The contract promised by --hash-compact: violations reported are
+      // real (invariants ran on real states); the estimate bounds the chance
+      // that a fingerprint collision silently merged two distinct states.
+      AppendLine(out, "  %-28s on — P(any state missed to a fingerprint "
+                 "collision) <= %.3g",
+                 "hash compaction",
+                 result["collision_probability"].is_number()
+                     ? result["collision_probability"].as_double()
+                     : 0.0);
     }
   }
   if (report["peak_rss_kb"].is_number() && report["peak_rss_kb"].as_int() > 0) {

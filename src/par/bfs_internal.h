@@ -1,0 +1,77 @@
+// Internals shared by the two parallel exploration engines (parallel_bfs.cc
+// level-synchronized, steal.cc work-stealing): frontier items, violation
+// candidates and their deterministic arbitration order, and the per-worker
+// output buffers merged at barriers. Not installed API — engine TUs only.
+#ifndef SANDTABLE_SRC_PAR_BFS_INTERNAL_H_
+#define SANDTABLE_SRC_PAR_BFS_INTERNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/mc/bfs.h"
+#include "src/obs/analytics.h"
+#include "src/spec/spec.h"
+
+namespace sandtable {
+namespace par_internal {
+
+// Frontier entries carry the fingerprint computed at insertion time, like the
+// serial checker: one Fingerprint() evaluation per distinct state.
+struct FrontierItem {
+  uint64_t fp;
+  State state;
+};
+
+// A violation discovered by a worker during one level/epoch, resolved into a
+// trace only after arbitration at the barrier. For state invariants `fp` is
+// the violating state; for transition invariants it is the parent, and
+// label/state describe the offending edge.
+struct ViolationCandidate {
+  std::string invariant;
+  bool is_transition = false;
+  uint64_t fp = 0;
+  uint64_t succ_fp = 0;
+  ActionLabel label;
+  State state;
+};
+
+// Deterministic arbitration: all candidates of a level share the same trace
+// depth (the barrier guarantees it), so any fixed order preserves the
+// minimal-depth result; this one makes the chosen candidate independent of
+// worker count and scheduling — identical for the chunk-claiming and the
+// work-stealing engine, which is what lets the differential harness compare
+// their violations field by field.
+inline bool CandidateLess(const ViolationCandidate& a, const ViolationCandidate& b) {
+  if (a.invariant != b.invariant) {
+    return a.invariant < b.invariant;
+  }
+  if (a.is_transition != b.is_transition) {
+    return !a.is_transition;
+  }
+  if (a.fp != b.fp) {
+    return a.fp < b.fp;
+  }
+  return a.succ_fp < b.succ_fp;
+}
+
+// Everything a worker accumulates privately during a level; merged by the
+// coordinator at the barrier (frontier slices, candidates) or at finalization
+// (coverage, deadlocks), so workers never share mutable state.
+struct WorkerOutput {
+  std::vector<FrontierItem> next;
+  std::vector<ViolationCandidate> candidates;
+  CoverageStats coverage;
+  uint64_t deadlocks = 0;
+  // Per-worker analytics slice (initialized iff analytics is enabled): merged
+  // into the main profile at the barrier, then count-reset so the interned
+  // branch tables keep their slots across levels. With analytics on, branch
+  // hits land here instead of coverage.branches, which turns the per-level
+  // coverage set merge under the barrier into a no-op.
+  obs::ExplorationProfile profile;
+};
+
+}  // namespace par_internal
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_PAR_BFS_INTERNAL_H_

@@ -13,7 +13,9 @@
 #include "src/mc/reconstruct.h"
 #include "src/obs/phase_timer.h"
 #include "src/obs/trace.h"
+#include "src/par/bfs_internal.h"
 #include "src/par/fingerprint_shards.h"
+#include "src/par/steal.h"
 #include "src/par/work_queue.h"
 #include "src/par/worker_pool.h"
 #include "src/store/checkpoint.h"
@@ -27,67 +29,21 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 using obs::Phase;
+using par_internal::CandidateLess;
+using par_internal::FrontierItem;
+using par_internal::ViolationCandidate;
+using par_internal::WorkerOutput;
 
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-// Frontier entries carry the fingerprint computed at insertion time, like the
-// serial checker: one Fingerprint() evaluation per distinct state.
-struct FrontierItem {
-  uint64_t fp;
-  State state;
-};
-
-// A violation discovered by a worker during one level, resolved into a trace
-// only after arbitration at the barrier. For state invariants `fp` is the
-// violating state; for transition invariants it is the parent, and
-// label/state describe the offending edge.
-struct ViolationCandidate {
-  std::string invariant;
-  bool is_transition = false;
-  uint64_t fp = 0;
-  uint64_t succ_fp = 0;
-  ActionLabel label;
-  State state;
-};
-
-// Deterministic arbitration: all candidates of a level share the same trace
-// depth (the level barrier guarantees it), so any fixed order preserves the
-// minimal-depth result; this one makes the chosen candidate independent of
-// worker count and chunk scheduling.
-bool CandidateLess(const ViolationCandidate& a, const ViolationCandidate& b) {
-  if (a.invariant != b.invariant) {
-    return a.invariant < b.invariant;
-  }
-  if (a.is_transition != b.is_transition) {
-    return !a.is_transition;
-  }
-  if (a.fp != b.fp) {
-    return a.fp < b.fp;
-  }
-  return a.succ_fp < b.succ_fp;
-}
-
-// Everything a worker accumulates privately during a level; merged by the
-// coordinator at the barrier (frontier slices, candidates) or at finalization
-// (coverage, deadlocks), so workers never share mutable state.
-struct WorkerOutput {
-  std::vector<FrontierItem> next;
-  std::vector<ViolationCandidate> candidates;
-  CoverageStats coverage;
-  uint64_t deadlocks = 0;
-  // Per-worker analytics slice (initialized iff analytics is enabled): merged
-  // into the main profile at the barrier, then count-reset so the interned
-  // branch tables keep their slots across levels. With analytics on, branch
-  // hits land here instead of coverage.branches, which turns the per-level
-  // coverage set merge under the barrier into a no-op.
-  obs::ExplorationProfile profile;
-};
-
 }  // namespace
 
 BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
+  if (options.steal) {
+    return WorkStealingBfsCheck(spec, options);
+  }
   const auto start = Clock::now();
   const BfsOptions& base = options.base;
   BfsResult result;
@@ -131,6 +87,10 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
   const ParentLookup parent_of = [&](uint64_t fp) -> std::optional<uint64_t> {
     return sstore != nullptr ? sstore->Parent(fp) : visited.Parent(fp);
   };
+  // Hash-compacted stores keep no ancestry; counterexamples are then rebuilt
+  // by a bounded re-search instead of the parent-chain walk.
+  const bool parents_available = sstore == nullptr || sstore->RetainsParents();
+  result.hash_compact = !parents_available;
 
   std::vector<WorkerOutput> outs(static_cast<size_t>(workers));
   obs::ExplorationProfile* profile = base.analytics;
@@ -223,6 +183,10 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
                        !result.hit_time_limit && !result.cancelled &&
                        !(result.violation.has_value() && base.stop_at_first_violation);
     result.seconds = SecondsSince(start);
+    if (result.hash_compact) {
+      result.collision_probability =
+          obs::ExplorationProfile::CollisionProbability(result.distinct_states);
+    }
     return result;
   };
 
@@ -233,6 +197,11 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
   if (resume != nullptr) {
     // Seed from the checkpoint. The caller already loaded the visited runs
     // into the state store, so distinct() reflects the checkpoint's count.
+    CHECK(resume->meta.hash_compact == result.hash_compact)
+        << "resume mode mismatch: checkpoint "
+        << (resume->meta.hash_compact ? "was" : "was not")
+        << " written with a hash-compacted store, this run "
+        << (result.hash_compact ? "is" : "is not") << " using one";
     const store::CheckpointMeta& meta = resume->meta;
     depth = meta.depth_reached;
     base_seconds = meta.seconds;
@@ -394,6 +363,7 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
     meta.frontier_size = cur_spool->size();
     meta.seconds = base_seconds + SecondsSince(start);
     meta.use_symmetry = use_symmetry;
+    meta.hash_compact = result.hash_compact;
     // Merged coverage so far: result.coverage plus the workers' live stats.
     CoverageStats cov = result.coverage;
     uint64_t deadlocks = resumed_deadlocks;
@@ -524,7 +494,10 @@ BfsResult ParallelBfsCheck(const Spec& spec, const ParBfsOptions& options) {
       {
         obs::PhaseTimer t(m, Phase::kReconstruct);
         obs::Add(m.reconstructions);
-        trace = ReconstructTrace(spec, parent_of, best->fp, use_symmetry);
+        trace = parents_available
+                    ? ReconstructTrace(spec, parent_of, best->fp, use_symmetry)
+                    : ReconstructTraceResearch(spec, best->fp, depth + 2,
+                                               use_symmetry);
       }
       if (best->is_transition) {
         trace.push_back(TraceStep{best->label, best->state});

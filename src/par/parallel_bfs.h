@@ -51,10 +51,17 @@ struct ParBfsOptions {
   int workers = 0;
   // log2 of the fingerprint-set shard count (default 64 shards).
   int shard_count_log2 = 6;
-  // Frontier states claimed per cursor bump.
+  // Frontier states claimed per cursor bump. The work-stealing engine reuses
+  // it as the stealable chunk granularity.
   size_t chunk_size = 64;
   // Pre-size the fingerprint shards for this many states (0 = default).
   uint64_t reserve_states = 0;
+  // Use the work-stealing scheduler (par/steal.h) instead of the
+  // level-synchronized chunk cursor: ParallelBfsCheck then forwards to
+  // WorkStealingBfsCheck. Same result contract, same minimal-depth guarantee
+  // (epochs are synchronized at the same barriers as levels); fast workers
+  // steal frontier chunks from slow ones instead of idling at the barrier.
+  bool steal = false;
 };
 
 // Explores `spec` with a pool of workers and returns the same BfsResult as

@@ -1,0 +1,729 @@
+// Work-stealing parallel BFS engine. See steal.h for the scheduling model.
+//
+// The hot loop (expand / transition invariants / visited insert / state
+// invariants / constraint gate) is a line-for-line mirror of
+// parallel_bfs.cc's run_wave, and candidate arbitration uses the shared
+// par_internal::CandidateLess — those two facts together are the equivalence
+// argument the differential harness (tests/test_differential.cc) pins down:
+// every epoch-d item is expanded before any epoch-(d+1) item, so the
+// candidate set at a barrier equals the level-sync engine's candidate set at
+// the same level, and the same deterministic arbitration picks the same
+// violation.
+#include "src/par/steal.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "src/mc/expand.h"
+#include "src/mc/reconstruct.h"
+#include "src/obs/phase_timer.h"
+#include "src/obs/trace.h"
+#include "src/par/bfs_internal.h"
+#include "src/par/fingerprint_shards.h"
+#include "src/store/checkpoint.h"
+#include "src/store/frontier.h"
+#include "src/store/state_store.h"
+#include "src/util/check.h"
+
+namespace sandtable {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using obs::Phase;
+using par_internal::CandidateLess;
+using par_internal::FrontierItem;
+using par_internal::ViolationCandidate;
+using par_internal::WorkerOutput;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// The unit of scheduling: an epoch-tagged batch of frontier items. Deques
+// hold owning raw pointers (chase-lev slots must be trivially copyable); a
+// chunk is deleted by whichever worker claims it, or by the coordinator when
+// draining a stopped run.
+struct StealChunk {
+  uint64_t epoch = 0;
+  std::vector<FrontierItem> items;
+};
+
+using ChunkDeque = par::ChaseLevDeque<StealChunk*>;
+
+// Coordinator/worker epoch barrier. `round` releases an epoch; `arrived`
+// collects the workers back. cur_side / epoch / pending are written by the
+// coordinator strictly between epochs (all workers parked), published to the
+// workers by the mutex that guards `round`.
+struct EpochSync {
+  std::mutex mu;
+  std::condition_variable start_cv;  // coordinator -> workers: epoch released
+  std::condition_variable done_cv;   // workers -> coordinator: all arrived
+  uint64_t round = 0;
+  int arrived = 0;
+  bool shutdown = false;
+  int cur_side = 0;      // which of the two deque arrays is the current epoch
+  uint64_t epoch = 0;    // BFS depth of the current epoch's items
+};
+
+}  // namespace
+
+BfsResult WorkStealingBfsCheck(const Spec& spec, const ParBfsOptions& options) {
+  const auto start = Clock::now();
+  const BfsOptions& base = options.base;
+  BfsResult result;
+  const bool use_symmetry = base.use_symmetry && spec.symmetry.has_value();
+
+  const int workers =
+      options.workers > 0
+          ? options.workers
+          : static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  const size_t chunk_size = std::max<size_t>(1, options.chunk_size);
+  const obs::ExplorationMetrics m = obs::ExplorationMetrics::Bind(base.metrics);
+  obs::Set(m.workers, workers);
+
+  // Out-of-core wiring, mirroring parallel_bfs.cc. The steal engine keeps its
+  // live frontier in deque chunks in memory; the spool config is used to
+  // materialize checkpoint segments (and can spill those to disk).
+  store::StateStore* sstore = base.ooc.state_store;
+  const store::SpoolConfig* spool_cfg = base.ooc.frontier_spool;
+  store::Checkpointer* ckpt = base.ooc.checkpointer;
+  const store::ResumedRun* resume = base.ooc.resume;
+  if (ckpt != nullptr || resume != nullptr) {
+    CHECK(sstore != nullptr && spool_cfg != nullptr)
+        << "checkpoint/resume requires ooc.state_store and ooc.frontier_spool";
+  }
+
+  par::ShardedFingerprintSet visited(options.shard_count_log2);
+  if (sstore == nullptr) {
+    visited.Reserve(options.reserve_states > 0 ? options.reserve_states : (1 << 16));
+  }
+
+  auto insert_visited = [&](uint64_t fp, uint64_t parent_fp) {
+    return sstore != nullptr ? sstore->InsertIfAbsent(fp, parent_fp)
+                             : visited.InsertIfAbsent(fp, parent_fp);
+  };
+  auto distinct = [&]() -> uint64_t {
+    return sstore != nullptr ? sstore->Size() : visited.size();
+  };
+  const ParentLookup parent_of = [&](uint64_t fp) -> std::optional<uint64_t> {
+    return sstore != nullptr ? sstore->Parent(fp) : visited.Parent(fp);
+  };
+  const bool parents_available = sstore == nullptr || sstore->RetainsParents();
+  result.hash_compact = !parents_available;
+
+  std::vector<WorkerOutput> outs(static_cast<size_t>(workers));
+  obs::ExplorationProfile* profile = base.analytics;
+  if (profile != nullptr) {
+    if (!profile->initialized()) {
+      InitProfileFromSpec(profile, spec);
+    }
+    for (WorkerOutput& out : outs) {
+      InitProfileFromSpec(&out.profile, spec);
+    }
+  }
+  auto merge_worker_profiles = [&]() {
+    if (profile == nullptr) {
+      return;
+    }
+    for (WorkerOutput& out : outs) {
+      profile->MergeCounts(out.profile);
+      out.profile.ResetCounts();
+    }
+    std::vector<std::string> names;
+    profile->DrainNewBranches(&names);
+    for (std::string& n : names) {
+      result.coverage.branches.insert(std::move(n));
+    }
+  };
+
+  auto record_violation = [&](const std::string& invariant, bool is_transition,
+                              std::vector<TraceStep> trace) {
+    obs::Add(m.violations);
+    if (result.violation.has_value()) {
+      return;  // keep the first (minimal-depth) violation
+    }
+    Violation v;
+    v.invariant = invariant;
+    v.is_transition_invariant = is_transition;
+    v.depth = trace.empty() ? 0 : trace.size() - 1;
+    v.trace = std::move(trace);
+    v.states_explored = distinct();
+    v.seconds = SecondsSince(start);
+    result.violation = std::move(v);
+  };
+
+  auto finalize = [&](uint64_t final_depth, bool frontier_drained) -> BfsResult& {
+    merge_worker_profiles();
+    if (profile != nullptr) {
+      profile->SetDistinctStates(distinct());
+    }
+    for (WorkerOutput& out : outs) {
+      result.coverage.Merge(out.coverage);
+      result.deadlock_states += out.deadlocks;
+      out.coverage = CoverageStats{};
+      out.deadlocks = 0;
+    }
+    result.distinct_states = distinct();
+    result.depth_reached = final_depth;
+    result.exhausted = frontier_drained && !result.hit_state_limit &&
+                       !result.hit_time_limit && !result.cancelled &&
+                       !(result.violation.has_value() && base.stop_at_first_violation);
+    result.seconds = SecondsSince(start);
+    if (result.hash_compact) {
+      result.collision_probability =
+          obs::ExplorationProfile::CollisionProbability(result.distinct_states);
+    }
+    return result;
+  };
+
+  // Two deque arrays per worker, flipped each epoch: deques[side][w].
+  std::vector<std::unique_ptr<ChunkDeque>> deques[2];
+  for (int side = 0; side < 2; ++side) {
+    for (int w = 0; w < workers; ++w) {
+      deques[side].push_back(std::make_unique<ChunkDeque>());
+    }
+  }
+  std::atomic<uint64_t> pending{0};  // unclaimed chunks of the current epoch
+  EpochSync sync;
+  auto drain_all_chunks = [&]() {
+    for (int side = 0; side < 2; ++side) {
+      for (auto& dq : deques[side]) {
+        dq->DrainQuiescent([](StealChunk* c) { delete c; });
+      }
+    }
+  };
+
+  uint64_t depth = 0;
+  double base_seconds = 0;
+  uint64_t resumed_deadlocks = 0;
+
+  // Seed the side-0 deques round-robin, packing `chunk_size` items per chunk.
+  uint64_t seed_items = 0;
+  uint64_t seed_chunks = 0;
+  int seed_rr = 0;
+  std::vector<FrontierItem> seed_open;
+  auto seed_flush = [&](uint64_t epoch) {
+    if (seed_open.empty()) {
+      return;
+    }
+    auto* c = new StealChunk{epoch, std::move(seed_open)};
+    seed_open = {};
+    deques[0][static_cast<size_t>(seed_rr)]->Push(c);
+    seed_rr = (seed_rr + 1) % workers;
+    ++seed_chunks;
+  };
+  auto seed_push = [&](uint64_t epoch, uint64_t fp, State state) {
+    seed_open.push_back(FrontierItem{fp, std::move(state)});
+    ++seed_items;
+    if (seed_open.size() >= chunk_size) {
+      seed_flush(epoch);
+    }
+  };
+
+  if (resume != nullptr) {
+    CHECK(resume->meta.hash_compact == result.hash_compact)
+        << "resume mode mismatch: checkpoint "
+        << (resume->meta.hash_compact ? "was" : "was not")
+        << " written with a hash-compacted store, this run "
+        << (result.hash_compact ? "is" : "is not") << " using one";
+    const store::CheckpointMeta& meta = resume->meta;
+    depth = meta.depth_reached;
+    base_seconds = meta.seconds;
+    resumed_deadlocks = meta.deadlock_states;
+    result.deadlock_states = meta.deadlock_states;
+    if (!meta.coverage.is_null()) {
+      auto cov = CoverageStats::FromFullJson(meta.coverage);
+      CHECK(cov.ok()) << "resume: " << cov.error();
+      result.coverage = std::move(cov).value();
+    }
+    if (profile != nullptr && !meta.analytics.is_null()) {
+      auto prior = obs::ExplorationProfile::FromJson(meta.analytics);
+      CHECK(prior.ok()) << "resume: " << prior.error();
+      profile->MergeCounts(prior.value());
+      std::vector<std::string> drained;
+      profile->DrainNewBranches(&drained);
+    }
+    const Status st = store::ForEachSegmentEntry(
+        resume->frontier_path, [&](uint64_t fp, State&& state) -> Status {
+          seed_push(depth, fp, std::move(state));
+          return Status();
+        });
+    CHECK(st.ok()) << "resume: " << st.error();
+    if (ckpt != nullptr) {
+      ckpt->SeedCadence(meta.distinct_states);
+    }
+  } else {
+    // Serial seeding on the coordinator, like parallel_bfs.cc (also primes
+    // the symmetry-context epoch before workers fingerprint concurrently).
+    for (const State& init : spec.init_states) {
+      const uint64_t fp = Fingerprint(spec, init, use_symmetry);
+      if (!insert_visited(fp, fp)) {
+        continue;
+      }
+      obs::Add(m.distinct_states);
+      obs::Add(m.invariant_checks);
+      const std::string bad = CheckInvariants(spec, init, profile);
+      if (!bad.empty()) {
+        record_violation(bad, false, {TraceStep{ActionLabel{}, init}});
+        if (base.stop_at_first_violation) {
+          drain_all_chunks();
+          return finalize(0, false);
+        }
+      }
+      if (spec.WithinConstraint(init)) {
+        seed_push(0, fp, init);
+      }
+    }
+  }
+  seed_flush(depth);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> hit_state_limit{false};
+  std::atomic<bool> hit_time_limit{false};
+  std::atomic<bool> cancel_hit{false};
+
+  // One epoch of one worker: pop own chunks, steal when dry, exit at global
+  // quiescence (pending == 0) or stop. Successors are chunked into the
+  // worker's OWN next-side deque — they never pass through the coordinator,
+  // which is the structural win over the level-synchronized engine.
+  auto run_epoch = [&](int w, int side, uint64_t epoch) {
+    WorkerOutput& out = outs[static_cast<size_t>(w)];
+    obs::ExplorationProfile* wp = profile != nullptr ? &out.profile : nullptr;
+    ChunkDeque& own = *deques[side][static_cast<size_t>(w)];
+    ChunkDeque& next = *deques[side ^ 1][static_cast<size_t>(w)];
+    obs::TraceSpan wave_span("worker.wave", "worker", w, "epoch",
+                             static_cast<int64_t>(epoch));
+
+    std::vector<FrontierItem> open;  // the chunk being filled with successors
+    auto flush_open = [&]() {
+      if (!open.empty()) {
+        next.Push(new StealChunk{epoch + 1, std::move(open)});
+        open = {};
+      }
+    };
+
+    while (!stop.load(std::memory_order_relaxed)) {
+      StealChunk* chunk = nullptr;
+      if (!own.Pop(&chunk)) {
+        // Own deque dry: sweep the victims until a steal lands or the epoch
+        // is globally quiescent. The idle clock is only read when the
+        // steal.idle_ns counter is bound.
+        const bool timing = m.steal_idle_ns != nullptr;
+        const uint64_t idle_start = timing ? obs::TraceNowNs() : 0;
+        while (chunk == nullptr && !stop.load(std::memory_order_relaxed)) {
+          for (int i = 1; i < workers; ++i) {
+            const int v = (w + i) % workers;
+            if (deques[side][static_cast<size_t>(v)]->Steal(&chunk)) {
+              obs::Add(m.steals);
+              break;
+            }
+          }
+          if (chunk != nullptr) {
+            break;
+          }
+          obs::Add(m.steal_misses);
+          if (pending.load(std::memory_order_acquire) == 0) {
+            break;  // every chunk of this epoch is claimed: quiescent
+          }
+          std::this_thread::yield();
+        }
+        if (timing) {
+          obs::Add(m.steal_idle_ns, obs::TraceNowNs() - idle_start);
+        }
+        if (chunk == nullptr) {
+          break;
+        }
+      }
+      pending.fetch_sub(1, std::memory_order_release);
+      CHECK(chunk->epoch == epoch)
+          << "work-stealing invariant broken: claimed a chunk of epoch "
+          << chunk->epoch << " while expanding epoch " << epoch;
+
+      // ---- Hot loop: identical to parallel_bfs.cc run_wave. ---------------
+      for (const FrontierItem& item : chunk->items) {
+        std::vector<Successor> succs;
+        {
+          obs::PhaseTimer t(m, Phase::kExpand);
+          obs::Add(m.expand_calls);
+          succs = ExpandAll(spec, item.state, &out.coverage, wp);
+        }
+        if (succs.empty()) {
+          ++out.deadlocks;
+          obs::Add(m.deadlocks);
+          continue;
+        }
+        obs::Add(m.generated, succs.size());
+        for (Successor& s : succs) {
+          out.coverage.RecordEvent(s.label.kind);
+          uint64_t fp;
+          {
+            obs::PhaseTimer t(m, Phase::kCanonicalize);
+            fp = Fingerprint(spec, s.state, use_symmetry);
+          }
+
+          std::string bad_edge;
+          {
+            obs::PhaseTimer t(m, Phase::kInvariants);
+            obs::Add(m.transition_checks);
+            bad_edge =
+                CheckTransitionInvariants(spec, item.state, s.label, s.state, wp);
+          }
+          if (!bad_edge.empty()) {
+            out.candidates.push_back(
+                ViolationCandidate{bad_edge, true, item.fp, fp, s.label, s.state});
+          }
+
+          bool duplicate;
+          {
+            obs::PhaseTimer t(m, Phase::kFingerprint);
+            duplicate = !insert_visited(fp, item.fp);
+          }
+          if (duplicate) {
+            obs::Add(m.duplicates);
+            if (wp != nullptr) {
+              wp->RecordDuplicate(s.action_index);
+            }
+            continue;
+          }
+          obs::Add(m.distinct_states);
+          std::string bad;
+          {
+            obs::PhaseTimer t(m, Phase::kInvariants);
+            obs::Add(m.invariant_checks);
+            bad = CheckInvariants(spec, s.state, wp);
+          }
+          if (!bad.empty()) {
+            out.candidates.push_back(
+                ViolationCandidate{bad, false, fp, fp, ActionLabel{}, State{}});
+          }
+          if (distinct() >= base.max_distinct_states) {
+            hit_state_limit.store(true, std::memory_order_relaxed);
+            stop.store(true, std::memory_order_relaxed);
+          }
+          if (spec.WithinConstraint(s.state)) {
+            open.push_back(FrontierItem{fp, std::move(s.state)});
+            if (open.size() >= chunk_size) {
+              flush_open();
+            }
+          }
+        }
+      }
+      delete chunk;
+      // Stop checks once per chunk, like once per claimed chunk in the
+      // level-sync engine. A claimed chunk is always fully expanded.
+      if (StopRequested(base.stop)) {
+        cancel_hit.store(true, std::memory_order_relaxed);
+        stop.store(true, std::memory_order_relaxed);
+      }
+      if (SecondsSince(start) > base.time_budget_s) {
+        hit_time_limit.store(true, std::memory_order_relaxed);
+        stop.store(true, std::memory_order_relaxed);
+      }
+    }
+    flush_open();
+  };
+
+  // Persistent worker threads parked at the epoch barrier between releases.
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w]() {
+      uint64_t seen_round = 0;
+      for (;;) {
+        int side;
+        uint64_t epoch;
+        {
+          obs::TraceSpan wait_span("barrier.wait", "worker", w);
+          std::unique_lock<std::mutex> lk(sync.mu);
+          sync.start_cv.wait(
+              lk, [&]() { return sync.round != seen_round || sync.shutdown; });
+          if (sync.shutdown) {
+            return;
+          }
+          seen_round = sync.round;
+          side = sync.cur_side;
+          epoch = sync.epoch;
+        }
+        run_epoch(w, side, epoch);
+        {
+          std::lock_guard<std::mutex> lk(sync.mu);
+          ++sync.arrived;
+        }
+        sync.done_cv.notify_one();
+      }
+    });
+  }
+
+  // All paths out of the epoch loop go through here: park nothing, wake the
+  // workers into shutdown, join, and free any chunks still in the deques.
+  auto shutdown = [&]() {
+    {
+      std::lock_guard<std::mutex> lk(sync.mu);
+      sync.shutdown = true;
+    }
+    sync.start_cv.notify_all();
+    for (std::thread& t : threads) {
+      t.join();
+    }
+    drain_all_chunks();
+  };
+
+  uint64_t spool_seq = 0;
+  auto new_spool = [&]() {
+    char name[48];
+    std::snprintf(name, sizeof(name), "steal-frontier-%06llu.seg",
+                  static_cast<unsigned long long>(spool_seq++));
+    return std::make_unique<store::FrontierSpool>(spool_cfg, name);
+  };
+  // Checkpoint whatever frontier `spool` holds; mirrors parallel_bfs.cc's
+  // write_checkpoint (including the copy-merge of live worker slices).
+  auto write_checkpoint = [&](const store::FrontierSpool& spool) {
+    store::CheckpointMeta meta;
+    meta.distinct_states = distinct();
+    meta.depth_reached = depth;
+    meta.frontier_size = spool.size();
+    meta.seconds = base_seconds + SecondsSince(start);
+    meta.use_symmetry = use_symmetry;
+    meta.hash_compact = result.hash_compact;
+    CoverageStats cov = result.coverage;
+    uint64_t deadlocks = resumed_deadlocks;
+    for (const WorkerOutput& out : outs) {
+      cov.Merge(out.coverage);
+      deadlocks += out.deadlocks;
+    }
+    meta.deadlock_states = deadlocks;
+    if (profile != nullptr) {
+      obs::ExplorationProfile prof = *profile;
+      for (const WorkerOutput& out : outs) {
+        prof.MergeCounts(out.profile);
+      }
+      prof.SetDistinctStates(distinct());
+      std::vector<std::string> names;
+      prof.DrainNewBranches(&names);
+      for (std::string& n : names) {
+        cov.branches.insert(std::move(n));
+      }
+      meta.analytics = prof.ToJson();
+    }
+    meta.coverage = cov.ToFullJson();
+    if (base.metrics != nullptr) {
+      meta.metrics = base.metrics->Snapshot().ToJson();
+    }
+    const Status st = ckpt->Write(*sstore, spool, std::move(meta));
+    if (!st.ok()) {
+      std::fprintf(stderr, "sandtable: checkpoint write failed: %s\n",
+                   st.error().c_str());
+    }
+  };
+
+  uint64_t frontier_items = seed_items;
+  uint64_t frontier_chunks = seed_chunks;
+  int cur_side = 0;
+
+  while (frontier_items > 0) {
+    if (depth >= base.max_depth) {
+      shutdown();
+      return finalize(depth, false);
+    }
+    obs::SetMax(m.frontier_peak, static_cast<int64_t>(frontier_items));
+    if (profile != nullptr) {
+      profile->RecordLevel(depth, frontier_items);
+    }
+
+    {
+      obs::TraceSpan level_span("bfs.level", "level",
+                                static_cast<int64_t>(depth), "frontier",
+                                static_cast<int64_t>(frontier_items));
+      // Publish the epoch (side / tag / unclaimed-chunk count) and release.
+      pending.store(frontier_chunks, std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lk(sync.mu);
+        sync.arrived = 0;
+        ++sync.round;
+        sync.cur_side = cur_side;
+        sync.epoch = depth;
+      }
+      sync.start_cv.notify_all();
+      {
+        std::unique_lock<std::mutex> lk(sync.mu);
+        sync.done_cv.wait(lk, [&]() { return sync.arrived == workers; });
+      }
+    }
+
+    // ---- Epoch barrier: the coordinator owns everything again. ------------
+
+    // A cancellation stop checkpoints the exact set of unexpanded states:
+    // unclaimed chunks of the stopped epoch plus the successors generated
+    // before the stop (mixed adjacent depths — the same approximation as the
+    // level-sync engine's cancel path). Budget stops keep the last
+    // level-boundary checkpoint so a resumed run reproduces an uninterrupted
+    // one.
+    if (cancel_hit.load(std::memory_order_relaxed) && ckpt != nullptr) {
+      bool has_candidates = false;
+      for (const WorkerOutput& out : outs) {
+        has_candidates = has_candidates || !out.candidates.empty();
+      }
+      if (!(has_candidates && base.stop_at_first_violation)) {
+        std::unique_ptr<store::FrontierSpool> spool = new_spool();
+        for (int side = 0; side < 2; ++side) {
+          for (auto& dq : deques[side]) {
+            dq->DrainQuiescent([&](StealChunk* c) {
+              for (FrontierItem& item : c->items) {
+                const Status st = spool->Push(item.fp, std::move(item.state));
+                CHECK(st.ok()) << "frontier spill failed: " << st.error();
+              }
+              delete c;
+            });
+          }
+        }
+        write_checkpoint(*spool);
+      }
+    }
+
+    merge_worker_profiles();
+
+    // Arbitrate this epoch's violation candidates — shared CandidateLess, so
+    // the winner matches the level-sync engine's at the same level.
+    const ViolationCandidate* best = nullptr;
+    for (const WorkerOutput& out : outs) {
+      for (const ViolationCandidate& c : out.candidates) {
+        if (best == nullptr || CandidateLess(c, *best)) {
+          best = &c;
+        }
+      }
+    }
+    if (best != nullptr && !result.violation.has_value()) {
+      std::vector<TraceStep> trace;
+      {
+        obs::PhaseTimer t(m, Phase::kReconstruct);
+        obs::Add(m.reconstructions);
+        trace = parents_available
+                    ? ReconstructTrace(spec, parent_of, best->fp, use_symmetry)
+                    : ReconstructTraceResearch(spec, best->fp, depth + 2,
+                                               use_symmetry);
+      }
+      if (best->is_transition) {
+        trace.push_back(TraceStep{best->label, best->state});
+      }
+      record_violation(best->invariant, best->is_transition, std::move(trace));
+    }
+    for (WorkerOutput& out : outs) {
+      out.candidates.clear();
+    }
+    if (result.violation.has_value() && base.stop_at_first_violation) {
+      shutdown();
+      return finalize(depth, false);
+    }
+
+    if (cancel_hit.load(std::memory_order_relaxed)) {
+      result.cancelled = true;
+      shutdown();
+      return finalize(depth, false);
+    }
+    if (hit_state_limit.load(std::memory_order_relaxed)) {
+      result.hit_state_limit = true;
+      shutdown();
+      return finalize(depth, false);
+    }
+    if (hit_time_limit.load(std::memory_order_relaxed)) {
+      result.hit_time_limit = true;
+      shutdown();
+      return finalize(depth, false);
+    }
+
+    // Flip sides: the next-side deques (filled worker-locally, never merged)
+    // become the new frontier. Quiescent, so the counts are exact.
+    cur_side ^= 1;
+    frontier_chunks = 0;
+    frontier_items = 0;
+    std::vector<size_t> queue_depths(static_cast<size_t>(workers), 0);
+    for (int w = 0; w < workers; ++w) {
+      ChunkDeque& dq = *deques[cur_side][static_cast<size_t>(w)];
+      frontier_chunks += dq.SizeApprox();
+      dq.ForEachQuiescent([&](StealChunk* c) {
+        frontier_items += c->items.size();
+        queue_depths[static_cast<size_t>(w)] += c->items.size();
+      });
+    }
+
+    if (base.progress != nullptr && base.progress->Due(distinct())) {
+      obs::ProgressSample sample;
+      sample.engine = "parallel_bfs_steal";
+      sample.elapsed_s = SecondsSince(start);
+      sample.distinct_states = distinct();
+      sample.depth = depth + 1;
+      sample.deadlocks = 0;
+      for (const WorkerOutput& out : outs) {
+        sample.deadlocks += out.deadlocks;
+        sample.transitions += out.coverage.transitions;
+      }
+      for (size_t qd : queue_depths) {
+        sample.worker_queue_depths.push_back(qd);
+      }
+      sample.frontier = frontier_items;
+      if (sstore == nullptr) {
+        const par::ShardedFingerprintSet::LoadStats load = visited.Load();
+        obs::ShardLoad shard_load;
+        shard_load.shards = load.sizes.size();
+        shard_load.max_load_factor = load.max_load_factor;
+        size_t min_size = load.sizes.empty() ? 0 : load.sizes[0];
+        size_t max_size = 0;
+        size_t total = 0;
+        for (size_t sz : load.sizes) {
+          min_size = std::min(min_size, sz);
+          max_size = std::max(max_size, sz);
+          total += sz;
+        }
+        shard_load.min_size = min_size;
+        shard_load.max_size = max_size;
+        shard_load.avg_size =
+            load.sizes.empty()
+                ? 0.0
+                : static_cast<double>(total) / static_cast<double>(load.sizes.size());
+        sample.shard_load = shard_load;
+      }
+      sample.event_kinds = result.coverage.DistinctEventKinds();
+      sample.branches = result.coverage.branches.size();
+      if (profile != nullptr) {
+        sample.analytics = profile->SummaryJson(3);
+      }
+      base.progress->Emit(sample);
+    }
+
+    obs::Add(m.levels);
+    obs::Set(m.frontier, static_cast<int64_t>(frontier_items));
+    obs::TraceCounter("distinct_states", static_cast<int64_t>(distinct()));
+    obs::TraceCounter("frontier", static_cast<int64_t>(frontier_items));
+    if (frontier_items > 0) {
+      ++depth;
+    }
+    if (ckpt != nullptr && ckpt->Due(distinct())) {
+      // Level-boundary checkpoint: the new current side holds exactly the
+      // unexpanded frontier. Copied (not drained) — exploration continues.
+      std::unique_ptr<store::FrontierSpool> spool = new_spool();
+      for (auto& dq : deques[cur_side]) {
+        dq->ForEachQuiescent([&](StealChunk* c) {
+          for (const FrontierItem& item : c->items) {
+            const Status st = spool->Push(item.fp, State(item.state));
+            CHECK(st.ok()) << "frontier spill failed: " << st.error();
+          }
+        });
+      }
+      write_checkpoint(*spool);
+    }
+  }
+
+  shutdown();
+  return finalize(depth, /*frontier_drained=*/true);
+}
+
+}  // namespace sandtable

@@ -1,0 +1,196 @@
+// Work-stealing parallel BFS: epoch-synchronized chase-lev deques replacing
+// the level-synchronized chunk cursor of parallel_bfs.cc.
+//
+// Scheduling model:
+//   - each worker owns TWO deques: `cur` holds chunks of the epoch being
+//     expanded, `next` collects chunks of successor states. A chunk is an
+//     epoch-tagged batch of up to ParBfsOptions::chunk_size frontier items;
+//     the tag is CHECKed at expansion, which is what pins BFS level semantics
+//     (= depth accounting and the minimal-depth violation guarantee) to the
+//     same contract as the level-synchronized engine;
+//   - a worker pops from the bottom of its own `cur` deque (LIFO, cache-warm)
+//     and appends successors to its own `next` deque. When its `cur` runs
+//     dry it steals a chunk from the TOP of a victim's `cur` deque instead
+//     of idling at a barrier — the chase-lev discipline: owner and thieves
+//     synchronize on a single compare-and-swap of the `top` cursor;
+//   - an epoch ends at global quiescence: a shared counter of unclaimed
+//     chunks reaches zero (chunks are only created for the NEXT epoch, so
+//     the counter is strictly decreasing within an epoch). The coordinator
+//     then owns the world exactly as at a level barrier: it merges worker
+//     outputs, arbitrates violation candidates with the same deterministic
+//     order as the level-sync engine, swaps every worker's cur/next deques,
+//     and releases the next epoch.
+//
+// Compared to the level-synchronized engine this removes the serial
+// frontier-merge phase (successors never pass through the coordinator) and
+// replaces end-of-level idling with stealing, which is where the barrier
+// idle time measured by the analytics profiler (ROADMAP item 3a) goes.
+// Steal traffic is observable: steal.chunks / steal.misses / steal.idle_ns
+// counters and the worker.wave / barrier.wait trace lanes.
+//
+// Result contract: identical to ParallelBfsCheck — on full exploration,
+// distinct_states / depth_reached / deadlocks / exhausted / coverage equal
+// serial BFS; violations are reported at minimal depth with deterministic
+// arbitration. The same symmetry caveat as parallel_bfs.h applies.
+#ifndef SANDTABLE_SRC_PAR_STEAL_H_
+#define SANDTABLE_SRC_PAR_STEAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+#include "src/par/parallel_bfs.h"
+
+namespace sandtable {
+namespace par {
+
+// Chase-lev work-stealing deque (Chase & Lev, "Dynamic Circular Work-Stealing
+// Deque"; memory orderings after Lê et al., "Correct and Efficient
+// Work-Stealing for Weak Memory Models", with the standalone fences replaced
+// by seq_cst accesses on the two cursors — marginally stronger, and exactly
+// what ThreadSanitizer models precisely).
+//
+// Ownership protocol: ONE owner thread calls Push/Pop (bottom end); any
+// number of thieves call Steal (top end). The element type must be trivially
+// copyable (use pointers); slots are atomics so a thief's speculative read of
+// a slot it then fails to win is benign. Grown arrays are retired, not freed,
+// until destruction, so a thief holding a stale array pointer stays valid.
+template <typename T>
+class ChaseLevDeque {
+  static_assert(std::is_trivially_copyable<T>::value,
+                "deque slots are raw atomics; store pointers");
+
+ public:
+  explicit ChaseLevDeque(size_t initial_capacity = 64) {
+    size_t cap = 16;
+    while (cap < initial_capacity) {
+      cap <<= 1;
+    }
+    arrays_.push_back(std::make_unique<Array>(cap));
+    array_.store(arrays_.back().get(), std::memory_order_release);
+  }
+
+  // Owner only.
+  void Push(T v) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_acquire);
+    Array* a = array_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<int64_t>(a->capacity)) {
+      a = Grow(a, t, b);
+    }
+    a->Put(b, v);
+    bottom_.store(b + 1, std::memory_order_seq_cst);
+  }
+
+  // Owner only. False when empty.
+  bool Pop(T* out) {
+    const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Array* a = array_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_seq_cst);
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    if (t > b) {
+      // Already empty; restore bottom.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return false;
+    }
+    *out = a->Get(b);
+    if (t == b) {
+      // Last element: race the thieves for it via the top cursor.
+      const bool won = top_.compare_exchange_strong(
+          t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return won;
+    }
+    return true;
+  }
+
+  // Any thief. False when empty or when it lost a race (callers sweep on).
+  bool Steal(T* out) {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    const int64_t b = bottom_.load(std::memory_order_seq_cst);
+    if (t >= b) {
+      return false;
+    }
+    Array* a = array_.load(std::memory_order_acquire);
+    const T v = a->Get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return false;
+    }
+    *out = v;
+    return true;
+  }
+
+  // Racy size hint for progress reporting only.
+  size_t SizeApprox() const {
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    const int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<size_t>(b - t) : 0;
+  }
+
+  bool EmptyApprox() const { return SizeApprox() == 0; }
+
+  // Quiescent only (no concurrent owner or thieves): visit every element in
+  // steal order without removing it.
+  template <typename Fn>
+  void ForEachQuiescent(Fn&& fn) const {
+    const int64_t t = top_.load(std::memory_order_relaxed);
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    Array* a = array_.load(std::memory_order_relaxed);
+    for (int64_t i = t; i < b; ++i) {
+      fn(a->Get(i));
+    }
+  }
+
+  // Quiescent only: visit and remove every element, leaving the deque empty.
+  template <typename Fn>
+  void DrainQuiescent(Fn&& fn) {
+    ForEachQuiescent(fn);
+    const int64_t b = bottom_.load(std::memory_order_relaxed);
+    top_.store(b, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Array {
+    explicit Array(size_t cap)
+        : capacity(cap), mask(cap - 1), slots(new std::atomic<T>[cap]) {}
+    T Get(int64_t i) const {
+      return slots[static_cast<size_t>(i) & mask].load(std::memory_order_relaxed);
+    }
+    void Put(int64_t i, T v) {
+      slots[static_cast<size_t>(i) & mask].store(v, std::memory_order_relaxed);
+    }
+    const size_t capacity;
+    const size_t mask;
+    std::unique_ptr<std::atomic<T>[]> slots;
+  };
+
+  // Owner only: double the array, copying live entries. The old array stays
+  // alive for thieves holding its pointer.
+  Array* Grow(Array* old, int64_t t, int64_t b) {
+    arrays_.push_back(std::make_unique<Array>(old->capacity * 2));
+    Array* a = arrays_.back().get();
+    for (int64_t i = t; i < b; ++i) {
+      a->Put(i, old->Get(i));
+    }
+    array_.store(a, std::memory_order_release);
+    return a;
+  }
+
+  std::atomic<int64_t> top_{0};
+  std::atomic<int64_t> bottom_{0};
+  std::atomic<Array*> array_{nullptr};
+  std::vector<std::unique_ptr<Array>> arrays_;  // owner-managed retirement
+};
+
+}  // namespace par
+
+// Work-stealing exploration of `spec`. Normally reached via
+// ParallelBfsCheck with options.steal = true; exposed for tests and benches.
+BfsResult WorkStealingBfsCheck(const Spec& spec, const ParBfsOptions& options = {});
+
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_PAR_STEAL_H_

@@ -23,6 +23,7 @@
 #include "src/par/parallel_bfs.h"
 #include "src/raftspec/raft_params.h"
 #include "src/store/checkpoint.h"
+#include "src/store/compact_store.h"
 #include "src/util/rng.h"
 #include "src/util/run_id.h"
 
@@ -154,8 +155,10 @@ const char* const kCommonKeys[] = {"system",         "bug",
                                    "with_bugs",      "channel",
                                    "progress_every", "progress_every_s",
                                    "run_id"};
-const char* const kCheckKeys[] = {"workers", "max_states", "max_depth",
-                                  "time_budget_ms", "analytics"};
+const char* const kCheckKeys[] = {"workers",        "max_states",
+                                  "max_depth",      "time_budget_ms",
+                                  "analytics",      "steal",
+                                  "hash_compact"};
 const char* const kSimulateKeys[] = {"traces", "seed", "walk_depth",
                                      "check_invariants", "time_budget_ms",
                                      "analytics"};
@@ -302,11 +305,21 @@ JobOutcome RunCheck(const JobParams& p, const Spec& spec,
   if (p.analytics) {
     opts.analytics = &profile;
   }
+  // Hash compaction: swap the visited set for the fingerprint-only store.
+  // Job-scoped — the daemon never checkpoints check jobs, so no spool or
+  // checkpointer wiring is needed; r.ToJson() reports the mode and the
+  // collision-probability bound.
+  std::unique_ptr<store::CompactStateStore> compact;
+  if (p.hash_compact) {
+    compact = std::make_unique<store::CompactStateStore>();
+    opts.ooc.state_store = compact.get();
+  }
   BfsResult r;
-  if (p.workers > 1) {
+  if (p.workers > 1 || p.steal) {
     ParBfsOptions popts;
     popts.base = opts;
     popts.workers = p.workers;
+    popts.steal = p.steal;
     r = ParallelBfsCheck(spec, popts);
   } else {
     r = BfsCheck(spec, opts);
@@ -532,6 +545,8 @@ Result<JobParams> ParseJobParams(const std::string& kind, const Json& params) {
       !GetU64(params, "walk_depth", &p.walk_depth, &err) ||
       !GetBool(params, "check_invariants", &p.check_invariants, &err) ||
       !GetBool(params, "analytics", &p.analytics, &err) ||
+      !GetBool(params, "steal", &p.steal, &err) ||
+      !GetBool(params, "hash_compact", &p.hash_compact, &err) ||
       !GetBool(params, "match_any", &p.match_any, &err) ||
       !GetString(params, "ckpt_dir", &p.ckpt_dir, &err) ||
       !GetString(params, "run_id", &p.run_id, &err)) {

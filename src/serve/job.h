@@ -46,6 +46,13 @@ struct JobParams {
   uint64_t max_states = 0;  // 0 = unlimited
   uint64_t max_depth = 0;   // 0 = unlimited
   uint64_t time_budget_ms = 0;
+  // check: use the work-stealing parallel scheduler (src/par/steal.h); forces
+  // the parallel engine even with workers == 1, mirroring the CLI's --steal.
+  bool steal = false;
+  // check: fingerprint-only visited set (src/store/compact_store.h). The
+  // result document then carries "hash_compact": true and the
+  // "collision_probability" bound.
+  bool hash_compact = false;
 
   // simulate: number of walks, base RNG seed (walk i uses seed + i, exactly
   // like the CLI), per-walk depth cap, invariant checking.

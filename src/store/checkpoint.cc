@@ -102,6 +102,7 @@ Json CheckpointMeta::ToJson() const {
   o["deadlock_states"] = Json(deadlock_states);
   o["seconds"] = Json(seconds);
   o["use_symmetry"] = Json(use_symmetry);
+  o["hash_compact"] = Json(hash_compact);
   JsonArray runs;
   for (const std::string& name : visited_runs) {
     runs.emplace_back(name);
@@ -136,6 +137,8 @@ Result<CheckpointMeta> CheckpointMeta::FromJson(const Json& j) {
   m.deadlock_states = static_cast<uint64_t>(j["deadlock_states"].as_int());
   m.seconds = j["seconds"].is_number() ? j["seconds"].as_double() : 0;
   m.use_symmetry = j["use_symmetry"].is_bool() && j["use_symmetry"].as_bool();
+  // Absent in pre-hash-compaction checkpoints, which always retained parents.
+  m.hash_compact = j["hash_compact"].is_bool() && j["hash_compact"].as_bool();
   for (const Json& name : j["visited_runs"].as_array()) {
     if (!name.is_string()) {
       return R::Error("checkpoint manifest: non-string run name");

@@ -58,6 +58,10 @@ struct CheckpointMeta {
   uint64_t deadlock_states = 0;
   double seconds = 0;  // wall time spent before this checkpoint
   bool use_symmetry = false;
+  // Visited runs came from a hash-compacted store: entries are self-parent
+  // fingerprints with no ancestry. Such a checkpoint must be resumed into a
+  // hash-compacted run (and vice versa); the engines reject mismatches.
+  bool hash_compact = false;
 
   // Files inside the checkpoint directory.
   std::vector<std::string> visited_runs;

@@ -1,0 +1,175 @@
+#include "src/store/compact_store.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <utility>
+
+#include "src/obs/analytics.h"
+#include "src/util/check.h"
+
+namespace sandtable {
+namespace store {
+
+namespace {
+
+// Slot index within a shard. The shard is selected by the fingerprint's high
+// bits, so the raw value would cluster inside a shard's table; one multiply
+// respreads it (SplitMix64 finalizer constant).
+inline size_t SlotHash(uint64_t fp) {
+  return static_cast<size_t>(fp * 0x9E3779B97F4A7C15ULL);
+}
+
+constexpr double kMaxLoad = 0.7;
+
+size_t NextPow2(size_t n) {
+  size_t p = 16;
+  while (p < n) {
+    p <<= 1;
+  }
+  return p;
+}
+
+}  // namespace
+
+CompactStateStore::CompactStateStore() : CompactStateStore(Config()) {}
+
+CompactStateStore::CompactStateStore(Config config)
+    : nshards_(1 << config.shard_count_log2),
+      shift_(64 - config.shard_count_log2),
+      shards_(new Shard[static_cast<size_t>(nshards_)]) {
+  const uint64_t per_shard =
+      std::max<uint64_t>(1, config.reserve / static_cast<uint64_t>(nshards_));
+  const size_t cap =
+      NextPow2(static_cast<size_t>(static_cast<double>(per_shard) / kMaxLoad) + 1);
+  for (int i = 0; i < nshards_; ++i) {
+    shards_[i].slots.assign(cap, 0);
+  }
+}
+
+bool CompactStateStore::InsertLocked(Shard* shard, uint64_t fp) {
+  if (fp == 0) {
+    if (shard->has_zero) {
+      return false;
+    }
+    shard->has_zero = true;
+    return true;
+  }
+  if (static_cast<double>(shard->used + 1) >
+      kMaxLoad * static_cast<double>(shard->slots.size())) {
+    GrowLocked(shard);
+  }
+  const size_t mask = shard->slots.size() - 1;
+  size_t i = SlotHash(fp) & mask;
+  while (shard->slots[i] != 0) {
+    if (shard->slots[i] == fp) {
+      return false;
+    }
+    i = (i + 1) & mask;
+  }
+  shard->slots[i] = fp;
+  ++shard->used;
+  return true;
+}
+
+void CompactStateStore::GrowLocked(Shard* shard) {
+  std::vector<uint64_t> old = std::move(shard->slots);
+  shard->slots.assign(old.size() * 2, 0);
+  const size_t mask = shard->slots.size() - 1;
+  for (uint64_t fp : old) {
+    if (fp == 0) {
+      continue;
+    }
+    size_t i = SlotHash(fp) & mask;
+    while (shard->slots[i] != 0) {
+      i = (i + 1) & mask;
+    }
+    shard->slots[i] = fp;
+  }
+}
+
+bool CompactStateStore::InsertIfAbsent(uint64_t fp, uint64_t parent_fp) {
+  (void)parent_fp;  // hash compaction drops ancestry by design
+  Shard& shard = shards_[ShardIndex(fp)];
+  bool inserted;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    inserted = InsertLocked(&shard, fp);
+  }
+  if (inserted) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return inserted;
+}
+
+std::optional<uint64_t> CompactStateStore::Parent(uint64_t fp) const {
+  (void)fp;
+  return std::nullopt;
+}
+
+bool CompactStateStore::Contains(uint64_t fp) const {
+  const Shard& shard = shards_[ShardIndex(fp)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (fp == 0) {
+    return shard.has_zero;
+  }
+  const size_t mask = shard.slots.size() - 1;
+  size_t i = SlotHash(fp) & mask;
+  while (shard.slots[i] != 0) {
+    if (shard.slots[i] == fp) {
+      return true;
+    }
+    i = (i + 1) & mask;
+  }
+  return false;
+}
+
+Result<std::vector<std::string>> CompactStateStore::SaveRuns(const std::string& dir) {
+  using R = Result<std::vector<std::string>>;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return R::Error("cannot create run dir " + dir + ": " + ec.message());
+  }
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  entries.reserve(static_cast<size_t>(Size()));
+  for (int s = 0; s < nshards_; ++s) {
+    const Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.has_zero) {
+      entries.emplace_back(0, 0);
+    }
+    for (uint64_t fp : shard.slots) {
+      if (fp != 0) {
+        entries.emplace_back(fp, fp);  // self-parent: ancestry is not retained
+      }
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+  const std::string name = "visited-000000.run";
+  const Status st = WriteRunFile((std::filesystem::path(dir) / name).string(), entries);
+  if (!st.ok()) {
+    return R::Error(st.error());
+  }
+  return std::vector<std::string>{name};
+}
+
+Status CompactStateStore::LoadRuns(const std::vector<std::string>& paths) {
+  for (const std::string& path : paths) {
+    auto run = MappedRun::Open(path);
+    if (!run.ok()) {
+      return Status::Error(run.error());
+    }
+    const MappedRun& r = *run.value();
+    for (uint64_t i = 0; i < r.count(); ++i) {
+      InsertIfAbsent(r.fp(i), r.fp(i));
+    }
+  }
+  return Status();
+}
+
+double CompactStateStore::CollisionProbability() const {
+  return obs::ExplorationProfile::CollisionProbability(Size());
+}
+
+}  // namespace store
+}  // namespace sandtable

@@ -1,0 +1,106 @@
+// Hash-compacted visited set: 64-bit fingerprints only, no parent pointers.
+//
+// TLC's classic space optimization (the "fingerprint set" of the TLA+
+// toolchain): instead of `fingerprint -> parent fingerprint` the store keeps
+// just the fingerprint, in sharded open-addressing tables of raw uint64
+// slots. At the default 0.7 load ceiling that is ~11.5 bytes per distinct
+// state versus ~48 bytes per std::unordered_map node — a >4x capacity win for
+// the same memory budget — and inserts touch one cache line instead of
+// chasing bucket pointers.
+//
+// The price is twofold, and both halves are surfaced rather than hidden:
+//   - No parents means no parent-chain trace reconstruction. Parent() always
+//     returns nullopt and RetainsParents() is false; engines detect this and
+//     rebuild counterexample paths with a bounded re-search instead
+//     (mc/reconstruct.h, ReconstructTraceResearch). Violations stay sound:
+//     invariants are always evaluated on real states, never on fingerprints.
+//   - Two distinct states hashing to the same 64-bit fingerprint are silently
+//     merged, so states can be *missed* (never falsely reported). Engines
+//     publish the TLC collision estimate 1 - exp(-n^2 / 2^65) in their result
+//     whenever this store is active (see DESIGN.md "Hash compaction").
+//
+// Checkpoints: SaveRuns writes the standard STFPRUN1 run format with each
+// entry's parent equal to its own fingerprint. Such runs only make sense
+// resumed into another CompactStateStore; CheckpointMeta.hash_compact records
+// the mode and the engines refuse a mismatched resume.
+//
+// Thread-safe: shards are lock-striped by fingerprint high bits, exactly like
+// par/fingerprint_shards.h, so the parallel engines' workers insert
+// concurrently.
+#ifndef SANDTABLE_SRC_STORE_COMPACT_STORE_H_
+#define SANDTABLE_SRC_STORE_COMPACT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/store/state_store.h"
+
+namespace sandtable {
+namespace store {
+
+class CompactStateStore : public StateStore {
+ public:
+  struct Config {
+    // Expected distinct states; shard tables start sized for this.
+    uint64_t reserve = 1u << 16;
+    int shard_count_log2 = 6;
+  };
+
+  CompactStateStore();
+  explicit CompactStateStore(Config config);
+
+  // parent_fp is accepted for StateStore interface compatibility and dropped.
+  bool InsertIfAbsent(uint64_t fp, uint64_t parent_fp) override;
+
+  // Always nullopt, even for present fingerprints: returning a self-parent
+  // would let ReconstructTrace silently produce a truncated trace, while a
+  // missing-parent lookup fails loudly. Use RetainsParents() to pick the
+  // re-search reconstruction path instead.
+  std::optional<uint64_t> Parent(uint64_t fp) const override;
+
+  bool RetainsParents() const override { return false; }
+
+  bool Contains(uint64_t fp) const;
+
+  uint64_t Size() const override { return count_.load(std::memory_order_relaxed); }
+
+  // Sorted STFPRUN1 runs with parent == fp for every entry (see file comment).
+  Result<std::vector<std::string>> SaveRuns(const std::string& dir) override;
+
+  // Seed from checkpoint runs: inserts every fingerprint and drops the file
+  // mapping (nothing to keep mmap'd — the table is the only tier).
+  Status LoadRuns(const std::vector<std::string>& paths);
+
+  // TLC birthday-bound estimate that at least one pair of the `n` distinct
+  // states inserted so far collided in the 64-bit fingerprint space.
+  double CollisionProbability() const;
+
+ private:
+  // Open-addressing table of raw fingerprints, one mutex per shard. A slot
+  // value of 0 means empty; the real fingerprint 0 is tracked by `has_zero`.
+  struct alignas(64) Shard {
+    mutable std::mutex mu;
+    std::vector<uint64_t> slots;  // size is a power of two
+    uint64_t used = 0;
+    bool has_zero = false;
+  };
+
+  size_t ShardIndex(uint64_t fp) const { return shift_ >= 64 ? 0 : fp >> shift_; }
+  // Insert into `shard` without touching count_. Caller holds shard.mu.
+  static bool InsertLocked(Shard* shard, uint64_t fp);
+  static void GrowLocked(Shard* shard);
+
+  const int nshards_;
+  const int shift_;
+  std::unique_ptr<Shard[]> shards_;
+  std::atomic<uint64_t> count_{0};
+};
+
+}  // namespace store
+}  // namespace sandtable
+
+#endif  // SANDTABLE_SRC_STORE_COMPACT_STORE_H_

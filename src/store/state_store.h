@@ -80,6 +80,13 @@ class StateStore {
   // Returns the file names (relative to dir) written. Does not mutate the
   // store. Must not race concurrent inserts — call from a level barrier.
   virtual Result<std::vector<std::string>> SaveRuns(const std::string& dir) = 0;
+
+  // True when Parent() returns real ancestry for every inserted fingerprint.
+  // Hash-compacted stores (compact_store.h) return false; engines then switch
+  // counterexample reconstruction from the parent-chain walk to a bounded
+  // re-search (mc/reconstruct.h) and report the fingerprint-collision
+  // probability in their results.
+  virtual bool RetainsParents() const { return true; }
 };
 
 // Plain sharded in-memory store: the explicit-StateStore equivalent of the

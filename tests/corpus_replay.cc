@@ -12,8 +12,11 @@
 #include <vector>
 
 #include "src/conformance/bug_catalog.h"
+#include "src/mc/bfs.h"
 #include "src/minimize/corpus.h"
 #include "src/minimize/minimize.h"
+#include "src/par/parallel_bfs.h"
+#include "src/store/compact_store.h"
 #include "src/trace/spec_replay.h"
 
 namespace sandtable {
@@ -91,6 +94,43 @@ TEST(CorpusCompleteness, EveryVerificationBugHasAGoldenTrace) {
     });
     EXPECT_TRUE(found) << "missing golden trace " << want << " for " << bug.id;
   }
+}
+
+// Compacted-mode hunt against the corpus: the cheapest golden trace's bug is
+// re-found by BFS over a hash-compacted (fingerprint-only) visited set, under
+// the work-stealing scheduler, and the violation matches the golden file —
+// same property, same minimal depth, with the trace rebuilt by re-search
+// instead of parent chains. Pins that hash compaction changes memory cost,
+// not model-checking results, on a real (non-toy) specification.
+TEST(CorpusCompactedHunt, CheapestGoldenBugReproducesUnderHashCompaction) {
+  const std::vector<std::string> files = CorpusFiles();
+  ASSERT_FALSE(files.empty());
+  std::optional<minimize::GoldenTrace> cheapest;
+  for (const std::string& f : files) {
+    auto golden = minimize::LoadGoldenTrace(f);
+    ASSERT_TRUE(golden.ok()) << golden.error();
+    if (!cheapest || golden.value().events.size() < cheapest->events.size()) {
+      cheapest = std::move(golden.value());
+    }
+  }
+  const conformance::BugInfo& bug = conformance::FindBug(cheapest->bug);
+  const Spec spec = conformance::MakeBugSpec(bug);
+
+  store::CompactStateStore store;
+  ParBfsOptions opts;
+  opts.workers = 2;
+  opts.steal = true;
+  opts.base.ooc.state_store = &store;
+  opts.base.time_budget_s = 120;
+  const BfsResult r = ParallelBfsCheck(spec, opts);
+  ASSERT_TRUE(r.violation.has_value())
+      << bug.id << ": no violation in " << r.distinct_states << " states";
+  EXPECT_TRUE(r.hash_compact);
+  EXPECT_GT(r.collision_probability, 0.0);
+  EXPECT_EQ(r.violation->invariant, cheapest->invariant) << bug.id;
+  // Golden traces are event-minimal and BFS reports minimal depth.
+  EXPECT_EQ(r.violation->depth, cheapest->events.size()) << bug.id;
+  EXPECT_EQ(r.violation->trace.size(), cheapest->events.size() + 1) << bug.id;
 }
 
 INSTANTIATE_TEST_SUITE_P(Golden, CorpusReplay, ::testing::ValuesIn(CorpusFiles()),

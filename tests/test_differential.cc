@@ -1,0 +1,398 @@
+// Randomized differential-equivalence harness (label diff-smoke): ~50 seeded
+// random small specifications run through every exploration configuration —
+// serial BFS, level-synchronized parallel, work-stealing parallel, serial
+// out-of-core (spilling store + frontier spool), hash-compacted store, and
+// work-stealing + hash-compaction combined — asserting they agree on state
+// count, depth, exhaustion and deadlocks, and that violating runs report the
+// same invariant at the same (minimal) depth with an independently validated
+// counterexample trace.
+//
+// This harness is what pins the two tentpole claims of the work-stealing and
+// compaction changes: epoch-synchronized stealing preserves level semantics
+// (par/steal.h), and the fingerprint-only store changes memory cost, not
+// results (store/compact_store.h).
+//
+// Spec generator: k in [1,3] modular counters with bounded moduli (state
+// space <= 6^3), random guarded increment actions (some branching, some
+// gated so deadlocks occur), at most ONE checking rule per spec — either a
+// state invariant or a transition invariant — so "the violated invariant"
+// is unambiguous across engines that arbitrate candidates differently.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mc/bfs.h"
+#include "src/mc/expand.h"
+#include "src/par/parallel_bfs.h"
+#include "src/par/steal.h"
+#include "src/store/compact_store.h"
+#include "src/store/ooc.h"
+#include "src/store/state_store.h"
+#include "src/util/rng.h"
+#include "tests/toy_specs.h"
+
+namespace sandtable {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kSeeds = 50;
+
+// ---- Random modular-counter spec generator ---------------------------------
+
+const char* const kVarNames[] = {"a", "b", "c"};
+
+int64_t GetVar(const State& s, int i) { return s.field(kVarNames[i]).int_v(); }
+
+State SetVar(const State& s, int i, int64_t v) {
+  return s.WithField(kVarNames[i], Value::Int(v));
+}
+
+Spec RandomModSpec(uint64_t seed) {
+  Rng rng(seed);
+  Spec spec;
+  spec.name = "diff-" + std::to_string(seed);
+
+  const int k = 1 + static_cast<int>(rng.Below(3));
+  std::vector<int64_t> mod(static_cast<size_t>(k));
+  for (int64_t& m : mod) {
+    m = 2 + static_cast<int64_t>(rng.Below(5));  // [2, 6]
+  }
+
+  std::vector<Value::Field> init_fields;
+  for (int i = 0; i < k; ++i) {
+    init_fields.emplace_back(kVarNames[i], Value::Int(0));
+  }
+  spec.init_states.push_back(Value::Record(std::move(init_fields)));
+  if (rng.Below(4) == 0) {
+    // A second, distinct initial state (mod[0] >= 2 so v0 = 1 is in range).
+    spec.init_states.push_back(SetVar(spec.init_states[0], 0, 1));
+  }
+
+  const int actions = 1 + static_cast<int>(rng.Below(3));
+  const EventKind kinds[] = {EventKind::kInternal, EventKind::kMessage,
+                             EventKind::kClientRequest};
+  for (int a = 0; a < actions; ++a) {
+    const int target = static_cast<int>(rng.Below(static_cast<uint64_t>(k)));
+    const int64_t delta = 1 + static_cast<int64_t>(
+                                  rng.Below(static_cast<uint64_t>(mod[target] - 1)));
+    // Guard: 0 = always enabled, 1 = v[g] < c, 2 = v[g] != c.
+    const int guard_kind = static_cast<int>(rng.Below(3));
+    const int guard_var = static_cast<int>(rng.Below(static_cast<uint64_t>(k)));
+    const int64_t guard_c =
+        1 + static_cast<int64_t>(rng.Below(static_cast<uint64_t>(mod[guard_var] - 1)));
+    // Some actions branch: a second emit with a different delta.
+    const bool branches = rng.Below(3) == 0;
+    const int target2 = static_cast<int>(rng.Below(static_cast<uint64_t>(k)));
+    const int64_t delta2 = 1 + static_cast<int64_t>(
+                                   rng.Below(static_cast<uint64_t>(mod[target2] - 1)));
+    const int64_t m1 = mod[target];
+    const int64_t m2 = mod[target2];
+
+    Action act;
+    act.name = "A" + std::to_string(a);
+    act.kind = kinds[rng.Below(3)];
+    act.expand = [=](const State& s, ActionContext& ctx) {
+      const int64_t g = GetVar(s, guard_var);
+      if (guard_kind == 1 && !(g < guard_c)) {
+        return;
+      }
+      if (guard_kind == 2 && g == guard_c) {
+        return;
+      }
+      ctx.Branch("step");
+      ctx.Emit(SetVar(s, target, (GetVar(s, target) + delta) % m1));
+      if (branches) {
+        ctx.Branch("alt");
+        ctx.Emit(SetVar(s, target2, (GetVar(s, target2) + delta2) % m2));
+      }
+    };
+    spec.actions.push_back(std::move(act));
+  }
+
+  // At most one checking rule, so every engine that finds a violation must
+  // name the same invariant.
+  const int rule = static_cast<int>(rng.Below(4));
+  if (rule == 2) {
+    std::vector<int64_t> want(static_cast<size_t>(k));
+    for (int i = 0; i < k; ++i) {
+      want[static_cast<size_t>(i)] = static_cast<int64_t>(
+          rng.Below(static_cast<uint64_t>(mod[static_cast<size_t>(i)])));
+    }
+    spec.invariants.push_back({"NotTarget", [want, k](const State& s) {
+                                 for (int i = 0; i < k; ++i) {
+                                   if (GetVar(s, i) != want[static_cast<size_t>(i)]) {
+                                     return true;
+                                   }
+                                 }
+                                 return false;  // exactly the target vector
+                               }});
+  } else if (rule == 3) {
+    const int64_t c = 1 + static_cast<int64_t>(rng.Below(static_cast<uint64_t>(mod[0] - 1)));
+    spec.transition_invariants.push_back(
+        {"NoEntry", [c](const State& prev, const ActionLabel&, const State& next) {
+           // Forbid edges that move v0 onto the value c.
+           return !(GetVar(prev, 0) != c && GetVar(next, 0) == c);
+         }});
+  }
+  return spec;
+}
+
+// ---- Engine configurations under test --------------------------------------
+
+struct TinyOoc {
+  explicit TinyOoc(const std::string& base) {
+    store::StoreConfig scfg;
+    scfg.spill_dir = base + "/fps";
+    scfg.max_resident = 4;
+    scfg.max_runs = 2;
+    scfg.shard_count_log2 = 1;
+    state_store = std::make_unique<store::SpillingStateStore>(scfg);
+    spool_cfg.dir = base + "/frontier";
+    spool_cfg.max_resident = 3;
+    spool_cfg.chunk_states = 2;
+  }
+  store::OocConfig Config() {
+    store::OocConfig ooc;
+    ooc.state_store = state_store.get();
+    ooc.frontier_spool = &spool_cfg;
+    return ooc;
+  }
+  std::unique_ptr<store::SpillingStateStore> state_store;
+  store::SpoolConfig spool_cfg;
+};
+
+enum class Engine {
+  kSerial,
+  kLevelSync,
+  kSteal,
+  kOutOfCore,      // serial engine, spilling store + frontier spool
+  kCompact,        // serial engine, hash-compacted store
+  kStealCompact,   // work-stealing engine, hash-compacted store
+};
+
+const char* EngineName(Engine e) {
+  switch (e) {
+    case Engine::kSerial:
+      return "serial";
+    case Engine::kLevelSync:
+      return "level-sync";
+    case Engine::kSteal:
+      return "steal";
+    case Engine::kOutOfCore:
+      return "out-of-core";
+    case Engine::kCompact:
+      return "hash-compact";
+    case Engine::kStealCompact:
+      return "steal+hash-compact";
+  }
+  return "?";
+}
+
+BfsResult RunEngine(const Spec& spec, Engine engine, const std::string& tmp) {
+  switch (engine) {
+    case Engine::kSerial:
+      return BfsCheck(spec);
+    case Engine::kLevelSync:
+    case Engine::kSteal: {
+      ParBfsOptions opts;
+      opts.workers = 3;
+      opts.chunk_size = 2;  // several chunks per level -> real steal traffic
+      opts.steal = engine == Engine::kSteal;
+      return ParallelBfsCheck(spec, opts);
+    }
+    case Engine::kOutOfCore: {
+      TinyOoc ooc(tmp + "/ooc");
+      BfsOptions opts;
+      opts.ooc = ooc.Config();
+      return BfsCheck(spec, opts);
+    }
+    case Engine::kCompact: {
+      store::CompactStateStore::Config cfg;
+      cfg.reserve = 16;  // force table growth on every non-trivial space
+      cfg.shard_count_log2 = 2;
+      store::CompactStateStore store(cfg);
+      BfsOptions opts;
+      opts.ooc.state_store = &store;
+      return BfsCheck(spec, opts);
+    }
+    case Engine::kStealCompact: {
+      store::CompactStateStore::Config cfg;
+      cfg.reserve = 16;
+      cfg.shard_count_log2 = 2;
+      store::CompactStateStore store(cfg);
+      ParBfsOptions opts;
+      opts.workers = 3;
+      opts.chunk_size = 2;
+      opts.steal = true;
+      opts.base.ooc.state_store = &store;
+      return ParallelBfsCheck(spec, opts);
+    }
+  }
+  return BfsResult{};
+}
+
+// ---- Independent trace validation ------------------------------------------
+
+// Checks a reported violation trace against the spec from scratch: starts at
+// an initial state, takes only real transitions, and actually violates the
+// named rule at the end. Catches a reconstruction (parent-chain or re-search)
+// that produced a plausible-looking but bogus trace.
+void ValidateTrace(const Spec& spec, const Violation& v, const std::string& ctx) {
+  ASSERT_FALSE(v.trace.empty()) << ctx;
+  EXPECT_EQ(v.depth, v.trace.size() - 1) << ctx;
+
+  bool is_init = false;
+  for (const State& init : spec.init_states) {
+    is_init = is_init || Fingerprint(spec, v.trace[0].state, false) ==
+                             Fingerprint(spec, init, false);
+  }
+  EXPECT_TRUE(is_init) << ctx << ": trace does not start at an initial state";
+
+  CoverageStats scratch;
+  for (size_t i = 1; i < v.trace.size(); ++i) {
+    const uint64_t want = Fingerprint(spec, v.trace[i].state, false);
+    bool found = false;
+    for (const Successor& s : ExpandAll(spec, v.trace[i - 1].state, &scratch, nullptr)) {
+      found = found || Fingerprint(spec, s.state, false) == want;
+    }
+    ASSERT_TRUE(found) << ctx << ": trace step " << i << " is not a real transition";
+  }
+
+  if (v.is_transition_invariant) {
+    ASSERT_GE(v.trace.size(), 2u) << ctx;
+    ASSERT_EQ(spec.transition_invariants.size(), 1u) << ctx;
+    EXPECT_EQ(v.invariant, spec.transition_invariants[0].name) << ctx;
+    EXPECT_FALSE(spec.transition_invariants[0].check(
+        v.trace[v.trace.size() - 2].state, v.trace.back().label,
+        v.trace.back().state))
+        << ctx << ": final edge does not violate " << v.invariant;
+  } else {
+    ASSERT_EQ(spec.invariants.size(), 1u) << ctx;
+    EXPECT_EQ(v.invariant, spec.invariants[0].name) << ctx;
+    EXPECT_FALSE(spec.invariants[0].check(v.trace.back().state))
+        << ctx << ": final state does not violate " << v.invariant;
+  }
+}
+
+void ExpectEquivalent(const BfsResult& ref, const BfsResult& got,
+                      const std::string& ctx) {
+  ASSERT_EQ(ref.violation.has_value(), got.violation.has_value()) << ctx;
+  if (!ref.violation.has_value()) {
+    // Violation-free: every engine fully explores the same space.
+    EXPECT_EQ(ref.distinct_states, got.distinct_states) << ctx;
+    EXPECT_EQ(ref.depth_reached, got.depth_reached) << ctx;
+    EXPECT_EQ(ref.exhausted, got.exhausted) << ctx;
+    EXPECT_EQ(ref.deadlock_states, got.deadlock_states) << ctx;
+    return;
+  }
+  // Violating: engines stop at different points (serial stops mid-level,
+  // parallel completes it), so state counts differ by contract — but the
+  // violation must be the same rule at the same minimal depth.
+  EXPECT_EQ(ref.violation->invariant, got.violation->invariant) << ctx;
+  EXPECT_EQ(ref.violation->depth, got.violation->depth) << ctx;
+  EXPECT_EQ(ref.violation->trace.size(), got.violation->trace.size()) << ctx;
+}
+
+class DifferentialTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("sandtable-diff-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    if (!HasFailure()) {
+      std::error_code ec;
+      fs::remove_all(dir_, ec);
+    }
+  }
+  fs::path dir_;
+};
+
+TEST_F(DifferentialTest, FiftySeededSpecsAgreeAcrossAllConfigurations) {
+  const Engine engines[] = {Engine::kLevelSync, Engine::kSteal,
+                            Engine::kOutOfCore, Engine::kCompact,
+                            Engine::kStealCompact};
+  int violating = 0;
+  int exhausted = 0;
+  int deadlocked = 0;
+  for (uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    const Spec spec = RandomModSpec(seed);
+    const BfsResult ref = RunEngine(spec, Engine::kSerial, dir_.string());
+    if (ref.violation.has_value()) {
+      ++violating;
+      ValidateTrace(spec, *ref.violation, "seed " + std::to_string(seed) + " serial");
+    } else {
+      ASSERT_TRUE(ref.exhausted) << "seed " << seed << ": tiny space must exhaust";
+      ++exhausted;
+    }
+    deadlocked += ref.deadlock_states > 0 ? 1 : 0;
+
+    for (const Engine engine : engines) {
+      const std::string ctx =
+          "seed " + std::to_string(seed) + " " + EngineName(engine);
+      const BfsResult got =
+          RunEngine(spec, engine, (dir_ / std::to_string(seed)).string());
+      ExpectEquivalent(ref, got, ctx);
+      if (got.violation.has_value()) {
+        ValidateTrace(spec, *got.violation, ctx);
+      }
+      // Mode flags: only the compacted configurations report a collision
+      // bound, and they always do.
+      const bool compact =
+          engine == Engine::kCompact || engine == Engine::kStealCompact;
+      EXPECT_EQ(got.hash_compact, compact) << ctx;
+      if (compact && got.distinct_states > 0) {
+        EXPECT_GT(got.collision_probability, 0.0) << ctx;
+        EXPECT_LT(got.collision_probability, 1e-9) << ctx;
+      }
+      if (HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+  // The generator must exercise both outcomes, or the harness is vacuous.
+  EXPECT_GE(violating, 5) << "generator produced too few violating specs";
+  EXPECT_GE(exhausted, 5) << "generator produced too few violation-free specs";
+  EXPECT_GE(deadlocked, 1) << "generator never produced a deadlock";
+  std::printf("[differential] %d seeds: %d violating, %d exhausted, %d with deadlocks\n",
+              kSeeds, violating, exhausted, deadlocked);
+}
+
+// The toy specs with known-good numbers run through the same matrix — a
+// deterministic anchor alongside the randomized sweep (DieHard's minimal
+// depth-6 violation, Counter's transition invariant, exhaustion + deadlock).
+TEST_F(DifferentialTest, ToySpecsAgreeAcrossAllConfigurations) {
+  const Engine engines[] = {Engine::kLevelSync, Engine::kSteal,
+                            Engine::kOutOfCore, Engine::kCompact,
+                            Engine::kStealCompact};
+  const Spec specs[] = {toys::DieHard(), toys::Counter(12, /*with_bad_jump=*/true),
+                        toys::Counter(17)};
+  for (const Spec& spec : specs) {
+    const BfsResult ref = BfsCheck(spec);
+    for (const Engine engine : engines) {
+      const std::string ctx = spec.name + " " + EngineName(engine);
+      ExpectEquivalent(ref, RunEngine(spec, engine, (dir_ / spec.name).string()),
+                       ctx);
+      if (HasFatalFailure()) {
+        return;
+      }
+    }
+  }
+  // Known anchors: DieHard violates at depth 6; Counter(17) exhausts with 18
+  // states and one deadlock (x == max).
+  EXPECT_EQ(BfsCheck(specs[0]).violation->depth, 6u);
+  EXPECT_EQ(BfsCheck(specs[2]).distinct_states, 18u);
+}
+
+}  // namespace
+}  // namespace sandtable

@@ -17,6 +17,7 @@
 #include "src/mc/bfs.h"
 #include "src/par/parallel_bfs.h"
 #include "src/store/checkpoint.h"
+#include "src/store/compact_store.h"
 #include "src/store/frontier.h"
 #include "src/store/ooc.h"
 #include "src/store/state_store.h"
@@ -164,7 +165,7 @@ TEST_F(OocTest, ParallelTokenRingMatchesSerialOutOfCore) {
 // and run to completion. Returns the resumed result.
 BfsResult CheckpointThenResume(const Spec& spec, const std::string& base,
                                uint64_t crash_after_states, uint64_t ckpt_every,
-                               bool parallel) {
+                               bool parallel, bool steal = false) {
   const std::string ckpt_dir = base + "/run.ckpt";
   {
     TinyOoc ooc(base + "/a");
@@ -182,6 +183,7 @@ BfsResult CheckpointThenResume(const Spec& spec, const std::string& base,
       popts.base = opts;
       popts.workers = 2;
       popts.chunk_size = 1;
+      popts.steal = steal;
       partial = ParallelBfsCheck(spec, popts);
     } else {
       partial = BfsCheck(spec, opts);
@@ -206,6 +208,7 @@ BfsResult CheckpointThenResume(const Spec& spec, const std::string& base,
     popts.base = opts;
     popts.workers = 2;
     popts.chunk_size = 1;
+    popts.steal = steal;
     return ParallelBfsCheck(spec, popts);
   }
   return BfsCheck(spec, opts);
@@ -351,6 +354,275 @@ TEST_F(OocTest, MissingRunFileIsRejected) {
   auto r = store::OpenCheckpoint(dir, spec);
   ASSERT_FALSE(r.ok());
   EXPECT_NE(r.error().find("visited run"), std::string::npos) << r.error();
+}
+
+// ---- Work-stealing engine checkpoint / resume -------------------------------
+
+TEST_F(OocTest, StealResumeReproducesUninterruptedRun) {
+  const Spec spec = toys::TokenRing(3, 8);
+  const BfsResult uninterrupted = BfsCheck(spec);
+  ASSERT_TRUE(uninterrupted.exhausted);
+  const BfsResult resumed = CheckpointThenResume(spec, Path("cr"),
+                                                 /*crash_after_states=*/6,
+                                                 /*ckpt_every=*/2, /*parallel=*/true,
+                                                 /*steal=*/true);
+  ExpectSameResult(uninterrupted, resumed);
+}
+
+TEST_F(OocTest, StealResumeStillFindsTheDieHardViolation) {
+  const Spec spec = toys::DieHard();
+  const BfsResult uninterrupted = BfsCheck(spec);
+  ASSERT_TRUE(uninterrupted.violation.has_value());
+  const BfsResult resumed = CheckpointThenResume(spec, Path("cr"),
+                                                 /*crash_after_states=*/8,
+                                                 /*ckpt_every=*/2, /*parallel=*/true,
+                                                 /*steal=*/true);
+  ASSERT_TRUE(resumed.violation.has_value());
+  EXPECT_EQ(resumed.violation->invariant, uninterrupted.violation->invariant);
+  EXPECT_EQ(resumed.violation->depth, uninterrupted.violation->depth);
+}
+
+// A level-sync-written checkpoint resumes under the steal engine and vice
+// versa: the checkpoint format is scheduler-agnostic (level barriers and
+// epoch barriers snapshot the same frontier).
+TEST_F(OocTest, CheckpointIsSchedulerAgnostic) {
+  const Spec spec = toys::TokenRing(3, 8);
+  const BfsResult uninterrupted = BfsCheck(spec);
+  const std::string ckpt_dir = Path("x") + "/run.ckpt";
+  {
+    TinyOoc ooc(Path("x") + "/a");
+    store::Checkpointer::Config ccfg;
+    ccfg.dir = ckpt_dir;
+    ccfg.every_states = 2;
+    store::Checkpointer ckpt(ccfg, &spec);
+    ParBfsOptions popts;
+    popts.base.ooc = ooc.Config();
+    popts.base.ooc.checkpointer = &ckpt;
+    popts.base.max_distinct_states = 6;
+    popts.workers = 2;
+    popts.chunk_size = 1;
+    popts.steal = false;  // written by the level-sync scheduler
+    const BfsResult partial = ParallelBfsCheck(spec, popts);
+    ASSERT_TRUE(partial.hit_state_limit);
+    ASSERT_GT(ckpt.writes(), 0u);
+  }
+  auto resumed = store::OpenCheckpoint(ckpt_dir, spec);
+  ASSERT_TRUE(resumed.ok()) << resumed.error();
+  TinyOoc ooc(Path("x") + "/b");
+  ASSERT_TRUE(ooc.state_store->LoadRuns(resumed.value().run_paths).ok());
+  ParBfsOptions popts;
+  popts.base.ooc = ooc.Config();
+  popts.base.ooc.resume = &resumed.value();
+  popts.workers = 2;
+  popts.chunk_size = 1;
+  popts.steal = true;  // resumed by the work-stealing scheduler
+  ExpectSameResult(uninterrupted, ParallelBfsCheck(spec, popts));
+}
+
+// Analytics continuity under the steal engine: profile counts after
+// crash + resume equal an uninterrupted run's (the same guarantee
+// test_analytics pins for the serial engine).
+TEST_F(OocTest, StealResumeKeepsAnalyticsContinuous) {
+  const Spec spec = toys::Counter(30);
+  obs::ExplorationProfile uninterrupted;
+  BfsOptions plain;
+  plain.analytics = &uninterrupted;
+  ASSERT_TRUE(BfsCheck(spec, plain).exhausted);
+
+  const std::string ckpt_dir = Path("an") + "/run.ckpt";
+  {
+    TinyOoc ooc(Path("an") + "/a");
+    store::Checkpointer::Config ccfg;
+    ccfg.dir = ckpt_dir;
+    ccfg.every_states = 5;
+    store::Checkpointer ckpt(ccfg, &spec);
+    obs::ExplorationProfile crashed;  // dies with the "process"
+    ParBfsOptions popts;
+    popts.base.ooc = ooc.Config();
+    popts.base.ooc.checkpointer = &ckpt;
+    popts.base.max_distinct_states = 12;
+    popts.base.analytics = &crashed;
+    popts.workers = 2;
+    popts.chunk_size = 1;
+    popts.steal = true;
+    ASSERT_TRUE(ParallelBfsCheck(spec, popts).hit_state_limit);
+    ASSERT_GT(ckpt.writes(), 0u);
+  }
+  auto resumed_ckpt = store::OpenCheckpoint(ckpt_dir, spec);
+  ASSERT_TRUE(resumed_ckpt.ok()) << resumed_ckpt.error();
+  TinyOoc ooc(Path("an") + "/b");
+  ASSERT_TRUE(ooc.state_store->LoadRuns(resumed_ckpt.value().run_paths).ok());
+  obs::ExplorationProfile after;
+  ParBfsOptions popts;
+  popts.base.ooc = ooc.Config();
+  popts.base.ooc.resume = &resumed_ckpt.value();
+  popts.base.analytics = &after;
+  popts.workers = 2;
+  popts.chunk_size = 1;
+  popts.steal = true;
+  ASSERT_TRUE(ParallelBfsCheck(spec, popts).exhausted);
+
+  ASSERT_EQ(after.num_actions(), uninterrupted.num_actions());
+  for (size_t i = 0; i < after.num_actions(); ++i) {
+    EXPECT_EQ(after.action_stats(i).fired, uninterrupted.action_stats(i).fired)
+        << uninterrupted.actions()[i].name;
+  }
+  EXPECT_EQ(after.distinct_states(), uninterrupted.distinct_states());
+}
+
+// ---- Hash-compacted checkpoint / resume -------------------------------------
+
+// Small compact store + spool for checkpointing runs without parents.
+struct TinyCompact {
+  explicit TinyCompact(const std::string& base) {
+    store::CompactStateStore::Config cfg;
+    cfg.reserve = 16;
+    cfg.shard_count_log2 = 1;
+    state_store = std::make_unique<store::CompactStateStore>(cfg);
+    spool_cfg.dir = base + "/frontier";
+    spool_cfg.max_resident = 3;
+    spool_cfg.chunk_states = 2;
+  }
+  store::OocConfig Config() {
+    store::OocConfig ooc;
+    ooc.state_store = state_store.get();
+    ooc.frontier_spool = &spool_cfg;
+    return ooc;
+  }
+  std::unique_ptr<store::CompactStateStore> state_store;
+  store::SpoolConfig spool_cfg;
+};
+
+TEST_F(OocTest, HashCompactCheckpointResumeReproducesRun) {
+  const Spec spec = toys::Counter(30);
+  const BfsResult uninterrupted = BfsCheck(spec);
+  ASSERT_TRUE(uninterrupted.exhausted);
+
+  const std::string ckpt_dir = Path("hc") + "/run.ckpt";
+  {
+    TinyCompact ooc(Path("hc") + "/a");
+    store::Checkpointer::Config ccfg;
+    ccfg.dir = ckpt_dir;
+    ccfg.every_states = 5;
+    store::Checkpointer ckpt(ccfg, &spec);
+    BfsOptions opts;
+    opts.ooc = ooc.Config();
+    opts.ooc.checkpointer = &ckpt;
+    opts.max_distinct_states = 12;
+    const BfsResult partial = BfsCheck(spec, opts);
+    ASSERT_TRUE(partial.hit_state_limit);
+    ASSERT_TRUE(partial.hash_compact);
+    ASSERT_GT(ckpt.writes(), 0u);
+  }
+  // The manifest records the mode.
+  auto meta = store::ReadCheckpointMeta(ckpt_dir);
+  ASSERT_TRUE(meta.ok()) << meta.error();
+  EXPECT_TRUE(meta.value().hash_compact);
+
+  auto resumed_ckpt = store::OpenCheckpoint(ckpt_dir, spec);
+  ASSERT_TRUE(resumed_ckpt.ok()) << resumed_ckpt.error();
+  TinyCompact ooc(Path("hc") + "/b");
+  ASSERT_TRUE(ooc.state_store->LoadRuns(resumed_ckpt.value().run_paths).ok());
+  BfsOptions opts;
+  opts.ooc = ooc.Config();
+  opts.ooc.resume = &resumed_ckpt.value();
+  const BfsResult resumed = BfsCheck(spec, opts);
+  EXPECT_TRUE(resumed.exhausted);
+  EXPECT_TRUE(resumed.hash_compact);
+  EXPECT_GT(resumed.collision_probability, 0.0);
+  EXPECT_EQ(resumed.distinct_states, uninterrupted.distinct_states);
+  EXPECT_EQ(resumed.depth_reached, uninterrupted.depth_reached);
+  EXPECT_EQ(resumed.deadlock_states, uninterrupted.deadlock_states);
+}
+
+TEST_F(OocTest, HashCompactResumeUnderStealEngine) {
+  const Spec spec = toys::TokenRing(3, 8);
+  const BfsResult uninterrupted = BfsCheck(spec);
+  ASSERT_TRUE(uninterrupted.exhausted);
+
+  const std::string ckpt_dir = Path("hcs") + "/run.ckpt";
+  {
+    TinyCompact ooc(Path("hcs") + "/a");
+    store::Checkpointer::Config ccfg;
+    ccfg.dir = ckpt_dir;
+    ccfg.every_states = 2;
+    store::Checkpointer ckpt(ccfg, &spec);
+    ParBfsOptions popts;
+    popts.base.ooc = ooc.Config();
+    popts.base.ooc.checkpointer = &ckpt;
+    popts.base.max_distinct_states = 6;
+    popts.workers = 2;
+    popts.chunk_size = 1;
+    popts.steal = true;
+    const BfsResult partial = ParallelBfsCheck(spec, popts);
+    ASSERT_TRUE(partial.hit_state_limit);
+    ASSERT_TRUE(partial.hash_compact);
+    ASSERT_GT(ckpt.writes(), 0u);
+  }
+  auto resumed_ckpt = store::OpenCheckpoint(ckpt_dir, spec);
+  ASSERT_TRUE(resumed_ckpt.ok()) << resumed_ckpt.error();
+  TinyCompact ooc(Path("hcs") + "/b");
+  ASSERT_TRUE(ooc.state_store->LoadRuns(resumed_ckpt.value().run_paths).ok());
+  ParBfsOptions popts;
+  popts.base.ooc = ooc.Config();
+  popts.base.ooc.resume = &resumed_ckpt.value();
+  popts.workers = 2;
+  popts.chunk_size = 1;
+  popts.steal = true;
+  const BfsResult resumed = ParallelBfsCheck(spec, popts);
+  EXPECT_TRUE(resumed.exhausted);
+  EXPECT_TRUE(resumed.hash_compact);
+  EXPECT_EQ(resumed.distinct_states, uninterrupted.distinct_states);
+  EXPECT_EQ(resumed.depth_reached, uninterrupted.depth_reached);
+  EXPECT_EQ(resumed.deadlock_states, uninterrupted.deadlock_states);
+}
+
+// Resuming a hash-compacted checkpoint into a parent-retaining run (or vice
+// versa) is a loud failure, not a silently broken trace reconstruction.
+TEST_F(OocTest, HashCompactModeMismatchIsRejected) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  const Spec spec = toys::Counter(30);
+  const std::string ckpt_dir = Path("mm") + "/run.ckpt";
+  {
+    TinyCompact ooc(Path("mm") + "/a");
+    store::Checkpointer::Config ccfg;
+    ccfg.dir = ckpt_dir;
+    ccfg.every_states = 5;
+    store::Checkpointer ckpt(ccfg, &spec);
+    BfsOptions opts;
+    opts.ooc = ooc.Config();
+    opts.ooc.checkpointer = &ckpt;
+    opts.max_distinct_states = 12;
+    ASSERT_TRUE(BfsCheck(spec, opts).hit_state_limit);
+    ASSERT_GT(ckpt.writes(), 0u);
+  }
+  auto resumed_ckpt = store::OpenCheckpoint(ckpt_dir, spec);
+  ASSERT_TRUE(resumed_ckpt.ok()) << resumed_ckpt.error();
+  // Resume into a spilling (parent-retaining) store: the engine must abort
+  // with the mode-mismatch message instead of reconstructing bogus traces.
+  TinyOoc ooc(Path("mm") + "/b");
+  ASSERT_TRUE(ooc.state_store->LoadRuns(resumed_ckpt.value().run_paths).ok());
+  BfsOptions opts;
+  opts.ooc = ooc.Config();
+  opts.ooc.resume = &resumed_ckpt.value();
+  EXPECT_DEATH(BfsCheck(spec, opts), "resume mode mismatch");
+}
+
+// The manifest's hash_compact field round-trips, and manifests written before
+// the field existed (absent key) parse as false.
+TEST_F(OocTest, CheckpointMetaHashCompactJsonRoundTrip) {
+  store::CheckpointMeta meta;
+  meta.spec_name = "m";
+  meta.hash_compact = true;
+  auto back = store::CheckpointMeta::FromJson(meta.ToJson());
+  ASSERT_TRUE(back.ok()) << back.error();
+  EXPECT_TRUE(back.value().hash_compact);
+
+  Json j = meta.ToJson();
+  j.as_object().erase("hash_compact");
+  auto legacy = store::CheckpointMeta::FromJson(j);
+  ASSERT_TRUE(legacy.ok()) << legacy.error();
+  EXPECT_FALSE(legacy.value().hash_compact);
 }
 
 TEST_F(OocTest, SpecIdentityHashSeparatesSpecsButIsStable) {
