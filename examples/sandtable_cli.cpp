@@ -617,6 +617,15 @@ int CmdCheck(const Args& args) {
     return 0;
   }
   std::printf("VIOLATED %s\n", ViolationSummary(*r.violation).c_str());
+  if (!r.violation->trace_error.empty()) {
+    // Hash-compacted re-search missed the target (suspected fingerprint
+    // collision): the violation is genuine but there is no replayable trace,
+    // so skip minimization / counterexample output / replay confirmation.
+    std::printf("  no counterexample trace: %s\n",
+                r.violation->trace_error.c_str());
+    telemetry.Finish(engine, attach_analytics(r.ToJson()));
+    return 2;
+  }
   std::fputs(FormatTraceEvents(r.violation->trace, "  ").c_str(), stdout);
   Json result_json = r.ToJson();
   std::vector<TraceStep> trace = r.violation->trace;

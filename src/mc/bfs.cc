@@ -144,12 +144,18 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
 
   uint64_t depth = 0;
 
+  // Set by `reconstruct` when the hash-compacted re-search misses its target
+  // (fingerprint collision); record_violation copies it onto the violation so
+  // the run degrades to a trace-less report instead of aborting.
+  std::string reconstruct_error;
   auto reconstruct = [&](uint64_t fp) {
     obs::PhaseTimer t(m, Phase::kReconstruct);
     obs::Add(m.reconstructions);
+    reconstruct_error.clear();
     return parents_available
                ? ReconstructTrace(spec, parent_of, fp, use_symmetry)
-               : ReconstructTraceResearch(spec, fp, depth + 2, use_symmetry);
+               : ReconstructTraceResearch(spec, fp, depth + 2, use_symmetry,
+                                          &reconstruct_error);
   };
 
   auto record_violation = [&](const std::string& invariant, bool is_transition,
@@ -161,6 +167,7 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
     Violation v;
     v.invariant = invariant;
     v.is_transition_invariant = is_transition;
+    v.trace_error = reconstruct_error;
     v.depth = trace.empty() ? 0 : trace.size() - 1;
     v.trace = std::move(trace);
     v.states_explored = result.distinct_states;
@@ -320,7 +327,9 @@ BfsResult BfsCheck(const Spec& spec, const BfsOptions& options) {
       }
       if (!bad_edge.empty()) {
         std::vector<TraceStep> trace = reconstruct(entry_fp);
-        trace.push_back(TraceStep{s.label, s.state});
+        if (!trace.empty()) {  // degraded re-search keeps the trace empty
+          trace.push_back(TraceStep{s.label, s.state});
+        }
         record_violation(bad_edge, true, std::move(trace));
         if (options.stop_at_first_violation) {
           stop_search = true;

@@ -29,8 +29,14 @@ namespace sandtable {
 struct Violation {
   std::string invariant;
   bool is_transition_invariant = false;
-  // Full counterexample: step 0 is the initial state.
+  // Full counterexample: step 0 is the initial state. Empty iff trace
+  // reconstruction failed (see trace_error) — the violation itself is still
+  // sound: the invariant was evaluated on a real reachable state.
   std::vector<TraceStep> trace;
+  // Why `trace` is empty when it is: under --hash-compact the visited set
+  // keeps no ancestry and the bounded re-search can miss the target if a
+  // 64-bit fingerprint collision merged two states. Empty on the normal path.
+  std::string trace_error;
   uint64_t depth = 0;              // events to hit the bug (= trace.size() - 1)
   uint64_t states_explored = 0;    // distinct states at detection time
   double seconds = 0;              // wall-clock time to hit

@@ -1,6 +1,7 @@
 #include "src/mc/reconstruct.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_map>
 
 #include "src/mc/expand.h"
@@ -55,7 +56,8 @@ std::vector<TraceStep> ReconstructTrace(const Spec& spec, const ParentLookup& pa
 }
 
 std::vector<TraceStep> ReconstructTraceResearch(const Spec& spec, uint64_t target,
-                                                uint64_t max_depth, bool use_symmetry) {
+                                                uint64_t max_depth, bool use_symmetry,
+                                                std::string* error) {
   // Level-by-level BFS mirroring the engines' visit discipline (fingerprint
   // at generation, state constraint gates expansion) with a private parent
   // map. The map holds fp->parent for everything generated so far, so once
@@ -107,8 +109,19 @@ std::vector<TraceStep> ReconstructTraceResearch(const Spec& spec, uint64_t targe
     frontier = std::move(next);
     frontier_fps = std::move(next_fps);
   }
-  CHECK(false) << "re-search reconstruction: target fingerprint unreachable within "
-               << max_depth << " levels (fingerprint collision?)";
+  // Not regenerated within the bound: under hash compaction this is the
+  // accepted fingerprint-collision mode, not an internal invariant — report
+  // it to the caller instead of aborting the process (a serve daemon hosts
+  // many tenants' jobs; one job's collision must not take the others down).
+  if (error != nullptr) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "re-search reconstruction: target fingerprint %016llx "
+                  "unreachable within %llu levels (fingerprint collision?)",
+                  static_cast<unsigned long long>(target),
+                  static_cast<unsigned long long>(max_depth));
+    *error = buf;
+  }
   return {};
 }
 

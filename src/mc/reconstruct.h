@@ -11,6 +11,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/spec/spec.h"
@@ -34,10 +35,17 @@ std::vector<TraceStep> ReconstructTrace(const Spec& spec, const ParentLookup& pa
 // (at most `max_depth` levels, the violation depth the engine already knows),
 // then replays the discovered chain forward. The re-search honors the spec's
 // state constraint exactly like the engines, so it finds `target` at the same
-// minimal depth the engine first saw it. CHECK-fails if `target` is not
-// reachable within the bound (only possible under a fingerprint collision).
+// minimal depth the engine first saw it.
+//
+// If `target` is not regenerated within the bound — possible only under a
+// 64-bit fingerprint collision, a mode of operation hash compaction
+// explicitly accepts — returns an empty trace and, when `error` is non-null,
+// describes the failure there. Engines degrade to reporting the violation
+// without a trace (Violation::trace_error); they must NOT treat this as
+// fatal, since a serve daemon runs many tenants' jobs in one process.
 std::vector<TraceStep> ReconstructTraceResearch(const Spec& spec, uint64_t target,
-                                                uint64_t max_depth, bool use_symmetry);
+                                                uint64_t max_depth, bool use_symmetry,
+                                                std::string* error = nullptr);
 
 }  // namespace sandtable
 

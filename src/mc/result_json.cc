@@ -34,6 +34,11 @@ Json Violation::ToJson(bool include_trace) const {
   if (include_trace) {
     o["trace"] = TraceToJson(trace);
   }
+  if (!trace_error.empty()) {
+    // Present only when reconstruction failed (hash-compacted re-search miss)
+    // so consumers can treat the field itself as the degraded-trace marker.
+    o["trace_error"] = Json(trace_error);
+  }
   return Json(std::move(o));
 }
 

@@ -145,6 +145,10 @@ BfsResult WorkStealingBfsCheck(const Spec& spec, const ParBfsOptions& options) {
     }
   };
 
+  // Set at the epoch barrier when the hash-compacted re-search misses its
+  // target (fingerprint collision); record_violation copies it onto the
+  // violation so the run degrades to a trace-less report instead of aborting.
+  std::string reconstruct_error;
   auto record_violation = [&](const std::string& invariant, bool is_transition,
                               std::vector<TraceStep> trace) {
     obs::Add(m.violations);
@@ -154,6 +158,7 @@ BfsResult WorkStealingBfsCheck(const Spec& spec, const ParBfsOptions& options) {
     Violation v;
     v.invariant = invariant;
     v.is_transition_invariant = is_transition;
+    v.trace_error = reconstruct_error;
     v.depth = trace.empty() ? 0 : trace.size() - 1;
     v.trace = std::move(trace);
     v.states_explored = distinct();
@@ -603,15 +608,16 @@ BfsResult WorkStealingBfsCheck(const Spec& spec, const ParBfsOptions& options) {
     }
     if (best != nullptr && !result.violation.has_value()) {
       std::vector<TraceStep> trace;
+      reconstruct_error.clear();
       {
         obs::PhaseTimer t(m, Phase::kReconstruct);
         obs::Add(m.reconstructions);
         trace = parents_available
                     ? ReconstructTrace(spec, parent_of, best->fp, use_symmetry)
                     : ReconstructTraceResearch(spec, best->fp, depth + 2,
-                                               use_symmetry);
+                                               use_symmetry, &reconstruct_error);
       }
-      if (best->is_transition) {
+      if (best->is_transition && !trace.empty()) {
         trace.push_back(TraceStep{best->label, best->state});
       }
       record_violation(best->invariant, best->is_transition, std::move(trace));

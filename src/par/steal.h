@@ -84,7 +84,10 @@ class ChaseLevDeque {
     bottom_.store(b + 1, std::memory_order_seq_cst);
   }
 
-  // Owner only. False when empty.
+  // Owner only. False when empty or when a thief wins the race for the last
+  // element. *out is written only on success — callers (the engine's
+  // run_epoch) test their pointer against nullptr after a failed Pop, so the
+  // lost-race path must not leak the element the thief now owns.
   bool Pop(T* out) {
     const int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
     Array* a = array_.load(std::memory_order_relaxed);
@@ -95,15 +98,39 @@ class ChaseLevDeque {
       bottom_.store(b + 1, std::memory_order_relaxed);
       return false;
     }
-    *out = a->Get(b);
+    const T v = a->Get(b);
     if (t == b) {
       // Last element: race the thieves for it via the top cursor.
+      if (last_element_race_hook_ != nullptr) {
+        last_element_race_hook_(this);
+      }
       const bool won = top_.compare_exchange_strong(
           t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
       bottom_.store(b + 1, std::memory_order_relaxed);
-      return won;
+      if (!won) {
+        return false;
+      }
     }
+    *out = v;
     return true;
+  }
+
+  // Test-only seam: called on the owner's last-element path after `top` has
+  // been read and before the claiming CAS — exactly the window a concurrent
+  // thief's CAS can land in. Lets a single-threaded regression test force the
+  // lost race deterministically (tests/test_steal.cc); never set by engines.
+  using RaceHook = void (*)(ChaseLevDeque*);
+  void SetLastElementRaceHookForTest(RaceHook hook) {
+    last_element_race_hook_ = hook;
+  }
+
+  // Test-only: act as a thief that read `top`/`bottom` before the owner's Pop
+  // began and whose claiming CAS lands now. Unlike Steal, skips the emptiness
+  // check against the owner's already-decremented `bottom`.
+  bool StealTopForTest() {
+    int64_t t = top_.load(std::memory_order_seq_cst);
+    return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed);
   }
 
   // Any thief. False when empty or when it lost a race (callers sweep on).
@@ -183,6 +210,7 @@ class ChaseLevDeque {
   std::atomic<int64_t> bottom_{0};
   std::atomic<Array*> array_{nullptr};
   std::vector<std::unique_ptr<Array>> arrays_;  // owner-managed retirement
+  RaceHook last_element_race_hook_ = nullptr;   // test-only, cold path
 };
 
 }  // namespace par

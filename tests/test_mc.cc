@@ -7,6 +7,7 @@
 #include "src/mc/bfs.h"
 #include "src/mc/expand.h"
 #include "src/mc/random_walk.h"
+#include "src/mc/reconstruct.h"
 #include "src/mc/stateless.h"
 #include "tests/toy_specs.h"
 
@@ -155,6 +156,49 @@ TEST(Bfs, MetricsRegistryCountsStates) {
   EXPECT_EQ(snap.counters.at("states.deadlock"), r.deadlock_states);
   EXPECT_GT(snap.counters.at("expand.calls"), 0u);
   EXPECT_GT(snap.counters.at("invariants.checked"), 0u);
+}
+
+// Positive control for the re-search reconstruction: a genuinely reachable
+// fingerprint is regenerated within the bound and replayed into a full trace.
+TEST(Reconstruct, ResearchFindsReachableTarget) {
+  const Spec spec = toys::Counter(5);
+  const std::vector<Successor> succs =
+      ExpandAll(spec, spec.init_states[0], nullptr);
+  ASSERT_FALSE(succs.empty());
+  const uint64_t target = Fingerprint(spec, succs[0].state, false);
+  std::string error = "sentinel";
+  const std::vector<TraceStep> trace =
+      ReconstructTraceResearch(spec, target, /*max_depth=*/3, false, &error);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].state, spec.init_states[0]);
+  EXPECT_EQ(trace[1].state, succs[0].state);
+  EXPECT_EQ(error, "sentinel");  // untouched on success
+}
+
+// Regression: a miss (only possible under a 64-bit fingerprint collision,
+// which --hash-compact explicitly accepts as a mode of operation) must come
+// back as an empty trace plus an explanation — never a process abort, since
+// sandtable_serve runs many tenants' check jobs in one daemon.
+TEST(Reconstruct, ResearchMissDegradesInsteadOfAborting) {
+  const Spec spec = toys::Counter(5);
+  std::string error;
+  const std::vector<TraceStep> trace = ReconstructTraceResearch(
+      spec, /*target=*/0x5eed5eed5eed5eedull, /*max_depth=*/8, false, &error);
+  EXPECT_TRUE(trace.empty());
+  EXPECT_NE(error.find("fingerprint collision"), std::string::npos) << error;
+}
+
+// The degraded violation stays sound and serializable: empty trace, depth 0,
+// and the trace_error marker present in JSON (absent on the normal path).
+TEST(Reconstruct, TraceErrorSerializedOnlyWhenSet) {
+  Violation v;
+  v.invariant = "Inv";
+  EXPECT_FALSE(v.ToJson().contains("trace_error"));
+  v.trace_error = "re-search reconstruction: target fingerprint unreachable";
+  const Json j = v.ToJson();
+  ASSERT_TRUE(j.contains("trace_error"));
+  EXPECT_EQ(j["trace_error"].as_string(), v.trace_error);
+  EXPECT_EQ(j["depth"].as_int(), 0);
 }
 
 TEST(RandomWalk, RespectsMaxDepth) {

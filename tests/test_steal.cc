@@ -94,6 +94,83 @@ TEST(ChaseLevDeque, OwnerAndThievesClaimEachElementOnce) {
   }
 }
 
+// Regression for the lost-race Pop bug: the engine's run_epoch leaves its
+// chunk pointer null, calls Pop, and treats "still null" as "no work
+// claimed". Pop used to write the element into *out BEFORE the last-element
+// CAS and return false when a thief won — leaving the caller holding a
+// pointer the thief now owns (double expansion / double free / pending
+// underflow in the engine). The race hook fires inside the owner's window
+// (top read, claiming CAS not yet issued) and claims the element exactly as
+// a concurrent thief would, so the lost race is forced deterministically
+// even on a single-core machine.
+TEST(ChaseLevDeque, FailedPopLeavesOutParamUntouched) {
+  par::ChaseLevDeque<uint64_t*> deque;
+  deque.SetLastElementRaceHookForTest([](par::ChaseLevDeque<uint64_t*>* d) {
+    EXPECT_TRUE(d->StealTopForTest());  // the thief's CAS wins the element
+  });
+  uint64_t value = 42;
+  deque.Push(&value);
+
+  // Engine-style caller: null pointer means "no chunk claimed".
+  uint64_t* item = nullptr;
+  EXPECT_FALSE(deque.Pop(&item));
+  EXPECT_EQ(item, nullptr) << "lost-race Pop leaked the element the thief owns";
+  EXPECT_TRUE(deque.EmptyApprox());
+  // The deque stays coherent after the lost race: further pops find nothing.
+  EXPECT_FALSE(deque.Pop(&item));
+  EXPECT_EQ(item, nullptr);
+
+  // With the hook removed the same sequence hands the element to the owner.
+  deque.SetLastElementRaceHookForTest(nullptr);
+  deque.Push(&value);
+  ASSERT_TRUE(deque.Pop(&item));
+  EXPECT_EQ(item, &value);
+}
+
+// The same contract under real concurrency (effective on multi-core / TSan
+// runs): push-one, pop-one against a spinning thief keeps every Pop on the
+// one-element CAS-race path; *out must stay untouched on every failed Pop
+// and each element must still be claimed exactly once.
+TEST(ChaseLevDeque, FailedPopStressKeepsOutParamClean) {
+  constexpr uint64_t kRounds = 100000;
+  par::ChaseLevDeque<uint64_t*> deque;
+  std::vector<uint64_t> values(kRounds);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> stolen_count{0};
+  std::thread thief([&] {
+    uint64_t* item = nullptr;
+    while (!done.load(std::memory_order_acquire)) {
+      if (deque.Steal(&item)) {
+        stolen_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    while (deque.Steal(&item)) {
+      stolen_count.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  uint64_t popped = 0;
+  uint64_t dirty_failed_pops = 0;
+  for (uint64_t i = 0; i < kRounds; ++i) {
+    values[i] = i + 1;
+    deque.Push(&values[i]);
+    uint64_t* item = nullptr;  // engine-style: null means "nothing claimed"
+    if (deque.Pop(&item)) {
+      ++popped;
+    } else if (item != nullptr) {
+      ++dirty_failed_pops;  // the bug: a lost race leaked the element
+    }
+  }
+  done.store(true, std::memory_order_release);
+  thief.join();
+
+  EXPECT_EQ(dirty_failed_pops, 0u)
+      << "failed Pop wrote the stolen element into *out";
+  EXPECT_EQ(popped + stolen_count.load(), kRounds)
+      << "element claimed twice or never";
+}
+
 // Growth under active stealing: start from the tiny initial array so Grow()
 // runs many times while thieves hold stale top cursors.
 TEST(ChaseLevDeque, GrowsUnderConcurrentStealing) {
